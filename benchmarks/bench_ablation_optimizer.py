@@ -1,0 +1,188 @@
+"""Ablation — AST optimization (paper §4.1 / §6).
+
+"The AST provides opportunities to optimize the complete flow.  For
+example, tasks can be re-arranged to minimize data transfers to the
+browser."
+
+Three measurements:
+
+1. endpoint-transfer minimization: bytes shipped into widget cubes with
+   the server/client pipeline split ON vs OFF (the §6 rewrite);
+2. filter pushdown + projection pruning: rows flowing through the batch
+   plan with the optimizer ON vs OFF;
+3. the distributed combiner: records shuffled with and without map-side
+   partial aggregation.
+
+Expected shape: each optimization reduces its metric by an integer
+factor without changing results.
+"""
+
+from repro import Platform
+from repro.compiler import FlowCompiler
+from repro.dashboard.dashboard import Dashboard
+from repro.data import Schema, Table
+from repro.dsl import parse_flow_file
+from repro.engine import DistributedExecutor, LocalExecutor
+from repro.workloads import apache
+
+from benchmarks.conftest import report
+
+ROWS = 20_000
+
+
+def _wide_table():
+    return Table.from_rows(
+        Schema.of("k", "v", "pad1", "pad2", "pad3"),
+        [
+            (f"key{i % 40}", i, "x" * 20, "y" * 20, i * 2)
+            for i in range(ROWS)
+        ],
+    )
+
+
+PUSHDOWN_FLOW = (
+    "D:\n    raw: [k, v, pad1, pad2, pad3]\n"
+    "D.raw:\n    source: raw.csv\n"
+    "F:\n    D.out: D.raw | T.derive | T.keep | T.agg\n"
+    "    D.out:\n        endpoint: true\n"
+    "T:\n"
+    "    derive:\n"
+    "        type: add_column\n"
+    "        expression: v * 3\n"
+    "        output: v3\n"
+    "    keep:\n"
+    "        type: filter_by\n"
+    "        filter_expression: v % 10 == 0\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v3\n"
+    "              out_field: total\n"
+)
+
+
+def _run_plan(optimize: bool):
+    compiler = FlowCompiler(optimize=optimize)
+    compiled = compiler.compile(parse_flow_file(PUSHDOWN_FLOW))
+    table = _wide_table()
+    result = LocalExecutor(lambda n: table).run(compiled.plan)
+    # Cell work: rows x columns produced by every task node — captures
+    # both the filter pushdown (fewer rows into the map) and the
+    # projection pruning (narrower rows everywhere).
+    cells = sum(
+        s.cells_out
+        for s in result.stats.node_stats
+        if not s.label.startswith("load")
+    )
+    return result.table("out"), cells
+
+
+def test_ablation_batch_optimizer(benchmark):
+    out_optimized, cells_optimized = benchmark(_run_plan, True)
+    out_plain, cells_plain = _run_plan(False)
+    key = lambda t: sorted(map(repr, t.to_records()))
+    assert key(out_optimized) == key(out_plain)  # semantics preserved
+    assert cells_optimized < cells_plain
+    report(
+        "ablation_optimizer_batch",
+        "Ablation: filter pushdown + projection pruning "
+        f"({ROWS} input rows)\n"
+        f"cells produced by plan, optimizer OFF: {cells_plain}\n"
+        f"cells produced by plan, optimizer ON : {cells_optimized}\n"
+        f"reduction: {cells_plain / cells_optimized:.2f}x",
+    )
+
+
+# A widget whose pipeline has a selection-independent prefix (clean +
+# aggregate) before the interactive filter — the shape §6's transfer
+# minimization pays off on.  Without the split, the whole raw fact
+# table ships to the browser cube; with it, only the aggregate does.
+TRANSFER_FLOW = (
+    "D:\n    raw: [k, v, pad1, pad2, pad3]\n"
+    "D.raw:\n    source: raw.csv\n    endpoint: true\n"
+    "T:\n"
+    "    clean:\n"
+    "        type: filter_by\n"
+    "        filter_expression: not isnull(v)\n"
+    "    summarize:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: total\n"
+    "    pick:\n"
+    "        type: filter_by\n"
+    "        filter_by: [k]\n"
+    "        filter_source: W.picker\n"
+    "        filter_val: [text]\n"
+    "W:\n"
+    "    picker:\n"
+    "        type: List\n"
+    "        source: D.raw | T.clean | T.summarize\n"
+    "        text: k\n"
+    "    chart:\n"
+    "        type: Bar\n"
+    "        source: D.raw | T.clean | T.summarize | T.pick\n"
+    "        x: k\n"
+    "        y: total\n"
+    "L:\n    rows:\n    - [span4: W.picker, span8: W.chart]\n"
+)
+
+
+def _transfer_bytes(split: bool) -> int:
+    platform = Platform()
+    platform.compiler = FlowCompiler(
+        task_registry=platform.tasks, split_widget_flows=split
+    )
+    dashboard = platform.create_dashboard(
+        "transfer", TRANSFER_FLOW, inline_tables={"raw": _wide_table()}
+    )
+    platform.run_dashboard("transfer")
+    return dashboard.transferred_bytes
+
+
+def test_ablation_endpoint_transfer(benchmark):
+    optimized = benchmark(_transfer_bytes, True)
+    plain = _transfer_bytes(False)
+    assert optimized * 10 < plain  # aggregates ship, not raw rows
+    report(
+        "ablation_optimizer_transfer",
+        "Ablation: §6 server/client widget-pipeline split "
+        f"({ROWS}-row fact table, 40 groups)\n"
+        f"bytes shipped to client cubes, split OFF: {plain}\n"
+        f"bytes shipped to client cubes, split ON : {optimized}\n"
+        f"reduction: {plain / optimized:.1f}x",
+    )
+
+
+def test_ablation_combiner_shuffle(benchmark):
+    compiled = FlowCompiler(optimize=False).compile(
+        parse_flow_file(PUSHDOWN_FLOW)
+    )
+    table = _wide_table()
+
+    def run(use_combiner):
+        return DistributedExecutor(
+            lambda n: table, num_partitions=8, use_combiner=use_combiner
+        ).run(compiled.plan)
+
+    with_combiner = benchmark(run, True)
+    without = run(False)
+    assert (
+        with_combiner.total_shuffled_records
+        < without.total_shuffled_records
+    )
+    key = lambda t: sorted(map(repr, t.to_records()))
+    assert key(with_combiner.table("out")) == key(without.table("out"))
+    report(
+        "ablation_combiner",
+        "Ablation: map-side combiner on the simulated cluster\n"
+        f"records shuffled, combiner OFF: "
+        f"{without.total_shuffled_records}\n"
+        f"records shuffled, combiner ON : "
+        f"{with_combiner.total_shuffled_records}\n"
+        f"reduction: {without.total_shuffled_records / max(with_combiner.total_shuffled_records, 1):.2f}x",
+    )

@@ -1,0 +1,111 @@
+"""Ablation — flow-file groups / shared data objects (paper §4.5.3).
+
+"It allows for efficient processing of raw data sources.  In this
+configuration, long running data flows are executed only by the
+dashboard which shares the data objects" and consumers "can get
+extremely quick feedback to changes in the flow file".
+
+Measurement: build N consumer dashboards over the IPL data two ways —
+(a) each consumer re-runs the full cleaning pipeline itself, and
+(b) the processing dashboard publishes once and consumers resolve from
+the shared catalog.  Expected shape: total pipeline work grows linearly
+with N in (a) and stays flat in (b); consumer feedback latency drops by
+an order of magnitude.
+"""
+
+import time
+
+from repro import Platform
+from repro.dsl import parse_flow_file
+from repro.formats import JsonFormat
+from repro.workloads import (
+    IPL_CONSUMPTION_FLOW,
+    IPL_PROCESSING_FLOW,
+    ipl,
+)
+
+from benchmarks.conftest import report
+
+TWEETS = 1500
+CONSUMERS = 4
+
+
+def _inline_tables():
+    schema = parse_flow_file(IPL_PROCESSING_FLOW).data["ipltweets"].schema
+    tweets = JsonFormat().decode(
+        ipl.tweets_json(count=TWEETS, seed=7), schema
+    )
+    return {
+        "ipltweets": tweets,
+        "dim_teams": ipl.dim_teams_table(),
+        "team_players": ipl.team_players_table(),
+        "lat_long": ipl.lat_long_table(),
+    }
+
+
+def _without_sharing() -> tuple[float, int]:
+    """Every consumer re-runs the processing flows itself."""
+    tables = _inline_tables()
+    total_rows = 0
+    started = time.perf_counter()
+    for i in range(CONSUMERS):
+        platform = Platform()
+        platform.create_dashboard(
+            f"consumer{i}",
+            IPL_PROCESSING_FLOW,
+            inline_tables=tables,
+            dictionaries=ipl.dictionaries(),
+        )
+        report_obj = platform.run_dashboard(f"consumer{i}")
+        total_rows += report_obj.rows_produced
+    return time.perf_counter() - started, total_rows
+
+
+def _with_sharing() -> tuple[float, float, int]:
+    """Process once, publish, consume N times from the catalog."""
+    platform = Platform()
+    platform.create_dashboard(
+        "processing",
+        IPL_PROCESSING_FLOW,
+        inline_tables=_inline_tables(),
+        dictionaries=ipl.dictionaries(),
+    )
+    started = time.perf_counter()
+    run_report = platform.run_dashboard("processing")
+    processing_seconds = time.perf_counter() - started
+    consume_started = time.perf_counter()
+    for i in range(CONSUMERS):
+        dashboard = platform.create_dashboard(
+            f"consumer{i}", IPL_CONSUMPTION_FLOW
+        )
+        dashboard.run_flows()
+        dashboard.widget_view("teamtweets")  # first paint
+    consumer_seconds = time.perf_counter() - consume_started
+    return processing_seconds, consumer_seconds, run_report.rows_produced
+
+
+def test_ablation_sharing(benchmark):
+    processing_seconds, consumer_seconds, shared_rows = benchmark(
+        _with_sharing
+    )
+    duplicated_seconds, duplicated_rows = _without_sharing()
+    # Paper shape: cleaning work is amortized — N consumers re-cleaning
+    # produce N× the pipeline rows the shared configuration does.
+    assert duplicated_rows >= shared_rows * (CONSUMERS - 1)
+    # Consumer feedback is much faster than re-processing.
+    per_consumer_shared = consumer_seconds / CONSUMERS
+    per_consumer_duplicated = duplicated_seconds / CONSUMERS
+    assert per_consumer_shared < per_consumer_duplicated
+    report(
+        "ablation_sharing",
+        "Ablation: §4.5.3 shared data objects "
+        f"({CONSUMERS} consumer dashboards, {TWEETS} tweets)\n"
+        f"pipeline rows produced, re-clean per consumer: "
+        f"{duplicated_rows}\n"
+        f"pipeline rows produced, publish once        : {shared_rows}\n"
+        f"per-consumer latency, re-clean: "
+        f"{per_consumer_duplicated * 1000:.0f} ms\n"
+        f"per-consumer latency, shared  : "
+        f"{per_consumer_shared * 1000:.0f} ms "
+        f"({per_consumer_duplicated / per_consumer_shared:.1f}x faster)",
+    )

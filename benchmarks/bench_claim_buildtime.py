@@ -1,0 +1,81 @@
+"""The headline claim — "weeks → under six hours" (paper §1, §5.2 obs. 1).
+
+"Rich data pipelines which traditionally took weeks to build were
+constructed and deployed in hours" / "equivalent dashboards took four to
+six weeks to develop".
+
+We regenerate the claim through the effort model of
+:mod:`repro.hackathon.effort` (authored-artifact size × productivity
+constants; see that module's docstring for the methodology) applied to
+the paper's own dashboards.  Expected shape: flow-file authoring lands
+in single-digit hours; the multi-stack baseline lands in weeks; the
+ratio is >10x.
+"""
+
+from repro.hackathon import effort
+from repro.workloads import (
+    APACHE_FLOW,
+    IPL_CONSUMPTION_FLOW,
+    IPL_PROCESSING_FLOW,
+)
+
+from benchmarks.conftest import report
+
+DASHBOARDS = [
+    ("apache", APACHE_FLOW),
+    ("ipl_processing", IPL_PROCESSING_FLOW),
+    ("ipl_consumption", IPL_CONSUMPTION_FLOW),
+]
+
+
+def test_claim_buildtime(benchmark):
+    def estimate_all():
+        return [
+            effort.estimate_effort(source, name)
+            for name, source in DASHBOARDS
+        ]
+
+    estimates = benchmark(estimate_all)
+    lines = [
+        "Build-time claim: flow file vs multi-stack baseline",
+        "dashboard, flow_lines, flow_hours, baseline_loc, "
+        "baseline_weeks, speedup",
+    ]
+    for est in estimates:
+        # Paper shape: hours vs weeks.
+        assert est.flow_file_hours < 6, est.dashboard
+        assert est.baseline_weeks >= 2, est.dashboard
+        assert est.speedup > 10, est.dashboard
+        lines.append(
+            f"{est.dashboard}, {est.flow_file_lines}, "
+            f"{est.flow_file_hours}, {est.baseline_loc}, "
+            f"{est.baseline_weeks:.1f}, {est.speedup:.0f}x"
+        )
+    report("claim_buildtime", "\n".join(lines))
+
+
+def test_claim_hackathon_dashboards_fit_in_six_hours(
+    benchmark, hackathon_result
+):
+    """The simulated teams' *final* dashboards also price out under the
+    six-hour budget in the effort model — consistent with every team
+    actually finishing one within the competition window."""
+
+    def estimate_finals():
+        platform = hackathon_result.platform
+        return [
+            effort.estimate_effort(
+                platform.repository.read(team.dashboard), team.name
+            )
+            for team in hackathon_result.teams
+        ]
+
+    estimates = benchmark(estimate_finals)
+    assert all(est.flow_file_hours < 6 for est in estimates)
+    worst = max(estimates, key=lambda e: e.flow_file_hours)
+    report(
+        "claim_hackathon_budget",
+        f"52 team dashboards: max flow-file effort "
+        f"{worst.flow_file_hours} h (< 6 h window); "
+        f"equivalent baseline {worst.baseline_weeks:.1f} weeks",
+    )

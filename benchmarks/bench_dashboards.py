@@ -1,0 +1,134 @@
+"""End-to-end dashboard benchmarks (paper Figs. 3, 13, 17, 27-30).
+
+Times the complete paths behind the paper's running examples: batch
+execution of the Apache and IPL pipelines, a Fig. 13 interaction gesture
+(bubble click → details update), and a Fig. 30 ad-hoc REST query.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import Platform
+from repro.dsl import parse_flow_file
+from repro.formats import JsonFormat
+from repro.server import ShareInsightsApp
+from repro.workloads import (
+    APACHE_FLOW,
+    IPL_PROCESSING_FLOW,
+    apache,
+    ipl,
+)
+
+from benchmarks.conftest import report
+
+
+def test_fig3_apache_pipeline_run(benchmark):
+    """Fig. 3: the full Apache activity pipeline, batch half."""
+    platform = Platform()
+    dashboard = platform.create_dashboard(
+        "apache", APACHE_FLOW, inline_tables=apache.all_tables()
+    )
+
+    run_report = benchmark(dashboard.run_flows, "local")
+    assert run_report.rows_produced > 0
+    report(
+        "fig3_apache_run",
+        f"Fig. 3 pipeline: {run_report.rows_produced} rows materialized "
+        f"across {len(dashboard.compiled.plan)} plan nodes in "
+        f"{run_report.seconds * 1000:.1f} ms (local engine)",
+    )
+
+
+def test_fig13_interaction_gesture(benchmark, apache_dashboard):
+    """Fig. 13: selecting a project updates the details widget."""
+    _platform, dashboard = apache_dashboard
+    projects = [p for p, _c, _w in apache.PROJECTS]
+    counter = iter(range(10**9))
+
+    def gesture():
+        project = projects[next(counter) % len(projects)]
+        dashboard.select("project_category_bubble", values=[project])
+        return dashboard.widget_view("project_details")
+
+    view = benchmark(gesture)
+    assert view.payload["row"]
+
+
+def test_fig17_ipl_processing_run(benchmark):
+    """Fig. 17 / Appendix A.1: the nine-flow tweet pipeline."""
+    schema = parse_flow_file(IPL_PROCESSING_FLOW).data["ipltweets"].schema
+    tweets = JsonFormat().decode(
+        ipl.tweets_json(count=1000, seed=7), schema
+    )
+    platform = Platform()
+    dashboard = platform.create_dashboard(
+        "ipl",
+        IPL_PROCESSING_FLOW,
+        inline_tables={
+            "ipltweets": tweets,
+            "dim_teams": ipl.dim_teams_table(),
+            "team_players": ipl.team_players_table(),
+            "lat_long": ipl.lat_long_table(),
+        },
+        dictionaries=ipl.dictionaries(),
+    )
+
+    run_report = benchmark(dashboard.run_flows, "local")
+    assert len(run_report.published) == 6
+    report(
+        "fig17_ipl_run",
+        f"Appendix A.1 pipeline: 9 flows over 1000 tweets, "
+        f"{run_report.rows_produced} rows materialized, "
+        f"6 shared objects published in "
+        f"{run_report.seconds * 1000:.1f} ms",
+    )
+
+
+def test_fig30_adhoc_rest_query(benchmark, apache_dashboard):
+    """Fig. 30: /ds/<name>/groupby/<col>/<agg>/<col> over WSGI."""
+    platform, _dashboard = apache_dashboard
+    app = ShareInsightsApp(platform)
+
+    def query():
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+
+        body = b"".join(
+            app(
+                {
+                    "REQUEST_METHOD": "GET",
+                    "PATH_INFO": (
+                        "/dashboards/apache/ds/project_activity"
+                        "/groupby/technology/count/project"
+                    ),
+                    "QUERY_STRING": "",
+                    "wsgi.input": io.BytesIO(b""),
+                },
+                start_response,
+            )
+        )
+        assert captured["status"] == "200 OK"
+        return json.loads(body)
+
+    payload = benchmark(query)
+    counts = {
+        r["technology"]: r["project"] for r in payload["rows"]
+    }
+    assert counts["big data"] == 5 * len(apache.YEARS)
+
+
+def test_hackathon_simulation_cost(benchmark):
+    """How long a full small-scale Race2Insights replay takes."""
+    from repro.hackathon import run_hackathon
+
+    result = benchmark.pedantic(
+        run_hackathon,
+        kwargs={"num_teams": 8, "seed": 11},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.teams) == 8

@@ -1,0 +1,84 @@
+"""Interactive data-cube latency — the widget-interaction path.
+
+Context for §3.5.1's event-handler-free interaction model: a user
+gesture costs one cube query (filter + group over the endpoint payload),
+amortized by the gesture cache.  Expected shape: cold queries scale with
+payload size; repeated gestures are near-free (cache hits).
+"""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.engine.datacube import DataCube
+from repro.tasks.base import WidgetSelection
+from repro.tasks.registry import default_task_registry
+
+SIZES = [1_000, 10_000, 50_000]
+
+
+def endpoint(n):
+    return Table.from_rows(
+        Schema.of("team", "date", "noOfTweets"),
+        [
+            (f"T{i % 9}", f"2013-05-{(i % 26) + 2:02d}", i % 500)
+            for i in range(n)
+        ],
+    )
+
+
+def pipeline():
+    registry = default_task_registry()
+    tasks = registry.build_section(
+        {
+            "filter_by_team": {
+                "type": "filter_by",
+                "filter_by": ["team"],
+                "filter_source": "W.teams",
+                "filter_val": ["text"],
+            },
+            "aggregate": {
+                "type": "groupby",
+                "groupby": ["team"],
+                "aggregates": [
+                    {
+                        "operator": "sum",
+                        "apply_on": "noOfTweets",
+                        "out_field": "noOfTweets",
+                    }
+                ],
+            },
+        }
+    )
+    return [tasks["filter_by_team"], tasks["aggregate"]]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_cold_gesture_latency(benchmark, size):
+    cube = DataCube("bench", endpoint(size))
+    tasks = pipeline()
+    counter = iter(range(10**9))
+
+    def gesture():
+        # A fresh selection each round: always a cache miss.
+        i = next(counter)
+        selection = {
+            "teams": WidgetSelection(
+                values={"text": [f"T{i % 9}", f"T{(i + 1) % 9}"]}
+            )
+        }
+        return cube.query(tasks, selection)
+
+    out = benchmark(gesture)
+    assert out.num_rows <= 9
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_repeated_gesture_cached(benchmark, size):
+    cube = DataCube("bench", endpoint(size))
+    tasks = pipeline()
+    selection = {"teams": WidgetSelection(values={"text": ["T1"]})}
+    cube.query(tasks, selection)  # warm
+
+    out = benchmark(cube.query, tasks, selection)
+    assert out.num_rows == 1
+    assert cube.stats.hit_rate > 0.9

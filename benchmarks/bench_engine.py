@@ -1,0 +1,70 @@
+"""Engine throughput context: groupby / join / topn scaling.
+
+Not a paper figure — context numbers for the substrate the reproduction
+runs on (DESIGN.md perf-engine), so regressions in the relational core
+are visible.  Expected shape: near-linear scaling in input size for all
+three operators, and the distributed engine within a small constant of
+the local one at these scales (its value is the shuffle telemetry, not
+speed).
+"""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.tasks.base import TaskContext
+from repro.tasks.groupby import GroupByTask
+from repro.tasks.join import JoinTask
+from repro.tasks.topn import TopNTask
+
+SIZES = [1_000, 10_000, 50_000]
+
+
+def fact(n):
+    return Table.from_rows(
+        Schema.of("k", "v"),
+        [(f"key{i % 100}", i) for i in range(n)],
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_groupby_scaling(benchmark, size):
+    table = fact(size)
+    task = GroupByTask(
+        "g",
+        {
+            "groupby": ["k"],
+            "aggregates": [
+                {"operator": "sum", "apply_on": "v", "out_field": "s"}
+            ],
+        },
+    )
+    out = benchmark(task.apply, [table], TaskContext())
+    assert out.num_rows == 100
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_join_scaling(benchmark, size):
+    left = fact(size)
+    right = Table.from_rows(
+        Schema.of("k", "w"), [(f"key{i}", i * 10) for i in range(100)]
+    )
+    task = JoinTask(
+        "j",
+        {"left": "l by k", "right": "r by k",
+         "join_condition": "left outer"},
+    )
+    context = TaskContext()
+    context.input_names = ["l", "r"]
+    out = benchmark(task.apply, [left, right], context)
+    assert out.num_rows == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_topn_scaling(benchmark, size):
+    table = fact(size)
+    task = TopNTask(
+        "t",
+        {"groupby": ["k"], "orderby_column": ["v DESC"], "limit": 3},
+    )
+    out = benchmark(task.apply, [table], TaskContext())
+    assert out.num_rows == 300

@@ -1,0 +1,110 @@
+"""Environment adaptation (paper §4.1).
+
+"Screen Resolution ... Client Computing Resources ... These constraints
+influence what analysis can be displayed meaningfully and the platform
+needs to choose the appropriate representation and execution engine."
+
+Measures the three adaptation decisions on one large dashboard: the
+endpoint payload shipped per client profile, the engine chosen per input
+size, and the grid reshaping.  Expected shape: payload bytes and grid
+density fall monotonically from desktop to mobile; the engine switches
+to the simulated cluster past the size threshold.
+"""
+
+from repro import EnvironmentProfile, Platform
+from repro.data import Schema, Table
+
+from benchmarks.conftest import report
+
+FLOW = (
+    "D:\n    raw: [k, v, note]\n    out: [k, v, note]\n"
+    "F:\n    D.out: D.raw | T.keep\n"
+    "    D.out:\n        endpoint: true\n"
+    "T:\n"
+    "    keep:\n"
+    "        type: filter_by\n"
+    "        filter_expression: v >= 0\n"
+    "W:\n"
+    "    grid:\n"
+    "        type: DataGrid\n"
+    "        source: D.out\n"
+    "L:\n    rows:\n    - [span12: W.grid]\n"
+)
+
+
+def _raw(n):
+    return Table.from_rows(
+        Schema.of("k", "v", "note"),
+        [(f"k{i}", i, "x" * 30) for i in range(n)],
+    )
+
+
+PROFILES = {
+    "desktop": EnvironmentProfile.desktop(),
+    "laptop": EnvironmentProfile.laptop(),
+    "mobile": EnvironmentProfile.mobile(),
+}
+
+
+def _payload_bytes(profile: EnvironmentProfile) -> int:
+    platform = Platform()
+    platform.create_dashboard(
+        "d", FLOW, inline_tables={"raw": _raw(30_000)},
+        environment=profile,
+    )
+    platform.run_dashboard("d")
+    dashboard = platform.get_dashboard("d")
+    return dashboard.endpoint("out").estimated_bytes()
+
+
+def test_environment_payload_caps(benchmark):
+    mobile = benchmark(_payload_bytes, PROFILES["mobile"])
+    laptop = _payload_bytes(PROFILES["laptop"])
+    desktop = _payload_bytes(PROFILES["desktop"])
+    assert mobile < laptop <= desktop
+    report(
+        "environment_payloads",
+        "Environment adaptation (§4.1): endpoint payload per client\n"
+        f"desktop: {desktop} bytes\n"
+        f"laptop : {laptop} bytes\n"
+        f"mobile : {mobile} bytes "
+        f"({desktop / mobile:.0f}x smaller than desktop)",
+    )
+
+
+def test_environment_engine_choice(benchmark):
+    def run_both():
+        small = Platform()
+        small.create_dashboard(
+            "s", FLOW, inline_tables={"raw": _raw(1_000)}
+        )
+        small_engine = small.run_dashboard("s").engine
+        big = Platform()
+        big.create_dashboard(
+            "b", FLOW, inline_tables={"raw": _raw(60_000)}
+        )
+        big_engine = big.run_dashboard("b").engine
+        return small_engine, big_engine
+
+    small_engine, big_engine = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    assert small_engine == "local"
+    assert big_engine == "distributed"
+    report(
+        "environment_engines",
+        "Engine selection: 1k rows -> local; 60k rows -> distributed "
+        "(simulated cluster)",
+    )
+
+
+def test_environment_grid_reshaping(benchmark):
+    def spans():
+        return {
+            name: profile.effective_span(4)
+            for name, profile in PROFILES.items()
+        }
+
+    result = benchmark(spans)
+    assert result["desktop"] == 4
+    assert result["mobile"] == 12  # full-width stacking

@@ -1,0 +1,47 @@
+"""Fig. 31 — platform usage: popular operators and widgets.
+
+Paper: a dashboard of "the popular operators and widgets" built from the
+hackathon's run telemetry.  Expected shape: core relational operators
+(groupby, filter) and core chart widgets dominate.
+
+Regenerates both series from the 52-team simulation's telemetry and
+times the aggregation (the paper's own §5.2.1 dashboards ran exactly
+this computation over the logs).
+"""
+
+from repro.hackathon import analysis
+
+from benchmarks.conftest import report
+
+
+def test_fig31_operator_usage(benchmark, hackathon_result):
+    usage = benchmark(analysis.fig31_operator_usage, hackathon_result)
+    # Paper shape: groupby and filter_by lead the histogram.
+    ranked = list(usage)
+    assert ranked[0] == "groupby"
+    assert "filter_by" in ranked[:3]
+    report(
+        "fig31_operators",
+        analysis.ascii_bar_chart(
+            usage, "Fig. 31a - popular operators (uses across all runs)"
+        ),
+    )
+
+
+def test_fig31_widget_usage(benchmark, hackathon_result):
+    usage = benchmark(analysis.fig31_widget_usage, hackathon_result)
+    ranked = list(usage)
+    assert ranked[0] in ("Bar", "Pie")  # core charts dominate
+    report(
+        "fig31_widgets",
+        analysis.ascii_bar_chart(
+            usage, "Fig. 31b - popular widgets (uses across all runs)"
+        ),
+    )
+
+
+def test_fig31_custom_tasks_appear(benchmark, hackathon_result):
+    """§5.2 obs. 2: user-defined tasks show up in the usage dashboard
+    on par with platform tasks."""
+    usage = benchmark(analysis.fig31_operator_usage, hackathon_result)
+    assert "predict_resolution" in usage

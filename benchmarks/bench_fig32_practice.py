@@ -1,0 +1,47 @@
+"""Fig. 32 — "Does practice matter?"
+
+Paper: practice runs vs competition runs per team, with the finalists
+{5,9,12,18,33,35,41} and winners {12,18,33} highlighted.  Expected
+shape: a clear positive relationship, finalists/winners clustered at
+high practice counts.
+"""
+
+from repro.hackathon import analysis
+
+from benchmarks.conftest import report
+
+
+def test_fig32_series(benchmark, hackathon_result):
+    points = benchmark(
+        analysis.fig32_practice_series, hackathon_result
+    )
+    assert len(points) == 52
+    lines = [analysis.ascii_scatter(points), ""]
+    lines.append("team, practice_runs, competition_runs, finalist, winner")
+    for point in points:
+        lines.append(
+            f"{point.team}, {point.practice_runs}, "
+            f"{point.competition_runs}, "
+            f"{'F' if point.is_finalist else '-'}, "
+            f"{'W' if point.is_winner else '-'}"
+        )
+    report("fig32_practice", "\n".join(lines))
+
+
+def test_fig32_correlation(benchmark, hackathon_result):
+    corr = benchmark(analysis.fig32_correlation, hackathon_result)
+    # Paper shape: practice matters.
+    assert corr["pearson_practice_vs_competition_runs"] > 0.4
+    assert corr["pearson_practice_vs_score"] > 0.2
+    assert corr["finalist_practice_advantage"] > 1.0
+    report(
+        "fig32_correlation",
+        "Fig. 32 correlations\n"
+        + "\n".join(f"{k}: {v}" for k, v in corr.items()),
+    )
+
+
+def test_fig32_winners_are_finalists(benchmark, hackathon_result):
+    result = benchmark(lambda r: r.winners, hackathon_result)
+    assert len(result) == 3
+    assert all(w.is_finalist for w in result)

@@ -1,0 +1,55 @@
+"""Fig. 35 — "Fork to go": flow-file size per team at competition start.
+
+Paper: every team forked an existing (help or sample) dashboard rather
+than starting from an empty file; the figure shows each team's flow-file
+size in bytes at the start of the competition.  Expected shape: all
+sizes well above zero, clustered around the sample dashboards' sizes.
+"""
+
+import statistics
+
+from repro.hackathon import analysis
+
+from benchmarks.conftest import report
+
+
+def test_fig35_fork_sizes(benchmark, hackathon_result):
+    sizes = benchmark(analysis.fig35_fork_sizes, hackathon_result)
+    assert len(sizes) == 52
+    # Paper shape: nobody starts from zero bytes.
+    assert min(sizes.values()) > 300
+    spread = statistics.pstdev(sizes.values())
+    mean = statistics.mean(sizes.values())
+    lines = [
+        analysis.ascii_bar_chart(
+            sizes,
+            "Fig. 35 - fork to go (flow-file bytes at competition start)",
+            limit=52,
+        ),
+        f"\nmean={mean:.0f} bytes, stdev={spread:.0f} bytes",
+    ]
+    report("fig35_fork_sizes", "\n".join(lines))
+
+
+def test_fig35_matches_repository_lineage(benchmark, hackathon_result):
+    """Every competition dashboard's fork origin is a sample dashboard."""
+
+    def origins(result):
+        repo = result.platform.repository
+        return {
+            team.name: repo.fork_origin(team.dashboard)
+            for team in result.teams
+        }
+
+    lineage = benchmark(origins, hackathon_result)
+    assert all(
+        origin is not None and origin.startswith("sample_")
+        for origin in lineage.values()
+    )
+
+
+def test_fig35_telemetry_consistency(benchmark, hackathon_result):
+    from_telemetry = benchmark(
+        analysis.fig35_from_telemetry, hackathon_result
+    )
+    assert from_telemetry == analysis.fig35_fork_sizes(hackathon_result)

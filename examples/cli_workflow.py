@@ -1,0 +1,121 @@
+"""The headless CLI workflow: flow files + data files on disk.
+
+Everything in the other examples goes through the Python API with
+in-memory tables; this one works the way a scripted deployment would —
+a flow file and CSV data in a directory, driven entirely through the
+``python -m repro`` CLI (validate → explain → run → render), with the
+endpoint exported back to CSV.
+
+Run with:  python examples/cli_workflow.py
+"""
+
+import io
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+from repro.cli import main
+from repro.formats import CsvFormat
+from repro.workloads import apache
+
+FLOW = """\
+# Apache check-in summary, file-based end to end
+D:
+    svn_jira_summary: [project, year, noOfBugs, noOfCheckins, noOfEmailsTotal]
+    project_totals: [project, total_checkins, total_bugs]
+D.svn_jira_summary:
+    source: svn_jira_summary.csv
+    format: csv
+F:
+    D.project_totals: D.svn_jira_summary | T.totals | T.rank
+    D.project_totals:
+        endpoint: true
+T:
+    totals:
+        type: groupby
+        groupby: [project]
+        aggregates:
+            - operator: sum
+              apply_on: noOfCheckins
+              out_field: total_checkins
+            - operator: sum
+              apply_on: noOfBugs
+              out_field: total_bugs
+    rank:
+        type: sort
+        orderby_column: [total_checkins DESC]
+W:
+    totals_bar:
+        type: Bar
+        source: D.project_totals
+        x: project
+        y: total_checkins
+L:
+    description: Check-in totals
+    rows:
+    - [span12: W.totals_bar]
+"""
+
+
+def run_cli(*argv) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(list(argv))
+    return code, out.getvalue(), err.getvalue()
+
+
+def main_example() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        workspace = Path(tmp)
+        # Lay down the workspace: flow file + CSV data (the data
+        # folder of §4.3.2).
+        (workspace / "dash.flow").write_text(FLOW, encoding="utf-8")
+        payload = CsvFormat().encode(apache.svn_jira_summary_table())
+        (workspace / "svn_jira_summary.csv").write_bytes(payload)
+        flow_path = str(workspace / "dash.flow")
+
+        print("$ python -m repro validate dash.flow")
+        code, out, _err = run_cli("validate", flow_path)
+        print(f"  -> exit {code}: {out.strip()}")
+
+        print("\n$ python -m repro explain dash.flow --data .")
+        _code, out, _err = run_cli(
+            "explain", flow_path, "--data", str(workspace)
+        )
+        for line in out.splitlines()[:8]:
+            print(f"  {line}")
+
+        print("\n$ python -m repro run dash.flow --data . "
+              "--endpoint project_totals")
+        _code, out, err = run_cli(
+            "run", flow_path, "--data", str(workspace),
+            "--endpoint", "project_totals",
+        )
+        print(f"  {err.strip()}")
+        for line in out.splitlines()[:6]:
+            print(f"  {line}")
+        print("  ...")
+
+        print("\n$ python -m repro render dash.flow --data . -o dash.html")
+        _code, _out, err = run_cli(
+            "render", flow_path, "--data", str(workspace),
+            "-o", str(workspace / "dash.html"),
+        )
+        html = (workspace / "dash.html").read_text(encoding="utf-8")
+        print(f"  {err.strip()} ({len(html)} chars of HTML)")
+
+        # A broken edit fails validation with a pin-pointed line.
+        broken = FLOW.replace("apply_on: noOfBugs", "apply_on: noOfBugz")
+        (workspace / "broken.flow").write_text(broken, encoding="utf-8")
+        print("\n$ python -m repro validate broken.flow")
+        code, out, _err = run_cli(
+            "validate", str(workspace / "broken.flow")
+        )
+        print(f"  -> exit {code}")
+        for line in out.splitlines():
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main_example()

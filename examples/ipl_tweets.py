@@ -1,0 +1,79 @@
+"""The IPL tweet-analysis flow-file group (paper §3.7, Appendix A).
+
+Demonstrates data sharing across dashboards:
+
+1. a *data-processing* dashboard ingests raw tweets (hierarchical JSON
+   with ``=>`` payload mappings), normalizes dates, extracts players,
+   teams and locations with dictionaries, and publishes six shared data
+   objects;
+2. a *consumption* dashboard — no flows at all — builds the interactive
+   "Clash of Titans" dashboard (Fig. 17) purely from the shared objects:
+   a team list and date slider filtering a streamgraph, word clouds in
+   tabs, and a map of team popularity by city.
+
+Run with:  python examples/ipl_tweets.py
+Writes HTML to examples/output/ipl_dashboard.html
+"""
+
+from pathlib import Path
+
+from repro import Platform
+from repro.formats import JsonFormat
+from repro.dsl import parse_flow_file
+from repro.workloads import IPL_CONSUMPTION_FLOW, IPL_PROCESSING_FLOW, ipl
+
+OUTPUT = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    platform = Platform()
+
+    # --- processing dashboard (Appendix A.1) ---------------------------
+    schema = parse_flow_file(IPL_PROCESSING_FLOW).data["ipltweets"].schema
+    tweets = JsonFormat().decode(ipl.tweets_json(count=3000, seed=7), schema)
+    print(f"ingested {tweets.num_rows} raw tweets, "
+          f"columns {tweets.schema.names}")
+
+    platform.create_dashboard(
+        "ipl_processing",
+        IPL_PROCESSING_FLOW,
+        inline_tables={
+            "ipltweets": tweets,
+            "dim_teams": ipl.dim_teams_table(),
+            "team_players": ipl.team_players_table(),
+            "lat_long": ipl.lat_long_table(),
+        },
+        dictionaries=ipl.dictionaries(),
+    )
+    report = platform.run_dashboard("ipl_processing")
+    print(f"processing ran: published {report.published}")
+    print("shared catalog now holds:", platform.catalog.names())
+
+    # --- consumption dashboard (Appendix A.2) ---------------------------
+    dashboard = platform.create_dashboard(
+        "clash_of_titans", IPL_CONSUMPTION_FLOW
+    )
+    dashboard.run_flows()  # no flows: binds widgets to shared objects
+    print("\n=== Clash of Titans (all teams, full season) ===")
+    print(dashboard.render().text)
+
+    # Interactions (§3.5.1): pick two teams, then narrow the date range.
+    print("\n=== select CSK and MI in the team list ===")
+    dashboard.select("teams", values=["CSK", "MI"])
+    print(dashboard.widget_view("relativeteamtweets").text)
+    print(dashboard.widget_view("regiontweets").text)
+
+    print("\n=== narrow the date slider to May 10-15 ===")
+    dashboard.select(
+        "ipl_duration", value_range=("2013-05-10", "2013-05-15")
+    )
+    print(dashboard.widget_view("playertweets").text)
+
+    OUTPUT.mkdir(exist_ok=True)
+    html_path = OUTPUT / "ipl_dashboard.html"
+    html_path.write_text(dashboard.render().html, encoding="utf-8")
+    print(f"\nwrote {html_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Drive the platform through its REST API (paper §4.3.1, §4.4).
+
+Starts the WSGI server on a loopback port, then exercises the paper's
+REST surface with plain HTTP: dashboard creation from flow-file text,
+execution, endpoint listing (Fig. 27), endpoint data (Fig. 28), the
+ad-hoc query language (Fig. 30), and the data explorer (Fig. 29).
+
+Run with:  python examples/rest_api.py
+"""
+
+import json
+import threading
+import urllib.request
+
+from repro import Platform
+from repro.server import serve
+
+FLOW_FILE = """
+D:
+    projects: [project, category, stars]
+    category_counts: [category, project]
+
+F:
+    D.category_counts: D.projects | T.count_by_category
+    D.category_counts:
+        endpoint: true
+
+T:
+    count_by_category:
+        type: groupby
+        groupby: [category]
+        aggregates:
+            - operator: count
+              out_field: project
+"""
+
+
+def main() -> None:
+    from repro.data import Schema, Table
+
+    platform = Platform()
+    server = serve(platform, port=0)  # pick a free port
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{port}"
+    print(f"ShareInsights REST API listening on {base}\n")
+
+    def post(path: str, body: str = "") -> dict:
+        request = urllib.request.Request(
+            base + path, data=body.encode("utf-8"), method="POST"
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def get(path: str) -> bytes:
+        with urllib.request.urlopen(base + path) as response:
+            return response.read()
+
+    # Create (the /dashboards/<name>/create URL of §4.3.1).
+    print("POST /dashboards/projects/create")
+    print(" ", post("/dashboards/projects/create", FLOW_FILE))
+
+    # Supply the data programmatically, then run.
+    platform.get_dashboard("projects")._inline_tables["projects"] = (
+        Table.from_rows(
+            Schema.of("project", "category", "stars"),
+            [
+                ("hadoop", "big data", 900),
+                ("spark", "big data", 1200),
+                ("kafka", "streaming", 800),
+                ("storm", "streaming", 300),
+                ("lucene", "search", 500),
+            ],
+        )
+    )
+    print("POST /dashboards/projects/run")
+    print(" ", post("/dashboards/projects/run"))
+
+    # Fig. 27: endpoint data names.
+    print("\nGET /dashboards/projects/ds")
+    print(" ", json.loads(get("/dashboards/projects/ds")))
+
+    # Fig. 28: browse endpoint data.
+    print("\nGET /dashboards/projects/ds/category_counts")
+    print(" ", json.loads(get("/dashboards/projects/ds/category_counts")))
+
+    # Fig. 30: ad-hoc query (count of items in each category).
+    path = "/dashboards/projects/ds/category_counts/orderby/project/desc"
+    print(f"\nGET {path}")
+    print(" ", json.loads(get(path)))
+
+    # Fig. 29: the data explorer (headless tabular view).
+    print("\nGET /dashboards/projects/explorer  (first 200 chars)")
+    print(" ", get("/dashboards/projects/explorer")[:200].decode())
+
+    server.shutdown()
+    print("\nserver stopped")
+
+
+if __name__ == "__main__":
+    main()

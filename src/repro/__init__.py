@@ -1,0 +1,64 @@
+"""ShareInsights reproduction — unified full-stack data processing.
+
+A faithful, dependency-light Python reproduction of *ShareInsights: An
+Unified Approach to Full-stack Data Processing* (SIGMOD 2015): the flow
+file DSL, its compiler, batch + interactive execution engines, the widget
+and layout system, REST services, and the collaboration model.
+
+Quickstart::
+
+    from repro import Platform
+
+    platform = Platform()
+    dashboard = platform.create_dashboard("demo", FLOW_FILE_TEXT)
+    platform.run_dashboard("demo")
+    print(dashboard.render().text)
+
+See ``examples/`` for complete dashboards (the paper's Apache and IPL
+pipelines) and ``DESIGN.md`` for the architecture map.
+"""
+
+from repro.data import Column, ColumnType, Schema, Table
+from repro.dsl import (
+    FlowFile,
+    parse_flow_file,
+    serialize_flow_file,
+    validate_flow_file,
+)
+from repro.compiler import (
+    FlowCompiler,
+    generate_cube_spec,
+    generate_pig_script,
+)
+from repro.dashboard import Dashboard, EnvironmentProfile
+from repro.platform import Platform, PlatformEvent
+from repro.collab import FlowFileRepository, SharedDataCatalog
+from repro.dsl.diagnostics import diagnose
+from repro.dashboard.profiler import profile_table
+from repro.errors import ShareInsightsError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "FlowFile",
+    "parse_flow_file",
+    "serialize_flow_file",
+    "validate_flow_file",
+    "FlowCompiler",
+    "generate_pig_script",
+    "generate_cube_spec",
+    "Dashboard",
+    "EnvironmentProfile",
+    "Platform",
+    "PlatformEvent",
+    "FlowFileRepository",
+    "SharedDataCatalog",
+    "diagnose",
+    "profile_table",
+    "ShareInsightsError",
+    "__version__",
+]

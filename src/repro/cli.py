@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+The paper's platform is browser-first (§4.3.1); this CLI covers the
+headless workflows — validating, running, rendering and serving flow
+files — so pipelines can live in scripts and CI:
+
+    python -m repro validate dashboard.flow
+    python -m repro run dashboard.flow --data ./data --endpoint out
+    python -m repro render dashboard.flow --data ./data -o dash.html
+    python -m repro explain dashboard.flow --data ./data
+    python -m repro serve dashboard.flow --data ./data --port 8350
+
+Data objects resolve through their flow-file source configuration,
+relative to ``--data`` (the dashboard's data folder, §4.3.2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.dsl.diagnostics import diagnose
+from repro.errors import ShareInsightsError
+from repro.platform import Platform
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ShareInsights flow-file tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("flow_file", help="path to the flow file")
+        sub.add_argument(
+            "--data",
+            default=".",
+            help="dashboard data directory (default: cwd)",
+        )
+        sub.add_argument(
+            "--name", default=None, help="dashboard name"
+        )
+
+    validate = commands.add_parser(
+        "validate", help="parse + validate, with pin-pointed errors"
+    )
+    validate.add_argument("flow_file")
+
+    run = commands.add_parser("run", help="execute the flows")
+    add_common(run)
+    run.add_argument(
+        "--engine",
+        choices=["local", "distributed"],
+        default=None,
+        help="engine (default: chosen by input size)",
+    )
+    run.add_argument(
+        "--endpoint",
+        default=None,
+        help="print this endpoint's rows as JSON after the run",
+    )
+
+    render = commands.add_parser(
+        "render", help="run + render the dashboard"
+    )
+    add_common(render)
+    render.add_argument(
+        "-o", "--output", default=None, help="write HTML here"
+    )
+
+    explain = commands.add_parser(
+        "explain", help="show the compiled plan and bottlenecks"
+    )
+    add_common(explain)
+
+    serve = commands.add_parser(
+        "serve", help="serve the REST API with this dashboard loaded"
+    )
+    add_common(serve)
+    serve.add_argument("--port", type=int, default=8350)
+
+    return parser
+
+
+def _load(args) -> tuple[Platform, str]:
+    source = Path(args.flow_file).read_text(encoding="utf-8")
+    name = args.name or Path(args.flow_file).stem
+    platform = Platform()
+    platform.create_dashboard(name, source, data_dir=args.data)
+    return platform, name
+
+
+def _cmd_validate(args) -> int:
+    source = Path(args.flow_file).read_text(encoding="utf-8")
+    report = diagnose(source)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_run(args) -> int:
+    platform, name = _load(args)
+    report = platform.run_dashboard(name, engine=args.engine)
+    print(
+        f"ran {name!r} on the {report.engine} engine in "
+        f"{report.seconds * 1000:.1f} ms; "
+        f"{report.rows_produced} rows produced; "
+        f"endpoints: {', '.join(report.endpoints) or '-'}",
+        file=sys.stderr,
+    )
+    if args.endpoint:
+        table = platform.get_dashboard(name).endpoint(args.endpoint)
+        json.dump(table.to_records(), sys.stdout, default=str, indent=2)
+        print()
+    return 0
+
+
+def _cmd_render(args) -> int:
+    platform, name = _load(args)
+    platform.run_dashboard(name)
+    view = platform.get_dashboard(name).render()
+    if args.output:
+        Path(args.output).write_text(view.html, encoding="utf-8")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(view.text)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    platform, name = _load(args)
+    dashboard = platform.get_dashboard(name)
+    print("== logical plan ==")
+    print(dashboard.compiled.plan.describe())
+    if dashboard.compiled.optimization.notes:
+        print("== optimizations ==")
+        for note in dashboard.compiled.optimization.notes:
+            print(f"  {note}")
+    platform.run_dashboard(name)
+    print("== bottlenecks ==")
+    print(dashboard.bottleneck_report())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import serve
+
+    platform, name = _load(args)
+    platform.run_dashboard(name)
+    server = serve(platform, port=args.port)
+    print(
+        f"serving {name!r} on http://127.0.0.1:{args.port}/dashboards",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+_COMMANDS = {
+    "validate": _cmd_validate,
+    "run": _cmd_run,
+    "render": _cmd_render,
+    "explain": _cmd_explain,
+    "serve": _cmd_serve,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ShareInsightsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Collaboration services (paper §4.5).
+
+Three mechanisms: the DVCS-style branch-and-merge model over flow-file
+text (:mod:`repro.collab.repo`, :mod:`repro.collab.merge`), the shared
+data-object catalog behind ``publish:``/``endpoint:`` (:mod:`
+repro.collab.catalog`), and flow-file groups emerging from the two.
+"""
+
+from repro.collab.catalog import PublishedObject, SharedDataCatalog
+from repro.collab.repo import Commit, FlowFileRepository
+from repro.collab.merge import merge_flow_files
+
+__all__ = [
+    "PublishedObject",
+    "SharedDataCatalog",
+    "Commit",
+    "FlowFileRepository",
+    "merge_flow_files",
+]

@@ -1,0 +1,120 @@
+"""Shared data-object catalog (paper §3.4.1, §4.5.3).
+
+A data object published with ``publish: <name>`` becomes available to
+*other* dashboards by that name: "Other dashboards can use this data
+object by name without having to configure it in their own dashboards.
+(The platform searches for this data object - in the shared objects
+list - when referenced in another dashboard)".
+
+The catalog records which dashboard produced each object and counts
+consumer resolutions — the bookkeeping behind the sharing ablation
+benchmark (recomputing a cleaning pipeline per consumer vs publishing it
+once).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.data import Schema, Table
+from repro.errors import CatalogError
+
+
+@dataclass
+class PublishedObject:
+    """One shared data object."""
+
+    name: str
+    table: Table
+    owner: str
+    #: local data-object name inside the producing dashboard
+    source_object: str
+    published_at: float = field(default_factory=time.time)
+    resolutions: int = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+
+class SharedDataCatalog:
+    """The platform-wide list of published data objects."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, PublishedObject] = {}
+
+    def publish(
+        self,
+        name: str,
+        table: Table,
+        owner: str,
+        source_object: str = "",
+    ) -> PublishedObject:
+        """Publish (or refresh) a shared object.
+
+        Re-publishing under the same name by the same owner replaces the
+        data (a flow re-ran); a different owner is a conflict.
+        """
+        existing = self._objects.get(name)
+        if existing is not None and existing.owner != owner:
+            raise CatalogError(
+                f"shared object {name!r} is already published by "
+                f"{existing.owner!r}"
+            )
+        obj = PublishedObject(
+            name=name,
+            table=table,
+            owner=owner,
+            source_object=source_object or name,
+        )
+        if existing is not None:
+            obj.resolutions = existing.resolutions
+        self._objects[name] = obj
+        return obj
+
+    def resolve(self, name: str) -> Table:
+        obj = self._objects.get(name)
+        if obj is None:
+            raise CatalogError(
+                f"no shared data object {name!r}; "
+                f"published: {sorted(self._objects)}"
+            )
+        obj.resolutions += 1
+        return obj.table
+
+    def schema(self, name: str) -> Schema:
+        obj = self._objects.get(name)
+        if obj is None:
+            raise CatalogError(f"no shared data object {name!r}")
+        return obj.schema
+
+    def schemas(self) -> dict[str, Schema]:
+        """All published schemas (fed to the validator/compiler)."""
+        return {name: obj.schema for name, obj in self._objects.items()}
+
+    def unpublish(self, name: str, owner: str) -> None:
+        obj = self._objects.get(name)
+        if obj is None:
+            raise CatalogError(f"no shared data object {name!r}")
+        if obj.owner != owner:
+            raise CatalogError(
+                f"shared object {name!r} belongs to {obj.owner!r}"
+            )
+        del self._objects[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._objects
+
+    def names(self) -> list[str]:
+        return sorted(self._objects)
+
+    def entries(self) -> list[PublishedObject]:
+        return [self._objects[name] for name in self.names()]
+
+    def flow_file_group(self) -> dict[str, list[str]]:
+        """Producer dashboard → published object names (§4.5.3 groups)."""
+        groups: dict[str, list[str]] = {}
+        for obj in self._objects.values():
+            groups.setdefault(obj.owner, []).append(obj.name)
+        return {owner: sorted(names) for owner, names in groups.items()}

@@ -1,0 +1,95 @@
+"""Shared-data-set discovery (paper §6).
+
+"Since data is published on the platform, it potentially allows for
+discovery of data-sets to enrich an existing data pipeline.  This is an
+important feature [Bizer et al.; Morton et al.]."
+
+:func:`suggest_enrichments` ranks the catalog's published objects by how
+naturally they join against a given schema: shared column names are
+join-key candidates, and the *new* columns an object would contribute
+measure its enrichment value.  :func:`suggest_join_task` goes one step
+further and emits a ready-to-paste ``T:`` section entry for the best
+candidate — discovery to working pipeline in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collab.catalog import SharedDataCatalog
+from repro.data import Schema
+
+
+@dataclass
+class EnrichmentSuggestion:
+    """One ranked discovery result."""
+
+    name: str
+    owner: str
+    #: columns usable as join keys (present in both schemas)
+    join_keys: list[str] = field(default_factory=list)
+    #: columns the published object would add
+    new_columns: list[str] = field(default_factory=list)
+    score: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (from {self.owner}): join on "
+            f"{', '.join(self.join_keys)} to gain "
+            f"{', '.join(self.new_columns) or 'nothing new'}"
+        )
+
+
+def suggest_enrichments(
+    catalog: SharedDataCatalog,
+    schema: Schema,
+    exclude_owner: str | None = None,
+    limit: int = 5,
+) -> list[EnrichmentSuggestion]:
+    """Published objects that can enrich a pipeline with ``schema``.
+
+    Score = join-key plausibility × information gain: an object needs at
+    least one shared column to join on, and scores higher the more new
+    columns it contributes (diminishing per shared column beyond the
+    first, since many shared columns usually mean near-duplicate data).
+    """
+    own = set(schema.names)
+    suggestions: list[EnrichmentSuggestion] = []
+    for entry in catalog.entries():
+        if exclude_owner is not None and entry.owner == exclude_owner:
+            continue
+        other = entry.schema.names
+        join_keys = [c for c in other if c in own]
+        if not join_keys:
+            continue
+        new_columns = [c for c in other if c not in own]
+        if not new_columns:
+            continue
+        score = len(new_columns) / (1 + 0.5 * (len(join_keys) - 1))
+        suggestions.append(
+            EnrichmentSuggestion(
+                name=entry.name,
+                owner=entry.owner,
+                join_keys=join_keys,
+                new_columns=new_columns,
+                score=round(score, 4),
+            )
+        )
+    suggestions.sort(key=lambda s: (-s.score, s.name))
+    return suggestions[:limit]
+
+
+def suggest_join_task(
+    suggestion: EnrichmentSuggestion, left_object: str
+) -> str:
+    """A ready-to-paste ``T:`` entry joining ``left_object`` with the
+    suggested published object."""
+    key = suggestion.join_keys[0]
+    task_name = f"enrich_with_{suggestion.name}"
+    return (
+        f"{task_name}:\n"
+        f"    type: join\n"
+        f"    left: {left_object} by {key}\n"
+        f"    right: {suggestion.name} by {key}\n"
+        f"    join_condition: left outer\n"
+    )

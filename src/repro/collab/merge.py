@@ -1,0 +1,213 @@
+"""Section-aware three-way merge of flow files.
+
+"Since the flow file has clearly demarcated sections, the anxieties with
+merging and repeated branching should be significantly lower" (paper
+§4.5.1).  This merge exploits exactly that structure: instead of textual
+line merging, entries are merged per section — data objects by name,
+tasks by name, flows by output, widgets by name — with classic three-way
+rules per entry:
+
+* changed on one side only → take the change,
+* changed identically on both → take it,
+* added on one side → keep it,
+* changed differently on both sides → conflict (reported with the
+  section and entry name, never a raw diff hunk).
+
+The merged file is re-serialized canonically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+from repro.dsl.ast_nodes import DataObject, FlowFile, FlowSpec
+from repro.dsl.parser import parse_flow_file
+from repro.dsl.serializer import serialize_flow_file
+from repro.errors import MergeConflictError
+
+T = TypeVar("T")
+
+
+def merge_flow_files(base: str, ours: str, theirs: str) -> str:
+    """Merge two descendants of ``base``; returns merged flow-file text."""
+    base_ff = parse_flow_file(base) if base.strip() else FlowFile()
+    ours_ff = parse_flow_file(ours)
+    theirs_ff = parse_flow_file(theirs)
+
+    conflicts: list[tuple[str, str]] = []
+    merged = FlowFile(name=ours_ff.name)
+
+    merged.data = _merge_entries(
+        "D",
+        {n: _data_key(o) for n, o in base_ff.data.items()},
+        base_ff.data,
+        ours_ff.data,
+        theirs_ff.data,
+        _data_key,
+        conflicts,
+    )
+    merged.tasks = _merge_entries(
+        "T",
+        None,
+        base_ff.tasks,
+        ours_ff.tasks,
+        theirs_ff.tasks,
+        lambda spec: repr(sorted(_freeze(spec.config))),
+        conflicts,
+    )
+    merged.widgets = _merge_entries(
+        "W",
+        None,
+        base_ff.widgets,
+        ours_ff.widgets,
+        theirs_ff.widgets,
+        lambda spec: repr(
+            (
+                spec.type_name,
+                str(spec.source),
+                spec.static_source,
+                sorted(_freeze(spec.config)),
+            )
+        ),
+        conflicts,
+    )
+    merged.flows = _merge_flows(base_ff, ours_ff, theirs_ff, conflicts)
+    merged.layout = _merge_scalar(
+        "L",
+        "layout",
+        _layout_key(base_ff),
+        (_layout_key(ours_ff), ours_ff.layout),
+        (_layout_key(theirs_ff), theirs_ff.layout),
+        conflicts,
+    )
+
+    if conflicts:
+        names = ", ".join(f"{s}:{k}" for s, k in conflicts)
+        raise MergeConflictError(
+            f"conflicting edits in {names}", conflicts=conflicts
+        )
+    return serialize_flow_file(merged)
+
+
+def _data_key(obj: DataObject) -> str:
+    schema = (
+        tuple((c.name, c.source_path) for c in obj.schema)
+        if obj.schema is not None
+        else None
+    )
+    return repr(
+        (schema, sorted(_freeze(obj.config)), obj.endpoint, obj.publish)
+    )
+
+
+def _freeze(config: dict[str, Any]) -> list[tuple[str, str]]:
+    return [(k, repr(v)) for k, v in sorted(config.items())]
+
+
+def _layout_key(flow_file: FlowFile) -> str | None:
+    layout = flow_file.layout
+    if layout is None:
+        return None
+    return repr(
+        (
+            layout.description,
+            [
+                [(cell.span, cell.widget) for cell in row]
+                for row in layout.rows
+            ],
+        )
+    )
+
+
+def _merge_entries(
+    section: str,
+    _unused,
+    base: dict[str, T],
+    ours: dict[str, T],
+    theirs: dict[str, T],
+    key: Callable[[T], str],
+    conflicts: list[tuple[str, str]],
+) -> dict[str, T]:
+    merged: dict[str, T] = {}
+    names = list(
+        dict.fromkeys(list(ours) + list(theirs) + list(base))
+    )
+    for name in names:
+        in_base = name in base
+        in_ours = name in ours
+        in_theirs = name in theirs
+        base_key = key(base[name]) if in_base else None
+        ours_key = key(ours[name]) if in_ours else None
+        theirs_key = key(theirs[name]) if in_theirs else None
+
+        if in_ours and in_theirs:
+            if ours_key == theirs_key:
+                merged[name] = ours[name]
+            elif ours_key == base_key:
+                merged[name] = theirs[name]
+            elif theirs_key == base_key:
+                merged[name] = ours[name]
+            else:
+                conflicts.append((section, name))
+        elif in_ours:
+            # Deleted on theirs?  Only a conflict if ours also changed it.
+            if in_base and ours_key != base_key:
+                conflicts.append((section, name))
+            elif not in_base:
+                merged[name] = ours[name]  # our addition
+            # else: unchanged by us, deleted by them → stays deleted
+        elif in_theirs:
+            if in_base and theirs_key != base_key:
+                conflicts.append((section, name))
+            elif not in_base:
+                merged[name] = theirs[name]
+    return merged
+
+
+def _merge_flows(
+    base_ff: FlowFile,
+    ours_ff: FlowFile,
+    theirs_ff: FlowFile,
+    conflicts: list[tuple[str, str]],
+) -> list[FlowSpec]:
+    def by_output(ff: FlowFile) -> dict[str, FlowSpec]:
+        return {flow.output: flow for flow in ff.flows}
+
+    merged = _merge_entries(
+        "F",
+        None,
+        by_output(base_ff),
+        by_output(ours_ff),
+        by_output(theirs_ff),
+        lambda flow: str(flow.pipe),
+        conflicts,
+    )
+    # Preserve a stable order: ours first, then theirs-only additions.
+    ordered: list[FlowSpec] = []
+    seen: set[str] = set()
+    for source in (ours_ff.flows, theirs_ff.flows):
+        for flow in source:
+            if flow.output in merged and flow.output not in seen:
+                ordered.append(merged[flow.output])
+                seen.add(flow.output)
+    return ordered
+
+
+def _merge_scalar(
+    section: str,
+    name: str,
+    base_key: str | None,
+    ours: tuple[str | None, Any],
+    theirs: tuple[str | None, Any],
+    conflicts: list[tuple[str, str]],
+) -> Any:
+    ours_key, ours_value = ours
+    theirs_key, theirs_value = theirs
+    if ours_key == theirs_key:
+        return ours_value
+    if ours_key == base_key:
+        return theirs_value
+    if theirs_key == base_key:
+        return ours_value
+    conflicts.append((section, name))
+    return ours_value

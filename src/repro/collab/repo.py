@@ -1,0 +1,275 @@
+"""Flow-file version control (paper §4.5.1).
+
+"The ShareInsights platform leverages the collaboration model found in
+distributed version control systems (DVCS), like Git... CRUD operations
+on flow files map to source commits."  This module is that store: a
+content-addressed commit graph per dashboard with branches, merges (via
+the section-aware three-way merge in :mod:`repro.collab.merge`), fork
+lineage across dashboards, and history walks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.errors import RepositoryError
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One immutable commit."""
+
+    id: str
+    dashboard: str
+    parents: tuple[str, ...]
+    blob: str  # content hash
+    message: str
+    author: str
+    timestamp: float
+
+
+def _hash_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class FlowFileRepository:
+    """A DVCS over flow files, one document per dashboard."""
+
+    DEFAULT_BRANCH = "main"
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, str] = {}
+        self._commits: dict[str, Commit] = {}
+        #: (dashboard, branch) -> head commit id
+        self._refs: dict[tuple[str, str], str] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # basic operations
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        dashboard: str,
+        text: str,
+        message: str = "",
+        author: str = "",
+        branch: str = DEFAULT_BRANCH,
+    ) -> Commit:
+        """Record a new version of ``dashboard`` on ``branch``."""
+        blob = _hash_text(text)
+        self._blobs[blob] = text
+        parent = self._refs.get((dashboard, branch))
+        parents = (parent,) if parent else ()
+        commit = self._new_commit(
+            dashboard, parents, blob, message, author
+        )
+        self._refs[(dashboard, branch)] = commit.id
+        return commit
+
+    def read(
+        self,
+        dashboard: str,
+        branch: str = DEFAULT_BRANCH,
+        commit_id: str | None = None,
+    ) -> str:
+        """Flow-file text at a branch head or a specific commit."""
+        if commit_id is None:
+            commit_id = self._head(dashboard, branch)
+        commit = self._commits.get(commit_id)
+        if commit is None:
+            raise RepositoryError(f"unknown commit {commit_id!r}")
+        return self._blobs[commit.blob]
+
+    def head(self, dashboard: str, branch: str = DEFAULT_BRANCH) -> Commit:
+        return self._commits[self._head(dashboard, branch)]
+
+    def history(
+        self, dashboard: str, branch: str = DEFAULT_BRANCH
+    ) -> list[Commit]:
+        """Commits reachable from the branch head, newest first."""
+        head = self._refs.get((dashboard, branch))
+        if head is None:
+            raise RepositoryError(
+                f"no branch {branch!r} for dashboard {dashboard!r}"
+            )
+        seen: set[str] = set()
+        order: list[Commit] = []
+        frontier = [head]
+        while frontier:
+            commit_id = frontier.pop(0)
+            if commit_id in seen:
+                continue
+            seen.add(commit_id)
+            commit = self._commits[commit_id]
+            order.append(commit)
+            frontier.extend(commit.parents)
+        order.sort(key=lambda c: -c.timestamp)
+        return order
+
+    def branches(self, dashboard: str) -> list[str]:
+        return sorted(
+            branch
+            for (doc, branch) in self._refs
+            if doc == dashboard
+        )
+
+    def dashboards(self) -> list[str]:
+        return sorted({doc for (doc, _branch) in self._refs})
+
+    # ------------------------------------------------------------------
+    # branching & merging
+    # ------------------------------------------------------------------
+    def create_branch(
+        self,
+        dashboard: str,
+        new_branch: str,
+        from_branch: str = DEFAULT_BRANCH,
+    ) -> None:
+        if (dashboard, new_branch) in self._refs:
+            raise RepositoryError(
+                f"branch {new_branch!r} already exists for "
+                f"{dashboard!r}"
+            )
+        self._refs[(dashboard, new_branch)] = self._head(
+            dashboard, from_branch
+        )
+
+    def merge(
+        self,
+        dashboard: str,
+        source_branch: str,
+        into_branch: str = DEFAULT_BRANCH,
+        author: str = "",
+    ) -> Commit:
+        """Three-way merge of ``source_branch`` into ``into_branch``.
+
+        Fast-forwards when possible; otherwise performs the section-aware
+        flow-file merge and records a two-parent merge commit.  Raises
+        :class:`~repro.errors.MergeConflictError` on conflicting edits.
+        """
+        from repro.collab.merge import merge_flow_files
+
+        ours_id = self._head(dashboard, into_branch)
+        theirs_id = self._head(dashboard, source_branch)
+        if ours_id == theirs_id:
+            return self._commits[ours_id]
+        base_id = self._common_ancestor(ours_id, theirs_id)
+        if base_id == ours_id:
+            # Fast-forward.
+            self._refs[(dashboard, into_branch)] = theirs_id
+            return self._commits[theirs_id]
+        if base_id == theirs_id:
+            return self._commits[ours_id]
+        base = self._blobs[self._commits[base_id].blob] if base_id else ""
+        ours = self._blobs[self._commits[ours_id].blob]
+        theirs = self._blobs[self._commits[theirs_id].blob]
+        merged = merge_flow_files(base, ours, theirs)
+        blob = _hash_text(merged)
+        self._blobs[blob] = merged
+        commit = self._new_commit(
+            dashboard,
+            (ours_id, theirs_id),
+            blob,
+            f"merge {source_branch} into {into_branch}",
+            author,
+        )
+        self._refs[(dashboard, into_branch)] = commit.id
+        return commit
+
+    def fork(
+        self, source_dashboard: str, new_dashboard: str, author: str = ""
+    ) -> Commit:
+        """Copy another dashboard's head as a new document root.
+
+        The fork commit keeps the source head as its parent, preserving
+        lineage (the §5.2 'fork to go' observation is measured off this).
+        """
+        if (new_dashboard, self.DEFAULT_BRANCH) in self._refs:
+            raise RepositoryError(
+                f"dashboard {new_dashboard!r} already has history"
+            )
+        source_head = self._head(source_dashboard)
+        source_commit = self._commits[source_head]
+        commit = self._new_commit(
+            new_dashboard,
+            (source_head,),
+            source_commit.blob,
+            f"fork of {source_dashboard}",
+            author,
+        )
+        self._refs[(new_dashboard, self.DEFAULT_BRANCH)] = commit.id
+        return commit
+
+    def fork_origin(self, dashboard: str) -> str | None:
+        """The dashboard this one was forked from, if any."""
+        # The dashboard's own oldest commit; history() may continue into
+        # the fork source's commits, so filter by document first.
+        own = [c for c in self.history(dashboard) if c.dashboard == dashboard]
+        root = own[-1]
+        if root.parents:
+            parent = self._commits.get(root.parents[0])
+            if parent is not None and parent.dashboard != dashboard:
+                return parent.dashboard
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _head(self, dashboard: str, branch: str = DEFAULT_BRANCH) -> str:
+        head = self._refs.get((dashboard, branch))
+        if head is None:
+            raise RepositoryError(
+                f"no branch {branch!r} for dashboard {dashboard!r}"
+            )
+        return head
+
+    def _new_commit(
+        self,
+        dashboard: str,
+        parents: tuple[str, ...],
+        blob: str,
+        message: str,
+        author: str,
+    ) -> Commit:
+        self._counter += 1
+        commit_id = hashlib.sha256(
+            f"{dashboard}:{parents}:{blob}:{self._counter}".encode()
+        ).hexdigest()[:16]
+        commit = Commit(
+            id=commit_id,
+            dashboard=dashboard,
+            parents=tuple(p for p in parents if p),
+            blob=blob,
+            message=message,
+            author=author,
+            timestamp=time.time(),
+        )
+        self._commits[commit_id] = commit
+        return commit
+
+    def _common_ancestor(self, a: str, b: str) -> str | None:
+        ancestors_a = self._ancestors(a)
+        frontier = [b]
+        seen: set[str] = set()
+        while frontier:
+            commit_id = frontier.pop(0)
+            if commit_id in ancestors_a:
+                return commit_id
+            if commit_id in seen:
+                continue
+            seen.add(commit_id)
+            frontier.extend(self._commits[commit_id].parents)
+        return None
+
+    def _ancestors(self, commit_id: str) -> set[str]:
+        result: set[str] = set()
+        frontier = [commit_id]
+        while frontier:
+            current = frontier.pop(0)
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._commits[current].parents)
+        return result

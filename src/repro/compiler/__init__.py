@@ -1,0 +1,25 @@
+"""Flow-file compilation services (paper §4.1, Fig. 25).
+
+The compiler builds a DAG from the collection of linear flows, validates
+it, optimizes it, and lowers it to execution plans for the batch engine
+and to a data-cube spec for interactive widget flows.
+"""
+
+from repro.compiler.dag import FlowDag, build_dag
+from repro.compiler.compiler import CompiledFlowFile, FlowCompiler, WidgetPlan
+from repro.compiler.codegen import (
+    generate_cube_spec,
+    generate_pig_script,
+    generate_spark_job,
+)
+
+__all__ = [
+    "FlowDag",
+    "build_dag",
+    "CompiledFlowFile",
+    "FlowCompiler",
+    "WidgetPlan",
+    "generate_pig_script",
+    "generate_spark_job",
+    "generate_cube_spec",
+]

@@ -1,0 +1,207 @@
+"""The flow-file compiler (paper §4.1, Fig. 25).
+
+Pipeline: parse (done upstream) → validate → build flow DAG → lower to a
+logical plan → optimize → split widget pipelines into server/client
+halves.  The result, :class:`CompiledFlowFile`, is everything the
+dashboard runtime and the engines need; :mod:`repro.compiler.codegen`
+renders it to the paper's two build artifacts (a Pig-style batch script
+and a JSON cube spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.dag import FlowDag, build_dag
+from repro.data import Schema
+from repro.dsl.ast_nodes import FlowFile, WidgetSpec
+from repro.dsl.validator import ValidationResult, validate_flow_file
+from repro.engine.datacube import split_widget_pipeline
+from repro.engine.optimizer import OptimizationReport, optimize_plan
+from repro.engine.plan import LogicalPlan, build_logical_plan
+from repro.errors import CompilationError
+from repro.tasks.base import Task
+from repro.tasks.registry import TaskRegistry, default_task_registry
+
+
+def flow_fingerprints(compiled: "CompiledFlowFile") -> dict[str, str]:
+    """A content fingerprint per flow output.
+
+    Two compilations assign the same fingerprint to an output iff its
+    pipe expression, every task configuration in its transitive upstream,
+    and every upstream source's configuration are identical — the
+    invariant behind incremental recomputation (a save that does not
+    touch a flow's inputs must not re-run it).
+    """
+    import hashlib
+    import json
+
+    flow_file = compiled.flow_file
+    fingerprints: dict[str, str] = {}
+
+    def source_fingerprint(name: str) -> str:
+        obj = flow_file.data.get(name)
+        config = obj.config if obj is not None else {}
+        schema = obj.schema.names if obj is not None and obj.schema else []
+        return json.dumps(
+            ["source", name, schema, config], sort_keys=True, default=str
+        )
+
+    for flow in compiled.dag.ordered_flows():
+        parts: list[str] = [str(flow.pipe)]
+        for task_name in flow.tasks:
+            spec = flow_file.tasks.get(task_name)
+            config = spec.config if spec is not None else {}
+            parts.append(
+                json.dumps(
+                    [task_name, config], sort_keys=True, default=str
+                )
+            )
+            # Parallel composites depend on their sub-tasks' configs.
+            for ref in config.get("parallel", []) or []:
+                sub_name = str(ref).removeprefix("T.")
+                sub = flow_file.tasks.get(sub_name)
+                if sub is not None:
+                    parts.append(
+                        json.dumps(
+                            [sub_name, sub.config],
+                            sort_keys=True,
+                            default=str,
+                        )
+                    )
+        for input_name in flow.inputs:
+            parts.append(
+                fingerprints.get(input_name)
+                or source_fingerprint(input_name)
+            )
+        fingerprints[flow.output] = hashlib.sha256(
+            "\n".join(parts).encode("utf-8")
+        ).hexdigest()
+    return fingerprints
+
+
+@dataclass
+class WidgetPlan:
+    """How one widget gets its data.
+
+    ``server_tasks`` run once per flow execution (their output is the
+    endpoint payload shipped to the client); ``client_tasks`` re-run in
+    the data cube on every interaction.  ``static_values`` covers widgets
+    with literal sources (Appendix A.2's date Slider).
+    """
+
+    widget: WidgetSpec
+    source_name: str | None = None
+    server_tasks: list[Task] = field(default_factory=list)
+    client_tasks: list[Task] = field(default_factory=list)
+    static_values: list | None = None
+
+    @property
+    def is_static(self) -> bool:
+        return self.static_values is not None
+
+
+@dataclass
+class CompiledFlowFile:
+    """Everything produced by one compilation."""
+
+    flow_file: FlowFile
+    dag: FlowDag
+    plan: LogicalPlan
+    tasks: dict[str, Task]
+    widget_plans: dict[str, WidgetPlan]
+    validation: ValidationResult
+    optimization: OptimizationReport
+    #: computed schema per flow output (from validation)
+    schemas: dict[str, Schema] = field(default_factory=dict)
+
+    @property
+    def endpoint_names(self) -> list[str]:
+        return [obj.name for obj in self.flow_file.endpoints()]
+
+
+class FlowCompiler:
+    """Compiles flow files against a task registry and shared catalog."""
+
+    def __init__(
+        self,
+        task_registry: TaskRegistry | None = None,
+        optimize: bool = True,
+        split_widget_flows: bool = True,
+    ):
+        self._registry = task_registry or default_task_registry()
+        self._optimize = optimize
+        self._split_widget_flows = split_widget_flows
+
+    def compile(
+        self,
+        flow_file: FlowFile,
+        catalog_schemas: dict[str, Schema] | None = None,
+    ) -> CompiledFlowFile:
+        """Validate, lower and optimize ``flow_file``.
+
+        Raises :class:`~repro.errors.FlowFileValidationError` on invalid
+        input — compilation never produces a plan for a file that would
+        fail at run time (§5.2 obs. 7: errors surface at the abstraction
+        level, before the engine is involved).
+        """
+        validation = validate_flow_file(
+            flow_file,
+            task_registry=self._registry,
+            catalog_schemas=catalog_schemas,
+        )
+        validation.raise_if_errors()
+        tasks = self._registry.build_section(
+            {name: spec.config for name, spec in flow_file.tasks.items()}
+        )
+        external = set(catalog_schemas or {})
+        dag = build_dag(flow_file, external=external)
+        plan = build_logical_plan(dag, tasks)
+        if self._optimize:
+            optimization = optimize_plan(plan)
+        else:
+            optimization = OptimizationReport()
+        widget_plans = self._plan_widgets(flow_file, tasks)
+        return CompiledFlowFile(
+            flow_file=flow_file,
+            dag=dag,
+            plan=plan,
+            tasks=tasks,
+            widget_plans=widget_plans,
+            validation=validation,
+            optimization=optimization,
+            schemas=dict(validation.schemas),
+        )
+
+    def _plan_widgets(
+        self, flow_file: FlowFile, tasks: dict[str, Task]
+    ) -> dict[str, WidgetPlan]:
+        plans: dict[str, WidgetPlan] = {}
+        for name, widget in flow_file.widgets.items():
+            if widget.static_source is not None:
+                plans[name] = WidgetPlan(
+                    widget=widget, static_values=list(widget.static_source)
+                )
+                continue
+            if widget.source is None:
+                plans[name] = WidgetPlan(widget=widget)
+                continue
+            pipeline: list[Task] = []
+            for task_name in widget.source.tasks:
+                task = tasks.get(task_name)
+                if task is None:
+                    raise CompilationError(
+                        f"widget {name!r} uses undefined task {task_name!r}"
+                    )
+                pipeline.append(task)
+            if self._split_widget_flows:
+                server, client = split_widget_pipeline(pipeline)
+            else:
+                server, client = [], pipeline
+            plans[name] = WidgetPlan(
+                widget=widget,
+                source_name=widget.source.inputs[0],
+                server_tasks=server,
+                client_tasks=client,
+            )
+        return plans

@@ -1,0 +1,34 @@
+"""Protocol connectors for data objects.
+
+The data section configures how each data object's payload is fetched
+(paper §3.2: "File (local, remote), HTTP/S, FTP, JDBC, ad-hoc queries over
+JDBC").  Network transports are simulated in-process (see DESIGN.md
+substitution table) so every connector code path runs offline.
+"""
+
+from repro.connectors.base import Connector, FetchResult
+from repro.connectors.registry import (
+    ConnectorRegistry,
+    default_connector_registry,
+)
+from repro.connectors.file import FileConnector
+from repro.connectors.http import HttpConnector, SimulatedHttpTransport
+from repro.connectors.ftp import FtpConnector, SimulatedFtpServer
+from repro.connectors.jdbc import JdbcConnector
+from repro.connectors.inline import InlineConnector
+from repro.connectors.loader import DataObjectLoader
+
+__all__ = [
+    "Connector",
+    "FetchResult",
+    "ConnectorRegistry",
+    "default_connector_registry",
+    "FileConnector",
+    "HttpConnector",
+    "SimulatedHttpTransport",
+    "FtpConnector",
+    "SimulatedFtpServer",
+    "JdbcConnector",
+    "InlineConnector",
+    "DataObjectLoader",
+]

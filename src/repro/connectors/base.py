@@ -1,0 +1,56 @@
+"""Connector extension API (paper §4.2, "Connectors").
+
+A connector fetches the raw payload for a data object given its flow-file
+configuration (``source:``, ``protocol:`` and protocol parameters).  Some
+connectors (JDBC) produce rows directly instead of bytes; the
+:class:`FetchResult` union carries either.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.data import Table
+
+
+@dataclass
+class FetchResult:
+    """What a connector returned.
+
+    Exactly one of ``payload`` (raw bytes, to be decoded by a format) or
+    ``table`` (already-structured rows, e.g. from JDBC) is set.
+    ``metadata`` carries transport details (status code, content type...)
+    surfaced in execution logs.
+    """
+
+    payload: bytes | None = None
+    table: Table | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.payload is None) == (self.table is None):
+            raise ValueError(
+                "FetchResult needs exactly one of payload or table"
+            )
+
+
+class Connector(abc.ABC):
+    """Base class for protocol connectors."""
+
+    #: Protocol name used in the flow file (``protocol: http``).
+    name: str = ""
+
+    @abc.abstractmethod
+    def fetch(self, config: Mapping[str, Any]) -> FetchResult:
+        """Fetch the payload described by the data-object ``config``."""
+
+    def store(self, config: Mapping[str, Any], payload: bytes) -> None:
+        """Write a sink payload.  Optional; default raises."""
+        raise NotImplementedError(
+            f"connector {self.name!r} does not support writes"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,51 @@
+"""Local file connector.
+
+``source:`` is a path, resolved relative to the dashboard's data directory
+(paper §4.3.2: "users can upload dashboard data to a 'data' folder. All data
+files in this folder can be referred in the data object configuration using
+relative paths").  The ``base_dir`` config key carries that directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.connectors.base import Connector, FetchResult
+from repro.errors import ConnectorError
+
+
+class FileConnector(Connector):
+    name = "file"
+
+    def fetch(self, config: Mapping[str, Any]) -> FetchResult:
+        path = self._resolve(config)
+        if not path.exists():
+            raise ConnectorError(f"data file not found: {path}")
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise ConnectorError(f"cannot read {path}: {exc}") from exc
+        return FetchResult(
+            payload=payload,
+            metadata={"path": str(path), "size": len(payload)},
+        )
+
+    def store(self, config: Mapping[str, Any], payload: bytes) -> None:
+        path = self._resolve(config)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(payload)
+        except OSError as exc:
+            raise ConnectorError(f"cannot write {path}: {exc}") from exc
+
+    @staticmethod
+    def _resolve(config: Mapping[str, Any]) -> Path:
+        source = config.get("source")
+        if not source:
+            raise ConnectorError("file connector needs a 'source' path")
+        path = Path(str(source))
+        base_dir = config.get("base_dir")
+        if base_dir and not path.is_absolute():
+            path = Path(str(base_dir)) / path
+        return path

@@ -1,0 +1,96 @@
+"""FTP connector with an in-process simulated server.
+
+Models the subset of FTP a data pipeline uses: CWD-free absolute paths,
+RETR (fetch) and STOR (store), with per-user credentials.  The simulated
+server also backs the platform's SFTP-style extension-upload interface
+(paper §4.3.2) in :mod:`repro.extensions`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+from urllib.parse import urlsplit
+
+from repro.connectors.base import Connector, FetchResult
+from repro.errors import ConnectorError
+
+
+class SimulatedFtpServer:
+    """An in-memory path → bytes store with credential checks."""
+
+    def __init__(self, users: Mapping[str, str] | None = None):
+        # Default account mirrors the anonymous-FTP convention.
+        self._users = dict(users or {"anonymous": ""})
+        self._files: dict[str, bytes] = {}
+
+    def add_user(self, username: str, password: str) -> None:
+        self._users[username] = password
+
+    def put(self, path: str, payload: bytes) -> None:
+        self._files[_normalize(path)] = payload
+
+    def authenticate(self, username: str, password: str) -> bool:
+        return self._users.get(username) == password
+
+    def retr(self, path: str, username: str, password: str) -> bytes:
+        if not self.authenticate(username, password):
+            raise ConnectorError(f"FTP login failed for {username!r}")
+        key = _normalize(path)
+        if key not in self._files:
+            raise ConnectorError(f"FTP file not found: {path}")
+        return self._files[key]
+
+    def stor(
+        self, path: str, payload: bytes, username: str, password: str
+    ) -> None:
+        if not self.authenticate(username, password):
+            raise ConnectorError(f"FTP login failed for {username!r}")
+        self._files[_normalize(path)] = payload
+
+    def listdir(self, prefix: str) -> list[str]:
+        prefix = _normalize(prefix).rstrip("/") + "/"
+        return sorted(
+            path for path in self._files if path.startswith(prefix)
+        )
+
+
+def _normalize(path: str) -> str:
+    return "/" + path.strip("/")
+
+
+class FtpConnector(Connector):
+    name = "ftp"
+
+    def __init__(self, server: SimulatedFtpServer | None = None):
+        self._server = server or SimulatedFtpServer()
+
+    @property
+    def server(self) -> SimulatedFtpServer:
+        return self._server
+
+    def fetch(self, config: Mapping[str, Any]) -> FetchResult:
+        path, username, password = self._credentials(config)
+        payload = self._server.retr(path, username, password)
+        return FetchResult(
+            payload=payload, metadata={"path": path, "size": len(payload)}
+        )
+
+    def store(self, config: Mapping[str, Any], payload: bytes) -> None:
+        path, username, password = self._credentials(config)
+        self._server.stor(path, payload, username, password)
+
+    @staticmethod
+    def _credentials(config: Mapping[str, Any]) -> tuple[str, str, str]:
+        source = config.get("source")
+        if not source:
+            raise ConnectorError("ftp connector needs a 'source' path")
+        source = str(source)
+        # Accept both ftp://host/path URLs and bare paths.
+        if source.startswith("ftp://"):
+            parts = urlsplit(source)
+            path = parts.path
+        else:
+            path = source
+        username = str(config.get("username", "anonymous"))
+        password = str(config.get("password", ""))
+        return path, username, password

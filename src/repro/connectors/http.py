@@ -1,0 +1,152 @@
+"""HTTP/S connector with an in-process simulated transport.
+
+The paper's data objects can "directly talk to the provider APIs"
+(Fig. 6: a Stack Exchange GET with custom headers).  Offline, we route
+requests through :class:`SimulatedHttpTransport`: a registry of URL
+handlers with optional latency and fault injection, so retries, headers,
+query parameters, pagination and error handling are all exercised exactly
+as they would be against a live endpoint.
+
+Flow-file keys honoured: ``source`` (URL), ``request_type`` (get/post),
+``http_headers`` (mapping), ``body`` (POST payload), ``retries``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.connectors.base import Connector, FetchResult
+from repro.errors import ConnectorError
+
+
+@dataclass
+class HttpRequest:
+    """A request as seen by a simulated endpoint handler."""
+
+    url: str
+    method: str = "GET"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes | None = None
+
+    @property
+    def path(self) -> str:
+        return urlsplit(self.url).path
+
+    @property
+    def query(self) -> dict[str, str]:
+        return dict(parse_qsl(urlsplit(self.url).query))
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+class SimulatedHttpTransport:
+    """URL-pattern → handler registry standing in for the network.
+
+    ``failure_rate`` injects transient 503s (deterministically, via the
+    provided ``seed``) to exercise the connector's retry loop.
+    """
+
+    def __init__(self, failure_rate: float = 0.0, seed: int = 0):
+        self._handlers: list[tuple[str, Handler]] = []
+        self._failure_rate = failure_rate
+        self._random = random.Random(seed)
+        self.request_log: list[HttpRequest] = []
+
+    def register(self, url_pattern: str, handler: Handler) -> None:
+        """Route requests whose URL matches ``url_pattern`` (fnmatch glob)."""
+        self._handlers.append((url_pattern, handler))
+
+    def register_static(
+        self,
+        url_pattern: str,
+        body: bytes,
+        status: int = 200,
+        content_type: str = "application/json",
+    ) -> None:
+        """Convenience: always answer with a fixed payload."""
+
+        def handler(_request: HttpRequest) -> HttpResponse:
+            return HttpResponse(
+                status=status,
+                body=body,
+                headers={"Content-Type": content_type},
+            )
+
+        self.register(url_pattern, handler)
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        self.request_log.append(request)
+        if self._failure_rate and self._random.random() < self._failure_rate:
+            return HttpResponse(status=503, body=b"simulated outage")
+        for pattern, handler in self._handlers:
+            bare = request.url.split("?", 1)[0]
+            if fnmatch.fnmatch(request.url, pattern) or fnmatch.fnmatch(
+                bare, pattern
+            ):
+                return handler(request)
+        return HttpResponse(status=404, body=b"no such endpoint")
+
+
+class HttpConnector(Connector):
+    name = "http"
+
+    def __init__(self, transport: SimulatedHttpTransport | None = None):
+        self._transport = transport or SimulatedHttpTransport()
+
+    @property
+    def transport(self) -> SimulatedHttpTransport:
+        return self._transport
+
+    def fetch(self, config: Mapping[str, Any]) -> FetchResult:
+        url = config.get("source")
+        if not url:
+            raise ConnectorError("http connector needs a 'source' URL")
+        method = str(config.get("request_type", "get")).upper()
+        headers = {
+            str(k): str(v)
+            for k, v in (config.get("http_headers") or {}).items()
+        }
+        body = config.get("body")
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        retries = int(config.get("retries", 2))
+        request = HttpRequest(
+            url=str(url), method=method, headers=headers, body=body
+        )
+        last_status = 0
+        for _attempt in range(retries + 1):
+            response = self._transport.send(request)
+            last_status = response.status
+            if response.status == 200:
+                return FetchResult(
+                    payload=response.body,
+                    metadata={
+                        "status": response.status,
+                        "url": str(url),
+                        "headers": response.headers,
+                    },
+                )
+            if response.status < 500:
+                break  # 4xx will not improve on retry
+        raise ConnectorError(
+            f"HTTP {method} {url} failed with status {last_status} "
+            f"after {retries + 1} attempt(s)"
+        )
+
+
+class HttpsConnector(HttpConnector):
+    """Alias so flow files can say ``protocol: https``."""
+
+    name = "https"

@@ -1,0 +1,37 @@
+"""Inline (literal) connector.
+
+Small reference tables — the IPL examples' team dimension, lat/long lookup
+— can be embedded directly in the flow file under a ``rows:`` key, or
+provided programmatically when assembling a dashboard.  This keeps
+quickstart examples self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.connectors.base import Connector, FetchResult
+from repro.data import Schema, Table
+from repro.errors import ConnectorError
+
+
+class InlineConnector(Connector):
+    name = "inline"
+
+    def fetch(self, config: Mapping[str, Any]) -> FetchResult:
+        rows = config.get("rows")
+        if rows is None:
+            raise ConnectorError("inline connector needs a 'rows' list")
+        if not isinstance(rows, list):
+            raise ConnectorError("'rows' must be a list of rows")
+        schema_names = config.get("schema")
+        if schema_names:
+            schema = Schema(list(schema_names))
+        elif rows and isinstance(rows[0], Mapping):
+            schema = Schema(list(rows[0].keys()))
+        else:
+            raise ConnectorError(
+                "inline connector needs a 'schema' when rows are not dicts"
+            )
+        table = Table.from_rows(schema, rows)
+        return FetchResult(table=table, metadata={"rows": table.num_rows})

@@ -1,0 +1,61 @@
+"""Connector registry (extension services, paper §4.2)."""
+
+from __future__ import annotations
+
+from repro.connectors.base import Connector
+from repro.errors import ConnectorError, ExtensionError
+
+
+class ConnectorRegistry:
+    """Protocol name → :class:`Connector` lookup."""
+
+    def __init__(self) -> None:
+        self._connectors: dict[str, Connector] = {}
+
+    def register(self, connector: Connector, replace: bool = False) -> None:
+        if not connector.name:
+            raise ExtensionError(f"connector {connector!r} has no name")
+        key = connector.name.lower()
+        if key in self._connectors and not replace:
+            raise ExtensionError(
+                f"connector {connector.name!r} already registered"
+            )
+        self._connectors[key] = connector
+
+    def get(self, name: str) -> Connector:
+        connector = self._connectors.get(name.lower())
+        if connector is None:
+            raise ConnectorError(
+                f"unknown protocol {name!r}; known: {sorted(self._connectors)}"
+            )
+        return connector
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._connectors
+
+    def names(self) -> list[str]:
+        return sorted(self._connectors)
+
+
+def default_connector_registry() -> ConnectorRegistry:
+    """A registry pre-loaded with the built-in connectors.
+
+    Each call builds fresh connector instances (and therefore fresh
+    simulated transports/servers), keeping platform instances isolated.
+    """
+    from repro.connectors.file import FileConnector
+    from repro.connectors.ftp import FtpConnector
+    from repro.connectors.http import HttpConnector, HttpsConnector
+    from repro.connectors.inline import InlineConnector
+    from repro.connectors.jdbc import JdbcConnector
+
+    registry = ConnectorRegistry()
+    registry.register(FileConnector())
+    http = HttpConnector()
+    registry.register(http)
+    # https shares the http transport so one registration serves both.
+    registry.register(HttpsConnector(transport=http.transport))
+    registry.register(FtpConnector())
+    registry.register(JdbcConnector())
+    registry.register(InlineConnector())
+    return registry

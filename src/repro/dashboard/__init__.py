@@ -1,0 +1,12 @@
+"""Dashboard runtime.
+
+Ties the compiled flow file to live data: runs the flows on an engine,
+publishes/exposes endpoint data, binds widgets through data cubes, and
+propagates widget-to-widget interaction (paper §3.5.1) — the generated
+single-page app of §4.4, as a Python object.
+"""
+
+from repro.dashboard.environment import EnvironmentProfile
+from repro.dashboard.dashboard import Dashboard, DashboardView
+
+__all__ = ["Dashboard", "DashboardView", "EnvironmentProfile"]

@@ -1,0 +1,519 @@
+"""The dashboard runtime.
+
+Lifecycle (mirroring the generated single-page app of paper §4.4):
+
+1. ``run_flows()`` executes the batch half of the compiled flow file on
+   an engine, materializing every flow output; endpoint objects become
+   REST-visible payloads and ``publish:`` objects go to the shared
+   catalog.
+2. Widgets are instantiated from the registry; each non-static widget
+   gets a :class:`~repro.engine.datacube.DataCube` holding its *server-
+   side* pipeline output (the §6 transfer-minimized payload).
+3. ``select()`` updates a widget's selection; dependent widgets re-render
+   by re-running their client-side pipelines in their cubes — the §3.5.1
+   interaction model, with no event handlers anywhere.
+4. ``render()`` lays the widget views out on the 12-column grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.collab.catalog import SharedDataCatalog
+from repro.compiler.compiler import CompiledFlowFile, WidgetPlan
+from repro.connectors.loader import DataObjectLoader
+from repro.dashboard.environment import EnvironmentProfile
+from repro.data import Schema, Table
+from repro.engine.datacube import DataCube
+from repro.engine.distributed import DistributedExecutor
+from repro.engine.local import LocalExecutor
+from repro.errors import ExecutionError, WidgetError
+from repro.tasks.base import TaskContext, WidgetSelection
+from repro.widgets.base import Widget, WidgetView
+from repro.widgets.charts import Slider
+from repro.widgets.layout import GridRenderer, LayoutWidget, TabLayout
+from repro.widgets.registry import WidgetRegistry, default_widget_registry
+
+
+@dataclass
+class DashboardView:
+    """A fully rendered dashboard."""
+
+    name: str
+    html: str
+    text: str
+    widget_views: dict[str, WidgetView] = field(default_factory=dict)
+
+
+@dataclass
+class RunReport:
+    """Telemetry from one ``run_flows`` call."""
+
+    engine: str
+    seconds: float
+    rows_loaded: int = 0
+    rows_produced: int = 0
+    shuffled_records: int = 0
+    published: list[str] = field(default_factory=list)
+    endpoints: list[str] = field(default_factory=list)
+    #: flow outputs reused from a previous run (incremental mode)
+    flows_skipped: list[str] = field(default_factory=list)
+
+
+class Dashboard:
+    """A live dashboard built from a compiled flow file."""
+
+    def __init__(
+        self,
+        compiled: CompiledFlowFile,
+        loader: DataObjectLoader | None = None,
+        catalog: SharedDataCatalog | None = None,
+        widget_registry: WidgetRegistry | None = None,
+        environment: EnvironmentProfile | None = None,
+        data_dir: str | Path | None = None,
+        dictionaries: Mapping[str, Mapping[str, str]] | None = None,
+        inline_tables: Mapping[str, Table] | None = None,
+    ):
+        self.compiled = compiled
+        self.flow_file = compiled.flow_file
+        self.name = compiled.flow_file.name
+        self.loader = loader or DataObjectLoader()
+        self.catalog = catalog
+        self.environment = environment or EnvironmentProfile.laptop()
+        self._widget_registry = widget_registry or default_widget_registry()
+        self._data_dir = Path(data_dir) if data_dir else None
+        self._dictionaries = dict(dictionaries or {})
+        #: programmatically supplied tables, taking priority over loads
+        self._inline_tables = dict(inline_tables or {})
+        self._materialized: dict[str, Table] = {}
+        self._widgets: dict[str, Widget] = {}
+        self._cubes: dict[str, DataCube] = {}
+        self.last_run: RunReport | None = None
+        self._last_node_stats: list = []
+        self._last_stages: list = []
+        #: CSS uploaded through the extension services (§4.2 "Styling")
+        self.stylesheet: str = ""
+        #: outputs adopted from a previous version (incremental runs)
+        self._fresh_outputs: set[str] = set()
+        self._build_widgets()
+
+    # ------------------------------------------------------------------
+    # flow execution
+    # ------------------------------------------------------------------
+    def run_flows(
+        self, engine: str | None = None, incremental: bool = False
+    ) -> RunReport:
+        """Execute the batch half; returns the run report.
+
+        ``engine`` is ``"local"``, ``"distributed"``, or ``None`` to let
+        the environment profile decide from the input size (§4.1).
+
+        ``incremental=True`` skips flows whose results were adopted from
+        a previous dashboard version (see :meth:`adopt_materialized`) —
+        only the stale part of the DAG re-runs.
+        """
+        context = self._task_context()
+        plan = self.compiled.plan
+        skipped: list[str] = []
+        if incremental and self._fresh_outputs:
+            plan, skipped = self._incremental_plan()
+        if engine is None:
+            estimated = sum(
+                t.num_rows for t in self._inline_tables.values()
+            )
+            engine = self.environment.choose_engine(estimated)
+        if engine == "local":
+            result = LocalExecutor(self._resolve_source).run(
+                plan, context
+            )
+            report = RunReport(
+                engine=engine,
+                seconds=result.stats.seconds,
+                rows_loaded=result.stats.rows_loaded,
+                rows_produced=result.stats.rows_produced,
+            )
+            self._materialized.update(result.tables)
+            self._last_node_stats = list(result.stats.node_stats)
+            self._last_stages = []
+        elif engine == "distributed":
+            result = DistributedExecutor(self._resolve_source).run(
+                plan, context
+            )
+            report = RunReport(
+                engine=engine,
+                seconds=result.seconds,
+                rows_produced=result.rows_produced,
+                shuffled_records=result.total_shuffled_records,
+            )
+            self._materialized.update(result.tables)
+            self._last_node_stats = []
+            self._last_stages = list(result.stages)
+        else:
+            raise ExecutionError(f"unknown engine {engine!r}")
+        report.flows_skipped = skipped
+        # A full run refreshes everything: nothing stays "fresh".
+        self._fresh_outputs = set(skipped)
+        report.endpoints = self.compiled.endpoint_names
+        report.published = self._publish()
+        self._rebuild_cubes()
+        self.last_run = report
+        return report
+
+    # ------------------------------------------------------------------
+    # incremental recomputation (§4.5.3 fast feedback, §6 optimization)
+    # ------------------------------------------------------------------
+    def adopt_materialized(self, previous: "Dashboard") -> list[str]:
+        """Carry over results of flows unchanged since ``previous``.
+
+        Compares per-output content fingerprints (pipe expression, all
+        upstream task configurations, upstream source configurations);
+        matching outputs are copied and marked fresh, so a subsequent
+        ``run_flows(incremental=True)`` only re-runs the stale part of
+        the DAG.  Returns the adopted output names.
+        """
+        from repro.compiler.compiler import flow_fingerprints
+
+        mine = flow_fingerprints(self.compiled)
+        theirs = flow_fingerprints(previous.compiled)
+        adopted: list[str] = []
+        for output, fingerprint in mine.items():
+            if (
+                theirs.get(output) == fingerprint
+                and output in previous._materialized
+            ):
+                self._materialized[output] = previous._materialized[
+                    output
+                ]
+                adopted.append(output)
+        self._fresh_outputs = set(adopted)
+        return adopted
+
+    def _incremental_plan(self):
+        """A plan covering only stale flows; fresh outputs act as
+        sources (their tables are served from ``_materialized``)."""
+        from repro.compiler.dag import build_dag
+        from repro.engine.plan import build_logical_plan
+        from repro.dsl.ast_nodes import FlowFile
+
+        fresh = set(self._fresh_outputs)
+        stale_flows = [
+            flow
+            for flow in self.flow_file.flows
+            if flow.output not in fresh
+        ]
+        skipped = sorted(
+            flow.output
+            for flow in self.flow_file.flows
+            if flow.output in fresh
+        )
+        if not stale_flows:
+            from repro.engine.plan import LogicalPlan
+
+            return LogicalPlan(), skipped
+        pruned = FlowFile(
+            name=self.flow_file.name,
+            data=self.flow_file.data,
+            tasks=self.flow_file.tasks,
+            flows=stale_flows,
+            widgets={},
+            layout=None,
+        )
+        catalog_names = set(
+            self.catalog.names()
+        ) if self.catalog is not None else set()
+        dag = build_dag(pruned, external=fresh | catalog_names)
+        return build_logical_plan(dag, self.compiled.tasks), skipped
+
+    def _task_context(self) -> TaskContext:
+        return TaskContext(
+            data_dir=self._data_dir,
+            dictionaries=self._dictionaries,
+            widget_selections=self._selections(),
+        )
+
+    def _resolve_source(self, name: str) -> Table:
+        if name in self._inline_tables:
+            return self._inline_tables[name]
+        if name in self._materialized:
+            return self._materialized[name]
+        obj = self.flow_file.data.get(name)
+        if obj is not None and obj.is_source:
+            config = dict(obj.config)
+            if self._data_dir and "base_dir" not in config:
+                config["base_dir"] = str(self._data_dir)
+            schema = obj.schema or Schema.of()
+            return self.loader.load(schema, config)
+        if self.catalog is not None and name in self.catalog:
+            return self.catalog.resolve(name)
+        raise ExecutionError(
+            f"dashboard {self.name!r}: cannot resolve data object "
+            f"{name!r} (no source config, no inline table, not published)"
+        )
+
+    def _publish(self) -> list[str]:
+        published = []
+        if self.catalog is None:
+            return published
+        for obj in self.flow_file.published():
+            table = self._materialized.get(obj.name)
+            if table is None and obj.is_source:
+                # A raw source (dimension table) can be published too.
+                table = self._resolve_source(obj.name)
+            if table is None:
+                continue
+            assert obj.publish is not None
+            self.catalog.publish(
+                obj.publish, table, owner=self.name, source_object=obj.name
+            )
+            published.append(obj.publish)
+        return published
+
+    def bottleneck_report(self, top: int = 5) -> str:
+        """Where the last run spent its time (§6: "tools to identify
+        performance bottlenecks need to be provided").
+
+        For local runs: the slowest plan nodes with their row/cell
+        output.  For distributed runs: the heaviest shuffle stages.
+        """
+        if self.last_run is None:
+            return "no run recorded; run_flows() first"
+        lines = [
+            f"run on the {self.last_run.engine} engine: "
+            f"{self.last_run.seconds * 1000:.1f} ms total"
+        ]
+        if self._last_node_stats:
+            ranked = sorted(
+                self._last_node_stats, key=lambda s: -s.seconds
+            )[:top]
+            total = sum(s.seconds for s in self._last_node_stats) or 1e-12
+            for stat in ranked:
+                lines.append(
+                    f"  {stat.label}: {stat.seconds * 1000:.2f} ms "
+                    f"({stat.seconds / total:.0%}), "
+                    f"{stat.rows_out} rows out"
+                )
+        if self._last_stages:
+            shuffles = sorted(
+                (s for s in self._last_stages if s.shuffled_records),
+                key=lambda s: -s.shuffled_records,
+            )[:top]
+            for stage in shuffles:
+                lines.append(
+                    f"  shuffle {stage.task}: "
+                    f"{stage.shuffled_records} records "
+                    f"({stage.shuffled_bytes} bytes), "
+                    f"{stage.input_rows} -> {stage.output_rows} rows"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # endpoint data (REST surface, §4.4)
+    # ------------------------------------------------------------------
+    def endpoint_names(self) -> list[str]:
+        return self.compiled.endpoint_names
+
+    def endpoint(self, name: str) -> Table:
+        """Endpoint payload (capped per the environment profile)."""
+        if name not in set(self.compiled.endpoint_names):
+            raise ExecutionError(
+                f"data object {name!r} is not an endpoint of "
+                f"dashboard {self.name!r}"
+            )
+        table = self._materialized.get(name)
+        if table is None:
+            table = self._resolve_source(name)
+        limit = self.environment.max_payload_rows
+        return table.head(limit) if table.num_rows > limit else table
+
+    def export_endpoint(
+        self, name: str, config: Mapping[str, Any]
+    ) -> None:
+        """Write an endpoint's data through a sink connector/format.
+
+        ``config`` is data-object configuration (``source``/``format``/
+        protocol parameters, resolved against the data directory) — the
+        write-side counterpart of the data section, e.g.::
+
+            dashboard.export_endpoint(
+                "region_summary", {"source": "out.csv", "format": "csv"}
+            )
+        """
+        table = self.endpoint(name)
+        sink_config = dict(config)
+        if self._data_dir and "base_dir" not in sink_config:
+            sink_config["base_dir"] = str(self._data_dir)
+        self.loader.save(table, sink_config)
+
+    def materialized(self, name: str) -> Table:
+        table = self._materialized.get(name)
+        if table is None:
+            raise ExecutionError(
+                f"data object {name!r} has not been materialized; "
+                f"run_flows() first"
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    # widgets & interaction
+    # ------------------------------------------------------------------
+    def _build_widgets(self) -> None:
+        for name, plan in self.compiled.widget_plans.items():
+            widget = self._widget_registry.create(
+                name, plan.widget.type_name, plan.widget.config
+            )
+            if isinstance(widget, Slider) and plan.is_static:
+                widget.set_domain(list(plan.static_values or []))
+            self._widgets[name] = widget
+
+    def widget(self, name: str) -> Widget:
+        widget = self._widgets.get(name)
+        if widget is None:
+            raise WidgetError(
+                f"dashboard {self.name!r} has no widget {name!r}"
+            )
+        return widget
+
+    def widget_names(self) -> list[str]:
+        return sorted(self._widgets)
+
+    def _selections(self) -> dict[str, WidgetSelection]:
+        return {
+            name: widget.selection
+            for name, widget in self._widgets.items()
+            if not widget.selection.is_empty()
+        }
+
+    def _rebuild_cubes(self) -> None:
+        """Materialize each widget's server-side pipeline into a cube.
+
+        Widgets whose (source, server pipeline) coincide share one cube
+        — the payload is computed and shipped once, not per widget (the
+        §6 transfer minimization applied across widgets).
+        """
+        self._cubes.clear()
+        context = self._task_context()
+        context.widget_selections = {}  # server side is selection-free
+        shared: dict[tuple, DataCube] = {}
+        for name, plan in self.compiled.widget_plans.items():
+            if plan.is_static or plan.source_name is None:
+                continue
+            key = (
+                plan.source_name,
+                tuple(task.name for task in plan.server_tasks),
+            )
+            cube = shared.get(key)
+            if cube is None:
+                table = self._widget_base_table(plan)
+                for task in plan.server_tasks:
+                    table = task.apply([table], context)
+                limit = self.environment.max_payload_rows
+                if table.num_rows > limit:
+                    table = table.head(limit)
+                cube = DataCube(f"{key[0]}|{'|'.join(key[1])}", table)
+                shared[key] = cube
+            self._cubes[name] = cube
+
+    def _widget_base_table(self, plan: WidgetPlan) -> Table:
+        assert plan.source_name is not None
+        if plan.source_name in self._materialized:
+            return self._materialized[plan.source_name]
+        return self._resolve_source(plan.source_name)
+
+    @property
+    def transferred_bytes(self) -> int:
+        """Total endpoint payload shipped to the client.
+
+        Shared cubes (widgets with identical server pipelines) count
+        once — that is the point of sharing them.
+        """
+        distinct = {id(cube): cube for cube in self._cubes.values()}
+        return sum(cube.transferred_bytes for cube in distinct.values())
+
+    def select(
+        self,
+        widget_name: str,
+        column: str | None = None,
+        values: list[Any] | None = None,
+        value_range: tuple[Any, Any] | None = None,
+    ) -> None:
+        """Apply a user gesture to a widget (click, drag, pick).
+
+        ``column`` defaults to the widget's selection attribute.
+        Requires an interactive client (§4.1: with JavaScript disabled
+        the platform serves a static pre-rendered representation, so
+        there is nothing to gesture at).
+        """
+        if not self.environment.interactive:
+            raise WidgetError(
+                f"dashboard {self.name!r} is served statically "
+                f"(client has no interactivity); selections are disabled"
+            )
+        widget = self.widget(widget_name)
+        column = column or widget.selection_attribute
+        if column is None:
+            raise WidgetError(
+                f"widget {widget_name!r} does not support selection"
+            )
+        if values is not None:
+            widget.select_values(column, values)
+        elif value_range is not None:
+            widget.select_range(column, value_range[0], value_range[1])
+        else:
+            widget.clear_selection()
+
+    def widget_view(self, name: str) -> WidgetView:
+        """Render one widget with the current interaction state."""
+        widget = self.widget(name)
+        plan = self.compiled.widget_plans[name]
+        if isinstance(widget, (LayoutWidget, TabLayout)):
+            return widget.render_composite(self.widget_view)
+        if plan.is_static:
+            return widget.render(None)
+        if plan.source_name is None:
+            return widget.render(None)
+        cube = self._cubes.get(name)
+        if cube is None:
+            self._rebuild_cubes()
+            cube = self._cubes.get(name)
+        if cube is None:
+            return widget.render(None)
+        table = cube.query(plan.client_tasks, self._selections())
+        return widget.render(table)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> DashboardView:
+        """Render the full dashboard (grid of widget views)."""
+        views: dict[str, WidgetView] = {}
+
+        def resolve(widget_name: str) -> WidgetView:
+            if widget_name not in views:
+                views[widget_name] = self.widget_view(widget_name)
+            return views[widget_name]
+
+        layout = self.flow_file.layout
+        if layout is None or not layout.rows:
+            # No layout section (data-processing mode): summary only.
+            text = (
+                f"dashboard {self.name!r}: data-processing mode, "
+                f"endpoints: {', '.join(self.endpoint_names()) or '-'}"
+            )
+            return DashboardView(name=self.name, html="", text=text)
+        html, text = GridRenderer().render_rows(layout, resolve)
+        title = layout.description or self.name
+        style = (
+            f"<style>{self.stylesheet}</style>" if self.stylesheet else ""
+        )
+        html = (
+            f"<html><head><title>{title}</title>{style}</head>"
+            f"<body><h1>{title}</h1>{html}</body></html>"
+        )
+        return DashboardView(
+            name=self.name,
+            html=html,
+            text=f"== {title} ==\n{text}",
+            widget_views=views,
+        )

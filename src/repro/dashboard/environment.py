@@ -1,0 +1,85 @@
+"""Operating-environment adaptation (paper §4.1).
+
+"The generated output needs to be cognizant of the operating environment
+settings (constraints) such as screen resolution and client computing
+resources... These constraints influence what analysis can be displayed
+meaningfully and the platform needs to choose the appropriate
+representation and execution engine."
+
+:class:`EnvironmentProfile` captures those constraints and makes the
+three decisions the paper names: how much data ships to the client, how
+the grid is laid out, and which representation (interactive cube vs
+static pre-rendered) and engine a dashboard run uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """One client/session environment."""
+
+    #: CSS pixels of the viewport
+    screen_width: int = 1280
+    #: whether the client executes the interactive cube at all
+    js_enabled: bool = True
+    #: relative client compute capacity
+    client_power: str = "high"  # "high" | "medium" | "low"
+
+    # -- named profiles ------------------------------------------------------
+    @classmethod
+    def desktop(cls) -> "EnvironmentProfile":
+        return cls(screen_width=1920, js_enabled=True, client_power="high")
+
+    @classmethod
+    def laptop(cls) -> "EnvironmentProfile":
+        return cls(screen_width=1280, js_enabled=True, client_power="medium")
+
+    @classmethod
+    def mobile(cls) -> "EnvironmentProfile":
+        return cls(screen_width=400, js_enabled=True, client_power="low")
+
+    @classmethod
+    def no_js(cls) -> "EnvironmentProfile":
+        return cls(screen_width=1280, js_enabled=False, client_power="low")
+
+    # -- decisions -----------------------------------------------------------
+    @property
+    def interactive(self) -> bool:
+        """Ship the data cube, or pre-render everything server-side?"""
+        return self.js_enabled
+
+    @property
+    def max_payload_rows(self) -> int:
+        """Cap on endpoint rows shipped to the client cube."""
+        return {"high": 100_000, "medium": 20_000, "low": 2_000}[
+            self.client_power
+        ]
+
+    @property
+    def grid_columns(self) -> int:
+        """Effective grid width: narrow screens stack cells."""
+        if self.screen_width < 600:
+            return 1
+        if self.screen_width < 1000:
+            return 6
+        return 12
+
+    def effective_span(self, span: int) -> int:
+        """Widen cells when the grid narrows (a span4 cell on mobile
+        becomes full-width)."""
+        columns = self.grid_columns
+        if columns >= 12:
+            return span
+        return min(12, max(span, 12 // max(columns // max(span, 1), 1)))
+
+    def choose_engine(self, estimated_rows: int) -> str:
+        """Pick the batch engine for a flow run by input size.
+
+        Small inputs run locally for fast feedback (§4.5.3 item 4);
+        large ones go to the simulated cluster, mirroring the paper's
+        Pig/Spark offload.
+        """
+        return "distributed" if estimated_rows > 50_000 else "local"

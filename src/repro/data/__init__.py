@@ -1,0 +1,20 @@
+"""Tabular data substrate.
+
+Every data object flowing through the platform — sources, sinks,
+intermediate results, endpoint data — is a :class:`~repro.data.table.Table`
+described by a :class:`~repro.data.schema.Schema`.  Filter/map expressions
+used by tasks live in :mod:`repro.data.expressions`.
+"""
+
+from repro.data.schema import Column, ColumnType, Schema
+from repro.data.table import Table
+from repro.data.expressions import Expression, compile_expression
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "Expression",
+    "compile_expression",
+]

@@ -1,0 +1,485 @@
+"""Expression language for task configuration.
+
+The flow file configures tasks with small expressions over column names,
+e.g. ``filter_expression: rating < 3`` (paper Fig. 7) or computed map
+outputs.  This module implements that language: a tokenizer, a Pratt
+parser producing a small AST, and a row-dict evaluator.
+
+Grammar (in precedence order, loosest first)::
+
+    expr     := or_expr
+    or_expr  := and_expr ("or" and_expr)*
+    and_expr := not_expr ("and" not_expr)*
+    not_expr := "not" not_expr | comparison
+    comparison := additive (("=="|"!="|"<"|"<="|">"|">="|"in") additive)?
+    additive := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/"|"%") unary)*
+    unary    := "-" unary | primary
+    primary  := NUMBER | STRING | "true" | "false" | "null"
+              | IDENT "(" args ")" | IDENT | "(" expr ")" | "[" args "]"
+
+Identifiers resolve to row columns at evaluation time; unknown identifiers
+raise :class:`~repro.errors.ExpressionError`.  Comparisons against ``None``
+are false (SQL-like three-valued logic collapsed to false), so filters never
+crash on missing data — a property the dirty hackathon data sets rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ExpressionError
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><=|>=|==|!=|=|<|>|\+|-|\*|/|%|\(|\)|\[|\]|,)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "true", "false", "null", "none"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # number | string | ident | op | keyword | eof
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens, raising on unknown characters."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ExpressionError(
+                f"unexpected character {source[pos]!r} at offset {pos} "
+                f"in expression {source!r}"
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "ws":
+            if kind == "ident" and text.lower() in _KEYWORDS:
+                tokens.append(Token("keyword", text.lower(), pos))
+            else:
+                tokens.append(Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", pos))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base expression node."""
+
+    def references(self) -> set[str]:
+        """Column names this expression reads (used by the optimizer)."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    name: str
+
+    def references(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str
+    operand: Node
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str
+    left: Node
+    right: Node
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    name: str
+    args: tuple[Node, ...]
+
+    def references(self) -> set[str]:
+        refs: set[str] = set()
+        for arg in self.args:
+            refs |= arg.references()
+        return refs
+
+
+@dataclass(frozen=True)
+class ListLiteral(Node):
+    items: tuple[Node, ...]
+
+    def references(self) -> set[str]:
+        refs: set[str] = set()
+        for item in self.items:
+            refs |= item.references()
+        return refs
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise ExpressionError(
+                f"expected {text!r} but found {token.text!r} "
+                f"in expression {self._source!r}"
+            )
+        return token
+
+    def parse(self) -> Node:
+        node = self._or_expr()
+        trailing = self._peek()
+        if trailing.kind != "eof":
+            raise ExpressionError(
+                f"unexpected trailing input {trailing.text!r} "
+                f"in expression {self._source!r}"
+            )
+        return node
+
+    def _or_expr(self) -> Node:
+        node = self._and_expr()
+        while self._peek().text == "or":
+            self._next()
+            node = Binary("or", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> Node:
+        node = self._not_expr()
+        while self._peek().text == "and":
+            self._next()
+            node = Binary("and", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> Node:
+        if self._peek().text == "not":
+            self._next()
+            return Unary("not", self._not_expr())
+        return self._comparison()
+
+    _COMPARATORS = {"==", "=", "!=", "<", "<=", ">", ">=", "in"}
+
+    def _comparison(self) -> Node:
+        node = self._additive()
+        token = self._peek()
+        if token.text in self._COMPARATORS:
+            self._next()
+            op = "==" if token.text == "=" else token.text
+            node = Binary(op, node, self._additive())
+        return node
+
+    def _additive(self) -> Node:
+        node = self._multiplicative()
+        while self._peek().text in ("+", "-"):
+            op = self._next().text
+            node = Binary(op, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> Node:
+        node = self._unary()
+        while self._peek().text in ("*", "/", "%"):
+            op = self._next().text
+            node = Binary(op, node, self._unary())
+        return node
+
+    def _unary(self) -> Node:
+        if self._peek().text == "-":
+            self._next()
+            return Unary("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Node:
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            return Literal(_unquote(token.text))
+        if token.kind == "keyword":
+            if token.text == "true":
+                return Literal(True)
+            if token.text == "false":
+                return Literal(False)
+            if token.text in ("null", "none"):
+                return Literal(None)
+            raise ExpressionError(
+                f"keyword {token.text!r} cannot start a value "
+                f"in expression {self._source!r}"
+            )
+        if token.kind == "ident":
+            if self._peek().text == "(":
+                self._next()
+                args = self._arguments(")")
+                return Call(token.text.lower(), tuple(args))
+            return ColumnRef(token.text)
+        if token.text == "(":
+            node = self._or_expr()
+            self._expect(")")
+            return node
+        if token.text == "[":
+            items = self._arguments("]")
+            return ListLiteral(tuple(items))
+        raise ExpressionError(
+            f"unexpected token {token.text!r} in expression {self._source!r}"
+        )
+
+    def _arguments(self, closer: str) -> list[Node]:
+        args: list[Node] = []
+        if self._peek().text == closer:
+            self._next()
+            return args
+        while True:
+            args.append(self._or_expr())
+            token = self._next()
+            if token.text == closer:
+                return args
+            if token.text != ",":
+                raise ExpressionError(
+                    f"expected ',' or {closer!r} but found {token.text!r} "
+                    f"in expression {self._source!r}"
+                )
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _fn_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "len": lambda v: len(v) if v is not None else 0,
+    "lower": lambda v: v.lower() if isinstance(v, str) else v,
+    "upper": lambda v: v.upper() if isinstance(v, str) else v,
+    "strip": lambda v: v.strip() if isinstance(v, str) else v,
+    "abs": lambda v: abs(v) if v is not None else None,
+    "round": lambda v, n=0: round(v, int(n)) if v is not None else None,
+    "floor": lambda v: math.floor(v) if v is not None else None,
+    "ceil": lambda v: math.ceil(v) if v is not None else None,
+    "sqrt": lambda v: math.sqrt(v) if v is not None and v >= 0 else None,
+    "min": lambda *vs: min(v for v in vs if v is not None),
+    "max": lambda *vs: max(v for v in vs if v is not None),
+    "contains": lambda haystack, needle: (
+        isinstance(haystack, str) and str(needle) in haystack
+    ),
+    "startswith": lambda s, prefix: (
+        isinstance(s, str) and s.startswith(str(prefix))
+    ),
+    "endswith": lambda s, suffix: (
+        isinstance(s, str) and s.endswith(str(suffix))
+    ),
+    "concat": lambda *vs: "".join("" if v is None else str(v) for v in vs),
+    "str": lambda v: "" if v is None else str(v),
+    "int": lambda v: int(float(v)) if v not in (None, "") else None,
+    "float": lambda v: float(v) if v not in (None, "") else None,
+    "year": lambda v: _date_part(v, 0),
+    "month": lambda v: _date_part(v, 1),
+    "day": lambda v: _date_part(v, 2),
+    "coalesce": _fn_coalesce,
+    "isnull": lambda v: v is None,
+}
+
+
+def _date_part(value: Any, index: int) -> int | None:
+    """Extract year/month/day from an ISO ``yyyy-MM-dd...`` string or date."""
+    if value is None:
+        return None
+    if hasattr(value, "year"):
+        return (value.year, value.month, value.day)[index]
+    parts = str(value).split("T")[0].split(" ")[0].split("-")
+    if len(parts) <= index:
+        return None
+    try:
+        return int(parts[index])
+    except ValueError:
+        return None
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    # Ordering against None is false, not an error (three-valued logic).
+    if left is None or right is None:
+        return False
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        # Mixed types (e.g. "5" < 3): compare numerically when possible.
+        try:
+            lnum, rnum = float(left), float(right)
+        except (TypeError, ValueError):
+            return False
+        return _compare(op, lnum, rnum)
+    raise ExpressionError(f"unknown comparator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right if right != 0 else None
+        if op == "%":
+            return left % right if right != 0 else None
+    except TypeError as exc:
+        raise ExpressionError(
+            f"cannot apply {op!r} to {left!r} and {right!r}"
+        ) from exc
+    raise ExpressionError(f"unknown operator {op!r}")
+
+
+def evaluate(node: Node, row: Mapping[str, Any]) -> Any:
+    """Evaluate ``node`` against one row dict."""
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, ColumnRef):
+        if node.name not in row:
+            raise ExpressionError(
+                f"unknown column {node.name!r}; row has {sorted(row)}"
+            )
+        return row[node.name]
+    if isinstance(node, Unary):
+        value = evaluate(node.operand, row)
+        if node.op == "not":
+            return not value
+        if node.op == "-":
+            return -value if value is not None else None
+        raise ExpressionError(f"unknown unary operator {node.op!r}")
+    if isinstance(node, Binary):
+        if node.op == "and":
+            return bool(evaluate(node.left, row)) and bool(
+                evaluate(node.right, row)
+            )
+        if node.op == "or":
+            return bool(evaluate(node.left, row)) or bool(
+                evaluate(node.right, row)
+            )
+        left = evaluate(node.left, row)
+        right = evaluate(node.right, row)
+        if node.op == "in":
+            if right is None:
+                return False
+            return left in right
+        if node.op in ("==", "!=", "<", "<=", ">", ">="):
+            return _compare(node.op, left, right)
+        return _arith(node.op, left, right)
+    if isinstance(node, Call):
+        fn = _FUNCTIONS.get(node.name)
+        if fn is None:
+            raise ExpressionError(f"unknown function {node.name!r}")
+        args = [evaluate(a, row) for a in node.args]
+        try:
+            return fn(*args)
+        except (ValueError, TypeError) as exc:
+            raise ExpressionError(
+                f"error calling {node.name}({args!r}): {exc}"
+            ) from exc
+    if isinstance(node, ListLiteral):
+        return [evaluate(item, row) for item in node.items]
+    raise ExpressionError(f"cannot evaluate node {node!r}")
+
+
+class Expression:
+    """A parsed, reusable expression."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.root = _Parser(tokenize(source), source).parse()
+
+    def __call__(self, row: Mapping[str, Any]) -> Any:
+        return evaluate(self.root, row)
+
+    def references(self) -> set[str]:
+        return self.root.references()
+
+    def __repr__(self) -> str:
+        return f"Expression({self.source!r})"
+
+
+def compile_expression(source: str) -> Expression:
+    """Parse ``source`` once; the result is a callable ``row -> value``."""
+    return Expression(source)
+
+
+def register_function(name: str, fn: Callable[..., Any]) -> None:
+    """Extension hook: add a function usable inside expressions."""
+    key = name.lower()
+    if key in _FUNCTIONS:
+        raise ExpressionError(f"function {name!r} already registered")
+    _FUNCTIONS[key] = fn

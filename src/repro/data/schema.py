@@ -1,0 +1,219 @@
+"""Schemas for platform data objects.
+
+The flow file declares a schema for every data object as an ordered list of
+column names (paper §3.2, Fig. 5); optionally a column can carry a payload
+path mapping (``question => title``, Fig. 6) and a declared type.  Schemas
+travel with tables through every task so the validator can propagate them
+statically and the engine can check them dynamically.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types recognised by the platform.
+
+    ``ANY`` is the default for flow-file declared columns (the paper's DSL is
+    untyped); concrete types are inferred on load and refined by tasks.
+    """
+
+    ANY = "any"
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    DATE = "date"
+
+    @classmethod
+    def infer(cls, value: Any) -> "ColumnType":
+        """Infer the logical type of a single Python value."""
+        if value is None:
+            return cls.ANY
+        if isinstance(value, bool):
+            return cls.BOOL
+        if isinstance(value, int):
+            return cls.INT
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, (_dt.date, _dt.datetime)):
+            return cls.DATE
+        return cls.STRING
+
+    def unify(self, other: "ColumnType") -> "ColumnType":
+        """Return the narrowest type covering both ``self`` and ``other``."""
+        if self is other:
+            return self
+        if self is ColumnType.ANY:
+            return other
+        if other is ColumnType.ANY:
+            return self
+        numeric = {ColumnType.INT, ColumnType.FLOAT}
+        if self in numeric and other in numeric:
+            return ColumnType.FLOAT
+        return ColumnType.STRING
+
+
+_COERCIONS = {
+    ColumnType.STRING: str,
+    ColumnType.INT: int,
+    ColumnType.FLOAT: float,
+    ColumnType.BOOL: bool,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a schema.
+
+    ``source_path`` holds the payload path from a ``=>`` mapping in the data
+    section (e.g. ``user.location``); ``None`` means the column name is also
+    the payload field name.
+    """
+
+    name: str
+    type: ColumnType = ColumnType.ANY
+    source_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this column's type; ``None`` passes through."""
+        if value is None or self.type is ColumnType.ANY:
+            return value
+        caster = _COERCIONS.get(self.type)
+        if caster is None:  # DATE: keep whatever representation we got
+            return value
+        try:
+            return caster(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} to {self.type.value} "
+                f"for column {self.name!r}"
+            ) from exc
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name=name, type=self.type, source_path=self.source_path)
+
+
+class Schema:
+    """An ordered collection of uniquely-named :class:`Column` objects."""
+
+    def __init__(self, columns: Iterable[Column | str]):
+        cols: list[Column] = []
+        for col in columns:
+            if isinstance(col, str):
+                col = Column(col)
+            cols.append(col)
+        names = [c.name for c in cols]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        self._columns = tuple(cols)
+        self._index = {c.name: i for i, c in enumerate(cols)}
+
+    @classmethod
+    def of(cls, *names: str) -> "Schema":
+        """Convenience constructor: ``Schema.of("a", "b", "c")``."""
+        return cls(names)
+
+    @classmethod
+    def from_mapping(cls, mapping: dict[str, str | None]) -> "Schema":
+        """Build a schema from ``{column_name: source_path_or_None}``."""
+        return cls(
+            Column(name, source_path=path) for name, path in mapping.items()
+        )
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self.names}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        return f"Schema({self.names})"
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name``, raising :class:`SchemaError` if absent."""
+        if name not in self._index:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self.names}"
+            )
+        return self._index[name]
+
+    def require(self, names: Iterable[str], context: str = "") -> None:
+        """Raise unless every name in ``names`` exists in this schema."""
+        missing = [n for n in names if n not in self._index]
+        if missing:
+            where = f" in {context}" if context else ""
+            raise SchemaError(
+                f"columns {missing} not found{where}; "
+                f"available: {self.names}"
+            )
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names`` (in the given order)."""
+        names = list(names)
+        self.require(names)
+        return Schema(self[n] for n in names)
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Schema with ``names`` removed."""
+        dropped = set(names)
+        self.require(dropped)
+        return Schema(c for c in self._columns if c.name not in dropped)
+
+    def with_column(self, column: Column | str) -> "Schema":
+        """Schema extended with ``column`` (replacing a same-named one)."""
+        if isinstance(column, str):
+            column = Column(column)
+        cols = [c for c in self._columns if c.name != column.name]
+        cols.append(column)
+        return Schema(cols)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with columns renamed via ``{old: new}``."""
+        self.require(mapping)
+        return Schema(
+            c.renamed(mapping[c.name]) if c.name in mapping else c
+            for c in self._columns
+        )
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas; duplicate names are an error."""
+        return Schema(list(self._columns) + list(other.columns))

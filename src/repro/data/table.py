@@ -1,0 +1,300 @@
+"""Columnar in-memory table.
+
+The engine's unit of data.  Storage is column-major (``dict`` of lists) which
+makes the relational operators (project, group-by, join) natural and keeps
+per-row overhead low, while :meth:`Table.rows` provides row-dict iteration
+for map-style tasks and renderers.
+
+Tables are treated as immutable by the engine: every operator returns a new
+table.  The few mutating helpers (``append_row``) exist for builders such as
+format decoders and are not used on tables already handed to the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.schema import Column, ColumnType, Schema
+from repro.errors import SchemaError
+
+
+class Table:
+    """A schema-carrying columnar table."""
+
+    def __init__(
+        self,
+        schema: Schema | Sequence[str],
+        columns: Mapping[str, Sequence[Any]] | None = None,
+    ):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self._schema = schema
+        if columns is None:
+            columns = {name: [] for name in schema.names}
+        data: dict[str, list[Any]] = {}
+        length: int | None = None
+        for name in schema.names:
+            if name not in columns:
+                raise SchemaError(f"missing data for column {name!r}")
+            values = list(columns[name])
+            if length is None:
+                length = len(values)
+            elif len(values) != length:
+                raise SchemaError(
+                    f"ragged columns: {name!r} has {len(values)} values, "
+                    f"expected {length}"
+                )
+            data[name] = values
+        extra = set(columns) - set(schema.names)
+        if extra:
+            raise SchemaError(f"data for undeclared columns: {sorted(extra)}")
+        self._data = data
+        self._length = length or 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema | Sequence[str],
+        rows: Iterable[Mapping[str, Any] | Sequence[Any]],
+    ) -> "Table":
+        """Build a table from row dicts or row tuples.
+
+        Row dicts may omit columns (filled with ``None``); row sequences
+        must match the schema arity.
+        """
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        names = schema.names
+        data: dict[str, list[Any]] = {n: [] for n in names}
+        for row in rows:
+            if isinstance(row, Mapping):
+                for name in names:
+                    data[name].append(row.get(name))
+            else:
+                if len(row) != len(names):
+                    raise SchemaError(
+                        f"row arity {len(row)} != schema arity {len(names)}"
+                    )
+                for name, value in zip(names, row):
+                    data[name].append(value)
+        return cls(schema, data)
+
+    @classmethod
+    def empty(cls, schema: Schema | Sequence[str]) -> "Table":
+        return cls(schema)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._schema)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        # An empty table is still a real table; avoid truthiness surprises.
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._data == other._data
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self._schema.names}, rows={self._length})"
+
+    def column(self, name: str) -> list[Any]:
+        """The values of one column (a copy is *not* made; do not mutate)."""
+        if name not in self._data:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self._schema.names}"
+            )
+        return self._data[name]
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Row ``index`` as a dict."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"row {index} out of range 0..{self._length - 1}")
+        return {name: self._data[name][index] for name in self._schema.names}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts."""
+        names = self._schema.names
+        cols = [self._data[n] for n in names]
+        for values in zip(*cols) if cols else iter(()):
+            yield dict(zip(names, values))
+
+    def row_tuples(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate rows as tuples in schema order."""
+        cols = [self._data[n] for n in self._schema.names]
+        return iter(zip(*cols)) if cols else iter(())
+
+    # ------------------------------------------------------------------
+    # relational helpers used by tasks and the engine
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        """Projection: keep ``names`` in the given order."""
+        schema = self._schema.select(names)
+        return Table(schema, {n: self._data[n] for n in names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        schema = self._schema.drop(names)
+        return Table(schema, {n: self._data[n] for n in schema.names})
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        schema = self._schema.rename(mapping)
+        data = {
+            mapping.get(name, name): values
+            for name, values in self._data.items()
+        }
+        return Table(schema, data)
+
+    def with_column(self, name: str, values: Sequence[Any]) -> "Table":
+        """Add (or replace) a column."""
+        values = list(values)
+        if self._length and len(values) != self._length:
+            raise SchemaError(
+                f"column {name!r} has {len(values)} values, "
+                f"table has {self._length} rows"
+            )
+        schema = self._schema.with_column(Column(name))
+        data = dict(self._data)
+        data[name] = values
+        return Table(schema, {n: data[n] for n in schema.names})
+
+    def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Rows for which ``predicate(row_dict)`` is truthy."""
+        keep = [i for i, row in enumerate(self.rows()) if predicate(row)]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Rows at ``indices`` (in the given order)."""
+        data = {
+            name: [values[i] for i in indices]
+            for name, values in self._data.items()
+        }
+        return Table(self._schema, data)
+
+    def head(self, n: int) -> "Table":
+        return self.take(range(min(n, self._length)))
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertical union; schemas must have identical column names."""
+        if self._schema.names != other.schema.names:
+            raise SchemaError(
+                f"cannot concat: schemas differ "
+                f"{self._schema.names} vs {other.schema.names}"
+            )
+        data = {
+            name: self._data[name] + list(other.column(name))
+            for name in self._schema.names
+        }
+        return Table(self._schema, data)
+
+    def sorted_by(
+        self, keys: Sequence[str], descending: Sequence[bool] | None = None
+    ) -> "Table":
+        """Stable multi-key sort.
+
+        ``None`` values sort first ascending / last descending, mirroring the
+        behaviour of the SQL engines the platform compiles to.
+        """
+        self._schema.require(keys, context="sort")
+        descending = list(descending or [False] * len(keys))
+        if len(descending) != len(keys):
+            raise SchemaError("sort keys and directions differ in length")
+        indices = list(range(self._length))
+        # Stable sort applied from the least-significant key backwards.
+        for key, desc in reversed(list(zip(keys, descending))):
+            values = self._data[key]
+
+            def sort_key(i: int, values=values) -> tuple:
+                v = values[i]
+                return (v is not None, v) if not isinstance(v, bool) else (True, int(v))
+
+            try:
+                indices.sort(key=sort_key, reverse=desc)
+            except TypeError:
+                # Mixed types: fall back to string comparison.
+                indices.sort(
+                    key=lambda i, values=values: (
+                        values[i] is not None,
+                        str(values[i]),
+                    ),
+                    reverse=desc,
+                )
+        return self.take(indices)
+
+    def distinct(self, keys: Sequence[str] | None = None) -> "Table":
+        """First occurrence of each distinct key combination."""
+        keys = list(keys) if keys else self._schema.names
+        self._schema.require(keys, context="distinct")
+        seen: set = set()
+        indices = []
+        key_cols = [self._data[k] for k in keys]
+        for i in range(self._length):
+            key = tuple(_hashable(col[i]) for col in key_cols)
+            if key not in seen:
+                seen.add(key)
+                indices.append(i)
+        return self.take(indices)
+
+    def append_row(self, row: Mapping[str, Any]) -> None:
+        """Builder helper: append one row dict in place."""
+        for name in self._schema.names:
+            self._data[name].append(row.get(name))
+        self._length += 1
+
+    def infer_types(self) -> "Table":
+        """Return a table whose schema carries inferred column types."""
+        columns = []
+        for col in self._schema:
+            inferred = ColumnType.ANY
+            for value in self._data[col.name]:
+                if value is None:
+                    continue
+                inferred = inferred.unify(ColumnType.infer(value))
+            columns.append(
+                Column(col.name, type=inferred, source_path=col.source_path)
+            )
+        return Table(Schema(columns), self._data)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """All rows as a list of dicts (used by the REST layer)."""
+        return list(self.rows())
+
+    def estimated_bytes(self) -> int:
+        """Rough payload size, used by the transfer-minimizing optimizer."""
+        total = 0
+        for values in self._data.values():
+            for v in values:
+                if isinstance(v, str):
+                    total += len(v) + 8
+                else:
+                    total += 16
+        return total
+
+
+def _hashable(value: Any) -> Any:
+    """Map unhashable cell values (lists/dicts) to a hashable stand-in."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value

@@ -1,0 +1,37 @@
+"""The flow-file DSL (paper §3, grammar in Appendix B).
+
+A flow file is a single text document with Data (D), Task (T), Flow (F),
+Widget (W) and Layout (L) sections describing an entire data pipeline.
+:func:`parse_flow_file` turns text into a :class:`FlowFile` model;
+:func:`repro.dsl.serializer.serialize_flow_file` round-trips it back.
+"""
+
+from repro.dsl.ast_nodes import (
+    DataObject,
+    FlowFile,
+    FlowSpec,
+    LayoutCell,
+    LayoutSpec,
+    PipeExpr,
+    TaskSpec,
+    WidgetSpec,
+)
+from repro.dsl.parser import parse_flow_file
+from repro.dsl.pipes import parse_pipe
+from repro.dsl.serializer import serialize_flow_file
+from repro.dsl.validator import validate_flow_file
+
+__all__ = [
+    "DataObject",
+    "FlowFile",
+    "FlowSpec",
+    "LayoutCell",
+    "LayoutSpec",
+    "PipeExpr",
+    "TaskSpec",
+    "WidgetSpec",
+    "parse_flow_file",
+    "parse_pipe",
+    "serialize_flow_file",
+    "validate_flow_file",
+]

@@ -1,0 +1,176 @@
+"""Flow-file object model.
+
+:class:`FlowFile` is what :func:`repro.dsl.parser.parse_flow_file`
+produces, what the validator checks, what the compiler lowers, and what
+the serializer writes back out — the AST at the centre of Fig. 25.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data import Schema
+from repro.dsl.pipes import PipeExpr
+from repro.errors import FlowFileValidationError
+
+
+@dataclass
+class DataObject:
+    """One ``D`` section entry: declared schema + details.
+
+    ``schema`` comes from the ``name: [col, col => path, ...]`` form
+    (Figs. 5, 6, 18); ``config`` from the details block (source, protocol,
+    format and friends, Figs. 4, 6).  ``endpoint`` and ``publish``
+    implement the sharing semantics of §3.4.1.
+    """
+
+    name: str
+    schema: Schema | None = None
+    config: dict[str, Any] = field(default_factory=dict)
+    endpoint: bool = False
+    publish: str | None = None
+
+    @property
+    def is_source(self) -> bool:
+        """Has external configuration (a place to fetch from)."""
+        return bool(
+            self.config.get("source")
+            or self.config.get("rows") is not None
+            or self.config.get("protocol")
+            or self.config.get("query")
+            or self.config.get("table")
+        )
+
+    @property
+    def is_shared(self) -> bool:
+        return self.endpoint or self.publish is not None
+
+
+@dataclass
+class TaskSpec:
+    """One ``T`` section entry (uninstantiated task configuration)."""
+
+    name: str
+    config: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def type_name(self) -> str | None:
+        value = self.config.get("type")
+        if value is None and "parallel" in self.config:
+            return "parallel"
+        return str(value) if value is not None else None
+
+
+@dataclass
+class FlowSpec:
+    """One ``F`` section entry: ``D.output : <pipe expression>``."""
+
+    output: str
+    pipe: PipeExpr
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return self.pipe.inputs
+
+    @property
+    def tasks(self) -> tuple[str, ...]:
+        return self.pipe.tasks
+
+
+@dataclass
+class WidgetSpec:
+    """One ``W`` section entry.
+
+    ``source`` is the parsed pipe expression when the widget reads a data
+    object (possibly through interaction-flow tasks, §3.5.1);
+    ``static_source`` holds literal values (the Slider in Appendix A.2).
+    ``config`` keeps every other attribute — the widget implementation
+    splits them into data attributes and visual attributes.
+    """
+
+    name: str
+    type_name: str
+    source: PipeExpr | None = None
+    static_source: list[Any] | None = None
+    config: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LayoutCell:
+    """One grid cell: a column span and a widget reference."""
+
+    span: int
+    widget: str
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.span <= 12:
+            raise FlowFileValidationError(
+                f"layout span must be 1..12, got {self.span} "
+                f"for widget {self.widget!r}"
+            )
+
+
+@dataclass
+class LayoutSpec:
+    """The ``L`` section: description plus rows of cells (§3.6)."""
+
+    description: str = ""
+    rows: list[list[LayoutCell]] = field(default_factory=list)
+
+    def widget_names(self) -> list[str]:
+        return [cell.widget for row in self.rows for cell in row]
+
+
+@dataclass
+class FlowFile:
+    """A parsed flow file: the five sections of §3.1."""
+
+    name: str = "dashboard"
+    data: dict[str, DataObject] = field(default_factory=dict)
+    tasks: dict[str, TaskSpec] = field(default_factory=dict)
+    flows: list[FlowSpec] = field(default_factory=list)
+    widgets: dict[str, WidgetSpec] = field(default_factory=dict)
+    layout: LayoutSpec | None = None
+
+    # -- section-presence helpers (flow-file groups, §4.5.3) ---------------
+    @property
+    def is_data_processing_only(self) -> bool:
+        """True for data-processing-mode files: D/F/T but no W/L (§3.7.1)."""
+        return bool(self.flows) and not self.widgets and self.layout is None
+
+    @property
+    def is_consumption_only(self) -> bool:
+        """True for consumption-mode files: W/L/T but no F (§3.7.2)."""
+        return bool(self.widgets) and not self.flows
+
+    # -- lookup helpers ------------------------------------------------------
+    def data_object(self, name: str) -> DataObject:
+        obj = self.data.get(name)
+        if obj is None:
+            raise FlowFileValidationError(
+                f"unknown data object {name!r}; "
+                f"declared: {sorted(self.data)}"
+            )
+        return obj
+
+    def flow_for(self, output: str) -> FlowSpec | None:
+        for flow in self.flows:
+            if flow.output == output:
+                return flow
+        return None
+
+    def endpoints(self) -> list[DataObject]:
+        return [obj for obj in self.data.values() if obj.endpoint]
+
+    def published(self) -> list[DataObject]:
+        return [obj for obj in self.data.values() if obj.publish]
+
+    def external_sources(self) -> list[DataObject]:
+        """Data objects fetched from outside (not produced by a flow)."""
+        produced = {flow.output for flow in self.flows}
+        return [
+            obj
+            for name, obj in self.data.items()
+            if name not in produced and obj.is_source
+        ]

@@ -1,0 +1,337 @@
+"""Flow-file parser: raw config tree → :class:`~repro.dsl.ast_nodes.FlowFile`.
+
+Section semantics implemented here (paper §3):
+
+* ``D:`` — schema declarations (``name: [col, col => path]``) and, for
+  convenience, detail blocks; top-level ``D.name:`` blocks are the
+  data-details section of the Appendix B grammar.
+* ``T:`` — task configurations (opaque here; instantiated by the task
+  registry).
+* ``F:`` — flows ``D.out : <pipe>``; detail blocks are also accepted
+  inside ``F`` because the paper's own listings put them there (Fig. 19).
+* ``W:`` — widgets, with pipe-expression or literal sources.
+* ``L:`` — the 12-column grid layout.
+* ``+D.name`` — alias for ``endpoint: true`` (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.data import Column, Schema
+from repro.dsl.ast_nodes import (
+    DataObject,
+    FlowFile,
+    FlowSpec,
+    LayoutCell,
+    LayoutSpec,
+    TaskSpec,
+    WidgetSpec,
+)
+from repro.dsl.pipes import parse_pipe
+from repro.dsl.raw import ConfigMapping, parse_raw
+from repro.errors import FlowFileSyntaxError, FlowFileValidationError
+
+_SPAN_RE = re.compile(r"^span(\d{1,2})$", re.IGNORECASE)
+_ARROW = "=>"
+
+#: data-object configuration keys with platform meaning; everything else
+#: is passed to the connector/format as options.
+_SHARING_KEYS = ("endpoint", "publish")
+
+
+def parse_flow_file(source: str, name: str = "dashboard") -> FlowFile:
+    """Parse flow-file text into the object model."""
+    raw = parse_raw(source)
+    flow_file = FlowFile(name=name)
+    for key, value in raw.items():
+        key = _normalize_key(key)
+        if key in ("D", "data"):
+            _parse_data_section(value, flow_file)
+        elif key in ("T", "tasks"):
+            _parse_task_section(value, flow_file)
+        elif key in ("F", "flows"):
+            _parse_flow_section(value, flow_file)
+        elif key in ("W", "widgets"):
+            _parse_widget_section(value, flow_file)
+        elif key in ("L", "layout"):
+            _parse_layout_section(value, flow_file)
+        elif key == "name":
+            flow_file.name = str(value)
+        elif key.startswith("D.") or key.startswith("+D."):
+            # Top-level data-details / endpoint-alias entries.
+            _parse_data_entry(key, value, flow_file)
+        else:
+            raise FlowFileSyntaxError(
+                f"unknown top-level section {key!r} "
+                f"(expected D, T, F, W, L)"
+            )
+    return flow_file
+
+
+def _normalize_key(key: str) -> str:
+    """Collapse whitespace around dots: ``D. stack_summary`` → ``D.stack_summary``."""
+    return re.sub(r"\s*\.\s*", ".", key.strip())
+
+
+def _data_name(key: str) -> tuple[str, bool]:
+    """Strip ``D.``/``+D.`` qualifiers; returns (name, endpoint_alias)."""
+    key = _normalize_key(key)
+    endpoint_alias = False
+    if key.startswith("+"):
+        endpoint_alias = True
+        key = key[1:]
+    if key.startswith("D."):
+        key = key[2:]
+    return key, endpoint_alias
+
+
+def _ensure_data_object(flow_file: FlowFile, name: str) -> DataObject:
+    obj = flow_file.data.get(name)
+    if obj is None:
+        obj = DataObject(name=name)
+        flow_file.data[name] = obj
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# D section
+# ---------------------------------------------------------------------------
+
+
+def _parse_data_section(section: Any, flow_file: FlowFile) -> None:
+    if not isinstance(section, ConfigMapping):
+        raise FlowFileSyntaxError("D section must contain data objects")
+    for key, value in section.items():
+        _parse_data_entry(key, value, flow_file)
+
+
+def _parse_data_entry(key: str, value: Any, flow_file: FlowFile) -> None:
+    name, endpoint_alias = _data_name(key)
+    obj = _ensure_data_object(flow_file, name)
+    if endpoint_alias:
+        obj.endpoint = True
+    if isinstance(value, list):
+        obj.schema = _parse_schema(name, value)
+    elif isinstance(value, ConfigMapping):
+        _apply_details(obj, value)
+    elif isinstance(value, str) and value.strip():
+        # A flow defined in data-section position (Fig. 9).
+        flow_file.flows.append(
+            FlowSpec(output=name, pipe=parse_pipe(value, allow_no_tasks=False))
+        )
+    elif value in ("", None):
+        pass  # bare mention, e.g. `+D.name:` alias alone
+    else:
+        raise FlowFileSyntaxError(
+            f"data object {name!r}: cannot interpret value {value!r}"
+        )
+
+
+def _parse_schema(name: str, entries: list[Any]) -> Schema:
+    columns = []
+    for entry in entries:
+        if not isinstance(entry, str):
+            raise FlowFileSyntaxError(
+                f"data object {name!r}: schema entries must be column "
+                f"names, got {entry!r}"
+            )
+        if _ARROW in entry:
+            left, _, right = entry.partition(_ARROW)
+            # `column => payload_path` (Fig. 18: `location =>
+            # user.location` binds payload path user.location to the
+            # schema attribute `location`; Fig. 22's intermediate schema
+            # confirms the left-hand names are the columns).
+            columns.append(
+                Column(left.strip(), source_path=right.strip())
+            )
+        else:
+            columns.append(Column(entry.strip()))
+    return Schema(columns)
+
+
+def _apply_details(obj: DataObject, details: ConfigMapping) -> None:
+    for key, value in details.items():
+        key = key.strip()
+        if key == "endpoint":
+            obj.endpoint = _truthy(value)
+        elif key == "publish":
+            obj.publish = str(value)
+        else:
+            obj.config[key] = _plain_value(value)
+
+
+# ---------------------------------------------------------------------------
+# T section
+# ---------------------------------------------------------------------------
+
+
+def _parse_task_section(section: Any, flow_file: FlowFile) -> None:
+    if not isinstance(section, ConfigMapping):
+        raise FlowFileSyntaxError("T section must contain task entries")
+    for key, value in section.items():
+        name = _normalize_key(key)
+        if name.startswith("T."):
+            name = name[2:]
+        if not isinstance(value, ConfigMapping):
+            raise FlowFileSyntaxError(
+                f"task {name!r} must be a configuration block"
+            )
+        config = _plain_value(value)
+        if name in flow_file.tasks:
+            raise FlowFileValidationError(f"duplicate task {name!r}")
+        flow_file.tasks[name] = TaskSpec(name=name, config=config)
+
+
+# ---------------------------------------------------------------------------
+# F section
+# ---------------------------------------------------------------------------
+
+
+def _parse_flow_section(section: Any, flow_file: FlowFile) -> None:
+    if not isinstance(section, ConfigMapping):
+        raise FlowFileSyntaxError("F section must contain flow entries")
+    for key, value in section.items():
+        name, endpoint_alias = _data_name(key)
+        if isinstance(value, ConfigMapping):
+            # Data details inside F (paper Fig. 19).
+            obj = _ensure_data_object(flow_file, name)
+            if endpoint_alias:
+                obj.endpoint = True
+            _apply_details(obj, value)
+            continue
+        if not isinstance(value, str) or not value.strip():
+            raise FlowFileSyntaxError(
+                f"flow {name!r} must be a pipe expression"
+            )
+        obj = _ensure_data_object(flow_file, name)
+        if endpoint_alias:
+            obj.endpoint = True
+        flow_file.flows.append(
+            FlowSpec(output=name, pipe=parse_pipe(value, allow_no_tasks=False))
+        )
+
+
+# ---------------------------------------------------------------------------
+# W section
+# ---------------------------------------------------------------------------
+
+
+def _parse_widget_section(section: Any, flow_file: FlowFile) -> None:
+    if not isinstance(section, ConfigMapping):
+        raise FlowFileSyntaxError("W section must contain widget entries")
+    for key, value in section.items():
+        name = _normalize_key(key)
+        if name.startswith("W."):
+            name = name[2:]
+        if not isinstance(value, ConfigMapping):
+            raise FlowFileSyntaxError(
+                f"widget {name!r} must be a configuration block"
+            )
+        config = _plain_value(value)
+        type_name = config.pop("type", None)
+        if type_name is None:
+            raise FlowFileValidationError(
+                f"widget {name!r} has no 'type'"
+            )
+        source = config.pop("source", None)
+        pipe = None
+        static = None
+        if isinstance(source, list):
+            static = source
+        elif isinstance(source, str) and source.strip():
+            pipe = parse_pipe(source, allow_no_tasks=True)
+        elif source is not None:
+            raise FlowFileSyntaxError(
+                f"widget {name!r}: cannot interpret source {source!r}"
+            )
+        if name in flow_file.widgets:
+            raise FlowFileValidationError(f"duplicate widget {name!r}")
+        flow_file.widgets[name] = WidgetSpec(
+            name=name,
+            type_name=str(type_name),
+            source=pipe,
+            static_source=static,
+            config=config,
+        )
+
+
+# ---------------------------------------------------------------------------
+# L section
+# ---------------------------------------------------------------------------
+
+
+def _parse_layout_section(section: Any, flow_file: FlowFile) -> None:
+    if not isinstance(section, ConfigMapping):
+        raise FlowFileSyntaxError("L section must be a configuration block")
+    layout = LayoutSpec()
+    for key, value in section.items():
+        if key == "description":
+            layout.description = str(value)
+        elif key == "rows":
+            layout.rows = _parse_rows(value)
+        else:
+            raise FlowFileSyntaxError(
+                f"unknown layout key {key!r} (expected description, rows)"
+            )
+    flow_file.layout = layout
+
+
+def _parse_rows(value: Any) -> list[list[LayoutCell]]:
+    if not isinstance(value, list):
+        raise FlowFileSyntaxError("layout 'rows' must be a list")
+    rows: list[list[LayoutCell]] = []
+    for row in value:
+        if not isinstance(row, list):
+            raise FlowFileSyntaxError(
+                f"layout row must be a cell list, got {row!r}"
+            )
+        cells: list[LayoutCell] = []
+        for cell in row:
+            cells.append(_parse_cell(cell))
+        total = sum(c.span for c in cells)
+        if total > 12:
+            raise FlowFileValidationError(
+                f"layout row spans {total} columns; the grid has 12"
+            )
+        rows.append(cells)
+    return rows
+
+
+def _parse_cell(cell: Any) -> LayoutCell:
+    if isinstance(cell, ConfigMapping):
+        cell = cell.to_dict()
+    if isinstance(cell, dict) and len(cell) == 1:
+        (span_key, widget), = cell.items()
+        match = _SPAN_RE.match(str(span_key).strip())
+        if match is None:
+            raise FlowFileSyntaxError(
+                f"layout cell key must be span<N>, got {span_key!r}"
+            )
+        widget_name = _normalize_key(str(widget))
+        if widget_name.startswith("W."):
+            widget_name = widget_name[2:]
+        return LayoutCell(span=int(match.group(1)), widget=widget_name)
+    raise FlowFileSyntaxError(
+        f"layout cell must be a single span<N>: W.widget entry, got {cell!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _plain_value(value: Any) -> Any:
+    if isinstance(value, ConfigMapping):
+        return {k: _plain_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_plain_value(v) for v in value]
+    return value
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "yes", "1")
+    return bool(value)

@@ -1,0 +1,154 @@
+"""Pipe-expression parser (paper Appendix B, flow section grammar).
+
+A flow expression transforms data objects through tasks with Unix pipe
+notation::
+
+    flow := '('? D.input (',' D.input)* ')'? ('|' T.task)+
+
+The same notation configures widget sources (§3.5: "source:
+D.project_data | T.get_date | T.aggregate_project_bubbles"), where zero
+tasks are also legal (a widget bound straight to a data object).
+
+This is a hand-written recursive-descent parser over a token stream, per
+the lexer rules in Appendix B (identifiers, round brackets, ``D.``/``T.``
+qualifiers, ``|`` and ``,``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import FlowFileSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<qual>[DTW])\s*\.\s*(?P<qname>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<punct>[(),|]))"
+)
+
+
+@dataclass(frozen=True)
+class PipeExpr:
+    """A parsed pipe expression: fan-in inputs, then a task chain."""
+
+    inputs: tuple[str, ...]
+    tasks: tuple[str, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        if len(self.inputs) == 1:
+            head = f"D.{self.inputs[0]}"
+        else:
+            head = "(" + ", ".join(f"D.{i}" for i in self.inputs) + ")"
+        tail = "".join(f" | T.{t}" for t in self.tasks)
+        return head + tail
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # data | task | widget | bare | punct | eof
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(source):
+        if source[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(source, pos)
+        if match is None or match.end() == pos:
+            raise FlowFileSyntaxError(
+                f"bad pipe expression near {source[pos:pos + 12]!r} "
+                f"in {source!r}"
+            )
+        if match.group("qual"):
+            kind = {"D": "data", "T": "task", "W": "widget"}[
+                match.group("qual")
+            ]
+            tokens.append(_Token(kind, match.group("qname"), pos))
+        elif match.group("name"):
+            tokens.append(_Token("bare", match.group("name"), pos))
+        else:
+            tokens.append(_Token("punct", match.group("punct"), pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", pos))
+    return tokens
+
+
+def parse_pipe(source: str, allow_no_tasks: bool = True) -> PipeExpr:
+    """Parse a flow/widget-source pipe expression.
+
+    Bare identifiers (no ``D.`` qualifier) are accepted as data-object
+    names for convenience; the paper's listings always qualify.
+    """
+    tokens = _tokenize(source)
+    pos = 0
+
+    def peek() -> _Token:
+        return tokens[pos]
+
+    def advance() -> _Token:
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    inputs: list[str] = []
+    if peek().kind == "punct" and peek().text == "(":
+        advance()
+        while True:
+            token = advance()
+            if token.kind not in ("data", "bare"):
+                raise FlowFileSyntaxError(
+                    f"expected data object in fan-in, got {token.text!r} "
+                    f"in {source!r}"
+                )
+            inputs.append(token.text)
+            token = advance()
+            if token.text == ")":
+                break
+            if token.text != ",":
+                raise FlowFileSyntaxError(
+                    f"expected ',' or ')' in fan-in, got {token.text!r} "
+                    f"in {source!r}"
+                )
+    else:
+        token = advance()
+        if token.kind not in ("data", "bare"):
+            raise FlowFileSyntaxError(
+                f"pipe expression must start with a data object, "
+                f"got {token.text!r} in {source!r}"
+            )
+        inputs.append(token.text)
+
+    tasks: list[str] = []
+    while peek().kind == "punct" and peek().text == "|":
+        advance()
+        token = advance()
+        if token.kind not in ("task", "bare"):
+            raise FlowFileSyntaxError(
+                f"expected task after '|', got {token.text!r} in {source!r}"
+            )
+        tasks.append(token.text)
+
+    trailing = peek()
+    if trailing.kind != "eof":
+        raise FlowFileSyntaxError(
+            f"unexpected trailing {trailing.text!r} in {source!r}"
+        )
+    if not tasks and not allow_no_tasks:
+        raise FlowFileSyntaxError(
+            f"flow must apply at least one task: {source!r}"
+        )
+    return PipeExpr(inputs=tuple(inputs), tasks=tuple(tasks))
+
+
+def looks_like_pipe(value: object) -> bool:
+    """Heuristic: does a raw config value hold a pipe expression?"""
+    if not isinstance(value, str):
+        return False
+    text = value.strip()
+    return text.startswith(("D.", "D .", "(")) or " | " in text or "|" in text

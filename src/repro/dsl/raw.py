@@ -1,0 +1,413 @@
+"""Raw flow-file text parsing: lines → an ordered multimap tree.
+
+The flow file is an indentation-structured configuration format (the
+paper's listings are YAML-flavoured).  This module handles the *textual*
+layer only — section interpretation lives in :mod:`repro.dsl.parser`.
+
+Why a multimap and not a plain dict: the same key legitimately appears
+twice — ``D.players_tweets`` is both a flow definition and, later, a
+data-details block (paper Fig. 19) — so mappings are ordered lists of
+``(key, value)`` pairs wrapped in :class:`ConfigMapping`.
+
+Syntax handled (all appear in the paper's listings):
+
+* ``key: value`` entries and nested blocks by indentation
+* ``- item`` list entries, including ``- key: value`` mapping items that
+  continue on deeper-indented lines (Fig. 8 aggregates)
+* inline lists ``[a, b => c, 'quoted']`` spanning multiple physical lines
+  (bracket-balanced continuation, Figs. 5, 18, 20)
+* pipe continuations: a line ending with ``|`` or a following line
+  starting with ``|`` extends the previous logical line (Figs. 9, 12)
+* block scalars: a key whose indented children are not ``key: value``
+  pairs takes the joined text as its value (Fig. 8's flow entry)
+* comments ``# ...`` (quote-aware) and the ``#+ ... +`` annotation form
+* the ``+D.name:`` endpoint alias prefix is preserved for the parser
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import FlowFileSyntaxError
+
+
+class ConfigMapping:
+    """An ordered multimap of configuration entries."""
+
+    def __init__(self) -> None:
+        self.pairs: list[tuple[str, Any]] = []
+
+    def add(self, key: str, value: Any) -> None:
+        self.pairs.append((key, value))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.pairs:
+            if k == key:
+                return v
+        return default
+
+    def get_all(self, key: str) -> list[Any]:
+        return [v for k, v in self.pairs if k == key]
+
+    def keys(self) -> list[str]:
+        return [k for k, _v in self.pairs]
+
+    def items(self) -> list[tuple[str, Any]]:
+        return list(self.pairs)
+
+    def __contains__(self, key: object) -> bool:
+        return any(k == key for k, _v in self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        return iter(self.pairs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Collapse to a plain dict (later entries win), recursively."""
+        out: dict[str, Any] = {}
+        for key, value in self.pairs:
+            out[key] = _plain(value)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ConfigMapping({self.pairs!r})"
+
+
+def _plain(value: Any) -> Any:
+    if isinstance(value, ConfigMapping):
+        return value.to_dict()
+    if isinstance(value, list):
+        return [_plain(v) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Logical lines
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LogicalLine:
+    indent: int
+    text: str
+    lineno: int
+
+
+def strip_comment(line: str) -> str:
+    """Remove a ``#`` comment, respecting single/double quotes."""
+    in_single = in_double = False
+    for i, ch in enumerate(line):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == "#" and not in_single and not in_double:
+            return line[:i]
+    return line
+
+
+def _bracket_balance(text: str) -> int:
+    """Net open brackets (``(``/``[``) outside quotes."""
+    balance = 0
+    in_single = in_double = False
+    for ch in text:
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif not in_single and not in_double:
+            if ch in "([":
+                balance += 1
+            elif ch in ")]":
+                balance -= 1
+    return balance
+
+
+def logical_lines(source: str) -> list[LogicalLine]:
+    """Physical lines → logical lines with continuations merged."""
+    physical: list[tuple[int, str, int]] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = strip_comment(raw.replace("\t", "    ")).rstrip()
+        stripped = text.strip()
+        if not stripped:
+            continue
+        indent = len(text) - len(text.lstrip())
+        physical.append((indent, stripped, lineno))
+
+    merged: list[LogicalLine] = []
+    i = 0
+    while i < len(physical):
+        indent, text, lineno = physical[i]
+        i += 1
+        # Continuation: unbalanced brackets, trailing '|' or trailing ','
+        # inside brackets; or the next line starting with '|'.
+        while i < len(physical):
+            balance = _bracket_balance(text)
+            next_text = physical[i][1]
+            if balance > 0 or text.endswith("|") or text.endswith(","):
+                text = f"{text} {next_text}"
+                i += 1
+            elif next_text.startswith("|"):
+                text = f"{text} {next_text}"
+                i += 1
+            else:
+                break
+        if _bracket_balance(text) != 0:
+            raise FlowFileSyntaxError(
+                "unbalanced brackets", line=lineno
+            )
+        merged.append(LogicalLine(indent=indent, text=text, lineno=lineno))
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Scalar / inline value parsing
+# ---------------------------------------------------------------------------
+
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+def split_top_level(text: str, separator: str) -> list[str]:
+    """Split on ``separator`` outside quotes and brackets."""
+    parts: list[str] = []
+    depth = 0
+    in_single = in_double = False
+    current: list[str] = []
+    for ch in text:
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif not in_single and not in_double:
+            if ch in "([":
+                depth += 1
+            elif ch in ")]":
+                depth -= 1
+        if ch == separator and depth == 0 and not in_single and not in_double:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def parse_value(text: str, lineno: int = 0) -> Any:
+    """Parse an inline value: list, quoted string, number, bool, or raw."""
+    text = text.strip()
+    if not text:
+        return ""
+    if text.startswith("[") and text.endswith("]"):
+        return _parse_inline_list(text[1:-1], lineno)
+    if (text.startswith("'") and text.endswith("'") and len(text) >= 2) or (
+        text.startswith('"') and text.endswith('"') and len(text) >= 2
+    ):
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if _NUMBER_RE.match(text):
+        return float(text) if "." in text else int(text)
+    return text
+
+
+def _parse_inline_list(body: str, lineno: int) -> list[Any]:
+    items: list[Any] = []
+    for part in split_top_level(body, ","):
+        part = part.strip()
+        if not part:
+            continue  # tolerate trailing commas (Fig. 6)
+        key, value = _try_key_value(part)
+        if key is not None:
+            # Layout cells: [span12: W.x, span4: W.y] → one-entry dicts.
+            items.append({key: parse_value(value, lineno)})
+        else:
+            items.append(parse_value(part, lineno))
+    return items
+
+
+_KEY_RE = re.compile(r"^([A-Za-z_+][\w.+\- ]*?)\s*:\s*(.*)$", re.DOTALL)
+
+
+def _try_key_value(text: str) -> tuple[str | None, str]:
+    """Split ``key: value`` when the text looks like a mapping entry.
+
+    ``=>`` mappings, pipe expressions and URLs must NOT be split: a key
+    never contains ``|``, ``=>``, ``/`` or quotes before the colon.
+    """
+    match = _KEY_RE.match(text)
+    if match is None:
+        return None, text
+    key = match.group(1).strip()
+    if "=>" in key or "|" in key or "/" in key:
+        return None, text
+    value = match.group(2)
+    # 'https://x' style: colon immediately followed by '//' is a URL, but
+    # _KEY_RE requires whitespace-or-chars; guard anyway.
+    if value.startswith("//"):
+        return None, text
+    return key, value
+
+
+# ---------------------------------------------------------------------------
+# Block parser
+# ---------------------------------------------------------------------------
+
+
+def parse_raw(source: str) -> ConfigMapping:
+    """Parse flow-file text into a :class:`ConfigMapping` tree."""
+    lines = logical_lines(source)
+    mapping, consumed = _parse_block(lines, 0, min_indent=-1)
+    if consumed != len(lines):
+        line = lines[consumed]
+        raise FlowFileSyntaxError(
+            f"unexpected content {line.text!r}", line=line.lineno
+        )
+    if not isinstance(mapping, ConfigMapping):
+        raise FlowFileSyntaxError("flow file must start with a section key")
+    return mapping
+
+
+def _parse_block(
+    lines: list[LogicalLine], start: int, min_indent: int
+) -> tuple[Any, int]:
+    """Parse the block whose lines are indented more than ``min_indent``.
+
+    Returns ``(value, next_index)``; value is a ConfigMapping, list, or
+    joined scalar string.
+    """
+    if start >= len(lines) or lines[start].indent <= min_indent:
+        return ConfigMapping(), start
+    block_indent = lines[start].indent
+    # Classify the block: list, mapping, or scalar continuation.
+    first = lines[start]
+    if first.text.startswith("- "):
+        return _parse_list_block(lines, start, block_indent, min_indent)
+    key, _value = _try_key_value(first.text)
+    if key is None:
+        return _parse_scalar_block(lines, start, min_indent)
+    return _parse_mapping_block(lines, start, block_indent, min_indent)
+
+
+def _parse_mapping_block(
+    lines: list[LogicalLine], start: int, block_indent: int, min_indent: int
+) -> tuple[ConfigMapping, int]:
+    mapping = ConfigMapping()
+    i = start
+    while i < len(lines):
+        line = lines[i]
+        if line.indent <= min_indent:
+            break
+        if line.indent != block_indent:
+            raise FlowFileSyntaxError(
+                f"inconsistent indentation (expected {block_indent}, "
+                f"got {line.indent})",
+                line=line.lineno,
+            )
+        key, value_text = _try_key_value(line.text)
+        if key is None:
+            raise FlowFileSyntaxError(
+                f"expected 'key: value', got {line.text!r}",
+                line=line.lineno,
+            )
+        i += 1
+        if value_text.strip():
+            mapping.add(key, parse_value(value_text, line.lineno))
+        else:
+            child, i = _parse_block(lines, i, min_indent=block_indent)
+            if (
+                isinstance(child, ConfigMapping)
+                and not child
+                and i < len(lines)
+                and lines[i].indent == block_indent
+                and lines[i].text.startswith("- ")
+            ):
+                # YAML-style list at the same indent as its key
+                # (paper Fig. 16: `rows:` with `- [...]` siblings).
+                child, i = _parse_list_block(
+                    lines,
+                    i,
+                    block_indent,
+                    min_indent=block_indent - 1,
+                    stop_on_non_item=True,
+                )
+            mapping.add(key, child)
+    return mapping, i
+
+
+def _parse_list_block(
+    lines: list[LogicalLine],
+    start: int,
+    block_indent: int,
+    min_indent: int,
+    stop_on_non_item: bool = False,
+) -> tuple[list[Any], int]:
+    items: list[Any] = []
+    i = start
+    while i < len(lines):
+        line = lines[i]
+        if line.indent <= min_indent:
+            break
+        if stop_on_non_item and (
+            line.indent == block_indent and not line.text.startswith("- ")
+        ):
+            break
+        if line.indent != block_indent or not line.text.startswith("- "):
+            # Continuation of the previous '- key: value' item: deeper
+            # lines belong to the item's mapping.
+            if line.indent > block_indent and items and isinstance(
+                items[-1], ConfigMapping
+            ):
+                child, i = _parse_block(lines, i, min_indent=block_indent)
+                if isinstance(child, ConfigMapping):
+                    for k, v in child.items():
+                        items[-1].add(k, v)
+                    continue
+            raise FlowFileSyntaxError(
+                f"expected list item, got {line.text!r}", line=line.lineno
+            )
+        body = line.text[2:].strip()
+        i += 1
+        key, value_text = _try_key_value(body)
+        if key is not None:
+            item = ConfigMapping()
+            if value_text.strip():
+                item.add(key, parse_value(value_text, line.lineno))
+            else:
+                child, i = _parse_block(lines, i, min_indent=block_indent)
+                item.add(key, child)
+            # Absorb sibling keys indented under the '-' item.
+            while i < len(lines) and lines[i].indent > block_indent:
+                sub, i = _parse_block(lines, i, min_indent=block_indent)
+                if isinstance(sub, ConfigMapping):
+                    for k, v in sub.items():
+                        item.add(k, v)
+                else:
+                    break
+            items.append(item)
+        else:
+            items.append(parse_value(body, line.lineno))
+    return items, i
+
+
+def _parse_scalar_block(
+    lines: list[LogicalLine], start: int, min_indent: int
+) -> tuple[str, int]:
+    parts = []
+    i = start
+    while i < len(lines) and lines[i].indent > min_indent:
+        key, _ = _try_key_value(lines[i].text)
+        if key is not None or lines[i].text.startswith("- "):
+            break
+        parts.append(lines[i].text)
+        i += 1
+    return " ".join(parts), i

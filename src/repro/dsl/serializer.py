@@ -1,0 +1,188 @@
+"""Flow-file serialization: object model → canonical text.
+
+The collaboration layer stores flow files as text (the paper's branch &
+merge model works "since the entire data pipeline is represented as a
+single text file", §4.5.1), so the model must round-trip:
+``parse_flow_file(serialize_flow_file(ff))`` is equivalent to ``ff``.
+
+The emitted form is canonical — four-space indentation, sections in
+D, F, T, W, L order, one blank line between entries — which also makes
+three-way merges (section- and entry-granular) well-behaved.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dsl.ast_nodes import FlowFile, LayoutSpec
+
+_INDENT = "    "
+
+
+def serialize_flow_file(flow_file: FlowFile) -> str:
+    """Render ``flow_file`` as canonical flow-file text."""
+    parts: list[str] = []
+    if flow_file.data:
+        parts.append(_serialize_data(flow_file))
+    if flow_file.flows:
+        parts.append(_serialize_flows(flow_file))
+    if flow_file.tasks:
+        parts.append(_serialize_tasks(flow_file))
+    if flow_file.widgets:
+        parts.append(_serialize_widgets(flow_file))
+    if flow_file.layout is not None:
+        parts.append(_serialize_layout(flow_file.layout))
+    return "\n".join(parts) + "\n"
+
+
+def _serialize_data(flow_file: FlowFile) -> str:
+    lines = ["D:"]
+    details: list[str] = []
+    for name, obj in flow_file.data.items():
+        if obj.schema is not None:
+            columns = []
+            for column in obj.schema:
+                if column.source_path:
+                    columns.append(f"{column.name} => {column.source_path}")
+                else:
+                    columns.append(column.name)
+            lines.append(f"{_INDENT}{name}: [{', '.join(columns)}]")
+        if obj.config or obj.endpoint or obj.publish:
+            details.append(f"D.{name}:")
+            if obj.endpoint:
+                details.append(f"{_INDENT}endpoint: true")
+            if obj.publish:
+                details.append(f"{_INDENT}publish: {obj.publish}")
+            for key, value in obj.config.items():
+                details.extend(_emit(key, value, 1))
+    body = "\n".join(lines)
+    if details:
+        body += "\n\n" + "\n".join(details)
+    return body + "\n"
+
+
+def _serialize_flows(flow_file: FlowFile) -> str:
+    lines = ["F:"]
+    for flow in flow_file.flows:
+        lines.append(f"{_INDENT}D.{flow.output}: {flow.pipe}")
+    return "\n".join(lines) + "\n"
+
+
+def _serialize_tasks(flow_file: FlowFile) -> str:
+    lines = ["T:"]
+    for name, spec in flow_file.tasks.items():
+        lines.append(f"{_INDENT}{name}:")
+        for key, value in spec.config.items():
+            lines.extend(_emit(key, value, 2))
+    return "\n".join(lines) + "\n"
+
+
+def _serialize_widgets(flow_file: FlowFile) -> str:
+    lines = ["W:"]
+    for name, widget in flow_file.widgets.items():
+        lines.append(f"{_INDENT}{name}:")
+        lines.append(f"{_INDENT * 2}type: {widget.type_name}")
+        if widget.source is not None:
+            lines.append(f"{_INDENT * 2}source: {widget.source}")
+        elif widget.static_source is not None:
+            lines.append(
+                f"{_INDENT * 2}source: "
+                f"{_inline_list(widget.static_source)}"
+            )
+        for key, value in widget.config.items():
+            lines.extend(_emit(key, value, 2))
+    return "\n".join(lines) + "\n"
+
+
+def _serialize_layout(layout: LayoutSpec) -> str:
+    lines = ["L:"]
+    if layout.description:
+        lines.append(f"{_INDENT}description: {layout.description}")
+    if layout.rows:
+        lines.append(f"{_INDENT}rows:")
+        for row in layout.rows:
+            cells = ", ".join(
+                f"span{cell.span}: W.{cell.widget}" for cell in row
+            )
+            lines.append(f"{_INDENT}- [{cells}]")
+    return "\n".join(lines) + "\n"
+
+
+def _emit(key: str, value: Any, depth: int) -> list[str]:
+    prefix = _INDENT * depth
+    if isinstance(value, dict):
+        lines = [f"{prefix}{key}:"]
+        for sub_key, sub_value in value.items():
+            lines.extend(_emit(sub_key, sub_value, depth + 1))
+        return lines
+    if isinstance(value, list):
+        if value and all(isinstance(v, list) for v in value):
+            # Nested rows (sub-layout grids): one inline row per item.
+            lines = [f"{prefix}{key}:"]
+            for row in value:
+                lines.append(f"{prefix}- {_inline_list(row)}")
+            return lines
+        if value and all(isinstance(v, dict) for v in value):
+            lines = [f"{prefix}{key}:"]
+            for item in value:
+                first = True
+                for sub_key, sub_value in item.items():
+                    marker = "- " if first else "  "
+                    lines.extend(
+                        _emit_inline(
+                            f"{prefix}{_INDENT}{marker}",
+                            sub_key,
+                            sub_value,
+                            depth + 2,
+                        )
+                    )
+                    first = False
+            return lines
+        return [f"{prefix}{key}: {_inline_list(value)}"]
+    return [f"{prefix}{key}: {_scalar(value)}"]
+
+
+def _emit_inline(
+    lead: str, key: str, value: Any, depth: int
+) -> list[str]:
+    if isinstance(value, (dict, list)):
+        lines = [f"{lead}{key}:"]
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                lines.extend(_emit(sub_key, sub_value, depth))
+        else:
+            lines[-1] = f"{lead}{key}: {_inline_list(value)}"
+        return lines
+    return [f"{lead}{key}: {_scalar(value)}"]
+
+
+def _inline_list(values: list[Any]) -> str:
+    parts = []
+    for value in values:
+        if isinstance(value, dict) and len(value) == 1:
+            (k, v), = value.items()
+            parts.append(f"{k}: {_scalar(v)}")
+        else:
+            parts.append(_scalar(value))
+    return "[" + ", ".join(parts) + "]"
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "''"
+    if isinstance(value, str):
+        needs_quote = (
+            value == ""
+            or value != value.strip()
+            or any(ch in value for ch in ":#[]{}")
+            and not value.startswith(("D.", "T.", "W."))
+        )
+        # Dates and other hyphenated literals survive unquoted, but
+        # quoting strings with separators keeps the parser honest.
+        if needs_quote:
+            escaped = value.replace("'", "\\'")
+            return f"'{escaped}'"
+        return value
+    return str(value)

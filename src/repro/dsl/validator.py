@@ -1,0 +1,288 @@
+"""Static flow-file validation.
+
+Checks performed before anything executes (the platform's answer to
+§5.2 observation 7 — error reporting should not leak engine internals):
+
+* every flow input resolves to a declared object, another flow's output,
+  or a shared catalog object;
+* every flow/widget task reference resolves in the ``T:`` section;
+* the flow graph is acyclic (delegated to the DAG builder);
+* schemas propagate: each task's column requirements are satisfied by
+  its input schema, walked in topological order (per §3.3's contract
+  "as long as the preceding data source has the column the task
+  consumes");
+* declared sink schemas are consistent with the computed schemas;
+* widgets bind to existing data objects and their data attributes to
+  existing columns; interaction filter sources name existing widgets;
+* layout cells reference defined widgets and rows fit the 12-column grid
+  (grid arithmetic is enforced at parse time; references here).
+
+Results are collected, not raised one at a time, so an editor can show
+every problem in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data import Schema
+from repro.dsl.ast_nodes import FlowFile, WidgetSpec
+from repro.errors import (
+    FlowFileValidationError,
+    SchemaError,
+    ShareInsightsError,
+    TaskConfigError,
+)
+from repro.tasks.registry import TaskRegistry, default_task_registry
+
+#: widget config keys that bind to data-source columns, by widget type;
+#: "*" applies to every type.  (Data attributes, §3.5.)
+_DATA_ATTRIBUTES: dict[str, tuple[str, ...]] = {
+    "*": (),
+    "bubblechart": ("text", "size", "legend_text"),
+    "wordcloud": ("text", "size"),
+    "streamgraph": ("x", "y", "serie", "color"),
+    "line": ("x", "y"),
+    "bar": ("x", "y"),
+    "pie": ("label", "value"),
+    "list": ("text",),
+    "datagrid": (),
+    "mapmarker": (),
+    "html": (),
+    "slider": (),
+}
+
+
+@dataclass
+class ValidationResult:
+    """Accumulated validation findings."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    #: computed output schema per flow output (for tooling)
+    schemas: dict[str, Schema] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_errors(self) -> None:
+        if self.errors:
+            raise FlowFileValidationError(
+                "flow file is invalid:\n  - " + "\n  - ".join(self.errors)
+            )
+
+
+def validate_flow_file(
+    flow_file: FlowFile,
+    task_registry: TaskRegistry | None = None,
+    catalog_schemas: dict[str, Schema] | None = None,
+) -> ValidationResult:
+    """Validate ``flow_file``; returns a :class:`ValidationResult`.
+
+    ``catalog_schemas`` maps published shared-object names to their
+    schemas so consumption dashboards (§3.7.2) validate against the
+    platform catalog.
+    """
+    result = ValidationResult()
+    registry = task_registry or default_task_registry()
+    catalog_schemas = catalog_schemas or {}
+
+    tasks = _instantiate_tasks(flow_file, registry, result)
+    known_schemas = _seed_schemas(flow_file, catalog_schemas)
+    _validate_flows(flow_file, tasks, known_schemas, catalog_schemas, result)
+    _validate_widgets(flow_file, tasks, known_schemas, result)
+    _validate_layout(flow_file, result)
+    result.schemas = known_schemas
+    return result
+
+
+def _instantiate_tasks(flow_file, registry, result) -> dict[str, Any]:
+    try:
+        return registry.build_section(
+            {name: spec.config for name, spec in flow_file.tasks.items()}
+        )
+    except (TaskConfigError, ShareInsightsError) as exc:
+        result.errors.append(str(exc))
+        # Best-effort: instantiate individually so later checks still run.
+        tasks = {}
+        for name, spec in flow_file.tasks.items():
+            try:
+                tasks[name] = registry.create(name, spec.config)
+            except ShareInsightsError:
+                continue
+        return tasks
+
+
+def _seed_schemas(flow_file, catalog_schemas) -> dict[str, Schema]:
+    known: dict[str, Schema] = {}
+    produced = {flow.output for flow in flow_file.flows}
+    for name, obj in flow_file.data.items():
+        if obj.schema is not None and name not in produced:
+            known[name] = obj.schema
+    for name, schema in catalog_schemas.items():
+        known.setdefault(name, schema)
+    return known
+
+
+def _validate_flows(
+    flow_file, tasks, known_schemas, catalog_schemas, result
+) -> None:
+    # Imported here to avoid a package-level cycle (the compiler package
+    # imports this module for its ValidationResult type).
+    from repro.compiler.dag import build_dag
+
+    try:
+        dag = build_dag(flow_file, external=set(catalog_schemas))
+    except FlowFileValidationError as exc:
+        result.errors.append(str(exc))
+        return
+    for flow in dag.ordered_flows():
+        input_schemas: list[Schema] = []
+        resolvable = True
+        for input_name in flow.inputs:
+            schema = known_schemas.get(input_name)
+            if schema is None:
+                obj = flow_file.data.get(input_name)
+                if obj is not None and obj.schema is not None:
+                    schema = obj.schema
+            if schema is None:
+                result.warnings.append(
+                    f"flow {flow.output!r}: input {input_name!r} has no "
+                    f"declared schema; skipping schema propagation"
+                )
+                resolvable = False
+                break
+            input_schemas.append(schema)
+        if not resolvable:
+            continue
+        schema = _propagate(flow, input_schemas, tasks, result)
+        if schema is None:
+            continue
+        known_schemas[flow.output] = schema
+        declared = flow_file.data.get(flow.output)
+        if declared is not None and declared.schema is not None:
+            missing = [
+                c for c in declared.schema.names if c not in schema
+            ]
+            if missing:
+                result.errors.append(
+                    f"flow {flow.output!r} declares columns {missing} "
+                    f"that the flow does not produce "
+                    f"(computed: {schema.names})"
+                )
+
+
+def _propagate(flow, input_schemas, tasks, result) -> Schema | None:
+    current = list(input_schemas)
+    for i, task_name in enumerate(flow.tasks):
+        task = tasks.get(task_name)
+        if task is None:
+            result.errors.append(
+                f"flow {flow.output!r} uses undefined task {task_name!r}"
+            )
+            return None
+        try:
+            output = task.output_schema(current)
+        except (SchemaError, TaskConfigError, FlowFileValidationError) as exc:
+            result.errors.append(
+                f"flow {flow.output!r}, task {task_name!r}: {exc}"
+            )
+            return None
+        current = [output]
+        if i == 0 and len(input_schemas) > 1 and task.arity == (1, 1):
+            result.errors.append(
+                f"flow {flow.output!r}: task {task_name!r} takes one "
+                f"input but the flow fans in {len(input_schemas)}"
+            )
+            return None
+    return current[0]
+
+
+def _validate_widgets(flow_file, tasks, known_schemas, result) -> None:
+    for widget in flow_file.widgets.values():
+        if widget.source is None:
+            continue
+        source_name = widget.source.inputs[0]
+        schema = known_schemas.get(source_name)
+        declared = flow_file.data.get(source_name)
+        if schema is None and declared is not None:
+            schema = declared.schema
+        if schema is None and declared is None:
+            result.warnings.append(
+                f"widget {widget.name!r} reads {source_name!r}, which is "
+                f"not declared locally (resolved from the shared catalog "
+                f"at run time)"
+            )
+        # Interaction-flow tasks must exist and their widget sources too.
+        for task_name in widget.source.tasks:
+            task = tasks.get(task_name)
+            if task is None:
+                result.errors.append(
+                    f"widget {widget.name!r} uses undefined task "
+                    f"{task_name!r}"
+                )
+                continue
+            filter_source = getattr(task, "widget_source", None)
+            if filter_source and filter_source not in flow_file.widgets:
+                result.errors.append(
+                    f"task {task_name!r} filters by widget "
+                    f"{filter_source!r}, which is not defined"
+                )
+        if schema is not None and not widget.source.tasks:
+            _check_data_attributes(widget, schema, result)
+
+
+def _check_data_attributes(
+    widget: WidgetSpec, schema: Schema, result: ValidationResult
+) -> None:
+    attribute_names = _DATA_ATTRIBUTES.get(widget.type_name.lower())
+    if attribute_names is None:
+        return  # custom widget: columns unknown statically
+    for attribute in attribute_names:
+        value = widget.config.get(attribute)
+        if isinstance(value, str) and value and value not in schema:
+            result.errors.append(
+                f"widget {widget.name!r}: data attribute "
+                f"{attribute}={value!r} is not a column of its source "
+                f"(has {schema.names})"
+            )
+
+
+def _validate_layout(flow_file, result) -> None:
+    if flow_file.layout is None:
+        return
+    for name in flow_file.layout.widget_names():
+        if name not in flow_file.widgets:
+            result.errors.append(
+                f"layout references undefined widget {name!r}"
+            )
+    # Sub-layout widgets (type Layout / TabLayout) also reference widgets.
+    for widget in flow_file.widgets.values():
+        if widget.type_name.lower() == "layout":
+            for row in widget.config.get("rows", []):
+                for cell in row if isinstance(row, list) else []:
+                    for ref in (
+                        cell.values() if isinstance(cell, dict) else []
+                    ):
+                        ref_name = str(ref)
+                        if ref_name.startswith("W."):
+                            ref_name = ref_name[2:]
+                        if ref_name not in flow_file.widgets:
+                            result.errors.append(
+                                f"sub-layout {widget.name!r} references "
+                                f"undefined widget {ref_name!r}"
+                            )
+        elif widget.type_name.lower() == "tablayout":
+            for tab in widget.config.get("tabs", []):
+                body = tab.get("body") if isinstance(tab, dict) else None
+                if body:
+                    ref_name = str(body)
+                    if ref_name.startswith("W."):
+                        ref_name = ref_name[2:]
+                    if ref_name not in flow_file.widgets:
+                        result.errors.append(
+                            f"tab layout {widget.name!r} references "
+                            f"undefined widget {ref_name!r}"
+                        )

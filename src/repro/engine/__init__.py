@@ -1,0 +1,28 @@
+"""Execution engines.
+
+The flow-file compiler lowers the AST onto one of two engines (paper
+Fig. 25): a batch engine for data-processing flows — the paper targets
+Pig/Spark; we provide a single-process executor and a simulated
+distributed map-reduce executor with real partition/shuffle mechanics —
+and an interactive data cube for widget flows (the paper's in-browser
+JavaScript cube).
+"""
+
+from repro.engine.plan import LogicalPlan, PlanNode, build_logical_plan
+from repro.engine.local import ExecutionStats, LocalExecutor
+from repro.engine.distributed import DistributedExecutor, StageStats
+from repro.engine.optimizer import OptimizationReport, optimize_plan
+from repro.engine.datacube import DataCube
+
+__all__ = [
+    "LogicalPlan",
+    "PlanNode",
+    "build_logical_plan",
+    "ExecutionStats",
+    "LocalExecutor",
+    "DistributedExecutor",
+    "StageStats",
+    "OptimizationReport",
+    "optimize_plan",
+    "DataCube",
+]

@@ -1,0 +1,141 @@
+"""Interactive data cube — the client-side execution context.
+
+The paper compiles widget flows into "a data cube (in JavaScript) — for
+ad-hoc widget interaction (group, filter etc.)" (§4.1).  This module is
+that cube in Python: it holds one endpoint table (the data shipped to the
+browser) and evaluates interaction pipelines against it with caching, so
+repeated gestures (slider drags re-sending the same range) are cheap.
+
+:func:`split_widget_pipeline` implements the §6 transfer-minimizing
+rewrite: the selection-independent prefix of a widget pipeline runs once
+server-side, and only its (usually much smaller) output is shipped into
+the cube; the selection-dependent suffix re-runs per gesture.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.data import Table
+from repro.tasks.base import Task, TaskContext, WidgetSelection
+from repro.tasks.filter import FilterTask
+
+
+@dataclass
+class CubeStats:
+    queries: int = 0
+    cache_hits: int = 0
+    rows_scanned: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+class DataCube:
+    """An endpoint table with cached interaction-pipeline evaluation."""
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        max_cache_entries: int = 128,
+        enable_cache: bool = True,
+    ):
+        self.name = name
+        self._table = table
+        self._cache: dict[str, Table] = {}
+        self._max_cache_entries = max_cache_entries
+        self._enable_cache = enable_cache
+        self.stats = CubeStats()
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def transferred_bytes(self) -> int:
+        """Size of the payload shipped into this cube."""
+        return self._table.estimated_bytes()
+
+    def query(
+        self,
+        tasks: Sequence[Task],
+        selections: Mapping[str, WidgetSelection] | None = None,
+    ) -> Table:
+        """Evaluate an interaction pipeline against the cube's table."""
+        self.stats.queries += 1
+        key = self._cache_key(tasks, selections)
+        if self._enable_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+        context = TaskContext(widget_selections=dict(selections or {}))
+        result = self._table
+        for task in tasks:
+            result = task.apply([result], context)
+        self.stats.rows_scanned += self._table.num_rows
+        if self._enable_cache:
+            if len(self._cache) >= self._max_cache_entries:
+                # Drop the oldest entry (insertion order).
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = result
+        return result
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    def replace_table(self, table: Table) -> None:
+        """New endpoint data arrived (a flow re-ran); drop caches."""
+        self._table = table
+        self.invalidate()
+
+    @staticmethod
+    def _cache_key(
+        tasks: Sequence[Task],
+        selections: Mapping[str, WidgetSelection] | None,
+    ) -> str:
+        task_part = [t.name for t in tasks]
+        selection_part: dict[str, Any] = {}
+        for widget, selection in sorted((selections or {}).items()):
+            selection_part[widget] = {
+                "values": {
+                    k: sorted(map(_stable, v))
+                    for k, v in selection.values.items()
+                },
+                "ranges": {
+                    k: [_stable(v[0]), _stable(v[1])]
+                    for k, v in selection.ranges.items()
+                },
+            }
+        return json.dumps([task_part, selection_part], sort_keys=True)
+
+
+def _stable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def is_selection_dependent(task: Task) -> bool:
+    """Does the task read live widget state?"""
+    return isinstance(task, FilterTask) and task.widget_source is not None
+
+
+def split_widget_pipeline(
+    tasks: Sequence[Task],
+) -> tuple[list[Task], list[Task]]:
+    """Split a widget pipeline into (server_prefix, client_suffix).
+
+    Everything before the first selection-dependent task can be computed
+    once on the server; the rest re-runs in the cube per interaction.
+    With no selection-dependent tasks the whole pipeline is server-side
+    (the widget's data is fully precomputed).
+    """
+    for i, task in enumerate(tasks):
+        if is_selection_dependent(task):
+            return list(tasks[:i]), list(tasks[i:])
+    return list(tasks), []

@@ -1,0 +1,533 @@
+"""Simulated distributed (map-reduce) executor.
+
+Stands in for the paper's Hadoop/Pig/Spark backend.  Data objects are
+hash/round-robin partitioned; partition-local tasks run map-side;
+key-based tasks (groupby, join, topn, distinct, native MR) go through a
+real shuffle — rows are hash-partitioned by key so each reducer owns its
+keys — and the engine records per-stage telemetry (records and bytes
+shuffled, stage counts).  Algebraic group-bys optionally run a combiner
+(map-side partial aggregation), the classic MR optimization, which the
+ablation benchmarks measure.
+
+Results are identical to the local executor up to row order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.data import Table
+from repro.engine.plan import LogicalPlan, PlanNode
+from repro.errors import ExecutionError, ShareInsightsError
+from repro.tasks.base import Task, TaskContext
+from repro.tasks.groupby import GroupByTask
+from repro.tasks.join import JoinTask
+from repro.tasks.misc import DistinctTask, LimitTask, SortTask, UnionTask
+from repro.tasks.topn import TopNTask
+from repro.tasks.udf import NativeMapReduceTask
+
+DataResolver = Callable[[str], Table]
+
+#: aggregates with an algebraic combiner rewrite
+_COMBINABLE = {"sum", "min", "max", "count"}
+
+
+@dataclass
+class StageStats:
+    """Telemetry for one executed stage."""
+
+    task: str
+    kind: str  # map | shuffle | gather | load
+    input_rows: int
+    output_rows: int
+    shuffled_records: int = 0
+    shuffled_bytes: int = 0
+
+
+@dataclass
+class DistributedResult:
+    """Materialized outputs plus per-stage statistics."""
+
+    tables: dict[str, Table]
+    stages: list[StageStats] = field(default_factory=list)
+    seconds: float = 0.0
+    #: rows in flow outputs (task-materialized tables only)
+    rows_produced: int = 0
+
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise ExecutionError(
+                f"no materialized data object {name!r}; "
+                f"have {sorted(self.tables)}"
+            )
+        return table
+
+    @property
+    def total_shuffled_records(self) -> int:
+        return sum(s.shuffled_records for s in self.stages)
+
+    @property
+    def total_shuffled_bytes(self) -> int:
+        return sum(s.shuffled_bytes for s in self.stages)
+
+    @property
+    def num_shuffle_stages(self) -> int:
+        return sum(1 for s in self.stages if s.kind == "shuffle")
+
+
+def _partition(table: Table, parts: int) -> list[Table]:
+    """Round-robin split (models block placement of an input file)."""
+    if parts <= 1 or table.num_rows == 0:
+        return [table]
+    buckets: list[list[int]] = [[] for _ in range(parts)]
+    for i in range(table.num_rows):
+        buckets[i % parts].append(i)
+    return [table.take(bucket) for bucket in buckets]
+
+
+def _hash_shuffle(
+    partitions: Sequence[Table], keys: Sequence[str], parts: int
+) -> tuple[list[Table], int, int]:
+    """Repartition by key hash; returns (partitions, records, bytes)."""
+    buckets: list[list[dict[str, Any]]] = [[] for _ in range(parts)]
+    records = 0
+    total_bytes = 0
+    for partition in partitions:
+        total_bytes += partition.estimated_bytes()
+        for row in partition.rows():
+            key = tuple(_hashable(row[k]) for k in keys)
+            buckets[hash(key) % parts].append(row)
+            records += 1
+    schema = partitions[0].schema
+    return (
+        [Table.from_rows(schema, bucket) for bucket in buckets],
+        records,
+        total_bytes,
+    )
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+def _gather(partitions: Sequence[Table]) -> Table:
+    result = partitions[0]
+    for partition in partitions[1:]:
+        result = result.concat(partition)
+    return result
+
+
+class DistributedExecutor:
+    """Runs logical plans over partitioned data with simulated shuffles."""
+
+    def __init__(
+        self,
+        resolver: DataResolver,
+        num_partitions: int = 4,
+        use_combiner: bool = True,
+    ):
+        self._resolver = resolver
+        self._parts = max(1, num_partitions)
+        self._use_combiner = use_combiner
+
+    def run(
+        self, plan: LogicalPlan, context: TaskContext | None = None
+    ) -> DistributedResult:
+        context = context or TaskContext()
+        started = time.perf_counter()
+        partitioned: dict[str, list[Table]] = {}
+        materialized: dict[str, Table] = {}
+        stages: list[StageStats] = []
+        produced_rows = 0
+        for node in plan.topological_order():
+            outputs = self._execute_node(node, partitioned, context, stages)
+            partitioned[node.id] = outputs
+            if node.materializes:
+                gathered = _gather(outputs)
+                materialized[node.materializes] = gathered
+                if node.kind == "task":
+                    produced_rows += gathered.num_rows
+        return DistributedResult(
+            tables=materialized,
+            stages=stages,
+            seconds=time.perf_counter() - started,
+            rows_produced=produced_rows,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_node(
+        self,
+        node: PlanNode,
+        partitioned: dict[str, list[Table]],
+        context: TaskContext,
+        stages: list[StageStats],
+    ) -> list[Table]:
+        if node.kind == "load":
+            assert node.load_name is not None
+            table = self._resolver(node.load_name)
+            stages.append(
+                StageStats(
+                    task=f"load({node.load_name})",
+                    kind="load",
+                    input_rows=0,
+                    output_rows=table.num_rows,
+                )
+            )
+            return _partition(table, self._parts)
+
+        assert node.task is not None
+        inputs = [partitioned[input_id] for input_id in node.inputs]
+        context.input_names = list(node.input_names)  # type: ignore[attr-defined]
+        task = node.task
+        try:
+            if task.partition_local():
+                return self._map_side(task, inputs[0], context, stages)
+            if isinstance(task, GroupByTask):
+                return self._groupby(task, inputs[0], context, stages)
+            if isinstance(task, JoinTask):
+                return self._join(task, inputs, context, stages)
+            if isinstance(task, TopNTask):
+                return self._topn(task, inputs[0], context, stages)
+            if isinstance(task, DistinctTask):
+                return self._distinct(task, inputs[0], context, stages)
+            if isinstance(task, UnionTask):
+                flattened = [p for group in inputs for p in group]
+                return self._union(task, flattened, stages)
+            if isinstance(task, NativeMapReduceTask):
+                return self._native_mr(task, inputs[0], context, stages)
+            if isinstance(task, SortTask):
+                return self._sort(task, inputs[0], context, stages)
+            if isinstance(task, LimitTask):
+                return self._gathered(task, inputs[0], context, stages)
+            # Unknown/custom tasks run gathered (single reducer).
+            return self._gathered(task, inputs[0], context, stages)
+        except ShareInsightsError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"task {task.name!r} failed on the distributed engine: "
+                f"{exc}"
+            ) from exc
+
+    # -- strategies ------------------------------------------------------
+    def _map_side(self, task, partitions, context, stages) -> list[Table]:
+        outputs = [task.apply([p], context) for p in partitions]
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="map",
+                input_rows=sum(p.num_rows for p in partitions),
+                output_rows=sum(p.num_rows for p in outputs),
+            )
+        )
+        return outputs
+
+    def _groupby(
+        self, task: GroupByTask, partitions, context, stages
+    ) -> list[Table]:
+        input_rows = sum(p.num_rows for p in partitions)
+        specs = task._aggregate_specs()
+        combinable = self._use_combiner and all(
+            str(s["operator"]).lower() in _COMBINABLE for s in specs
+        )
+        if combinable and len(partitions) > 1:
+            # Map-side combine: partial aggregates per partition, then a
+            # shuffle of partials, then a merge aggregation where COUNT
+            # partials are SUMmed.
+            partials = [task.apply([p], context) for p in partitions]
+            merge_specs = []
+            for spec in specs:
+                out_field = str(
+                    spec.get("out_field")
+                    or spec.get("apply_on")
+                    or spec["operator"]
+                )
+                operator = str(spec["operator"]).lower()
+                merge_specs.append(
+                    {
+                        "operator": "sum" if operator == "count" else operator,
+                        "apply_on": out_field,
+                        "out_field": out_field,
+                    }
+                )
+            merge_task = GroupByTask(
+                task.name + "_merge",
+                {
+                    "groupby": task.group_columns,
+                    "aggregates": merge_specs,
+                    "orderby_aggregates": task.config.get(
+                        "orderby_aggregates", False
+                    ),
+                },
+            )
+            shuffled, records, size = _hash_shuffle(
+                partials, task.group_columns, self._parts
+            )
+            outputs = [
+                merge_task.apply([p], context)
+                for p in shuffled
+                if p.num_rows
+            ] or [merge_task.apply([shuffled[0]], context)]
+        else:
+            shuffled, records, size = _hash_shuffle(
+                partitions, task.group_columns, self._parts
+            )
+            outputs = [
+                task.apply([p], context) for p in shuffled if p.num_rows
+            ] or [task.apply([shuffled[0]], context)]
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="shuffle",
+                input_rows=input_rows,
+                output_rows=sum(p.num_rows for p in outputs),
+                shuffled_records=records,
+                shuffled_bytes=size,
+            )
+        )
+        return outputs
+
+    def _join(
+        self, task: JoinTask, inputs, context, stages
+    ) -> list[Table]:
+        if len(inputs) != 2:
+            raise ExecutionError(
+                f"join task {task.name!r} needs 2 inputs, got {len(inputs)}"
+            )
+        # Respect the flow's declared input order (same logic as the
+        # task's own _ordered, but at partition granularity).
+        names = list(getattr(context, "input_names", []) or [])
+        left_parts, right_parts = inputs[0], inputs[1]
+        if (
+            len(names) == 2
+            and names[0].lower() == task.right_name.lower()
+            and names[1].lower() == task.left_name.lower()
+        ):
+            left_parts, right_parts = right_parts, left_parts
+            names = [names[1], names[0]]
+        left_keys = task._left_keys
+        right_keys = task._right_keys
+        left_shuffled, l_records, l_bytes = _hash_shuffle(
+            left_parts, left_keys, self._parts
+        )
+        right_shuffled, r_records, r_bytes = _hash_shuffle(
+            right_parts, right_keys, self._parts
+        )
+        context.input_names = names or [task.left_name, task.right_name]  # type: ignore[attr-defined]
+        outputs = [
+            task.apply([lp, rp], context)
+            for lp, rp in zip(left_shuffled, right_shuffled)
+        ]
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="shuffle",
+                input_rows=l_records + r_records,
+                output_rows=sum(p.num_rows for p in outputs),
+                shuffled_records=l_records + r_records,
+                shuffled_bytes=l_bytes + r_bytes,
+            )
+        )
+        return outputs
+
+    def _topn(
+        self, task: TopNTask, partitions, context, stages
+    ) -> list[Table]:
+        input_rows = sum(p.num_rows for p in partitions)
+        if task.group_columns:
+            shuffled, records, size = _hash_shuffle(
+                partitions, task.group_columns, self._parts
+            )
+            outputs = [
+                task.apply([p], context) for p in shuffled if p.num_rows
+            ] or [task.apply([shuffled[0]], context)]
+        else:
+            # Per-partition top-N as a combiner, then a single reducer.
+            partials = [task.apply([p], context) for p in partitions]
+            gathered = _gather(partials)
+            records = gathered.num_rows
+            size = gathered.estimated_bytes()
+            outputs = [task.apply([gathered], context)]
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="shuffle",
+                input_rows=input_rows,
+                output_rows=sum(p.num_rows for p in outputs),
+                shuffled_records=records,
+                shuffled_bytes=size,
+            )
+        )
+        return outputs
+
+    def _distinct(
+        self, task: DistinctTask, partitions, context, stages
+    ) -> list[Table]:
+        input_rows = sum(p.num_rows for p in partitions)
+        keys = task.columns or list(partitions[0].schema.names)
+        # Map-side dedup first (combiner), then shuffle survivors.
+        partials = [task.apply([p], context) for p in partitions]
+        shuffled, records, size = _hash_shuffle(partials, keys, self._parts)
+        outputs = [task.apply([p], context) for p in shuffled if p.num_rows]
+        if not outputs:
+            outputs = [task.apply([shuffled[0]], context)]
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="shuffle",
+                input_rows=input_rows,
+                output_rows=sum(p.num_rows for p in outputs),
+                shuffled_records=records,
+                shuffled_bytes=size,
+            )
+        )
+        return outputs
+
+    def _union(self, task: UnionTask, partitions, stages) -> list[Table]:
+        rows = sum(p.num_rows for p in partitions)
+        stages.append(
+            StageStats(
+                task=task.name, kind="map", input_rows=rows, output_rows=rows
+            )
+        )
+        return list(partitions)
+
+    def _native_mr(
+        self, task: NativeMapReduceTask, partitions, context, stages
+    ) -> list[Table]:
+        input_rows = sum(p.num_rows for p in partitions)
+        # Map phase: run the user's mapper per partition.
+        buckets: list[list[tuple[Any, Any]]] = [
+            [] for _ in range(self._parts)
+        ]
+        records = 0
+        for partition in partitions:
+            for row in partition.rows():
+                for key, value in task._mapper(row):
+                    buckets[hash(_hashable(key)) % self._parts].append(
+                        (key, value)
+                    )
+                    records += 1
+        # Reduce phase per bucket.
+        from repro.data import Schema
+
+        schema = Schema(task.output_columns)
+        outputs = []
+        for bucket in buckets:
+            grouped: dict[Any, list[Any]] = {}
+            key_order: list[Any] = []
+            for key, value in bucket:
+                hkey = _hashable(key)
+                if hkey not in grouped:
+                    grouped[hkey] = []
+                    key_order.append((hkey, key))
+                grouped[hkey].append(value)
+            out = Table.empty(schema)
+            for hkey, key in key_order:
+                for row in task._reducer(key, grouped[hkey]):
+                    out.append_row(row)
+            outputs.append(out)
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="shuffle",
+                input_rows=input_rows,
+                output_rows=sum(p.num_rows for p in outputs),
+                shuffled_records=records,
+                shuffled_bytes=records * 24,
+            )
+        )
+        return outputs
+
+    def _sort(
+        self, task: SortTask, partitions, context, stages
+    ) -> list[Table]:
+        """Total sort via sampled range partitioning (TeraSort-style).
+
+        Sample the primary sort key, pick P-1 cut points, route rows by
+        range so partition i's keys all precede partition i+1's, then
+        sort each partition locally.  Gathering partitions in order
+        yields a totally sorted table.  Falls back to a single-reducer
+        sort when the key mixes incomparable types.
+        """
+        input_rows = sum(p.num_rows for p in partitions)
+        order = task._order
+        primary, primary_desc = order[0]
+        sample: list[Any] = []
+        for partition in partitions:
+            values = [
+                v for v in partition.column(primary) if v is not None
+            ]
+            stride = max(1, len(values) // 32)
+            sample.extend(values[::stride])
+        try:
+            sample.sort()
+        except TypeError:
+            return self._gathered(task, partitions, context, stages)
+        if len(partitions) == 1 or len(sample) < self._parts:
+            return self._gathered(task, partitions, context, stages)
+        step = len(sample) / self._parts
+        cuts = [sample[int(step * i)] for i in range(1, self._parts)]
+
+        import bisect
+
+        buckets: list[list[dict[str, Any]]] = [
+            [] for _ in range(self._parts)
+        ]
+        records = 0
+        total_bytes = 0
+        for partition in partitions:
+            total_bytes += partition.estimated_bytes()
+            for row in partition.rows():
+                value = row[primary]
+                if value is None:
+                    index = 0  # None sorts first ascending
+                else:
+                    try:
+                        index = bisect.bisect_left(cuts, value)
+                    except TypeError:
+                        return self._gathered(
+                            task, partitions, context, stages
+                        )
+                buckets[index].append(row)
+                records += 1
+        schema = partitions[0].schema
+        outputs = [
+            task.apply([Table.from_rows(schema, bucket)], context)
+            for bucket in buckets
+        ]
+        if primary_desc:
+            outputs = list(reversed(outputs))
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="shuffle",
+                input_rows=input_rows,
+                output_rows=sum(p.num_rows for p in outputs),
+                shuffled_records=records,
+                shuffled_bytes=total_bytes,
+            )
+        )
+        return outputs
+
+    def _gathered(self, task: Task, partitions, context, stages) -> list[Table]:
+        gathered = _gather(partitions)
+        output = task.apply([gathered], context)
+        stages.append(
+            StageStats(
+                task=task.name,
+                kind="gather",
+                input_rows=gathered.num_rows,
+                output_rows=output.num_rows,
+                shuffled_records=gathered.num_rows,
+                shuffled_bytes=gathered.estimated_bytes(),
+            )
+        )
+        return [output]

@@ -1,0 +1,219 @@
+"""Logical-plan optimizer.
+
+"The AST provides opportunities to optimize the complete flow.  For
+example, tasks can be re-arranged to minimize data transfers to the
+browser" (paper §4.1; §6 names execution optimization as the main future
+direction).  Three rewrites are implemented, all preserving semantics:
+
+1. **Filter pushdown** — an expression filter hops over an upstream map
+   whose output column it does not reference, so fewer rows pay for the
+   map operator.
+2. **Projection pruning** — a ``project`` node is inserted after a load
+   when the downstream pipeline provably needs a subset of its columns
+   (computed by walking requirements backwards), shrinking every
+   downstream row.
+3. **Endpoint-transfer minimization** — for widget pipelines (handled in
+   :mod:`repro.engine.datacube` / the dashboard runtime): selection-
+   independent tasks are split out of the interaction flow and evaluated
+   once server-side, so only reduced data ships to the client cube.
+   :func:`split_widget_pipeline` implements the split; the ablation
+   benchmark measures the transferred-bytes difference.
+
+:func:`optimize_plan` returns a report of what changed so benchmarks and
+the dashboard editor can show optimization effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.plan import LogicalPlan, PlanNode
+from repro.tasks.filter import FilterTask
+from repro.tasks.groupby import GroupByTask
+from repro.tasks.map_ops import MapTask
+from repro.tasks.misc import AddColumnTask, ProjectTask
+from repro.tasks.topn import TopNTask
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did to a plan."""
+
+    filters_pushed: int = 0
+    projections_inserted: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.filters_pushed or self.projections_inserted)
+
+
+def optimize_plan(plan: LogicalPlan) -> OptimizationReport:
+    """Rewrite ``plan`` in place; returns the report."""
+    report = OptimizationReport()
+    _push_filters(plan, report)
+    _prune_projections(plan, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# 1. filter pushdown
+# ---------------------------------------------------------------------------
+
+
+def _push_filters(plan: LogicalPlan, report: OptimizationReport) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for node in list(plan.nodes.values()):
+            if not _is_expression_filter(node):
+                continue
+            if len(node.inputs) != 1:
+                continue
+            upstream = plan.nodes[node.inputs[0]]
+            if not _filter_can_hop(node, upstream):
+                continue
+            _swap(plan, upstream, node)
+            report.filters_pushed += 1
+            report.notes.append(
+                f"pushed filter {node.task.name!r} below "  # type: ignore[union-attr]
+                f"{upstream.label()}"
+            )
+            changed = True
+            break
+
+
+def _is_expression_filter(node: PlanNode) -> bool:
+    return (
+        node.kind == "task"
+        and isinstance(node.task, FilterTask)
+        and node.task.widget_source is None
+    )
+
+
+def _filter_can_hop(filter_node: PlanNode, upstream: PlanNode) -> bool:
+    """Can the filter run before ``upstream``?
+
+    Legal when upstream is a column-adding map whose output column the
+    filter does not reference.  The filter must also not be the
+    materializing node of its flow (hopping would change what the sink
+    contains — it wouldn't here since filters preserve schema, but the
+    upstream map's node would then materialize the sink, so we re-point
+    materialization during the swap instead).
+    """
+    if upstream.kind != "task" or len(upstream.inputs) != 1:
+        return False
+    task = upstream.task
+    if not isinstance(task, (MapTask, AddColumnTask)):
+        return False
+    if upstream.materializes is not None:
+        return False  # another flow consumes this exact result
+    output_column = str(task.config.get("output", ""))
+    filter_refs = filter_node.task.required_columns()  # type: ignore[union-attr]
+    return output_column not in filter_refs
+
+
+def _swap(plan: LogicalPlan, upstream: PlanNode, filter_node: PlanNode) -> None:
+    """Reorder ``source -> upstream -> filter`` to ``source -> filter ->
+    upstream`` keeping downstream links and materialization intact."""
+    source_id = upstream.inputs[0]
+    filter_node.inputs = [source_id]
+    upstream.inputs = [filter_node.id]
+    # Downstream consumers of the filter now consume the upstream map.
+    for consumer in plan.nodes.values():
+        if consumer.id in (upstream.id, filter_node.id):
+            continue
+        consumer.inputs = [
+            upstream.id if i == filter_node.id else i
+            for i in consumer.inputs
+        ]
+    upstream.materializes, filter_node.materializes = (
+        filter_node.materializes,
+        None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. projection pruning
+# ---------------------------------------------------------------------------
+
+
+def _prune_projections(plan: LogicalPlan, report: OptimizationReport) -> None:
+    for node in list(plan.nodes.values()):
+        if node.kind != "load":
+            continue
+        needed = _needed_columns(plan, node)
+        if needed is None:
+            continue
+        consumers = plan.consumers(node.id)
+        if not consumers:
+            continue
+        project = ProjectTask(
+            f"__prune_{node.load_name}", {"columns": sorted(needed)}
+        )
+        project_node = plan.add_task(project, [node.id])
+        project_node.input_names = [node.load_name or ""]
+        for consumer in consumers:
+            consumer.inputs = [
+                project_node.id if i == node.id else i
+                for i in consumer.inputs
+            ]
+            if not consumer.input_names:
+                consumer.input_names = [node.load_name or ""]
+        report.projections_inserted += 1
+        report.notes.append(
+            f"pruned load({node.load_name}) to columns {sorted(needed)}"
+        )
+
+
+def _needed_columns(plan: LogicalPlan, load: PlanNode) -> set[str] | None:
+    """Columns of ``load`` the rest of the plan can possibly read.
+
+    Conservative: the walk stops (returns None → no pruning) whenever a
+    downstream task could read arbitrary columns (python/custom tasks,
+    joins with default projection, widget filters, parallel composites)
+    or when requirements cannot be traced.
+    """
+    needed: set[str] = set()
+    for consumer in plan.consumers(load.id):
+        columns = _columns_read_by_chain(plan, consumer)
+        if columns is None:
+            return None
+        needed |= columns
+    return needed or None
+
+
+#: task types whose column requirements are fully described by
+#: required_columns() + pass-through of referenced columns
+_TRACEABLE = (FilterTask, MapTask, AddColumnTask, GroupByTask, TopNTask)
+
+
+def _columns_read_by_chain(
+    plan: LogicalPlan, node: PlanNode
+) -> set[str] | None:
+    if node.kind != "task" or node.task is None:
+        return None
+    task = node.task
+    if isinstance(task, ProjectTask):
+        return set(task.columns)
+    if isinstance(task, GroupByTask):
+        # Aggregations consume exactly their declared columns.
+        return set(task.required_columns())
+    if isinstance(task, TopNTask):
+        # TopN preserves all columns, so everything downstream still
+        # needs whatever IT needs — give up unless it ends the chain.
+        return None
+    if isinstance(task, (FilterTask, MapTask, AddColumnTask)):
+        own = set(task.required_columns())
+        downstream: set[str] = set()
+        consumers = plan.consumers(node.id)
+        if not consumers and node.materializes:
+            return None  # a sink keeps every column
+        for consumer in consumers:
+            columns = _columns_read_by_chain(plan, consumer)
+            if columns is None:
+                return None
+            downstream |= columns
+        produced = {str(task.config.get("output", ""))}
+        return own | (downstream - produced)
+    return None

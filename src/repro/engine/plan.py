@@ -1,0 +1,178 @@
+"""Logical execution plans.
+
+A :class:`LogicalPlan` is the operator-level DAG lowered from a flow
+file's flows (paper Fig. 25's AST after DAG assembly): ``load`` nodes for
+external/shared data objects and ``task`` nodes for every task
+application.  The optimizer rewrites this structure; the executors walk
+it in topological order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.compiler.dag import FlowDag
+from repro.errors import CompilationError
+from repro.tasks.base import Task
+
+
+@dataclass
+class PlanNode:
+    """One operator in the plan."""
+
+    id: str
+    kind: str  # "load" | "task"
+    inputs: list[str] = field(default_factory=list)
+    #: the task instance for kind="task"
+    task: Task | None = None
+    #: data-object name loaded, for kind="load"
+    load_name: str | None = None
+    #: data-object name this node materializes (flow outputs)
+    materializes: str | None = None
+    #: data-object names of the inputs, when known (set on the first
+    #: task of a flow; join tasks use these to order left/right)
+    input_names: list[str] = field(default_factory=list)
+
+    def label(self) -> str:
+        if self.kind == "load":
+            return f"load({self.load_name})"
+        assert self.task is not None
+        return f"{self.task.type_name}:{self.task.name}"
+
+
+class LogicalPlan:
+    """An operator DAG with deterministic topological order."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, PlanNode] = {}
+        self._counter = itertools.count()
+
+    def new_id(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._counter)}"
+
+    def add(self, node: PlanNode) -> PlanNode:
+        if node.id in self.nodes:
+            raise CompilationError(f"duplicate plan node {node.id!r}")
+        self.nodes[node.id] = node
+        return node
+
+    def add_load(self, name: str) -> PlanNode:
+        return self.add(
+            PlanNode(
+                id=self.new_id("load"),
+                kind="load",
+                load_name=name,
+                materializes=name,
+            )
+        )
+
+    def add_task(
+        self, task: Task, inputs: list[str], materializes: str | None = None
+    ) -> PlanNode:
+        return self.add(
+            PlanNode(
+                id=self.new_id("task"),
+                kind="task",
+                task=task,
+                inputs=list(inputs),
+                materializes=materializes,
+            )
+        )
+
+    def node_for_output(self, name: str) -> PlanNode:
+        for node in self.nodes.values():
+            if node.materializes == name:
+                return node
+        raise CompilationError(f"no plan node materializes {name!r}")
+
+    def consumers(self, node_id: str) -> list[PlanNode]:
+        return [n for n in self.nodes.values() if node_id in n.inputs]
+
+    def topological_order(self) -> list[PlanNode]:
+        in_degree = {
+            node_id: len(node.inputs)
+            for node_id, node in self.nodes.items()
+        }
+        ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        order: list[PlanNode] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(self.nodes[current])
+            newly = []
+            for nid, node in self.nodes.items():
+                if current in node.inputs:
+                    in_degree[nid] -= 1
+                    if in_degree[nid] == 0:
+                        newly.append(nid)
+            ready = sorted(ready + newly)
+        if len(order) != len(self.nodes):
+            raise CompilationError("logical plan contains a cycle")
+        return order
+
+    def __iter__(self) -> Iterator[PlanNode]:
+        return iter(self.topological_order())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        """Human-readable plan dump (one node per line)."""
+        lines = []
+        for node in self.topological_order():
+            deps = ", ".join(node.inputs) or "-"
+            mat = f" => D.{node.materializes}" if node.materializes else ""
+            lines.append(f"{node.id}: {node.label()} [{deps}]{mat}")
+        return "\n".join(lines)
+
+
+def build_logical_plan(
+    dag: FlowDag, tasks: dict[str, Task]
+) -> LogicalPlan:
+    """Lower a flow DAG to the operator-level plan.
+
+    Load nodes are created for DAG sources; flow outputs that feed other
+    flows are shared (each materialized data object has exactly one
+    producing node).
+    """
+    plan = LogicalPlan()
+    node_for_name: dict[str, str] = {}
+    for source in sorted(dag.sources):
+        node = plan.add_load(source)
+        node_for_name[source] = node.id
+
+    for flow in dag.ordered_flows():
+        input_ids = []
+        for input_name in flow.inputs:
+            node_id = node_for_name.get(input_name)
+            if node_id is None:
+                raise CompilationError(
+                    f"flow {flow.output!r}: input {input_name!r} has no "
+                    f"plan node"
+                )
+            input_ids.append(node_id)
+        current_inputs = input_ids
+        last_node: PlanNode | None = None
+        for i, task_name in enumerate(flow.tasks):
+            task = tasks.get(task_name)
+            if task is None:
+                raise CompilationError(
+                    f"flow {flow.output!r} uses undefined task "
+                    f"{task_name!r}"
+                )
+            is_last = i == len(flow.tasks) - 1
+            last_node = plan.add_task(
+                task,
+                current_inputs,
+                materializes=flow.output if is_last else None,
+            )
+            if i == 0:
+                last_node.input_names = list(flow.inputs)
+            current_inputs = [last_node.id]
+        if last_node is None:
+            raise CompilationError(
+                f"flow {flow.output!r} has no tasks"
+            )
+        node_for_name[flow.output] = last_node.id
+    return plan

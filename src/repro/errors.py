@@ -1,0 +1,107 @@
+"""Exception hierarchy for the ShareInsights reproduction.
+
+Every error raised by the platform derives from :class:`ShareInsightsError`
+so that callers embedding the platform can catch one type.  Sub-hierarchies
+mirror the platform layers: DSL parsing, compilation, task configuration,
+engine execution, widget binding, server requests and collaboration.
+"""
+
+from __future__ import annotations
+
+
+class ShareInsightsError(Exception):
+    """Base class for all platform errors."""
+
+
+class FlowFileError(ShareInsightsError):
+    """Base class for flow-file (DSL) problems."""
+
+
+class FlowFileSyntaxError(FlowFileError):
+    """The flow file text violates the grammar.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token so
+    editors can point at the error (the paper notes error pin-pointing as a
+    future-work item; we surface positions from day one).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class FlowFileValidationError(FlowFileError):
+    """The flow file parses but is semantically invalid.
+
+    Examples: a flow referencing an undefined task, a task consuming a
+    column its input schema does not provide, a cyclic flow graph.
+    """
+
+
+class SchemaError(ShareInsightsError):
+    """A table schema is malformed or violated (unknown column, arity)."""
+
+
+class ExpressionError(ShareInsightsError):
+    """A filter/map expression failed to parse or evaluate."""
+
+
+class TaskConfigError(ShareInsightsError):
+    """A task section entry is missing or has invalid configuration."""
+
+
+class TaskExecutionError(ShareInsightsError):
+    """A task failed while transforming data."""
+
+
+class ConnectorError(ShareInsightsError):
+    """A data connector could not fetch or store a payload."""
+
+
+class FormatError(ShareInsightsError):
+    """A payload could not be decoded/encoded in the configured format."""
+
+
+class CompilationError(ShareInsightsError):
+    """The compiler could not lower a flow file to an executable plan."""
+
+
+class ExecutionError(ShareInsightsError):
+    """The engine failed while running a compiled plan."""
+
+
+class WidgetError(ShareInsightsError):
+    """A widget is misconfigured or could not bind to its data source."""
+
+
+class LayoutError(ShareInsightsError):
+    """A layout section is malformed (bad spans, unknown widget)."""
+
+
+class CatalogError(ShareInsightsError):
+    """Published shared-data-object resolution failed."""
+
+
+class MergeConflictError(ShareInsightsError):
+    """A three-way flow-file merge could not be resolved automatically.
+
+    ``conflicts`` lists ``(section, key)`` pairs that changed on both sides.
+    """
+
+    def __init__(self, message: str, conflicts: list | None = None):
+        self.conflicts = conflicts or []
+        super().__init__(message)
+
+
+class RepositoryError(ShareInsightsError):
+    """Version-control operation failed (unknown ref, dirty state...)."""
+
+
+class QueryError(ShareInsightsError):
+    """An ad-hoc REST query was malformed."""
+
+
+class ExtensionError(ShareInsightsError):
+    """A user extension failed to load or register."""

@@ -1,0 +1,11 @@
+"""Extension services (paper §4.2–4.3.2).
+
+User extensions — tasks, widgets, connectors, formats, stylesheets, data
+files — are uploaded through a file-based interface (the paper uses SFTP
+with "appropriately named folders for task, widgets etc.") and registered
+on the platform, after which they are indistinguishable from built-ins.
+"""
+
+from repro.extensions.loader import ExtensionServices
+
+__all__ = ["ExtensionServices"]

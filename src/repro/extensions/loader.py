@@ -1,0 +1,134 @@
+"""Extension upload + registration (paper §4.3.2).
+
+"The ShareInsights platform provides a secure file transfer protocol
+(SFTP) interface to upload the various types of extensions - widgets,
+connectors, tasks and stylesheets.  The interface is file based and each
+dashboard has appropriately named folders for task, widgets etc.
+Additionally, users can upload dashboard data to a 'data' folder."
+
+:class:`ExtensionServices` reproduces that contract over the simulated
+FTP server: files land under ``/<dashboard>/<kind>/<filename>`` and
+Python extension files are loaded and registered on the platform's
+registries.  A loaded user task/widget "looks no different from a
+platform provided task" (§5.2 obs. 2) because it goes through the same
+registries as the built-ins.
+
+Python extension files register themselves by defining any of:
+
+* ``Task`` subclasses (auto-registered by ``type_name``),
+* ``Widget`` subclasses (auto-registered by ``type_name``),
+* ``Connector`` / ``Format`` subclasses,
+* a module-level ``register(platform)`` function for anything else
+  (expression functions, map operators, aggregates).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+from repro.connectors.base import Connector
+from repro.connectors.ftp import SimulatedFtpServer
+from repro.errors import ExtensionError
+from repro.formats.base import Format
+from repro.platform import Platform
+from repro.tasks.base import Task
+from repro.widgets.base import Widget
+
+_KINDS = ("tasks", "widgets", "connectors", "formats", "styles", "data")
+
+
+class ExtensionServices:
+    """File-based extension upload bound to one platform."""
+
+    def __init__(
+        self, platform: Platform, server: SimulatedFtpServer | None = None
+    ):
+        self.platform = platform
+        self.server = server or SimulatedFtpServer()
+        #: dashboard -> concatenated stylesheet text
+        self.stylesheets: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def upload(
+        self, dashboard: str, kind: str, filename: str, payload: bytes
+    ) -> list[str]:
+        """Upload one extension file; returns names registered.
+
+        ``kind`` is one of ``tasks``, ``widgets``, ``connectors``,
+        ``formats``, ``styles``, ``data``.
+        """
+        if kind not in _KINDS:
+            raise ExtensionError(
+                f"unknown extension folder {kind!r}; known: {_KINDS}"
+            )
+        path = f"/{dashboard}/{kind}/{filename}"
+        self.server.put(path, payload)
+        if kind == "styles":
+            css = payload.decode("utf-8")
+            existing = self.stylesheets.get(dashboard, "")
+            combined = f"{existing}\n{css}".strip()
+            self.stylesheets[dashboard] = combined
+            # Live dashboards pick the stylesheet up immediately.
+            if dashboard in self.platform.dashboards:
+                self.platform.dashboards[dashboard].stylesheet = combined
+            return [filename]
+        if kind == "data":
+            return [filename]  # data files are fetched by connectors
+        return self._load_python(dashboard, kind, filename, payload)
+
+    def data_files(self, dashboard: str) -> list[str]:
+        return self.server.listdir(f"/{dashboard}/data")
+
+    def read_data(self, dashboard: str, filename: str) -> bytes:
+        return self.server.retr(
+            f"/{dashboard}/data/{filename}", "anonymous", ""
+        )
+
+    def stylesheet(self, dashboard: str) -> str:
+        return self.stylesheets.get(dashboard, "")
+
+    # ------------------------------------------------------------------
+    def _load_python(
+        self, dashboard: str, kind: str, filename: str, payload: bytes
+    ) -> list[str]:
+        namespace: dict[str, Any] = {}
+        try:
+            code = compile(
+                payload.decode("utf-8"), f"{dashboard}/{kind}/{filename}",
+                "exec",
+            )
+            exec(code, namespace)  # user extension code, by design
+        except Exception as exc:
+            raise ExtensionError(
+                f"extension {filename!r} failed to load: {exc}"
+            ) from exc
+        registered: list[str] = []
+        for value in list(namespace.values()):
+            if not inspect.isclass(value):
+                continue
+            if issubclass(value, Task) and value is not Task:
+                if value.type_name:
+                    self.platform.tasks.register_type(value, replace=True)
+                    registered.append(value.type_name)
+            elif issubclass(value, Widget) and value is not Widget:
+                if value.type_name:
+                    self.platform.widgets.register(value, replace=True)
+                    registered.append(value.type_name)
+            elif issubclass(value, Connector) and value is not Connector:
+                if value.name:
+                    self.platform.connectors.register(value(), replace=True)
+                    registered.append(value.name)
+            elif issubclass(value, Format) and value is not Format:
+                if value.name:
+                    self.platform.formats.register(value(), replace=True)
+                    registered.append(value.name)
+        register_fn = namespace.get("register")
+        if callable(register_fn):
+            register_fn(self.platform)
+            registered.append("register()")
+        if not registered:
+            raise ExtensionError(
+                f"extension {filename!r} defined nothing to register"
+            )
+        return registered

@@ -1,0 +1,26 @@
+"""Payload format codecs.
+
+The data section of a flow file names a format per data object (paper §3.2:
+"recognizes popular data payload formats such as CSV, AVRO, XML and JSON").
+A format turns raw bytes into a :class:`~repro.data.table.Table` guided by
+the declared schema (including ``=>`` payload-path mappings) and back.
+"""
+
+from repro.formats.base import Format
+from repro.formats.registry import FormatRegistry, default_format_registry
+from repro.formats.jsonpath import extract_path
+from repro.formats.csv_format import CsvFormat
+from repro.formats.json_format import JsonFormat
+from repro.formats.xml_format import XmlFormat
+from repro.formats.avro import AvroFormat
+
+__all__ = [
+    "Format",
+    "FormatRegistry",
+    "default_format_registry",
+    "extract_path",
+    "CsvFormat",
+    "JsonFormat",
+    "XmlFormat",
+    "AvroFormat",
+]

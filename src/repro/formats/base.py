@@ -1,0 +1,73 @@
+"""Format extension API (paper §4.2, "Data formats").
+
+A format decodes a raw payload into a table using the data object's declared
+schema, and encodes a table back into a payload for sinks.  User formats
+implement the same two methods and register via
+:class:`~repro.formats.registry.FormatRegistry`; they are then
+indistinguishable from the built-ins in a flow file.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping
+
+from repro.data import Schema, Table
+
+
+class Format(abc.ABC):
+    """Base class for payload formats."""
+
+    #: Name used in the flow file (``format: csv``).
+    name: str = ""
+
+    @abc.abstractmethod
+    def decode(
+        self,
+        payload: bytes,
+        schema: Schema,
+        options: Mapping[str, Any] | None = None,
+    ) -> Table:
+        """Decode ``payload`` into a table shaped by ``schema``.
+
+        ``options`` carries the remaining data-object configuration keys
+        (e.g. ``separator`` for CSV).
+        """
+
+    @abc.abstractmethod
+    def encode(
+        self,
+        table: Table,
+        options: Mapping[str, Any] | None = None,
+    ) -> bytes:
+        """Encode ``table`` into this format's byte representation."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def coerce_cell(value: str | None) -> Any:
+    """Best-effort typed parse of a textual cell (CSV and XML share this).
+
+    Empty strings become ``None``; integers and floats are recognised;
+    ``true``/``false`` map to booleans; everything else stays a string.
+    """
+    if value is None:
+        return None
+    text = value.strip()
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return value

@@ -1,0 +1,101 @@
+"""CSV payload format.
+
+Honours the ``separator`` option from the data-object configuration
+(paper Fig. 4) plus ``header`` (default true) and ``encoding``.
+When the payload has a header row, columns are matched by name (the
+declared schema may select a subset, in any order); without a header,
+columns are matched positionally against the schema.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Mapping
+
+from repro.data import Schema, Table
+from repro.errors import FormatError
+from repro.formats.base import Format, coerce_cell
+
+
+class CsvFormat(Format):
+    name = "csv"
+
+    def decode(
+        self,
+        payload: bytes,
+        schema: Schema,
+        options: Mapping[str, Any] | None = None,
+    ) -> Table:
+        options = options or {}
+        separator = str(options.get("separator", ","))
+        has_header = _as_bool(options.get("header", True))
+        encoding = str(options.get("encoding", "utf-8"))
+        try:
+            text = payload.decode(encoding)
+        except UnicodeDecodeError as exc:
+            raise FormatError(f"CSV payload is not valid {encoding}") from exc
+        reader = csv.reader(io.StringIO(text), delimiter=separator)
+        rows = [row for row in reader if row]
+        if not rows:
+            return Table.empty(schema)
+        if has_header:
+            header = [h.strip() for h in rows[0]]
+            body = rows[1:]
+            positions = _header_positions(header, schema)
+        else:
+            body = rows
+            positions = list(range(len(schema)))
+        names = schema.names
+        records = []
+        for line_no, row in enumerate(body, start=2 if has_header else 1):
+            record: dict[str, Any] = {}
+            for name, position in zip(names, positions):
+                if position is None or position >= len(row):
+                    record[name] = None
+                else:
+                    record[name] = coerce_cell(row[position])
+            records.append(record)
+        return Table.from_rows(schema, records)
+
+    def encode(
+        self,
+        table: Table,
+        options: Mapping[str, Any] | None = None,
+    ) -> bytes:
+        options = options or {}
+        separator = str(options.get("separator", ","))
+        encoding = str(options.get("encoding", "utf-8"))
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, delimiter=separator, lineterminator="\n")
+        writer.writerow(table.schema.names)
+        for row in table.row_tuples():
+            writer.writerow(["" if v is None else v for v in row])
+        return buffer.getvalue().encode(encoding)
+
+
+def _header_positions(
+    header: list[str], schema: Schema
+) -> list[int | None]:
+    """Column position for each schema name, or None when absent.
+
+    A schema column whose ``source_path`` is set maps by that path name
+    instead (so ``question => title`` finds the ``title`` CSV column).
+    """
+    index = {name: i for i, name in enumerate(header)}
+    positions: list[int | None] = []
+    for column in schema:
+        key = column.source_path or column.name
+        positions.append(index.get(key))
+    if all(p is None for p in positions):
+        raise FormatError(
+            f"no schema column found in CSV header {header!r}; "
+            f"expected some of {schema.names}"
+        )
+    return positions
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "yes", "1")
+    return bool(value)

@@ -1,0 +1,130 @@
+"""JSON payload format.
+
+Handles three payload shapes seen in feed APIs (paper Figs. 6, 18):
+
+* a JSON array of documents,
+* newline-delimited JSON (one document per line),
+* a single object with a list-valued field (``items``/``results``/``data``
+  or the ``root`` option) wrapping the documents.
+
+Each document is flattened into a row using the schema's ``=>`` payload
+paths; a column without a path maps to the identically-named top-level
+field.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.data import Schema, Table
+from repro.errors import FormatError
+from repro.formats.base import Format
+from repro.formats.jsonpath import extract_path
+
+
+_WRAPPER_FIELDS = ("items", "results", "data", "rows")
+
+
+class JsonFormat(Format):
+    name = "json"
+
+    def decode(
+        self,
+        payload: bytes,
+        schema: Schema,
+        options: Mapping[str, Any] | None = None,
+    ) -> Table:
+        options = options or {}
+        encoding = str(options.get("encoding", "utf-8"))
+        try:
+            text = payload.decode(encoding)
+        except UnicodeDecodeError as exc:
+            raise FormatError(f"JSON payload is not valid {encoding}") from exc
+        documents = list(_documents(text, options.get("root")))
+        records = [
+            {
+                column.name: extract_path(
+                    doc, column.source_path or column.name
+                )
+                for column in schema
+            }
+            for doc in documents
+        ]
+        return Table.from_rows(schema, records)
+
+    def encode(
+        self,
+        table: Table,
+        options: Mapping[str, Any] | None = None,
+    ) -> bytes:
+        options = options or {}
+        lines = _as_bool(options.get("lines", False))
+        if lines:
+            text = "\n".join(
+                json.dumps(row, default=str) for row in table.rows()
+            )
+        else:
+            text = json.dumps(table.to_records(), default=str, indent=2)
+        return text.encode("utf-8")
+
+
+class JsonLinesFormat(JsonFormat):
+    """Alias registered as ``jsonl``; decoding is shared with ``json``."""
+
+    name = "jsonl"
+
+    def encode(
+        self,
+        table: Table,
+        options: Mapping[str, Any] | None = None,
+    ) -> bytes:
+        options = dict(options or {})
+        options["lines"] = True
+        return super().encode(table, options)
+
+
+def _documents(text: str, root: str | None) -> Iterable[Any]:
+    stripped = text.strip()
+    if not stripped:
+        return []
+    try:
+        parsed = json.loads(stripped)
+    except json.JSONDecodeError:
+        return _jsonl_documents(stripped)
+    if isinstance(parsed, list):
+        return parsed
+    if isinstance(parsed, dict):
+        if root:
+            inner = extract_path(parsed, root)
+            if not isinstance(inner, list):
+                raise FormatError(
+                    f"root path {root!r} did not resolve to a list"
+                )
+            return inner
+        for field in _WRAPPER_FIELDS:
+            if isinstance(parsed.get(field), list):
+                return parsed[field]
+        return [parsed]
+    raise FormatError("JSON payload must be an object or array")
+
+
+def _jsonl_documents(text: str) -> list[Any]:
+    documents = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            documents.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise FormatError(
+                f"invalid JSON on line {line_no}: {exc}"
+            ) from exc
+    return documents
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "yes", "1")
+    return bool(value)

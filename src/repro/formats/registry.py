@@ -1,0 +1,57 @@
+"""Format registry (part of the extension services, paper §4.2).
+
+Built-in formats and user formats share one registry; a flow file's
+``format:`` key resolves here.  Registries are per-platform-instance so
+tests and multi-tenant embeddings do not leak extensions into each other;
+:func:`default_format_registry` builds a fresh registry with the built-ins.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExtensionError, FormatError
+from repro.formats.base import Format
+
+
+class FormatRegistry:
+    """Name → :class:`Format` lookup with extension registration."""
+
+    def __init__(self) -> None:
+        self._formats: dict[str, Format] = {}
+
+    def register(self, fmt: Format, replace: bool = False) -> None:
+        if not fmt.name:
+            raise ExtensionError(f"format {fmt!r} has no name")
+        key = fmt.name.lower()
+        if key in self._formats and not replace:
+            raise ExtensionError(f"format {fmt.name!r} already registered")
+        self._formats[key] = fmt
+
+    def get(self, name: str) -> Format:
+        fmt = self._formats.get(name.lower())
+        if fmt is None:
+            raise FormatError(
+                f"unknown format {name!r}; known: {sorted(self._formats)}"
+            )
+        return fmt
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._formats
+
+    def names(self) -> list[str]:
+        return sorted(self._formats)
+
+
+def default_format_registry() -> FormatRegistry:
+    """A registry pre-loaded with the built-in formats."""
+    from repro.formats.avro import AvroFormat
+    from repro.formats.csv_format import CsvFormat
+    from repro.formats.json_format import JsonFormat, JsonLinesFormat
+    from repro.formats.xml_format import XmlFormat
+
+    registry = FormatRegistry()
+    registry.register(CsvFormat())
+    registry.register(JsonFormat())
+    registry.register(JsonLinesFormat())
+    registry.register(XmlFormat())
+    registry.register(AvroFormat())
+    return registry

@@ -1,0 +1,87 @@
+"""XML payload format.
+
+Decodes a payload of the shape ``<root><record>...</record>...</root>``:
+each child of the document root is one row; schema columns resolve against
+the record element via dotted paths (child elements) with a leading ``@``
+addressing attributes (``item.@id``).  Encoding produces the same shape.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Mapping
+from xml.sax.saxutils import escape
+
+from repro.data import Schema, Table
+from repro.errors import FormatError
+from repro.formats.base import Format, coerce_cell
+
+
+class XmlFormat(Format):
+    name = "xml"
+
+    def decode(
+        self,
+        payload: bytes,
+        schema: Schema,
+        options: Mapping[str, Any] | None = None,
+    ) -> Table:
+        options = options or {}
+        try:
+            root = ET.fromstring(payload.decode(
+                str(options.get("encoding", "utf-8"))
+            ))
+        except (ET.ParseError, UnicodeDecodeError) as exc:
+            raise FormatError(f"invalid XML payload: {exc}") from exc
+        record_tag = options.get("record")
+        if record_tag:
+            elements = root.iter(str(record_tag))
+        else:
+            elements = iter(list(root))
+        records = []
+        for element in elements:
+            record = {
+                column.name: _resolve(
+                    element, column.source_path or column.name
+                )
+                for column in schema
+            }
+            records.append(record)
+        return Table.from_rows(schema, records)
+
+    def encode(
+        self,
+        table: Table,
+        options: Mapping[str, Any] | None = None,
+    ) -> bytes:
+        options = options or {}
+        root_tag = str(options.get("root_tag", "rows"))
+        record_tag = str(options.get("record", "row"))
+        parts = [f"<{root_tag}>"]
+        for row in table.rows():
+            parts.append(f"  <{record_tag}>")
+            for name, value in row.items():
+                text = "" if value is None else escape(str(value))
+                parts.append(f"    <{name}>{text}</{name}>")
+            parts.append(f"  </{record_tag}>")
+        parts.append(f"</{root_tag}>")
+        return "\n".join(parts).encode("utf-8")
+
+
+def _resolve(element: ET.Element, path: str) -> Any:
+    """Resolve a dotted path (with ``@attr`` leaves) against an element."""
+    node: ET.Element | None = element
+    segments = path.split(".")
+    for i, segment in enumerate(segments):
+        if node is None:
+            return None
+        if segment.startswith("@"):
+            if i != len(segments) - 1:
+                raise FormatError(
+                    f"attribute segment {segment!r} must be last in {path!r}"
+                )
+            return coerce_cell(node.get(segment[1:]))
+        node = node.find(segment)
+    if node is None:
+        return None
+    return coerce_cell(node.text)

@@ -1,0 +1,28 @@
+"""Race2Insights hackathon simulation (paper §5).
+
+The paper's evaluation is a 52-team internal hackathon whose findings
+(Figs. 31, 32, 35) are *derived from platform telemetry* — application
+logs, flow-file growth, execution logs.  We reproduce the evaluation by
+simulating the teams against the **real platform**: simulated
+participants fork sample dashboards, edit flow files, trigger runs (and
+errors), and the analysis module regenerates the paper's figures from
+the resulting telemetry.  See DESIGN.md's substitution table.
+"""
+
+from repro.hackathon.datasets import HACKATHON_DATASETS, HackathonDataset
+from repro.hackathon.simulator import (
+    HackathonResult,
+    Team,
+    run_hackathon,
+)
+from repro.hackathon import analysis, effort
+
+__all__ = [
+    "HACKATHON_DATASETS",
+    "HackathonDataset",
+    "HackathonResult",
+    "Team",
+    "run_hackathon",
+    "analysis",
+    "effort",
+]

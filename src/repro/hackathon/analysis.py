@@ -1,0 +1,203 @@
+"""Figure regeneration from hackathon telemetry (paper §5.2.1).
+
+"The data generated during the competition as well as the practice
+sessions - application logs, flow file growth, error messages, execution
+logs - were used to build dashboards to illustrate usage of the platform."
+
+Each function returns the series behind one paper figure, computed from
+``platform.events`` and team records, plus an ASCII rendering helper so
+benchmarks print the same picture the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hackathon.simulator import HackathonResult
+
+
+# ---------------------------------------------------------------------------
+# Fig. 31 — platform usage: popular operators and widgets
+# ---------------------------------------------------------------------------
+
+
+def fig31_operator_usage(result: HackathonResult) -> dict[str, int]:
+    """Task-type usage across all dashboard runs, descending."""
+    usage: dict[str, int] = {}
+    for event in result.platform.events:
+        if event.kind != "run":
+            continue
+        for operator, count in event.detail.get("operators", {}).items():
+            usage[operator] = usage.get(operator, 0) + count
+    return dict(sorted(usage.items(), key=lambda kv: -kv[1]))
+
+
+def fig31_widget_usage(result: HackathonResult) -> dict[str, int]:
+    """Widget-type usage across all dashboard runs, descending."""
+    usage: dict[str, int] = {}
+    for event in result.platform.events:
+        if event.kind != "run":
+            continue
+        for widget, count in event.detail.get("widgets", {}).items():
+            usage[widget] = usage.get(widget, 0) + count
+    return dict(sorted(usage.items(), key=lambda kv: -kv[1]))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 32 — does practice matter?
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PracticePoint:
+    team: str
+    practice_runs: int
+    competition_runs: int
+    score: float
+    is_finalist: bool
+    is_winner: bool
+
+
+def fig32_practice_series(result: HackathonResult) -> list[PracticePoint]:
+    """Per-team practice vs competition runs with finalist/winner flags."""
+    return [
+        PracticePoint(
+            team=team.name,
+            practice_runs=team.practice_runs,
+            competition_runs=team.competition_runs,
+            score=team.score,
+            is_finalist=team.is_finalist,
+            is_winner=team.is_winner,
+        )
+        for team in result.teams
+    ]
+
+
+def fig32_correlation(result: HackathonResult) -> dict[str, float]:
+    """Correlation between practice and outcomes (the figure's point).
+
+    Returns Pearson r for practice→competition-runs and practice→score,
+    plus the practice-run advantage of finalists over the field.
+    """
+    from scipy import stats
+
+    practice = [t.practice_runs for t in result.teams]
+    runs = [t.competition_runs for t in result.teams]
+    scores = [t.score for t in result.teams]
+    r_runs = stats.pearsonr(practice, runs).statistic
+    r_score = stats.pearsonr(practice, scores).statistic
+    finalists = [t.practice_runs for t in result.teams if t.is_finalist]
+    field = [t.practice_runs for t in result.teams if not t.is_finalist]
+    advantage = (
+        (sum(finalists) / len(finalists)) / max(sum(field) / len(field), 1e-9)
+        if finalists and field
+        else float("nan")
+    )
+    return {
+        "pearson_practice_vs_competition_runs": round(float(r_runs), 4),
+        "pearson_practice_vs_score": round(float(r_score), 4),
+        "finalist_practice_advantage": round(float(advantage), 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 35 — fork to go (flow-file size at competition start)
+# ---------------------------------------------------------------------------
+
+
+def fig35_fork_sizes(result: HackathonResult) -> dict[str, int]:
+    """Flow-file size in bytes per team at competition start."""
+    return {team.name: team.fork_size_bytes for team in result.teams}
+
+
+def fig35_from_telemetry(result: HackathonResult) -> dict[str, int]:
+    """The same series recovered purely from fork events in the log."""
+    sizes: dict[str, int] = {}
+    for event in result.platform.events:
+        if event.kind == "fork" and event.dashboard.endswith("_dashboard"):
+            sizes[event.user] = int(event.detail.get("bytes", 0))
+    return sizes
+
+
+# ---------------------------------------------------------------------------
+# flow-file growth (§5.2.1 lists it among the collected data)
+# ---------------------------------------------------------------------------
+
+
+def flow_file_growth(result: HackathonResult) -> dict[str, list[int]]:
+    """Per-team flow-file sizes over successive saves.
+
+    The incremental-building workflow (§5.2 obs. 7: back up to stable,
+    add, save) shows up as a mostly-monotonic size trajectory per team.
+    """
+    growth: dict[str, list[int]] = {}
+    for event in result.platform.events:
+        if event.kind in ("fork", "save") and event.user.startswith(
+            "team"
+        ):
+            growth.setdefault(event.user, []).append(
+                int(event.detail.get("bytes", 0))
+            )
+    return growth
+
+
+# ---------------------------------------------------------------------------
+# error telemetry (§5.2 obs. 7 context)
+# ---------------------------------------------------------------------------
+
+
+def error_counts(result: HackathonResult) -> dict[str, int]:
+    """Error events per team (debugging-by-backtracking traffic)."""
+    errors: dict[str, int] = {}
+    for event in result.platform.events:
+        if event.kind == "error" and event.user:
+            errors[event.user] = errors.get(event.user, 0) + 1
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def ascii_bar_chart(
+    series: dict[str, int | float],
+    title: str,
+    width: int = 40,
+    limit: int = 15,
+) -> str:
+    """Render a horizontal ASCII bar chart of ``series``."""
+    lines = [title, "-" * len(title)]
+    items = list(series.items())[:limit]
+    if not items:
+        return "\n".join(lines + ["(empty)"])
+    peak = max(value for _k, value in items) or 1
+    label_width = max(len(str(k)) for k, _v in items)
+    for key, value in items:
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"{str(key):<{label_width}} | {bar} {value}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: list[PracticePoint], width: int = 60, height: int = 18
+) -> str:
+    """Fig. 32 as an ASCII scatter: practice (x) vs competition (y).
+
+    ``*`` = winner, ``o`` = finalist, ``.`` = other team.
+    """
+    if not points:
+        return "(no teams)"
+    max_x = max(p.practice_runs for p in points) or 1
+    max_y = max(p.competition_runs for p in points) or 1
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for point in points:
+        x = int(point.practice_runs / max_x * width)
+        y = height - int(point.competition_runs / max_y * height)
+        mark = "*" if point.is_winner else "o" if point.is_finalist else "."
+        if grid[y][x] in (" ", "."):
+            grid[y][x] = mark
+    lines = ["competition runs ^  (* winner, o finalist, . team)"]
+    lines.extend("".join(row) for row in grid)
+    lines.append("-" * (width + 1) + "> practice runs")
+    return "\n".join(lines)

@@ -1,0 +1,339 @@
+"""Programmatic dashboard synthesis for simulated teams.
+
+Teams do not type flow files — they *grow* them: fork a sample, add a
+task, add a widget, run, repeat (paper §5.2 obs. 3 and 7: fork to start,
+then "go to a stable version and incrementally add").  This builder
+produces the flow file a team has at complexity level *k* by assembling
+the object model and serializing it, so every generated file goes
+through the real parser/compiler when saved on the platform.
+
+Complexity steps (cumulative):
+
+0. fact source → group-by on the first dimension → endpoint + Bar chart
+1. an expression filter before the aggregation
+2. a derived column (map/add_column)
+3. a second aggregation on another dimension + Pie chart
+4. a join with the reference table (when the data set has one)
+5. a top-n flow + WordCloud
+6. slider + widget-to-widget filter interaction
+7+. a DataGrid and extra layout polish
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dsl.ast_nodes import (
+    DataObject,
+    FlowFile,
+    FlowSpec,
+    LayoutCell,
+    LayoutSpec,
+    TaskSpec,
+    WidgetSpec,
+)
+from repro.dsl.pipes import PipeExpr
+from repro.dsl.serializer import serialize_flow_file
+from repro.hackathon.datasets import HackathonDataset
+
+MAX_COMPLEXITY = 8
+
+
+def build_flow_file(
+    dataset: HackathonDataset,
+    complexity: int,
+    rng: random.Random,
+    use_custom_task: bool = False,
+) -> str:
+    """Flow-file text for ``dataset`` at ``complexity`` (0..8)."""
+    complexity = max(0, min(MAX_COMPLEXITY, complexity))
+    ff = FlowFile(name=f"{dataset.name}_dashboard")
+    fact = dataset.fact_table
+    dims = list(dataset.dimensions)
+    measures = list(dataset.measures)
+    dim0 = dims[0]
+    dim1 = dims[1 % len(dims)]
+    measure = measures[0]
+
+    ff.data[fact] = DataObject(name=fact, schema=dataset.fact_schema())
+
+    # -- level 0: base aggregation + bar chart -----------------------------
+    summary = f"{dim0}_summary"
+    ff.data[summary] = DataObject(name=summary, endpoint=True)
+    ff.tasks[f"agg_{dim0}"] = TaskSpec(
+        name=f"agg_{dim0}",
+        config={
+            "type": "groupby",
+            "groupby": [dim0],
+            "aggregates": [
+                {
+                    "operator": "sum",
+                    "apply_on": measure,
+                    "out_field": f"total_{measure}",
+                }
+            ],
+        },
+    )
+    base_tasks = [f"agg_{dim0}"]
+
+    # -- level 1: expression filter ----------------------------------------
+    if complexity >= 1:
+        ff.tasks["quality_filter"] = TaskSpec(
+            name="quality_filter",
+            config={
+                "type": "filter_by",
+                "filter_expression": f"not isnull({measure})",
+            },
+        )
+        base_tasks.insert(0, "quality_filter")
+
+    # -- level 2: derived column ---------------------------------------------
+    if complexity >= 2:
+        ff.tasks["derive_score"] = TaskSpec(
+            name="derive_score",
+            config={
+                "type": "add_column",
+                "expression": f"{measure} * {rng.randint(2, 9)}",
+                "output": "score",
+            },
+        )
+        base_tasks.insert(
+            1 if complexity >= 1 else 0, "derive_score"
+        )
+
+    ff.flows.append(
+        FlowSpec(
+            output=summary,
+            pipe=PipeExpr(inputs=(fact,), tasks=tuple(base_tasks)),
+        )
+    )
+
+    widgets: list[tuple[str, WidgetSpec, int]] = []
+    widgets.append(
+        (
+            "main_bar",
+            WidgetSpec(
+                name="main_bar",
+                type_name="Bar",
+                source=PipeExpr(inputs=(summary,)),
+                config={"x": dim0, "y": f"total_{measure}"},
+            ),
+            6,
+        )
+    )
+
+    # -- level 3: second aggregation + pie -----------------------------------
+    if complexity >= 3:
+        second = f"{dim1}_summary"
+        ff.data[second] = DataObject(name=second, endpoint=True)
+        ff.tasks[f"agg_{dim1}"] = TaskSpec(
+            name=f"agg_{dim1}",
+            config={
+                "type": "groupby",
+                "groupby": [dim1],
+                "aggregates": [
+                    {
+                        "operator": "count",
+                        "out_field": "records",
+                    }
+                ],
+            },
+        )
+        ff.flows.append(
+            FlowSpec(
+                output=second,
+                pipe=PipeExpr(inputs=(fact,), tasks=(f"agg_{dim1}",)),
+            )
+        )
+        widgets.append(
+            (
+                "share_pie",
+                WidgetSpec(
+                    name="share_pie",
+                    type_name="Pie",
+                    source=PipeExpr(inputs=(second,)),
+                    config={"label": dim1, "value": "records"},
+                ),
+                6,
+            )
+        )
+
+    # -- level 4: reference join ----------------------------------------------
+    reference = next(
+        (name for name in dataset.generators if name != fact), None
+    )
+    if complexity >= 4 and reference is not None:
+        ref_table = dataset.generators[reference](0)
+        join_key = next(
+            (c for c in ref_table.schema.names if c in dims), None
+        )
+        if join_key is not None:
+            ff.data[reference] = DataObject(
+                name=reference, schema=ref_table.schema
+            )
+            enriched = "enriched"
+            ff.data[enriched] = DataObject(name=enriched, endpoint=True)
+            ff.tasks["join_reference"] = TaskSpec(
+                name="join_reference",
+                config={
+                    "type": "join",
+                    "left": f"{fact} by {join_key}",
+                    "right": f"{reference} by {join_key}",
+                    "join_condition": "left outer",
+                },
+            )
+            ff.flows.append(
+                FlowSpec(
+                    output=enriched,
+                    pipe=PipeExpr(
+                        inputs=(fact, reference),
+                        tasks=("join_reference",),
+                    ),
+                )
+            )
+
+    # -- level 5: top-n + word cloud -------------------------------------------
+    if complexity >= 5:
+        top = "top_items"
+        ff.data[top] = DataObject(name=top, endpoint=True)
+        ff.tasks["top_items_task"] = TaskSpec(
+            name="top_items_task",
+            config={
+                "type": "topn",
+                "orderby_column": [f"total_{measure} DESC"],
+                "limit": 10,
+            },
+        )
+        ff.flows.append(
+            FlowSpec(
+                output=top,
+                pipe=PipeExpr(
+                    inputs=(summary,), tasks=("top_items_task",)
+                ),
+            )
+        )
+        widgets.append(
+            (
+                "top_cloud",
+                WidgetSpec(
+                    name="top_cloud",
+                    type_name="WordCloud",
+                    source=PipeExpr(inputs=(top,)),
+                    config={"text": dim0, "size": f"total_{measure}"},
+                ),
+                6,
+            )
+        )
+
+    # -- level 6: interaction (slider filters the bar chart) --------------------
+    if complexity >= 6:
+        ff.tasks["filter_by_key"] = TaskSpec(
+            name="filter_by_key",
+            config={
+                "type": "filter_by",
+                "filter_by": [dim0],
+                "filter_source": "W.key_picker",
+                "filter_val": ["text"],
+            },
+        )
+        widgets.append(
+            (
+                "key_picker",
+                WidgetSpec(
+                    name="key_picker",
+                    type_name="List",
+                    source=PipeExpr(inputs=(summary,)),
+                    config={"text": dim0},
+                ),
+                3,
+            )
+        )
+        widgets.append(
+            (
+                "filtered_bar",
+                WidgetSpec(
+                    name="filtered_bar",
+                    type_name="Bar",
+                    source=PipeExpr(
+                        inputs=(summary,), tasks=("filter_by_key",)
+                    ),
+                    config={"x": dim0, "y": f"total_{measure}"},
+                ),
+                9,
+            )
+        )
+
+    # -- level 7: custom task (§5.2 obs. 2) --------------------------------------
+    if complexity >= 7 and use_custom_task:
+        predicted = "predicted"
+        ff.data[predicted] = DataObject(name=predicted, endpoint=True)
+        ff.tasks["predict"] = TaskSpec(
+            name="predict",
+            config={
+                "type": "predict_resolution",
+                "measure": f"total_{measure}",
+            },
+        )
+        ff.flows.append(
+            FlowSpec(
+                output=predicted,
+                pipe=PipeExpr(inputs=(summary,), tasks=("predict",)),
+            )
+        )
+
+    # -- level 8: grid + polish ---------------------------------------------------
+    if complexity >= 8:
+        widgets.append(
+            (
+                "detail_grid",
+                WidgetSpec(
+                    name="detail_grid",
+                    type_name="DataGrid",
+                    source=PipeExpr(inputs=(summary,)),
+                    config={"page_size": 20},
+                ),
+                12,
+            )
+        )
+
+    for name, spec, _span in widgets:
+        ff.widgets[name] = spec
+
+    rows: list[list[LayoutCell]] = []
+    row: list[LayoutCell] = []
+    used = 0
+    for name, _spec, span in widgets:
+        if used + span > 12:
+            rows.append(row)
+            row, used = [], 0
+        row.append(LayoutCell(span=span, widget=name))
+        used += span
+    if row:
+        rows.append(row)
+    ff.layout = LayoutSpec(
+        description=f"{dataset.name} insights", rows=rows
+    )
+    return serialize_flow_file(ff)
+
+
+def build_sample_flow_file(dataset: HackathonDataset) -> str:
+    """The help/sample dashboard teams fork from (complexity 1)."""
+    return build_flow_file(dataset, 1, random.Random(0))
+
+
+def broken_flow_file(dataset: HackathonDataset, rng: random.Random) -> str:
+    """A realistically broken edit (for error-telemetry simulation).
+
+    Mistakes drawn from §5.2 obs. 7's debugging stories: a typo'd column
+    in a task, an undefined task in a flow, or a widget bound to a
+    missing column.
+    """
+    text = build_flow_file(dataset, 2, rng)
+    mistake = rng.choice(["bad_column", "bad_task", "bad_widget"])
+    if mistake == "bad_column":
+        return text.replace(dataset.measures[0], "no_such_column", 1)
+    if mistake == "bad_task":
+        return text.replace("T.agg_", "T.missing_", 1)
+    return text.replace(
+        f"x: {dataset.dimensions[0]}", "x: no_such_column", 1
+    )

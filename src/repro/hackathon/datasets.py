@@ -1,0 +1,302 @@
+"""The seven hackathon data sets (paper §5.1).
+
+"We identified seven interesting data-sets that contained both public and
+enterprise data.  Each data-set had multiple files that contained both
+transaction as well as reference data about business entities."
+
+Each :class:`HackathonDataset` carries named tables (a transaction/fact
+table plus reference dimensions), the columns teams group and measure by,
+and a generator seeded per team so every team sees its own data.  Two of
+the seven reuse the paper's own domains (Apache projects, IPL tweets);
+the others match §5.2's screenshots (service-desk tickets, brand
+sentiment) and typical enterprise picks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data import Schema, Table
+
+
+@dataclass
+class HackathonDataset:
+    """One competition data set."""
+
+    name: str
+    description: str
+    #: table name -> generator(seed) producing the table
+    generators: dict[str, Callable[[int], Table]] = field(
+        default_factory=dict
+    )
+    #: fact table name (what flows start from)
+    fact_table: str = ""
+    #: columns of the fact table suitable as group-by keys
+    dimensions: list[str] = field(default_factory=list)
+    #: numeric columns suitable for aggregation
+    measures: list[str] = field(default_factory=list)
+
+    def tables(self, seed: int) -> dict[str, Table]:
+        return {
+            name: generator(seed)
+            for name, generator in self.generators.items()
+        }
+
+    def fact_schema(self, seed: int = 0) -> Schema:
+        return self.generators[self.fact_table](seed).schema
+
+
+def _rows(
+    seed: int,
+    count: int,
+    columns: dict[str, Callable[[random.Random], object]],
+) -> Table:
+    rng = random.Random(seed)
+    schema = Schema.of(*columns)
+    records = [
+        {name: make(rng) for name, make in columns.items()}
+        for _ in range(count)
+    ]
+    return Table.from_rows(schema, records)
+
+
+_PRIORITIES = ["low", "medium", "high", "critical"]
+_QUEUES = ["network", "database", "desktop", "email", "erp", "security"]
+_REGIONS = ["north", "south", "east", "west"]
+_PRODUCTS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+_CHANNELS = ["twitter", "facebook", "forums", "reviews", "news"]
+_SENTIMENTS = ["positive", "neutral", "negative"]
+_DEPARTMENTS = ["engineering", "sales", "support", "hr", "finance"]
+_BROWSERS = ["chrome", "firefox", "safari", "edge"]
+_PAGES = ["/home", "/pricing", "/docs", "/download", "/blog", "/contact"]
+
+
+def _date(rng: random.Random) -> str:
+    return f"2014-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+
+
+def _service_tickets(seed: int) -> Table:
+    return _rows(
+        seed,
+        600,
+        {
+            "ticket_id": lambda r: r.randint(10_000, 99_999),
+            "opened": _date,
+            "queue": lambda r: r.choice(_QUEUES),
+            "priority": lambda r: r.choice(_PRIORITIES),
+            "region": lambda r: r.choice(_REGIONS),
+            "resolution_hours": lambda r: round(r.expovariate(1 / 18), 1),
+            "reopened": lambda r: int(r.random() < 0.12),
+        },
+    )
+
+
+def _ticket_sla(seed: int) -> Table:
+    return Table.from_rows(
+        Schema.of("priority", "sla_hours"),
+        [
+            {"priority": "low", "sla_hours": 72},
+            {"priority": "medium", "sla_hours": 48},
+            {"priority": "high", "sla_hours": 24},
+            {"priority": "critical", "sla_hours": 4},
+        ],
+    )
+
+
+def _brand_mentions(seed: int) -> Table:
+    return _rows(
+        seed,
+        700,
+        {
+            "mention_id": lambda r: r.randint(1, 10**6),
+            "date": _date,
+            "product": lambda r: r.choice(_PRODUCTS),
+            "channel": lambda r: r.choice(_CHANNELS),
+            "sentiment": lambda r: r.choices(
+                _SENTIMENTS, weights=[4, 3, 2]
+            )[0],
+            "reach": lambda r: r.randint(10, 50_000),
+        },
+    )
+
+
+def _product_dim(seed: int) -> Table:
+    return Table.from_rows(
+        Schema.of("product", "category", "launch_year"),
+        [
+            {"product": p, "category": c, "launch_year": y}
+            for p, c, y in [
+                ("alpha", "mobile", 2011),
+                ("beta", "mobile", 2012),
+                ("gamma", "cloud", 2012),
+                ("delta", "cloud", 2013),
+                ("epsilon", "desktop", 2010),
+                ("zeta", "desktop", 2014),
+            ]
+        ],
+    )
+
+
+def _retail_sales(seed: int) -> Table:
+    return _rows(
+        seed,
+        800,
+        {
+            "order_id": lambda r: r.randint(1, 10**6),
+            "date": _date,
+            "store": lambda r: f"store_{r.randint(1, 20):02d}",
+            "region": lambda r: r.choice(_REGIONS),
+            "product": lambda r: r.choice(_PRODUCTS),
+            "units": lambda r: r.randint(1, 12),
+            "revenue": lambda r: round(r.uniform(5, 900), 2),
+        },
+    )
+
+
+def _web_logs(seed: int) -> Table:
+    return _rows(
+        seed,
+        900,
+        {
+            "date": _date,
+            "page": lambda r: r.choice(_PAGES),
+            "browser": lambda r: r.choice(_BROWSERS),
+            "region": lambda r: r.choice(_REGIONS),
+            "latency_ms": lambda r: int(r.expovariate(1 / 180)),
+            "status": lambda r: r.choices(
+                [200, 404, 500], weights=[92, 6, 2]
+            )[0],
+        },
+    )
+
+
+def _hr_attrition(seed: int) -> Table:
+    return _rows(
+        seed,
+        500,
+        {
+            "employee_id": lambda r: r.randint(1, 10**5),
+            "department": lambda r: r.choice(_DEPARTMENTS),
+            "region": lambda r: r.choice(_REGIONS),
+            "tenure_years": lambda r: round(r.uniform(0.2, 15), 1),
+            "salary_band": lambda r: r.randint(1, 9),
+            "attrited": lambda r: int(r.random() < 0.16),
+        },
+    )
+
+
+def _apache_activity(seed: int) -> Table:
+    from repro.workloads import apache
+
+    return apache.svn_jira_summary_table(seed)
+
+
+def _apache_categories(seed: int) -> Table:
+    from repro.workloads import apache
+
+    return apache.project_categories_table()
+
+
+def _ipl_player_tweets(seed: int) -> Table:
+    """Pre-processed player tweet counts (the shared objects of §3.7)."""
+    from repro.workloads import ipl as ipl_workload
+
+    rng = random.Random(seed)
+    rows = []
+    for player, team, _surfaces in ipl_workload.PLAYERS:
+        for day in range(2, 28, 3):
+            rows.append(
+                {
+                    "date": f"2013-05-{day:02d}",
+                    "player": player,
+                    "team": team,
+                    "noOfTweets": rng.randint(5, 400),
+                }
+            )
+    return Table.from_rows(
+        Schema.of("date", "player", "team", "noOfTweets"), rows
+    )
+
+
+def _ipl_team_dim(seed: int) -> Table:
+    from repro.workloads import ipl as ipl_workload
+
+    return ipl_workload.dim_teams_table()
+
+
+HACKATHON_DATASETS: list[HackathonDataset] = [
+    HackathonDataset(
+        name="service_desk",
+        description="IT service-desk tickets with SLA reference data",
+        generators={"tickets": _service_tickets, "sla": _ticket_sla},
+        fact_table="tickets",
+        dimensions=["queue", "priority", "region", "opened"],
+        measures=["resolution_hours", "reopened"],
+    ),
+    HackathonDataset(
+        name="branderstanding",
+        description="Brand mentions across social channels",
+        generators={"mentions": _brand_mentions, "products": _product_dim},
+        fact_table="mentions",
+        dimensions=["product", "channel", "sentiment", "date"],
+        measures=["reach"],
+    ),
+    HackathonDataset(
+        name="retail_sales",
+        description="Point-of-sale transactions with a product dimension",
+        generators={"sales": _retail_sales, "products": _product_dim},
+        fact_table="sales",
+        dimensions=["store", "region", "product", "date"],
+        measures=["units", "revenue"],
+    ),
+    HackathonDataset(
+        name="web_analytics",
+        description="Web access logs",
+        generators={"hits": _web_logs},
+        fact_table="hits",
+        dimensions=["page", "browser", "region", "date", "status"],
+        measures=["latency_ms"],
+    ),
+    HackathonDataset(
+        name="hr_attrition",
+        description="Employee attrition records",
+        generators={"employees": _hr_attrition},
+        fact_table="employees",
+        dimensions=["department", "region", "salary_band"],
+        measures=["tenure_years", "attrited"],
+    ),
+    HackathonDataset(
+        name="apache_activity",
+        description="Apache project activity feeds",
+        generators={
+            "activity": _apache_activity,
+            "categories": _apache_categories,
+        },
+        fact_table="activity",
+        dimensions=["project", "year"],
+        measures=["noOfBugs", "noOfCheckins", "noOfEmailsTotal"],
+    ),
+    HackathonDataset(
+        name="ipl_tweets",
+        description="IPL player tweet volumes with a team dimension",
+        generators={
+            "player_tweets": _ipl_player_tweets,
+            "dim_teams": _ipl_team_dim,
+        },
+        fact_table="player_tweets",
+        dimensions=["date", "player", "team"],
+        measures=["noOfTweets"],
+    ),
+]
+
+
+def dataset_by_name(name: str) -> HackathonDataset:
+    for dataset in HACKATHON_DATASETS:
+        if dataset.name == name:
+            return dataset
+    raise KeyError(
+        f"no hackathon dataset {name!r}; "
+        f"have {[d.name for d in HACKATHON_DATASETS]}"
+    )

@@ -1,0 +1,153 @@
+"""Competition-data dashboards, built on the platform itself (§5.2.1).
+
+"The data generated during the competition as well as the practice
+sessions ... were used to build dashboards (**using the platform**) to
+illustrate usage of the platform during the competition hours."
+
+This module closes that loop: hackathon telemetry becomes ordinary data
+objects, and the Fig. 31/32/35 views are expressed as a flow file and
+served by a real dashboard — the platform eating its own dog food.  The
+numbers it displays are asserted (in tests) to equal the ones
+:mod:`repro.hackathon.analysis` computes directly.
+"""
+
+from __future__ import annotations
+
+from repro.data import Schema, Table
+from repro.hackathon.simulator import HackathonResult
+
+USAGE_FLOW = """
+# Platform-usage dashboard over competition telemetry (paper Fig. 31)
+D:
+    run_operators: [dashboard, team, operator, uses]
+    run_widgets: [dashboard, team, widget, uses]
+    team_stats: [team, practice_runs, competition_runs, score,
+        finalist, winner, fork_bytes]
+    operator_usage: [operator, total_uses]
+    widget_usage: [widget, total_uses]
+
+F:
+    D.operator_usage: D.run_operators | T.sum_operators
+    D.operator_usage:
+        endpoint: true
+    D.widget_usage: D.run_widgets | T.sum_widgets
+    D.widget_usage:
+        endpoint: true
+    D.team_practice: D.team_stats | T.project_practice
+    D.team_practice:
+        endpoint: true
+
+T:
+    sum_operators:
+        type: groupby
+        groupby: [operator]
+        aggregates:
+            - operator: sum
+              apply_on: uses
+              out_field: total_uses
+        orderby_aggregates: true
+    sum_widgets:
+        type: groupby
+        groupby: [widget]
+        aggregates:
+            - operator: sum
+              apply_on: uses
+              out_field: total_uses
+        orderby_aggregates: true
+    project_practice:
+        type: project
+        columns: [team, practice_runs, competition_runs, finalist]
+
+W:
+    operators_bar:
+        type: Bar
+        source: D.operator_usage
+        x: operator
+        y: total_uses
+    widgets_bar:
+        type: Bar
+        source: D.widget_usage
+        x: widget
+        y: total_uses
+    practice_grid:
+        type: DataGrid
+        source: D.team_practice
+        page_size: 60
+    fork_cloud:
+        type: WordCloud
+        source: D.team_stats
+        text: team
+        size: fork_bytes
+
+L:
+    description: Race2Insights platform usage
+    rows:
+    - [span6: W.operators_bar, span6: W.widgets_bar]
+    - [span7: W.practice_grid, span5: W.fork_cloud]
+"""
+
+
+def telemetry_tables(result: HackathonResult) -> dict[str, Table]:
+    """Flatten the simulation's telemetry into data objects."""
+    operator_rows = []
+    widget_rows = []
+    for event in result.platform.events:
+        if event.kind != "run":
+            continue
+        for operator, count in event.detail.get("operators", {}).items():
+            operator_rows.append(
+                {
+                    "dashboard": event.dashboard,
+                    "team": event.user,
+                    "operator": operator,
+                    "uses": count,
+                }
+            )
+        for widget, count in event.detail.get("widgets", {}).items():
+            widget_rows.append(
+                {
+                    "dashboard": event.dashboard,
+                    "team": event.user,
+                    "widget": widget,
+                    "uses": count,
+                }
+            )
+    team_rows = [
+        {
+            "team": team.name,
+            "practice_runs": team.practice_runs,
+            "competition_runs": team.competition_runs,
+            "score": team.score,
+            "finalist": team.is_finalist,
+            "winner": team.is_winner,
+            "fork_bytes": team.fork_size_bytes,
+        }
+        for team in result.teams
+    ]
+    return {
+        "run_operators": Table.from_rows(
+            Schema.of("dashboard", "team", "operator", "uses"),
+            operator_rows,
+        ),
+        "run_widgets": Table.from_rows(
+            Schema.of("dashboard", "team", "widget", "uses"), widget_rows
+        ),
+        "team_stats": Table.from_rows(
+            Schema.of(
+                "team", "practice_runs", "competition_runs", "score",
+                "finalist", "winner", "fork_bytes",
+            ),
+            team_rows,
+        ),
+    }
+
+
+def build_usage_dashboard(result: HackathonResult, name: str = "usage"):
+    """Create and run the Fig. 31 dashboard on the result's platform."""
+    platform = result.platform
+    dashboard = platform.create_dashboard(
+        name, USAGE_FLOW, inline_tables=telemetry_tables(result),
+        user="platform",
+    )
+    dashboard.run_flows()
+    return dashboard

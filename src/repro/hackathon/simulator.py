@@ -1,0 +1,304 @@
+"""Race2Insights simulation (paper §5.1–5.2).
+
+Simulates the competition against a real :class:`~repro.platform.Platform`:
+
+* seven data sets are loaded and a sample dashboard is created per set;
+* 52 five-member teams with a spread of skill (§5.1: "zero to little
+  programming background ... to significant skills") practice for five
+  days — forking samples, editing, running, and hitting real errors;
+* on competition day each team is assigned a data set by lottery, forks
+  a starting dashboard ("fork to go", Fig. 35) and iterates for six
+  simulated hours;
+* two judging rounds score the final dashboards; the top seven are
+  finalists, the top three winners (§5.1 "Judging").
+
+Everything a team does goes through platform APIs, so the telemetry the
+paper's figures are derived from (Figs. 31, 32, 35) accumulates in
+``platform.events`` exactly as it did in production.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ShareInsightsError
+from repro.extensions.loader import ExtensionServices
+from repro.hackathon.builder import (
+    MAX_COMPLEXITY,
+    broken_flow_file,
+    build_flow_file,
+    build_sample_flow_file,
+)
+from repro.hackathon.datasets import HACKATHON_DATASETS, HackathonDataset
+from repro.platform import Platform
+
+#: Python source of the custom task strong teams upload (§5.2 obs. 2:
+#: "one team wrote a task to predict resolution dates of service
+#: tickets"); it goes through the real extension-upload path.
+_CUSTOM_TASK_SOURCE = '''
+from typing import Sequence
+
+from repro.data import Schema, Table
+from repro.tasks.base import Task, TaskContext
+
+
+class PredictResolutionTask(Task):
+    """Predict a resolution metric from the aggregated measure."""
+
+    type_name = "predict_resolution"
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        measure = str(self.config.get("measure"))
+        input_schemas[0].require([measure], context=self.name)
+        return input_schemas[0].with_column("predicted")
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = inputs[0]
+        measure = str(self.config.get("measure"))
+        values = [
+            None if v is None else round(v * 1.1 + 4, 2)
+            for v in table.column(measure)
+        ]
+        return table.with_column("predicted", values)
+'''
+
+
+@dataclass
+class Team:
+    """One competing team."""
+
+    team_id: int
+    #: latent ability, 0..1 (§5.1: "varying skill level")
+    skill: float
+    #: propensity to practice, 0..1
+    diligence: float
+    dataset: HackathonDataset | None = None
+    practice_runs: int = 0
+    competition_runs: int = 0
+    errors: int = 0
+    fork_size_bytes: int = 0
+    final_complexity: int = 0
+    used_custom_task: bool = False
+    score: float = 0.0
+    is_finalist: bool = False
+    is_winner: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"team{self.team_id}"
+
+    @property
+    def dashboard(self) -> str:
+        return f"{self.name}_dashboard"
+
+
+@dataclass
+class HackathonResult:
+    """The simulated competition's outcome + telemetry."""
+
+    platform: Platform
+    teams: list[Team]
+    seed: int
+
+    @property
+    def finalists(self) -> list[Team]:
+        return [t for t in self.teams if t.is_finalist]
+
+    @property
+    def winners(self) -> list[Team]:
+        return [t for t in self.teams if t.is_winner]
+
+
+def run_hackathon(
+    num_teams: int = 52,
+    seed: int = 2015,
+    practice_days: int = 5,
+    competition_hours: int = 6,
+) -> HackathonResult:
+    """Run the full simulation; deterministic for a given seed."""
+    rng = random.Random(seed)
+    platform = Platform()
+    extensions = ExtensionServices(platform)
+
+    # -- platform setup: sample dashboard per data set ---------------------
+    for dataset in HACKATHON_DATASETS:
+        platform.create_dashboard(
+            f"sample_{dataset.name}",
+            build_sample_flow_file(dataset),
+            inline_tables=dataset.tables(seed),
+            user="platform",
+        )
+
+    teams = _make_teams(num_teams, rng)
+
+    # -- training/practice phase (§5.1 "Training") --------------------------
+    for team in teams:
+        practice_dataset = rng.choice(HACKATHON_DATASETS)
+        _practice(
+            platform, team, practice_dataset, practice_days, rng
+        )
+
+    # -- competition day -------------------------------------------------------
+    for team in teams:
+        team.dataset = HACKATHON_DATASETS[
+            team.team_id % len(HACKATHON_DATASETS)
+        ]  # the lottery
+        _compete(platform, extensions, team, competition_hours, rng)
+
+    _judge(teams, rng)
+    return HackathonResult(platform=platform, teams=teams, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# phases
+# ---------------------------------------------------------------------------
+
+
+def _make_teams(num_teams: int, rng: random.Random) -> list[Team]:
+    teams = []
+    for team_id in range(1, num_teams + 1):
+        # Bimodal-ish skill: a handful of strong data teams, a long tail
+        # of novices (§5.1's skill spread).
+        if rng.random() < 0.25:
+            skill = rng.uniform(0.6, 0.95)
+        else:
+            skill = rng.uniform(0.1, 0.6)
+        teams.append(
+            Team(
+                team_id=team_id,
+                skill=round(skill, 3),
+                diligence=round(
+                    min(1.0, max(0.05, rng.gauss(skill, 0.25))), 3
+                ),
+            )
+        )
+    return teams
+
+
+def _practice(
+    platform: Platform,
+    team: Team,
+    dataset: HackathonDataset,
+    practice_days: int,
+    rng: random.Random,
+) -> None:
+    """Five days of training runs on a fork of a sample dashboard."""
+    sessions = max(0, int(rng.gauss(team.diligence * 6 * practice_days,
+                                    practice_days)))
+    if sessions == 0:
+        return
+    practice_name = f"{team.name}_practice"
+    platform.fork_dashboard(
+        f"sample_{dataset.name}", practice_name, user=team.name
+    )
+    complexity = 1
+    for _session in range(sessions):
+        if rng.random() < _error_rate(team):
+            # A broken edit: the save fails validation, an error event
+            # lands in the log, and the team backs up to a stable
+            # version (§5.2 obs. 7).
+            try:
+                platform.save_dashboard(
+                    practice_name,
+                    broken_flow_file(dataset, rng),
+                    user=team.name,
+                )
+            except ShareInsightsError:
+                team.errors += 1
+            continue
+        complexity = min(MAX_COMPLEXITY, complexity + (rng.random() < 0.5))
+        platform.save_dashboard(
+            practice_name,
+            build_flow_file(dataset, complexity, rng),
+            user=team.name,
+        )
+        platform.run_dashboard(practice_name, user=team.name)
+        team.practice_runs += 1
+
+
+def _compete(
+    platform: Platform,
+    extensions: ExtensionServices,
+    team: Team,
+    competition_hours: int,
+    rng: random.Random,
+) -> None:
+    """Six hours of competition iterations."""
+    dataset = team.dataset
+    assert dataset is not None
+    # Fork to go (Fig. 35): the starting file is the sample (or the
+    # team's practice work when it used the same data set).
+    platform.fork_dashboard(
+        f"sample_{dataset.name}", team.dashboard, user=team.name
+    )
+    source = platform.repository.read(team.dashboard)
+    team.fork_size_bytes = len(source)
+    # Competition data differs from practice data (§5.2 obs. 4).
+    dashboard = platform.get_dashboard(team.dashboard)
+    dashboard._inline_tables.update(
+        dataset.tables(team.team_id * 1000 + 17)
+    )
+
+    # Practice pays off: familiar teams iterate faster and break less.
+    effectiveness = min(
+        1.0, team.skill + 0.04 * (team.practice_runs ** 0.5)
+    )
+    minutes_per_iteration = 25 - 15 * effectiveness
+    iterations = int(competition_hours * 60 / minutes_per_iteration)
+    team.used_custom_task = team.skill > 0.7 and rng.random() < 0.8
+    if team.used_custom_task:
+        extensions.upload(
+            team.dashboard,
+            "tasks",
+            "predict_resolution.py",
+            _CUSTOM_TASK_SOURCE.encode("utf-8"),
+        )
+    complexity = 1
+    for _iteration in range(iterations):
+        if rng.random() < _error_rate(team) * 0.8:
+            try:
+                platform.save_dashboard(
+                    team.dashboard,
+                    broken_flow_file(dataset, rng),
+                    user=team.name,
+                )
+            except ShareInsightsError:
+                team.errors += 1
+            continue
+        complexity = min(
+            MAX_COMPLEXITY, complexity + (rng.random() < 0.6)
+        )
+        platform.save_dashboard(
+            team.dashboard,
+            build_flow_file(
+                dataset,
+                complexity,
+                rng,
+                use_custom_task=team.used_custom_task,
+            ),
+            user=team.name,
+        )
+        platform.run_dashboard(team.dashboard, user=team.name)
+        team.competition_runs += 1
+    team.final_complexity = complexity
+
+
+def _judge(teams: list[Team], rng: random.Random) -> None:
+    """Two panel rounds → finalists (7) and winners (3)."""
+    for team in teams:
+        business_value = team.final_complexity / MAX_COMPLEXITY
+        craft = 0.5 * team.skill + 0.2 * (team.used_custom_task)
+        team.score = round(
+            0.6 * business_value + craft + rng.gauss(0, 0.08), 4
+        )
+    ranked = sorted(teams, key=lambda t: -t.score)
+    for team in ranked[:7]:
+        team.is_finalist = True
+    for team in ranked[:3]:
+        team.is_winner = True
+
+
+def _error_rate(team: Team) -> float:
+    """Chance an edit breaks; practice and skill both reduce it."""
+    return max(0.05, 0.4 - 0.35 * team.skill - 0.01 * team.practice_runs)

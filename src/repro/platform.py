@@ -1,0 +1,278 @@
+"""The ShareInsights platform facade.
+
+One :class:`Platform` instance is "the server": it owns the extension
+registries (§4.2), the shared data catalog (§3.4.1), the flow-file
+version-control repository (§4.5.1) and the set of live dashboards.  The
+REST layer (:mod:`repro.server`), the collaboration workflows and the
+hackathon simulator all drive this object.
+
+Every dashboard operation is appended to :attr:`Platform.events` — the
+"application logs, flow file growth, error messages, execution logs"
+telemetry the paper's §5.2.1 dashboards are built from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.collab.catalog import SharedDataCatalog
+from repro.collab.repo import FlowFileRepository
+from repro.compiler.compiler import FlowCompiler
+from repro.connectors.loader import DataObjectLoader
+from repro.connectors.registry import (
+    ConnectorRegistry,
+    default_connector_registry,
+)
+from repro.dashboard.dashboard import Dashboard, RunReport
+from repro.dashboard.environment import EnvironmentProfile
+from repro.data import Table
+from repro.dsl.parser import parse_flow_file
+from repro.errors import ShareInsightsError
+from repro.formats.registry import FormatRegistry, default_format_registry
+from repro.tasks.registry import TaskRegistry, default_task_registry
+from repro.widgets.registry import WidgetRegistry, default_widget_registry
+
+
+@dataclass
+class PlatformEvent:
+    """One telemetry record."""
+
+    kind: str  # create | save | run | fork | error | select | query
+    dashboard: str
+    detail: dict[str, Any] = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+    user: str = ""
+
+
+class Platform:
+    """A ShareInsights server instance."""
+
+    def __init__(
+        self,
+        connectors: ConnectorRegistry | None = None,
+        formats: FormatRegistry | None = None,
+        tasks: TaskRegistry | None = None,
+        widgets: WidgetRegistry | None = None,
+        optimize: bool = True,
+    ):
+        self.connectors = connectors or default_connector_registry()
+        self.formats = formats or default_format_registry()
+        self.tasks = tasks or default_task_registry()
+        self.widgets = widgets or default_widget_registry()
+        self.catalog = SharedDataCatalog()
+        self.repository = FlowFileRepository()
+        self.loader = DataObjectLoader(self.connectors, self.formats)
+        self.compiler = FlowCompiler(
+            task_registry=self.tasks, optimize=optimize
+        )
+        self.dashboards: dict[str, Dashboard] = {}
+        self.events: list[PlatformEvent] = []
+
+    # ------------------------------------------------------------------
+    # dashboard CRUD (the §4.3.1 REST operations' backend)
+    # ------------------------------------------------------------------
+    def create_dashboard(
+        self,
+        name: str,
+        source: str,
+        data_dir: str | Path | None = None,
+        inline_tables: Mapping[str, Table] | None = None,
+        dictionaries: Mapping[str, Mapping[str, str]] | None = None,
+        environment: EnvironmentProfile | None = None,
+        user: str = "",
+    ) -> Dashboard:
+        """Create a dashboard from flow-file text (compiles immediately)."""
+        if name in self.dashboards:
+            raise ShareInsightsError(f"dashboard {name!r} already exists")
+        dashboard = self._build(
+            name, source, data_dir, inline_tables, dictionaries,
+            environment, user,
+        )
+        self.dashboards[name] = dashboard
+        self.repository.commit(
+            name, source, message=f"create {name}", author=user
+        )
+        self._log("create", name, {"bytes": len(source)}, user)
+        return dashboard
+
+    def save_dashboard(
+        self, name: str, source: str, user: str = ""
+    ) -> Dashboard:
+        """Replace a dashboard's flow file (edit + save in the editor)."""
+        existing = self.get_dashboard(name)
+        dashboard = self._build(
+            name,
+            source,
+            existing._data_dir,
+            existing._inline_tables,
+            existing._dictionaries,
+            existing.environment,
+            user,
+        )
+        # Incremental recomputation: results of flows untouched by this
+        # edit carry over, so the next run_flows(incremental=True) only
+        # re-runs the stale part of the DAG.
+        adopted = dashboard.adopt_materialized(existing)
+        self.dashboards[name] = dashboard
+        self.repository.commit(
+            name, source, message=f"save {name}", author=user
+        )
+        self._log(
+            "save",
+            name,
+            {"bytes": len(source), "adopted": adopted},
+            user,
+        )
+        return dashboard
+
+    def fork_dashboard(
+        self, source_name: str, new_name: str, user: str = ""
+    ) -> Dashboard:
+        """Fork an existing dashboard (§5.2 obs. 3: 'fork to go')."""
+        source_text = self.repository.read(source_name)
+        existing = self.get_dashboard(source_name)
+        dashboard = self._build(
+            new_name,
+            source_text,
+            existing._data_dir,
+            existing._inline_tables,
+            existing._dictionaries,
+            existing.environment,
+            user,
+        )
+        self.dashboards[new_name] = dashboard
+        self.repository.fork(source_name, new_name, author=user)
+        self._log(
+            "fork",
+            new_name,
+            {"from": source_name, "bytes": len(source_text)},
+            user,
+        )
+        return dashboard
+
+    def merge_dashboard(
+        self,
+        name: str,
+        source_branch: str,
+        into_branch: str = "main",
+        user: str = "",
+    ) -> Dashboard:
+        """Merge a branch in the repository and deploy the result.
+
+        The section-aware three-way merge (§4.5.1) runs in the
+        repository; the merged flow file then goes through the normal
+        save path, so an invalid merge result never replaces the live
+        dashboard.
+        """
+        self.repository.merge(
+            name, source_branch, into_branch=into_branch, author=user
+        )
+        merged = self.repository.read(name, branch=into_branch)
+        return self.save_dashboard(name, merged, user=user)
+
+    def delete_dashboard(self, name: str, user: str = "") -> None:
+        self.get_dashboard(name)
+        del self.dashboards[name]
+        self._log("delete", name, {}, user)
+
+    def get_dashboard(self, name: str) -> Dashboard:
+        dashboard = self.dashboards.get(name)
+        if dashboard is None:
+            raise ShareInsightsError(
+                f"no dashboard {name!r}; have {sorted(self.dashboards)}"
+            )
+        return dashboard
+
+    def dashboard_names(self) -> list[str]:
+        return sorted(self.dashboards)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_dashboard(
+        self, name: str, engine: str | None = None, user: str = ""
+    ) -> RunReport:
+        dashboard = self.get_dashboard(name)
+        try:
+            report = dashboard.run_flows(engine=engine)
+        except ShareInsightsError as exc:
+            self._log("error", name, {"message": str(exc)}, user)
+            raise
+        self._log(
+            "run",
+            name,
+            {
+                "engine": report.engine,
+                "rows_produced": report.rows_produced,
+                "published": report.published,
+                "operators": self._operator_usage(dashboard),
+                "widgets": self._widget_usage(dashboard),
+            },
+            user,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build(
+        self,
+        name: str,
+        source: str,
+        data_dir: str | Path | None,
+        inline_tables: Mapping[str, Table] | None,
+        dictionaries: Mapping[str, Mapping[str, str]] | None,
+        environment: EnvironmentProfile | None,
+        user: str = "",
+    ) -> Dashboard:
+        try:
+            flow_file = parse_flow_file(source, name=name)
+            compiled = self.compiler.compile(
+                flow_file, catalog_schemas=self.catalog.schemas()
+            )
+        except ShareInsightsError as exc:
+            self._log("error", name, {"message": str(exc)}, user)
+            raise
+        return Dashboard(
+            compiled,
+            loader=self.loader,
+            catalog=self.catalog,
+            widget_registry=self.widgets,
+            environment=environment,
+            data_dir=data_dir,
+            dictionaries=dictionaries,
+            inline_tables=inline_tables,
+        )
+
+    @staticmethod
+    def _operator_usage(dashboard: Dashboard) -> dict[str, int]:
+        """Task-type histogram of one dashboard (feeds Fig. 31)."""
+        usage: dict[str, int] = {}
+        for task in dashboard.compiled.tasks.values():
+            usage[task.type_name] = usage.get(task.type_name, 0) + 1
+        return usage
+
+    @staticmethod
+    def _widget_usage(dashboard: Dashboard) -> dict[str, int]:
+        """Widget-type histogram of one dashboard (feeds Fig. 31)."""
+        usage: dict[str, int] = {}
+        for plan in dashboard.compiled.widget_plans.values():
+            type_name = plan.widget.type_name
+            usage[type_name] = usage.get(type_name, 0) + 1
+        return usage
+
+    def _log(
+        self,
+        kind: str,
+        dashboard: str,
+        detail: dict[str, Any],
+        user: str = "",
+    ) -> None:
+        self.events.append(
+            PlatformEvent(
+                kind=kind, dashboard=dashboard, detail=detail, user=user
+            )
+        )

@@ -1,0 +1,12 @@
+"""Platform REST services (paper §4.3–4.4).
+
+A dependency-free WSGI application over a :class:`~repro.platform.Platform`:
+dashboard CRUD/run routes, endpoint-data browsing (Figs. 27–28), the
+headless data explorer (Fig. 29) and the simplified ad-hoc query language
+(Fig. 30).
+"""
+
+from repro.server.app import ShareInsightsApp, serve
+from repro.server.query_language import AdhocQuery, parse_adhoc_query
+
+__all__ = ["ShareInsightsApp", "serve", "AdhocQuery", "parse_adhoc_query"]

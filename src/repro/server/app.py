@@ -1,0 +1,409 @@
+"""WSGI REST application (paper §4.3.1, §4.4).
+
+Routes (all relative to the server base path):
+
+=====================================================  =====================
+``GET  /dashboards``                                   list dashboards
+``POST /dashboards/<name>/create``                     create from flow text
+``POST /dashboards/<name>/save``                       save edited flow text
+``GET  /dashboards/<name>``                            flow-file text
+``POST /dashboards/<name>/run``                        execute flows
+``POST /dashboards/<name>/fork/<new>``                 fork a dashboard
+``GET  /dashboards/<name>/ds``                         endpoint names (Fig. 27)
+``GET  /dashboards/<name>/ds/<dataset>``               endpoint rows (Fig. 28)
+``GET  /dashboards/<name>/ds/<dataset>/<query...>``    ad-hoc query (Fig. 30)
+``GET  /dashboards/<name>/explorer``                   data explorer (Fig. 29)
+``GET  /dashboards/<name>/render``                     dashboard HTML
+=====================================================  =====================
+
+The app is a plain WSGI callable — tests drive it directly, and
+:func:`serve` wraps it in ``wsgiref`` for the examples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+from urllib.parse import parse_qsl
+
+from repro.errors import QueryError, ShareInsightsError
+from repro.platform import Platform
+from repro.server.query_language import parse_adhoc_query
+
+StartResponse = Callable[[str, list[tuple[str, str]]], Any]
+
+
+class ShareInsightsApp:
+    """The REST surface over one platform instance."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+
+    # -- WSGI entry point --------------------------------------------------
+    def __call__(
+        self, environ: dict[str, Any], start_response: StartResponse
+    ) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/")
+        query = dict(parse_qsl(environ.get("QUERY_STRING", "")))
+        try:
+            status, content_type, body = self._route(
+                method, path, query, environ
+            )
+        except QueryError as exc:
+            status, content_type, body = _error(400, str(exc))
+        except ShareInsightsError as exc:
+            status, content_type, body = _error(422, str(exc))
+        start_response(
+            status,
+            [
+                ("Content-Type", content_type),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    # -- routing -------------------------------------------------------------
+    def _route(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        environ: dict[str, Any],
+    ) -> tuple[str, str, bytes]:
+        segments = [s for s in path.split("/") if s]
+        if not segments:
+            return _json({"service": "ShareInsights", "version": "1.0"})
+        if segments[0] != "dashboards":
+            return _error(404, f"unknown path {path!r}")
+        if len(segments) == 1:
+            return _json({"dashboards": self.platform.dashboard_names()})
+        name = segments[1]
+        rest = segments[2:]
+
+        if not rest:
+            if method == "GET":
+                return _text(self.platform.repository.read(name))
+            return _error(405, "use POST .../create or .../save")
+        action = rest[0]
+
+        if action == "create" and method == "POST":
+            source = _read_body(environ)
+            self.platform.create_dashboard(name, source)
+            return _json({"created": name}, status="201 Created")
+        if action == "save" and method == "POST":
+            source = _read_body(environ)
+            self.platform.save_dashboard(name, source)
+            return _json({"saved": name})
+        if action == "run" and method == "POST":
+            report = self.platform.run_dashboard(
+                name, engine=query.get("engine")
+            )
+            return _json(
+                {
+                    "dashboard": name,
+                    "engine": report.engine,
+                    "seconds": round(report.seconds, 6),
+                    "rows_produced": report.rows_produced,
+                    "endpoints": report.endpoints,
+                    "published": report.published,
+                }
+            )
+        if action == "fork" and method == "POST" and len(rest) == 2:
+            self.platform.fork_dashboard(name, rest[1])
+            return _json({"forked": rest[1], "from": name},
+                         status="201 Created")
+        if action == "ds":
+            return self._route_ds(name, rest[1:], query)
+        if action == "explorer" and method == "GET":
+            return self._explorer(name, query)
+        if action == "widgets" and method == "GET" and len(rest) == 2:
+            dashboard = self.platform.get_dashboard(name)
+            view = dashboard.widget_view(rest[1])
+            return _json(
+                {
+                    "widget": view.widget,
+                    "type": view.type_name,
+                    "payload": view.payload,
+                    "text": view.text,
+                }
+            )
+        if action == "select" and method == "POST" and len(rest) == 2:
+            return self._select(name, rest[1], environ)
+        if action == "diagnose" and method == "POST":
+            return self._diagnose(_read_body(environ))
+        if action == "profile" and method == "GET":
+            return self._profile(name, query)
+        if action == "bottlenecks" and method == "GET":
+            dashboard = self.platform.get_dashboard(name)
+            return _text(dashboard.bottleneck_report())
+        if action == "edit" and method == "GET":
+            return self._editor(name)
+        if action == "history" and method == "GET":
+            commits = self.platform.repository.history(name)
+            return _json(
+                {
+                    "dashboard": name,
+                    "commits": [
+                        {
+                            "id": c.id,
+                            "message": c.message,
+                            "author": c.author,
+                            "dashboard": c.dashboard,
+                            "parents": list(c.parents),
+                        }
+                        for c in commits
+                    ],
+                }
+            )
+        if action == "render" and method == "GET":
+            dashboard = self.platform.get_dashboard(name)
+            view = dashboard.render()
+            # Data-processing-mode dashboards have no layout/HTML; show
+            # the text summary instead of a blank page.
+            return _html(view.html or f"<pre>{view.text}</pre>")
+        return _error(404, f"unknown action {action!r}")
+
+    # -- endpoint data (Figs. 27, 28, 30) ------------------------------------
+    def _route_ds(
+        self, name: str, segments: list[str], query: dict[str, str]
+    ) -> tuple[str, str, bytes]:
+        dashboard = self.platform.get_dashboard(name)
+        if not segments:
+            return _json({"endpoints": dashboard.endpoint_names()})
+        adhoc = parse_adhoc_query(segments)
+        table = dashboard.endpoint(adhoc.dataset)
+        table = adhoc.execute(table)
+        limit = int(query.get("limit", 1000))
+        offset = int(query.get("offset", 0))
+        rows = table.to_records()[offset: offset + limit]
+        self.platform._log(
+            "query",
+            name,
+            {"dataset": adhoc.dataset, "steps": len(adhoc.steps)},
+        )
+        return _json(
+            {
+                "dataset": adhoc.dataset,
+                "columns": table.schema.names,
+                "total_rows": table.num_rows,
+                "rows": rows,
+            }
+        )
+
+    # -- data explorer (Fig. 29) -----------------------------------------------
+    def _explorer(
+        self, name: str, query: dict[str, str]
+    ) -> tuple[str, str, bytes]:
+        """Run the dashboard headless and show endpoint data as tables."""
+        dashboard = self.platform.get_dashboard(name)
+        dataset = query.get("ds")
+        names = (
+            [dataset] if dataset else dashboard.endpoint_names()
+        )
+        sections = []
+        for endpoint_name in names:
+            table = dashboard.endpoint(endpoint_name)
+            header = "".join(
+                f"<th>{column}</th>" for column in table.schema.names
+            )
+            rows = "".join(
+                "<tr>"
+                + "".join(
+                    f"<td>{'' if v is None else v}</td>" for v in row
+                )
+                + "</tr>"
+                for row in table.head(100).row_tuples()
+            )
+            sections.append(
+                f"<h2>{endpoint_name} ({table.num_rows} rows)</h2>"
+                f"<table border='1'><tr>{header}</tr>{rows}</table>"
+            )
+        html = (
+            f"<html><head><title>Data Explorer - {name}</title></head>"
+            f"<body><h1>Data Explorer: {name}</h1>"
+            f"{''.join(sections)}</body></html>"
+        )
+        return _html(html)
+
+
+    # -- dashboard editor (Fig. 26) ---------------------------------------
+    def _editor(self, name: str) -> tuple[str, str, bytes]:
+        """The web editor page: flow-file text, live diagnostics hook,
+        endpoint links — the §4.3.1 browser development surface."""
+        source = self.platform.repository.read(name)
+        dashboard = self.platform.get_dashboard(name)
+        endpoints = "".join(
+            f'<li><a href="/dashboards/{name}/ds/{e}">{e}</a></li>'
+            for e in dashboard.endpoint_names()
+        )
+        escaped = (
+            source.replace("&", "&amp;").replace("<", "&lt;")
+        )
+        html = f"""<html><head><title>Edit {name}</title></head>
+<body>
+<h1>Dashboard editor: {name}</h1>
+<div class="toolbar">
+  <button onclick="save()">Save</button>
+  <button onclick="diagnoseNow()">Validate</button>
+  <a href="/dashboards/{name}/render">Preview</a>
+  <a href="/dashboards/{name}/explorer">Data explorer</a>
+  <a href="/dashboards/{name}/history">History</a>
+</div>
+<textarea id="flow" rows="40" cols="100">{escaped}</textarea>
+<pre id="diagnostics"></pre>
+<h2>Endpoint data</h2><ul>{endpoints}</ul>
+<script>
+async function post(path) {{
+  const body = document.getElementById('flow').value;
+  const response = await fetch(path, {{method: 'POST', body}});
+  return response.json();
+}}
+async function diagnoseNow() {{
+  const result = await post('/dashboards/{name}/diagnose');
+  document.getElementById('diagnostics').textContent =
+    result.ok ? 'flow file is valid'
+              : result.diagnostics.map(
+                  d => `${{d.severity}} line ${{d.line}}: ${{d.message}}`
+                ).join('\\n');
+}}
+async function save() {{
+  const result = await post('/dashboards/{name}/save');
+  document.getElementById('diagnostics').textContent =
+    JSON.stringify(result);
+}}
+</script>
+</body></html>"""
+        return _html(html)
+
+    # -- interaction over REST (§3.5.1 selections as data) --------------------
+    def _select(
+        self, name: str, widget: str, environ: dict[str, Any]
+    ) -> tuple[str, str, bytes]:
+        """Apply a selection gesture: body is JSON with ``values`` or
+        ``range`` (and optionally ``column``); an empty body clears."""
+        dashboard = self.platform.get_dashboard(name)
+        body = _read_body(environ)
+        try:
+            payload = json.loads(body) if body.strip() else {}
+        except json.JSONDecodeError as exc:
+            return _error(400, f"selection body is not JSON: {exc}")
+        column = payload.get("column")
+        values = payload.get("values")
+        value_range = payload.get("range")
+        if value_range is not None:
+            if not isinstance(value_range, list) or len(value_range) != 2:
+                return _error(400, "'range' must be a [low, high] pair")
+            dashboard.select(
+                widget, column=column,
+                value_range=(value_range[0], value_range[1]),
+            )
+        else:
+            dashboard.select(widget, column=column, values=values)
+        self.platform._log(
+            "select", name, {"widget": widget}, ""
+        )
+        return _json({"selected": widget, "dashboard": name})
+
+    # -- §6 tooling ------------------------------------------------------------
+    def _diagnose(self, source: str) -> tuple[str, str, bytes]:
+        """Editor support: pin-pointed diagnostics for flow-file text."""
+        from repro.dsl.diagnostics import diagnose
+
+        report = diagnose(
+            source,
+            task_registry=self.platform.tasks,
+            catalog_schemas=self.platform.catalog.schemas(),
+        )
+        return _json(
+            {
+                "ok": report.ok,
+                "diagnostics": [
+                    {
+                        "severity": d.severity,
+                        "line": d.line,
+                        "entry": d.entry,
+                        "message": d.message,
+                    }
+                    for d in report.diagnostics
+                ],
+            }
+        )
+
+    def _profile(
+        self, name: str, query: dict[str, str]
+    ) -> tuple[str, str, bytes]:
+        """Column statistics of materialized data objects (§6
+        meta-dashboards; the raw numbers behind them)."""
+        from repro.dashboard.profiler import profile_table
+
+        dashboard = self.platform.get_dashboard(name)
+        target = query.get("ds")
+        names = (
+            [target] if target else sorted(dashboard._materialized)
+        )
+        payload: dict[str, Any] = {}
+        for object_name in names:
+            table = dashboard.materialized(object_name)
+            payload[object_name] = [
+                p.as_row() for p in profile_table(table)
+            ]
+        return _json({"dashboard": name, "profiles": payload})
+
+
+# ---------------------------------------------------------------------------
+# response helpers
+# ---------------------------------------------------------------------------
+
+
+def _json(
+    payload: dict[str, Any], status: str = "200 OK"
+) -> tuple[str, str, bytes]:
+    return (
+        status,
+        "application/json",
+        json.dumps(payload, default=str).encode("utf-8"),
+    )
+
+
+def _text(text: str, status: str = "200 OK") -> tuple[str, str, bytes]:
+    return status, "text/plain; charset=utf-8", text.encode("utf-8")
+
+
+def _html(html: str, status: str = "200 OK") -> tuple[str, str, bytes]:
+    return status, "text/html; charset=utf-8", html.encode("utf-8")
+
+
+def _error(code: int, message: str) -> tuple[str, str, bytes]:
+    reasons = {
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        422: "Unprocessable Entity",
+    }
+    status = f"{code} {reasons.get(code, 'Error')}"
+    return (
+        status,
+        "application/json",
+        json.dumps({"error": message}).encode("utf-8"),
+    )
+
+
+def _read_body(environ: dict[str, Any]) -> str:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    stream = environ.get("wsgi.input")
+    if stream is None or length == 0:
+        return ""
+    return stream.read(length).decode("utf-8")
+
+
+def serve(platform: Platform, host: str = "127.0.0.1", port: int = 8350):
+    """Serve the app with wsgiref (blocking); used by the REST example."""
+    from wsgiref.simple_server import make_server
+
+    app = ShareInsightsApp(platform)
+    server = make_server(host, port, app)
+    return server

@@ -1,0 +1,205 @@
+"""The simplified ad-hoc query language (paper §4.4, Fig. 30).
+
+Queries are URL path segments over an endpoint data object::
+
+    /ds/<dataset>/groupby/<column>/<aggregate>/<column>
+
+e.g. ``/ds/projects/groupby/category/count/project`` returns the count
+of projects per category.  We extend the same path style with the other
+cube verbs (the paper's "group, filter etc."):
+
+    .../filter/<column>/<op>/<value>     op: eq, ne, lt, le, gt, ge, contains
+    .../orderby/<column>/<asc|desc>
+    .../limit/<n>
+    .../select/<col1,col2,...>
+
+Verbs chain left to right: ``/ds/x/filter/year/ge/2013/groupby/team/sum/
+tweets/orderby/tweets/desc/limit/5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data import Table
+from repro.errors import QueryError
+from repro.tasks.base import TaskContext
+from repro.tasks.groupby import GroupByTask, aggregate_names
+from repro.tasks.misc import LimitTask, ProjectTask, SortTask
+
+_FILTER_OPS = {
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "contains": "contains",
+}
+
+
+@dataclass
+class AdhocQuery:
+    """A parsed chain of query steps."""
+
+    dataset: str
+    steps: list[tuple[str, tuple[str, ...]]] = field(default_factory=list)
+
+    def execute(self, table: Table) -> Table:
+        """Run the chain against the endpoint table."""
+        context = TaskContext()
+        for i, (verb, args) in enumerate(self.steps):
+            table = _apply_step(table, verb, args, context, i)
+        return table
+
+
+def parse_adhoc_query(path_segments: list[str]) -> AdhocQuery:
+    """Parse the path segments after ``/ds/``.
+
+    The first segment is the dataset name; the rest are verb chains.
+    """
+    if not path_segments or not path_segments[0]:
+        raise QueryError("missing dataset name")
+    query = AdhocQuery(dataset=path_segments[0])
+    rest = path_segments[1:]
+    i = 0
+    while i < len(rest):
+        verb = rest[i].lower()
+        if verb == "groupby":
+            args = rest[i + 1: i + 4]
+            if len(args) != 3:
+                raise QueryError(
+                    "groupby needs /groupby/<column>/<aggregate>/<column>"
+                )
+            if args[1].lower() not in aggregate_names():
+                raise QueryError(
+                    f"unknown aggregate {args[1]!r}; "
+                    f"known: {aggregate_names()}"
+                )
+            query.steps.append(("groupby", tuple(args)))
+            i += 4
+        elif verb == "filter":
+            args = rest[i + 1: i + 4]
+            if len(args) != 3:
+                raise QueryError(
+                    "filter needs /filter/<column>/<op>/<value>"
+                )
+            if args[1].lower() not in _FILTER_OPS:
+                raise QueryError(
+                    f"unknown filter op {args[1]!r}; "
+                    f"known: {sorted(_FILTER_OPS)}"
+                )
+            query.steps.append(("filter", tuple(args)))
+            i += 4
+        elif verb == "orderby":
+            args = rest[i + 1: i + 3]
+            if len(args) < 1:
+                raise QueryError("orderby needs /orderby/<column>[/<dir>]")
+            direction = "asc"
+            consumed = 2
+            if len(args) == 2 and args[1].lower() in ("asc", "desc"):
+                direction = args[1].lower()
+                consumed = 3
+            query.steps.append(("orderby", (args[0], direction)))
+            i += consumed
+        elif verb == "limit":
+            if i + 1 >= len(rest):
+                raise QueryError("limit needs /limit/<n>")
+            try:
+                int(rest[i + 1])
+            except ValueError:
+                raise QueryError(
+                    f"limit must be an integer, got {rest[i + 1]!r}"
+                ) from None
+            query.steps.append(("limit", (rest[i + 1],)))
+            i += 2
+        elif verb == "select":
+            if i + 1 >= len(rest):
+                raise QueryError("select needs /select/<col1,col2,...>")
+            query.steps.append(("select", (rest[i + 1],)))
+            i += 2
+        else:
+            raise QueryError(
+                f"unknown query verb {verb!r}; known: groupby, filter, "
+                f"orderby, limit, select"
+            )
+    return query
+
+
+def _apply_step(
+    table: Table,
+    verb: str,
+    args: tuple[str, ...],
+    context: TaskContext,
+    index: int,
+) -> Table:
+    name = f"__adhoc_{index}"
+    if verb == "groupby":
+        group_col, aggregate, apply_col = args
+        _require(table, group_col)
+        spec: dict[str, Any] = {"operator": aggregate}
+        if aggregate != "count":
+            _require(table, apply_col)
+            spec["apply_on"] = apply_col
+        spec["out_field"] = (
+            apply_col if aggregate == "count" else f"{aggregate}_{apply_col}"
+        )
+        task = GroupByTask(
+            name, {"groupby": [group_col], "aggregates": [spec]}
+        )
+        return task.apply([table], context)
+    if verb == "filter":
+        column, op, value = args
+        _require(table, column)
+        typed = _coerce(value)
+        op_symbol = _FILTER_OPS[op.lower()]
+        if op_symbol == "contains":
+            return table.filter_rows(
+                lambda row: isinstance(row[column], str)
+                and str(typed) in row[column]
+            )
+        from repro.data.expressions import _compare
+
+        return table.filter_rows(
+            lambda row: _compare(op_symbol, row[column], typed)
+        )
+    if verb == "orderby":
+        column, direction = args
+        _require(table, column)
+        task = SortTask(
+            name,
+            {"orderby_column": [f"{column} {direction.upper()}"]},
+        )
+        return task.apply([table], context)
+    if verb == "limit":
+        task = LimitTask(name, {"limit": int(args[0])})
+        return task.apply([table], context)
+    if verb == "select":
+        columns = [c.strip() for c in args[0].split(",") if c.strip()]
+        for column in columns:
+            _require(table, column)
+        task = ProjectTask(name, {"columns": columns})
+        return task.apply([table], context)
+    raise QueryError(f"unknown verb {verb!r}")
+
+
+def _require(table: Table, column: str) -> None:
+    if column not in table.schema:
+        raise QueryError(
+            f"unknown column {column!r}; dataset has {table.schema.names}"
+        )
+
+
+def _coerce(value: str) -> Any:
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    if value.lower() in ("true", "false"):
+        return value.lower() == "true"
+    return value

@@ -1,0 +1,19 @@
+"""Task section implementation.
+
+Tasks are reusable, configuration-driven transformations (paper §3.3).
+They are instantiated from flow-file ``T:`` entries by the
+:class:`~repro.tasks.registry.TaskRegistry` and applied to tables by the
+engine.  The extension categories of §4.2 — operators, user-defined
+aggregates, engine tasks, native map-reduce jobs — are all supported.
+"""
+
+from repro.tasks.base import Task, TaskContext, WidgetSelection
+from repro.tasks.registry import TaskRegistry, default_task_registry
+
+__all__ = [
+    "Task",
+    "TaskContext",
+    "WidgetSelection",
+    "TaskRegistry",
+    "default_task_registry",
+]

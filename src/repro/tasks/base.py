@@ -1,0 +1,198 @@
+"""Task base classes and execution context.
+
+A task is configured once in the ``T:`` section and may be reused in many
+flows "as long as the preceding data source has the column the task
+consumes" (paper §3.3).  That contract is captured by two methods:
+
+* :meth:`Task.output_schema` — static schema propagation, used by the
+  flow-file validator to type-check whole pipelines before running them;
+* :meth:`Task.apply` — the actual table transformation.
+
+Tasks can add columns (join), reduce columns (group) or preserve columns
+(filter); ``output_schema`` is the single source of truth for which.
+
+:class:`TaskContext` carries everything a task may need at run time beyond
+its inputs: widget selections (for §3.5.1 interaction flows), dictionary
+files (for ``extract`` operators), and the dashboard's data directory.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.data import Schema, Table
+from repro.errors import TaskConfigError, TaskExecutionError
+
+
+@dataclass
+class WidgetSelection:
+    """The current selection state of one widget, seen as data.
+
+    The paper "treat[s] widgets as data objects and widget columns as data
+    columns" (§3.5.1).  A selection is either a set of discrete values
+    (List, BubbleChart click) or an inclusive range (Slider) per widget
+    column.
+    """
+
+    values: dict[str, list[Any]] = field(default_factory=dict)
+    ranges: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+
+    def for_column(self, column: str) -> "WidgetSelection":
+        selection = WidgetSelection()
+        if column in self.values:
+            selection.values[column] = self.values[column]
+        if column in self.ranges:
+            selection.ranges[column] = self.ranges[column]
+        return selection
+
+    def is_empty(self) -> bool:
+        return not self.values and not self.ranges
+
+
+class TaskContext:
+    """Runtime environment handed to every task application."""
+
+    def __init__(
+        self,
+        data_dir: str | Path | None = None,
+        dictionaries: Mapping[str, Mapping[str, str]] | None = None,
+        widget_selections: Mapping[str, WidgetSelection] | None = None,
+    ):
+        self.data_dir = Path(data_dir) if data_dir else None
+        self._dictionaries = {
+            name: dict(mapping)
+            for name, mapping in (dictionaries or {}).items()
+        }
+        self.widget_selections = dict(widget_selections or {})
+        #: execution counters, populated by tasks (rows in/out etc.)
+        self.counters: dict[str, int] = {}
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def dictionary(self, name: str) -> dict[str, str]:
+        """Resolve a dictionary by name, loading from data_dir if needed.
+
+        Dictionary files map surface forms to canonical names, one
+        ``surface,canonical`` (or ``surface\tcanonical``) pair per line;
+        a line with a single token maps the token to itself.
+        """
+        if name in self._dictionaries:
+            return self._dictionaries[name]
+        if self.data_dir is not None:
+            path = self.data_dir / name
+            if path.exists():
+                mapping = _parse_dictionary(path.read_text(encoding="utf-8"))
+                self._dictionaries[name] = mapping
+                return mapping
+        raise TaskConfigError(
+            f"dictionary {name!r} not provided and not found in data dir"
+        )
+
+    def add_dictionary(self, name: str, mapping: Mapping[str, str]) -> None:
+        self._dictionaries[name] = dict(mapping)
+
+    def widget_selection(self, widget: str) -> WidgetSelection:
+        return self.widget_selections.get(widget, WidgetSelection())
+
+
+def _parse_dictionary(text: str) -> dict[str, str]:
+    mapping: dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        sep = "," if "," in line else "\t" if "\t" in line else None
+        if sep is None:
+            mapping[line.lower()] = line
+        else:
+            surface, _, canonical = line.partition(sep)
+            mapping[surface.strip().lower()] = canonical.strip()
+    return mapping
+
+
+class Task(abc.ABC):
+    """Base class for all tasks.
+
+    ``name`` is the key under the ``T:`` section; ``config`` is the raw
+    configuration mapping (everything but ``type``).
+    """
+
+    #: value of the ``type:`` key this class implements
+    type_name: str = ""
+    #: how many input tables the task accepts: (min, max); max None = any
+    arity: tuple[int, int | None] = (1, 1)
+
+    def __init__(self, name: str, config: Mapping[str, Any]):
+        self.name = name
+        self.config = dict(config)
+        self._validate_config()
+
+    def _validate_config(self) -> None:
+        """Subclasses raise :class:`TaskConfigError` on bad configuration."""
+
+    # -- static interface ------------------------------------------------
+    @abc.abstractmethod
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        """Schema of the output given input schemas.
+
+        Must raise :class:`~repro.errors.SchemaError` (or
+        :class:`TaskConfigError`) when inputs lack required columns — this
+        is what lets the validator reject bad pipelines before execution.
+        """
+
+    def required_columns(self) -> set[str]:
+        """Columns the task reads from its primary input (for pushdown)."""
+        return set()
+
+    def preserves_rows(self) -> bool:
+        """True when output rows are a subset of input rows (filters)."""
+        return False
+
+    def partition_local(self) -> bool:
+        """True when the task can run independently per data partition.
+
+        Partition-local tasks run map-side on the distributed engine (no
+        shuffle); anything keyed or global must return False (the
+        default) and be handled by an engine strategy.
+        """
+        return False
+
+    # -- runtime interface -------------------------------------------------
+    @abc.abstractmethod
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        """Transform input tables into the output table."""
+
+    # -- helpers -----------------------------------------------------------
+    def _single(self, inputs: Sequence[Table]) -> Table:
+        lo, hi = self.arity
+        if len(inputs) < lo or (hi is not None and len(inputs) > hi):
+            raise TaskExecutionError(
+                f"task {self.name!r} ({self.type_name}) takes "
+                f"{lo}..{hi or 'n'} inputs, got {len(inputs)}"
+            )
+        return inputs[0]
+
+    def config_list(self, key: str, required: bool = False) -> list[Any]:
+        value = self.config.get(key)
+        if value is None:
+            if required:
+                raise TaskConfigError(
+                    f"task {self.name!r} needs a {key!r} list"
+                )
+            return []
+        if isinstance(value, (list, tuple)):
+            return list(value)
+        return [value]
+
+    def config_str(self, key: str, default: str | None = None) -> str:
+        value = self.config.get(key, default)
+        if value is None:
+            raise TaskConfigError(f"task {self.name!r} needs {key!r}")
+        return str(value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,297 @@
+"""Data-cleansing tasks.
+
+"It is a common experience that data cleaning takes a significant
+percentage of the total time" (paper §4.5.3, citing Dasu & Johnson), and
+§5.2 obs. 4 notes that real competition data "forced teams to define
+more elaborate pipelines to cleanse the data".  These tasks are that
+vocabulary:
+
+* ``fill_na`` — replace missing values per column (constant or a
+  column-level statistic),
+* ``cast`` — coerce columns to declared types, with a policy for cells
+  that will not convert,
+* ``sample`` — seeded row sampling (fraction or fixed n) for working on
+  a slice of a huge feed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.data import Column, ColumnType, Schema, Table
+from repro.errors import TaskConfigError, TaskExecutionError
+from repro.tasks.base import Task, TaskContext
+
+_STRATEGIES = ("constant", "mean", "min", "max", "mode")
+
+
+class FillNaTask(Task):
+    """``type: fill_na`` — replace missing cells.
+
+    Configuration::
+
+        fill_missing:
+          type: fill_na
+          columns:
+            rating: 0              # constant
+            region: 'unknown'
+          strategy: constant       # or mean/min/max/mode with a list
+    """
+
+    type_name = "fill_na"
+
+    def _validate_config(self) -> None:
+        columns = self.config.get("columns")
+        strategy = str(self.config.get("strategy", "constant")).lower()
+        if strategy not in _STRATEGIES:
+            raise TaskConfigError(
+                f"fill_na task {self.name!r}: unknown strategy "
+                f"{strategy!r}; known: {_STRATEGIES}"
+            )
+        self._strategy = strategy
+        if strategy == "constant":
+            if not isinstance(columns, dict) or not columns:
+                raise TaskConfigError(
+                    f"fill_na task {self.name!r} with constant strategy "
+                    f"needs a 'columns' mapping of column: value"
+                )
+            self._fills: dict[str, Any] = dict(columns)
+        else:
+            names = columns if isinstance(columns, list) else None
+            if not names:
+                raise TaskConfigError(
+                    f"fill_na task {self.name!r} with {strategy!r} "
+                    f"strategy needs a 'columns' list"
+                )
+            self._fills = {str(c): None for c in names}
+
+    def required_columns(self) -> set[str]:
+        return set(self._fills)
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def partition_local(self) -> bool:
+        # Statistic strategies (mean/mode/...) need the whole column.
+        return self._strategy == "constant"
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        schema.require(self._fills, context=self.name)
+        return schema
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        table.schema.require(self._fills, context=self.name)
+        result = table
+        for name, constant in self._fills.items():
+            values = result.column(name)
+            fill = (
+                constant
+                if self._strategy == "constant"
+                else _statistic(values, self._strategy, self.name, name)
+            )
+            filled = [fill if v is None else v for v in values]
+            result = result.with_column(name, filled)
+        context.bump(f"task.{self.name}.rows", table.num_rows)
+        return result
+
+
+def _statistic(
+    values: list[Any], strategy: str, task: str, column: str
+) -> Any:
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    if strategy == "mode":
+        counts: dict[Any, int] = {}
+        for value in present:
+            key = str(value) if isinstance(value, (list, dict)) else value
+            counts[key] = counts.get(key, 0) + 1
+        return max(counts.items(), key=lambda kv: kv[1])[0]
+    try:
+        if strategy == "mean":
+            return sum(present) / len(present)
+        if strategy == "min":
+            return min(present)
+        if strategy == "max":
+            return max(present)
+    except TypeError as exc:
+        raise TaskExecutionError(
+            f"fill_na task {task!r}: column {column!r} is not "
+            f"numeric/orderable for strategy {strategy!r}"
+        ) from exc
+    raise TaskConfigError(f"unknown strategy {strategy!r}")
+
+
+_CAST_TYPES = {
+    "int": ColumnType.INT,
+    "float": ColumnType.FLOAT,
+    "string": ColumnType.STRING,
+    "bool": ColumnType.BOOL,
+}
+
+
+class CastTask(Task):
+    """``type: cast`` — coerce columns to declared logical types.
+
+    ``on_error`` decides what happens to unconvertible cells:
+    ``null`` (default — dirty data becomes missing data), ``keep``
+    (leave the original value), or ``fail``.
+    """
+
+    type_name = "cast"
+
+    def _validate_config(self) -> None:
+        columns = self.config.get("columns")
+        if not isinstance(columns, dict) or not columns:
+            raise TaskConfigError(
+                f"cast task {self.name!r} needs a 'columns' mapping of "
+                f"column: type"
+            )
+        self._casts: dict[str, ColumnType] = {}
+        for name, type_name in columns.items():
+            ctype = _CAST_TYPES.get(str(type_name).lower())
+            if ctype is None:
+                raise TaskConfigError(
+                    f"cast task {self.name!r}: unknown type "
+                    f"{type_name!r}; known: {sorted(_CAST_TYPES)}"
+                )
+            self._casts[str(name)] = ctype
+        self._on_error = str(self.config.get("on_error", "null")).lower()
+        if self._on_error not in ("null", "keep", "fail"):
+            raise TaskConfigError(
+                f"cast task {self.name!r}: on_error must be null, "
+                f"keep or fail"
+            )
+
+    def required_columns(self) -> set[str]:
+        return set(self._casts)
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def partition_local(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        schema.require(self._casts, context=self.name)
+        for name, ctype in self._casts.items():
+            schema = schema.with_column(Column(name, type=ctype))
+        # with_column appends; rebuild in original order
+        original = input_schemas[0].names
+        return Schema(schema[n] for n in original)
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        table.schema.require(self._casts, context=self.name)
+        result = table
+        converted_away = 0
+        for name, ctype in self._casts.items():
+            values = []
+            for value in result.column(name):
+                cast, ok = _cast_cell(value, ctype)
+                if ok:
+                    values.append(cast)
+                elif self._on_error == "null":
+                    values.append(None)
+                    converted_away += 1
+                elif self._on_error == "keep":
+                    values.append(value)
+                else:
+                    raise TaskExecutionError(
+                        f"cast task {self.name!r}: cannot cast "
+                        f"{value!r} to {ctype.value} in column {name!r}"
+                    )
+            result = result.with_column(name, values)
+        # Restore column order and carry the declared types.
+        result = result.select(table.schema.names)
+        result = Table(self.output_schema([table.schema]), {
+            n: result.column(n) for n in table.schema.names
+        })
+        context.bump(f"task.{self.name}.nullified", converted_away)
+        return result
+
+
+def _cast_cell(value: Any, ctype: ColumnType) -> tuple[Any, bool]:
+    if value is None:
+        return None, True
+    try:
+        if ctype is ColumnType.INT:
+            if isinstance(value, bool):
+                return int(value), True
+            return int(float(value)), True
+        if ctype is ColumnType.FLOAT:
+            return float(value), True
+        if ctype is ColumnType.STRING:
+            return str(value), True
+        if ctype is ColumnType.BOOL:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "yes", "1"):
+                    return True, True
+                if lowered in ("false", "no", "0"):
+                    return False, True
+                return None, False
+            return bool(value), True
+    except (TypeError, ValueError):
+        return None, False
+    return None, False
+
+
+class SampleTask(Task):
+    """``type: sample`` — seeded row sampling.
+
+    One of ``fraction`` (0..1) or ``n`` (row count); ``seed`` makes the
+    sample reproducible across runs (default 0).
+    """
+
+    type_name = "sample"
+
+    def _validate_config(self) -> None:
+        fraction = self.config.get("fraction")
+        n = self.config.get("n")
+        if (fraction is None) == (n is None):
+            raise TaskConfigError(
+                f"sample task {self.name!r} needs exactly one of "
+                f"'fraction' or 'n'"
+            )
+        if fraction is not None:
+            self._fraction: float | None = float(fraction)
+            if not 0 <= self._fraction <= 1:
+                raise TaskConfigError(
+                    f"sample task {self.name!r}: fraction must be in "
+                    f"[0, 1]"
+                )
+            self._n = None
+        else:
+            self._fraction = None
+            self._n = int(n)
+            if self._n < 0:
+                raise TaskConfigError(
+                    f"sample task {self.name!r}: n must be >= 0"
+                )
+        self._seed = int(self.config.get("seed", 0))
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        return input_schemas[0]
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        rng = random.Random(self._seed)
+        if self._fraction is not None:
+            indices = [
+                i
+                for i in range(table.num_rows)
+                if rng.random() < self._fraction
+            ]
+        else:
+            count = min(self._n or 0, table.num_rows)
+            indices = sorted(rng.sample(range(table.num_rows), count))
+        context.bump(f"task.{self.name}.sampled", len(indices))
+        return table.take(indices)

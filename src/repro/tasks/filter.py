@@ -1,0 +1,174 @@
+"""``filter_by`` tasks.
+
+Two configuration shapes, both from the paper:
+
+1. expression filters (Fig. 7)::
+
+       classification:
+         type: filter_by
+         filter_expression: rating < 3
+
+2. widget-interaction filters (Fig. 15) — the source of truth is another
+   widget's current selection::
+
+       filter_projects:
+         type: filter_by
+         filter_by: [project]
+         filter_source: W.project_category_bubble
+         filter_val: [text]
+
+   Selections are either discrete values (membership filter) or ranges
+   (between filter, from Slider widgets).  An empty selection passes all
+   rows through — an unselected widget should not blank the dashboard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.data import Schema, Table
+from repro.data.expressions import Expression, compile_expression
+from repro.errors import ExpressionError, TaskConfigError, TaskExecutionError
+from repro.tasks.base import Task, TaskContext, WidgetSelection
+
+
+def _strip_widget_prefix(reference: str) -> str:
+    reference = reference.strip()
+    if reference.startswith("W."):
+        return reference[2:]
+    return reference
+
+
+class FilterTask(Task):
+    """The ``type: filter_by`` task."""
+
+    type_name = "filter_by"
+
+    def _validate_config(self) -> None:
+        has_expression = "filter_expression" in self.config
+        has_widget = "filter_source" in self.config
+        if not has_expression and not has_widget:
+            raise TaskConfigError(
+                f"filter task {self.name!r} needs 'filter_expression' "
+                f"or 'filter_source'"
+            )
+        if has_expression:
+            try:
+                self._expression: Expression | None = compile_expression(
+                    str(self.config["filter_expression"])
+                )
+            except ExpressionError as exc:
+                raise TaskConfigError(
+                    f"filter task {self.name!r}: {exc}"
+                ) from exc
+        else:
+            self._expression = None
+            if not self.config_list("filter_by"):
+                raise TaskConfigError(
+                    f"filter task {self.name!r} needs 'filter_by' columns"
+                )
+
+    @property
+    def widget_source(self) -> str | None:
+        source = self.config.get("filter_source")
+        return _strip_widget_prefix(str(source)) if source else None
+
+    def required_columns(self) -> set[str]:
+        if self._expression is not None:
+            return self._expression.references()
+        return set(str(c) for c in self.config_list("filter_by"))
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def partition_local(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        schema.require(self.required_columns(), context=self.name)
+        return schema
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        if self._expression is not None:
+            result = self._apply_expression(table)
+        else:
+            result = self._apply_widget(table, context)
+        context.bump(f"task.{self.name}.rows_in", table.num_rows)
+        context.bump(f"task.{self.name}.rows_out", result.num_rows)
+        return result
+
+    def _apply_expression(self, table: Table) -> Table:
+        expression = self._expression
+        assert expression is not None
+        table.schema.require(expression.references(), context=self.name)
+        try:
+            return table.filter_rows(lambda row: bool(expression(row)))
+        except ExpressionError as exc:
+            raise TaskExecutionError(
+                f"filter task {self.name!r} failed: {exc}"
+            ) from exc
+
+    def _apply_widget(self, table: Table, context: TaskContext) -> Table:
+        columns = [str(c) for c in self.config_list("filter_by")]
+        table.schema.require(columns, context=self.name)
+        widget = self.widget_source
+        assert widget is not None
+        selection = context.widget_selection(widget)
+        if selection.is_empty():
+            return table
+        widget_columns = [str(c) for c in self.config_list("filter_val")]
+        predicates = []
+        for i, column in enumerate(columns):
+            widget_column = (
+                widget_columns[i] if i < len(widget_columns) else None
+            )
+            predicate = _selection_predicate(selection, widget_column)
+            if predicate is not None:
+                predicates.append((column, predicate))
+        if not predicates:
+            return table
+        return table.filter_rows(
+            lambda row: all(pred(row[col]) for col, pred in predicates)
+        )
+
+
+def _selection_predicate(selection: WidgetSelection, widget_column: str | None):
+    """Build a cell predicate from a widget selection.
+
+    With a named widget column we look that column up; without one (the
+    Slider case in Appendix A.2, where ``filter_val`` is omitted) we use
+    the widget's sole selection entry.
+    """
+    if widget_column is not None:
+        if widget_column in selection.ranges:
+            lo, hi = selection.ranges[widget_column]
+            return _range_predicate(lo, hi)
+        if widget_column in selection.values:
+            allowed = set(selection.values[widget_column])
+            return lambda cell: cell in allowed
+        return None
+    if len(selection.ranges) == 1:
+        lo, hi = next(iter(selection.ranges.values()))
+        return _range_predicate(lo, hi)
+    if len(selection.values) == 1:
+        allowed = set(next(iter(selection.values.values())))
+        return lambda cell: cell in allowed
+    return None
+
+
+def _range_predicate(lo: Any, hi: Any):
+    def within(cell: Any) -> bool:
+        if cell is None:
+            return False
+        try:
+            if lo is not None and cell < lo:
+                return False
+            if hi is not None and cell > hi:
+                return False
+        except TypeError:
+            return str(lo) <= str(cell) <= str(hi)
+        return True
+
+    return within

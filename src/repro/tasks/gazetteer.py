@@ -1,0 +1,105 @@
+"""Built-in gazetteer for the ``extract_location`` operator.
+
+The IPL pipeline (paper Fig. 21) resolves tweet ``user.location`` strings
+to Indian states with ``match: city`` / ``country: IND``.  This module
+carries a small city→state table for India (IPL host cities and other
+major cities) and a handful of other countries so the operator is usable
+out of the box; users can override with a ``dict`` option.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TaskConfigError
+
+_INDIA = {
+    "mumbai": "Maharashtra",
+    "pune": "Maharashtra",
+    "nagpur": "Maharashtra",
+    "delhi": "Delhi",
+    "new delhi": "Delhi",
+    "kolkata": "West Bengal",
+    "chennai": "Tamil Nadu",
+    "bangalore": "Karnataka",
+    "bengaluru": "Karnataka",
+    "hyderabad": "Telangana",
+    "jaipur": "Rajasthan",
+    "mohali": "Punjab",
+    "chandigarh": "Punjab",
+    "ahmedabad": "Gujarat",
+    "rajkot": "Gujarat",
+    "kochi": "Kerala",
+    "lucknow": "Uttar Pradesh",
+    "kanpur": "Uttar Pradesh",
+    "indore": "Madhya Pradesh",
+    "bhopal": "Madhya Pradesh",
+    "visakhapatnam": "Andhra Pradesh",
+    "ranchi": "Jharkhand",
+    "dharamsala": "Himachal Pradesh",
+    "cuttack": "Odisha",
+    "guwahati": "Assam",
+    "patna": "Bihar",
+    "raipur": "Chhattisgarh",
+    "surat": "Gujarat",
+    "nashik": "Maharashtra",
+    "coimbatore": "Tamil Nadu",
+    "madurai": "Tamil Nadu",
+    "mysore": "Karnataka",
+    "vadodara": "Gujarat",
+    "amritsar": "Punjab",
+    "varanasi": "Uttar Pradesh",
+    "agra": "Uttar Pradesh",
+    "goa": "Goa",
+    "panaji": "Goa",
+    "thiruvananthapuram": "Kerala",
+    "srinagar": "Jammu and Kashmir",
+}
+
+_USA = {
+    "new york": "New York",
+    "san francisco": "California",
+    "los angeles": "California",
+    "seattle": "Washington",
+    "chicago": "Illinois",
+    "boston": "Massachusetts",
+    "austin": "Texas",
+    "houston": "Texas",
+    "miami": "Florida",
+    "denver": "Colorado",
+    "portland": "Oregon",
+    "atlanta": "Georgia",
+}
+
+_AUS = {
+    "melbourne": "Victoria",
+    "sydney": "New South Wales",
+    "brisbane": "Queensland",
+    "perth": "Western Australia",
+    "adelaide": "South Australia",
+    "hobart": "Tasmania",
+    "canberra": "Australian Capital Territory",
+}
+
+_GAZETTEERS = {
+    "IND": _INDIA,
+    "USA": _USA,
+    "US": _USA,
+    "AUS": _AUS,
+}
+
+
+def cities_for_country(country: str) -> dict[str, str]:
+    """City (lowercase) → state mapping for ``country``."""
+    table = _GAZETTEERS.get(country.upper())
+    if table is None:
+        raise TaskConfigError(
+            f"no built-in gazetteer for country {country!r}; "
+            f"available: {sorted(_GAZETTEERS)} (or supply a 'dict' option)"
+        )
+    return dict(table)
+
+
+def register_country(country: str, cities: dict[str, str]) -> None:
+    """Extension hook: add or extend a country's gazetteer."""
+    key = country.upper()
+    table = _GAZETTEERS.setdefault(key, {})
+    table.update({city.lower(): state for city, state in cities.items()})

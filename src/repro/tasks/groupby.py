@@ -1,0 +1,328 @@
+"""``groupby`` tasks and the user-defined-aggregate API.
+
+Configuration (paper Fig. 8)::
+
+    get_svn_jira_count:
+      type: groupby
+      groupby: [project, year]
+      aggregates:
+        - operator: sum
+          apply_on: noOfCheckins
+          out_field: total_checkins
+
+With no ``aggregates`` the task counts rows per group into a ``count``
+column (Fig. 23).  ``orderby_aggregates: true`` sorts groups by the first
+aggregate, descending (Appendix A.2 ``aggregate_by_word``).
+
+List-valued group columns (produced by ``extract_words``) are exploded
+into one row per element before grouping, which is how the tag-cloud
+pipeline turns token lists into word counts.
+
+User-defined aggregates — category 2 of the §4.2 extension API — register
+via :func:`register_aggregate` with a factory returning an object with
+``add(value)`` and ``result()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.data import Column, Schema, Table
+from repro.errors import TaskConfigError
+from repro.tasks.base import Task, TaskContext
+
+
+class Aggregate:
+    """Incremental aggregate protocol: feed values, read a result."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _Sum(Aggregate):
+    def __init__(self) -> None:
+        self._total: float | int = 0
+        self._seen = False
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        try:
+            self._total += value
+        except TypeError:
+            self._total += float(value)
+        self._seen = True
+
+    def result(self) -> Any:
+        return self._total if self._seen else None
+
+
+class _Count(Aggregate):
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class _CountNonNull(Aggregate):
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class _CountDistinct(Aggregate):
+    def __init__(self) -> None:
+        self._seen: set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self._seen.add(value)
+
+    def result(self) -> int:
+        return len(self._seen)
+
+
+class _Avg(Aggregate):
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._total += float(value)
+        self._count += 1
+
+    def result(self) -> float | None:
+        return self._total / self._count if self._count else None
+
+
+class _Min(Aggregate):
+    def __init__(self) -> None:
+        self._value: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._value is None or value < self._value:
+            self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+class _Max(Aggregate):
+    def __init__(self) -> None:
+        self._value: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._value is None or value > self._value:
+            self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+class _Collect(Aggregate):
+    def __init__(self) -> None:
+        self._values: list[Any] = []
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self._values.append(value)
+
+    def result(self) -> list[Any]:
+        return self._values
+
+
+class _First(Aggregate):
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._seen = False
+
+    def add(self, value: Any) -> None:
+        if not self._seen and value is not None:
+            self._value = value
+            self._seen = True
+
+    def result(self) -> Any:
+        return self._value
+
+
+_AGGREGATE_FACTORIES: dict[str, Callable[[], Aggregate]] = {
+    "sum": _Sum,
+    "count": _Count,
+    "count_nonnull": _CountNonNull,
+    "count_distinct": _CountDistinct,
+    "avg": _Avg,
+    "mean": _Avg,
+    "min": _Min,
+    "max": _Max,
+    "collect": _Collect,
+    "first": _First,
+}
+
+
+def register_aggregate(name: str, factory: Callable[[], Aggregate]) -> None:
+    """Register a user-defined aggregate (§4.2 category 2)."""
+    _AGGREGATE_FACTORIES[name.lower()] = factory
+
+
+def aggregate_names() -> list[str]:
+    return sorted(_AGGREGATE_FACTORIES)
+
+
+def _explode(table: Table, columns: Sequence[str]) -> Table:
+    """One row per element of any list-valued cell in ``columns``."""
+    needs_explode = any(
+        isinstance(v, list)
+        for column in columns
+        for v in table.column(column)
+    )
+    if not needs_explode:
+        return table
+    records: list[dict[str, Any]] = []
+    explode_set = set(columns)
+    for row in table.rows():
+        list_columns = [
+            c for c in explode_set if isinstance(row.get(c), list)
+        ]
+        if not list_columns:
+            records.append(row)
+            continue
+        # Cartesian explode is overkill for pipelines here; explode each
+        # list column independently only when a single one is a list.
+        column = list_columns[0]
+        for value in row[column]:
+            new_row = dict(row)
+            new_row[column] = value
+            records.append(new_row)
+    return Table.from_rows(table.schema, records)
+
+
+class GroupByTask(Task):
+    """The ``type: groupby`` task."""
+
+    type_name = "groupby"
+
+    def _validate_config(self) -> None:
+        if not self.config_list("groupby"):
+            raise TaskConfigError(
+                f"groupby task {self.name!r} needs 'groupby' columns"
+            )
+        for spec in self._aggregate_specs():
+            operator = str(spec.get("operator", "")).lower()
+            if operator not in _AGGREGATE_FACTORIES:
+                raise TaskConfigError(
+                    f"groupby task {self.name!r}: unknown aggregate "
+                    f"{operator!r}; known: {aggregate_names()}"
+                )
+            if operator not in ("count",) and "apply_on" not in spec:
+                raise TaskConfigError(
+                    f"groupby task {self.name!r}: aggregate {operator!r} "
+                    f"needs 'apply_on'"
+                )
+
+    def _aggregate_specs(self) -> list[dict[str, Any]]:
+        specs = self.config.get("aggregates")
+        if not specs:
+            # Fig. 23: bare groupby yields a count column.
+            return [{"operator": "count", "out_field": "count"}]
+        if not isinstance(specs, list):
+            raise TaskConfigError(
+                f"groupby task {self.name!r}: 'aggregates' must be a list"
+            )
+        return [dict(s) for s in specs]
+
+    @property
+    def group_columns(self) -> list[str]:
+        return [str(c) for c in self.config_list("groupby")]
+
+    def required_columns(self) -> set[str]:
+        needed = set(self.group_columns)
+        for spec in self._aggregate_specs():
+            if "apply_on" in spec:
+                needed.add(str(spec["apply_on"]))
+        return needed
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        schema.require(self.required_columns(), context=self.name)
+        columns = [schema[c] for c in self.group_columns]
+        for spec in self._aggregate_specs():
+            out_field = str(
+                spec.get("out_field")
+                or spec.get("apply_on")
+                or spec["operator"]
+            )
+            columns.append(Column(out_field))
+        return Schema(columns)
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        group_columns = self.group_columns
+        table.schema.require(group_columns, context=self.name)
+        table = _explode(table, group_columns)
+        specs = self._aggregate_specs()
+        out_fields = []
+        for spec in specs:
+            out_fields.append(
+                str(
+                    spec.get("out_field")
+                    or spec.get("apply_on")
+                    or spec["operator"]
+                )
+            )
+        groups: dict[tuple, list[Aggregate]] = {}
+        order: list[tuple] = []
+        group_cols = [table.column(c) for c in group_columns]
+        apply_cols = [
+            table.column(str(spec["apply_on"])) if "apply_on" in spec else None
+            for spec in specs
+        ]
+        factories = [
+            _AGGREGATE_FACTORIES[str(spec["operator"]).lower()]
+            for spec in specs
+        ]
+        for i in range(table.num_rows):
+            key = tuple(col[i] for col in group_cols)
+            aggs = groups.get(key)
+            if aggs is None:
+                aggs = [factory() for factory in factories]
+                groups[key] = aggs
+                order.append(key)
+            for agg, col in zip(aggs, apply_cols):
+                agg.add(col[i] if col is not None else None)
+        records = []
+        for key in order:
+            record = dict(zip(group_columns, key))
+            for out_field, agg in zip(out_fields, groups[key]):
+                record[out_field] = agg.result()
+            records.append(record)
+        schema = self.output_schema([table.schema])
+        result = Table.from_rows(schema, records)
+        if _truthy(self.config.get("orderby_aggregates")):
+            result = result.sorted_by([out_fields[0]], descending=[True])
+        context.bump(f"task.{self.name}.groups", len(order))
+        return result
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "yes", "1")
+    return bool(value)

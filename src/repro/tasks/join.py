@@ -1,0 +1,258 @@
+"""``join`` tasks.
+
+Configuration (paper Appendix A.1)::
+
+    join_player_team:
+      type: join
+      left: players_tweets by player
+      right: team_players by player
+      join_condition: left outer
+      project:
+        players_tweets_date: date
+        team_players_team: team
+
+``left``/``right`` name the flow's input data objects and their join keys
+(composite keys via ``by a, b``).  ``join_condition`` is one of ``inner``
+(default), ``left outer``, ``right outer``, ``full outer`` —
+case-insensitive, as the paper mixes ``left outer`` and ``LEFT OUTER``.
+
+``project`` renames ``<input>_<column>`` keys to output columns; without
+it the output is all left columns plus the right's non-key columns
+(collisions suffixed ``_right``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence
+
+from repro.data import Column, Schema, Table
+from repro.errors import TaskConfigError, TaskExecutionError
+from repro.tasks.base import Task, TaskContext
+
+_SIDE_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][\w.]*)\s+by\s+(?P<keys>.+?)\s*$"
+)
+
+_CONDITIONS = {
+    "inner": "inner",
+    "left outer": "left",
+    "left": "left",
+    "right outer": "right",
+    "right": "right",
+    "full outer": "full",
+    "full": "full",
+    "outer": "full",
+}
+
+
+def _parse_side(text: str, task: str, side: str) -> tuple[str, list[str]]:
+    match = _SIDE_RE.match(text)
+    if match is None:
+        raise TaskConfigError(
+            f"join task {task!r}: {side} must look like "
+            f"'<input> by <key>[, <key>...]', got {text!r}"
+        )
+    name = match.group("name")
+    if name.startswith("D."):
+        name = name[2:]
+    keys = [k.strip() for k in match.group("keys").split(",") if k.strip()]
+    return name, keys
+
+
+class JoinTask(Task):
+    """The ``type: join`` task (exactly two inputs)."""
+
+    type_name = "join"
+    arity = (2, 2)
+
+    def _validate_config(self) -> None:
+        for side in ("left", "right"):
+            if side not in self.config:
+                raise TaskConfigError(
+                    f"join task {self.name!r} needs {side!r}"
+                )
+        self._left_name, self._left_keys = _parse_side(
+            str(self.config["left"]), self.name, "left"
+        )
+        self._right_name, self._right_keys = _parse_side(
+            str(self.config["right"]), self.name, "right"
+        )
+        if len(self._left_keys) != len(self._right_keys):
+            raise TaskConfigError(
+                f"join task {self.name!r}: key arity differs "
+                f"({self._left_keys} vs {self._right_keys})"
+            )
+        condition = str(
+            self.config.get("join_condition", "inner")
+        ).strip().lower()
+        if condition not in _CONDITIONS:
+            raise TaskConfigError(
+                f"join task {self.name!r}: unknown join_condition "
+                f"{condition!r}; known: {sorted(set(_CONDITIONS))}"
+            )
+        self._condition = _CONDITIONS[condition]
+        project = self.config.get("project")
+        if project is not None and not isinstance(project, dict):
+            raise TaskConfigError(
+                f"join task {self.name!r}: 'project' must be a mapping"
+            )
+
+    @property
+    def left_name(self) -> str:
+        return self._left_name
+
+    @property
+    def right_name(self) -> str:
+        return self._right_name
+
+    def required_columns(self) -> set[str]:
+        # The "primary" input for pushdown purposes is the left side.
+        return set(self._left_keys)
+
+    def _projection(self) -> list[tuple[str, str, str]] | None:
+        """Parse ``project`` into ``(side, column, out_name)`` triples.
+
+        Keys are prefixed with the input name (``players_tweets_date``);
+        case-insensitive prefix match mirrors the paper's listings, which
+        mix ``dim_teams_Team`` capitalisations.
+        """
+        project = self.config.get("project")
+        if project is None:
+            return None
+        triples: list[tuple[str, str, str]] = []
+        left_prefix = self._left_name.lower() + "_"
+        right_prefix = self._right_name.lower() + "_"
+        for key, out_name in project.items():
+            lowered = str(key).lower()
+            if lowered.startswith(left_prefix):
+                triples.append(
+                    ("left", str(key)[len(left_prefix):], str(out_name))
+                )
+            elif lowered.startswith(right_prefix):
+                triples.append(
+                    ("right", str(key)[len(right_prefix):], str(out_name))
+                )
+            else:
+                raise TaskConfigError(
+                    f"join task {self.name!r}: project key {key!r} does "
+                    f"not start with {self._left_name!r} or "
+                    f"{self._right_name!r}"
+                )
+        return triples
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        left, right = input_schemas[0], input_schemas[1]
+        left.require(self._left_keys, context=f"{self.name} (left)")
+        right.require(self._right_keys, context=f"{self.name} (right)")
+        projection = self._projection()
+        if projection is not None:
+            for side, column, _out in projection:
+                schema = left if side == "left" else right
+                schema.require([column], context=f"{self.name} project")
+            return Schema(
+                Column(out_name) for _side, _column, out_name in projection
+            )
+        columns = [Column(c.name) for c in left]
+        taken = set(left.names)
+        right_keys = set(self._right_keys)
+        for column in right:
+            if column.name in right_keys:
+                continue
+            name = column.name
+            if name in taken:
+                name = f"{name}_right"
+            taken.add(name)
+            columns.append(Column(name))
+        return Schema(columns)
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        if len(inputs) != 2:
+            raise TaskExecutionError(
+                f"join task {self.name!r} needs exactly 2 inputs, "
+                f"got {len(inputs)}"
+            )
+        left, right = self._ordered(inputs, context)
+        left.schema.require(self._left_keys, context=f"{self.name} (left)")
+        right.schema.require(
+            self._right_keys, context=f"{self.name} (right)"
+        )
+        # Hash join: build on the right side.
+        build: dict[tuple, list[int]] = {}
+        right_key_cols = [right.column(k) for k in self._right_keys]
+        for i in range(right.num_rows):
+            key = tuple(col[i] for col in right_key_cols)
+            build.setdefault(key, []).append(i)
+        matched_right: set[int] = set()
+        pairs: list[tuple[int | None, int | None]] = []
+        left_key_cols = [left.column(k) for k in self._left_keys]
+        for i in range(left.num_rows):
+            key = tuple(col[i] for col in left_key_cols)
+            matches = build.get(key)
+            if matches and all(k is not None for k in key):
+                for j in matches:
+                    pairs.append((i, j))
+                    matched_right.add(j)
+            elif self._condition in ("left", "full"):
+                pairs.append((i, None))
+        if self._condition in ("right", "full"):
+            for j in range(right.num_rows):
+                if j not in matched_right:
+                    pairs.append((None, j))
+        context.bump(f"task.{self.name}.pairs", len(pairs))
+        return self._materialize(left, right, pairs)
+
+    def _ordered(
+        self, inputs: Sequence[Table], context: TaskContext
+    ) -> tuple[Table, Table]:
+        """Order inputs as (left, right) using flow input names if known."""
+        names = getattr(context, "input_names", None)
+        if names and len(names) == 2:
+            lowered = [n.lower() for n in names]
+            if (
+                lowered[0] == self._right_name.lower()
+                and lowered[1] == self._left_name.lower()
+            ):
+                return inputs[1], inputs[0]
+        return inputs[0], inputs[1]
+
+    def _materialize(
+        self,
+        left: Table,
+        right: Table,
+        pairs: list[tuple[int | None, int | None]],
+    ) -> Table:
+        projection = self._projection()
+        schema = self.output_schema([left.schema, right.schema])
+        if projection is not None:
+            sources = []
+            for side, column, _out in projection:
+                table = left if side == "left" else right
+                sources.append((side, table.column(column)))
+            data: dict[str, list[Any]] = {
+                name: [] for name in schema.names
+            }
+            for li, ri in pairs:
+                for (side, values), name in zip(sources, schema.names):
+                    index = li if side == "left" else ri
+                    data[name].append(
+                        values[index] if index is not None else None
+                    )
+            return Table(schema, data)
+        # Default projection: left columns, then right non-key columns.
+        right_keys = set(self._right_keys)
+        right_cols = [c for c in right.schema.names if c not in right_keys]
+        data = {name: [] for name in schema.names}
+        left_names = left.schema.names
+        for li, ri in pairs:
+            for name in left_names:
+                data[name].append(
+                    left.column(name)[li] if li is not None else None
+                )
+            for name, out_name in zip(
+                right_cols, schema.names[len(left_names):]
+            ):
+                data[out_name].append(
+                    right.column(name)[ri] if ri is not None else None
+                )
+        return Table(schema, data)

@@ -1,0 +1,226 @@
+"""Structural tasks: project, rename, sort, limit, union, distinct.
+
+These round out the relational vocabulary the compiler needs (the paper's
+task library is "pre-loaded with a set of useful transformations"; these
+are the ones its flows rely on implicitly — e.g. sinks with narrower
+schemas than their inputs imply a projection).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.data import Schema, Table
+from repro.errors import TaskConfigError
+from repro.tasks.base import Task, TaskContext
+
+
+class ProjectTask(Task):
+    """``type: project`` — keep only ``columns`` (in order)."""
+
+    type_name = "project"
+
+    def _validate_config(self) -> None:
+        if not self.config_list("columns"):
+            raise TaskConfigError(
+                f"project task {self.name!r} needs 'columns'"
+            )
+
+    @property
+    def columns(self) -> list[str]:
+        return [str(c) for c in self.config_list("columns")]
+
+    def required_columns(self) -> set[str]:
+        return set(self.columns)
+
+    def partition_local(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        return input_schemas[0].select(self.columns)
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        return self._single(inputs).select(self.columns)
+
+
+class RenameTask(Task):
+    """``type: rename`` — rename columns via a ``mapping`` of old: new."""
+
+    type_name = "rename"
+
+    def _validate_config(self) -> None:
+        mapping = self.config.get("mapping")
+        if not isinstance(mapping, dict) or not mapping:
+            raise TaskConfigError(
+                f"rename task {self.name!r} needs a 'mapping' dict"
+            )
+        self._mapping = {str(k): str(v) for k, v in mapping.items()}
+
+    def required_columns(self) -> set[str]:
+        return set(self._mapping)
+
+    def partition_local(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        return input_schemas[0].rename(self._mapping)
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        return self._single(inputs).rename(self._mapping)
+
+
+class SortTask(Task):
+    """``type: sort`` — order rows by ``orderby_column`` entries."""
+
+    type_name = "sort"
+
+    def _validate_config(self) -> None:
+        entries = self.config_list("orderby_column", required=True)
+        self._order: list[tuple[str, bool]] = []
+        for entry in entries:
+            parts = str(entry).split()
+            if not parts or len(parts) > 2:
+                raise TaskConfigError(
+                    f"sort task {self.name!r}: bad entry {entry!r}"
+                )
+            descending = len(parts) == 2 and parts[1].upper() == "DESC"
+            self._order.append((parts[0], descending))
+
+    def required_columns(self) -> set[str]:
+        return {c for c, _d in self._order}
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        schema.require(self.required_columns(), context=self.name)
+        return schema
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        return table.sorted_by(
+            [c for c, _d in self._order], [d for _c, d in self._order]
+        )
+
+
+class LimitTask(Task):
+    """``type: limit`` — keep the first ``limit`` rows."""
+
+    type_name = "limit"
+
+    def _validate_config(self) -> None:
+        try:
+            self._limit = int(self.config.get("limit"))
+        except (TypeError, ValueError):
+            raise TaskConfigError(
+                f"limit task {self.name!r} needs an integer 'limit'"
+            ) from None
+        if self._limit < 0:
+            raise TaskConfigError(
+                f"limit task {self.name!r}: limit must be non-negative"
+            )
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        return input_schemas[0]
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        return self._single(inputs).head(self._limit)
+
+
+class UnionTask(Task):
+    """``type: union`` — vertical union of same-schema inputs."""
+
+    type_name = "union"
+    arity = (1, None)
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        first = input_schemas[0]
+        for other in input_schemas[1:]:
+            if other.names != first.names:
+                raise TaskConfigError(
+                    f"union task {self.name!r}: incompatible schemas "
+                    f"{first.names} vs {other.names}"
+                )
+        return first
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        if not inputs:
+            raise TaskConfigError(
+                f"union task {self.name!r} needs at least one input"
+            )
+        result = inputs[0]
+        for table in inputs[1:]:
+            result = result.concat(table)
+        return result
+
+
+class DistinctTask(Task):
+    """``type: distinct`` — deduplicate rows (optionally by ``columns``)."""
+
+    type_name = "distinct"
+
+    @property
+    def columns(self) -> list[str] | None:
+        cols = self.config_list("columns")
+        return [str(c) for c in cols] if cols else None
+
+    def required_columns(self) -> set[str]:
+        return set(self.columns or [])
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        if self.columns:
+            schema.require(self.columns, context=self.name)
+        return schema
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        return self._single(inputs).distinct(self.columns)
+
+
+class AddColumnTask(Task):
+    """``type: add_column`` — computed column from an expression.
+
+    A thin alias for ``map`` with the ``expression`` operator; kept as its
+    own type because hackathon flow files used it heavily for derived
+    metrics (weighted activity indexes, ratios).
+    """
+
+    type_name = "add_column"
+
+    def _validate_config(self) -> None:
+        from repro.data.expressions import compile_expression
+
+        if "output" not in self.config:
+            raise TaskConfigError(
+                f"add_column task {self.name!r} needs 'output'"
+            )
+        if "expression" not in self.config:
+            raise TaskConfigError(
+                f"add_column task {self.name!r} needs 'expression'"
+            )
+        self._expression = compile_expression(
+            str(self.config["expression"])
+        )
+
+    def required_columns(self) -> set[str]:
+        return self._expression.references()
+
+    def partition_local(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        schema.require(self.required_columns(), context=self.name)
+        return schema.with_column(str(self.config["output"]))
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        values: list[Any] = [self._expression(row) for row in table.rows()]
+        return table.with_column(str(self.config["output"]), values)

@@ -1,0 +1,124 @@
+"""Task registry: ``type:`` strings → task classes, and task-set building.
+
+The registry instantiates the ``T:`` section of a flow file into bound
+:class:`~repro.tasks.base.Task` objects (wiring ``parallel`` sub-task
+references) and is the entry point for the §4.2 task extension API:
+``register_type`` makes a user task class available to every flow file on
+the platform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ExtensionError, TaskConfigError
+from repro.tasks.base import Task
+from repro.tasks.filter import FilterTask
+from repro.tasks.groupby import GroupByTask
+from repro.tasks.join import JoinTask
+from repro.tasks.map_ops import MapTask
+from repro.tasks.misc import (
+    AddColumnTask,
+    DistinctTask,
+    LimitTask,
+    ProjectTask,
+    RenameTask,
+    SortTask,
+    UnionTask,
+)
+from repro.tasks.cleansing import CastTask, FillNaTask, SampleTask
+from repro.tasks.parallel import ParallelTask
+from repro.tasks.topn import TopNTask
+from repro.tasks.udf import NativeMapReduceTask, PythonTask
+
+_BUILTIN_TYPES: list[type[Task]] = [
+    FillNaTask,
+    CastTask,
+    SampleTask,
+    MapTask,
+    FilterTask,
+    GroupByTask,
+    JoinTask,
+    TopNTask,
+    ParallelTask,
+    ProjectTask,
+    RenameTask,
+    SortTask,
+    LimitTask,
+    UnionTask,
+    DistinctTask,
+    AddColumnTask,
+    PythonTask,
+    NativeMapReduceTask,
+]
+
+
+class TaskRegistry:
+    """Task ``type`` name → class."""
+
+    def __init__(self, include_builtins: bool = True):
+        self._types: dict[str, type[Task]] = {}
+        if include_builtins:
+            for cls in _BUILTIN_TYPES:
+                self.register_type(cls)
+
+    def register_type(self, cls: type[Task], replace: bool = False) -> None:
+        if not cls.type_name:
+            raise ExtensionError(f"task class {cls.__name__} has no type_name")
+        key = cls.type_name.lower()
+        if key in self._types and not replace:
+            raise ExtensionError(
+                f"task type {cls.type_name!r} already registered"
+            )
+        self._types[key] = cls
+
+    def type_names(self) -> list[str]:
+        return sorted(self._types)
+
+    def create(self, name: str, config: Mapping[str, Any]) -> Task:
+        """Instantiate one task from its flow-file configuration."""
+        config = dict(config)
+        type_name = config.pop("type", None)
+        if type_name is None:
+            # Fig. 20: parallel tasks may omit `type` — the `parallel`
+            # key alone identifies them.
+            if "parallel" in config:
+                type_name = "parallel"
+            else:
+                raise TaskConfigError(f"task {name!r} has no 'type'")
+        cls = self._types.get(str(type_name).lower())
+        if cls is None:
+            raise TaskConfigError(
+                f"task {name!r}: unknown type {type_name!r}; "
+                f"known: {self.type_names()}"
+            )
+        return cls(name, config)
+
+    def build_section(
+        self, section: Mapping[str, Mapping[str, Any]]
+    ) -> dict[str, Task]:
+        """Instantiate a whole ``T:`` section and bind parallel refs."""
+        tasks: dict[str, Task] = {}
+        for name, config in section.items():
+            tasks[name] = self.create(name, config)
+
+        def resolver(ref: str) -> Task:
+            task = tasks.get(ref)
+            if task is None:
+                raise TaskConfigError(
+                    f"unknown task reference {ref!r}; "
+                    f"defined: {sorted(tasks)}"
+                )
+            return task
+
+        for task in tasks.values():
+            if isinstance(task, ParallelTask):
+                task.bind(resolver)
+                # Fail fast on dangling references.
+                task._sub_tasks()
+        return tasks
+
+
+def default_task_registry() -> TaskRegistry:
+    """A registry with all built-in task types."""
+    return TaskRegistry(include_builtins=True)

@@ -1,0 +1,142 @@
+"""``topn`` tasks.
+
+Configuration (paper Appendix A.1)::
+
+    topwords:
+      type: topn
+      groupby: [date]
+      orderby_column: [count DESC]
+      limit: 20
+
+Keeps the top ``limit`` rows per group, ordered by ``orderby_column``
+entries (each ``<column> [ASC|DESC]``).  Without ``groupby`` the whole
+table is one group.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data import Schema, Table
+from repro.errors import TaskConfigError
+from repro.tasks.base import Task, TaskContext
+
+
+def _parse_order(entry: str, task: str) -> tuple[str, bool]:
+    parts = str(entry).split()
+    if not parts or len(parts) > 2:
+        raise TaskConfigError(
+            f"topn task {task!r}: bad orderby entry {entry!r}"
+        )
+    column = parts[0]
+    descending = False
+    if len(parts) == 2:
+        direction = parts[1].upper()
+        if direction not in ("ASC", "DESC"):
+            raise TaskConfigError(
+                f"topn task {task!r}: direction must be ASC or DESC, "
+                f"got {parts[1]!r}"
+            )
+        descending = direction == "DESC"
+    return column, descending
+
+
+class TopNTask(Task):
+    """The ``type: topn`` task."""
+
+    type_name = "topn"
+
+    def _validate_config(self) -> None:
+        orderby = self.config_list("orderby_column", required=True)
+        self._order = [_parse_order(e, self.name) for e in orderby]
+        limit = self.config.get("limit")
+        if limit is None:
+            raise TaskConfigError(f"topn task {self.name!r} needs 'limit'")
+        try:
+            self._limit = int(limit)
+        except (TypeError, ValueError):
+            raise TaskConfigError(
+                f"topn task {self.name!r}: limit must be an integer, "
+                f"got {limit!r}"
+            ) from None
+        if self._limit < 1:
+            raise TaskConfigError(
+                f"topn task {self.name!r}: limit must be positive"
+            )
+
+    @property
+    def group_columns(self) -> list[str]:
+        return [str(c) for c in self.config_list("groupby")]
+
+    def required_columns(self) -> set[str]:
+        return set(self.group_columns) | {c for c, _d in self._order}
+
+    def preserves_rows(self) -> bool:
+        return True
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        schema.require(self.required_columns(), context=self.name)
+        return schema
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        table.schema.require(self.required_columns(), context=self.name)
+        group_columns = self.group_columns
+        order_keys = [c for c, _d in self._order]
+        order_desc = [d for _c, d in self._order]
+        if not group_columns:
+            result = table.sorted_by(order_keys, order_desc).head(self._limit)
+            context.bump(f"task.{self.name}.rows_out", result.num_rows)
+            return result
+        # Partition indices per group, preserving first-seen group order.
+        groups: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        group_cols = [table.column(c) for c in group_columns]
+        for i in range(table.num_rows):
+            key = tuple(col[i] for col in group_cols)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [i]
+                order.append(key)
+            else:
+                bucket.append(i)
+        kept: list[int] = []
+        for key in order:
+            subset = table.take(groups[key])
+            ranked = subset.sorted_by(order_keys, order_desc)
+            top = min(self._limit, ranked.num_rows)
+            # Map back to original indices via a rank of the subset rows.
+            sub_indices = groups[key]
+            ranked_positions = _rank_positions(
+                subset, order_keys, order_desc
+            )[:top]
+            kept.extend(sub_indices[p] for p in ranked_positions)
+        result = table.take(kept)
+        context.bump(f"task.{self.name}.rows_out", result.num_rows)
+        return result
+
+
+def _rank_positions(
+    table: Table, keys: list[str], descending: list[bool]
+) -> list[int]:
+    """Positions of table rows in sorted order (stable)."""
+    positions = list(range(table.num_rows))
+    for key, desc in reversed(list(zip(keys, descending))):
+        values = table.column(key)
+
+        def sort_key(i: int, values=values) -> tuple:
+            v = values[i]
+            return (v is not None, v)
+
+        try:
+            positions.sort(key=sort_key, reverse=desc)
+        except TypeError:
+            positions.sort(
+                key=lambda i, values=values: (
+                    values[i] is not None,
+                    str(values[i]),
+                ),
+                reverse=desc,
+            )
+    return positions

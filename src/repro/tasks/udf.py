@@ -1,0 +1,148 @@
+"""User-defined tasks: engine tasks and native map-reduce jobs.
+
+The paper's §4.2 lists four task-extension categories.  Categories 1
+(operators) and 2 (aggregates) register into :mod:`repro.tasks.map_ops`
+and :mod:`repro.tasks.groupby`; this module provides categories 3 and 4:
+
+3. **Engine tasks** (:class:`PythonTask`) — "transforming a data object via
+   the underlying engine APIs": the user supplies a Python callable
+   ``table -> table`` and gets full access to the data substrate, the
+   equivalent of wrapping Spark APIs.  The paper notes tasks "can be
+   written in either Java, JavaScript, Python or R"; in this reproduction
+   the host language is Python.
+
+4. **Native map-reduce jobs** (:class:`NativeMapReduceTask`) — existing MR
+   jobs join the platform by exposing ``mapper(row) -> [(key, value)]``
+   and ``reducer(key, values) -> row_dict(s)``.  The distributed engine
+   runs these through its real shuffle.
+
+Both are registered like any other task and "look no different from a
+platform provided task" (§5.2 observation 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.data import Schema, Table
+from repro.errors import TaskConfigError, TaskExecutionError
+from repro.tasks.base import Task, TaskContext
+
+TableFn = Callable[[Table], Table]
+Mapper = Callable[[Mapping[str, Any]], Iterable[tuple[Any, Any]]]
+Reducer = Callable[[Any, list[Any]], Iterable[Mapping[str, Any]]]
+
+
+class PythonTask(Task):
+    """``type: python`` — a user callable over whole tables.
+
+    Configuration carries ``function`` (the callable, injected
+    programmatically or via the extension loader) and optionally
+    ``output_columns`` for static schema propagation.  Without declared
+    output columns the validator treats the schema as pass-through.
+    """
+
+    type_name = "python"
+
+    def _validate_config(self) -> None:
+        fn = self.config.get("function")
+        if not callable(fn):
+            raise TaskConfigError(
+                f"python task {self.name!r} needs a callable 'function'"
+            )
+        self._fn: TableFn = fn
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        declared = self.config.get("output_columns")
+        if declared:
+            return Schema([str(c) for c in declared])
+        return input_schemas[0]
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        try:
+            result = self._fn(table)
+        except Exception as exc:
+            raise TaskExecutionError(
+                f"python task {self.name!r} raised: {exc}"
+            ) from exc
+        if not isinstance(result, Table):
+            raise TaskExecutionError(
+                f"python task {self.name!r} must return a Table, "
+                f"got {type(result).__name__}"
+            )
+        declared = self.config.get("output_columns")
+        if declared and result.schema.names != [str(c) for c in declared]:
+            raise TaskExecutionError(
+                f"python task {self.name!r} declared output columns "
+                f"{list(declared)} but returned {result.schema.names}"
+            )
+        return result
+
+
+class NativeMapReduceTask(Task):
+    """``type: native_mr`` — an existing map-reduce job as a task.
+
+    ``mapper`` emits ``(key, value)`` pairs per input row; ``reducer``
+    receives each key with its value list and yields output row dicts.
+    ``output_columns`` declares the output schema.  On the local engine
+    the shuffle is an in-process group-by; on the distributed engine the
+    same callables run inside its partitioned shuffle.
+    """
+
+    type_name = "native_mr"
+
+    def _validate_config(self) -> None:
+        mapper = self.config.get("mapper")
+        reducer = self.config.get("reducer")
+        if not callable(mapper) or not callable(reducer):
+            raise TaskConfigError(
+                f"native_mr task {self.name!r} needs callable "
+                f"'mapper' and 'reducer'"
+            )
+        if not self.config_list("output_columns"):
+            raise TaskConfigError(
+                f"native_mr task {self.name!r} needs 'output_columns'"
+            )
+        self._mapper: Mapper = mapper
+        self._reducer: Reducer = reducer
+
+    @property
+    def output_columns(self) -> list[str]:
+        return [str(c) for c in self.config_list("output_columns")]
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        return Schema(self.output_columns)
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        shuffle: dict[Any, list[Any]] = {}
+        key_order: list[Any] = []
+        for row in table.rows():
+            try:
+                pairs = self._mapper(row)
+            except Exception as exc:
+                raise TaskExecutionError(
+                    f"native_mr task {self.name!r} mapper raised: {exc}"
+                ) from exc
+            for key, value in pairs:
+                if key not in shuffle:
+                    shuffle[key] = []
+                    key_order.append(key)
+                shuffle[key].append(value)
+        context.bump(
+            f"task.{self.name}.shuffled",
+            sum(len(v) for v in shuffle.values()),
+        )
+        schema = Schema(self.output_columns)
+        output = Table.empty(schema)
+        for key in key_order:
+            try:
+                rows = self._reducer(key, shuffle[key])
+            except Exception as exc:
+                raise TaskExecutionError(
+                    f"native_mr task {self.name!r} reducer raised: {exc}"
+                ) from exc
+            for row in rows:
+                output.append_row(row)
+        return output

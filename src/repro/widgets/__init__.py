@@ -1,0 +1,20 @@
+"""Widget section implementation (paper §3.5).
+
+Widgets bind endpoint data to visual marks.  Every widget splits its
+configuration into *data attributes* (bound to source columns) and
+*visual attributes* (everything else); selections on a widget are data
+(§3.5.1 treats widgets as data objects), which is what interaction flows
+filter by.
+"""
+
+from repro.widgets.base import Widget, WidgetView
+from repro.widgets.registry import WidgetRegistry, default_widget_registry
+from repro.widgets.layout import GridRenderer
+
+__all__ = [
+    "Widget",
+    "WidgetView",
+    "WidgetRegistry",
+    "default_widget_registry",
+    "GridRenderer",
+]

@@ -1,0 +1,148 @@
+"""Widget base classes.
+
+A widget is configured with a source (bound by the dashboard runtime),
+data attributes naming source columns (paper Fig. 12: ``text: project``,
+``size: total_wt``) and visual attributes (legend, axis, defaults...).
+Rendering produces a :class:`WidgetView` — a structured render model with
+HTML/SVG and plain-text projections, so dashboards are inspectable and
+testable without a browser.
+
+Selection: widgets expose their current selection as a
+:class:`~repro.tasks.base.WidgetSelection` keyed by *widget columns*
+(``text``, ``size``, ``value``), which interaction filter tasks consume.
+``default_selection`` configuration (Fig. 12) seeds it.
+"""
+
+from __future__ import annotations
+
+import abc
+import html as _html
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.data import Table
+from repro.errors import WidgetError
+from repro.tasks.base import WidgetSelection
+
+
+@dataclass
+class WidgetView:
+    """The rendered form of one widget."""
+
+    widget: str
+    type_name: str
+    #: structured payload (marks, values) — what a JS widget would bind
+    payload: dict[str, Any] = field(default_factory=dict)
+    #: HTML/SVG fragment
+    html: str = ""
+    #: terminal-friendly rendering
+    text: str = ""
+
+
+class Widget(abc.ABC):
+    """Base class for all widgets."""
+
+    #: flow-file ``type:`` value (case-insensitive match)
+    type_name: str = ""
+    #: configuration keys that bind to source columns
+    data_attributes: tuple[str, ...] = ()
+    #: which data attribute drives selections (None = not selectable)
+    selection_attribute: str | None = None
+
+    def __init__(self, name: str, config: Mapping[str, Any]):
+        self.name = name
+        self.config = dict(config)
+        self.bindings: dict[str, str] = {}
+        for attribute in self.data_attributes:
+            value = self.config.get(attribute)
+            if isinstance(value, str) and value:
+                self.bindings[attribute] = value
+        self.selection = WidgetSelection()
+        self._apply_default_selection()
+        self._validate_config()
+
+    def _validate_config(self) -> None:
+        """Subclasses raise :class:`WidgetError` on bad configuration."""
+
+    # -- selection --------------------------------------------------------
+    def _apply_default_selection(self) -> None:
+        """Honour Fig. 12's default-selection attributes."""
+        if not _truthy(self.config.get("default_selection")):
+            return
+        key = self.config.get("default_selection_key")
+        value = self.config.get("default_selection_value")
+        if key is None or value is None:
+            raise WidgetError(
+                f"widget {self.name!r}: default_selection needs "
+                f"default_selection_key and default_selection_value"
+            )
+        self.selection.values[str(key)] = (
+            list(value) if isinstance(value, list) else [value]
+        )
+
+    def select_values(self, column: str, values: list[Any]) -> None:
+        """Set a discrete selection on a widget column."""
+        self.selection.values[column] = list(values)
+        self.selection.ranges.pop(column, None)
+
+    def select_range(self, column: str, lo: Any, hi: Any) -> None:
+        """Set a range selection on a widget column."""
+        self.selection.ranges[column] = (lo, hi)
+        self.selection.values.pop(column, None)
+
+    def clear_selection(self) -> None:
+        self.selection = WidgetSelection()
+
+    # -- binding helpers ----------------------------------------------------
+    def column(self, attribute: str, table: Table) -> list[Any]:
+        """Values of the source column bound to ``attribute``."""
+        binding = self.bindings.get(attribute)
+        if binding is None:
+            raise WidgetError(
+                f"widget {self.name!r} has no binding for "
+                f"data attribute {attribute!r}"
+            )
+        if binding not in table.schema:
+            raise WidgetError(
+                f"widget {self.name!r}: bound column {binding!r} missing "
+                f"from source (has {table.schema.names})"
+            )
+        return table.column(binding)
+
+    def required_bindings(self, *attributes: str) -> None:
+        missing = [a for a in attributes if a not in self.bindings]
+        if missing:
+            raise WidgetError(
+                f"widget {self.name!r} ({self.type_name}) needs data "
+                f"attributes {missing}"
+            )
+
+    # -- rendering ----------------------------------------------------------
+    @abc.abstractmethod
+    def render(self, table: Table | None) -> WidgetView:
+        """Produce the render model for the current source data."""
+
+    def _view(
+        self, payload: dict[str, Any], html: str, text: str
+    ) -> WidgetView:
+        return WidgetView(
+            widget=self.name,
+            type_name=self.type_name,
+            payload=payload,
+            html=html,
+            text=text,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def escape(value: Any) -> str:
+    """HTML-escape a cell value for rendering."""
+    return _html.escape("" if value is None else str(value))
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "yes", "1")
+    return bool(value)

@@ -1,0 +1,537 @@
+"""Built-in chart widgets.
+
+All widget types used by the paper's two dashboards: BubbleChart,
+WordCloud, Streamgraph, Slider, List, MapMarker, HTML (Figs. 3, 12, 17,
+Appendix A.2) plus the generic Line/Bar/Pie/DataGrid the platform
+"comes pre-loaded" with (§3.5).  Each renders to SVG/HTML and to plain
+text; payloads carry the structured marks so tests assert on data, not
+markup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.data import Table
+from repro.errors import WidgetError
+from repro.widgets.base import Widget, WidgetView, escape
+
+_SVG_WIDTH = 480
+_SVG_HEIGHT = 300
+
+
+def _scale(values: list[float], out_min: float, out_max: float) -> list[float]:
+    numeric = [v for v in values if v is not None]
+    if not numeric:
+        return [out_min for _ in values]
+    lo, hi = min(numeric), max(numeric)
+    if hi == lo:
+        mid = (out_min + out_max) / 2
+        return [mid for _ in values]
+    span = out_max - out_min
+    return [
+        out_min + span * ((v - lo) / (hi - lo)) if v is not None else out_min
+        for v in values
+    ]
+
+
+def _as_float(value: Any) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+class BubbleChart(Widget):
+    """Sized, labelled bubbles (the Apache project cloud, Fig. 3)."""
+
+    type_name = "BubbleChart"
+    data_attributes = ("text", "size", "legend_text")
+    selection_attribute = "text"
+
+    def _validate_config(self) -> None:
+        self.required_bindings("text", "size")
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"bubbles": []}, "", f"[{self.name}] no data")
+        labels = self.column("text", table)
+        sizes = [_as_float(v) or 0.0 for v in self.column("size", table)]
+        legends = (
+            self.column("legend_text", table)
+            if "legend_text" in self.bindings
+            else [None] * len(labels)
+        )
+        radii = _scale([math.sqrt(max(s, 0.0)) for s in sizes], 8, 40)
+        bubbles = [
+            {"text": t, "size": s, "legend": g, "radius": round(r, 1)}
+            for t, s, g, r in zip(labels, sizes, legends, radii)
+        ]
+        selected = set(self.selection.values.get("text", []))
+        # Simple grid packing: bubbles on a square lattice.
+        per_row = max(1, int(math.sqrt(len(bubbles)) + 0.5))
+        circles = []
+        for i, bubble in enumerate(bubbles):
+            cx = 50 + (i % per_row) * (_SVG_WIDTH - 80) / max(per_row - 1, 1)
+            cy = 50 + (i // per_row) * 90
+            stroke = (
+                ' stroke="#333" stroke-width="3"'
+                if bubble["text"] in selected
+                else ""
+            )
+            circles.append(
+                f'<circle cx="{cx:.0f}" cy="{cy:.0f}" '
+                f'r="{bubble["radius"]}" fill="#69c"{stroke}>'
+                f"<title>{escape(bubble['text'])}: {bubble['size']}"
+                f"</title></circle>"
+                f'<text x="{cx:.0f}" y="{cy:.0f}" text-anchor="middle" '
+                f'font-size="10">{escape(bubble["text"])}</text>'
+            )
+        height = 50 + 90 * ((len(bubbles) - 1) // per_row + 1)
+        html = (
+            f'<svg class="bubble-chart" width="{_SVG_WIDTH}" '
+            f'height="{height}">{"".join(circles)}</svg>'
+        )
+        top = sorted(bubbles, key=lambda b: -b["size"])[:5]
+        text = f"[{self.name}] bubbles: " + ", ".join(
+            f"{b['text']}({b['size']:g})" for b in top
+        )
+        return self._view({"bubbles": bubbles}, html, text)
+
+
+class WordCloud(Widget):
+    """Word cloud (tweet words/players/teams, Fig. 17)."""
+
+    type_name = "WordCloud"
+    data_attributes = ("text", "size")
+    selection_attribute = "text"
+
+    def _validate_config(self) -> None:
+        self.required_bindings("text", "size")
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"words": []}, "", f"[{self.name}] no data")
+        words = self.column("text", table)
+        sizes = [_as_float(v) or 0.0 for v in self.column("size", table)]
+        fonts = _scale(sizes, 10, 42)
+        items = [
+            {"text": w, "size": s, "font": round(f, 1)}
+            for w, s, f in zip(words, sizes, fonts)
+        ]
+        items.sort(key=lambda i: -i["size"])
+        spans = "".join(
+            f'<span style="font-size:{i["font"]}px" '
+            f'title="{i["size"]:g}">{escape(i["text"])}</span> '
+            for i in items
+        )
+        html = f'<div class="word-cloud">{spans}</div>'
+        text = f"[{self.name}] words: " + ", ".join(
+            f"{i['text']}({i['size']:g})" for i in items[:8]
+        )
+        return self._view({"words": items}, html, text)
+
+
+class Streamgraph(Widget):
+    """Stacked stream of series over x (relative team tweet volumes)."""
+
+    type_name = "Streamgraph"
+    data_attributes = ("x", "y", "serie", "color")
+
+    def _validate_config(self) -> None:
+        self.required_bindings("x", "y", "serie")
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"series": {}}, "", f"[{self.name}] no data")
+        xs = self.column("x", table)
+        ys = [_as_float(v) or 0.0 for v in self.column("y", table)]
+        series = self.column("serie", table)
+        colors = (
+            self.column("color", table)
+            if "color" in self.bindings
+            else [None] * len(xs)
+        )
+        by_series: dict[str, dict[Any, float]] = {}
+        series_color: dict[str, Any] = {}
+        for x, y, s, c in zip(xs, ys, series, colors):
+            by_series.setdefault(str(s), {})[x] = (
+                by_series.get(str(s), {}).get(x, 0.0) + y
+            )
+            if c is not None:
+                series_color[str(s)] = c
+        domain = sorted({x for x in xs if x is not None})
+        # Stacked areas, wiggle-free (baseline at zero).
+        palette = ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2",
+                   "#eeca3b", "#b279a2", "#ff9da6", "#9d755d"]
+        stacked: list[str] = []
+        baseline = {x: 0.0 for x in domain}
+        max_total = max(
+            (sum(by_series[s].get(x, 0.0) for s in by_series) for x in domain),
+            default=1.0,
+        ) or 1.0
+        for i, (name, points) in enumerate(sorted(by_series.items())):
+            color = series_color.get(name) or palette[i % len(palette)]
+            coords_top = []
+            coords_bottom = []
+            for j, x in enumerate(domain):
+                px = 40 + j * (_SVG_WIDTH - 60) / max(len(domain) - 1, 1)
+                y0 = baseline[x]
+                y1 = y0 + points.get(x, 0.0)
+                baseline[x] = y1
+                py0 = _SVG_HEIGHT - 20 - (y0 / max_total) * (_SVG_HEIGHT - 40)
+                py1 = _SVG_HEIGHT - 20 - (y1 / max_total) * (_SVG_HEIGHT - 40)
+                coords_top.append(f"{px:.0f},{py1:.0f}")
+                coords_bottom.append(f"{px:.0f},{py0:.0f}")
+            path = " ".join(coords_top + list(reversed(coords_bottom)))
+            stacked.append(
+                f'<polygon points="{path}" fill="{escape(color)}" '
+                f'opacity="0.8"><title>{escape(name)}</title></polygon>'
+            )
+        html = (
+            f'<svg class="streamgraph" width="{_SVG_WIDTH}" '
+            f'height="{_SVG_HEIGHT}">{"".join(stacked)}</svg>'
+        )
+        totals = {
+            name: sum(points.values()) for name, points in by_series.items()
+        }
+        text = f"[{self.name}] series totals: " + ", ".join(
+            f"{k}={v:g}" for k, v in sorted(totals.items())
+        )
+        return self._view(
+            {
+                "series": {k: dict(v) for k, v in by_series.items()},
+                "domain": domain,
+            },
+            html,
+            text,
+        )
+
+
+class LineChart(Widget):
+    type_name = "Line"
+    data_attributes = ("x", "y", "serie")
+
+    def _validate_config(self) -> None:
+        self.required_bindings("x", "y")
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"points": []}, "", f"[{self.name}] no data")
+        xs = self.column("x", table)
+        ys = [_as_float(v) or 0.0 for v in self.column("y", table)]
+        points = [{"x": x, "y": y} for x, y in zip(xs, ys)]
+        px = _scale(list(range(len(points))), 40, _SVG_WIDTH - 20)
+        py = _scale([-(p["y"]) for p in points], 20, _SVG_HEIGHT - 20)
+        polyline = " ".join(f"{x:.0f},{y:.0f}" for x, y in zip(px, py))
+        html = (
+            f'<svg class="line-chart" width="{_SVG_WIDTH}" '
+            f'height="{_SVG_HEIGHT}"><polyline points="{polyline}" '
+            f'fill="none" stroke="#4c78a8" stroke-width="2"/></svg>'
+        )
+        text = f"[{self.name}] {len(points)} points"
+        return self._view({"points": points}, html, text)
+
+
+class BarChart(Widget):
+    type_name = "Bar"
+    data_attributes = ("x", "y")
+
+    def _validate_config(self) -> None:
+        self.required_bindings("x", "y")
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"bars": []}, "", f"[{self.name}] no data")
+        xs = self.column("x", table)
+        ys = [_as_float(v) or 0.0 for v in self.column("y", table)]
+        bars = [{"x": x, "y": y} for x, y in zip(xs, ys)]
+        max_y = max((b["y"] for b in bars), default=1.0) or 1.0
+        width = max(8, (_SVG_WIDTH - 60) // max(len(bars), 1))
+        rects = []
+        for i, bar in enumerate(bars):
+            h = (bar["y"] / max_y) * (_SVG_HEIGHT - 60)
+            rects.append(
+                f'<rect x="{40 + i * width}" '
+                f'y="{_SVG_HEIGHT - 30 - h:.0f}" width="{width - 2}" '
+                f'height="{h:.0f}" fill="#4c78a8">'
+                f"<title>{escape(bar['x'])}: {bar['y']:g}</title></rect>"
+            )
+        html = (
+            f'<svg class="bar-chart" width="{_SVG_WIDTH}" '
+            f'height="{_SVG_HEIGHT}">{"".join(rects)}</svg>'
+        )
+        top = sorted(bars, key=lambda b: -b["y"])[:5]
+        text = f"[{self.name}] bars: " + ", ".join(
+            f"{b['x']}={b['y']:g}" for b in top
+        )
+        return self._view({"bars": bars}, html, text)
+
+
+class PieChart(Widget):
+    type_name = "Pie"
+    data_attributes = ("label", "value")
+    selection_attribute = "label"
+
+    def _validate_config(self) -> None:
+        self.required_bindings("label", "value")
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"wedges": []}, "", f"[{self.name}] no data")
+        labels = self.column("label", table)
+        values = [_as_float(v) or 0.0 for v in self.column("value", table)]
+        total = sum(values) or 1.0
+        wedges = [
+            {"label": l, "value": v, "fraction": v / total}
+            for l, v in zip(labels, values)
+        ]
+        palette = ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2",
+                   "#eeca3b", "#b279a2"]
+        cx, cy, r = 150, 150, 120
+        angle = -math.pi / 2
+        paths = []
+        for i, wedge in enumerate(wedges):
+            sweep = wedge["fraction"] * 2 * math.pi
+            x1 = cx + r * math.cos(angle)
+            y1 = cy + r * math.sin(angle)
+            angle += sweep
+            x2 = cx + r * math.cos(angle)
+            y2 = cy + r * math.sin(angle)
+            large = 1 if sweep > math.pi else 0
+            paths.append(
+                f'<path d="M{cx},{cy} L{x1:.1f},{y1:.1f} '
+                f'A{r},{r} 0 {large} 1 {x2:.1f},{y2:.1f} Z" '
+                f'fill="{palette[i % len(palette)]}">'
+                f"<title>{escape(wedge['label'])}: "
+                f"{wedge['value']:g}</title></path>"
+            )
+        html = f'<svg class="pie-chart" width="300" height="300">{"".join(paths)}</svg>'
+        text = f"[{self.name}] wedges: " + ", ".join(
+            f"{w['label']}={w['fraction']:.0%}" for w in wedges[:6]
+        )
+        return self._view({"wedges": wedges}, html, text)
+
+
+class Slider(Widget):
+    """Range/value slider; static source carries its domain (App. A.2)."""
+
+    type_name = "Slider"
+    data_attributes = ("value",)
+    selection_attribute = "value"
+
+    def set_domain(self, values: list[Any]) -> None:
+        """Install the slider's domain (from a static or data source)."""
+        if not values:
+            raise WidgetError(f"slider {self.name!r} got an empty domain")
+        self._domain = list(values)
+        if _truthy(self.config.get("range")) and self.selection.is_empty():
+            self.select_range("value", self._domain[0], self._domain[-1])
+
+    @property
+    def domain(self) -> list[Any]:
+        return list(getattr(self, "_domain", []))
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is not None and "value" in self.bindings:
+            self.set_domain(sorted(set(self.column("value", table))))
+        domain = self.domain
+        selected = self.selection.ranges.get("value")
+        lo = selected[0] if selected else (domain[0] if domain else None)
+        hi = selected[1] if selected else (domain[-1] if domain else None)
+        html = (
+            f'<div class="slider" data-widget="{escape(self.name)}">'
+            f'<input type="range" min="0" max="{max(len(domain) - 1, 0)}"/>'
+            f"<span>{escape(lo)} .. {escape(hi)}</span></div>"
+        )
+        text = f"[{self.name}] slider {lo} .. {hi}"
+        return self._view(
+            {"domain": domain, "low": lo, "high": hi}, html, text
+        )
+
+
+class ListWidget(Widget):
+    """Selectable list (the teams list in Fig. 17)."""
+
+    type_name = "List"
+    data_attributes = ("text",)
+    selection_attribute = "text"
+
+    def _validate_config(self) -> None:
+        self.required_bindings("text")
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"items": []}, "", f"[{self.name}] no data")
+        items = [v for v in self.column("text", table)]
+        selected = set(self.selection.values.get("text", []))
+        lis = "".join(
+            f'<li class="{"selected" if item in selected else ""}">'
+            f"{escape(item)}</li>"
+            for item in items
+        )
+        html = f'<ul class="list-widget">{lis}</ul>'
+        text = f"[{self.name}] " + ", ".join(
+            f"*{i}*" if i in selected else str(i) for i in items
+        )
+        return self._view({"items": items, "selected": sorted(
+            str(s) for s in selected)}, html, text)
+
+
+class MapMarker(Widget):
+    """Markers on a country map (favourite team per city, Fig. 17)."""
+
+    type_name = "MapMarker"
+    data_attributes = ()
+
+    def _validate_config(self) -> None:
+        markers = self.config.get("markers")
+        if not isinstance(markers, list) or not markers:
+            raise WidgetError(
+                f"map widget {self.name!r} needs a 'markers' list"
+            )
+
+    def _marker_specs(self) -> list[dict[str, Any]]:
+        specs = []
+        for entry in self.config.get("markers", []):
+            if isinstance(entry, dict):
+                # Either the spec itself or {name: spec}.
+                if "type" in entry or "latlong_value" in entry:
+                    specs.append(entry)
+                else:
+                    for value in entry.values():
+                        if isinstance(value, dict):
+                            specs.append(value)
+        return specs
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"markers": []}, "", f"[{self.name}] no data")
+        marks = []
+        for spec in self._marker_specs():
+            latlong_col = str(spec.get("latlong_value", ""))
+            size_col = str(spec.get("markersize", ""))
+            color_col = str(spec.get("fill_color", ""))
+            tooltip_cols = [
+                str(c) for c in (spec.get("tooltip_text") or [])
+            ]
+            for row in table.rows():
+                marks.append(
+                    {
+                        "latlong": row.get(latlong_col),
+                        "size": _as_float(row.get(size_col)) or 1.0,
+                        "color": row.get(color_col),
+                        "tooltip": {c: row.get(c) for c in tooltip_cols},
+                    }
+                )
+        sizes = _scale(
+            [math.sqrt(max(m["size"], 0.0)) for m in marks], 4, 24
+        )
+        circles = []
+        for mark, radius in zip(marks, sizes):
+            x, y = _project_latlong(mark["latlong"])
+            title = ", ".join(
+                f"{k}={v}" for k, v in mark["tooltip"].items()
+            )
+            circles.append(
+                f'<circle cx="{x:.0f}" cy="{y:.0f}" r="{radius:.0f}" '
+                f'fill="{escape(mark["color"] or "#4c78a8")}" '
+                f'opacity="0.7"><title>{escape(title)}</title></circle>'
+            )
+        html = (
+            f'<svg class="map-marker" width="{_SVG_WIDTH}" '
+            f'height="{_SVG_HEIGHT}" data-country='
+            f'"{escape(self.config.get("country", ""))}">'
+            f'{"".join(circles)}</svg>'
+        )
+        text = f"[{self.name}] {len(marks)} markers"
+        return self._view({"markers": marks}, html, text)
+
+
+def _project_latlong(value: Any) -> tuple[float, float]:
+    """Equirectangular projection of a 'lat,long' value into the SVG."""
+    if isinstance(value, str) and "," in value:
+        try:
+            lat, lon = (float(p) for p in value.split(",", 1))
+        except ValueError:
+            return (_SVG_WIDTH / 2, _SVG_HEIGHT / 2)
+    elif isinstance(value, (list, tuple)) and len(value) == 2:
+        lat, lon = float(value[0]), float(value[1])
+    else:
+        return (_SVG_WIDTH / 2, _SVG_HEIGHT / 2)
+    x = (lon + 180.0) / 360.0 * _SVG_WIDTH
+    y = (90.0 - lat) / 180.0 * _SVG_HEIGHT
+    return (x, y)
+
+
+class HtmlWidget(Widget):
+    """Raw HTML section bound to a (usually single-row) data object."""
+
+    type_name = "HTML"
+    data_attributes = ()
+
+    def render(self, table: Table | None) -> WidgetView:
+        tag = str(self.config.get("tag", "section"))
+        if table is None or table.num_rows == 0:
+            body = ""
+            text = f"[{self.name}] (empty)"
+        else:
+            row = table.row(0)
+            body = "".join(
+                f'<div class="field"><b>{escape(k)}</b>: '
+                f"{escape(v)}</div>"
+                for k, v in row.items()
+            )
+            text = f"[{self.name}] " + ", ".join(
+                f"{k}={v}" for k, v in row.items()
+            )
+        html = f'<{tag} class="html-widget">{body}</{tag}>'
+        return self._view(
+            {"row": table.row(0) if table and table.num_rows else {}},
+            html,
+            text,
+        )
+
+
+class DataGrid(Widget):
+    """Tabular grid of the source rows (also the data explorer's view)."""
+
+    type_name = "DataGrid"
+    data_attributes = ()
+
+    def render(self, table: Table | None) -> WidgetView:
+        if table is None:
+            return self._view({"rows": []}, "", f"[{self.name}] no data")
+        limit = int(self.config.get("page_size", 50))
+        head = table.head(limit)
+        header = "".join(
+            f"<th>{escape(n)}</th>" for n in head.schema.names
+        )
+        body = "".join(
+            "<tr>"
+            + "".join(f"<td>{escape(v)}</td>" for v in row)
+            + "</tr>"
+            for row in head.row_tuples()
+        )
+        html = (
+            f'<table class="data-grid"><thead><tr>{header}</tr></thead>'
+            f"<tbody>{body}</tbody></table>"
+        )
+        text = (
+            f"[{self.name}] {table.num_rows} rows x "
+            f"{table.num_columns} cols"
+        )
+        return self._view(
+            {"rows": head.to_records(), "total_rows": table.num_rows},
+            html,
+            text,
+        )
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "yes", "1")
+    return bool(value)

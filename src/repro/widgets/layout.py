@@ -1,0 +1,168 @@
+"""Layout widgets and the 12-column grid renderer (paper §3.6).
+
+Two widget types support composition: ``Layout`` (a nested grid, used by
+Appendix A.2's ``teamtweetstab`` etc.) and ``TabLayout`` (named tabs).
+:class:`GridRenderer` renders the dashboard's ``L`` section — and nested
+layouts — into HTML and text given the views of the leaf widgets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.data import Table
+from repro.dsl.ast_nodes import LayoutCell, LayoutSpec
+from repro.errors import LayoutError
+from repro.widgets.base import Widget, WidgetView, escape
+
+#: resolves a widget name to its rendered view
+ViewResolver = Callable[[str], WidgetView]
+
+
+def _cells_from_config(rows: Any) -> list[list[LayoutCell]]:
+    """Parse a sub-layout's ``rows`` config into layout cells."""
+    parsed: list[list[LayoutCell]] = []
+    for row in rows or []:
+        if not isinstance(row, list):
+            raise LayoutError(f"sub-layout row must be a list, got {row!r}")
+        cells = []
+        for cell in row:
+            if not isinstance(cell, Mapping) or len(cell) != 1:
+                raise LayoutError(
+                    f"sub-layout cell must be one span entry, got {cell!r}"
+                )
+            (span_key, widget), = cell.items()
+            span = str(span_key).lower().replace("span", "")
+            widget_name = str(widget)
+            if widget_name.startswith("W."):
+                widget_name = widget_name[2:]
+            try:
+                cells.append(LayoutCell(span=int(span), widget=widget_name))
+            except ValueError:
+                raise LayoutError(
+                    f"bad span key {span_key!r} in sub-layout"
+                ) from None
+        parsed.append(cells)
+    return parsed
+
+
+class LayoutWidget(Widget):
+    """``type: Layout`` — a nested grid of other widgets."""
+
+    type_name = "Layout"
+    data_attributes = ()
+
+    def _validate_config(self) -> None:
+        self.cells = _cells_from_config(self.config.get("rows"))
+        if not self.cells:
+            raise LayoutError(f"layout widget {self.name!r} has no rows")
+
+    def child_names(self) -> list[str]:
+        return [cell.widget for row in self.cells for cell in row]
+
+    def render(self, table: Table | None) -> WidgetView:
+        # Children are rendered by the grid renderer; standalone render
+        # yields a placeholder frame.
+        return self._view(
+            {"children": self.child_names()},
+            f'<div class="sub-layout" data-widget="{escape(self.name)}">'
+            f"</div>",
+            f"[{self.name}] layout({', '.join(self.child_names())})",
+        )
+
+    def render_composite(self, resolve: ViewResolver) -> WidgetView:
+        renderer = GridRenderer()
+        spec = LayoutSpec(description="", rows=self.cells)
+        html, text = renderer.render_rows(spec, resolve)
+        return self._view({"children": self.child_names()}, html, text)
+
+
+class TabLayout(Widget):
+    """``type: TabLayout`` — named tabs, each holding a widget."""
+
+    type_name = "TabLayout"
+    data_attributes = ()
+
+    def _validate_config(self) -> None:
+        tabs = self.config.get("tabs")
+        if not isinstance(tabs, list) or not tabs:
+            raise LayoutError(
+                f"tab layout {self.name!r} needs a 'tabs' list"
+            )
+        self.tabs: list[tuple[str, str]] = []
+        for tab in tabs:
+            if not isinstance(tab, Mapping):
+                raise LayoutError(f"bad tab entry {tab!r}")
+            title = str(tab.get("name", f"tab{len(self.tabs)}"))
+            body = str(tab.get("body", ""))
+            if body.startswith("W."):
+                body = body[2:]
+            if not body:
+                raise LayoutError(
+                    f"tab {title!r} in {self.name!r} has no body widget"
+                )
+            self.tabs.append((title, body))
+
+    def child_names(self) -> list[str]:
+        return [body for _title, body in self.tabs]
+
+    def render(self, table: Table | None) -> WidgetView:
+        return self._view(
+            {"tabs": [t for t, _b in self.tabs]},
+            f'<div class="tab-layout" data-widget="{escape(self.name)}">'
+            f"</div>",
+            f"[{self.name}] tabs({', '.join(t for t, _b in self.tabs)})",
+        )
+
+    def render_composite(self, resolve: ViewResolver) -> WidgetView:
+        headers = "".join(
+            f'<li class="tab">{escape(title)}</li>'
+            for title, _body in self.tabs
+        )
+        bodies = "".join(
+            f'<div class="tab-body" data-tab="{escape(title)}">'
+            f"{resolve(body).html}</div>"
+            for title, body in self.tabs
+        )
+        html = (
+            f'<div class="tab-layout"><ul class="tab-bar">{headers}</ul>'
+            f"{bodies}</div>"
+        )
+        text_parts = [f"[{self.name}] tabs:"]
+        for title, body in self.tabs:
+            text_parts.append(f"  <{title}> {resolve(body).text}")
+        return self._view(
+            {"tabs": [t for t, _b in self.tabs]},
+            html,
+            "\n".join(text_parts),
+        )
+
+
+class GridRenderer:
+    """Renders a :class:`LayoutSpec` into the 12-column grid."""
+
+    def render_rows(
+        self, layout: LayoutSpec, resolve: ViewResolver
+    ) -> tuple[str, str]:
+        """Returns ``(html, text)`` for the grid."""
+        html_rows = []
+        text_rows = []
+        for row in layout.rows:
+            cells_html = []
+            cells_text = []
+            for cell in row:
+                view = resolve(cell.widget)
+                width_pct = round(cell.span / 12 * 100, 2)
+                cells_html.append(
+                    f'<div class="cell span{cell.span}" '
+                    f'style="width:{width_pct}%">{view.html}</div>'
+                )
+                cells_text.append(f"({cell.span}/12) {view.text}")
+            html_rows.append(
+                f'<div class="row">{"".join(cells_html)}</div>'
+            )
+            text_rows.append(" | ".join(cells_text))
+        html = (
+            f'<div class="dashboard-grid">{"".join(html_rows)}</div>'
+        )
+        return html, "\n".join(text_rows)

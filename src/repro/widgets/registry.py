@@ -1,0 +1,93 @@
+"""Widget registry (extension services, paper §4.2, "Widgets").
+
+Maps flow-file ``type:`` values (case-insensitive) to widget classes.
+"Commercial and open source widgets can easily be made part of the
+platform by implementing this interface" — :meth:`WidgetRegistry.register`
+is that interface; registered widgets are indistinguishable from
+built-ins (the Apache dashboard's weight-slider panel is exactly such a
+custom widget, §3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ExtensionError, WidgetError
+from repro.widgets.base import Widget
+from repro.widgets.charts import (
+    BarChart,
+    BubbleChart,
+    DataGrid,
+    HtmlWidget,
+    LineChart,
+    ListWidget,
+    MapMarker,
+    PieChart,
+    Slider,
+    Streamgraph,
+    WordCloud,
+)
+from repro.widgets.layout import LayoutWidget, TabLayout
+
+_BUILTIN_WIDGETS: list[type[Widget]] = [
+    BubbleChart,
+    WordCloud,
+    Streamgraph,
+    LineChart,
+    BarChart,
+    PieChart,
+    Slider,
+    ListWidget,
+    MapMarker,
+    HtmlWidget,
+    DataGrid,
+    LayoutWidget,
+    TabLayout,
+]
+
+
+class WidgetRegistry:
+    """Widget ``type`` → class lookup with extension registration."""
+
+    def __init__(self, include_builtins: bool = True):
+        self._types: dict[str, type[Widget]] = {}
+        if include_builtins:
+            for cls in _BUILTIN_WIDGETS:
+                self.register(cls)
+
+    def register(self, cls: type[Widget], replace: bool = False) -> None:
+        if not cls.type_name:
+            raise ExtensionError(
+                f"widget class {cls.__name__} has no type_name"
+            )
+        key = cls.type_name.lower()
+        if key in self._types and not replace:
+            raise ExtensionError(
+                f"widget type {cls.type_name!r} already registered"
+            )
+        self._types[key] = cls
+
+    def type_names(self) -> list[str]:
+        return sorted(self._types)
+
+    def __contains__(self, type_name: object) -> bool:
+        return (
+            isinstance(type_name, str)
+            and type_name.lower() in self._types
+        )
+
+    def create(
+        self, name: str, type_name: str, config: Mapping[str, Any]
+    ) -> Widget:
+        cls = self._types.get(type_name.lower())
+        if cls is None:
+            raise WidgetError(
+                f"widget {name!r}: unknown type {type_name!r}; "
+                f"known: {self.type_names()}"
+            )
+        return cls(name, config)
+
+
+def default_widget_registry() -> WidgetRegistry:
+    """A registry with all built-in widget types."""
+    return WidgetRegistry(include_builtins=True)

@@ -1,0 +1,23 @@
+"""Synthetic workload generators.
+
+The paper's dashboards run on data we cannot ship (Gnip's IPL tweet
+archive, Apache project telemetry).  These generators produce
+deterministic synthetic equivalents with the same schemas and payload
+shapes, so the exact flow files from the paper's figures and appendices
+run unchanged (see DESIGN.md's substitution table).
+"""
+
+from repro.workloads import apache, ipl
+from repro.workloads.flowfiles import (
+    APACHE_FLOW,
+    IPL_CONSUMPTION_FLOW,
+    IPL_PROCESSING_FLOW,
+)
+
+__all__ = [
+    "apache",
+    "ipl",
+    "APACHE_FLOW",
+    "IPL_PROCESSING_FLOW",
+    "IPL_CONSUMPTION_FLOW",
+]

@@ -1,0 +1,141 @@
+"""Synthetic Apache open-source project workload (paper §3, Figs. 3–16).
+
+The Apache activity dashboard computes a weighted project-activity index
+from check-ins, bug issues, contributors and releases, with a
+StackOverflow traffic feed on the side.  These generators produce the
+four raw feeds with realistic skew (big projects dominate) so the
+dashboard's relative comparisons are meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data import Schema, Table
+
+#: (project, technology category, relative activity weight)
+PROJECTS: list[tuple[str, str, float]] = [
+    ("hadoop", "big data", 3.0),
+    ("spark", "big data", 2.8),
+    ("pig", "big data", 1.4),
+    ("hive", "big data", 2.0),
+    ("hbase", "big data", 1.8),
+    ("kafka", "streaming", 2.4),
+    ("storm", "streaming", 1.2),
+    ("flume", "streaming", 0.8),
+    ("cassandra", "database", 2.2),
+    ("couchdb", "database", 0.9),
+    ("derby", "database", 0.5),
+    ("lucene", "search", 1.9),
+    ("solr", "search", 1.6),
+    ("tomcat", "web", 2.1),
+    ("httpd", "web", 1.7),
+    ("struts", "web", 0.7),
+    ("maven", "build", 1.5),
+    ("ant", "build", 0.6),
+    ("camel", "integration", 1.3),
+    ("activemq", "integration", 1.0),
+]
+
+YEARS = (2010, 2011, 2012, 2013, 2014)
+
+
+def svn_jira_summary_table(seed: int = 11) -> Table:
+    """Per-project-per-year check-in / bug / email counts (Fig. 8)."""
+    rng = random.Random(seed)
+    schema = Schema.of(
+        "project", "year", "noOfBugs", "noOfCheckins", "noOfEmailsTotal"
+    )
+    rows = []
+    for project, _category, weight in PROJECTS:
+        for year in YEARS:
+            growth = 1.0 + 0.15 * (year - YEARS[0])
+            base = weight * growth
+            rows.append(
+                {
+                    "project": project,
+                    "year": year,
+                    "noOfBugs": int(base * rng.uniform(40, 90)),
+                    "noOfCheckins": int(base * rng.uniform(300, 700)),
+                    "noOfEmailsTotal": int(base * rng.uniform(800, 1500)),
+                }
+            )
+    return Table.from_rows(schema, rows)
+
+
+def stack_summary_table(seed: int = 12) -> Table:
+    """StackOverflow traffic per project (Figs. 4, 5)."""
+    rng = random.Random(seed)
+    schema = Schema.of("project", "question", "answer", "tags")
+    rows = []
+    for project, category, weight in PROJECTS:
+        questions = int(weight * rng.uniform(500, 1200))
+        rows.append(
+            {
+                "project": project,
+                "question": questions,
+                "answer": int(questions * rng.uniform(0.55, 0.95)),
+                "tags": f"{project},{category}",
+            }
+        )
+    return Table.from_rows(schema, rows)
+
+
+def releases_table(seed: int = 13) -> Table:
+    """Release history per project."""
+    rng = random.Random(seed)
+    schema = Schema.of("project", "year", "version", "release_date")
+    rows = []
+    for project, _category, weight in PROJECTS:
+        for year in YEARS:
+            for minor in range(max(1, int(weight * rng.uniform(0.8, 2.2)))):
+                rows.append(
+                    {
+                        "project": project,
+                        "year": year,
+                        "version": f"{year - 2009}.{minor}",
+                        "release_date": (
+                            f"{year}-{rng.randint(1, 12):02d}-"
+                            f"{rng.randint(1, 28):02d}"
+                        ),
+                    }
+                )
+    return Table.from_rows(schema, rows)
+
+
+def contributors_table(seed: int = 14) -> Table:
+    """Contributor counts per project-year."""
+    rng = random.Random(seed)
+    schema = Schema.of("project", "year", "noOfContributors")
+    rows = []
+    for project, _category, weight in PROJECTS:
+        for year in YEARS:
+            rows.append(
+                {
+                    "project": project,
+                    "year": year,
+                    "noOfContributors": int(weight * rng.uniform(15, 60)),
+                }
+            )
+    return Table.from_rows(schema, rows)
+
+
+def project_categories_table() -> Table:
+    """Project → technology category dimension (the bubble legend)."""
+    schema = Schema.of("project", "technology")
+    rows = [
+        {"project": project, "technology": category}
+        for project, category, _weight in PROJECTS
+    ]
+    return Table.from_rows(schema, rows)
+
+
+def all_tables(seed: int = 11) -> dict[str, Table]:
+    """Every raw feed keyed by its flow-file data-object name."""
+    return {
+        "svn_jira_summary": svn_jira_summary_table(seed),
+        "stack_summary": stack_summary_table(seed + 1),
+        "releases": releases_table(seed + 2),
+        "contributors": contributors_table(seed + 3),
+        "project_categories": project_categories_table(),
+    }

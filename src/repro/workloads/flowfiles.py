@@ -1,0 +1,502 @@
+'''Canonical flow files for the paper's two dashboards.
+
+``APACHE_FLOW`` is the Apache open-source project analysis dashboard of
+§3 (Figs. 3–16); ``IPL_PROCESSING_FLOW`` and ``IPL_CONSUMPTION_FLOW`` are
+the tweet-analysis flow-file group of §3.7 and Appendix A, reproduced
+nearly verbatim (one fix: the appendix projects a ``state`` column out of
+``players_tweets``, which that object never has — we drop that line).
+
+Examples, tests and benchmarks all run these texts through the real
+parser, so they double as end-to-end fixtures for the DSL.
+'''
+
+APACHE_FLOW = """
+# Apache Open Source Project Analysis (paper figs. 3-16)
+D:
+    svn_jira_summary: [project, year, noOfBugs, noOfCheckins, noOfEmailsTotal]
+    releases: [project, year, version, release_date]
+    contributors: [project, year, noOfContributors]
+    project_categories: [project, technology]
+    checkin_jira_emails: [project, year, total_checkins, total_jira, total_emails]
+    release_counts: [project, year, total_releases]
+    project_activity: [project, year, total_checkins, total_jira,
+        total_emails, total_releases, noOfContributors, technology, total_wt]
+
+F:
+    D.checkin_jira_emails: D.svn_jira_summary | T.get_svn_jira_count
+    D.release_counts: D.releases | T.count_releases
+    D.activity_joined: (D.checkin_jira_emails, D.release_counts)
+        | T.join_releases
+    D.activity_contrib: (D.activity_joined, D.contributors)
+        | T.join_contributors
+    D.project_activity: (D.activity_contrib, D.project_categories)
+        | T.join_category | T.compute_activity
+    D.project_activity:
+        endpoint: true
+        publish: project_chatter
+
+T:
+    get_svn_jira_count:
+        type: groupby
+        groupby: [project, year]
+        aggregates:
+            - operator: sum
+              apply_on: noOfCheckins
+              out_field: total_checkins
+            - operator: sum
+              apply_on: noOfBugs
+              out_field: total_jira
+            - operator: sum
+              apply_on: noOfEmailsTotal
+              out_field: total_emails
+    count_releases:
+        type: groupby
+        groupby: [project, year]
+        aggregates:
+            - operator: count
+              out_field: total_releases
+    join_releases:
+        type: join
+        left: checkin_jira_emails by project, year
+        right: release_counts by project, year
+        join_condition: left outer
+    join_contributors:
+        type: join
+        left: activity_joined by project, year
+        right: contributors by project, year
+        join_condition: left outer
+    join_category:
+        type: join
+        left: activity_contrib by project
+        right: project_categories by project
+        join_condition: left outer
+    compute_activity:
+        type: add_column
+        expression: 0.35 * total_checkins + 0.25 * total_jira + 0.2 * coalesce(total_releases, 0) * 50 + 0.2 * coalesce(noOfContributors, 0) * 10
+        output: total_wt
+    filter_by_year:
+        type: filter_by
+        filter_by: [year]
+        filter_source: W.year_slider
+    filter_projects:
+        type: filter_by
+        filter_by: [project]
+        filter_source: W.project_category_bubble
+        filter_val: [text]
+    aggregate_project_bubbles:
+        type: groupby
+        groupby: [project, technology]
+        aggregates:
+            - operator: sum
+              apply_on: total_wt
+              out_field: total_wt
+    aggregate_details:
+        type: groupby
+        groupby: [project]
+        aggregates:
+            - operator: sum
+              apply_on: total_checkins
+              out_field: total_checkins
+            - operator: sum
+              apply_on: total_jira
+              out_field: total_jira
+            - operator: sum
+              apply_on: total_emails
+              out_field: total_emails
+            - operator: sum
+              apply_on: total_releases
+              out_field: total_releases
+
+W:
+    year_slider:
+        type: Slider
+        source: [2010, 2014]
+        static: true
+        range: true
+        slider_type: year
+    project_category_bubble:
+        type: BubbleChart
+        source: D.project_activity | T.filter_by_year
+            | T.aggregate_project_bubbles
+        text: project
+        size: total_wt
+        legend_text: technology
+        default_selection: true
+        default_selection_key: text
+        default_selection_value: 'pig'
+        legend:
+            show_legends: true
+    project_details:
+        type: HTML
+        tag: section
+        source: D.project_activity | T.filter_by_year
+            | T.filter_projects | T.aggregate_details
+    project_grid:
+        type: DataGrid
+        source: D.project_activity | T.filter_by_year
+        page_size: 25
+
+L:
+    description: Apache Project Analysis
+    rows:
+    - [span12: W.year_slider]
+    - [span5: W.project_category_bubble, span7: W.project_details]
+    - [span12: W.project_grid]
+"""
+
+
+IPL_PROCESSING_FLOW = """
+# IPL tweet analysis - data processing dashboard (paper Appendix A.1)
+D:
+    ipltweets: [
+        postedTime => created_at,
+        body => text,
+        displayName => user.location
+    ]
+    players_tweets: [date, player, count]
+    teams_tweets: [date, team, count]
+    dim_teams: [
+        team_number, team, team_fullName,
+        sort_order, color, noOfTweets
+    ]
+    team_players: [player, team_fullName, team, player_id, noOfTweets]
+    lat_long: [state, point_one, point_two, point_three]
+    player_tweets: [player, team, date, player_id, team_fullName, noOfTweets]
+    team_tweets: [sort_order, date, color, team, team_fullName, noOfTweets]
+    tm_rgn_raw_cnt: [date, team, state, count]
+    tm_rgn_tm_dtls: [sort_order, noOfTweets, color, state, team, date, team_fullName]
+    team_region_tweets: [
+        point_one, point_two, point_three, state,
+        team_fullName, team, color, sort_order, date, noOfTweets
+    ]
+    tagcloud_tweets_raw: [date, word, count]
+    tagcloud_tweets: [date, word, count]
+
+D.ipltweets:
+    source: ipl_tweets.json
+    format: json
+
+F:
+    D.players_tweets: D.ipltweets |
+        T.players_pipeline |
+        T.players_count
+    D.player_tweets: (
+        D.players_tweets,
+        D.team_players
+    ) | T.join_player_team
+    D.teams_tweets: D.ipltweets |
+        T.teams_pipeline |
+        T.teams_count
+    D.team_tweets: (
+        D.teams_tweets,
+        D.dim_teams
+    ) | T.join_dim_teams
+    D.tm_rgn_raw_cnt: D.ipltweets |
+        T.teams_pipeline_region |
+        T.teams_regions_count
+    D.tm_rgn_tm_dtls: (
+        D.tm_rgn_raw_cnt,
+        D.dim_teams
+    ) | T.join_dim_teams_two
+    D.team_region_tweets: (
+        D.tm_rgn_tm_dtls,
+        D.lat_long
+    ) | T.join_lat_long
+    D.tagcloud_tweets_raw: D.ipltweets |
+        T.word_date_extraction |
+        T.words_count
+    D.tagcloud_tweets: D.tagcloud_tweets_raw |
+        T.topwords
+
+    D.players_tweets:
+        endpoint: true
+        publish: players_tweets
+    D.player_tweets:
+        endpoint: true
+        publish: player_tweets
+    D.team_tweets:
+        endpoint: true
+        publish: team_tweets
+    D.team_region_tweets:
+        endpoint: true
+        publish: team_region_tweets
+    D.tagcloud_tweets:
+        endpoint: true
+        publish: tagcloud_tweets
+    D.dim_teams:
+        endpoint: true
+        publish: dim_teams
+
+T:
+    players_pipeline:
+        parallel: [
+            T.norm_ipldate,
+            T.extract_players
+        ]
+    teams_pipeline:
+        parallel: [
+            T.norm_ipldate,
+            T.extract_teams
+        ]
+    teams_pipeline_region:
+        parallel: [
+            T.norm_ipldate,
+            T.extract_location,
+            T.extract_teams
+        ]
+    word_date_extraction:
+        parallel: [
+            T.norm_ipldate,
+            T.extract_words
+        ]
+    norm_ipldate:
+        type: map
+        operator: date
+        transform: postedTime
+        input_format: 'E MMM dd HH:mm:ss Z yyyy'
+        output_format: yyyy-MM-dd
+        output: date
+    extract_players:
+        type: map
+        operator: extract
+        transform: body
+        dict: players.txt
+        output: player
+    extract_teams:
+        type: map
+        operator: extract
+        transform: body
+        dict: teams.csv
+        output: team
+    extract_location:
+        type: map
+        operator: extract_location
+        transform: displayName
+        match: city
+        country: IND
+        output: state
+    extract_words:
+        type: map
+        operator: extract_words
+        transform: body
+        output: word
+    join_player_team:
+        type: join
+        left: players_tweets by player
+        right: team_players by player
+        join_condition: left outer
+        project:
+            players_tweets_date: date
+            players_tweets_player: player
+            players_tweets_count: noOfTweets
+            team_players_team: team
+            team_players_team_fullName: team_fullName
+            team_players_player_id: player_id
+    join_dim_teams:
+        type: join
+        left: teams_tweets by team
+        right: dim_teams by team_fullName
+        join_condition: left outer
+        project:
+            teams_tweets_date: date
+            teams_tweets_team: team_fullName
+            teams_tweets_count: noOfTweets
+            dim_teams_team: team
+            dim_teams_sort_order: sort_order
+            dim_teams_color: color
+    join_dim_teams_two:
+        type: join
+        left: tm_rgn_raw_cnt by team
+        right: dim_teams by team_fullName
+        join_condition: left outer
+        project:
+            tm_rgn_raw_cnt_date: date
+            tm_rgn_raw_cnt_team: team_fullName
+            tm_rgn_raw_cnt_state: state
+            tm_rgn_raw_cnt_count: noOfTweets
+            dim_teams_team: team
+            dim_teams_sort_order: sort_order
+            dim_teams_color: color
+    join_lat_long:
+        type: join
+        left: tm_rgn_tm_dtls by state
+        right: lat_long by state
+        join_condition: LEFT OUTER
+        project:
+            tm_rgn_tm_dtls_team_fullName: team_fullName
+            tm_rgn_tm_dtls_state: state
+            tm_rgn_tm_dtls_date: date
+            tm_rgn_tm_dtls_noOfTweets: noOfTweets
+            tm_rgn_tm_dtls_team: team
+            tm_rgn_tm_dtls_sort_order: sort_order
+            tm_rgn_tm_dtls_color: color
+            lat_long_point_one: point_one
+            lat_long_point_two: point_two
+            lat_long_point_three: point_three
+    players_count:
+        type: groupby
+        groupby: [date, player]
+    teams_count:
+        type: groupby
+        groupby: [date, team]
+    teams_regions_count:
+        type: groupby
+        groupby: [date, team, state]
+    words_count:
+        type: groupby
+        groupby: [date, word]
+    topwords:
+        type: topn
+        groupby: [date]
+        orderby_column: [count DESC]
+        limit: 20
+"""
+
+
+IPL_CONSUMPTION_FLOW = """
+# IPL tweet analysis - consumption dashboard (paper Appendix A.2)
+# All data objects used by widgets here were published (with identical
+# names) and end-pointed by the processing dashboard.
+L:
+    description: Clash of Titans
+    rows:
+    - [span12: W.teams]
+    - [span11: W.ipl_duration]
+    - [span11: W.relativeteamtweets]
+    - [span6: W.word_team_player_tweets, span5: W.regiontweets]
+
+W:
+    ipl_duration:
+        type: Slider
+        source: ['2013-05-02', '2013-05-27']
+        static: true
+        range: true
+        slider_type: date
+    relativeteamtweets:
+        type: Streamgraph
+        source: D.team_tweets |
+            T.filter_by_date |
+            T.filter_by_team
+        x: date
+        y: noOfTweets
+        color: color
+        serie: team
+        xAxis:
+            type: 'datetime'
+        yAxis:
+            allowDecimals: false
+            min: 0
+            max: 25000
+    teams:
+        type: List
+        source: D.dim_teams
+        text: team
+        image_position: right
+    playertweets:
+        type: WordCloud
+        source: D.player_tweets |
+            T.drop_unknown_players |
+            T.filter_by_date |
+            T.filter_by_team |
+            T.aggregate_by_player
+        text: player
+        size: noOfTweets
+        show_tooltip: true
+        tooltip_text: [player, noOfTweets]
+    teamtweets:
+        type: WordCloud
+        source: D.team_tweets |
+            T.filter_by_date |
+            T.aggregate_by_team
+        text: team
+        size: noOfTweets
+        show_tooltip: true
+        tooltip_text: [team, noOfTweets]
+    wordtweets:
+        type: WordCloud
+        source: D.tagcloud_tweets |
+            T.filter_by_date |
+            T.aggregate_by_word
+        text: word
+        size: count
+        show_tooltip: true
+        tooltip_text: [word, count]
+    regiontweets:
+        type: MapMarker
+        source: D.team_region_tweets |
+            T.filter_by_date |
+            T.filter_by_team |
+            T.aggregate_by_team_region
+        country: IND
+        markers:
+        - marker1:
+            type: circle_marker
+            latlong_value: point_one
+            markersize: noOfTweets
+            fill_color: color
+            tooltip_text: [state, team, noOfTweets]
+    teamtweetstab:
+        type: Layout
+        rows:
+        - [span11: W.teamtweets]
+    playertweetstab:
+        type: Layout
+        rows:
+        - [span11: W.playertweets]
+    wordtweetstab:
+        type: Layout
+        rows:
+        - [span11: W.wordtweets]
+    word_team_player_tweets:
+        type: TabLayout
+        tabs:
+        - name: 'Player'
+          body: W.playertweetstab
+        - name: 'Word'
+          body: W.wordtweetstab
+        - name: 'Team'
+          body: W.teamtweetstab
+
+T:
+    drop_unknown_players:
+        type: filter_by
+        filter_expression: not isnull(player)
+    aggregate_by_player:
+        type: groupby
+        groupby: [player]
+        aggregates:
+            - operator: sum
+              apply_on: noOfTweets
+              out_field: noOfTweets
+    aggregate_by_team:
+        type: groupby
+        groupby: [team]
+        aggregates:
+            - operator: sum
+              apply_on: noOfTweets
+              out_field: noOfTweets
+    aggregate_by_word:
+        type: groupby
+        groupby: [word]
+        aggregates:
+            - operator: sum
+              apply_on: count
+              out_field: count
+        orderby_aggregates: true
+    filter_by_date:
+        type: filter_by
+        filter_by: [date]
+        filter_source: W.ipl_duration
+    filter_by_team:
+        type: filter_by
+        filter_by: [team]
+        filter_source: W.teams
+        filter_val: [text]
+    aggregate_by_team_region:
+        type: groupby
+        groupby: [team, point_one, state, color]
+        aggregates:
+            - operator: sum
+              apply_on: noOfTweets
+              out_field: noOfTweets
+"""

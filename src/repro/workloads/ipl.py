@@ -1,0 +1,265 @@
+"""Synthetic IPL tweet workload (paper §3.7, Appendix A).
+
+Generates Gnip-shaped tweet documents about the 2013 Indian Premier
+League: ``created_at`` timestamps in the Java date format the paper's
+``norm_ipldate`` task parses, tweet ``text`` mentioning players and
+teams (with nicknames and abbreviations, so dictionary extraction has
+real work to do), and ``user.location`` city strings for the
+``extract_location`` pipeline.  All generation is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import random
+from typing import Any
+
+from repro.data import Schema, Table
+
+#: (team key, full name, color, sort order)
+TEAMS: list[tuple[str, str, str, int]] = [
+    ("CSK", "Chennai Super Kings", "#f9cd05", 1),
+    ("MI", "Mumbai Indians", "#004ba0", 2),
+    ("RCB", "Royal Challengers Bangalore", "#d1171b", 3),
+    ("KKR", "Kolkata Knight Riders", "#3a225d", 4),
+    ("RR", "Rajasthan Royals", "#e4427d", 5),
+    ("SRH", "Sunrisers Hyderabad", "#ff822a", 6),
+    ("KXIP", "Kings XI Punjab", "#aa4545", 7),
+    ("DD", "Delhi Daredevils", "#17479e", 8),
+    ("PWI", "Pune Warriors India", "#2f9be3", 9),
+]
+
+#: team key -> informal surface forms used in tweet text
+TEAM_NICKNAMES: dict[str, list[str]] = {
+    "CSK": ["csk", "super kings", "chennai"],
+    "MI": ["mumbai indians", "mumbai"],
+    "RCB": ["rcb", "bangalore"],
+    "KKR": ["kkr", "knight riders", "kolkata"],
+    "RR": ["royals", "rajasthan"],
+    "SRH": ["sunrisers", "hyderabad"],
+    "KXIP": ["kings xi", "punjab"],
+    "DD": ["daredevils", "delhi"],
+    "PWI": ["pune warriors", "pune"],
+}
+
+#: (canonical player, team key, surface forms)
+PLAYERS: list[tuple[str, str, list[str]]] = [
+    ("MS Dhoni", "CSK", ["dhoni", "msd", "mahi"]),
+    ("Suresh Raina", "CSK", ["raina"]),
+    ("Ravindra Jadeja", "CSK", ["jadeja", "sir jadeja"]),
+    ("Rohit Sharma", "MI", ["rohit", "hitman"]),
+    ("Sachin Tendulkar", "MI", ["sachin", "tendulkar", "master blaster"]),
+    ("Kieron Pollard", "MI", ["pollard"]),
+    ("Lasith Malinga", "MI", ["malinga"]),
+    ("Virat Kohli", "RCB", ["kohli", "virat"]),
+    ("Chris Gayle", "RCB", ["gayle", "universe boss"]),
+    ("AB de Villiers", "RCB", ["abd", "de villiers"]),
+    ("Gautam Gambhir", "KKR", ["gambhir", "gauti"]),
+    ("Sunil Narine", "KKR", ["narine"]),
+    ("Shane Watson", "RR", ["watson", "watto"]),
+    ("Rahul Dravid", "RR", ["dravid", "the wall"]),
+    ("Shikhar Dhawan", "SRH", ["dhawan", "gabbar"]),
+    ("Dale Steyn", "SRH", ["steyn"]),
+    ("David Miller", "KXIP", ["miller", "killer miller"]),
+    ("Adam Gilchrist", "KXIP", ["gilchrist", "gilly"]),
+    ("Virender Sehwag", "DD", ["sehwag", "viru"]),
+    ("David Warner", "DD", ["warner"]),
+    ("Ross Taylor", "PWI", ["taylor"]),
+    ("Yuvraj Singh", "PWI", ["yuvraj", "yuvi"]),
+]
+
+#: city -> (state, "lat,long") for user locations
+CITIES: dict[str, tuple[str, str]] = {
+    "Mumbai": ("Maharashtra", "19.07,72.87"),
+    "Pune": ("Maharashtra", "18.52,73.85"),
+    "Delhi": ("Delhi", "28.61,77.20"),
+    "Kolkata": ("West Bengal", "22.57,88.36"),
+    "Chennai": ("Tamil Nadu", "13.08,80.27"),
+    "Bangalore": ("Karnataka", "12.97,77.59"),
+    "Hyderabad": ("Telangana", "17.38,78.48"),
+    "Jaipur": ("Rajasthan", "26.91,75.78"),
+    "Mohali": ("Punjab", "30.70,76.72"),
+    "Ahmedabad": ("Gujarat", "23.02,72.57"),
+    "Lucknow": ("Uttar Pradesh", "26.84,80.94"),
+    "Indore": ("Madhya Pradesh", "22.71,75.85"),
+}
+
+_TEMPLATES = [
+    "What a knock by {player}! {team} on fire tonight #ipl",
+    "{player} is in unreal form, {team} will take this",
+    "Can {team} chase this down? All eyes on {player} #ipl2013",
+    "{player} departs. Huge wicket for the bowlers! {team} wobbling",
+    "Six! {player} sends it into the stands, {team} cruising",
+    "Brilliant over. {team} pulling it back against all odds",
+    "{player} and that cover drive. Poetry. #ipl {team}",
+    "Rain delay in the {team} game, hope we get a full match",
+]
+
+SEASON_START = _dt.date(2013, 5, 2)
+SEASON_END = _dt.date(2013, 5, 27)
+
+
+def generate_tweets(
+    count: int = 2000, seed: int = 7
+) -> list[dict[str, Any]]:
+    """Generate ``count`` Gnip-shaped tweet documents."""
+    rng = random.Random(seed)
+    days = (SEASON_END - SEASON_START).days
+    city_names = list(CITIES)
+    # Skewed team popularity: earlier teams tweet more (gives the
+    # streamgraph its shape and the map its distinct winners).
+    team_weights = [len(TEAMS) - i for i in range(len(TEAMS))]
+    documents = []
+    for _ in range(count):
+        team_key, team_full, _color, _order = rng.choices(
+            TEAMS, weights=team_weights
+        )[0]
+        team_players = [p for p in PLAYERS if p[1] == team_key]
+        player, _team, surfaces = rng.choice(team_players or PLAYERS)
+        player_surface = rng.choice(surfaces + [player])
+        team_surface = rng.choice(
+            TEAM_NICKNAMES[team_key] + [team_full]
+        )
+        text = rng.choice(_TEMPLATES).format(
+            player=player_surface, team=team_surface
+        )
+        day = SEASON_START + _dt.timedelta(days=rng.randint(0, days))
+        moment = _dt.datetime(
+            day.year, day.month, day.day,
+            rng.randint(14, 23), rng.randint(0, 59), rng.randint(0, 59),
+            tzinfo=_dt.timezone.utc,
+        )
+        created_at = moment.strftime("%a %b %d %H:%M:%S %z %Y")
+        city = rng.choice(city_names)
+        # ~12% of locations are junk, exercising cleansing (§5.2 obs. 4).
+        location = (
+            rng.choice(["somewhere", "", "the moon", "cricket land"])
+            if rng.random() < 0.12
+            else f"{city}, India"
+        )
+        documents.append(
+            {
+                "created_at": created_at,
+                "text": text,
+                "user": {"location": location},
+            }
+        )
+    return documents
+
+
+def tweets_json(count: int = 2000, seed: int = 7) -> bytes:
+    """The tweet corpus as a JSON array payload."""
+    return json.dumps(generate_tweets(count, seed)).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# dictionaries (players.txt, teams.csv in the paper's listings)
+# ---------------------------------------------------------------------------
+
+
+def players_dictionary() -> dict[str, str]:
+    """Surface form → canonical player name."""
+    mapping: dict[str, str] = {}
+    for player, _team, surfaces in PLAYERS:
+        mapping[player.lower()] = player
+        for surface in surfaces:
+            mapping[surface.lower()] = player
+    return mapping
+
+
+def teams_dictionary() -> dict[str, str]:
+    """Surface form → full team name."""
+    mapping: dict[str, str] = {}
+    for key, full, _color, _order in TEAMS:
+        mapping[full.lower()] = full
+        mapping[key.lower()] = full
+        for nickname in TEAM_NICKNAMES[key]:
+            mapping[nickname.lower()] = full
+    return mapping
+
+
+def players_txt() -> bytes:
+    lines = [
+        f"{surface},{canonical}"
+        for surface, canonical in sorted(players_dictionary().items())
+    ]
+    return "\n".join(lines).encode("utf-8")
+
+
+def teams_csv() -> bytes:
+    lines = [
+        f"{surface},{canonical}"
+        for surface, canonical in sorted(teams_dictionary().items())
+    ]
+    return "\n".join(lines).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# dimension tables (Appendix A.1's dim_teams, team_players, lat_long)
+# ---------------------------------------------------------------------------
+
+
+def dim_teams_table() -> Table:
+    schema = Schema.of(
+        "team_number", "team", "team_fullName", "sort_order", "color",
+        "noOfTweets",
+    )
+    rows = [
+        {
+            "team_number": order,
+            "team": key,
+            "team_fullName": full,
+            "sort_order": order,
+            "color": color,
+            "noOfTweets": 0,
+        }
+        for key, full, color, order in TEAMS
+    ]
+    return Table.from_rows(schema, rows)
+
+
+def team_players_table() -> Table:
+    schema = Schema.of(
+        "player", "team_fullName", "team", "player_id", "noOfTweets"
+    )
+    full_by_key = {key: full for key, full, _c, _o in TEAMS}
+    rows = [
+        {
+            "player": player,
+            "team_fullName": full_by_key[team_key],
+            "team": team_key,
+            "player_id": i + 1,
+            "noOfTweets": 0,
+        }
+        for i, (player, team_key, _surfaces) in enumerate(PLAYERS)
+    ]
+    return Table.from_rows(schema, rows)
+
+
+def lat_long_table() -> Table:
+    schema = Schema.of("state", "point_one", "point_two", "point_three")
+    by_state: dict[str, list[str]] = {}
+    for _city, (state, point) in CITIES.items():
+        by_state.setdefault(state, []).append(point)
+    rows = []
+    for state, points in sorted(by_state.items()):
+        padded = (points + [points[0]] * 3)[:3]
+        rows.append(
+            {
+                "state": state,
+                "point_one": padded[0],
+                "point_two": padded[1],
+                "point_three": padded[2],
+            }
+        )
+    return Table.from_rows(schema, rows)
+
+
+def dictionaries() -> dict[str, dict[str, str]]:
+    """Both dictionaries keyed by the filenames the flow files use."""
+    return {
+        "players.txt": players_dictionary(),
+        "teams.csv": teams_dictionary(),
+    }

@@ -1,0 +1,61 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.tasks.base import TaskContext
+from repro.tasks.registry import default_task_registry
+
+
+@pytest.fixture
+def ratings_table() -> Table:
+    """A small product-ratings fact table used across task tests."""
+    return Table.from_rows(
+        Schema.of("product", "region", "rating", "units"),
+        [
+            ("alpha", "north", 4, 120),
+            ("alpha", "south", 5, 80),
+            ("beta", "north", 1, 15),
+            ("beta", "south", 3, 60),
+            ("gamma", "north", 5, 200),
+            ("gamma", "east", 2, 40),
+            ("alpha", "east", 4, 90),
+        ],
+    )
+
+
+@pytest.fixture
+def dirty_table() -> Table:
+    """Rows with None cells, as real feed data has."""
+    return Table.from_rows(
+        Schema.of("key", "value"),
+        [
+            ("a", 1),
+            ("b", None),
+            (None, 3),
+            ("a", 4),
+            ("c", None),
+        ],
+    )
+
+
+@pytest.fixture
+def context() -> TaskContext:
+    return TaskContext()
+
+
+@pytest.fixture
+def registry():
+    return default_task_registry()
+
+
+@pytest.fixture
+def make_task(registry):
+    """Factory: build a task from (name, config)."""
+
+    def factory(name: str, config: dict):
+        return registry.create(name, config)
+
+    return factory

@@ -1,0 +1,132 @@
+"""Integration: the full Apache project dashboard (paper §3, Figs. 3-16)."""
+
+import pytest
+
+from repro import Platform
+from repro.workloads import APACHE_FLOW, apache
+
+
+@pytest.fixture(scope="module")
+def platform_and_dashboard():
+    platform = Platform()
+    dashboard = platform.create_dashboard(
+        "apache", APACHE_FLOW, inline_tables=apache.all_tables()
+    )
+    platform.run_dashboard("apache")
+    return platform, dashboard
+
+
+class TestFlows:
+    def test_activity_index_computed_for_all_projects_years(
+        self, platform_and_dashboard
+    ):
+        _platform, dashboard = platform_and_dashboard
+        activity = dashboard.materialized("project_activity")
+        assert activity.num_rows == len(apache.PROJECTS) * len(apache.YEARS)
+        assert "total_wt" in activity.schema
+        assert all(v > 0 for v in activity.column("total_wt"))
+
+    def test_aggregation_matches_raw_feed(self, platform_and_dashboard):
+        _platform, dashboard = platform_and_dashboard
+        raw = apache.svn_jira_summary_table()
+        expected = sum(
+            row["noOfCheckins"]
+            for row in raw.rows()
+            if row["project"] == "hadoop" and row["year"] == 2012
+        )
+        activity = dashboard.materialized("project_activity")
+        actual = [
+            row["total_checkins"]
+            for row in activity.rows()
+            if row["project"] == "hadoop" and row["year"] == 2012
+        ]
+        assert actual == [expected]
+
+    def test_endpoint_and_publish(self, platform_and_dashboard):
+        platform, dashboard = platform_and_dashboard
+        assert dashboard.endpoint_names() == ["project_activity"]
+        assert "project_chatter" in platform.catalog
+
+    def test_technology_category_joined(self, platform_and_dashboard):
+        _platform, dashboard = platform_and_dashboard
+        activity = dashboard.materialized("project_activity")
+        technologies = set(activity.column("technology"))
+        assert "big data" in technologies
+        assert None not in technologies
+
+
+class TestInteraction:
+    def test_default_selection_is_pig(self, platform_and_dashboard):
+        """Fig. 12 default-selects the pig bubble."""
+        _platform, dashboard = platform_and_dashboard
+        view = dashboard.widget_view("project_details")
+        assert "pig" in view.text
+
+    def test_bubble_click_updates_details(self, platform_and_dashboard):
+        """Fig. 13: project selection updates project details."""
+        _platform, dashboard = platform_and_dashboard
+        dashboard.select("project_category_bubble", values=["spark"])
+        view = dashboard.widget_view("project_details")
+        assert "spark" in view.text
+        dashboard.select("project_category_bubble", values=["pig"])
+
+    def test_year_slider_filters_all_widgets(self, platform_and_dashboard):
+        _platform, dashboard = platform_and_dashboard
+        full = dashboard.widget_view("project_grid").payload["total_rows"]
+        dashboard.select("year_slider", value_range=(2014, 2014))
+        narrowed = dashboard.widget_view("project_grid").payload[
+            "total_rows"
+        ]
+        assert narrowed == len(apache.PROJECTS)
+        assert narrowed < full
+        dashboard.select("year_slider", value_range=(2010, 2014))
+
+    def test_bubble_aggregates_over_selected_years(
+        self, platform_and_dashboard
+    ):
+        _platform, dashboard = platform_and_dashboard
+        dashboard.select("year_slider", value_range=(2010, 2010))
+        bubbles_2010 = dashboard.widget_view(
+            "project_category_bubble"
+        ).payload["bubbles"]
+        dashboard.select("year_slider", value_range=(2010, 2014))
+        bubbles_all = dashboard.widget_view(
+            "project_category_bubble"
+        ).payload["bubbles"]
+        size = lambda bubbles: {b["text"]: b["size"] for b in bubbles}
+        assert size(bubbles_2010)["hadoop"] < size(bubbles_all)["hadoop"]
+
+
+class TestRendering:
+    def test_full_dashboard_renders(self, platform_and_dashboard):
+        _platform, dashboard = platform_and_dashboard
+        view = dashboard.render()
+        assert "Apache Project Analysis" in view.html
+        assert "svg" in view.html
+        assert "project_category_bubble" in view.widget_views
+
+    def test_layout_grid_spans(self, platform_and_dashboard):
+        _platform, dashboard = platform_and_dashboard
+        html = dashboard.render().html
+        assert "span5" in html and "span7" in html
+
+
+class TestEngines:
+    def test_distributed_engine_agrees(self, platform_and_dashboard):
+        platform, dashboard = platform_and_dashboard
+        local = dashboard.materialized("project_activity")
+        report = dashboard.run_flows(engine="distributed")
+        assert report.engine == "distributed"
+        assert report.shuffled_records > 0
+        dist = dashboard.materialized("project_activity")
+        key = lambda t: sorted(map(repr, t.to_records()))
+        assert key(dist) == key(local)
+
+    def test_codegen_artifacts(self, platform_and_dashboard):
+        from repro import generate_cube_spec, generate_pig_script
+
+        _platform, dashboard = platform_and_dashboard
+        script = generate_pig_script(dashboard.compiled)
+        assert "JOIN" in script and "GROUP" in script
+        spec = generate_cube_spec(dashboard.compiled)
+        assert "project_category_bubble" in spec

@@ -1,0 +1,95 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are documentation that executes; these tests keep them honest.
+Output is captured (the examples print a lot by design).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    yield
+    for name in list(sys.modules):
+        if name in (
+            "quickstart",
+            "apache_dashboard",
+            "ipl_tweets",
+            "data_profiling",
+            "cli_workflow",
+            "hackathon_replay",
+            "rest_api",
+        ):
+            del sys.modules[name]
+
+
+def test_quickstart(capsys):
+    import quickstart
+
+    quickstart.main()
+    out = capsys.readouterr().out
+    assert "region_summary" in out
+    assert "total_units" in out
+
+
+def test_apache_dashboard(capsys, tmp_path, monkeypatch):
+    import apache_dashboard
+
+    monkeypatch.setattr(apache_dashboard, "OUTPUT", tmp_path)
+    apache_dashboard.main()
+    out = capsys.readouterr().out
+    assert "spark" in out
+    assert (tmp_path / "apache_dashboard.html").exists()
+
+
+def test_ipl_tweets(capsys, tmp_path, monkeypatch):
+    import ipl_tweets
+
+    monkeypatch.setattr(ipl_tweets, "OUTPUT", tmp_path)
+    ipl_tweets.main()
+    out = capsys.readouterr().out
+    assert "Clash of Titans" in out
+    assert (tmp_path / "ipl_dashboard.html").exists()
+
+
+def test_data_profiling(capsys):
+    import data_profiling
+
+    data_profiling.main()
+    out = capsys.readouterr().out
+    assert "meta-dashboard" in out
+    assert "pin-pointed" in out
+    assert "bottleneck" in out
+
+
+def test_cli_workflow(capsys):
+    import cli_workflow
+
+    cli_workflow.main_example()
+    out = capsys.readouterr().out
+    assert "exit 0" in out
+    assert "exit 1" in out  # the broken edit fails validation
+
+
+def test_hackathon_replay_small(capsys):
+    import hackathon_replay
+
+    hackathon_replay.main(4)
+    out = capsys.readouterr().out
+    assert "Fig. 31a" in out
+    assert "Fig. 35" in out
+
+
+def test_rest_api(capsys):
+    import rest_api
+
+    rest_api.main()
+    out = capsys.readouterr().out
+    assert "category_counts" in out
+    assert "server stopped" in out

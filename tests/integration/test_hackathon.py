@@ -1,0 +1,174 @@
+"""Integration: the Race2Insights simulation and figure regeneration."""
+
+import pytest
+
+from repro.hackathon import (
+    HACKATHON_DATASETS,
+    analysis,
+    effort,
+    run_hackathon,
+)
+from repro.hackathon.builder import (
+    MAX_COMPLEXITY,
+    build_flow_file,
+    build_sample_flow_file,
+)
+from repro.workloads import APACHE_FLOW
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_hackathon(num_teams=12, seed=7)
+
+
+class TestDatasets:
+    def test_seven_datasets(self):
+        assert len(HACKATHON_DATASETS) == 7
+
+    def test_each_has_fact_and_measures(self):
+        for dataset in HACKATHON_DATASETS:
+            tables = dataset.tables(seed=1)
+            fact = tables[dataset.fact_table]
+            assert fact.num_rows > 0
+            for dim in dataset.dimensions:
+                assert dim in fact.schema
+            for measure in dataset.measures:
+                assert measure in fact.schema
+
+    def test_generation_deterministic(self):
+        d = HACKATHON_DATASETS[0]
+        assert (
+            d.tables(5)[d.fact_table].to_records()
+            == d.tables(5)[d.fact_table].to_records()
+        )
+
+    def test_different_seed_different_data(self):
+        d = HACKATHON_DATASETS[0]
+        assert (
+            d.tables(1)[d.fact_table].to_records()
+            != d.tables(2)[d.fact_table].to_records()
+        )
+
+
+class TestBuilder:
+    def test_every_complexity_level_is_valid(self):
+        import random
+
+        from repro.dsl import parse_flow_file, validate_flow_file
+
+        rng = random.Random(0)
+        for dataset in HACKATHON_DATASETS:
+            for complexity in range(MAX_COMPLEXITY + 1):
+                text = build_flow_file(dataset, complexity, rng)
+                result = validate_flow_file(parse_flow_file(text))
+                assert result.ok, (dataset.name, complexity, result.errors)
+
+    def test_complexity_grows_file_size(self):
+        import random
+
+        dataset = HACKATHON_DATASETS[0]
+        rng = random.Random(0)
+        sizes = [
+            len(build_flow_file(dataset, c, rng))
+            for c in range(MAX_COMPLEXITY + 1)
+        ]
+        assert sizes[-1] > sizes[0]
+
+    def test_sample_is_low_complexity(self):
+        sample = build_sample_flow_file(HACKATHON_DATASETS[0])
+        assert "quality_filter" in sample
+        assert "join" not in sample
+
+
+class TestSimulation:
+    def test_all_teams_compete(self, result):
+        assert len(result.teams) == 12
+        assert all(t.competition_runs > 0 for t in result.teams)
+        assert all(t.fork_size_bytes > 0 for t in result.teams)
+
+    def test_finalists_and_winners_selected(self, result):
+        assert len(result.finalists) == 7
+        assert len(result.winners) == 3
+        assert all(w.is_finalist for w in result.winners)
+
+    def test_deterministic_for_seed(self):
+        a = run_hackathon(num_teams=4, seed=99)
+        b = run_hackathon(num_teams=4, seed=99)
+        assert [t.score for t in a.teams] == [t.score for t in b.teams]
+        assert [t.practice_runs for t in a.teams] == [
+            t.practice_runs for t in b.teams
+        ]
+
+    def test_custom_task_teams_exist(self, result):
+        """§5.2 obs. 2: some strong teams upload custom tasks."""
+        assert any(t.used_custom_task for t in result.teams)
+
+    def test_telemetry_has_all_event_kinds(self, result):
+        kinds = {e.kind for e in result.platform.events}
+        assert {"create", "fork", "save", "run", "error"} <= kinds
+
+
+class TestFigures:
+    def test_fig31_groupby_and_filter_dominate(self, result):
+        """Paper shape: core relational operators are the most used."""
+        usage = analysis.fig31_operator_usage(result)
+        ranked = list(usage)
+        assert ranked[0] == "groupby"
+        assert "filter_by" in ranked[:3]
+
+    def test_fig31_core_widgets_dominate(self, result):
+        usage = analysis.fig31_widget_usage(result)
+        assert list(usage)[0] == "Bar"
+
+    def test_fig32_practice_correlates_with_competition(self, result):
+        """Paper shape: practice matters."""
+        corr = analysis.fig32_correlation(result)
+        assert corr["pearson_practice_vs_competition_runs"] > 0.4
+        assert corr["pearson_practice_vs_score"] > 0.2
+
+    def test_fig32_finalists_practice_more(self, result):
+        corr = analysis.fig32_correlation(result)
+        assert corr["finalist_practice_advantage"] > 1.0
+
+    def test_fig35_no_team_starts_from_zero(self, result):
+        """Paper shape: every team forks a non-trivial starting file."""
+        sizes = analysis.fig35_fork_sizes(result)
+        assert all(size > 300 for size in sizes.values())
+
+    def test_fig35_telemetry_agrees_with_team_records(self, result):
+        assert analysis.fig35_from_telemetry(result) == (
+            analysis.fig35_fork_sizes(result)
+        )
+
+    def test_error_telemetry_present(self, result):
+        errors = analysis.error_counts(result)
+        assert sum(errors.values()) > 0
+
+    def test_ascii_renderings_nonempty(self, result):
+        chart = analysis.ascii_bar_chart(
+            analysis.fig31_operator_usage(result), "ops"
+        )
+        assert "groupby" in chart
+        scatter = analysis.ascii_scatter(
+            analysis.fig32_practice_series(result)
+        )
+        assert "practice runs" in scatter
+
+
+class TestEffortClaim:
+    def test_weeks_to_hours_shape(self):
+        """Paper claim: weeks of multi-stack work become hours."""
+        est = effort.estimate_effort(APACHE_FLOW, "apache")
+        assert est.flow_file_hours < 8  # "in under six hours"
+        assert est.baseline_weeks > 2  # "four to six weeks"
+        assert est.speedup > 10
+
+    def test_more_complex_file_costs_more_everywhere(self):
+        simple = effort.estimate_effort(
+            "D:\n    a: [x]\n"
+            "F:\n    D.o: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        rich = effort.estimate_effort(APACHE_FLOW)
+        assert rich.baseline_loc > simple.baseline_loc
+        assert rich.flow_file_lines > simple.flow_file_lines

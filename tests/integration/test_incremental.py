@@ -1,0 +1,155 @@
+"""Integration: incremental recomputation across dashboard saves."""
+
+import pytest
+
+from repro import Platform
+from repro.data import Schema, Table
+
+FLOW = (
+    "D:\n    raw: [k, v]\n"
+    "D.raw:\n    source: raw.csv\n"
+    "F:\n"
+    "    D.cleaned: D.raw | T.clean\n"
+    "    D.summary: D.cleaned | T.agg\n"
+    "    D.summary:\n        endpoint: true\n"
+    "    D.ranking: D.summary | T.top\n"
+    "    D.ranking:\n        endpoint: true\n"
+    "T:\n"
+    "    clean:\n"
+    "        type: filter_by\n"
+    "        filter_expression: not isnull(v)\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: total\n"
+    "    top:\n"
+    "        type: topn\n"
+    "        orderby_column: [total DESC]\n"
+    "        limit: 2\n"
+)
+
+
+@pytest.fixture
+def platform():
+    platform = Platform()
+    platform.create_dashboard(
+        "d",
+        FLOW,
+        inline_tables={
+            "raw": Table.from_rows(
+                Schema.of("k", "v"),
+                [("a", 1), ("b", 5), ("a", 3), ("c", None)],
+            )
+        },
+    )
+    platform.run_dashboard("d")
+    return platform
+
+
+class TestFingerprints:
+    def test_identical_saves_share_all_fingerprints(self, platform):
+        from repro.compiler.compiler import flow_fingerprints
+
+        before = flow_fingerprints(platform.get_dashboard("d").compiled)
+        platform.save_dashboard("d", FLOW)
+        after = flow_fingerprints(platform.get_dashboard("d").compiled)
+        assert before == after
+
+    def test_task_edit_changes_downstream_only(self, platform):
+        from repro.compiler.compiler import flow_fingerprints
+
+        before = flow_fingerprints(platform.get_dashboard("d").compiled)
+        platform.save_dashboard("d", FLOW.replace("limit: 2", "limit: 3"))
+        after = flow_fingerprints(platform.get_dashboard("d").compiled)
+        assert after["cleaned"] == before["cleaned"]
+        assert after["summary"] == before["summary"]
+        assert after["ranking"] != before["ranking"]
+
+    def test_upstream_edit_invalidates_everything_below(self, platform):
+        from repro.compiler.compiler import flow_fingerprints
+
+        before = flow_fingerprints(platform.get_dashboard("d").compiled)
+        platform.save_dashboard(
+            "d", FLOW.replace("not isnull(v)", "v > 0")
+        )
+        after = flow_fingerprints(platform.get_dashboard("d").compiled)
+        assert after["cleaned"] != before["cleaned"]
+        assert after["summary"] != before["summary"]
+        assert after["ranking"] != before["ranking"]
+
+
+class TestIncrementalRuns:
+    def test_no_op_save_skips_every_flow(self, platform):
+        platform.save_dashboard("d", FLOW)
+        dashboard = platform.get_dashboard("d")
+        report = dashboard.run_flows(incremental=True)
+        assert sorted(report.flows_skipped) == [
+            "cleaned", "ranking", "summary"
+        ]
+        assert report.rows_produced == 0
+        # Endpoints still serve the adopted data.
+        assert dashboard.endpoint("summary").num_rows == 2
+
+    def test_downstream_edit_reruns_only_stale(self, platform):
+        platform.save_dashboard("d", FLOW.replace("limit: 2", "limit: 1"))
+        dashboard = platform.get_dashboard("d")
+        report = dashboard.run_flows(incremental=True)
+        assert sorted(report.flows_skipped) == ["cleaned", "summary"]
+        assert dashboard.materialized("ranking").num_rows == 1
+
+    def test_incremental_equals_full_run(self, platform):
+        edited = FLOW.replace("limit: 2", "limit: 1")
+        platform.save_dashboard("d", edited)
+        dashboard = platform.get_dashboard("d")
+        dashboard.run_flows(incremental=True)
+        incremental = {
+            name: dashboard.materialized(name).to_records()
+            for name in ("cleaned", "summary", "ranking")
+        }
+        # Fresh platform, full run on the edited file.
+        fresh = Platform()
+        fresh.create_dashboard(
+            "d",
+            edited,
+            inline_tables={
+                "raw": Table.from_rows(
+                    Schema.of("k", "v"),
+                    [("a", 1), ("b", 5), ("a", 3), ("c", None)],
+                )
+            },
+        )
+        fresh.run_dashboard("d")
+        full = {
+            name: fresh.get_dashboard("d").materialized(name).to_records()
+            for name in ("cleaned", "summary", "ranking")
+        }
+        assert incremental == full
+
+    def test_upstream_edit_reruns_everything(self, platform):
+        platform.save_dashboard(
+            "d", FLOW.replace("not isnull(v)", "v > 1")
+        )
+        dashboard = platform.get_dashboard("d")
+        report = dashboard.run_flows(incremental=True)
+        assert report.flows_skipped == []
+        assert dashboard.materialized("summary").to_records() == [
+            {"k": "b", "total": 5}, {"k": "a", "total": 3}
+        ]
+
+    def test_full_run_ignores_freshness(self, platform):
+        platform.save_dashboard("d", FLOW)
+        dashboard = platform.get_dashboard("d")
+        report = dashboard.run_flows()  # incremental not requested
+        assert report.flows_skipped == []
+        assert report.rows_produced > 0
+
+    def test_save_telemetry_records_adoption(self, platform):
+        platform.save_dashboard("d", FLOW)
+        event = platform.events[-1]
+        assert event.kind == "save"
+        assert sorted(event.detail["adopted"]) == [
+            "cleaned", "ranking", "summary"
+        ]

@@ -1,0 +1,188 @@
+"""Integration: the IPL flow-file group (paper §3.7, Appendix A)."""
+
+import pytest
+
+from repro import Platform
+from repro.dsl import parse_flow_file
+from repro.formats import JsonFormat
+from repro.workloads import (
+    IPL_CONSUMPTION_FLOW,
+    IPL_PROCESSING_FLOW,
+    ipl,
+)
+
+TWEET_COUNT = 800
+
+
+@pytest.fixture(scope="module")
+def group():
+    platform = Platform()
+    schema = parse_flow_file(IPL_PROCESSING_FLOW).data["ipltweets"].schema
+    tweets = JsonFormat().decode(
+        ipl.tweets_json(count=TWEET_COUNT, seed=7), schema
+    )
+    processing = platform.create_dashboard(
+        "ipl_processing",
+        IPL_PROCESSING_FLOW,
+        inline_tables={
+            "ipltweets": tweets,
+            "dim_teams": ipl.dim_teams_table(),
+            "team_players": ipl.team_players_table(),
+            "lat_long": ipl.lat_long_table(),
+        },
+        dictionaries=ipl.dictionaries(),
+    )
+    platform.run_dashboard("ipl_processing")
+    consumption = platform.create_dashboard(
+        "clash_of_titans", IPL_CONSUMPTION_FLOW
+    )
+    consumption.run_flows()
+    return platform, processing, consumption
+
+
+class TestProcessing:
+    def test_all_shared_objects_published(self, group):
+        platform, _p, _c = group
+        assert platform.catalog.names() == [
+            "dim_teams",
+            "player_tweets",
+            "players_tweets",
+            "tagcloud_tweets",
+            "team_region_tweets",
+            "team_tweets",
+        ]
+
+    def test_date_normalization(self, group):
+        _platform, processing, _c = group
+        dates = processing.materialized("players_tweets").column("date")
+        assert all(
+            d is None or (len(d) == 10 and d.startswith("2013-05-"))
+            for d in dates
+        )
+
+    def test_player_counts_conserve_tweets(self, group):
+        """Every tweet mentioning a known player is counted exactly once."""
+        _platform, processing, _c = group
+        players_tweets = processing.materialized("players_tweets")
+        known = {
+            r["player"]: r
+            for r in players_tweets.rows()
+            if r["player"] is not None
+        }
+        assert known  # extraction found players
+        total = sum(
+            r["count"]
+            for r in players_tweets.rows()
+            if r["player"] is not None
+        )
+        assert 0 < total <= TWEET_COUNT
+
+    def test_join_attaches_team_details(self, group):
+        _platform, processing, _c = group
+        player_tweets = processing.materialized("player_tweets")
+        rows = [
+            r for r in player_tweets.rows() if r["player"] == "MS Dhoni"
+        ]
+        assert rows
+        assert all(r["team"] == "CSK" for r in rows)
+
+    def test_team_tweets_carry_dim_attributes(self, group):
+        _platform, processing, _c = group
+        team_tweets = processing.materialized("team_tweets")
+        assert set(team_tweets.schema.names) == {
+            "sort_order", "date", "color", "team", "team_fullName",
+            "noOfTweets",
+        }
+        csk = [r for r in team_tweets.rows() if r["team"] == "CSK"]
+        assert csk and all(r["color"] == "#f9cd05" for r in csk)
+
+    def test_region_pipeline_resolves_states(self, group):
+        _platform, processing, _c = group
+        regions = processing.materialized("team_region_tweets")
+        states = {r["state"] for r in regions.rows()} - {None}
+        assert "Maharashtra" in states
+        with_points = [
+            r for r in regions.rows() if r["point_one"] is not None
+        ]
+        assert with_points
+
+    def test_topn_word_limit_per_date(self, group):
+        """topwords keeps at most 20 words per date (Appendix A.1)."""
+        _platform, processing, _c = group
+        tagcloud = processing.materialized("tagcloud_tweets")
+        per_date: dict = {}
+        for row in tagcloud.rows():
+            per_date[row["date"]] = per_date.get(row["date"], 0) + 1
+        assert per_date
+        assert max(per_date.values()) <= 20
+
+    def test_processing_mode_detected(self, group):
+        _platform, processing, _c = group
+        assert processing.flow_file.is_data_processing_only
+
+
+class TestConsumption:
+    def test_consumption_mode_detected(self, group):
+        _platform, _p, consumption = group
+        assert consumption.flow_file.is_consumption_only
+
+    def test_widgets_bind_to_shared_objects(self, group):
+        _platform, _p, consumption = group
+        view = consumption.widget_view("relativeteamtweets")
+        assert view.payload["series"]
+
+    def test_team_selection_filters_streamgraph(self, group):
+        _platform, _p, consumption = group
+        consumption.select("teams", values=["CSK"])
+        view = consumption.widget_view("relativeteamtweets")
+        assert set(view.payload["series"]) == {"CSK"}
+        consumption.select("teams", values=None)  # clear
+
+    def test_date_slider_filters_wordcloud(self, group):
+        _platform, _p, consumption = group
+        full = consumption.widget_view("wordtweets").payload["words"]
+        consumption.select(
+            "ipl_duration", value_range=("2013-05-10", "2013-05-12")
+        )
+        narrowed = consumption.widget_view("wordtweets").payload["words"]
+        assert sum(w["size"] for w in narrowed) < sum(
+            w["size"] for w in full
+        )
+        consumption.select(
+            "ipl_duration", value_range=("2013-05-02", "2013-05-27")
+        )
+
+    def test_tab_layout_renders_all_tabs(self, group):
+        _platform, _p, consumption = group
+        view = consumption.widget_view("word_team_player_tweets")
+        assert view.payload["tabs"] == ["Player", "Word", "Team"]
+        assert "Player" in view.text
+
+    def test_map_markers_have_colors_and_tooltips(self, group):
+        _platform, _p, consumption = group
+        markers = consumption.widget_view("regiontweets").payload[
+            "markers"
+        ]
+        assert markers
+        assert all(m["color"] for m in markers)
+        assert all("state" in m["tooltip"] for m in markers)
+
+    def test_full_render(self, group):
+        _platform, _p, consumption = group
+        view = consumption.render()
+        assert "Clash of Titans" in view.html
+
+    def test_catalog_resolutions_counted(self, group):
+        platform, _p, _c = group
+        entries = {e.name: e for e in platform.catalog.entries()}
+        assert entries["team_tweets"].resolutions >= 1
+
+
+class TestSharingAblation:
+    def test_consumers_reuse_without_reprocessing(self, group):
+        """§4.5.3: consumption dashboards trigger no long-running flows."""
+        platform, _p, consumption = group
+        report = consumption.last_run
+        assert report.rows_produced == 0  # no flows executed
+        # Yet its widgets are fully functional:
+        assert consumption.widget_view("teamtweets").payload["words"]

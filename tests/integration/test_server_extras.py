@@ -1,0 +1,204 @@
+"""Integration: the §6-tooling and interaction REST routes."""
+
+import io
+import json
+
+import pytest
+
+from repro import Platform
+from repro.data import Schema, Table
+from repro.server import ShareInsightsApp
+
+FLOW = (
+    "D:\n    raw: [k, v]\n    out: [k, total]\n"
+    "F:\n    D.out: D.raw | T.agg\n"
+    "    D.out:\n        endpoint: true\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: total\n"
+    "    pick:\n"
+    "        type: filter_by\n"
+    "        filter_by: [k]\n"
+    "        filter_source: W.picker\n"
+    "        filter_val: [text]\n"
+    "W:\n"
+    "    picker:\n"
+    "        type: List\n"
+    "        source: D.out\n"
+    "        text: k\n"
+    "    chart:\n"
+    "        type: Bar\n"
+    "        source: D.out | T.pick\n"
+    "        x: k\n"
+    "        y: total\n"
+    "L:\n    rows:\n    - [span4: W.picker, span8: W.chart]\n"
+)
+
+
+@pytest.fixture
+def client():
+    platform = Platform()
+    app = ShareInsightsApp(platform)
+    platform.create_dashboard(
+        "d",
+        FLOW,
+        inline_tables={
+            "raw": Table.from_rows(
+                Schema.of("k", "v"),
+                [("a", 1), ("b", 2), ("a", 3), (None, 9)],
+            )
+        },
+    )
+    platform.run_dashboard("d")
+
+    def call(method, path, body=b"", query=""):
+        holder = {}
+
+        def start_response(status, headers):
+            holder["status"] = status
+
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "CONTENT_LENGTH": str(len(body)),
+            "wsgi.input": io.BytesIO(body),
+        }
+        payload = b"".join(app(environ, start_response))
+        return holder["status"], payload
+
+    call.platform = platform
+    return call
+
+
+class TestWidgetRoutes:
+    def test_widget_view_payload(self, client):
+        status, body = client("GET", "/dashboards/d/widgets/chart")
+        assert status == "200 OK"
+        payload = json.loads(body)
+        assert payload["type"] == "Bar"
+        assert {b["x"]: b["y"] for b in payload["payload"]["bars"]} == {
+            "a": 4.0, "b": 2.0, None: 9.0
+        }
+
+    def test_select_values_filters_dependents(self, client):
+        body = json.dumps({"values": ["a"]}).encode()
+        status, _resp = client(
+            "POST", "/dashboards/d/select/picker", body
+        )
+        assert status == "200 OK"
+        _status, chart = client("GET", "/dashboards/d/widgets/chart")
+        bars = json.loads(chart)["payload"]["bars"]
+        assert [b["x"] for b in bars] == ["a"]
+
+    def test_select_range(self, client):
+        body = json.dumps(
+            {"column": "text", "range": ["a", "b"]}
+        ).encode()
+        status, _resp = client(
+            "POST", "/dashboards/d/select/picker", body
+        )
+        assert status == "200 OK"
+
+    def test_clear_selection_with_empty_body(self, client):
+        client(
+            "POST", "/dashboards/d/select/picker",
+            json.dumps({"values": ["a"]}).encode(),
+        )
+        client("POST", "/dashboards/d/select/picker", b"")
+        _status, chart = client("GET", "/dashboards/d/widgets/chart")
+        assert len(json.loads(chart)["payload"]["bars"]) == 3
+
+    def test_bad_selection_body_400(self, client):
+        status, _resp = client(
+            "POST", "/dashboards/d/select/picker", b"{not json"
+        )
+        assert status.startswith("400")
+
+    def test_bad_range_shape_400(self, client):
+        status, _resp = client(
+            "POST",
+            "/dashboards/d/select/picker",
+            json.dumps({"range": [1, 2, 3]}).encode(),
+        )
+        assert status.startswith("400")
+
+    def test_select_telemetry(self, client):
+        client(
+            "POST", "/dashboards/d/select/picker",
+            json.dumps({"values": ["a"]}).encode(),
+        )
+        assert any(
+            e.kind == "select" for e in client.platform.events
+        )
+
+
+class TestTooling:
+    def test_diagnose_route_pinpoints(self, client):
+        bad = FLOW.replace("groupby: [k]", "groupby: [zz]")
+        status, body = client(
+            "POST", "/dashboards/editor/diagnose", bad.encode()
+        )
+        assert status == "200 OK"
+        payload = json.loads(body)
+        assert payload["ok"] is False
+        diagnostic = payload["diagnostics"][0]
+        assert diagnostic["line"] is not None
+        assert "zz" in diagnostic["message"]
+
+    def test_diagnose_route_valid_file(self, client):
+        status, body = client(
+            "POST", "/dashboards/editor/diagnose", FLOW.encode()
+        )
+        assert json.loads(body)["ok"] is True
+
+    def test_profile_route(self, client):
+        status, body = client("GET", "/dashboards/d/profile")
+        assert status == "200 OK"
+        profiles = json.loads(body)["profiles"]
+        assert "out" in profiles
+        columns = {p["column"] for p in profiles["out"]}
+        assert columns == {"k", "total"}
+
+    def test_profile_route_single_dataset(self, client):
+        _status, body = client(
+            "GET", "/dashboards/d/profile", query="ds=out"
+        )
+        assert list(json.loads(body)["profiles"]) == ["out"]
+
+    def test_bottlenecks_route(self, client):
+        status, body = client("GET", "/dashboards/d/bottlenecks")
+        assert status == "200 OK"
+        assert b"engine" in body
+
+
+class TestHistory:
+    def test_history_route_lists_commits(self, client):
+        client("POST", "/dashboards/d/save", FLOW.encode())
+        status, body = client("GET", "/dashboards/d/history")
+        assert status == "200 OK"
+        commits = json.loads(body)["commits"]
+        assert len(commits) == 2  # create + save
+        assert commits[0]["message"] == "save d"
+        assert commits[-1]["message"] == "create d"
+
+    def test_history_unknown_dashboard_422(self, client):
+        status, _body = client("GET", "/dashboards/ghost/history")
+        assert status.startswith("422")
+
+
+class TestStylesheet:
+    def test_uploaded_css_embedded_in_render(self, client):
+        from repro.extensions import ExtensionServices
+
+        services = ExtensionServices(client.platform)
+        services.upload(
+            "d", "styles", "theme.css", b".bar-chart rect {fill: teal}"
+        )
+        _status, body = client("GET", "/dashboards/d/render")
+        assert b"fill: teal" in body

@@ -1,0 +1,113 @@
+"""Integration: the hackathon team dashboards shown in the paper.
+
+Figs. 33 ("Service Desk Ticket Analysis") and 34 ("'Branderstanding'")
+are screenshots of dashboards real teams built during Race2Insights.
+The builder generates dashboards of exactly those two domains; at full
+complexity (with the custom prediction task of §5.2 obs. 2) they carry
+the features the figures show: multiple charts, interaction, a custom
+task's output.
+"""
+
+import random
+
+import pytest
+
+from repro import Platform
+from repro.extensions import ExtensionServices
+from repro.hackathon.builder import MAX_COMPLEXITY, build_flow_file
+from repro.hackathon.datasets import dataset_by_name
+from repro.hackathon.simulator import _CUSTOM_TASK_SOURCE
+
+
+def build_team_dashboard(dataset_name: str, use_custom_task=False):
+    dataset = dataset_by_name(dataset_name)
+    platform = Platform()
+    if use_custom_task:
+        ExtensionServices(platform).upload(
+            "team", "tasks", "predict.py",
+            _CUSTOM_TASK_SOURCE.encode("utf-8"),
+        )
+    source = build_flow_file(
+        dataset,
+        MAX_COMPLEXITY,
+        random.Random(42),
+        use_custom_task=use_custom_task,
+    )
+    platform.create_dashboard(
+        "team_dashboard", source, inline_tables=dataset.tables(seed=9)
+    )
+    platform.run_dashboard("team_dashboard")
+    return platform.get_dashboard("team_dashboard")
+
+
+class TestFig33ServiceDesk:
+    @pytest.fixture(scope="class")
+    def dashboard(self):
+        return build_team_dashboard("service_desk", use_custom_task=True)
+
+    def test_renders_with_multiple_charts(self, dashboard):
+        view = dashboard.render()
+        assert "bar-chart" in view.html
+        assert "pie-chart" in view.html
+        assert "word-cloud" in view.html
+        assert "data-grid" in view.html
+
+    def test_custom_prediction_task_output(self, dashboard):
+        """§5.2 obs. 2: 'one team wrote a task to predict resolution
+        dates of service tickets'."""
+        predicted = dashboard.materialized("predicted")
+        assert "predicted" in predicted.schema
+        rows = predicted.to_records()
+        assert all(
+            r["predicted"] == pytest.approx(
+                r["total_resolution_hours"] * 1.1 + 4, abs=0.01
+            )
+            for r in rows
+        )
+
+    def test_interaction_path_works(self, dashboard):
+        queues = dashboard.widget_view("key_picker").payload["items"]
+        dashboard.select("key_picker", values=[queues[0]])
+        bars = dashboard.widget_view("filtered_bar").payload["bars"]
+        assert [b["x"] for b in bars] == [queues[0]]
+
+    def test_sla_reference_join(self, dashboard):
+        enriched = dashboard.materialized("enriched")
+        assert "sla_hours" in enriched.schema
+        assert all(
+            v is not None for v in enriched.column("sla_hours")
+        )
+
+
+class TestFig34Branderstanding:
+    @pytest.fixture(scope="class")
+    def dashboard(self):
+        return build_team_dashboard("branderstanding")
+
+    def test_channel_breakdown_rendered(self, dashboard):
+        pie = dashboard.widget_view("share_pie").payload["wedges"]
+        labels = {w["label"] for w in pie}
+        assert labels == {
+            "twitter", "facebook", "forums", "reviews", "news"
+        }
+
+    def test_product_dimension_join(self, dashboard):
+        enriched = dashboard.materialized("enriched")
+        assert "category" in enriched.schema
+
+    def test_top_products_cloud(self, dashboard):
+        words = dashboard.widget_view("top_cloud").payload["words"]
+        assert 0 < len(words) <= 10
+
+    def test_endpoints_queryable_over_rest(self, dashboard):
+        from repro.server.query_language import parse_adhoc_query
+
+        table = dashboard.endpoint("product_summary")
+        query = parse_adhoc_query(
+            ["product_summary", "orderby", "total_reach", "desc",
+             "limit", "3"]
+        )
+        top = query.execute(table)
+        assert top.num_rows == 3
+        reaches = top.column("total_reach")
+        assert reaches == sorted(reaches, reverse=True)

@@ -1,0 +1,128 @@
+"""Property-based tests: DSL round-trips and merge laws on generated
+flow files."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collab import merge_flow_files
+from repro.dsl import parse_flow_file, serialize_flow_file
+from repro.dsl.ast_nodes import (
+    DataObject,
+    FlowFile,
+    FlowSpec,
+    LayoutCell,
+    LayoutSpec,
+    TaskSpec,
+    WidgetSpec,
+)
+from repro.dsl.pipes import PipeExpr
+from repro.data import Schema
+
+name = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+column = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+
+@st.composite
+def flow_files(draw):
+    """Generate small random-but-valid flow files."""
+    data_names = draw(
+        st.lists(name, min_size=2, max_size=5, unique=True)
+    )
+    ff = FlowFile(name="generated")
+    for data_name in data_names:
+        columns = draw(
+            st.lists(column, min_size=1, max_size=4, unique=True)
+        )
+        ff.data[data_name] = DataObject(
+            name=data_name,
+            schema=Schema.of(*columns),
+            config=draw(
+                st.one_of(
+                    st.just({}),
+                    st.just({"source": f"{data_name}.csv"}),
+                )
+            ),
+            endpoint=draw(st.booleans()),
+        )
+    task_names = draw(
+        st.lists(name, min_size=1, max_size=3, unique=True)
+    )
+    task_names = [t for t in task_names if t not in ff.data]
+    for task_name in task_names:
+        ff.tasks[task_name] = TaskSpec(
+            name=task_name,
+            config={"type": "limit", "limit": draw(st.integers(1, 99))},
+        )
+    if task_names and len(data_names) >= 2:
+        ff.flows.append(
+            FlowSpec(
+                output=data_names[0],
+                pipe=PipeExpr(
+                    inputs=(data_names[1],),
+                    tasks=tuple(task_names[:1]),
+                ),
+            )
+        )
+    widget_name = draw(name)
+    if widget_name not in ff.data and widget_name not in ff.tasks:
+        ff.widgets[widget_name] = WidgetSpec(
+            name=widget_name,
+            type_name="DataGrid",
+            source=PipeExpr(inputs=(data_names[0],)),
+            config={"page_size": draw(st.integers(1, 50))},
+        )
+        ff.layout = LayoutSpec(
+            description="generated",
+            rows=[[LayoutCell(span=12, widget=widget_name)]],
+        )
+    return ff
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_files())
+def test_serialize_parse_roundtrip(ff):
+    text = serialize_flow_file(ff)
+    parsed = parse_flow_file(text)
+    assert sorted(parsed.data) == sorted(ff.data)
+    for data_name, obj in ff.data.items():
+        parsed_obj = parsed.data[data_name]
+        assert parsed_obj.schema.names == obj.schema.names
+        assert parsed_obj.endpoint == obj.endpoint
+    assert {f.output for f in parsed.flows} == {f.output for f in ff.flows}
+    assert sorted(parsed.tasks) == sorted(ff.tasks)
+    assert {n: s.config for n, s in parsed.tasks.items()} == {
+        n: s.config for n, s in ff.tasks.items()
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(flow_files())
+def test_serialization_fixpoint(ff):
+    once = serialize_flow_file(ff)
+    twice = serialize_flow_file(parse_flow_file(once))
+    assert once == twice
+
+
+@settings(max_examples=30, deadline=None)
+@given(flow_files())
+def test_merge_identity(ff):
+    """merge(base, x, x) == x (canonically serialized)."""
+    text = serialize_flow_file(ff)
+    merged = merge_flow_files(text, text, text)
+    assert merged == serialize_flow_file(parse_flow_file(text))
+
+
+@settings(max_examples=30, deadline=None)
+@given(flow_files(), st.integers(1, 98))
+def test_merge_takes_single_side_change(ff, new_limit):
+    base = serialize_flow_file(ff)
+    if not ff.tasks:
+        return
+    task_name = next(iter(ff.tasks))
+    ours_ff = parse_flow_file(base)
+    ours_ff.tasks[task_name].config["limit"] = new_limit
+    ours = serialize_flow_file(ours_ff)
+    merged = merge_flow_files(base, ours, base)
+    assert parse_flow_file(merged).tasks[task_name].config["limit"] == (
+        new_limit
+    )

@@ -1,0 +1,94 @@
+"""Property: incremental recomputation is invisible in the results.
+
+For any edit to any stage of a pipeline, saving + running incrementally
+must produce exactly what a from-scratch run of the edited file
+produces.  This is the safety property behind
+:func:`repro.compiler.compiler.flow_fingerprints`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Platform
+from repro.data import Schema, Table
+
+
+def flow(threshold: int, operator: str, limit: int) -> str:
+    return (
+        "D:\n    raw: [k, v]\n"
+        "F:\n"
+        "    D.cleaned: D.raw | T.clean\n"
+        "    D.summary: D.cleaned | T.agg\n"
+        "    D.ranking: D.summary | T.top\n"
+        "    D.ranking:\n        endpoint: true\n"
+        "T:\n"
+        "    clean:\n"
+        "        type: filter_by\n"
+        f"        filter_expression: v >= {threshold}\n"
+        "    agg:\n"
+        "        type: groupby\n"
+        "        groupby: [k]\n"
+        "        aggregates:\n"
+        f"            - operator: {operator}\n"
+        "              apply_on: v\n"
+        "              out_field: metric\n"
+        "    top:\n"
+        "        type: topn\n"
+        "        orderby_column: [metric DESC]\n"
+        f"        limit: {limit}\n"
+    )
+
+
+RAW = Table.from_rows(
+    Schema.of("k", "v"),
+    [(f"k{i % 6}", (i * 7) % 23) for i in range(60)],
+)
+
+params = st.tuples(
+    st.integers(0, 10),                      # threshold
+    st.sampled_from(["sum", "max", "count"]),  # aggregate
+    st.integers(1, 6),                       # limit
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(params, params)
+def test_incremental_run_equals_full_run(base, edited):
+    base_flow = flow(*base)
+    edited_flow = flow(*edited)
+
+    platform = Platform()
+    platform.create_dashboard(
+        "d", base_flow, inline_tables={"raw": RAW}
+    )
+    platform.run_dashboard("d")
+    platform.save_dashboard("d", edited_flow)
+    dashboard = platform.get_dashboard("d")
+    dashboard.run_flows(incremental=True)
+    incremental = {
+        name: dashboard.materialized(name).to_records()
+        for name in ("cleaned", "summary", "ranking")
+    }
+
+    fresh = Platform()
+    fresh.create_dashboard("d", edited_flow, inline_tables={"raw": RAW})
+    fresh.run_dashboard("d")
+    full = {
+        name: fresh.get_dashboard("d").materialized(name).to_records()
+        for name in ("cleaned", "summary", "ranking")
+    }
+    assert incremental == full
+
+
+@settings(max_examples=20, deadline=None)
+@given(params)
+def test_noop_edit_skips_all_flows(p):
+    text = flow(*p)
+    platform = Platform()
+    platform.create_dashboard("d", text, inline_tables={"raw": RAW})
+    platform.run_dashboard("d")
+    platform.save_dashboard("d", text)
+    report = platform.get_dashboard("d").run_flows(incremental=True)
+    assert sorted(report.flows_skipped) == [
+        "cleaned", "ranking", "summary"
+    ]

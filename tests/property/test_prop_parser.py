@@ -1,0 +1,57 @@
+"""Fuzzing properties: the parser must never hang or crash unexpectedly.
+
+§5.2 obs. 7's users debugged by re-editing text constantly; whatever they
+type, the parser's contract is "a FlowFile or a ShareInsightsError" —
+never an arbitrary exception, never an infinite loop.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import parse_flow_file
+from repro.dsl.raw import parse_raw
+from repro.errors import ShareInsightsError
+
+# Text biased toward the DSL's special characters so the interesting
+# paths actually get hit.
+dsl_chars = st.sampled_from(
+    list("DTFWL:|#[](),=>-+ \n\t'\"abcxyz0123456789_.")
+)
+dsl_text = st.lists(dsl_chars, max_size=200).map("".join)
+
+
+@settings(max_examples=300, deadline=None)
+@given(dsl_text)
+def test_parse_raw_total(source):
+    try:
+        parse_raw(source)
+    except ShareInsightsError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(dsl_text)
+def test_parse_flow_file_total(source):
+    try:
+        parse_flow_file(source)
+    except ShareInsightsError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=120))
+def test_parse_arbitrary_unicode(source):
+    try:
+        parse_flow_file(source)
+    except ShareInsightsError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(dsl_text)
+def test_diagnose_total(source):
+    """The diagnostics entry point is total: a report, never a crash."""
+    from repro.dsl.diagnostics import diagnose
+
+    report = diagnose(source)
+    assert report.render()

@@ -1,0 +1,102 @@
+"""Property-based tests for the Table substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Schema, Table
+
+cell = st.one_of(
+    st.none(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+
+rows2 = st.lists(st.tuples(cell, cell), max_size=40)
+
+
+def make(rows):
+    return Table.from_rows(Schema.of("a", "b"), rows)
+
+
+@given(rows2)
+def test_rows_roundtrip(rows):
+    table = make(rows)
+    assert list(table.row_tuples()) == [tuple(r) for r in rows]
+
+
+@given(rows2)
+def test_take_identity(rows):
+    table = make(rows)
+    assert table.take(range(table.num_rows)) == table
+
+
+@given(rows2)
+def test_concat_length_additive(rows):
+    table = make(rows)
+    assert table.concat(table).num_rows == 2 * table.num_rows
+
+
+@given(rows2)
+def test_distinct_idempotent(rows):
+    table = make(rows)
+    once = table.distinct()
+    assert once.distinct() == once
+
+
+@given(rows2)
+def test_distinct_never_grows(rows):
+    table = make(rows)
+    assert table.distinct().num_rows <= table.num_rows
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 5)), max_size=40))
+def test_sort_is_sorted_and_permutation(rows):
+    table = make(rows)
+    sorted_table = table.sorted_by(["a"])
+    values = sorted_table.column("a")
+    assert values == sorted(values)
+    assert sorted(sorted_table.row_tuples()) == sorted(table.row_tuples())
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 100)), max_size=40))
+def test_sort_stability(rows):
+    """Equal keys keep their original relative order."""
+    table = make(rows)
+    sorted_table = table.sorted_by(["a"])
+    for key in set(table.column("a")):
+        original = [r for r in table.row_tuples() if r[0] == key]
+        after = [r for r in sorted_table.row_tuples() if r[0] == key]
+        assert original == after
+
+
+@given(rows2)
+def test_filter_partition(rows):
+    """A predicate and its negation partition the table."""
+    table = make(rows)
+    pred = lambda row: isinstance(row["a"], int) and row["a"] > 0
+    kept = table.filter_rows(pred)
+    dropped = table.filter_rows(lambda row: not pred(row))
+    assert kept.num_rows + dropped.num_rows == table.num_rows
+
+
+@given(rows2)
+def test_select_then_select_is_projection(rows):
+    table = make(rows)
+    assert table.select(["b", "a"]).select(["a"]).column("a") == (
+        table.column("a")
+    )
+
+
+@given(rows2)
+def test_rename_roundtrip(rows):
+    table = make(rows)
+    back = table.rename({"a": "x"}).rename({"x": "a"})
+    assert back == table
+
+
+@given(rows2, st.integers(0, 50))
+def test_head_bounded(rows, n):
+    table = make(rows)
+    assert make(rows).head(n).num_rows == min(n, table.num_rows)

@@ -1,0 +1,104 @@
+"""Property-based tests on task invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Schema, Table
+from repro.data.expressions import compile_expression
+from repro.errors import ExpressionError
+from repro.tasks.base import TaskContext, WidgetSelection
+from repro.tasks.filter import FilterTask
+from repro.tasks.topn import TopNTask
+
+cell = st.one_of(
+    st.none(),
+    st.integers(-100, 100),
+    st.text(max_size=6),
+    st.booleans(),
+)
+rows = st.lists(st.tuples(cell, st.integers(-100, 100)), max_size=40)
+
+
+@given(rows)
+def test_expression_filters_never_crash_on_mixed_data(data):
+    """Three-valued logic: filters survive None/mixed-type cells."""
+    table = Table.from_rows(Schema.of("a", "b"), data)
+    task = FilterTask(
+        "f", {"filter_expression": "a > 0 or contains(a, 'x')"}
+    )
+    out = task.apply([table], TaskContext())
+    assert out.num_rows <= table.num_rows
+
+
+@given(rows)
+def test_filter_output_is_subset(data):
+    table = Table.from_rows(Schema.of("a", "b"), data)
+    task = FilterTask("f", {"filter_expression": "b >= 0"})
+    out = task.apply([table], TaskContext())
+    source_rows = list(table.row_tuples())
+    for row in out.row_tuples():
+        assert row in source_rows
+
+
+@given(rows)
+def test_filter_idempotent(data):
+    table = Table.from_rows(Schema.of("a", "b"), data)
+    task = FilterTask("f", {"filter_expression": "b % 2 == 0"})
+    context = TaskContext()
+    once = task.apply([table], context)
+    twice = task.apply([once], context)
+    assert twice == once
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abc"), st.integers(-50, 50)),
+        max_size=40,
+    ),
+    st.integers(1, 5),
+)
+def test_topn_respects_limit_per_group(data, limit):
+    table = Table.from_rows(Schema.of("g", "v"), data)
+    task = TopNTask(
+        "t",
+        {"groupby": ["g"], "orderby_column": ["v DESC"], "limit": limit},
+    )
+    out = task.apply([table], TaskContext())
+    per_group: dict = {}
+    for row in out.rows():
+        per_group.setdefault(row["g"], []).append(row["v"])
+    for group, values in per_group.items():
+        assert len(values) <= limit
+        # They are the actual maxima of that group.
+        all_values = sorted(
+            (v for g, v in data if g == group), reverse=True
+        )
+        assert sorted(values, reverse=True) == all_values[: len(values)]
+
+
+@given(rows, st.lists(st.integers(-100, 100), min_size=1, max_size=5))
+def test_widget_filter_matches_membership_semantics(data, allowed):
+    table = Table.from_rows(Schema.of("a", "b"), data)
+    task = FilterTask(
+        "f",
+        {"filter_by": ["b"], "filter_source": "W.w",
+         "filter_val": ["text"]},
+    )
+    context = TaskContext(
+        widget_selections={
+            "w": WidgetSelection(values={"text": list(allowed)})
+        }
+    )
+    out = task.apply([table], context)
+    assert all(row["b"] in allowed for row in out.rows())
+    expected = sum(1 for _a, b in data if b in allowed)
+    assert out.num_rows == expected
+
+
+@given(st.text(max_size=30))
+def test_expression_compiler_never_hangs_or_segfaults(source):
+    """Arbitrary input either parses or raises ExpressionError."""
+    try:
+        compile_expression(source)
+    except ExpressionError:
+        pass

@@ -1,0 +1,233 @@
+"""Unit tests for collaboration: catalog, repository, merge."""
+
+import pytest
+
+from repro.collab import (
+    FlowFileRepository,
+    SharedDataCatalog,
+    merge_flow_files,
+)
+from repro.data import Schema, Table
+from repro.dsl import parse_flow_file
+from repro.errors import CatalogError, MergeConflictError, RepositoryError
+
+
+def t(rows=((1,),)):
+    return Table.from_rows(Schema.of("a"), list(rows))
+
+
+class TestCatalog:
+    def test_publish_and_resolve(self):
+        catalog = SharedDataCatalog()
+        catalog.publish("chatter", t(), owner="apache")
+        assert catalog.resolve("chatter").column("a") == [1]
+
+    def test_resolution_counted(self):
+        catalog = SharedDataCatalog()
+        catalog.publish("x", t(), owner="d")
+        catalog.resolve("x")
+        catalog.resolve("x")
+        assert catalog.entries()[0].resolutions == 2
+
+    def test_republish_by_owner_refreshes_data(self):
+        catalog = SharedDataCatalog()
+        catalog.publish("x", t(), owner="d")
+        catalog.resolve("x")
+        catalog.publish("x", t([(9,)]), owner="d")
+        assert catalog.resolve("x").column("a") == [9]
+        # resolution count survives the refresh
+        assert catalog.entries()[0].resolutions == 2
+
+    def test_republish_by_other_owner_conflicts(self):
+        catalog = SharedDataCatalog()
+        catalog.publish("x", t(), owner="d1")
+        with pytest.raises(CatalogError, match="already published"):
+            catalog.publish("x", t(), owner="d2")
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(CatalogError, match="no shared data object"):
+            SharedDataCatalog().resolve("ghost")
+
+    def test_schemas_for_validation(self):
+        catalog = SharedDataCatalog()
+        catalog.publish("x", t(), owner="d")
+        assert catalog.schemas() == {"x": Schema.of("a")}
+
+    def test_unpublish_owner_check(self):
+        catalog = SharedDataCatalog()
+        catalog.publish("x", t(), owner="d1")
+        with pytest.raises(CatalogError, match="belongs to"):
+            catalog.unpublish("x", owner="d2")
+        catalog.unpublish("x", owner="d1")
+        assert "x" not in catalog
+
+    def test_flow_file_group(self):
+        catalog = SharedDataCatalog()
+        catalog.publish("a", t(), owner="producer")
+        catalog.publish("b", t(), owner="producer")
+        catalog.publish("c", t(), owner="other")
+        assert catalog.flow_file_group() == {
+            "producer": ["a", "b"], "other": ["c"]
+        }
+
+
+class TestRepository:
+    def test_commit_and_read(self):
+        repo = FlowFileRepository()
+        repo.commit("d", "v1", message="init")
+        assert repo.read("d") == "v1"
+
+    def test_history_newest_first(self):
+        repo = FlowFileRepository()
+        repo.commit("d", "v1")
+        repo.commit("d", "v2")
+        history = repo.history("d")
+        assert len(history) == 2
+        assert repo.read("d", commit_id=history[1].id) == "v1"
+
+    def test_read_unknown_dashboard_raises(self):
+        with pytest.raises(RepositoryError):
+            FlowFileRepository().read("ghost")
+
+    def test_branch_and_isolated_commits(self):
+        repo = FlowFileRepository()
+        repo.commit("d", "base")
+        repo.create_branch("d", "feature")
+        repo.commit("d", "feature work", branch="feature")
+        assert repo.read("d") == "base"
+        assert repo.read("d", branch="feature") == "feature work"
+
+    def test_duplicate_branch_raises(self):
+        repo = FlowFileRepository()
+        repo.commit("d", "x")
+        repo.create_branch("d", "f")
+        with pytest.raises(RepositoryError, match="already exists"):
+            repo.create_branch("d", "f")
+
+    def test_fast_forward_merge(self):
+        repo = FlowFileRepository()
+        repo.commit("d", "D:\n    a: [x]\n")
+        repo.create_branch("d", "f")
+        repo.commit("d", "D:\n    a: [x, y]\n", branch="f")
+        commit = repo.merge("d", "f")
+        assert repo.read("d") == "D:\n    a: [x, y]\n"
+        assert commit.dashboard == "d"
+
+    def test_true_merge_combines_sections(self):
+        repo = FlowFileRepository()
+        base = (
+            "D:\n    a: [x]\n"
+            "T:\n    t1:\n        type: limit\n        limit: 1\n"
+        )
+        repo.commit("d", base)
+        repo.create_branch("d", "f")
+        # ours adds a data object; theirs adds a task
+        repo.commit("d", base + "D.b:\n    source: b.csv\n")
+        repo.commit(
+            "d",
+            base + "T:\n    t2:\n        type: limit\n        limit: 2\n",
+            branch="f",
+        )
+        repo.merge("d", "f")
+        merged = parse_flow_file(repo.read("d"))
+        assert "b" in merged.data
+        assert "t2" in merged.tasks
+
+    def test_merge_same_head_is_noop(self):
+        repo = FlowFileRepository()
+        repo.commit("d", "D:\n    a: [x]\n")
+        repo.create_branch("d", "f")
+        commit = repo.merge("d", "f")
+        assert repo.read("d") == "D:\n    a: [x]\n"
+        assert commit is repo.head("d")
+
+    def test_fork_preserves_lineage(self):
+        repo = FlowFileRepository()
+        repo.commit("sample", "D:\n    a: [x]\n")
+        repo.fork("sample", "team1_dash", author="team1")
+        assert repo.read("team1_dash") == "D:\n    a: [x]\n"
+        assert repo.fork_origin("team1_dash") == "sample"
+        assert repo.fork_origin("sample") is None
+
+    def test_fork_existing_dashboard_raises(self):
+        repo = FlowFileRepository()
+        repo.commit("a", "x")
+        repo.commit("b", "y")
+        with pytest.raises(RepositoryError):
+            repo.fork("a", "b")
+
+
+class TestMerge:
+    BASE = (
+        "D:\n    raw: [k, v]\n"
+        "F:\n    D.out: D.raw | T.agg\n"
+        "T:\n    agg:\n        type: groupby\n        groupby: [k]\n"
+    )
+
+    def test_disjoint_additions_merge(self):
+        ours = self.BASE + "D.raw:\n    source: ours.csv\n"
+        theirs = self.BASE + (
+            "T:\n    extra:\n        type: limit\n        limit: 5\n"
+        )
+        merged = parse_flow_file(
+            merge_flow_files(self.BASE, ours, theirs)
+        )
+        assert merged.data["raw"].config["source"] == "ours.csv"
+        assert "extra" in merged.tasks
+
+    def test_identical_changes_merge(self):
+        changed = self.BASE.replace("groupby: [k]", "groupby: [k, v]")
+        merged = merge_flow_files(self.BASE, changed, changed)
+        assert "groupby: [k, v]" in merged
+
+    def test_conflicting_task_edit_raises(self):
+        ours = self.BASE.replace("groupby: [k]", "groupby: [v]")
+        theirs = self.BASE.replace("groupby: [k]", "groupby: [k, v]")
+        with pytest.raises(MergeConflictError) as info:
+            merge_flow_files(self.BASE, ours, theirs)
+        assert ("T", "agg") in info.value.conflicts
+
+    def test_delete_vs_keep_is_clean(self):
+        theirs = (
+            "D:\n    raw: [k, v]\n"
+            "F:\n    D.out: D.raw | T.agg\n"
+            "T:\n    agg:\n        type: groupby\n        groupby: [k]\n"
+        )
+        # ours deletes nothing; theirs unchanged: same file merges fine
+        merged = merge_flow_files(self.BASE, self.BASE, theirs)
+        assert "agg" in merged
+
+    def test_delete_vs_edit_conflicts(self):
+        ours = (  # deletes the task
+            "D:\n    raw: [k, v]\n"
+            "F:\n    D.out: D.raw | T.other\n"
+            "T:\n    other:\n        type: limit\n        limit: 1\n"
+        )
+        theirs = self.BASE.replace("groupby: [k]", "groupby: [k, v]")
+        with pytest.raises(MergeConflictError):
+            merge_flow_files(self.BASE, ours, theirs)
+
+    def test_flow_conflict_detected(self):
+        ours = self.BASE.replace("D.raw | T.agg", "D.raw | T.agg | T.agg")
+        theirs = self.BASE.replace("D.out: D.raw", "D.out2: D.raw").replace(
+            "D.out:", "D.out2:"
+        )
+        # ours edits the flow, theirs renames it (delete + add): conflict
+        with pytest.raises(MergeConflictError):
+            merge_flow_files(self.BASE, ours, theirs)
+
+    def test_layout_one_side_change_taken(self):
+        base = self.BASE + (
+            "W:\n    w:\n        type: Bar\n        source: D.out\n"
+            "        x: k\n        y: count\n"
+            "L:\n    rows:\n    - [span12: W.w]\n"
+        )
+        ours = base.replace("span12", "span6")
+        merged = merge_flow_files(base, ours, base)
+        assert "span6" in merged
+
+    def test_empty_base_merges_additions(self):
+        ours = "D:\n    a: [x]\n"
+        theirs = "D:\n    b: [y]\n"
+        merged = parse_flow_file(merge_flow_files("", ours, theirs))
+        assert set(merged.data) == {"a", "b"}

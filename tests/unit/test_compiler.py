@@ -1,0 +1,245 @@
+"""Unit tests for the flow compiler and code generation."""
+
+import json
+
+import pytest
+
+from repro.compiler import (
+    FlowCompiler,
+    generate_cube_spec,
+    generate_pig_script,
+)
+from repro.data import Schema
+from repro.dsl import parse_flow_file
+from repro.errors import FlowFileValidationError
+from repro.workloads import APACHE_FLOW
+
+SIMPLE = (
+    "D:\n    raw: [k, v]\n    out: [k, count]\n"
+    "D.raw:\n    source: raw.csv\n"
+    "F:\n    D.out: D.raw | T.agg\n"
+    "    D.out:\n        endpoint: true\n"
+    "T:\n    agg:\n        type: groupby\n        groupby: [k]\n"
+    "W:\n"
+    "    picker:\n"
+    "        type: List\n"
+    "        source: D.out\n"
+    "        text: k\n"
+    "    chart:\n"
+    "        type: Bar\n"
+    "        source: D.out | T.flt | T.agg2\n"
+    "        x: k\n"
+    "        y: count\n"
+    "L:\n    rows:\n    - [span4: W.picker, span8: W.chart]\n"
+)
+
+SIMPLE_TASKS = (
+    "T:\n"
+    "    flt:\n"
+    "        type: filter_by\n"
+    "        filter_by: [k]\n"
+    "        filter_source: W.picker\n"
+    "        filter_val: [text]\n"
+    "    agg2:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: count\n"
+    "              out_field: count\n"
+)
+
+# A second T: section; the parser merges repeated sections.
+SOURCE = SIMPLE + SIMPLE_TASKS
+
+
+class TestCompiler:
+    def test_compile_produces_everything(self):
+        compiled = FlowCompiler().compile(parse_flow_file(SOURCE))
+        assert compiled.endpoint_names == ["out"]
+        assert len(compiled.plan) >= 2
+        assert set(compiled.widget_plans) == {"picker", "chart"}
+        assert compiled.schemas["out"].names == ["k", "count"]
+
+    def test_invalid_file_raises_before_planning(self):
+        bad = SOURCE.replace("groupby: [k]\n", "groupby: [zz]\n", 1)
+        with pytest.raises(FlowFileValidationError):
+            FlowCompiler().compile(parse_flow_file(bad))
+
+    def test_widget_pipeline_split(self):
+        compiled = FlowCompiler().compile(parse_flow_file(SOURCE))
+        chart = compiled.widget_plans["chart"]
+        assert [t.name for t in chart.server_tasks] == []
+        assert [t.name for t in chart.client_tasks] == ["flt", "agg2"]
+
+    def test_split_disabled(self):
+        compiled = FlowCompiler(split_widget_flows=False).compile(
+            parse_flow_file(SOURCE)
+        )
+        chart = compiled.widget_plans["chart"]
+        assert chart.server_tasks == []
+        assert [t.name for t in chart.client_tasks] == ["flt", "agg2"]
+
+    def test_static_widget_plan(self):
+        source = (
+            "W:\n"
+            "    s:\n"
+            "        type: Slider\n"
+            "        source: [1, 9]\n"
+            "        range: true\n"
+        )
+        compiled = FlowCompiler().compile(parse_flow_file(source))
+        assert compiled.widget_plans["s"].is_static
+        assert compiled.widget_plans["s"].static_values == [1, 9]
+
+    def test_catalog_schemas_enable_consumption_compile(self):
+        source = (
+            "W:\n"
+            "    chart:\n"
+            "        type: Bar\n"
+            "        source: D.shared\n"
+            "        x: a\n        y: b\n"
+            "L:\n    rows:\n    - [span12: W.chart]\n"
+        )
+        compiled = FlowCompiler().compile(
+            parse_flow_file(source),
+            catalog_schemas={"shared": Schema.of("a", "b")},
+        )
+        assert compiled.widget_plans["chart"].source_name == "shared"
+
+    def test_apache_flow_compiles_with_optimizations(self):
+        compiled = FlowCompiler().compile(parse_flow_file(APACHE_FLOW))
+        assert compiled.optimization.projections_inserted >= 1
+
+    def test_optimizer_can_be_disabled(self):
+        compiled = FlowCompiler(optimize=False).compile(
+            parse_flow_file(APACHE_FLOW)
+        )
+        assert not compiled.optimization.changed
+
+
+class TestCodegen:
+    def compiled(self):
+        return FlowCompiler(optimize=False).compile(
+            parse_flow_file(SOURCE)
+        )
+
+    def test_pig_script_shape(self):
+        script = generate_pig_script(self.compiled())
+        assert "raw = LOAD 'raw.csv' AS (k, v);" in script
+        assert "GROUP" in script
+        assert "STORE out INTO 'endpoint://out';" in script
+
+    def test_pig_script_join_statement(self):
+        source = (
+            "D:\n    a: [k, x]\n    b: [k, y]\n"
+            "D.a:\n    source: a.csv\nD.b:\n    source: b.csv\n"
+            "F:\n    D.o: (D.a, D.b) | T.j\n"
+            "T:\n    j:\n        type: join\n"
+            "        left: a by k\n        right: b by k\n"
+            "        join_condition: left outer\n"
+        )
+        compiled = FlowCompiler(optimize=False).compile(
+            parse_flow_file(source)
+        )
+        script = generate_pig_script(compiled)
+        assert "JOIN a BY (k) LEFT OUTER, b BY (k)" in script
+
+    def test_pig_script_publish_store(self):
+        source = (
+            "D:\n    raw: [k]\n"
+            "D.raw:\n    source: raw.csv\n"
+            "F:\n    D.o: D.raw | T.t\n"
+            "    D.o:\n        publish: shared_o\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        compiled = FlowCompiler(optimize=False).compile(
+            parse_flow_file(source)
+        )
+        assert "published://shared_o" in generate_pig_script(compiled)
+
+    def test_cube_spec_is_valid_json(self):
+        spec = json.loads(generate_cube_spec(self.compiled()))
+        assert spec["endpoints"] == ["out"]
+        assert spec["widgets"]["chart"]["client_tasks"] == [
+            {"name": "flt", "type": "filter_by"},
+            {"name": "agg2", "type": "groupby"},
+        ]
+
+    def test_cube_spec_static_widget(self):
+        source = (
+            "W:\n    s:\n        type: Slider\n        source: [1, 2]\n"
+        )
+        compiled = FlowCompiler().compile(parse_flow_file(source))
+        spec = json.loads(generate_cube_spec(compiled))
+        assert spec["widgets"]["s"]["static"] == [1, 2]
+
+
+class TestSparkCodegen:
+    def compiled(self):
+        return FlowCompiler(optimize=False).compile(
+            parse_flow_file(SOURCE)
+        )
+
+    def test_spark_job_shape(self):
+        from repro.compiler import generate_spark_job
+
+        script = generate_spark_job(self.compiled())
+        assert "SparkSession" in script
+        assert ".groupBy('k')" in script
+        assert "endpoint://out" in script
+
+    def test_spark_join_lowering(self):
+        from repro.compiler import generate_spark_job
+
+        source = (
+            "D:\n    a: [k, x]\n    b: [k, y]\n"
+            "D.a:\n    source: a.csv\nD.b:\n    source: b.csv\n"
+            "F:\n    D.o: (D.a, D.b) | T.j\n"
+            "T:\n    j:\n        type: join\n"
+            "        left: a by k\n        right: b by k\n"
+            "        join_condition: left outer\n"
+        )
+        compiled = FlowCompiler(optimize=False).compile(
+            parse_flow_file(source)
+        )
+        script = generate_spark_job(compiled)
+        assert ".join(b, (a.k == b.k), 'left')" in script
+
+    def test_editor_route_serves_source(self):
+        import io
+
+        from repro import Platform
+        from repro.data import Schema, Table
+        from repro.server import ShareInsightsApp
+
+        platform = Platform()
+        platform.create_dashboard(
+            "d",
+            SOURCE,
+            inline_tables={
+                "raw": Table.from_rows(Schema.of("k", "v"), [("a", 1)])
+            },
+        )
+        app = ShareInsightsApp(platform)
+        holder = {}
+
+        def start_response(status, headers):
+            holder["status"] = status
+
+        body = b"".join(
+            app(
+                {
+                    "REQUEST_METHOD": "GET",
+                    "PATH_INFO": "/dashboards/d/edit",
+                    "QUERY_STRING": "",
+                    "wsgi.input": io.BytesIO(b""),
+                },
+                start_response,
+            )
+        )
+        assert holder["status"] == "200 OK"
+        text = body.decode()
+        assert "<textarea" in text
+        assert "groupby" in text  # the flow-file source is shown
+        assert "/dashboards/d/diagnose" in text

@@ -1,0 +1,350 @@
+"""Unit tests for connectors and the data-object loader."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.connectors import (
+    DataObjectLoader,
+    FileConnector,
+    FtpConnector,
+    HttpConnector,
+    InlineConnector,
+    JdbcConnector,
+    SimulatedFtpServer,
+    SimulatedHttpTransport,
+    default_connector_registry,
+)
+from repro.connectors.base import FetchResult
+from repro.connectors.http import HttpRequest, HttpResponse
+from repro.connectors.loader import infer_format, infer_protocol
+from repro.data import Schema, Table
+from repro.errors import ConnectorError
+
+
+class TestFetchResult:
+    def test_needs_exactly_one_of_payload_or_table(self):
+        with pytest.raises(ValueError):
+            FetchResult()
+        with pytest.raises(ValueError):
+            FetchResult(payload=b"x", table=Table.empty(Schema.of("a")))
+
+
+class TestFileConnector:
+    def test_fetch_and_store(self, tmp_path):
+        connector = FileConnector()
+        config = {"source": "data.csv", "base_dir": str(tmp_path)}
+        connector.store(config, b"a\n1\n")
+        result = connector.fetch(config)
+        assert result.payload == b"a\n1\n"
+        assert result.metadata["size"] == 4
+
+    def test_absolute_path_ignores_base_dir(self, tmp_path):
+        target = tmp_path / "abs.csv"
+        target.write_bytes(b"x")
+        connector = FileConnector()
+        result = connector.fetch(
+            {"source": str(target), "base_dir": "/nonexistent"}
+        )
+        assert result.payload == b"x"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConnectorError, match="not found"):
+            FileConnector().fetch(
+                {"source": "nope.csv", "base_dir": str(tmp_path)}
+            )
+
+    def test_missing_source_raises(self):
+        with pytest.raises(ConnectorError, match="source"):
+            FileConnector().fetch({})
+
+
+class TestHttpConnector:
+    def test_fetch_registered_endpoint(self):
+        transport = SimulatedHttpTransport()
+        transport.register_static(
+            "https://api.example.com/data*", b'{"ok": 1}'
+        )
+        connector = HttpConnector(transport)
+        result = connector.fetch(
+            {"source": "https://api.example.com/data?x=1"}
+        )
+        assert result.payload == b'{"ok": 1}'
+        assert result.metadata["status"] == 200
+
+    def test_headers_and_query_visible_to_handler(self):
+        """Fig. 6 sends X-Access-Key headers and query parameters."""
+        seen = {}
+
+        def handler(request: HttpRequest) -> HttpResponse:
+            seen["key"] = request.headers.get("X-Access-Key")
+            seen["site"] = request.query.get("site")
+            return HttpResponse(body=b"[]")
+
+        transport = SimulatedHttpTransport()
+        transport.register("https://api.stackexchange.com/*", handler)
+        HttpConnector(transport).fetch(
+            {
+                "source": (
+                    "https://api.stackexchange.com/2.2/questions"
+                    "?site=stackoverflow"
+                ),
+                "request_type": "get",
+                "http_headers": {"X-Access-Key": "XXX"},
+            }
+        )
+        assert seen == {"key": "XXX", "site": "stackoverflow"}
+
+    def test_404_raises_without_retry(self):
+        transport = SimulatedHttpTransport()
+        connector = HttpConnector(transport)
+        with pytest.raises(ConnectorError, match="404"):
+            connector.fetch({"source": "http://nowhere/x"})
+        assert len(transport.request_log) == 1  # 4xx: no retries
+
+    def test_transient_failures_are_retried(self):
+        transport = SimulatedHttpTransport(failure_rate=0.6, seed=3)
+        transport.register_static("http://flaky/*", b"ok")
+        connector = HttpConnector(transport)
+        # With retries most fetches eventually succeed.
+        successes = 0
+        for _ in range(20):
+            try:
+                connector.fetch({"source": "http://flaky/x", "retries": 5})
+                successes += 1
+            except ConnectorError:
+                pass
+        assert successes >= 15
+
+    def test_exhausted_retries_raise(self):
+        transport = SimulatedHttpTransport(failure_rate=1.0)
+        transport.register_static("http://down/*", b"ok")
+        with pytest.raises(ConnectorError, match="503"):
+            HttpConnector(transport).fetch(
+                {"source": "http://down/x", "retries": 2}
+            )
+
+
+class TestFtpConnector:
+    def test_fetch_with_credentials(self):
+        server = SimulatedFtpServer(users={"bob": "pw"})
+        server.put("/data/tweets.json", b"[]")
+        connector = FtpConnector(server)
+        result = connector.fetch(
+            {
+                "source": "ftp://host/data/tweets.json",
+                "username": "bob",
+                "password": "pw",
+            }
+        )
+        assert result.payload == b"[]"
+
+    def test_bad_credentials_raise(self):
+        server = SimulatedFtpServer(users={"bob": "pw"})
+        server.put("/f", b"x")
+        with pytest.raises(ConnectorError, match="login failed"):
+            FtpConnector(server).fetch(
+                {"source": "/f", "username": "bob", "password": "wrong"}
+            )
+
+    def test_store_then_fetch(self):
+        connector = FtpConnector()
+        connector.store({"source": "/up/file.bin"}, b"\x01\x02")
+        assert connector.fetch({"source": "/up/file.bin"}).payload == (
+            b"\x01\x02"
+        )
+
+    def test_listdir(self):
+        server = SimulatedFtpServer()
+        server.put("/d/a.txt", b"")
+        server.put("/d/b.txt", b"")
+        server.put("/other/c.txt", b"")
+        assert server.listdir("/d") == ["/d/a.txt", "/d/b.txt"]
+
+    def test_missing_file_raises(self):
+        with pytest.raises(ConnectorError, match="not found"):
+            FtpConnector().fetch({"source": "/nope"})
+
+
+class TestJdbcConnector:
+    def make(self):
+        connector = JdbcConnector()
+        conn = connector.register_database("warehouse")
+        conn.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        conn.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(1, "x"), (2, "y")]
+        )
+        return connector
+
+    def test_table_select(self):
+        result = self.make().fetch({"source": "warehouse", "table": "t"})
+        assert result.table.to_records() == [
+            {"a": 1, "b": "x"}, {"a": 2, "b": "y"}
+        ]
+
+    def test_adhoc_query(self):
+        """The paper's 'ad-hoc queries over JDBC'."""
+        result = self.make().fetch(
+            {
+                "source": "warehouse",
+                "query": "SELECT b, a * 10 AS a10 FROM t WHERE a > 1",
+            }
+        )
+        assert result.table.to_records() == [{"b": "y", "a10": 20}]
+
+    def test_parameter_binding(self):
+        result = self.make().fetch(
+            {
+                "source": "warehouse",
+                "query": "SELECT a FROM t WHERE b = ?",
+                "params": ["y"],
+            }
+        )
+        assert result.table.column("a") == [2]
+
+    def test_bad_sql_raises(self):
+        with pytest.raises(ConnectorError, match="query failed"):
+            self.make().fetch(
+                {"source": "warehouse", "query": "SELEKT nope"}
+            )
+
+    def test_suspicious_table_name_rejected(self):
+        with pytest.raises(ConnectorError, match="invalid table name"):
+            self.make().fetch(
+                {"source": "warehouse", "table": "t; DROP TABLE t"}
+            )
+
+    def test_store_table_roundtrip(self):
+        connector = self.make()
+        table = Table.from_rows(Schema.of("x", "y"), [(1, "a"), (2, "b")])
+        connector.store_table(
+            {"source": "warehouse", "table": "sink"}, table
+        )
+        back = connector.fetch({"source": "warehouse", "table": "sink"})
+        assert back.table.to_records() == table.to_records()
+
+    def test_file_database(self, tmp_path):
+        db_path = str(tmp_path / "test.db")
+        seed = sqlite3.connect(db_path)
+        seed.execute("CREATE TABLE f (v INTEGER)")
+        seed.execute("INSERT INTO f VALUES (7)")
+        seed.commit()
+        seed.close()
+        result = JdbcConnector().fetch({"source": db_path, "table": "f"})
+        assert result.table.column("v") == [7]
+
+
+class TestInlineConnector:
+    def test_dict_rows(self):
+        result = InlineConnector().fetch({"rows": [{"a": 1}, {"a": 2}]})
+        assert result.table.column("a") == [1, 2]
+
+    def test_tuple_rows_need_schema(self):
+        result = InlineConnector().fetch(
+            {"rows": [[1, 2]], "schema": ["a", "b"]}
+        )
+        assert result.table.row(0) == {"a": 1, "b": 2}
+
+    def test_tuple_rows_without_schema_raise(self):
+        with pytest.raises(ConnectorError):
+            InlineConnector().fetch({"rows": [[1, 2]]})
+
+
+class TestInference:
+    def test_protocol_from_explicit_key(self):
+        assert infer_protocol({"protocol": "FTP", "source": "x"}) == "ftp"
+
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("https://api/x", "https"),
+            ("http://api/x", "http"),
+            ("ftp://host/x", "ftp"),
+            ("data.csv", "file"),
+        ],
+    )
+    def test_protocol_from_source(self, source, expected):
+        assert infer_protocol({"source": source}) == expected
+
+    def test_protocol_inline_rows(self):
+        assert infer_protocol({"rows": []}) == "inline"
+
+    def test_protocol_jdbc_from_query(self):
+        assert infer_protocol({"source": "db", "query": "SELECT 1"}) == (
+            "jdbc"
+        )
+
+    def test_no_source_raises(self):
+        with pytest.raises(ConnectorError):
+            infer_protocol({})
+
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("a.csv", "csv"),
+            ("a.json", "json"),
+            ("a.jsonl", "jsonl"),
+            ("a.xml", "xml"),
+            ("a.avro", "avro"),
+            ("https://api/x.json?k=1", "json"),
+            ("nosuffix", "csv"),
+        ],
+    )
+    def test_format_inference(self, source, expected):
+        assert infer_format({"source": source}) == expected
+
+    def test_explicit_format_wins(self):
+        assert infer_format({"source": "a.csv", "format": "json"}) == "json"
+
+
+class TestLoader:
+    def test_load_csv_file(self, tmp_path):
+        (tmp_path / "d.csv").write_bytes(b"a,b\n1,2\n")
+        loader = DataObjectLoader()
+        table = loader.load(
+            Schema.of("a", "b"),
+            {"source": "d.csv", "base_dir": str(tmp_path)},
+        )
+        assert table.row(0) == {"a": 1, "b": 2}
+
+    def test_load_http_json(self):
+        registry = default_connector_registry()
+        transport = registry.get("http").transport
+        transport.register_static(
+            "https://api/feed*", json.dumps([{"a": 5}]).encode()
+        )
+        loader = DataObjectLoader(connectors=registry)
+        table = loader.load(
+            Schema.of("a"), {"source": "https://api/feed", "format": "json"}
+        )
+        assert table.column("a") == [5]
+
+    def test_load_jdbc_aligns_to_schema(self):
+        registry = default_connector_registry()
+        jdbc = registry.get("jdbc")
+        conn = jdbc.register_database("db")
+        conn.execute("CREATE TABLE t (x INTEGER, y INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1, 2)")
+        loader = DataObjectLoader(connectors=registry)
+        # declared schema renames y via a source path and drops x
+        from repro.data import Column
+
+        table = loader.load(
+            Schema([Column("why", source_path="y")]),
+            {"source": "db", "table": "t", "protocol": "jdbc"},
+        )
+        assert table.row(0) == {"why": 2}
+
+    def test_save_roundtrip(self, tmp_path):
+        loader = DataObjectLoader()
+        table = Table.from_rows(Schema.of("a"), [(1,), (2,)])
+        config = {"source": "out.csv", "base_dir": str(tmp_path)}
+        loader.save(table, config)
+        assert loader.load(Schema.of("a"), config).column("a") == [1, 2]
+
+    def test_https_shares_http_transport(self):
+        registry = default_connector_registry()
+        assert registry.get("https").transport is registry.get(
+            "http"
+        ).transport

@@ -1,0 +1,218 @@
+"""Tests for remaining thin spots: LineChart, effort model internals,
+plan errors, query-language edges, grid edge cases."""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.tasks.base import TaskContext
+
+
+def table(rows, *names):
+    return Table.from_rows(Schema.of(*names), rows)
+
+
+class TestLineChart:
+    def make(self):
+        from repro.widgets.charts import LineChart
+
+        return LineChart("trend", {"x": "date", "y": "n"})
+
+    def test_points_payload(self):
+        view = self.make().render(
+            table([("d1", 5), ("d2", 9)], "date", "n")
+        )
+        assert view.payload["points"] == [
+            {"x": "d1", "y": 5.0}, {"x": "d2", "y": 9.0}
+        ]
+        assert "polyline" in view.html
+
+    def test_none_values_coerced(self):
+        view = self.make().render(
+            table([("d1", None)], "date", "n")
+        )
+        assert view.payload["points"][0]["y"] == 0.0
+
+    def test_requires_bindings(self):
+        from repro.errors import WidgetError
+        from repro.widgets.charts import LineChart
+
+        with pytest.raises(WidgetError):
+            LineChart("trend", {"x": "date"})
+
+
+class TestEffortModelInternals:
+    def test_baseline_components_additive(self):
+        from repro.dsl import parse_flow_file
+        from repro.hackathon.effort import baseline_loc
+
+        base = parse_flow_file(
+            "D:\n    a: [x]\nD.a:\n    source: a.csv\n"
+            "F:\n    D.o: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        with_widget = parse_flow_file(
+            "D:\n    a: [x]\nD.a:\n    source: a.csv\n"
+            "F:\n    D.o: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+            "W:\n    w:\n        type: Bar\n        source: D.o\n"
+            "        x: x\n        y: x\n"
+        )
+        from repro.hackathon.effort import _WIDGET_LOC
+
+        assert baseline_loc(with_widget) - baseline_loc(base) == (
+            _WIDGET_LOC
+        )
+
+    def test_interaction_costs_extra(self):
+        from repro.dsl import parse_flow_file
+        from repro.hackathon.effort import _INTERACTION_LOC, baseline_loc
+
+        plain = parse_flow_file(
+            "T:\n    f:\n        type: filter_by\n"
+            "        filter_expression: x > 1\n"
+        )
+        interactive = parse_flow_file(
+            "T:\n    f:\n        type: filter_by\n"
+            "        filter_by: [x]\n"
+            "        filter_source: W.w\n"
+        )
+        assert baseline_loc(interactive) - baseline_loc(plain) == (
+            _INTERACTION_LOC
+        )
+
+    def test_unknown_task_type_gets_default_loc(self):
+        from repro.dsl import parse_flow_file
+        from repro.hackathon.effort import (
+            _DEFAULT_TASK_LOC,
+            baseline_loc,
+        )
+
+        ff = parse_flow_file(
+            "T:\n    t:\n        type: exotic_udf\n"
+        )
+        assert baseline_loc(ff) == _DEFAULT_TASK_LOC
+
+
+class TestPlanErrors:
+    def test_duplicate_node_id_rejected(self):
+        from repro.engine.plan import LogicalPlan, PlanNode
+        from repro.errors import CompilationError
+
+        plan = LogicalPlan()
+        node = PlanNode(id="x", kind="load", load_name="a")
+        plan.add(node)
+        with pytest.raises(CompilationError, match="duplicate"):
+            plan.add(PlanNode(id="x", kind="load", load_name="b"))
+
+    def test_cyclic_plan_detected(self):
+        from repro.engine.plan import LogicalPlan, PlanNode
+        from repro.errors import CompilationError
+        from repro.tasks.misc import LimitTask
+
+        plan = LogicalPlan()
+        task = LimitTask("t", {"limit": 1})
+        plan.add(PlanNode(id="a", kind="task", task=task, inputs=["b"]))
+        plan.add(PlanNode(id="b", kind="task", task=task, inputs=["a"]))
+        with pytest.raises(CompilationError, match="cycle"):
+            plan.topological_order()
+
+    def test_node_for_output_missing(self):
+        from repro.engine.plan import LogicalPlan
+        from repro.errors import CompilationError
+
+        with pytest.raises(CompilationError, match="materializes"):
+            LogicalPlan().node_for_output("ghost")
+
+
+class TestQueryLanguageEdges:
+    def test_orderby_last_segment_defaults_ascending(self):
+        from repro.server.query_language import parse_adhoc_query
+
+        query = parse_adhoc_query(["ds", "orderby", "col"])
+        assert query.steps == [("orderby", ("col", "asc"))]
+
+    def test_orderby_followed_by_verb_not_eaten(self):
+        from repro.server.query_language import parse_adhoc_query
+
+        query = parse_adhoc_query(
+            ["ds", "orderby", "col", "limit", "3"]
+        )
+        assert query.steps == [
+            ("orderby", ("col", "asc")), ("limit", ("3",))
+        ]
+
+    def test_count_out_field_is_apply_column(self):
+        from repro.server.query_language import parse_adhoc_query
+
+        t = table([("a", 1), ("a", 2)], "k", "v")
+        out = parse_adhoc_query(
+            ["ds", "groupby", "k", "count", "v"]
+        ).execute(t)
+        assert out.row(0) == {"k": "a", "v": 2}
+
+
+class TestSchemaPropagationEdgeCases:
+    def test_groupby_after_join_sees_joined_columns(self):
+        """Reusing a task after a join relies on schema propagation
+        through the default join projection."""
+        from repro.dsl import parse_flow_file, validate_flow_file
+
+        source = (
+            "D:\n    a: [k, v]\n    b: [k, w]\n"
+            "D.a:\n    source: a.csv\nD.b:\n    source: b.csv\n"
+            "F:\n    D.o: (D.a, D.b) | T.j | T.g\n"
+            "T:\n"
+            "    j:\n        type: join\n"
+            "        left: a by k\n        right: b by k\n"
+            "    g:\n        type: groupby\n"
+            "        groupby: [k]\n"
+            "        aggregates:\n"
+            "            - operator: sum\n"
+            "              apply_on: w\n"   # column only exists post-join
+            "              out_field: t\n"
+        )
+        result = validate_flow_file(parse_flow_file(source))
+        assert result.ok, result.errors
+        assert result.schemas["o"].names == ["k", "t"]
+
+    def test_task_reuse_across_flows_with_different_schemas(self):
+        """§3.3: the same task works anywhere its columns exist."""
+        from repro.dsl import parse_flow_file, validate_flow_file
+
+        source = (
+            "D:\n    a: [k, rating]\n    b: [k, rating, extra]\n"
+            "D.a:\n    source: a.csv\nD.b:\n    source: b.csv\n"
+            "F:\n"
+            "    D.o1: D.a | T.flt\n"
+            "    D.o2: D.b | T.flt\n"
+            "T:\n"
+            "    flt:\n        type: filter_by\n"
+            "        filter_expression: rating < 3\n"
+        )
+        result = validate_flow_file(parse_flow_file(source))
+        assert result.ok
+        assert result.schemas["o1"].names == ["k", "rating"]
+        assert result.schemas["o2"].names == ["k", "rating", "extra"]
+
+
+class TestGridEdgeCases:
+    def test_exactly_twelve_columns_allowed(self):
+        from repro.dsl import parse_flow_file
+
+        ff = parse_flow_file(
+            "W:\n"
+            "    a:\n        type: DataGrid\n"
+            "    b:\n        type: DataGrid\n"
+            "    c:\n        type: DataGrid\n"
+            "L:\n    rows:\n"
+            "    - [span4: W.a, span4: W.b, span4: W.c]\n"
+        )
+        assert sum(c.span for c in ff.layout.rows[0]) == 12
+
+    def test_mobile_grid_stacks_via_effective_span(self):
+        from repro.dashboard import EnvironmentProfile
+
+        mobile = EnvironmentProfile.mobile()
+        assert [mobile.effective_span(s) for s in (2, 6, 12)] == [
+            12, 12, 12
+        ]

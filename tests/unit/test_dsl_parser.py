@@ -1,0 +1,281 @@
+"""Unit tests for flow-file section interpretation."""
+
+import pytest
+
+from repro.dsl import parse_flow_file
+from repro.errors import (
+    FlowFileSyntaxError,
+    FlowFileValidationError,
+)
+
+
+class TestDataSection:
+    def test_schema_declaration(self):
+        ff = parse_flow_file("D:\n    t: [a, b, c]\n")
+        assert ff.data["t"].schema.names == ["a", "b", "c"]
+
+    def test_arrow_mapping_column_left_path_right(self):
+        """Fig. 18: `location => user.location` maps a payload path to a
+        schema attribute named location."""
+        ff = parse_flow_file(
+            "D:\n    tweets: [location => user.location, body => text]\n"
+        )
+        schema = ff.data["tweets"].schema
+        assert schema["location"].source_path == "user.location"
+        assert schema["body"].source_path == "text"
+
+    def test_details_block(self):
+        """Fig. 4's data source configuration."""
+        ff = parse_flow_file(
+            "D:\n"
+            "    stack_summary: [project, question]\n"
+            "D.stack_summary:\n"
+            "    separator: ','\n"
+            "    source: 'stackoverflow.csv'\n"
+            "    format: 'csv'\n"
+        )
+        obj = ff.data["stack_summary"]
+        assert obj.config == {
+            "separator": ",", "source": "stackoverflow.csv",
+            "format": "csv",
+        }
+        assert obj.is_source
+
+    def test_endpoint_and_publish(self):
+        """Figs. 9 and 10."""
+        ff = parse_flow_file(
+            "D.x:\n    publish: project_chatter\n    endpoint: true\n"
+        )
+        assert ff.data["x"].endpoint is True
+        assert ff.data["x"].publish == "project_chatter"
+
+    def test_plus_alias_for_endpoint(self):
+        """Fig. 9: `+D.name:` is an alias for endpoint: true."""
+        ff = parse_flow_file(
+            "F:\n    +D.out: D.a | T.t\nD:\n    a: [x]\n    out: [x]\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        assert ff.data["out"].endpoint is True
+
+    def test_throwaway_object_is_neither(self):
+        ff = parse_flow_file("D:\n    t: [a]\n")
+        assert not ff.data["t"].is_shared
+
+    def test_http_source_with_headers(self):
+        """Fig. 6's provider-API configuration."""
+        ff = parse_flow_file(
+            "D.q:\n"
+            "    source: https://api.stackexchange.com/2.2/questions"
+            "?order=desc&site=stackoverflow\n"
+            "    protocol: http\n"
+            "    format: json\n"
+            "    request_type: get\n"
+            "    http_headers:\n"
+            "        X-Access-Key: XXX\n"
+        )
+        config = ff.data["q"].config
+        assert config["protocol"] == "http"
+        assert config["http_headers"] == {"X-Access-Key": "XXX"}
+
+
+class TestFlowSection:
+    SRC = (
+        "D:\n    a: [x]\n    out: [x]\n"
+        "F:\n    D.out: D.a | T.t\n"
+        "T:\n    t:\n        type: limit\n        limit: 5\n"
+    )
+
+    def test_flow_parsed(self):
+        ff = parse_flow_file(self.SRC)
+        assert len(ff.flows) == 1
+        assert ff.flows[0].output == "out"
+        assert ff.flows[0].inputs == ("a",)
+        assert ff.flows[0].tasks == ("t",)
+
+    def test_flow_value_on_next_line(self):
+        ff = parse_flow_file(
+            "F:\n    D.out:\n        D.a | T.t\n"
+        )
+        assert ff.flows[0].output == "out"
+
+    def test_data_details_inside_f_section(self):
+        """Fig. 19 puts endpoint/publish blocks in the F section."""
+        ff = parse_flow_file(
+            "F:\n"
+            "    D.out: D.a | T.t\n"
+            "    D.out:\n"
+            "        endpoint: true\n"
+            "        publish: shared_out\n"
+        )
+        assert ff.data["out"].endpoint
+        assert ff.data["out"].publish == "shared_out"
+
+    def test_flow_in_data_position(self):
+        """Fig. 9's flow written outside the F section."""
+        ff = parse_flow_file("D.out:\n    D.a | T.t\n")
+        assert ff.flows[0].output == "out"
+
+    def test_empty_flow_value_rejected(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_flow_file("F:\n    D.out: 42\n")
+
+
+class TestTaskSection:
+    def test_task_configs_opaque(self):
+        ff = parse_flow_file(
+            "T:\n"
+            "    f:\n"
+            "        type: filter_by\n"
+            "        filter_expression: rating < 3\n"
+        )
+        assert ff.tasks["f"].config["filter_expression"] == "rating < 3"
+        assert ff.tasks["f"].type_name == "filter_by"
+
+    def test_parallel_without_type(self):
+        ff = parse_flow_file(
+            "T:\n    p:\n        parallel: [T.a, T.b]\n"
+        )
+        assert ff.tasks["p"].type_name == "parallel"
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(FlowFileValidationError, match="duplicate"):
+            parse_flow_file(
+                "T:\n    t:\n        type: limit\n"
+                "    t:\n        type: limit\n"
+            )
+
+
+class TestWidgetSection:
+    def test_widget_with_pipe_source(self):
+        """Fig. 12's widget configuration."""
+        ff = parse_flow_file(
+            "W:\n"
+            "    bubble:\n"
+            "        type: BubbleChart\n"
+            "        source: D.project_data | T.get_date\n"
+            "        text: project\n"
+            "        size: total_wt\n"
+            "        default_selection: true\n"
+            "        default_selection_key: text\n"
+            "        default_selection_value: 'pig'\n"
+            "        legend:\n"
+            "            show_legends: true\n"
+        )
+        widget = ff.widgets["bubble"]
+        assert widget.type_name == "BubbleChart"
+        assert widget.source.inputs == ("project_data",)
+        assert widget.source.tasks == ("get_date",)
+        assert widget.config["text"] == "project"
+        assert widget.config["legend"] == {"show_legends": True}
+
+    def test_static_source(self):
+        """Appendix A.2's date slider."""
+        ff = parse_flow_file(
+            "W:\n"
+            "    s:\n"
+            "        type: Slider\n"
+            "        source: ['2013-05-02', '2013-05-27']\n"
+            "        range: true\n"
+        )
+        assert ff.widgets["s"].static_source == [
+            "2013-05-02", "2013-05-27"
+        ]
+        assert ff.widgets["s"].source is None
+
+    def test_widget_without_type_rejected(self):
+        with pytest.raises(FlowFileValidationError, match="type"):
+            parse_flow_file("W:\n    w:\n        text: a\n")
+
+    def test_duplicate_widget_rejected(self):
+        with pytest.raises(FlowFileValidationError, match="duplicate"):
+            parse_flow_file(
+                "W:\n    w:\n        type: Bar\n"
+                "    w:\n        type: Pie\n"
+            )
+
+    def test_tab_layout_tabs(self):
+        ff = parse_flow_file(
+            "W:\n"
+            "    tabs:\n"
+            "        type: TabLayout\n"
+            "        tabs:\n"
+            "        - name: 'A'\n"
+            "          body: W.x\n"
+            "        - name: 'B'\n"
+            "          body: W.y\n"
+        )
+        assert ff.widgets["tabs"].config["tabs"] == [
+            {"name": "A", "body": "W.x"}, {"name": "B", "body": "W.y"}
+        ]
+
+
+class TestLayoutSection:
+    def test_rows_with_spans(self):
+        """Fig. 16's layout."""
+        ff = parse_flow_file(
+            "L:\n"
+            "    description: Apache Project Analysis\n"
+            "    rows:\n"
+            "    - [span12: W.custom]\n"
+            "    - [span4: W.a, span8: W.b]\n"
+        )
+        layout = ff.layout
+        assert layout.description == "Apache Project Analysis"
+        assert [(c.span, c.widget) for c in layout.rows[1]] == [
+            (4, "a"), (8, "b")
+        ]
+
+    def test_row_over_12_columns_rejected(self):
+        with pytest.raises(FlowFileValidationError, match="12"):
+            parse_flow_file(
+                "L:\n    rows:\n    - [span8: W.a, span8: W.b]\n"
+            )
+
+    def test_bad_span_key_rejected(self):
+        with pytest.raises(FlowFileSyntaxError, match="span"):
+            parse_flow_file("L:\n    rows:\n    - [width3: W.a]\n")
+
+    def test_span_out_of_range_rejected(self):
+        with pytest.raises(FlowFileValidationError):
+            parse_flow_file("L:\n    rows:\n    - [span0: W.a]\n")
+
+    def test_unknown_layout_key_rejected(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_flow_file("L:\n    theme: dark\n")
+
+
+class TestTopLevel:
+    def test_unknown_section_rejected(self):
+        with pytest.raises(FlowFileSyntaxError, match="unknown top-level"):
+            parse_flow_file("Q:\n    x: 1\n")
+
+    def test_name_key(self):
+        ff = parse_flow_file("name: my_dash\nD:\n    a: [x]\n")
+        assert ff.name == "my_dash"
+
+    def test_mode_detection_processing_only(self):
+        ff = parse_flow_file(
+            "D:\n    a: [x]\n    o: [x]\n"
+            "F:\n    D.o: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        assert ff.is_data_processing_only
+        assert not ff.is_consumption_only
+
+    def test_mode_detection_consumption_only(self):
+        ff = parse_flow_file(
+            "W:\n    w:\n        type: Bar\n        source: D.shared\n"
+            "        x: a\n        y: b\n"
+            "L:\n    rows:\n    - [span12: W.w]\n"
+        )
+        assert ff.is_consumption_only
+        assert not ff.is_data_processing_only
+
+    def test_external_sources_listed(self):
+        ff = parse_flow_file(
+            "D:\n    a: [x]\n    o: [x]\n"
+            "D.a:\n    source: a.csv\n"
+            "F:\n    D.o: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        assert [o.name for o in ff.external_sources()] == ["a"]

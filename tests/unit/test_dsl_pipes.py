@@ -1,0 +1,79 @@
+"""Unit tests for the pipe-expression grammar (Appendix B)."""
+
+import pytest
+
+from repro.dsl.pipes import PipeExpr, parse_pipe
+from repro.errors import FlowFileSyntaxError
+
+
+class TestParsing:
+    def test_single_input_single_task(self):
+        pipe = parse_pipe("D.a | T.t")
+        assert pipe.inputs == ("a",)
+        assert pipe.tasks == ("t",)
+
+    def test_task_chain(self):
+        pipe = parse_pipe("D.a | T.t1 | T.t2 | T.t3")
+        assert pipe.tasks == ("t1", "t2", "t3")
+
+    def test_fan_in(self):
+        """Fig. 11: (D.temp_release_count, D.stack_summary) | T.x."""
+        pipe = parse_pipe("(D.a, D.b) | T.j")
+        assert pipe.inputs == ("a", "b")
+
+    def test_three_way_fan_in(self):
+        assert parse_pipe("(D.a, D.b, D.c) | T.j").inputs == ("a", "b", "c")
+
+    def test_whitespace_tolerant(self):
+        pipe = parse_pipe("  D . a  |  T . t  ")
+        assert pipe == PipeExpr(inputs=("a",), tasks=("t",))
+
+    def test_widget_source_without_tasks(self):
+        assert parse_pipe("D.dim_teams").tasks == ()
+
+    def test_bare_names_accepted(self):
+        pipe = parse_pipe("a | t")
+        assert pipe.inputs == ("a",)
+        assert pipe.tasks == ("t",)
+
+    def test_str_roundtrip_single(self):
+        text = "D.a | T.t1 | T.t2"
+        assert str(parse_pipe(text)) == text
+
+    def test_str_roundtrip_fan_in(self):
+        text = "(D.a, D.b) | T.j"
+        assert str(parse_pipe(text)) == text
+
+
+class TestErrors:
+    def test_flow_requires_tasks_when_strict(self):
+        with pytest.raises(FlowFileSyntaxError, match="at least one task"):
+            parse_pipe("D.a", allow_no_tasks=False)
+
+    def test_missing_task_after_pipe(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_pipe("D.a |")
+
+    def test_unclosed_fan_in(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_pipe("(D.a, D.b | T.t")
+
+    def test_widget_in_flow_position_rejected(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_pipe("W.a | T.t")
+
+    def test_task_in_input_position_rejected(self):
+        with pytest.raises(FlowFileSyntaxError, match="data object"):
+            parse_pipe("T.a | T.t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(FlowFileSyntaxError, match="trailing"):
+            parse_pipe("D.a | T.t D.b")
+
+    def test_empty_expression(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_pipe("")
+
+    def test_bad_character(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_pipe("D.a & T.b")

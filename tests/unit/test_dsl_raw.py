@@ -1,0 +1,188 @@
+"""Unit tests for the raw flow-file text parser."""
+
+import pytest
+
+from repro.dsl.raw import (
+    ConfigMapping,
+    logical_lines,
+    parse_raw,
+    parse_value,
+    split_top_level,
+    strip_comment,
+)
+from repro.errors import FlowFileSyntaxError
+
+
+class TestComments:
+    def test_plain_comment_stripped(self):
+        assert strip_comment("a: 1 # note") == "a: 1 "
+
+    def test_hash_inside_single_quotes_kept(self):
+        assert strip_comment("color: '#fc0' # c") == "color: '#fc0' "
+
+    def test_hash_inside_double_quotes_kept(self):
+        assert strip_comment('x: "#tag"') == 'x: "#tag"'
+
+    def test_full_line_comment(self):
+        assert strip_comment("# whole line").strip() == ""
+
+
+class TestLogicalLines:
+    def test_blank_and_comment_lines_dropped(self):
+        lines = logical_lines("a: 1\n\n# comment\nb: 2\n")
+        assert [l.text for l in lines] == ["a: 1", "b: 2"]
+
+    def test_bracket_continuation(self):
+        lines = logical_lines("x: [a,\n    b,\n    c]\n")
+        assert len(lines) == 1
+        assert lines[0].text == "x: [a, b, c]"
+
+    def test_paren_continuation(self):
+        lines = logical_lines(
+            "D.x: (D.a,\n  D.b\n) | T.j\n"
+        )
+        assert lines[0].text == "D.x: (D.a, D.b ) | T.j"
+
+    def test_trailing_pipe_continuation(self):
+        lines = logical_lines("D.x: D.a |\n    T.t\n")
+        assert lines[0].text == "D.x: D.a | T.t"
+
+    def test_leading_pipe_continuation(self):
+        lines = logical_lines("source: D.a | T.t\n    | T.u\n")
+        assert lines[0].text == "source: D.a | T.t | T.u"
+
+    def test_unbalanced_brackets_raise(self):
+        with pytest.raises(FlowFileSyntaxError, match="unbalanced"):
+            logical_lines("x: [a, b\n")
+
+    def test_tabs_treated_as_indent(self):
+        lines = logical_lines("a:\n\tb: 1\n")
+        assert lines[1].indent == 4
+
+    def test_line_numbers_preserved(self):
+        lines = logical_lines("\n\na: 1\n")
+        assert lines[0].lineno == 3
+
+
+class TestScalarParsing:
+    def test_quoted_string(self):
+        assert parse_value("'a, b'") == "a, b"
+
+    def test_numbers(self):
+        assert parse_value("42") == 42
+        assert parse_value("2.5") == 2.5
+        assert parse_value("-3") == -3
+
+    def test_booleans(self):
+        assert parse_value("true") is True
+        assert parse_value("FALSE") is False
+
+    def test_raw_string_kept(self):
+        assert parse_value("D.a | T.b") == "D.a | T.b"
+
+    def test_inline_list(self):
+        assert parse_value("[a, 1, 'x, y']") == ["a", 1, "x, y"]
+
+    def test_inline_list_trailing_comma(self):
+        assert parse_value("[a, b,]") == ["a", "b"]
+
+    def test_inline_list_with_mapping_cells(self):
+        """Layout rows: [span12: W.widget]."""
+        assert parse_value("[span12: W.w, span4: W.x]") == [
+            {"span12": "W.w"}, {"span4": "W.x"}
+        ]
+
+    def test_arrow_mapping_stays_string(self):
+        assert parse_value("[a => b.c, d]") == ["a => b.c", "d"]
+
+    def test_split_top_level_respects_quotes_and_brackets(self):
+        assert split_top_level("a, 'x, y', [1, 2]", ",") == [
+            "a", " 'x, y'", " [1, 2]"
+        ]
+
+
+class TestBlockStructure:
+    def test_nested_mappings(self):
+        raw = parse_raw("a:\n    b:\n        c: 1\n")
+        assert raw.get("a").get("b").get("c") == 1
+
+    def test_duplicate_keys_preserved(self):
+        """Fig. 19 defines D.players_tweets twice (flow + details)."""
+        raw = parse_raw("F:\n    x: 1\n    x: 2\n")
+        assert raw.get("F").get_all("x") == [1, 2]
+
+    def test_list_of_mapping_items(self):
+        """Fig. 8's aggregates list."""
+        raw = parse_raw(
+            "t:\n"
+            "    aggregates:\n"
+            "        - operator: sum\n"
+            "          apply_on: a\n"
+            "        - operator: count\n"
+        )
+        aggs = raw.get("t").get("aggregates")
+        assert len(aggs) == 2
+        assert aggs[0].get("apply_on") == "a"
+        assert aggs[1].get("operator") == "count"
+
+    def test_list_at_same_indent_as_key(self):
+        """Fig. 16's layout rows sit at the same indent as `rows:`."""
+        raw = parse_raw(
+            "L:\n"
+            "    rows:\n"
+            "    - [span12: W.a]\n"
+            "    - [span6: W.b, span6: W.c]\n"
+        )
+        rows = raw.get("L").get("rows")
+        assert len(rows) == 2
+        assert rows[1] == [{"span6": "W.b"}, {"span6": "W.c"}]
+
+    def test_scalar_block_value(self):
+        """Fig. 8: a flow written on the line after its key."""
+        raw = parse_raw(
+            "F:\n"
+            "    D.out:\n"
+            "        D.in | T.t\n"
+        )
+        assert raw.get("F").get("D.out") == "D.in | T.t"
+
+    def test_key_with_url_value(self):
+        raw = parse_raw(
+            "D.q:\n    source: https://api.example.com/x?a=1&b=2\n"
+        )
+        assert raw.get("D.q").get("source") == (
+            "https://api.example.com/x?a=1&b=2"
+        )
+
+    def test_key_with_spaces_around_dot(self):
+        """The paper writes `D. stack_summary :` with spaces."""
+        raw = parse_raw("D. stack_summary :\n    format: csv\n")
+        assert "D. stack_summary" in raw.keys()
+
+    def test_inconsistent_indent_raises(self):
+        with pytest.raises(FlowFileSyntaxError, match="indentation"):
+            parse_raw("a:\n    b: 1\n      c: 2\n")
+
+    def test_unexpected_list_in_mapping_raises(self):
+        with pytest.raises(FlowFileSyntaxError):
+            parse_raw("a:\n    b: 1\n    - item\n")
+
+    def test_config_mapping_to_dict_collapses(self):
+        mapping = ConfigMapping()
+        child = ConfigMapping()
+        child.add("x", 1)
+        mapping.add("a", child)
+        mapping.add("a", 2)
+        assert mapping.to_dict() == {"a": 2}
+
+    def test_nested_list_item_with_block_value(self):
+        """MapMarker's `- marker1:` items with nested config."""
+        raw = parse_raw(
+            "w:\n"
+            "    markers:\n"
+            "    - marker1:\n"
+            "        type: circle_marker\n"
+            "        size: big\n"
+        )
+        markers = raw.get("w").get("markers")
+        assert markers[0].get("marker1").get("type") == "circle_marker"

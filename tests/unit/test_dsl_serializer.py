@@ -1,0 +1,105 @@
+"""Unit tests for flow-file serialization (round-trip guarantees)."""
+
+from repro.dsl import parse_flow_file, serialize_flow_file
+from repro.workloads import (
+    APACHE_FLOW,
+    IPL_CONSUMPTION_FLOW,
+    IPL_PROCESSING_FLOW,
+)
+
+
+def roundtrip(source, name="x"):
+    first = parse_flow_file(source, name=name)
+    text = serialize_flow_file(first)
+    second = parse_flow_file(text, name=name)
+    return first, second, text
+
+
+def assert_equivalent(a, b):
+    assert sorted(a.data) == sorted(b.data)
+    for name in a.data:
+        obj_a, obj_b = a.data[name], b.data[name]
+        if obj_a.schema is not None:
+            assert obj_b.schema is not None
+            assert [
+                (c.name, c.source_path) for c in obj_a.schema
+            ] == [(c.name, c.source_path) for c in obj_b.schema]
+        assert obj_a.config == obj_b.config
+        assert obj_a.endpoint == obj_b.endpoint
+        assert obj_a.publish == obj_b.publish
+    assert {f.output: str(f.pipe) for f in a.flows} == {
+        f.output: str(f.pipe) for f in b.flows
+    }
+    assert {n: s.config for n, s in a.tasks.items()} == {
+        n: s.config for n, s in b.tasks.items()
+    }
+    assert sorted(a.widgets) == sorted(b.widgets)
+    for name in a.widgets:
+        wa, wb = a.widgets[name], b.widgets[name]
+        assert wa.type_name == wb.type_name
+        assert str(wa.source) == str(wb.source)
+        assert wa.static_source == wb.static_source
+        assert wa.config == wb.config
+    if a.layout is None:
+        assert b.layout is None
+    else:
+        assert [
+            [(c.span, c.widget) for c in row] for row in a.layout.rows
+        ] == [[(c.span, c.widget) for c in row] for row in b.layout.rows]
+
+
+class TestRoundTrip:
+    def test_apache_flow(self):
+        a, b, _text = roundtrip(APACHE_FLOW, "apache")
+        assert_equivalent(a, b)
+
+    def test_ipl_processing_flow(self):
+        a, b, _text = roundtrip(IPL_PROCESSING_FLOW, "ipl")
+        assert_equivalent(a, b)
+
+    def test_ipl_consumption_flow(self):
+        a, b, _text = roundtrip(IPL_CONSUMPTION_FLOW, "clash")
+        assert_equivalent(a, b)
+
+    def test_serialization_is_canonical(self):
+        """Serializing a parsed serialization is a fixpoint."""
+        _a, b, text = roundtrip(APACHE_FLOW)
+        assert serialize_flow_file(b) == text
+
+    def test_endpoint_and_publish_emitted(self):
+        _a, b, text = roundtrip(
+            "D.x:\n    endpoint: true\n    publish: shared\n"
+        )
+        assert "endpoint: true" in text
+        assert "publish: shared" in text
+        assert b.data["x"].endpoint
+
+    def test_arrow_mappings_emitted(self):
+        _a, b, text = roundtrip(
+            "D:\n    t: [loc => user.location, plain]\n"
+        )
+        assert "loc => user.location" in text
+        assert b.data["t"].schema["loc"].source_path == "user.location"
+
+    def test_fan_in_flows_emitted(self):
+        _a, b, text = roundtrip(
+            "D:\n    a: [x]\n    b: [x]\n"
+            "F:\n    D.o: (D.a, D.b) | T.j\n"
+            "T:\n    j:\n        type: join\n"
+            "        left: a by x\n        right: b by x\n"
+        )
+        assert "(D.a, D.b) | T.j" in text
+
+    def test_quoted_values_survive(self):
+        _a, b, _text = roundtrip(
+            "T:\n"
+            "    t:\n"
+            "        type: map\n"
+            "        operator: date\n"
+            "        transform: p\n"
+            "        input_format: 'E MMM dd HH:mm:ss Z yyyy'\n"
+            "        output: d\n"
+        )
+        assert b.tasks["t"].config["input_format"] == (
+            "E MMM dd HH:mm:ss Z yyyy"
+        )

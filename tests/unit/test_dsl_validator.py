@@ -1,0 +1,229 @@
+"""Unit tests for static flow-file validation."""
+
+import pytest
+
+from repro.data import Schema
+from repro.dsl import parse_flow_file, validate_flow_file
+from repro.errors import FlowFileValidationError
+
+BASE = (
+    "D:\n"
+    "    raw: [k, v]\n"
+    "    out: [k, total]\n"
+    "D.raw:\n    source: raw.csv\n"
+    "F:\n    D.out: D.raw | T.agg\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: total\n"
+)
+
+
+def check(source, **kwargs):
+    return validate_flow_file(parse_flow_file(source), **kwargs)
+
+
+class TestHappyPath:
+    def test_valid_file_passes(self):
+        result = check(BASE)
+        assert result.ok
+        assert not result.warnings
+
+    def test_computed_schema_recorded(self):
+        result = check(BASE)
+        assert result.schemas["out"].names == ["k", "total"]
+
+    def test_raise_if_errors_noop_when_ok(self):
+        check(BASE).raise_if_errors()
+
+
+class TestFlowErrors:
+    def test_undefined_task(self):
+        result = check(BASE.replace("T.agg", "T.ghost"))
+        assert not result.ok
+        assert "ghost" in result.errors[0]
+
+    def test_task_missing_input_column(self):
+        source = BASE.replace("apply_on: v", "apply_on: nope")
+        result = check(source)
+        assert not result.ok
+        assert "nope" in "".join(result.errors)
+
+    def test_declared_sink_columns_not_produced(self):
+        source = BASE.replace("out: [k, total]", "out: [k, total, extra]")
+        result = check(source)
+        assert any("extra" in e for e in result.errors)
+
+    def test_cycle_detected(self):
+        source = (
+            "D:\n    a: [x]\n    b: [x]\n"
+            "F:\n    D.a: D.b | T.t\n    D.b: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        result = check(source)
+        assert any("cycle" in e for e in result.errors)
+
+    def test_unknown_input_neither_declared_nor_produced(self):
+        source = (
+            "F:\n    D.out: D.mystery | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        result = check(source)
+        assert any("mystery" in e for e in result.errors)
+
+    def test_catalog_input_accepted(self):
+        source = (
+            "F:\n    D.out: D.shared_thing | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        result = check(
+            source, catalog_schemas={"shared_thing": Schema.of("a")}
+        )
+        assert result.ok
+
+    def test_duplicate_producer_rejected(self):
+        source = (
+            "D:\n    a: [x]\n"
+            "F:\n    D.out: D.a | T.t\n    D.out: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        result = check(source)
+        assert any("more than one flow" in e for e in result.errors)
+
+    def test_self_consuming_flow_rejected(self):
+        source = (
+            "F:\n    D.a: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        result = check(source)
+        assert any("own output" in e for e in result.errors)
+
+    def test_fan_in_to_single_input_task_rejected(self):
+        source = (
+            "D:\n    a: [x]\n    b: [x]\n"
+            "F:\n    D.out: (D.a, D.b) | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        result = check(source)
+        assert any("fans in" in e for e in result.errors)
+
+    def test_missing_input_schema_is_warning_not_error(self):
+        source = (
+            "D:\n    a:\n"  # declared but schemaless
+            "F:\n    D.out: D.a | T.t\n"
+            "T:\n    t:\n        type: limit\n        limit: 1\n"
+        )
+        result = check(source)
+        assert result.ok
+        assert any("no declared schema" in w for w in result.warnings)
+
+
+class TestWidgetValidation:
+    WIDGET = (
+        BASE
+        + "W:\n"
+        "    chart:\n"
+        "        type: Bar\n"
+        "        source: D.out\n"
+        "        x: k\n"
+        "        y: total\n"
+        "L:\n    rows:\n    - [span12: W.chart]\n"
+    )
+
+    def test_valid_widget_passes(self):
+        assert check(self.WIDGET).ok
+
+    def test_bad_data_attribute_binding(self):
+        result = check(self.WIDGET.replace("y: total", "y: bogus"))
+        assert any("bogus" in e for e in result.errors)
+
+    def test_widget_with_undefined_task(self):
+        result = check(
+            self.WIDGET.replace("source: D.out", "source: D.out | T.nope")
+        )
+        assert any("nope" in e for e in result.errors)
+
+    def test_interaction_filter_source_must_exist(self):
+        source = (
+            BASE
+            + "W:\n"
+            "    chart:\n"
+            "        type: Bar\n"
+            "        source: D.out | T.flt\n"
+            "        x: k\n        y: total\n"
+            "T.extra:\n    x: 1\n"
+        )
+        source = source.replace(
+            "T:\n",
+            "T:\n"
+            "    flt:\n"
+            "        type: filter_by\n"
+            "        filter_by: [k]\n"
+            "        filter_source: W.ghost_widget\n",
+            1,
+        )
+        result = check(source.replace("T.extra:\n    x: 1\n", ""))
+        assert any("ghost_widget" in e for e in result.errors)
+
+    def test_unknown_source_is_warning(self):
+        source = (
+            "W:\n"
+            "    chart:\n"
+            "        type: Bar\n"
+            "        source: D.from_catalog\n"
+            "        x: a\n        y: b\n"
+        )
+        result = check(source)
+        assert result.ok
+        assert any("catalog" in w for w in result.warnings)
+
+
+class TestLayoutValidation:
+    def test_layout_references_unknown_widget(self):
+        source = BASE + "L:\n    rows:\n    - [span12: W.phantom]\n"
+        result = check(source)
+        assert any("phantom" in e for e in result.errors)
+
+    def test_sublayout_reference_checked(self):
+        source = (
+            BASE
+            + "W:\n"
+            "    sub:\n"
+            "        type: Layout\n"
+            "        rows:\n"
+            "        - [span12: W.missing_child]\n"
+            "L:\n    rows:\n    - [span12: W.sub]\n"
+        )
+        result = check(source)
+        assert any("missing_child" in e for e in result.errors)
+
+    def test_tablayout_reference_checked(self):
+        source = (
+            BASE
+            + "W:\n"
+            "    tabs:\n"
+            "        type: TabLayout\n"
+            "        tabs:\n"
+            "        - name: 'A'\n"
+            "          body: W.gone\n"
+            "L:\n    rows:\n    - [span12: W.tabs]\n"
+        )
+        result = check(source)
+        assert any("gone" in e for e in result.errors)
+
+
+class TestRaiseIfErrors:
+    def test_collects_all_errors_in_one_exception(self):
+        source = BASE.replace("T.agg", "T.ghost") + (
+            "L:\n    rows:\n    - [span12: W.phantom]\n"
+        )
+        result = check(source)
+        assert len(result.errors) >= 2
+        with pytest.raises(FlowFileValidationError) as info:
+            result.raise_if_errors()
+        assert "ghost" in str(info.value)
+        assert "phantom" in str(info.value)

@@ -1,0 +1,151 @@
+"""Unit tests for environment adaptation and extension services."""
+
+import pytest
+
+from repro.dashboard import EnvironmentProfile
+from repro.errors import ExtensionError
+from repro.extensions import ExtensionServices
+from repro.platform import Platform
+
+
+class TestEnvironmentProfile:
+    def test_named_profiles(self):
+        assert EnvironmentProfile.desktop().client_power == "high"
+        assert EnvironmentProfile.mobile().screen_width == 400
+        assert not EnvironmentProfile.no_js().interactive
+
+    def test_payload_caps_ordered_by_power(self):
+        assert (
+            EnvironmentProfile.mobile().max_payload_rows
+            < EnvironmentProfile.laptop().max_payload_rows
+            < EnvironmentProfile.desktop().max_payload_rows
+        )
+
+    def test_grid_columns_narrow_on_mobile(self):
+        assert EnvironmentProfile.mobile().grid_columns == 1
+        assert EnvironmentProfile.desktop().grid_columns == 12
+
+    def test_effective_span_widens_on_mobile(self):
+        mobile = EnvironmentProfile.mobile()
+        assert mobile.effective_span(4) == 12
+
+    def test_effective_span_unchanged_on_desktop(self):
+        assert EnvironmentProfile.desktop().effective_span(4) == 4
+
+    def test_engine_choice_by_size(self):
+        profile = EnvironmentProfile.laptop()
+        assert profile.choose_engine(100) == "local"
+        assert profile.choose_engine(1_000_000) == "distributed"
+
+
+TASK_EXTENSION = b'''
+from typing import Sequence
+
+from repro.data import Schema, Table
+from repro.tasks.base import Task, TaskContext
+
+
+class ScaleTask(Task):
+    type_name = "scale_ext_test"
+
+    def output_schema(self, input_schemas):
+        return input_schemas[0].with_column("scaled")
+
+    def apply(self, inputs, context):
+        table = inputs[0]
+        column = str(self.config.get("column"))
+        factor = float(self.config.get("factor", 2))
+        values = [
+            None if v is None else v * factor
+            for v in table.column(column)
+        ]
+        return table.with_column("scaled", values)
+'''
+
+WIDGET_EXTENSION = b'''
+from repro.widgets.base import Widget
+
+
+class SparkLine(Widget):
+    type_name = "SparkLineTest"
+    data_attributes = ("y",)
+
+    def render(self, table):
+        return self._view({}, "<spark/>", "[spark]")
+'''
+
+REGISTER_FN_EXTENSION = b'''
+def register(platform):
+    platform.registered_marker = True
+'''
+
+
+class TestExtensionServices:
+    def test_task_extension_loads_and_runs(self):
+        platform = Platform()
+        services = ExtensionServices(platform)
+        registered = services.upload(
+            "dash", "tasks", "scale.py", TASK_EXTENSION
+        )
+        assert "scale_ext_test" in registered
+        # The uploaded task works in a flow file, like a built-in.
+        from repro.data import Schema, Table
+
+        dashboard = platform.create_dashboard(
+            "dash",
+            (
+                "D:\n    raw: [v]\n    out: [v, scaled]\n"
+                "F:\n    D.out: D.raw | T.s\n"
+                "T:\n    s:\n        type: scale_ext_test\n"
+                "        column: v\n        factor: 3\n"
+            ),
+            inline_tables={
+                "raw": Table.from_rows(Schema.of("v"), [(2,)])
+            },
+        )
+        dashboard.run_flows()
+        assert dashboard.materialized("out").column("scaled") == [6]
+
+    def test_widget_extension_loads(self):
+        platform = Platform()
+        services = ExtensionServices(platform)
+        services.upload("dash", "widgets", "spark.py", WIDGET_EXTENSION)
+        assert "SparkLineTest" in platform.widgets
+
+    def test_register_function_hook(self):
+        platform = Platform()
+        services = ExtensionServices(platform)
+        services.upload(
+            "dash", "tasks", "hook.py", REGISTER_FN_EXTENSION
+        )
+        assert platform.registered_marker is True
+
+    def test_stylesheets_accumulate(self):
+        platform = Platform()
+        services = ExtensionServices(platform)
+        services.upload("dash", "styles", "a.css", b".bubble {fill: red}")
+        services.upload("dash", "styles", "b.css", b".grid {gap: 2px}")
+        css = services.stylesheet("dash")
+        assert ".bubble" in css and ".grid" in css
+
+    def test_data_files_listed_and_readable(self):
+        platform = Platform()
+        services = ExtensionServices(platform)
+        services.upload("dash", "data", "players.txt", b"msd,MS Dhoni")
+        assert services.data_files("dash") == ["/dash/data/players.txt"]
+        assert services.read_data("dash", "players.txt") == b"msd,MS Dhoni"
+
+    def test_unknown_folder_rejected(self):
+        services = ExtensionServices(Platform())
+        with pytest.raises(ExtensionError, match="unknown extension folder"):
+            services.upload("dash", "plugins", "x.py", b"")
+
+    def test_broken_extension_rejected(self):
+        services = ExtensionServices(Platform())
+        with pytest.raises(ExtensionError, match="failed to load"):
+            services.upload("dash", "tasks", "broken.py", b"def (syntax")
+
+    def test_empty_extension_rejected(self):
+        services = ExtensionServices(Platform())
+        with pytest.raises(ExtensionError, match="nothing to register"):
+            services.upload("dash", "tasks", "empty.py", b"x = 1")

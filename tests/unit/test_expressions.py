@@ -1,0 +1,247 @@
+"""Unit tests for the task expression language."""
+
+import pytest
+
+from repro.data.expressions import (
+    compile_expression,
+    register_function,
+    tokenize,
+)
+from repro.errors import ExpressionError
+
+
+def ev(source, **row):
+    return compile_expression(source)(row)
+
+
+class TestTokenizer:
+    def test_numbers_strings_idents(self):
+        kinds = [t.kind for t in tokenize("1 2.5 'x' name")]
+        assert kinds == ["number", "number", "string", "ident", "eof"]
+
+    def test_keywords_are_tagged(self):
+        kinds = {t.text: t.kind for t in tokenize("a and not true")}
+        assert kinds["and"] == "keyword"
+        assert kinds["not"] == "keyword"
+        assert kinds["true"] == "keyword"
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(ExpressionError, match="unexpected character"):
+            tokenize("a ~ b")
+
+
+class TestLiterals:
+    def test_int(self):
+        assert ev("42") == 42
+
+    def test_float(self):
+        assert ev("2.5") == 2.5
+
+    def test_string_single_and_double(self):
+        assert ev("'abc'") == "abc"
+        assert ev('"abc"') == "abc"
+
+    def test_escaped_quote(self):
+        assert ev(r"'it\'s'") == "it's"
+
+    def test_booleans_and_null(self):
+        assert ev("true") is True
+        assert ev("false") is False
+        assert ev("null") is None
+        assert ev("none") is None
+
+    def test_list_literal(self):
+        assert ev("[1, 2, 3]") == [1, 2, 3]
+
+
+class TestColumns:
+    def test_column_lookup(self):
+        assert ev("rating", rating=3) == 3
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExpressionError, match="unknown column"):
+            ev("missing", rating=3)
+
+    def test_references_collects_columns(self):
+        expr = compile_expression("a + b * len(c)")
+        assert expr.references() == {"a", "b", "c"}
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert ev("2 + 3 * 4") == 14
+
+    def test_parentheses(self):
+        assert ev("(2 + 3) * 4") == 20
+
+    def test_unary_minus(self):
+        assert ev("-x", x=5) == -5
+
+    def test_division_by_zero_yields_none(self):
+        assert ev("1 / 0") is None
+
+    def test_modulo(self):
+        assert ev("7 % 3") == 1
+
+    def test_arith_with_none_yields_none(self):
+        assert ev("x + 1", x=None) is None
+
+    def test_string_concat_via_plus(self):
+        assert ev("a + b", a="x", b="y") == "xy"
+
+    def test_bad_operand_types_raise(self):
+        with pytest.raises(ExpressionError):
+            ev("a - b", a="x", b=1)
+
+
+class TestComparisons:
+    def test_paper_filter_example(self):
+        """Fig. 7: `rating < 3`."""
+        assert ev("rating < 3", rating=2) is True
+        assert ev("rating < 3", rating=3) is False
+
+    def test_all_comparators(self):
+        assert ev("1 <= 1")
+        assert ev("2 >= 1")
+        assert ev("2 > 1")
+        assert ev("1 != 2")
+        assert ev("1 == 1")
+
+    def test_single_equals_alias(self):
+        assert ev("a = 5", a=5) is True
+
+    def test_ordering_against_none_is_false(self):
+        assert ev("x < 3", x=None) is False
+        assert ev("x > 3", x=None) is False
+
+    def test_equality_with_none(self):
+        assert ev("x == null", x=None) is True
+        assert ev("x != null", x=1) is True
+
+    def test_mixed_numeric_string_compares_numerically(self):
+        assert ev("x > 3", x="5") is True
+
+    def test_in_operator(self):
+        assert ev("x in [1, 2]", x=2) is True
+        assert ev("x in [1, 2]", x=5) is False
+
+    def test_in_against_none_is_false(self):
+        assert ev("x in y", x=1, y=None) is False
+
+
+class TestBooleanLogic:
+    def test_and_or(self):
+        assert ev("true and false") is False
+        assert ev("true or false") is True
+
+    def test_not(self):
+        assert ev("not false") is True
+
+    def test_precedence_not_binds_tighter(self):
+        assert ev("not false and true") is True
+
+    def test_compound_filter(self):
+        assert ev(
+            "rating >= 3 and region == 'north'",
+            rating=4,
+            region="north",
+        ) is True
+
+
+class TestFunctions:
+    def test_len(self):
+        assert ev("len(s)", s="abcd") == 4
+
+    def test_len_of_none_is_zero(self):
+        assert ev("len(s)", s=None) == 0
+
+    def test_lower_upper(self):
+        assert ev("lower(s)", s="AbC") == "abc"
+        assert ev("upper(s)", s="AbC") == "ABC"
+
+    def test_contains(self):
+        assert ev("contains(s, 'bc')", s="abcd") is True
+        assert ev("contains(s, 'zz')", s="abcd") is False
+
+    def test_contains_on_none_is_false(self):
+        assert ev("contains(s, 'a')", s=None) is False
+
+    def test_startswith_endswith(self):
+        assert ev("startswith(s, 'ab')", s="abcd")
+        assert ev("endswith(s, 'cd')", s="abcd")
+
+    def test_round_and_abs(self):
+        assert ev("round(2.567, 1)") == 2.6
+        assert ev("abs(0 - 5)") == 5
+
+    def test_floor_ceil_sqrt(self):
+        assert ev("floor(2.9)") == 2
+        assert ev("ceil(2.1)") == 3
+        assert ev("sqrt(9)") == 3.0
+
+    def test_sqrt_of_negative_is_none(self):
+        assert ev("sqrt(0 - 4)") is None
+
+    def test_min_max_skip_none(self):
+        assert ev("min(a, b)", a=None, b=3) == 3
+        assert ev("max(1, 5, 2)") == 5
+
+    def test_coalesce(self):
+        assert ev("coalesce(a, b, 9)", a=None, b=None) == 9
+        assert ev("coalesce(a, 9)", a=5) == 5
+
+    def test_isnull(self):
+        assert ev("isnull(x)", x=None) is True
+        assert ev("not isnull(x)", x=1) is True
+
+    def test_concat_and_str(self):
+        assert ev("concat(a, '-', b)", a="x", b=1) == "x-1"
+        assert ev("str(x)", x=None) == ""
+
+    def test_int_float_conversion(self):
+        assert ev("int('5')") == 5
+        assert ev("float('2.5')") == 2.5
+        assert ev("int(x)", x=None) is None
+
+    def test_date_parts(self):
+        assert ev("year(d)", d="2013-05-02") == 2013
+        assert ev("month(d)", d="2013-05-02") == 5
+        assert ev("day(d)", d="2013-05-02") == 2
+
+    def test_date_parts_of_garbage_are_none(self):
+        assert ev("year(d)", d="not a date") is None
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExpressionError, match="unknown function"):
+            ev("nosuchfn(1)")
+
+    def test_register_function_extension(self):
+        register_function("double_it_test", lambda v: v * 2)
+        assert ev("double_it_test(x)", x=21) == 42
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ExpressionError, match="already registered"):
+            register_function("len", lambda v: 0)
+
+
+class TestParseErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ExpressionError, match="trailing"):
+            compile_expression("1 2")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("(1 + 2")
+
+    def test_missing_operand(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("1 +")
+
+    def test_bad_arg_separator(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("min(1; 2)")
+
+    def test_empty_call(self):
+        # zero-arg calls parse; evaluation may fail per function
+        expr = compile_expression("coalesce()")
+        assert expr({}) is None

@@ -1,0 +1,276 @@
+"""Unit tests for the payload formats (CSV, JSON, XML, Avro-style)."""
+
+import json
+
+import pytest
+
+from repro.data import Column, Schema, Table
+from repro.errors import FormatError
+from repro.formats import (
+    AvroFormat,
+    CsvFormat,
+    JsonFormat,
+    XmlFormat,
+    default_format_registry,
+)
+from repro.formats.json_format import JsonLinesFormat
+
+
+@pytest.fixture
+def table():
+    return Table.from_rows(
+        Schema.of("project", "rating", "active"),
+        [("pig", 2, True), ("hive", 5, False), ("spark", None, True)],
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, table):
+        fmt = CsvFormat()
+        decoded = fmt.decode(fmt.encode(table), table.schema)
+        assert decoded.to_records() == table.to_records()
+
+    def test_custom_separator(self, table):
+        """Fig. 4 configures `separator: ','`; others work too."""
+        fmt = CsvFormat()
+        payload = fmt.encode(table, {"separator": ";"})
+        assert b";" in payload
+        decoded = fmt.decode(payload, table.schema, {"separator": ";"})
+        assert decoded.num_rows == 3
+
+    def test_header_matching_by_name_any_order(self):
+        payload = b"b,a\n2,1\n"
+        table = CsvFormat().decode(payload, Schema.of("a", "b"))
+        assert table.row(0) == {"a": 1, "b": 2}
+
+    def test_schema_subset_of_header(self):
+        payload = b"a,b,c\n1,2,3\n"
+        table = CsvFormat().decode(payload, Schema.of("c", "a"))
+        assert table.row(0) == {"c": 3, "a": 1}
+
+    def test_missing_column_becomes_none(self):
+        payload = b"a\n1\n"
+        table = CsvFormat().decode(payload, Schema.of("a", "b"))
+        assert table.row(0) == {"a": 1, "b": None}
+
+    def test_no_schema_column_in_header_raises(self):
+        with pytest.raises(FormatError, match="no schema column"):
+            CsvFormat().decode(b"x,y\n1,2\n", Schema.of("a", "b"))
+
+    def test_headerless_positional(self):
+        payload = b"1,2\n3,4\n"
+        table = CsvFormat().decode(
+            payload, Schema.of("a", "b"), {"header": False}
+        )
+        assert table.column("a") == [1, 3]
+
+    def test_source_path_matches_header(self):
+        """`question => title` finds the `title` CSV column (Fig. 6)."""
+        schema = Schema([Column("question", source_path="title")])
+        table = CsvFormat().decode(b"title\nhello\n", schema)
+        assert table.row(0) == {"question": "hello"}
+
+    def test_cell_type_coercion(self):
+        payload = b"a,b,c,d\n1,2.5,true,\n"
+        table = CsvFormat().decode(payload, Schema.of("a", "b", "c", "d"))
+        assert table.row(0) == {"a": 1, "b": 2.5, "c": True, "d": None}
+
+    def test_empty_payload_gives_empty_table(self):
+        table = CsvFormat().decode(b"", Schema.of("a"))
+        assert table.num_rows == 0
+
+    def test_bad_encoding_raises(self):
+        with pytest.raises(FormatError):
+            CsvFormat().decode(b"\xff\xfe", Schema.of("a"), {})
+
+
+class TestJson:
+    def test_array_payload(self):
+        payload = json.dumps([{"a": 1}, {"a": 2}]).encode()
+        table = JsonFormat().decode(payload, Schema.of("a"))
+        assert table.column("a") == [1, 2]
+
+    def test_jsonl_payload(self):
+        payload = b'{"a": 1}\n{"a": 2}\n'
+        table = JsonFormat().decode(payload, Schema.of("a"))
+        assert table.num_rows == 2
+
+    def test_invalid_jsonl_line_raises_with_line_number(self):
+        with pytest.raises(FormatError, match="line 2"):
+            JsonFormat().decode(b'{"a": 1}\nnot json\n', Schema.of("a"))
+
+    def test_wrapper_object_items(self):
+        payload = json.dumps({"items": [{"a": 1}]}).encode()
+        assert JsonFormat().decode(payload, Schema.of("a")).num_rows == 1
+
+    def test_explicit_root_path(self):
+        payload = json.dumps({"deep": {"rows": [{"a": 1}]}}).encode()
+        table = JsonFormat().decode(
+            payload, Schema.of("a"), {"root": "deep.rows"}
+        )
+        assert table.num_rows == 1
+
+    def test_root_not_a_list_raises(self):
+        payload = json.dumps({"deep": 5}).encode()
+        with pytest.raises(FormatError, match="did not resolve"):
+            JsonFormat().decode(payload, Schema.of("a"), {"root": "deep"})
+
+    def test_nested_path_mapping(self):
+        """The `=>` mapping of Figs. 6/18: column <= payload path."""
+        schema = Schema([Column("loc", source_path="user.location")])
+        payload = json.dumps([{"user": {"location": "Pune"}}]).encode()
+        table = JsonFormat().decode(payload, schema)
+        assert table.row(0) == {"loc": "Pune"}
+
+    def test_single_object_payload(self):
+        table = JsonFormat().decode(b'{"a": 7}', Schema.of("a"))
+        assert table.row(0) == {"a": 7}
+
+    def test_scalar_payload_raises(self):
+        with pytest.raises(FormatError):
+            JsonFormat().decode(b"5", Schema.of("a"))
+
+    def test_encode_roundtrip(self, table):
+        fmt = JsonFormat()
+        decoded = fmt.decode(fmt.encode(table), table.schema)
+        assert decoded.to_records() == table.to_records()
+
+    def test_jsonl_encode(self, table):
+        payload = JsonLinesFormat().encode(table)
+        assert payload.count(b"\n") == 2  # three rows, two separators
+
+
+class TestXml:
+    def test_decode_children_as_rows(self):
+        payload = b"<rows><r><a>1</a><b>x</b></r><r><a>2</a><b>y</b></r></rows>"
+        table = XmlFormat().decode(payload, Schema.of("a", "b"))
+        assert table.to_records() == [
+            {"a": 1, "b": "x"}, {"a": 2, "b": "y"}
+        ]
+
+    def test_record_tag_option(self):
+        payload = b"<d><meta/><item><a>1</a></item><item><a>2</a></item></d>"
+        table = XmlFormat().decode(
+            payload, Schema.of("a"), {"record": "item"}
+        )
+        assert table.column("a") == [1, 2]
+
+    def test_attribute_path(self):
+        schema = Schema([Column("id", source_path="@id")])
+        payload = b"<rows><r id='7'/></rows>"
+        assert XmlFormat().decode(payload, schema).row(0) == {"id": 7}
+
+    def test_nested_element_path(self):
+        schema = Schema([Column("city", source_path="user.city")])
+        payload = b"<rows><r><user><city>Pune</city></user></r></rows>"
+        assert XmlFormat().decode(payload, schema).row(0) == {"city": "Pune"}
+
+    def test_attribute_must_be_last_segment(self):
+        schema = Schema([Column("x", source_path="@a.b")])
+        with pytest.raises(FormatError, match="must be last"):
+            XmlFormat().decode(b"<rows><r a='1'/></rows>", schema)
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(FormatError, match="invalid XML"):
+            XmlFormat().decode(b"<unclosed>", Schema.of("a"))
+
+    def test_roundtrip(self, table):
+        fmt = XmlFormat()
+        decoded = fmt.decode(fmt.encode(table), table.schema)
+        # XML stringifies booleans; compare loosely on shape + ints.
+        assert decoded.num_rows == table.num_rows
+        assert decoded.column("rating") == [2, 5, None]
+
+
+class TestAvro:
+    def test_roundtrip_preserves_types(self, table):
+        fmt = AvroFormat()
+        decoded = fmt.decode(fmt.encode(table), table.schema)
+        assert decoded.to_records() == table.to_records()
+
+    def test_roundtrip_floats_and_negatives(self):
+        table = Table.from_rows(
+            Schema.of("v"), [(-5,), (2.25,), (-0.5,), (10**12,)]
+        )
+        fmt = AvroFormat()
+        decoded = fmt.decode(fmt.encode(table), table.schema)
+        assert decoded.column("v") == [-5, 2.25, -0.5, 10**12]
+
+    def test_roundtrip_lists_and_dicts(self):
+        table = Table.from_rows(
+            Schema.of("v"), [([1, 2],), ({"k": "v"},)]
+        )
+        fmt = AvroFormat()
+        decoded = fmt.decode(fmt.encode(table), table.schema)
+        assert decoded.column("v") == [[1, 2], {"k": "v"}]
+
+    def test_unicode_strings(self):
+        table = Table.from_rows(Schema.of("s"), [("héllo ✓",)])
+        fmt = AvroFormat()
+        assert fmt.decode(fmt.encode(table), table.schema).column("s") == [
+            "héllo ✓"
+        ]
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(FormatError, match="magic"):
+            AvroFormat().decode(b"XXXXgarbage", Schema.of("a"))
+
+    def test_truncated_payload_raises(self):
+        fmt = AvroFormat()
+        payload = fmt.encode(
+            Table.from_rows(Schema.of("a"), [("hello world",)])
+        )
+        with pytest.raises(FormatError):
+            fmt.decode(payload[:-4], Schema.of("a"))
+
+    def test_schema_projection_on_decode(self):
+        fmt = AvroFormat()
+        payload = fmt.encode(
+            Table.from_rows(Schema.of("a", "b"), [(1, 2)])
+        )
+        decoded = fmt.decode(payload, Schema.of("b"))
+        assert decoded.row(0) == {"b": 2}
+
+    def test_varint_boundaries(self):
+        from repro.formats.avro import read_varint, write_varint
+
+        for value in (0, 1, 127, 128, 300, 2**31, 2**62):
+            buffer = bytearray()
+            write_varint(buffer, value)
+            decoded, offset = read_varint(bytes(buffer), 0)
+            assert decoded == value
+            assert offset == len(buffer)
+
+    def test_zigzag_longs(self):
+        from repro.formats.avro import read_long, write_long
+
+        for value in (0, -1, 1, -(2**40), 2**40):
+            buffer = bytearray()
+            write_long(buffer, value)
+            assert read_long(bytes(buffer), 0)[0] == value
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = default_format_registry()
+        for name in ("csv", "json", "jsonl", "xml", "avro"):
+            assert name in registry
+
+    def test_lookup_case_insensitive(self):
+        registry = default_format_registry()
+        assert registry.get("CSV").name == "csv"
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            default_format_registry().get("parquet")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.errors import ExtensionError
+
+        registry = default_format_registry()
+        with pytest.raises(ExtensionError):
+            registry.register(CsvFormat())
+
+    def test_replace_allowed_when_asked(self):
+        registry = default_format_registry()
+        registry.register(CsvFormat(), replace=True)

@@ -1,0 +1,75 @@
+"""Unit tests for the `=>` payload-path mapper."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.jsonpath import extract_path, parse_path
+
+
+class TestParsePath:
+    def test_simple_field(self):
+        assert parse_path("a") == ["a"]
+
+    def test_dotted(self):
+        assert parse_path("user.location") == ["user", "location"]
+
+    def test_index(self):
+        assert parse_path("a[0].b") == ["a", 0, "b"]
+
+    def test_star(self):
+        assert parse_path("a.b[*]") == ["a", "b", "*"]
+
+    def test_whitespace_tolerated(self):
+        assert parse_path("  a.b ") == ["a", "b"]
+
+    def test_empty_raises(self):
+        with pytest.raises(FormatError):
+            parse_path("")
+
+    def test_malformed_bracket_raises(self):
+        with pytest.raises(FormatError):
+            parse_path("a[x]")
+
+
+class TestExtract:
+    DOC = {
+        "user": {"location": "Pune", "tags": ["a", "b"]},
+        "items": [{"id": 1}, {"id": 2}],
+        "title": "hello",
+    }
+
+    def test_top_level(self):
+        assert extract_path(self.DOC, "title") == "hello"
+
+    def test_nested(self):
+        assert extract_path(self.DOC, "user.location") == "Pune"
+
+    def test_list_index(self):
+        assert extract_path(self.DOC, "items[1].id") == 2
+
+    def test_list_star(self):
+        assert extract_path(self.DOC, "items[*].id") == [1, 2]
+
+    def test_missing_field_gives_none(self):
+        assert extract_path(self.DOC, "user.nope") is None
+
+    def test_missing_intermediate_gives_none(self):
+        assert extract_path(self.DOC, "nope.deeper.still") is None
+
+    def test_index_out_of_range_gives_none(self):
+        assert extract_path(self.DOC, "items[9].id") is None
+
+    def test_index_into_non_list_gives_none(self):
+        assert extract_path(self.DOC, "title[0]") is None
+
+    def test_star_on_non_list_gives_none(self):
+        assert extract_path(self.DOC, "title[*]") is None
+
+    def test_none_document(self):
+        assert extract_path(None, "a.b") is None
+
+    def test_object_attribute_fallback(self):
+        class Thing:
+            value = 42
+
+        assert extract_path(Thing(), "value") == 42

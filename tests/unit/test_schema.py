@@ -1,0 +1,153 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data import Column, ColumnType, Schema
+from repro.errors import SchemaError
+
+
+class TestColumnType:
+    def test_infer_none_is_any(self):
+        assert ColumnType.infer(None) is ColumnType.ANY
+
+    def test_infer_bool_before_int(self):
+        assert ColumnType.infer(True) is ColumnType.BOOL
+
+    def test_infer_int(self):
+        assert ColumnType.infer(42) is ColumnType.INT
+
+    def test_infer_float(self):
+        assert ColumnType.infer(3.14) is ColumnType.FLOAT
+
+    def test_infer_string(self):
+        assert ColumnType.infer("abc") is ColumnType.STRING
+
+    def test_infer_date(self):
+        import datetime
+
+        assert ColumnType.infer(datetime.date(2013, 5, 2)) is ColumnType.DATE
+
+    def test_unify_same(self):
+        assert ColumnType.INT.unify(ColumnType.INT) is ColumnType.INT
+
+    def test_unify_any_yields_other(self):
+        assert ColumnType.ANY.unify(ColumnType.INT) is ColumnType.INT
+        assert ColumnType.INT.unify(ColumnType.ANY) is ColumnType.INT
+
+    def test_unify_numeric_widens_to_float(self):
+        assert ColumnType.INT.unify(ColumnType.FLOAT) is ColumnType.FLOAT
+
+    def test_unify_mixed_falls_back_to_string(self):
+        assert ColumnType.INT.unify(ColumnType.DATE) is ColumnType.STRING
+
+
+class TestColumn:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_coerce_passthrough_for_any(self):
+        assert Column("c").coerce("x") == "x"
+
+    def test_coerce_none_passthrough(self):
+        assert Column("c", type=ColumnType.INT).coerce(None) is None
+
+    def test_coerce_int(self):
+        assert Column("c", type=ColumnType.INT).coerce("5") == 5
+
+    def test_coerce_failure_raises(self):
+        with pytest.raises(SchemaError):
+            Column("c", type=ColumnType.INT).coerce("abc")
+
+    def test_renamed_keeps_type_and_path(self):
+        column = Column("a", type=ColumnType.INT, source_path="x.y")
+        renamed = column.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.type is ColumnType.INT
+        assert renamed.source_path == "x.y"
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        assert Schema.of("a", "b").names == ["a", "b"]
+
+    def test_strings_promoted_to_columns(self):
+        schema = Schema(["a", Column("b")])
+        assert all(isinstance(c, Column) for c in schema)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of("a", "a")
+
+    def test_from_mapping_preserves_paths(self):
+        schema = Schema.from_mapping({"loc": "user.location", "t": None})
+        assert schema["loc"].source_path == "user.location"
+        assert schema["t"].source_path is None
+
+    def test_contains(self):
+        schema = Schema.of("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            Schema.of("a")["b"]
+
+    def test_index_of(self):
+        assert Schema.of("a", "b", "c").index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").index_of("z")
+
+    def test_require_ok(self):
+        Schema.of("a", "b").require(["a"])
+
+    def test_require_missing_lists_names(self):
+        with pytest.raises(SchemaError, match=r"\['z'\]"):
+            Schema.of("a").require(["z"])
+
+    def test_select_order(self):
+        assert Schema.of("a", "b", "c").select(["c", "a"]).names == ["c", "a"]
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").select(["b"])
+
+    def test_drop(self):
+        assert Schema.of("a", "b", "c").drop(["b"]).names == ["a", "c"]
+
+    def test_with_column_appends(self):
+        assert Schema.of("a").with_column("b").names == ["a", "b"]
+
+    def test_with_column_replaces_same_name(self):
+        schema = Schema.of("a", "b").with_column(
+            Column("a", type=ColumnType.INT)
+        )
+        assert schema.names == ["b", "a"]
+        assert schema["a"].type is ColumnType.INT
+
+    def test_rename(self):
+        schema = Schema.of("a", "b").rename({"a": "x"})
+        assert schema.names == ["x", "b"]
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").rename({"z": "x"})
+
+    def test_merge(self):
+        assert Schema.of("a").merge(Schema.of("b")).names == ["a", "b"]
+
+    def test_merge_collision_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").merge(Schema.of("a"))
+
+    def test_equality_and_hash(self):
+        assert Schema.of("a", "b") == Schema.of("a", "b")
+        assert hash(Schema.of("a")) == hash(Schema.of("a"))
+        assert Schema.of("a") != Schema.of("b")
+
+    def test_len_and_iter(self):
+        schema = Schema.of("a", "b")
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["a", "b"]

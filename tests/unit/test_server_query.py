@@ -1,0 +1,138 @@
+"""Unit tests for the ad-hoc query language (paper Fig. 30)."""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.errors import QueryError
+from repro.server.query_language import parse_adhoc_query
+
+
+@pytest.fixture
+def projects():
+    return Table.from_rows(
+        Schema.of("project", "category", "stars", "year"),
+        [
+            ("hadoop", "big data", 900, 2011),
+            ("spark", "big data", 1200, 2013),
+            ("kafka", "streaming", 800, 2012),
+            ("storm", "streaming", 300, 2012),
+            ("lucene", "search", 500, 2010),
+        ],
+    )
+
+
+def run(segments, table):
+    return parse_adhoc_query(segments).execute(table)
+
+
+class TestGroupBy:
+    def test_paper_fig30_count_per_category(self, projects):
+        """/ds/projects/groupby/category/count/project."""
+        out = run(
+            ["projects", "groupby", "category", "count", "project"],
+            projects,
+        )
+        assert {r["category"]: r["project"] for r in out.rows()} == {
+            "big data": 2, "streaming": 2, "search": 1
+        }
+
+    def test_sum_aggregate(self, projects):
+        out = run(
+            ["p", "groupby", "category", "sum", "stars"], projects
+        )
+        rows = {r["category"]: r["sum_stars"] for r in out.rows()}
+        assert rows["big data"] == 2100
+
+    def test_avg_aggregate(self, projects):
+        out = run(
+            ["p", "groupby", "category", "avg", "stars"], projects
+        )
+        rows = {r["category"]: r["avg_stars"] for r in out.rows()}
+        assert rows["streaming"] == 550
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            parse_adhoc_query(["p", "groupby", "c", "frobnicate", "v"])
+
+    def test_unknown_column_rejected(self, projects):
+        with pytest.raises(QueryError, match="unknown column"):
+            run(["p", "groupby", "nope", "count", "x"], projects)
+
+    def test_incomplete_groupby_rejected(self):
+        with pytest.raises(QueryError):
+            parse_adhoc_query(["p", "groupby", "category"])
+
+
+class TestFilter:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("eq", "2012", 2),
+            ("ne", "2012", 3),
+            ("gt", "2011", 3),
+            ("ge", "2012", 3),
+            ("lt", "2011", 1),
+            ("le", "2011", 2),
+        ],
+    )
+    def test_comparison_ops(self, projects, op, value, expected):
+        out = run(["p", "filter", "year", op, value], projects)
+        assert out.num_rows == expected
+
+    def test_contains(self, projects):
+        out = run(
+            ["p", "filter", "category", "contains", "stream"], projects
+        )
+        assert out.num_rows == 2
+
+    def test_value_type_coercion(self, projects):
+        out = run(["p", "filter", "stars", "gt", "850"], projects)
+        assert sorted(out.column("project")) == ["hadoop", "spark"]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError, match="unknown filter op"):
+            parse_adhoc_query(["p", "filter", "a", "approx", "1"])
+
+
+class TestChaining:
+    def test_full_chain(self, projects):
+        out = run(
+            [
+                "p",
+                "filter", "year", "ge", "2011",
+                "groupby", "category", "sum", "stars",
+                "orderby", "sum_stars", "desc",
+                "limit", "1",
+            ],
+            projects,
+        )
+        assert out.to_records() == [
+            {"category": "big data", "sum_stars": 2100}
+        ]
+
+    def test_select_projects_columns(self, projects):
+        out = run(["p", "select", "project,stars"], projects)
+        assert out.schema.names == ["project", "stars"]
+
+    def test_orderby_default_ascending(self, projects):
+        out = run(["p", "orderby", "stars"], projects)
+        assert out.column("stars") == [300, 500, 800, 900, 1200]
+
+    def test_limit(self, projects):
+        assert run(["p", "limit", "2"], projects).num_rows == 2
+
+    def test_limit_non_integer_rejected(self):
+        with pytest.raises(QueryError):
+            parse_adhoc_query(["p", "limit", "few"])
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(QueryError, match="unknown query verb"):
+            parse_adhoc_query(["p", "pivot", "x"])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(QueryError, match="missing dataset"):
+            parse_adhoc_query([])
+
+    def test_dataset_only_is_identity(self, projects):
+        out = run(["p"], projects)
+        assert out.num_rows == projects.num_rows

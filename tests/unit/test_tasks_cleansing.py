@@ -1,0 +1,258 @@
+"""Unit tests for the data-cleansing tasks (fill_na, cast, sample)."""
+
+import pytest
+
+from repro.data import ColumnType, Schema, Table
+from repro.errors import TaskConfigError, TaskExecutionError
+from repro.tasks.base import TaskContext
+from repro.tasks.cleansing import CastTask, FillNaTask, SampleTask
+
+
+def table(rows, *names):
+    return Table.from_rows(Schema.of(*names), rows)
+
+
+CTX = TaskContext
+
+
+class TestFillNa:
+    def test_constant_fill(self):
+        task = FillNaTask(
+            "f", {"columns": {"v": 0, "s": "unknown"}}
+        )
+        out = task.apply(
+            [table([(None, None), (5, "x")], "v", "s")], CTX()
+        )
+        assert out.to_records() == [
+            {"v": 0, "s": "unknown"}, {"v": 5, "s": "x"}
+        ]
+
+    def test_mean_strategy(self):
+        task = FillNaTask(
+            "f", {"columns": ["v"], "strategy": "mean"}
+        )
+        out = task.apply([table([(2,), (None,), (4,)], "v")], CTX())
+        assert out.column("v") == [2, 3.0, 4]
+
+    def test_min_max_strategies(self):
+        data = [(5,), (None,), (1,)]
+        low = FillNaTask(
+            "f", {"columns": ["v"], "strategy": "min"}
+        ).apply([table(data, "v")], CTX())
+        high = FillNaTask(
+            "f", {"columns": ["v"], "strategy": "max"}
+        ).apply([table(data, "v")], CTX())
+        assert low.column("v")[1] == 1
+        assert high.column("v")[1] == 5
+
+    def test_mode_strategy(self):
+        task = FillNaTask("f", {"columns": ["s"], "strategy": "mode"})
+        out = task.apply(
+            [table([("a",), ("b",), ("a",), (None,)], "s")], CTX()
+        )
+        assert out.column("s")[3] == "a"
+
+    def test_all_none_column_stays_none(self):
+        task = FillNaTask("f", {"columns": ["v"], "strategy": "mean"})
+        out = task.apply([table([(None,), (None,)], "v")], CTX())
+        assert out.column("v") == [None, None]
+
+    def test_mean_of_strings_fails_loudly(self):
+        task = FillNaTask("f", {"columns": ["s"], "strategy": "mean"})
+        with pytest.raises(TaskExecutionError, match="not.*numeric"):
+            task.apply([table([("a",), (None,)], "s")], CTX())
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(TaskConfigError, match="strategy"):
+            FillNaTask("f", {"columns": ["v"], "strategy": "magic"})
+
+    def test_constant_needs_mapping(self):
+        with pytest.raises(TaskConfigError):
+            FillNaTask("f", {"columns": ["v"]})
+
+    def test_schema_preserved(self):
+        task = FillNaTask("f", {"columns": {"v": 0}})
+        schema = Schema.of("v", "w")
+        assert task.output_schema([schema]) == schema
+
+
+class TestCast:
+    def test_numeric_strings_to_int(self):
+        task = CastTask("c", {"columns": {"v": "int"}})
+        out = task.apply(
+            [table([("5",), ("2.9",), (None,)], "v")], CTX()
+        )
+        assert out.column("v") == [5, 2, None]
+
+    def test_bad_cells_become_null_by_default(self):
+        task = CastTask("c", {"columns": {"v": "int"}})
+        out = task.apply([table([("abc",), ("7",)], "v")], CTX())
+        assert out.column("v") == [None, 7]
+
+    def test_on_error_keep(self):
+        task = CastTask(
+            "c", {"columns": {"v": "float"}, "on_error": "keep"}
+        )
+        out = task.apply([table([("abc",), ("2.5",)], "v")], CTX())
+        assert out.column("v") == ["abc", 2.5]
+
+    def test_on_error_fail(self):
+        task = CastTask(
+            "c", {"columns": {"v": "int"}, "on_error": "fail"}
+        )
+        with pytest.raises(TaskExecutionError, match="cannot cast"):
+            task.apply([table([("abc",)], "v")], CTX())
+
+    def test_bool_casting_from_text(self):
+        task = CastTask("c", {"columns": {"b": "bool"}})
+        out = task.apply(
+            [table([("yes",), ("FALSE",), ("maybe",)], "b")], CTX()
+        )
+        assert out.column("b") == [True, False, None]
+
+    def test_string_cast(self):
+        task = CastTask("c", {"columns": {"v": "string"}})
+        out = task.apply([table([(5,), (None,)], "v")], CTX())
+        assert out.column("v") == ["5", None]
+
+    def test_output_schema_carries_types_and_order(self):
+        task = CastTask("c", {"columns": {"b": "int"}})
+        schema = task.output_schema([Schema.of("a", "b", "c")])
+        assert schema.names == ["a", "b", "c"]
+        assert schema["b"].type is ColumnType.INT
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TaskConfigError, match="unknown type"):
+            CastTask("c", {"columns": {"v": "decimal128"}})
+
+    def test_nullified_counter(self):
+        context = CTX()
+        CastTask("c", {"columns": {"v": "int"}}).apply(
+            [table([("x",), ("y",), ("1",)], "v")], context
+        )
+        assert context.counters["task.c.nullified"] == 2
+
+
+class TestSample:
+    def big(self):
+        return table([(i,) for i in range(1000)], "v")
+
+    def test_fraction_sampling_roughly_proportional(self):
+        task = SampleTask("s", {"fraction": 0.3, "seed": 1})
+        out = task.apply([self.big()], CTX())
+        assert 200 < out.num_rows < 400
+
+    def test_n_sampling_exact(self):
+        task = SampleTask("s", {"n": 50, "seed": 2})
+        out = task.apply([self.big()], CTX())
+        assert out.num_rows == 50
+
+    def test_seed_reproducible(self):
+        make = lambda: SampleTask("s", {"n": 10, "seed": 9}).apply(
+            [self.big()], CTX()
+        )
+        assert make() == make()
+
+    def test_different_seed_different_sample(self):
+        a = SampleTask("s", {"n": 10, "seed": 1}).apply(
+            [self.big()], CTX()
+        )
+        b = SampleTask("s", {"n": 10, "seed": 2}).apply(
+            [self.big()], CTX()
+        )
+        assert a != b
+
+    def test_n_larger_than_table(self):
+        task = SampleTask("s", {"n": 99})
+        out = task.apply([table([(1,), (2,)], "v")], CTX())
+        assert out.num_rows == 2
+
+    def test_rows_come_from_source_in_order(self):
+        task = SampleTask("s", {"n": 20, "seed": 4})
+        out = task.apply([self.big()], CTX())
+        values = out.column("v")
+        assert values == sorted(values)
+
+    def test_needs_exactly_one_of_fraction_or_n(self):
+        with pytest.raises(TaskConfigError):
+            SampleTask("s", {})
+        with pytest.raises(TaskConfigError):
+            SampleTask("s", {"fraction": 0.5, "n": 10})
+
+    def test_fraction_bounds(self):
+        with pytest.raises(TaskConfigError):
+            SampleTask("s", {"fraction": 1.5})
+
+    def test_usable_in_flow_files(self):
+        """All three cleansing types work through the registry/DSL."""
+        from repro.dsl import parse_flow_file, validate_flow_file
+
+        source = (
+            "D:\n    raw: [k, v]\n"
+            "F:\n    D.out: D.raw | T.fill | T.types | T.slice\n"
+            "T:\n"
+            "    fill:\n"
+            "        type: fill_na\n"
+            "        columns:\n"
+            "            v: 0\n"
+            "    types:\n"
+            "        type: cast\n"
+            "        columns:\n"
+            "            v: float\n"
+            "    slice:\n"
+            "        type: sample\n"
+            "        fraction: 0.5\n"
+            "        seed: 3\n"
+        )
+        result = validate_flow_file(parse_flow_file(source))
+        assert result.ok, result.errors
+
+
+class TestDistributedSort:
+    def run_sort(self, data, order, partitions=4):
+        from repro.engine import DistributedExecutor, LocalExecutor
+        from repro.engine.plan import LogicalPlan
+        from repro.tasks.misc import SortTask
+
+        task = SortTask("s", {"orderby_column": order})
+        plan = LogicalPlan()
+        load = plan.add_load("raw")
+        plan.add_task(task, [load.id], materializes="out")
+        source = table(data, "k", "v")
+        local = LocalExecutor(lambda n: source).run(plan).table("out")
+        dist = DistributedExecutor(
+            lambda n: source, num_partitions=partitions
+        ).run(plan)
+        return local, dist
+
+    def test_range_partitioned_total_sort_ascending(self):
+        import random
+
+        rng = random.Random(5)
+        data = [(rng.randint(0, 500), i) for i in range(300)]
+        local, dist = self.run_sort(data, ["k ASC"])
+        assert dist.table("out").column("k") == local.column("k")
+
+    def test_descending(self):
+        import random
+
+        rng = random.Random(6)
+        data = [(rng.randint(0, 100), i) for i in range(200)]
+        local, dist = self.run_sort(data, ["k DESC"])
+        assert dist.table("out").column("k") == local.column("k")
+
+    def test_none_keys_sorted_first(self):
+        data = [(3, 1), (None, 2), (1, 3), (None, 4), (2, 5)]
+        local, dist = self.run_sort(data, ["k ASC"], partitions=3)
+        assert dist.table("out").column("k") == [None, None, 1, 2, 3]
+
+    def test_mixed_types_fall_back_gracefully(self):
+        data = [(1, 1), ("a", 2), (2, 3)]
+        local, dist = self.run_sort(data, ["k ASC"], partitions=2)
+        assert dist.table("out").num_rows == 3
+
+    def test_shuffle_stage_recorded(self):
+        data = [(i % 50, i) for i in range(400)]
+        _local, dist = self.run_sort(data, ["k ASC"])
+        shuffles = [s for s in dist.stages if s.kind in ("shuffle", "gather")]
+        assert shuffles and shuffles[0].shuffled_records == 400

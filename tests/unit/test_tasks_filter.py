@@ -1,0 +1,159 @@
+"""Unit tests for filter_by tasks (expression and widget modes)."""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.errors import TaskConfigError
+from repro.tasks.base import TaskContext, WidgetSelection
+from repro.tasks.filter import FilterTask
+
+
+@pytest.fixture
+def table():
+    return Table.from_rows(
+        Schema.of("project", "rating", "date"),
+        [
+            ("pig", 2, "2013-05-02"),
+            ("hive", 5, "2013-05-10"),
+            ("spark", 4, "2013-05-20"),
+        ],
+    )
+
+
+class TestExpressionMode:
+    def test_paper_fig7(self, table):
+        """`filter_expression: rating < 3` (Fig. 7)."""
+        task = FilterTask(
+            "classification", {"filter_expression": "rating < 3"}
+        )
+        out = task.apply([table], TaskContext())
+        assert out.column("project") == ["pig"]
+
+    def test_schema_preserved(self, table):
+        task = FilterTask("f", {"filter_expression": "rating > 0"})
+        assert task.output_schema([table.schema]) == table.schema
+
+    def test_required_columns_from_expression(self):
+        task = FilterTask(
+            "f", {"filter_expression": "rating < 3 and len(project) > 2"}
+        )
+        assert task.required_columns() == {"rating", "project"}
+
+    def test_bad_expression_rejected_at_config_time(self):
+        with pytest.raises(TaskConfigError):
+            FilterTask("f", {"filter_expression": "rating <"})
+
+    def test_counters_recorded(self, table):
+        context = TaskContext()
+        FilterTask("f", {"filter_expression": "rating >= 4"}).apply(
+            [table], context
+        )
+        assert context.counters["task.f.rows_in"] == 3
+        assert context.counters["task.f.rows_out"] == 2
+
+    def test_preserves_rows_flag(self):
+        assert FilterTask("f", {"filter_expression": "1 == 1"}).preserves_rows()
+
+
+class TestWidgetMode:
+    def make(self):
+        """Fig. 15's filter_projects task, verbatim config."""
+        return FilterTask(
+            "filter_projects",
+            {
+                "filter_by": ["project"],
+                "filter_source": "W.project_category_bubble",
+                "filter_val": ["text"],
+            },
+        )
+
+    def context_with(self, **selections):
+        context = TaskContext()
+        for widget, selection in selections.items():
+            context.widget_selections[widget] = selection
+        return context
+
+    def test_discrete_selection_filters(self, table):
+        selection = WidgetSelection(values={"text": ["pig", "spark"]})
+        context = self.context_with(project_category_bubble=selection)
+        out = self.make().apply([table], context)
+        assert out.column("project") == ["pig", "spark"]
+
+    def test_empty_selection_passes_everything(self, table):
+        out = self.make().apply([table], TaskContext())
+        assert out.num_rows == 3
+
+    def test_widget_prefix_stripped(self):
+        assert self.make().widget_source == "project_category_bubble"
+
+    def test_range_selection_from_slider(self, table):
+        """Appendix A.2's filter_by_date: no filter_val, slider range."""
+        task = FilterTask(
+            "filter_by_date",
+            {"filter_by": ["date"], "filter_source": "W.ipl_duration"},
+        )
+        selection = WidgetSelection(
+            ranges={"value": ("2013-05-05", "2013-05-15")}
+        )
+        context = self.context_with(ipl_duration=selection)
+        out = task.apply([table], context)
+        assert out.column("project") == ["hive"]
+
+    def test_range_boundary_inclusive(self, table):
+        task = FilterTask(
+            "f", {"filter_by": ["rating"], "filter_source": "W.s"}
+        )
+        context = self.context_with(
+            s=WidgetSelection(ranges={"value": (2, 4)})
+        )
+        out = task.apply([table], context)
+        assert sorted(out.column("rating")) == [2, 4]
+
+    def test_none_cells_excluded_by_range(self):
+        table = Table.from_rows(Schema.of("v"), [(1,), (None,), (3,)])
+        task = FilterTask(
+            "f", {"filter_by": ["v"], "filter_source": "W.s"}
+        )
+        context = self.context_with(
+            s=WidgetSelection(ranges={"value": (0, 10)})
+        )
+        assert task.apply([table], context).column("v") == [1, 3]
+
+    def test_multi_column_filter(self, table):
+        task = FilterTask(
+            "f",
+            {
+                "filter_by": ["project", "rating"],
+                "filter_source": "W.w",
+                "filter_val": ["text", "size"],
+            },
+        )
+        selection = WidgetSelection(
+            values={"text": ["hive", "spark"]},
+            ranges={"size": (5, 9)},
+        )
+        context = self.context_with(w=selection)
+        out = task.apply([table], context)
+        assert out.column("project") == ["hive"]
+
+    def test_selection_for_missing_widget_column_passes(self, table):
+        task = FilterTask(
+            "f",
+            {
+                "filter_by": ["project"],
+                "filter_source": "W.w",
+                "filter_val": ["other_col"],
+            },
+        )
+        context = self.context_with(
+            w=WidgetSelection(values={"text": ["pig"]})
+        )
+        assert task.apply([table], context).num_rows == 3
+
+    def test_needs_filter_by_columns(self):
+        with pytest.raises(TaskConfigError, match="filter_by"):
+            FilterTask("f", {"filter_source": "W.w"})
+
+    def test_needs_expression_or_source(self):
+        with pytest.raises(TaskConfigError):
+            FilterTask("f", {})

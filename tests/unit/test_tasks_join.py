@@ -1,0 +1,230 @@
+"""Unit tests for join tasks."""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.errors import TaskConfigError
+from repro.tasks.base import TaskContext
+from repro.tasks.join import JoinTask
+
+
+@pytest.fixture
+def players():
+    return Table.from_rows(
+        Schema.of("date", "player", "count"),
+        [
+            ("d1", "Dhoni", 10),
+            ("d1", "Kohli", 7),
+            ("d2", "Unknown", 3),
+        ],
+    )
+
+
+@pytest.fixture
+def team_players():
+    return Table.from_rows(
+        Schema.of("player", "team", "player_id"),
+        [("Dhoni", "CSK", 1), ("Kohli", "RCB", 2), ("Raina", "CSK", 3)],
+    )
+
+
+def make(condition="inner", project=None):
+    config = {
+        "left": "players_tweets by player",
+        "right": "team_players by player",
+        "join_condition": condition,
+    }
+    if project is not None:
+        config["project"] = project
+    return JoinTask("join_player_team", config)
+
+
+def ctx(names=("players_tweets", "team_players")):
+    context = TaskContext()
+    context.input_names = list(names)
+    return context
+
+
+class TestJoinSemantics:
+    def test_inner_join_drops_unmatched(self, players, team_players):
+        out = make("inner").apply([players, team_players], ctx())
+        assert out.num_rows == 2
+
+    def test_left_outer_keeps_left_nulls_right(self, players, team_players):
+        out = make("left outer").apply([players, team_players], ctx())
+        rows = {r["player"]: r for r in out.rows()}
+        assert rows["Unknown"]["team"] is None
+        assert rows["Dhoni"]["team"] == "CSK"
+
+    def test_right_outer(self, players, team_players):
+        out = make("right outer").apply([players, team_players], ctx())
+        players_seen = out.column("player")
+        # Raina has no tweets: appears with None left columns.
+        assert None in out.column("date")
+        assert out.num_rows == 3
+
+    def test_full_outer(self, players, team_players):
+        out = make("full outer").apply([players, team_players], ctx())
+        assert out.num_rows == 4  # 2 matches + Unknown + Raina
+
+    def test_case_insensitive_condition(self, players, team_players):
+        """Appendix A.1 uses 'LEFT OUTER' uppercase."""
+        out = make("LEFT OUTER").apply([players, team_players], ctx())
+        assert out.num_rows == 3
+
+    def test_duplicate_right_keys_multiply(self, players):
+        right = Table.from_rows(
+            Schema.of("player", "team"),
+            [("Dhoni", "CSK"), ("Dhoni", "India")],
+        )
+        out = make("inner").apply([players, right], ctx())
+        assert out.num_rows == 2
+
+    def test_none_keys_never_match(self):
+        left = Table.from_rows(
+            Schema.of("player", "v"), [(None, 1), ("a", 2)]
+        )
+        right = Table.from_rows(
+            Schema.of("player", "w"), [(None, 9), ("a", 8)]
+        )
+        out = make("left outer").apply([left, right], ctx())
+        rows = {r["v"]: r for r in out.rows()}
+        assert rows[1]["w"] is None  # None key unmatched
+        assert rows[2]["w"] == 8
+
+    def test_composite_keys(self):
+        task = JoinTask(
+            "j",
+            {
+                "left": "a by k1, k2",
+                "right": "b by k1, k2",
+                "join_condition": "inner",
+            },
+        )
+        left = Table.from_rows(
+            Schema.of("k1", "k2", "v"), [(1, 1, "x"), (1, 2, "y")]
+        )
+        right = Table.from_rows(
+            Schema.of("k1", "k2", "w"), [(1, 2, "z")]
+        )
+        context = TaskContext()
+        context.input_names = ["a", "b"]
+        out = task.apply([left, right], context)
+        assert out.to_records() == [{"k1": 1, "k2": 2, "v": "y", "w": "z"}]
+
+    def test_mismatched_key_names(self):
+        """join_dim_teams joins team against team_fullName (App. A.1)."""
+        task = JoinTask(
+            "j",
+            {
+                "left": "tweets by team",
+                "right": "dims by team_fullName",
+                "join_condition": "inner",
+            },
+        )
+        left = Table.from_rows(
+            Schema.of("team", "n"), [("Chennai Super Kings", 5)]
+        )
+        right = Table.from_rows(
+            Schema.of("team_fullName", "color"),
+            [("Chennai Super Kings", "#fc0")],
+        )
+        context = TaskContext()
+        context.input_names = ["tweets", "dims"]
+        out = task.apply([left, right], context)
+        assert out.row(0)["color"] == "#fc0"
+
+    def test_inputs_reordered_by_name(self, players, team_players):
+        """Inputs arriving (right, left) are swapped via input names."""
+        out = make("inner").apply(
+            [team_players, players],
+            ctx(names=("team_players", "players_tweets")),
+        )
+        assert "date" in out.schema  # left columns present
+        assert out.num_rows == 2
+
+
+class TestProjection:
+    def test_explicit_project_renames(self, players, team_players):
+        """Appendix A.1's project maps prefixed columns to outputs."""
+        project = {
+            "players_tweets_date": "date",
+            "players_tweets_player": "player",
+            "players_tweets_count": "noOfTweets",
+            "team_players_team": "team",
+        }
+        out = make("left outer", project).apply(
+            [players, team_players], ctx()
+        )
+        assert out.schema.names == ["date", "player", "noOfTweets", "team"]
+        assert out.row(0) == {
+            "date": "d1", "player": "Dhoni", "noOfTweets": 10,
+            "team": "CSK",
+        }
+
+    def test_project_prefix_match_case_insensitive(self, players, team_players):
+        """The paper mixes `dim_teams_Team` capitalizations."""
+        project = {"Players_Tweets_player": "p"}
+        out = make("inner", project).apply([players, team_players], ctx())
+        assert out.schema.names == ["p"]
+
+    def test_project_unknown_prefix_raises(self):
+        with pytest.raises(TaskConfigError, match="does not start with"):
+            make("inner", {"mystery_col": "x"})._projection()
+
+    def test_default_projection_suffixes_collisions(self):
+        task = JoinTask(
+            "j", {"left": "a by k", "right": "b by k"},
+        )
+        left = Table.from_rows(Schema.of("k", "v"), [(1, "L")])
+        right = Table.from_rows(Schema.of("k", "v"), [(1, "R")])
+        context = TaskContext()
+        context.input_names = ["a", "b"]
+        out = task.apply([left, right], context)
+        assert out.schema.names == ["k", "v", "v_right"]
+        assert out.row(0) == {"k": 1, "v": "L", "v_right": "R"}
+
+
+class TestConfigValidation:
+    def test_missing_sides_raise(self):
+        with pytest.raises(TaskConfigError):
+            JoinTask("j", {"left": "a by k"})
+
+    def test_bad_side_syntax(self):
+        with pytest.raises(TaskConfigError, match="by"):
+            JoinTask("j", {"left": "a", "right": "b by k"})
+
+    def test_key_arity_mismatch(self):
+        with pytest.raises(TaskConfigError, match="arity"):
+            JoinTask("j", {"left": "a by k1, k2", "right": "b by k"})
+
+    def test_unknown_condition(self):
+        with pytest.raises(TaskConfigError, match="join_condition"):
+            JoinTask(
+                "j",
+                {"left": "a by k", "right": "b by k",
+                 "join_condition": "sideways"},
+            )
+
+    def test_output_schema_with_project(self):
+        task = make("inner", {"players_tweets_date": "d"})
+        schema = task.output_schema(
+            [Schema.of("date", "player", "count"),
+             Schema.of("player", "team")]
+        )
+        assert schema.names == ["d"]
+
+    def test_output_schema_requires_keys(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            make().output_schema(
+                [Schema.of("nope"), Schema.of("player")]
+            )
+
+    def test_d_prefix_stripped_in_side_names(self):
+        task = JoinTask(
+            "j", {"left": "D.a by k", "right": "D.b by k"}
+        )
+        assert task.left_name == "a"
+        assert task.right_name == "b"

@@ -1,0 +1,147 @@
+"""Unit tests for user-defined tasks (python + native map-reduce)."""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.errors import TaskConfigError, TaskExecutionError
+from repro.tasks.base import TaskContext
+from repro.tasks.udf import NativeMapReduceTask, PythonTask
+
+
+def table(rows, *names):
+    return Table.from_rows(Schema.of(*names), rows)
+
+
+class TestPythonTask:
+    def test_table_function_applied(self):
+        task = PythonTask(
+            "double",
+            {"function": lambda t: t.with_column(
+                "v2", [v * 2 for v in t.column("v")]
+            )},
+        )
+        out = task.apply([table([(3,)], "v")], TaskContext())
+        assert out.column("v2") == [6]
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TaskConfigError, match="callable"):
+            PythonTask("p", {"function": "not callable"})
+
+    def test_declared_output_columns_enforced(self):
+        task = PythonTask(
+            "p",
+            {
+                "function": lambda t: t,
+                "output_columns": ["something_else"],
+            },
+        )
+        with pytest.raises(TaskExecutionError, match="declared output"):
+            task.apply([table([(1,)], "v")], TaskContext())
+
+    def test_output_schema_from_declaration(self):
+        task = PythonTask(
+            "p", {"function": lambda t: t, "output_columns": ["a", "b"]}
+        )
+        assert task.output_schema([Schema.of("v")]).names == ["a", "b"]
+
+    def test_output_schema_passthrough_without_declaration(self):
+        task = PythonTask("p", {"function": lambda t: t})
+        assert task.output_schema([Schema.of("v")]).names == ["v"]
+
+    def test_non_table_return_rejected(self):
+        task = PythonTask("p", {"function": lambda t: [1, 2]})
+        with pytest.raises(TaskExecutionError, match="must return a Table"):
+            task.apply([table([(1,)], "v")], TaskContext())
+
+    def test_user_exception_wrapped(self):
+        def boom(_table):
+            raise ValueError("kaput")
+
+        task = PythonTask("p", {"function": boom})
+        with pytest.raises(TaskExecutionError, match="kaput"):
+            task.apply([table([(1,)], "v")], TaskContext())
+
+
+class TestNativeMapReduce:
+    def make_wordcount(self):
+        """The classic job, through the §4.2 category-4 API."""
+
+        def mapper(row):
+            for word in (row["text"] or "").split():
+                yield word, 1
+
+        def reducer(word, counts):
+            yield {"word": word, "count": sum(counts)}
+
+        return NativeMapReduceTask(
+            "wordcount",
+            {
+                "mapper": mapper,
+                "reducer": reducer,
+                "output_columns": ["word", "count"],
+            },
+        )
+
+    def test_wordcount(self):
+        data = table([("a b a",), ("b c",)], "text")
+        out = self.make_wordcount().apply([data], TaskContext())
+        counts = {r["word"]: r["count"] for r in out.rows()}
+        assert counts == {"a": 2, "b": 2, "c": 1}
+
+    def test_output_schema_is_declared(self):
+        assert self.make_wordcount().output_schema(
+            [Schema.of("text")]
+        ).names == ["word", "count"]
+
+    def test_shuffle_counter_recorded(self):
+        context = TaskContext()
+        self.make_wordcount().apply([table([("a a a",)], "text")], context)
+        assert context.counters["task.wordcount.shuffled"] == 3
+
+    def test_key_order_deterministic_first_seen(self):
+        data = table([("z y",), ("y x",)], "text")
+        out = self.make_wordcount().apply([data], TaskContext())
+        assert out.column("word") == ["z", "y", "x"]
+
+    def test_missing_callables_rejected(self):
+        with pytest.raises(TaskConfigError):
+            NativeMapReduceTask(
+                "m", {"mapper": lambda r: [], "output_columns": ["a"]}
+            )
+
+    def test_missing_output_columns_rejected(self):
+        with pytest.raises(TaskConfigError, match="output_columns"):
+            NativeMapReduceTask(
+                "m",
+                {"mapper": lambda r: [], "reducer": lambda k, v: []},
+            )
+
+    def test_mapper_exception_wrapped(self):
+        def bad_mapper(row):
+            raise RuntimeError("mapper died")
+
+        task = NativeMapReduceTask(
+            "m",
+            {
+                "mapper": bad_mapper,
+                "reducer": lambda k, v: [],
+                "output_columns": ["a"],
+            },
+        )
+        with pytest.raises(TaskExecutionError, match="mapper"):
+            task.apply([table([(1,)], "v")], TaskContext())
+
+    def test_reducer_exception_wrapped(self):
+        def bad_reducer(key, values):
+            raise RuntimeError("reducer died")
+
+        task = NativeMapReduceTask(
+            "m",
+            {
+                "mapper": lambda row: [(1, 1)],
+                "reducer": bad_reducer,
+                "output_columns": ["a"],
+            },
+        )
+        with pytest.raises(TaskExecutionError, match="reducer"):
+            task.apply([table([(1,)], "v")], TaskContext())

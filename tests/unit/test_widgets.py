@@ -1,0 +1,344 @@
+"""Unit tests for widgets, layout widgets, and the grid renderer."""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.dsl.ast_nodes import LayoutCell, LayoutSpec
+from repro.errors import LayoutError, WidgetError
+from repro.widgets import default_widget_registry
+from repro.widgets.charts import (
+    BarChart,
+    BubbleChart,
+    DataGrid,
+    HtmlWidget,
+    ListWidget,
+    MapMarker,
+    PieChart,
+    Slider,
+    Streamgraph,
+    WordCloud,
+)
+from repro.widgets.layout import GridRenderer, LayoutWidget, TabLayout
+
+
+def table(rows, *names):
+    return Table.from_rows(Schema.of(*names), rows)
+
+
+class TestBubbleChart:
+    def make(self):
+        """Fig. 12's configuration."""
+        return BubbleChart(
+            "project_bubble",
+            {
+                "text": "project",
+                "size": "total_wt",
+                "legend_text": "technology",
+                "default_selection": True,
+                "default_selection_key": "text",
+                "default_selection_value": "pig",
+            },
+        )
+
+    DATA = [("pig", 10.0, "big data"), ("hive", 40.0, "big data")]
+
+    def test_payload_bubbles(self):
+        view = self.make().render(
+            table(self.DATA, "project", "total_wt", "technology")
+        )
+        assert view.payload["bubbles"][0]["text"] == "pig"
+        assert view.payload["bubbles"][1]["size"] == 40.0
+
+    def test_radius_scales_with_sqrt_size(self):
+        view = self.make().render(
+            table(self.DATA, "project", "total_wt", "technology")
+        )
+        r_small = view.payload["bubbles"][0]["radius"]
+        r_big = view.payload["bubbles"][1]["radius"]
+        assert r_big > r_small
+
+    def test_default_selection_applied(self):
+        widget = self.make()
+        assert widget.selection.values["text"] == ["pig"]
+
+    def test_selected_bubble_highlighted_in_svg(self):
+        view = self.make().render(
+            table(self.DATA, "project", "total_wt", "technology")
+        )
+        assert "stroke" in view.html
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(WidgetError, match="text"):
+            BubbleChart("b", {"size": "s"})
+
+    def test_bound_column_missing_from_source(self):
+        widget = BubbleChart("b", {"text": "nope", "size": "s"})
+        with pytest.raises(WidgetError, match="nope"):
+            widget.render(table([(1,)], "s"))
+
+    def test_none_source_renders_empty(self):
+        view = self.make().render(None)
+        assert view.payload == {"bubbles": []}
+
+    def test_default_selection_without_key_raises(self):
+        with pytest.raises(WidgetError):
+            BubbleChart(
+                "b",
+                {"text": "t", "size": "s", "default_selection": True},
+            )
+
+
+class TestWordCloud:
+    def test_font_sizes_ordered_by_count(self):
+        widget = WordCloud("w", {"text": "word", "size": "count"})
+        view = widget.render(table([("a", 5), ("b", 50)], "word", "count"))
+        words = {i["text"]: i["font"] for i in view.payload["words"]}
+        assert words["b"] > words["a"]
+
+    def test_items_sorted_descending(self):
+        widget = WordCloud("w", {"text": "word", "size": "count"})
+        view = widget.render(
+            table([("a", 5), ("b", 50), ("c", 20)], "word", "count")
+        )
+        assert [i["text"] for i in view.payload["words"]] == ["b", "c", "a"]
+
+
+class TestStreamgraph:
+    def make(self):
+        return Streamgraph(
+            "s", {"x": "date", "y": "n", "serie": "team", "color": "color"}
+        )
+
+    DATA = [
+        ("d1", 5, "CSK", "#fc0"),
+        ("d1", 3, "MI", "#00f"),
+        ("d2", 7, "CSK", "#fc0"),
+    ]
+
+    def test_series_totals(self):
+        view = self.make().render(
+            table(self.DATA, "date", "n", "team", "color")
+        )
+        assert view.payload["series"]["CSK"] == {"d1": 5, "d2": 7}
+        assert view.payload["domain"] == ["d1", "d2"]
+
+    def test_series_colors_used(self):
+        view = self.make().render(
+            table(self.DATA, "date", "n", "team", "color")
+        )
+        assert "#fc0" in view.html
+
+    def test_duplicate_points_summed(self):
+        data = self.DATA + [("d1", 2, "CSK", "#fc0")]
+        view = self.make().render(
+            table(data, "date", "n", "team", "color")
+        )
+        assert view.payload["series"]["CSK"]["d1"] == 7
+
+
+class TestSimpleCharts:
+    def test_bar_payload(self):
+        view = BarChart("b", {"x": "k", "y": "v"}).render(
+            table([("a", 3)], "k", "v")
+        )
+        assert view.payload["bars"] == [{"x": "a", "y": 3.0}]
+
+    def test_pie_fractions_sum_to_one(self):
+        view = PieChart("p", {"label": "k", "value": "v"}).render(
+            table([("a", 1), ("b", 3)], "k", "v")
+        )
+        total = sum(w["fraction"] for w in view.payload["wedges"])
+        assert total == pytest.approx(1.0)
+
+    def test_list_selection_marked(self):
+        widget = ListWidget("l", {"text": "k"})
+        widget.select_values("text", ["b"])
+        view = widget.render(table([("a",), ("b",)], "k"))
+        assert view.payload["selected"] == ["b"]
+        assert "*b*" in view.text
+
+    def test_datagrid_counts_and_pages(self):
+        widget = DataGrid("g", {"page_size": 2})
+        view = widget.render(table([(i,) for i in range(5)], "v"))
+        assert view.payload["total_rows"] == 5
+        assert len(view.payload["rows"]) == 2
+
+    def test_html_widget_renders_first_row(self):
+        view = HtmlWidget("h", {"tag": "section"}).render(
+            table([("pig", 9)], "project", "total")
+        )
+        assert "<section" in view.html
+        assert view.payload["row"] == {"project": "pig", "total": 9}
+
+    def test_html_widget_empty_table(self):
+        view = HtmlWidget("h", {}).render(table([], "a"))
+        assert "(empty)" in view.text
+
+    def test_html_escaping(self):
+        view = HtmlWidget("h", {}).render(
+            table([("<script>alert(1)</script>",)], "payload")
+        )
+        assert "<script>" not in view.html
+        assert "&lt;script&gt;" in view.html
+
+
+class TestSlider:
+    def test_static_domain_with_range_selects_all(self):
+        widget = Slider("s", {"range": True})
+        widget.set_domain(["2013-05-02", "2013-05-27"])
+        assert widget.selection.ranges["value"] == (
+            "2013-05-02", "2013-05-27"
+        )
+
+    def test_render_shows_bounds(self):
+        widget = Slider("s", {"range": True})
+        widget.set_domain([1, 2, 3])
+        view = widget.render(None)
+        assert view.payload["low"] == 1
+        assert view.payload["high"] == 3
+
+    def test_data_bound_slider_domain_from_column(self):
+        widget = Slider("s", {"value": "year", "range": True})
+        widget.render(table([(2011,), (2013,), (2012,)], "year"))
+        assert widget.domain == [2011, 2012, 2013]
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(WidgetError):
+            Slider("s", {}).set_domain([])
+
+
+class TestMapMarker:
+    def make(self):
+        """Appendix A.2's regiontweets marker spec."""
+        return MapMarker(
+            "map",
+            {
+                "country": "IND",
+                "markers": [
+                    {
+                        "marker1": {
+                            "type": "circle_marker",
+                            "latlong_value": "point_one",
+                            "markersize": "noOfTweets",
+                            "fill_color": "color",
+                            "tooltip_text": ["state", "team"],
+                        }
+                    }
+                ],
+            },
+        )
+
+    def test_markers_rendered(self):
+        data = table(
+            [("19.07,72.87", 10, "#00f", "Maharashtra", "MI")],
+            "point_one", "noOfTweets", "color", "state", "team",
+        )
+        view = self.make().render(data)
+        assert len(view.payload["markers"]) == 1
+        marker = view.payload["markers"][0]
+        assert marker["tooltip"] == {"state": "Maharashtra", "team": "MI"}
+        assert "circle" in view.html
+
+    def test_missing_markers_config_raises(self):
+        with pytest.raises(WidgetError, match="markers"):
+            MapMarker("m", {})
+
+    def test_bad_latlong_falls_back_to_center(self):
+        data = table(
+            [("not a point", 1, "#000", "s", "t")],
+            "point_one", "noOfTweets", "color", "state", "team",
+        )
+        view = self.make().render(data)  # no crash
+        assert view.payload["markers"][0]["latlong"] == "not a point"
+
+
+class TestLayoutWidgets:
+    def test_layout_widget_children(self):
+        widget = LayoutWidget(
+            "sub", {"rows": [[{"span11": "W.inner"}]]}
+        )
+        assert widget.child_names() == ["inner"]
+
+    def test_layout_widget_needs_rows(self):
+        with pytest.raises(LayoutError):
+            LayoutWidget("sub", {})
+
+    def test_tab_layout_children(self):
+        widget = TabLayout(
+            "tabs",
+            {"tabs": [{"name": "A", "body": "W.x"},
+                      {"name": "B", "body": "W.y"}]},
+        )
+        assert widget.child_names() == ["x", "y"]
+
+    def test_tab_layout_composite_render(self):
+        from repro.widgets.base import WidgetView
+
+        widget = TabLayout(
+            "tabs", {"tabs": [{"name": "A", "body": "W.x"}]}
+        )
+        view = widget.render_composite(
+            lambda name: WidgetView(
+                widget=name, type_name="Bar", html="<b>X</b>", text="X!"
+            )
+        )
+        assert "<b>X</b>" in view.html
+        assert "X!" in view.text
+
+    def test_tab_without_body_raises(self):
+        with pytest.raises(LayoutError):
+            TabLayout("t", {"tabs": [{"name": "A"}]})
+
+
+class TestGridRenderer:
+    def test_spans_become_percent_widths(self):
+        from repro.widgets.base import WidgetView
+
+        layout = LayoutSpec(
+            rows=[[LayoutCell(span=4, widget="a"),
+                   LayoutCell(span=8, widget="b")]]
+        )
+        html, text = GridRenderer().render_rows(
+            layout,
+            lambda name: WidgetView(
+                widget=name, type_name="Bar", html=f"[{name}]",
+                text=name,
+            ),
+        )
+        assert "width:33.33%" in html
+        assert "width:66.67%" in html
+        assert "(4/12) a | (8/12) b" in text
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = default_widget_registry()
+        for name in (
+            "BubbleChart", "WordCloud", "Streamgraph", "Line", "Bar",
+            "Pie", "Slider", "List", "MapMarker", "HTML", "DataGrid",
+            "Layout", "TabLayout",
+        ):
+            assert name in registry
+
+    def test_case_insensitive_lookup(self):
+        registry = default_widget_registry()
+        widget = registry.create("w", "bubblechart", {"text": "a", "size": "b"})
+        assert isinstance(widget, BubbleChart)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(WidgetError, match="unknown type"):
+            default_widget_registry().create("w", "Hologram", {})
+
+    def test_custom_widget_registration(self):
+        from repro.widgets.base import Widget
+
+        class Gauge(Widget):
+            type_name = "GaugeTest"
+            data_attributes = ("value",)
+
+            def render(self, table):
+                return self._view({}, "", "gauge")
+
+        registry = default_widget_registry()
+        registry.register(Gauge)
+        assert "GaugeTest" in registry

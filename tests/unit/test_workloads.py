@@ -1,0 +1,159 @@
+"""Unit tests for the synthetic workload generators."""
+
+import json
+
+from repro.dsl import parse_flow_file, validate_flow_file
+from repro.workloads import (
+    APACHE_FLOW,
+    IPL_CONSUMPTION_FLOW,
+    IPL_PROCESSING_FLOW,
+    apache,
+    ipl,
+)
+
+
+class TestIplTweets:
+    def test_deterministic_for_seed(self):
+        assert ipl.generate_tweets(50, seed=1) == ipl.generate_tweets(
+            50, seed=1
+        )
+        assert ipl.generate_tweets(50, seed=1) != ipl.generate_tweets(
+            50, seed=2
+        )
+
+    def test_gnip_payload_shape(self):
+        doc = ipl.generate_tweets(1, seed=3)[0]
+        assert set(doc) == {"created_at", "text", "user"}
+        assert "location" in doc["user"]
+
+    def test_dates_within_season_and_java_format(self):
+        import datetime
+
+        for doc in ipl.generate_tweets(100, seed=4):
+            moment = datetime.datetime.strptime(
+                doc["created_at"], "%a %b %d %H:%M:%S %z %Y"
+            )
+            assert ipl.SEASON_START <= moment.date() <= ipl.SEASON_END
+
+    def test_texts_mention_extractable_entities(self):
+        """Most tweets carry a dictionary-resolvable player or team."""
+        players = ipl.players_dictionary()
+        teams = ipl.teams_dictionary()
+        hits = 0
+        docs = ipl.generate_tweets(200, seed=5)
+        for doc in docs:
+            text = doc["text"].lower()
+            if any(s in text for s in players) or any(
+                s in text for s in teams
+            ):
+                hits += 1
+        assert hits / len(docs) > 0.9
+
+    def test_some_locations_are_dirty(self):
+        """§5.2 obs. 4: real data needs cleansing — ours does too."""
+        locations = [
+            d["user"]["location"] for d in ipl.generate_tweets(300, seed=6)
+        ]
+        known_cities = {c.lower() for c in ipl.CITIES}
+        dirty = [
+            loc
+            for loc in locations
+            if not any(c in loc.lower() for c in known_cities)
+        ]
+        assert 0 < len(dirty) < len(locations) / 2
+
+    def test_tweets_json_is_valid_json(self):
+        docs = json.loads(ipl.tweets_json(20, seed=7))
+        assert len(docs) == 20
+
+    def test_dictionaries_map_to_canonical(self):
+        players = ipl.players_dictionary()
+        assert players["msd"] == "MS Dhoni"
+        assert players["mahi"] == "MS Dhoni"
+        teams = ipl.teams_dictionary()
+        assert teams["csk"] == "Chennai Super Kings"
+
+    def test_dictionary_files_parse_back(self):
+        from repro.tasks.base import _parse_dictionary
+
+        parsed = _parse_dictionary(ipl.players_txt().decode())
+        assert parsed["msd"] == "MS Dhoni"
+
+    def test_dimension_tables_consistent(self):
+        dims = ipl.dim_teams_table()
+        team_players = ipl.team_players_table()
+        dim_fulls = set(dims.column("team_fullName"))
+        assert set(team_players.column("team_fullName")) <= dim_fulls
+        lat_long = ipl.lat_long_table()
+        assert all("," in p for p in lat_long.column("point_one"))
+
+    def test_every_player_team_exists(self):
+        team_keys = {key for key, _f, _c, _o in ipl.TEAMS}
+        assert all(team in team_keys for _p, team, _s in ipl.PLAYERS)
+
+
+class TestApacheFeeds:
+    def test_svn_jira_covers_all_projects_years(self):
+        table = apache.svn_jira_summary_table()
+        assert table.num_rows == len(apache.PROJECTS) * len(apache.YEARS)
+
+    def test_activity_skew_matches_weights(self):
+        """hadoop (weight 3.0) out-checkins derby (weight 0.5)."""
+        table = apache.svn_jira_summary_table()
+        totals: dict = {}
+        for row in table.rows():
+            totals[row["project"]] = totals.get(row["project"], 0) + row[
+                "noOfCheckins"
+            ]
+        assert totals["hadoop"] > 3 * totals["derby"]
+
+    def test_stack_summary_answers_below_questions(self):
+        for row in apache.stack_summary_table().rows():
+            assert row["answer"] <= row["question"]
+
+    def test_releases_have_valid_dates(self):
+        for row in apache.releases_table().rows():
+            year, month, day = row["release_date"].split("-")
+            assert int(row["year"]) == int(year)
+            assert 1 <= int(month) <= 12
+
+    def test_all_tables_keyed_by_flow_names(self):
+        tables = apache.all_tables()
+        assert set(tables) == {
+            "svn_jira_summary", "stack_summary", "releases",
+            "contributors", "project_categories",
+        }
+
+
+class TestCanonicalFlowFiles:
+    def test_apache_flow_is_valid(self):
+        result = validate_flow_file(parse_flow_file(APACHE_FLOW))
+        assert result.ok, result.errors
+
+    def test_ipl_processing_flow_is_valid(self):
+        result = validate_flow_file(parse_flow_file(IPL_PROCESSING_FLOW))
+        assert result.ok, result.errors
+
+    def test_ipl_consumption_validates_against_catalog(self):
+        processing = parse_flow_file(IPL_PROCESSING_FLOW)
+        validation = validate_flow_file(processing)
+        catalog_schemas = {
+            obj.publish: validation.schemas.get(obj.name) or obj.schema
+            for obj in processing.published()
+        }
+        result = validate_flow_file(
+            parse_flow_file(IPL_CONSUMPTION_FLOW),
+            catalog_schemas=catalog_schemas,
+        )
+        assert result.ok, result.errors
+
+    def test_processing_publishes_exactly_what_consumption_reads(self):
+        processing = parse_flow_file(IPL_PROCESSING_FLOW)
+        consumption = parse_flow_file(IPL_CONSUMPTION_FLOW)
+        published = {obj.publish for obj in processing.published()}
+        consumed = {
+            widget.source.inputs[0]
+            for widget in consumption.widgets.values()
+            if widget.source is not None
+        }
+        assert consumed <= published
