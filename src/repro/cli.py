@@ -62,6 +62,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print this endpoint's rows as JSON after the run",
     )
+    run.add_argument(
+        "--fault-profile",
+        default=None,
+        metavar="PROFILE[:SEED]",
+        help=(
+            "inject seeded faults on the distributed engine "
+            "(none, transient, lost, straggler, flaky, chaos) "
+            "to demo the resilience layer"
+        ),
+    )
 
     render = commands.add_parser(
         "render", help="run + render the dashboard"
@@ -102,7 +112,11 @@ def _cmd_validate(args) -> int:
 
 def _cmd_run(args) -> int:
     platform, name = _load(args)
-    report = platform.run_dashboard(name, engine=args.engine)
+    report = platform.run_dashboard(
+        name,
+        engine=args.engine,
+        fault_profile=getattr(args, "fault_profile", None),
+    )
     print(
         f"ran {name!r} on the {report.engine} engine in "
         f"{report.seconds * 1000:.1f} ms; "
@@ -110,6 +124,15 @@ def _cmd_run(args) -> int:
         f"endpoints: {', '.join(report.endpoints) or '-'}",
         file=sys.stderr,
     )
+    if report.retried_partitions or report.recovered_stages:
+        print(
+            f"resilience: {report.attempts} attempts, "
+            f"{report.retried_partitions} retried partition(s), "
+            f"{report.speculative_wins} speculative win(s), "
+            f"{len(report.recovered_stages)} recovered stage(s): "
+            f"{', '.join(report.recovered_stages) or '-'}",
+            file=sys.stderr,
+        )
     if args.endpoint:
         table = platform.get_dashboard(name).endpoint(args.endpoint)
         json.dump(table.to_records(), sys.stdout, default=str, indent=2)

@@ -8,20 +8,38 @@ server also backs the platform's SFTP-style extension-upload interface
 
 from __future__ import annotations
 
+import random
 from typing import Any, Mapping
 from urllib.parse import urlsplit
 
 from repro.connectors.base import Connector, FetchResult
-from repro.errors import ConnectorError
+from repro.errors import (
+    ConnectorAuthError,
+    ConnectorError,
+    ConnectorNotFoundError,
+    TransientConnectorError,
+)
+from repro.resilience import Clock, RetryPolicy, SimulatedClock
 
 
 class SimulatedFtpServer:
-    """An in-memory path → bytes store with credential checks."""
+    """An in-memory path → bytes store with credential checks.
+
+    Failures are *classified*: a bad login raises
+    :class:`ConnectorAuthError` and a missing file
+    :class:`ConnectorNotFoundError` — both permanent, so the retry
+    layer fails fast instead of pointlessly re-logging-in.
+    ``set_flaky`` injects seeded transient connection drops
+    (:class:`TransientConnectorError`, retryable) to exercise the
+    connector's retry path.
+    """
 
     def __init__(self, users: Mapping[str, str] | None = None):
         # Default account mirrors the anonymous-FTP convention.
         self._users = dict(users or {"anonymous": ""})
         self._files: dict[str, bytes] = {}
+        self._flaky_rate = 0.0
+        self._random = random.Random(0)
 
     def add_user(self, username: str, password: str) -> None:
         self._users[username] = password
@@ -29,22 +47,44 @@ class SimulatedFtpServer:
     def put(self, path: str, payload: bytes) -> None:
         self._files[_normalize(path)] = payload
 
+    def set_flaky(self, rate: float, seed: int = 0) -> None:
+        """Drop connections with probability ``rate`` (seeded)."""
+        self._flaky_rate = rate
+        self._random = random.Random(seed)
+
     def authenticate(self, username: str, password: str) -> bool:
         return self._users.get(username) == password
 
+    def _maybe_drop(self, path: str) -> None:
+        if self._flaky_rate and self._random.random() < self._flaky_rate:
+            raise TransientConnectorError(
+                f"FTP connection dropped while transferring {path} "
+                f"(simulated)"
+            )
+
     def retr(self, path: str, username: str, password: str) -> bytes:
         if not self.authenticate(username, password):
-            raise ConnectorError(f"FTP login failed for {username!r}")
+            raise ConnectorAuthError(
+                f"FTP login failed for {username!r} (permanent; "
+                f"not retried)"
+            )
         key = _normalize(path)
         if key not in self._files:
-            raise ConnectorError(f"FTP file not found: {path}")
+            raise ConnectorNotFoundError(
+                f"FTP file not found: {path} (permanent; not retried)"
+            )
+        self._maybe_drop(path)
         return self._files[key]
 
     def stor(
         self, path: str, payload: bytes, username: str, password: str
     ) -> None:
         if not self.authenticate(username, password):
-            raise ConnectorError(f"FTP login failed for {username!r}")
+            raise ConnectorAuthError(
+                f"FTP login failed for {username!r} (permanent; "
+                f"not retried)"
+            )
+        self._maybe_drop(path)
         self._files[_normalize(path)] = payload
 
     def listdir(self, prefix: str) -> list[str]:
@@ -61,23 +101,49 @@ def _normalize(path: str) -> str:
 class FtpConnector(Connector):
     name = "ftp"
 
-    def __init__(self, server: SimulatedFtpServer | None = None):
+    def __init__(
+        self,
+        server: SimulatedFtpServer | None = None,
+        retry_policy: RetryPolicy | None = None,
+        clock: Clock | None = None,
+    ):
         self._server = server or SimulatedFtpServer()
+        self._policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.1
+        )
+        self._clock = clock or SimulatedClock()
 
     @property
     def server(self) -> SimulatedFtpServer:
         return self._server
 
+    def _policy_for(self, config: Mapping[str, Any]) -> RetryPolicy:
+        if "retries" in config:
+            return self._policy.with_attempts(
+                max(0, int(config["retries"])) + 1
+            )
+        return self._policy
+
     def fetch(self, config: Mapping[str, Any]) -> FetchResult:
         path, username, password = self._credentials(config)
-        payload = self._server.retr(path, username, password)
+        payload = self._policy_for(config).call(
+            lambda _n: self._server.retr(path, username, password),
+            clock=self._clock,
+            key=path,
+        )
         return FetchResult(
             payload=payload, metadata={"path": path, "size": len(payload)}
         )
 
     def store(self, config: Mapping[str, Any], payload: bytes) -> None:
         path, username, password = self._credentials(config)
-        self._server.stor(path, payload, username, password)
+        self._policy_for(config).call(
+            lambda _n: self._server.stor(
+                path, payload, username, password
+            ),
+            clock=self._clock,
+            key=path,
+        )
 
     @staticmethod
     def _credentials(config: Mapping[str, Any]) -> tuple[str, str, str]:

@@ -3,9 +3,16 @@
 The paper's data objects can "directly talk to the provider APIs"
 (Fig. 6: a Stack Exchange GET with custom headers).  Offline, we route
 requests through :class:`SimulatedHttpTransport`: a registry of URL
-handlers with optional latency and fault injection, so retries, headers,
-query parameters, pagination and error handling are all exercised exactly
-as they would be against a live endpoint.
+handlers with optional latency and fault injection (transient 5xx,
+timeouts, slow responses), so retries, headers, query parameters,
+pagination and error handling are all exercised exactly as they would
+be against a live endpoint.
+
+Error handling rides the shared resilience layer
+(:mod:`repro.resilience`): transient failures (5xx, timeouts) retry
+under a :class:`RetryPolicy` with deterministic backoff, permanent 4xx
+responses fail fast, and an optional per-host circuit breaker stops
+hammering a dead endpoint.
 
 Flow-file keys honoured: ``source`` (URL), ``request_type`` (get/post),
 ``http_headers`` (mapping), ``body`` (POST payload), ``retries``.
@@ -20,7 +27,18 @@ from typing import Any, Callable, Mapping
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.connectors.base import Connector, FetchResult
-from repro.errors import ConnectorError
+from repro.errors import (
+    ConnectorError,
+    ConnectorNotFoundError,
+    ConnectorTimeoutError,
+    TransientConnectorError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    Clock,
+    RetryPolicy,
+    SimulatedClock,
+)
 
 
 @dataclass
@@ -54,15 +72,38 @@ Handler = Callable[[HttpRequest], HttpResponse]
 class SimulatedHttpTransport:
     """URL-pattern → handler registry standing in for the network.
 
-    ``failure_rate`` injects transient 503s (deterministically, via the
-    provided ``seed``) to exercise the connector's retry loop.
+    Failure injection, all deterministic via ``seed``:
+
+    - ``failure_rate`` — probability of a transient 503;
+    - ``timeout_rate`` — probability the request times out
+      (:class:`ConnectorTimeoutError`, retryable);
+    - ``slow_rate`` — probability of a slow response: the reply is
+      correct but arrives after ``slow_seconds`` on the transport's
+      clock, and carries an ``X-Simulated-Latency`` header.
+
+    ``fail_next()`` / ``timeout_next()`` queue exact failures for
+    deterministic tests (circuit-breaker transitions, retry schedules).
     """
 
-    def __init__(self, failure_rate: float = 0.0, seed: int = 0):
+    def __init__(
+        self,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+        timeout_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_seconds: float = 1.0,
+        clock: Clock | None = None,
+    ):
         self._handlers: list[tuple[str, Handler]] = []
         self._failure_rate = failure_rate
+        self._timeout_rate = timeout_rate
+        self._slow_rate = slow_rate
+        self._slow_seconds = slow_seconds
         self._random = random.Random(seed)
+        self.clock = clock or SimulatedClock()
         self.request_log: list[HttpRequest] = []
+        #: queued forced outcomes: an int status or the string "timeout"
+        self._forced: list[int | str] = []
 
     def register(self, url_pattern: str, handler: Handler) -> None:
         """Route requests whose URL matches ``url_pattern`` (fnmatch glob)."""
@@ -86,33 +127,107 @@ class SimulatedHttpTransport:
 
         self.register(url_pattern, handler)
 
+    def fail_next(self, count: int = 1, status: int = 503) -> None:
+        """Force the next ``count`` requests to fail with ``status``."""
+        self._forced.extend([status] * count)
+
+    def timeout_next(self, count: int = 1) -> None:
+        """Force the next ``count`` requests to time out."""
+        self._forced.extend(["timeout"] * count)
+
     def send(self, request: HttpRequest) -> HttpResponse:
         self.request_log.append(request)
+        if self._forced:
+            forced = self._forced.pop(0)
+            if forced == "timeout":
+                raise ConnectorTimeoutError(
+                    f"HTTP request to {request.url} timed out (simulated)"
+                )
+            return HttpResponse(
+                status=int(forced), body=b"simulated forced failure"
+            )
+        if (
+            self._timeout_rate
+            and self._random.random() < self._timeout_rate
+        ):
+            raise ConnectorTimeoutError(
+                f"HTTP request to {request.url} timed out (simulated)"
+            )
         if self._failure_rate and self._random.random() < self._failure_rate:
             return HttpResponse(status=503, body=b"simulated outage")
+        slow = bool(
+            self._slow_rate and self._random.random() < self._slow_rate
+        )
+        response = None
         for pattern, handler in self._handlers:
             bare = request.url.split("?", 1)[0]
             if fnmatch.fnmatch(request.url, pattern) or fnmatch.fnmatch(
                 bare, pattern
             ):
-                return handler(request)
-        return HttpResponse(status=404, body=b"no such endpoint")
+                response = handler(request)
+                break
+        if response is None:
+            response = HttpResponse(status=404, body=b"no such endpoint")
+        if slow:
+            self.clock.sleep(self._slow_seconds)
+            response.headers.setdefault(
+                "X-Simulated-Latency", str(self._slow_seconds)
+            )
+        return response
 
 
 class HttpConnector(Connector):
+    """HTTP connector: shared retry policy + optional circuit breaker.
+
+    ``breaker_threshold`` > 0 enables a per-host circuit breaker: that
+    many consecutive transport failures (5xx/timeout) open the circuit
+    and further calls to the host fail fast with ``CircuitOpenError``
+    until ``breaker_reset`` seconds pass on the connector's clock.
+    """
+
     name = "http"
 
-    def __init__(self, transport: SimulatedHttpTransport | None = None):
+    def __init__(
+        self,
+        transport: SimulatedHttpTransport | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 0,
+        breaker_reset: float = 30.0,
+        clock: Clock | None = None,
+    ):
         self._transport = transport or SimulatedHttpTransport()
+        self._clock = clock or self._transport.clock
+        self._policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.1
+        )
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset = breaker_reset
+        self._breakers: dict[str, CircuitBreaker] = {}
 
     @property
     def transport(self) -> SimulatedHttpTransport:
         return self._transport
 
+    def breaker_for(self, host: str) -> CircuitBreaker | None:
+        """The host's circuit breaker (None when breaking is disabled)."""
+        if self._breaker_threshold <= 0:
+            return None
+        breaker = self._breakers.get(host)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                reset_timeout=self._breaker_reset,
+                clock=self._clock,
+                name=host,
+            )
+            self._breakers[host] = breaker
+        return breaker
+
     def fetch(self, config: Mapping[str, Any]) -> FetchResult:
         url = config.get("source")
         if not url:
             raise ConnectorError("http connector needs a 'source' URL")
+        url = str(url)
         method = str(config.get("request_type", "get")).upper()
         headers = {
             str(k): str(v)
@@ -121,29 +236,63 @@ class HttpConnector(Connector):
         body = config.get("body")
         if isinstance(body, str):
             body = body.encode("utf-8")
-        retries = int(config.get("retries", 2))
+        # Clamp misconfigured negative retry counts to "no retries"
+        # rather than silently skipping the request loop entirely.
+        retries = max(0, int(config.get("retries", 2)))
+        policy = self._policy.with_attempts(retries + 1)
         request = HttpRequest(
-            url=str(url), method=method, headers=headers, body=body
+            url=url, method=method, headers=headers, body=body
         )
-        last_status = 0
-        for _attempt in range(retries + 1):
+        host = urlsplit(url).netloc or url
+        breaker = self.breaker_for(host)
+        attempts_used = 0
+
+        def send_once() -> HttpResponse:
+            # Transport-level faults (5xx, timeout) raise here so the
+            # circuit breaker counts them; 4xx means the host is alive.
             response = self._transport.send(request)
-            last_status = response.status
+            if response.status >= 500:
+                raise TransientConnectorError(
+                    f"HTTP {method} {url} failed with status "
+                    f"{response.status}"
+                )
+            return response
+
+        def attempt(number: int) -> FetchResult:
+            nonlocal attempts_used
+            attempts_used = number
+            response = (
+                breaker.call(send_once) if breaker else send_once()
+            )
             if response.status == 200:
                 return FetchResult(
                     payload=response.body,
                     metadata={
                         "status": response.status,
-                        "url": str(url),
+                        "url": url,
                         "headers": response.headers,
+                        "attempts": number,
                     },
                 )
-            if response.status < 500:
-                break  # 4xx will not improve on retry
-        raise ConnectorError(
-            f"HTTP {method} {url} failed with status {last_status} "
-            f"after {retries + 1} attempt(s)"
-        )
+            if response.status == 404:
+                raise ConnectorNotFoundError(
+                    f"HTTP {method} {url} failed with status 404: "
+                    f"no route or resource at this URL (permanent; "
+                    f"not retried)"
+                )
+            raise ConnectorError(
+                f"HTTP {method} {url} failed with status "
+                f"{response.status}: permanent client error (4xx; "
+                f"not retried)"
+            )
+
+        try:
+            return policy.call(attempt, clock=self._clock, key=host)
+        except TransientConnectorError as exc:
+            raise TransientConnectorError(
+                f"HTTP {method} {url} failed after {attempts_used} "
+                f"attempt(s): {exc}"
+            ) from exc
 
 
 class HttpsConnector(HttpConnector):

@@ -19,14 +19,36 @@ from typing import Any, Mapping
 
 from repro.connectors.base import Connector, FetchResult
 from repro.data import Schema, Table
-from repro.errors import ConnectorError
+from repro.errors import ConnectorError, TransientConnectorError
+from repro.resilience import Clock, RetryPolicy, SimulatedClock
+
+#: sqlite3 error fragments that a retry can cure (lock contention)
+_TRANSIENT_SQL = ("locked", "busy")
+
+
+def _classify_sql_error(exc: sqlite3.Error, action: str) -> ConnectorError:
+    """Map a sqlite3 error onto the platform's retryability taxonomy."""
+    message = str(exc).lower()
+    if isinstance(exc, sqlite3.OperationalError) and any(
+        fragment in message for fragment in _TRANSIENT_SQL
+    ):
+        return TransientConnectorError(f"JDBC {action} failed: {exc}")
+    return ConnectorError(f"JDBC {action} failed: {exc}")
 
 
 class JdbcConnector(Connector):
     name = "jdbc"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        retry_policy: RetryPolicy | None = None,
+        clock: Clock | None = None,
+    ) -> None:
         self._databases: dict[str, sqlite3.Connection] = {}
+        self._policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.1
+        )
+        self._clock = clock or SimulatedClock()
 
     def register_database(
         self, name: str, connection: sqlite3.Connection | None = None
@@ -53,10 +75,22 @@ class JdbcConnector(Connector):
                 raise ConnectorError(f"invalid table name {table_name!r}")
             query = f"SELECT * FROM {table_name}"
         params = config.get("params") or []
-        try:
-            cursor = connection.execute(str(query), list(params))
-        except sqlite3.Error as exc:
-            raise ConnectorError(f"JDBC query failed: {exc}") from exc
+        policy = self._policy
+        if "retries" in config:
+            policy = policy.with_attempts(
+                max(0, int(config["retries"])) + 1
+            )
+
+        def execute(_attempt: int):
+            # Lock contention ("database is locked"/"busy") is
+            # transient and retried with backoff; everything else
+            # (bad SQL, missing table) fails fast.
+            try:
+                return connection.execute(str(query), list(params))
+            except sqlite3.Error as exc:
+                raise _classify_sql_error(exc, "query") from exc
+
+        cursor = policy.call(execute, clock=self._clock, key=str(query))
         if cursor.description is None:
             raise ConnectorError("JDBC query returned no result set")
         columns = [d[0] for d in cursor.description]
@@ -83,21 +117,26 @@ class JdbcConnector(Connector):
         names = table.schema.names
         columns_sql = ", ".join(f'"{n}"' for n in names)
         placeholders = ", ".join("?" for _ in names)
-        try:
-            connection.execute(f'DROP TABLE IF EXISTS "{table_name}"')
-            connection.execute(
-                f'CREATE TABLE "{table_name}" ({columns_sql})'
-            )
-            connection.executemany(
-                f'INSERT INTO "{table_name}" VALUES ({placeholders})',
-                [
-                    tuple(_to_sql(v) for v in row)
-                    for row in table.row_tuples()
-                ],
-            )
-            connection.commit()
-        except sqlite3.Error as exc:
-            raise ConnectorError(f"JDBC write failed: {exc}") from exc
+        def write(_attempt: int) -> None:
+            try:
+                connection.execute(
+                    f'DROP TABLE IF EXISTS "{table_name}"'
+                )
+                connection.execute(
+                    f'CREATE TABLE "{table_name}" ({columns_sql})'
+                )
+                connection.executemany(
+                    f'INSERT INTO "{table_name}" VALUES ({placeholders})',
+                    [
+                        tuple(_to_sql(v) for v in row)
+                        for row in table.row_tuples()
+                    ],
+                )
+                connection.commit()
+            except sqlite3.Error as exc:
+                raise _classify_sql_error(exc, "write") from exc
+
+        self._policy.call(write, clock=self._clock, key=str(table_name))
 
     def _connection(self, config: Mapping[str, Any]) -> sqlite3.Connection:
         source = config.get("source")

@@ -60,6 +60,11 @@ class RunReport:
     endpoints: list[str] = field(default_factory=list)
     #: flow outputs reused from a previous run (incremental mode)
     flows_skipped: list[str] = field(default_factory=list)
+    #: resilience telemetry (distributed engine only)
+    attempts: int = 0
+    retried_partitions: int = 0
+    speculative_wins: int = 0
+    recovered_stages: list[str] = field(default_factory=list)
 
 
 class Dashboard:
@@ -103,7 +108,10 @@ class Dashboard:
     # flow execution
     # ------------------------------------------------------------------
     def run_flows(
-        self, engine: str | None = None, incremental: bool = False
+        self,
+        engine: str | None = None,
+        incremental: bool = False,
+        fault_profile: str | None = None,
     ) -> RunReport:
         """Execute the batch half; returns the run report.
 
@@ -113,12 +121,24 @@ class Dashboard:
         ``incremental=True`` skips flows whose results were adopted from
         a previous dashboard version (see :meth:`adopt_materialized`) —
         only the stale part of the DAG re-runs.
+
+        ``fault_profile`` names a seeded fault-injection profile (see
+        :meth:`repro.resilience.FaultInjector.from_profile`) and forces
+        the distributed engine, which absorbs the injected faults and
+        reports the recovery cost in the run report.
         """
         context = self._task_context()
         plan = self.compiled.plan
         skipped: list[str] = []
         if incremental and self._fresh_outputs:
             plan, skipped = self._incremental_plan()
+        if fault_profile and engine is None:
+            engine = "distributed"
+        if fault_profile and engine == "local":
+            raise ExecutionError(
+                "fault profiles exercise the distributed engine; "
+                "run with engine='distributed' (or let it default)"
+            )
         if engine is None:
             estimated = sum(
                 t.num_rows for t in self._inline_tables.values()
@@ -138,14 +158,21 @@ class Dashboard:
             self._last_node_stats = list(result.stats.node_stats)
             self._last_stages = []
         elif engine == "distributed":
-            result = DistributedExecutor(self._resolve_source).run(
-                plan, context
-            )
+            from repro.resilience import FaultInjector
+
+            injector = FaultInjector.from_profile(fault_profile)
+            result = DistributedExecutor(
+                self._resolve_source, fault_injector=injector
+            ).run(plan, context)
             report = RunReport(
                 engine=engine,
                 seconds=result.seconds,
                 rows_produced=result.rows_produced,
                 shuffled_records=result.total_shuffled_records,
+                attempts=result.attempts,
+                retried_partitions=result.retried_partitions,
+                speculative_wins=result.speculative_wins,
+                recovered_stages=list(result.recovered_stages),
             )
             self._materialized.update(result.tables)
             self._last_node_stats = []

@@ -10,7 +10,11 @@ JavaScript cube).
 
 from repro.engine.plan import LogicalPlan, PlanNode, build_logical_plan
 from repro.engine.local import ExecutionStats, LocalExecutor
-from repro.engine.distributed import DistributedExecutor, StageStats
+from repro.engine.distributed import (
+    DistributedExecutor,
+    DistributedResult,
+    StageStats,
+)
 from repro.engine.optimizer import OptimizationReport, optimize_plan
 from repro.engine.datacube import DataCube
 
@@ -21,6 +25,7 @@ __all__ = [
     "ExecutionStats",
     "LocalExecutor",
     "DistributedExecutor",
+    "DistributedResult",
     "StageStats",
     "OptimizationReport",
     "optimize_plan",

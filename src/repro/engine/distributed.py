@@ -9,18 +9,53 @@ shuffled, stage counts).  Algebraic group-bys optionally run a combiner
 (map-side partial aggregation), the classic MR optimization, which the
 ablation benchmarks measure.
 
-Results are identical to the local executor up to row order.
+Fault tolerance mirrors what real MR engines provide, built on
+:mod:`repro.resilience`:
+
+- every partition task runs under a :class:`~repro.resilience.RetryPolicy`
+  with per-partition attempt tracking and deterministic backoff;
+- a lost worker triggers **lineage recovery**: only the lost partition
+  is recomputed from its upstream inputs, not the whole stage;
+- straggler partitions trigger **speculative execution** — a duplicate
+  attempt is launched and the first finisher wins;
+- materialized flow outputs are **checkpointed** to an optional
+  :class:`~repro.resilience.CheckpointStore`, so a resumed run skips
+  completed stages;
+- a seeded :class:`~repro.resilience.FaultInjector` can target work by
+  stage kind, task, partition and attempt to exercise all of the above.
+
+Results are identical to the local executor up to row order — including
+under any injected fault plan that stays within the retry budget.
 """
 
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.data import Table
 from repro.engine.plan import LogicalPlan, PlanNode
-from repro.errors import ExecutionError, ShareInsightsError
+from repro.errors import (
+    ExecutionError,
+    ShareInsightsError,
+    TaskExecutionError,
+    TransientTaskError,
+    WorkerLostError,
+    is_retryable,
+)
+from repro.resilience import (
+    FATAL,
+    LOST,
+    SLOW,
+    TRANSIENT,
+    CheckpointStore,
+    Clock,
+    FaultInjector,
+    RetryPolicy,
+    SimulatedClock,
+)
 from repro.tasks.base import Task, TaskContext
 from repro.tasks.groupby import GroupByTask
 from repro.tasks.join import JoinTask
@@ -39,11 +74,38 @@ class StageStats:
     """Telemetry for one executed stage."""
 
     task: str
-    kind: str  # map | shuffle | gather | load
+    kind: str  # map | shuffle | gather | load | checkpoint
     input_rows: int
     output_rows: int
     shuffled_records: int = 0
     shuffled_bytes: int = 0
+    #: partition attempts, including retries and speculative duplicates
+    attempts: int = 0
+    #: partitions that needed more than one attempt
+    retried_partitions: int = 0
+    #: stragglers beaten by their speculative duplicate
+    speculative_wins: int = 0
+    #: partitions recomputed from lineage after a worker loss
+    recovered_partitions: int = 0
+
+    @property
+    def needed_recovery(self) -> bool:
+        return bool(
+            self.kind == "checkpoint"
+            or self.retried_partitions
+            or self.recovered_partitions
+            or self.speculative_wins
+        )
+
+
+@dataclass
+class _StageRun:
+    """Mutable per-stage resilience counters, folded into StageStats."""
+
+    attempts: int = 0
+    retried_partitions: int = 0
+    speculative_wins: int = 0
+    recovered_partitions: int = 0
 
 
 @dataclass
@@ -55,6 +117,9 @@ class DistributedResult:
     seconds: float = 0.0
     #: rows in flow outputs (task-materialized tables only)
     rows_produced: int = 0
+    #: stage labels that needed the resilience layer to complete
+    #: (retry, lineage recovery, speculation, or checkpoint restore)
+    recovered_stages: list[str] = field(default_factory=list)
 
     def table(self, name: str) -> Table:
         table = self.tables.get(name)
@@ -76,6 +141,22 @@ class DistributedResult:
     @property
     def num_shuffle_stages(self) -> int:
         return sum(1 for s in self.stages if s.kind == "shuffle")
+
+    @property
+    def attempts(self) -> int:
+        return sum(s.attempts for s in self.stages)
+
+    @property
+    def retried_partitions(self) -> int:
+        return sum(s.retried_partitions for s in self.stages)
+
+    @property
+    def speculative_wins(self) -> int:
+        return sum(s.speculative_wins for s in self.stages)
+
+    @property
+    def recovered_partitions(self) -> int:
+        return sum(s.recovered_partitions for s in self.stages)
 
 
 def _partition(table: Table, parts: int) -> list[Table]:
@@ -99,7 +180,7 @@ def _hash_shuffle(
         total_bytes += partition.estimated_bytes()
         for row in partition.rows():
             key = tuple(_hashable(row[k]) for k in keys)
-            buckets[hash(key) % parts].append(row)
+            buckets[_stable_hash(key) % parts].append(row)
             records += 1
     schema = partitions[0].schema
     return (
@@ -117,6 +198,16 @@ def _hashable(value: Any) -> Any:
     return value
 
 
+def _stable_hash(key: Any) -> int:
+    """Process-independent shuffle hash.
+
+    Built-in ``hash()`` is randomized per process for strings
+    (PYTHONHASHSEED), which would make partition-targeted fault plans
+    and their telemetry unreproducible across runs.
+    """
+    return zlib.crc32(repr(key).encode("utf-8", "surrogatepass"))
+
+
 def _gather(partitions: Sequence[Table]) -> Table:
     result = partitions[0]
     for partition in partitions[1:]:
@@ -125,17 +216,36 @@ def _gather(partitions: Sequence[Table]) -> Table:
 
 
 class DistributedExecutor:
-    """Runs logical plans over partitioned data with simulated shuffles."""
+    """Runs logical plans over partitioned data with simulated shuffles.
+
+    ``retry_policy`` bounds per-partition attempts; ``fault_injector``
+    (usually built via :meth:`FaultInjector.from_profile`) injects
+    deterministic faults; ``checkpoints`` enables stage-skip on resumed
+    runs; ``speculative=False`` disables straggler duplicates (slowed
+    attempts then pay their latency on the simulated clock).
+    """
 
     def __init__(
         self,
         resolver: DataResolver,
         num_partitions: int = 4,
         use_combiner: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        checkpoints: CheckpointStore | None = None,
+        speculative: bool = True,
+        straggler_delay: float = 1.0,
+        clock: Clock | None = None,
     ):
         self._resolver = resolver
         self._parts = max(1, num_partitions)
         self._use_combiner = use_combiner
+        self._retry = retry_policy or RetryPolicy()
+        self._faults = fault_injector
+        self._checkpoints = checkpoints
+        self._speculative = speculative
+        self._straggler_delay = straggler_delay
+        self._clock = clock or SimulatedClock()
 
     def run(
         self, plan: LogicalPlan, context: TaskContext | None = None
@@ -145,20 +255,218 @@ class DistributedExecutor:
         partitioned: dict[str, list[Table]] = {}
         materialized: dict[str, Table] = {}
         stages: list[StageStats] = []
+        recovered_stages: list[str] = []
         produced_rows = 0
         for node in plan.topological_order():
+            name = node.materializes
+            if (
+                node.kind == "task"
+                and name
+                and self._checkpoints is not None
+                and name in self._checkpoints
+            ):
+                # Resume path: this flow output survived a previous
+                # (partial) run; restore it instead of recomputing.
+                table = self._checkpoints.get(name)
+                partitioned[node.id] = _partition(table, self._parts)
+                materialized[name] = table
+                stages.append(
+                    StageStats(
+                        task=node.label(),
+                        kind="checkpoint",
+                        input_rows=0,
+                        output_rows=table.num_rows,
+                    )
+                )
+                recovered_stages.append(node.label())
+                continue
+            before = len(stages)
             outputs = self._execute_node(node, partitioned, context, stages)
             partitioned[node.id] = outputs
-            if node.materializes:
+            for stage in stages[before:]:
+                if stage.needed_recovery:
+                    recovered_stages.append(stage.task)
+            if name:
                 gathered = _gather(outputs)
-                materialized[node.materializes] = gathered
+                materialized[name] = gathered
                 if node.kind == "task":
                     produced_rows += gathered.num_rows
+                    if self._checkpoints is not None:
+                        self._checkpoints.put(name, gathered)
         return DistributedResult(
             tables=materialized,
             stages=stages,
             seconds=time.perf_counter() - started,
             rows_produced=produced_rows,
+            recovered_stages=recovered_stages,
+        )
+
+    # ------------------------------------------------------------------
+    # fault-tolerant partition execution
+    # ------------------------------------------------------------------
+    def _run_partition(
+        self,
+        stage_kind: str,
+        task_name: str,
+        index: int,
+        compute: Callable[[], Any],
+        run: _StageRun,
+    ) -> Any:
+        """Run one partition's work under the retry policy.
+
+        ``compute`` must be pure: it recomputes the partition from its
+        upstream inputs (captured in the closure), which is exactly the
+        lineage-recovery contract — a retry or a recompute re-derives
+        the same partition, never a corrupted half-state.
+        """
+        budget = max(1, self._retry.max_attempts)
+        attempt = 0  # 0-based, matched against fault-rule targeting
+        failures = 0  # retryable failures charged against the budget
+        recovered = False
+        retried = False
+        while True:
+            fault = None
+            if self._faults is not None:
+                fault = self._faults.check(
+                    stage_kind=stage_kind,
+                    task=task_name,
+                    partition=index,
+                    attempt=attempt,
+                )
+            attempt += 1
+            run.attempts += 1
+            try:
+                if fault == FATAL:
+                    raise TaskExecutionError(
+                        f"injected fatal fault in task {task_name!r} "
+                        f"partition {index}"
+                    )
+                if fault == LOST:
+                    raise WorkerLostError(
+                        f"worker running task {task_name!r} "
+                        f"partition {index} was lost"
+                    )
+                if fault == TRANSIENT:
+                    raise TransientTaskError(
+                        f"injected transient fault in task {task_name!r} "
+                        f"partition {index} (attempt {attempt})"
+                    )
+                if fault == SLOW:
+                    if self._speculative:
+                        # Straggler: a speculative duplicate is launched
+                        # on a healthy worker; being unslowed, it
+                        # finishes first and its result wins.
+                        run.attempts += 1
+                        run.speculative_wins += 1
+                        result = compute()
+                    else:
+                        self._clock.sleep(self._straggler_delay)
+                        result = compute()
+                else:
+                    result = compute()
+                if retried:
+                    run.retried_partitions += 1
+                return result
+            except ShareInsightsError as exc:
+                if isinstance(exc, WorkerLostError):
+                    if recovered:
+                        raise ExecutionError(
+                            f"task {task_name!r} partition {index}: "
+                            f"worker lost again after lineage recovery",
+                            task=task_name,
+                            partition=index,
+                        ) from exc
+                    # Lineage recovery: recompute only this partition
+                    # from its upstream inputs on a fresh worker.  Does
+                    # not consume the retry budget — the old worker is
+                    # written off, not retried.
+                    recovered = True
+                    retried = True
+                    run.recovered_partitions += 1
+                    continue
+                if not is_retryable(exc):
+                    raise ExecutionError(
+                        f"task {task_name!r} failed permanently on "
+                        f"partition {index}: {exc}",
+                        task=task_name,
+                        partition=index,
+                    ) from exc
+                failures += 1
+                if failures >= budget:
+                    raise ExecutionError(
+                        f"task {task_name!r} partition {index} failed "
+                        f"after {failures} attempt(s): {exc}",
+                        task=task_name,
+                        partition=index,
+                    ) from exc
+                retried = True
+                self._clock.sleep(
+                    self._retry.delay(failures, key=(task_name, index))
+                )
+            except Exception as exc:
+                raise ExecutionError(
+                    f"task {task_name!r} failed on the distributed "
+                    f"engine (partition {index}): {exc}",
+                    task=task_name,
+                    partition=index,
+                ) from exc
+
+    def _apply_each(
+        self,
+        stage_kind: str,
+        task: Task,
+        partitions: Sequence[Table],
+        context: TaskContext,
+        run: _StageRun,
+        skip_empty: bool = False,
+    ) -> list[Table]:
+        """Apply ``task`` to each partition under the retry policy."""
+        outputs = []
+        for i, part in enumerate(partitions):
+            if skip_empty and not part.num_rows:
+                continue
+            outputs.append(
+                self._run_partition(
+                    stage_kind,
+                    task.name,
+                    i,
+                    lambda p=part: task.apply([p], context),
+                    run,
+                )
+            )
+        if not outputs:
+            outputs = [
+                self._run_partition(
+                    stage_kind,
+                    task.name,
+                    0,
+                    lambda: task.apply([partitions[0]], context),
+                    run,
+                )
+            ]
+        return outputs
+
+    @staticmethod
+    def _stats(
+        task_name: str,
+        kind: str,
+        input_rows: int,
+        outputs: Sequence[Table],
+        run: _StageRun,
+        shuffled_records: int = 0,
+        shuffled_bytes: int = 0,
+    ) -> StageStats:
+        return StageStats(
+            task=task_name,
+            kind=kind,
+            input_rows=input_rows,
+            output_rows=sum(p.num_rows for p in outputs),
+            shuffled_records=shuffled_records,
+            shuffled_bytes=shuffled_bytes,
+            attempts=run.attempts,
+            retried_partitions=run.retried_partitions,
+            speculative_wins=run.speculative_wins,
+            recovered_partitions=run.recovered_partitions,
         )
 
     # ------------------------------------------------------------------
@@ -171,14 +479,17 @@ class DistributedExecutor:
     ) -> list[Table]:
         if node.kind == "load":
             assert node.load_name is not None
-            table = self._resolver(node.load_name)
+            run = _StageRun()
+            label = f"load({node.load_name})"
+            table = self._run_partition(
+                "load",
+                label,
+                0,
+                lambda: self._resolver(node.load_name),
+                run,
+            )
             stages.append(
-                StageStats(
-                    task=f"load({node.load_name})",
-                    kind="load",
-                    input_rows=0,
-                    output_rows=table.num_rows,
-                )
+                self._stats(label, "load", 0, [table], run)
             )
             return _partition(table, self._parts)
 
@@ -218,13 +529,15 @@ class DistributedExecutor:
 
     # -- strategies ------------------------------------------------------
     def _map_side(self, task, partitions, context, stages) -> list[Table]:
-        outputs = [task.apply([p], context) for p in partitions]
+        run = _StageRun()
+        outputs = self._apply_each("map", task, partitions, context, run)
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="map",
-                input_rows=sum(p.num_rows for p in partitions),
-                output_rows=sum(p.num_rows for p in outputs),
+            self._stats(
+                task.name,
+                "map",
+                sum(p.num_rows for p in partitions),
+                outputs,
+                run,
             )
         )
         return outputs
@@ -233,6 +546,7 @@ class DistributedExecutor:
         self, task: GroupByTask, partitions, context, stages
     ) -> list[Table]:
         input_rows = sum(p.num_rows for p in partitions)
+        run = _StageRun()
         specs = task._aggregate_specs()
         combinable = self._use_combiner and all(
             str(s["operator"]).lower() in _COMBINABLE for s in specs
@@ -241,7 +555,9 @@ class DistributedExecutor:
             # Map-side combine: partial aggregates per partition, then a
             # shuffle of partials, then a merge aggregation where COUNT
             # partials are SUMmed.
-            partials = [task.apply([p], context) for p in partitions]
+            partials = self._apply_each(
+                "map", task, partitions, context, run
+            )
             merge_specs = []
             for spec in specs:
                 out_field = str(
@@ -270,26 +586,21 @@ class DistributedExecutor:
             shuffled, records, size = _hash_shuffle(
                 partials, task.group_columns, self._parts
             )
-            outputs = [
-                merge_task.apply([p], context)
-                for p in shuffled
-                if p.num_rows
-            ] or [merge_task.apply([shuffled[0]], context)]
+            outputs = self._apply_each(
+                "shuffle", merge_task, shuffled, context, run,
+                skip_empty=True,
+            )
         else:
             shuffled, records, size = _hash_shuffle(
                 partitions, task.group_columns, self._parts
             )
-            outputs = [
-                task.apply([p], context) for p in shuffled if p.num_rows
-            ] or [task.apply([shuffled[0]], context)]
+            outputs = self._apply_each(
+                "shuffle", task, shuffled, context, run, skip_empty=True
+            )
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="shuffle",
-                input_rows=input_rows,
-                output_rows=sum(p.num_rows for p in outputs),
-                shuffled_records=records,
-                shuffled_bytes=size,
+            self._stats(
+                task.name, "shuffle", input_rows, outputs, run,
+                shuffled_records=records, shuffled_bytes=size,
             )
         )
         return outputs
@@ -321,16 +632,22 @@ class DistributedExecutor:
             right_parts, right_keys, self._parts
         )
         context.input_names = names or [task.left_name, task.right_name]  # type: ignore[attr-defined]
+        run = _StageRun()
         outputs = [
-            task.apply([lp, rp], context)
-            for lp, rp in zip(left_shuffled, right_shuffled)
+            self._run_partition(
+                "shuffle",
+                task.name,
+                i,
+                lambda lp=lp, rp=rp: task.apply([lp, rp], context),
+                run,
+            )
+            for i, (lp, rp) in enumerate(
+                zip(left_shuffled, right_shuffled)
+            )
         ]
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="shuffle",
-                input_rows=l_records + r_records,
-                output_rows=sum(p.num_rows for p in outputs),
+            self._stats(
+                task.name, "shuffle", l_records + r_records, outputs, run,
                 shuffled_records=l_records + r_records,
                 shuffled_bytes=l_bytes + r_bytes,
             )
@@ -341,28 +658,35 @@ class DistributedExecutor:
         self, task: TopNTask, partitions, context, stages
     ) -> list[Table]:
         input_rows = sum(p.num_rows for p in partitions)
+        run = _StageRun()
         if task.group_columns:
             shuffled, records, size = _hash_shuffle(
                 partitions, task.group_columns, self._parts
             )
-            outputs = [
-                task.apply([p], context) for p in shuffled if p.num_rows
-            ] or [task.apply([shuffled[0]], context)]
+            outputs = self._apply_each(
+                "shuffle", task, shuffled, context, run, skip_empty=True
+            )
         else:
             # Per-partition top-N as a combiner, then a single reducer.
-            partials = [task.apply([p], context) for p in partitions]
+            partials = self._apply_each(
+                "map", task, partitions, context, run
+            )
             gathered = _gather(partials)
             records = gathered.num_rows
             size = gathered.estimated_bytes()
-            outputs = [task.apply([gathered], context)]
+            outputs = [
+                self._run_partition(
+                    "shuffle",
+                    task.name,
+                    0,
+                    lambda: task.apply([gathered], context),
+                    run,
+                )
+            ]
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="shuffle",
-                input_rows=input_rows,
-                output_rows=sum(p.num_rows for p in outputs),
-                shuffled_records=records,
-                shuffled_bytes=size,
+            self._stats(
+                task.name, "shuffle", input_rows, outputs, run,
+                shuffled_records=records, shuffled_bytes=size,
             )
         )
         return outputs
@@ -372,20 +696,17 @@ class DistributedExecutor:
     ) -> list[Table]:
         input_rows = sum(p.num_rows for p in partitions)
         keys = task.columns or list(partitions[0].schema.names)
+        run = _StageRun()
         # Map-side dedup first (combiner), then shuffle survivors.
-        partials = [task.apply([p], context) for p in partitions]
+        partials = self._apply_each("map", task, partitions, context, run)
         shuffled, records, size = _hash_shuffle(partials, keys, self._parts)
-        outputs = [task.apply([p], context) for p in shuffled if p.num_rows]
-        if not outputs:
-            outputs = [task.apply([shuffled[0]], context)]
+        outputs = self._apply_each(
+            "shuffle", task, shuffled, context, run, skip_empty=True
+        )
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="shuffle",
-                input_rows=input_rows,
-                output_rows=sum(p.num_rows for p in outputs),
-                shuffled_records=records,
-                shuffled_bytes=size,
+            self._stats(
+                task.name, "shuffle", input_rows, outputs, run,
+                shuffled_records=records, shuffled_bytes=size,
             )
         )
         return outputs
@@ -403,26 +724,48 @@ class DistributedExecutor:
         self, task: NativeMapReduceTask, partitions, context, stages
     ) -> list[Table]:
         input_rows = sum(p.num_rows for p in partitions)
-        # Map phase: run the user's mapper per partition.
+        run = _StageRun()
+
+        # Map phase: run the user's mapper per partition.  Each map unit
+        # is pure — it returns its (bucket, key, value) triples, which
+        # are merged only after the attempt succeeds, so a retried
+        # mapper never double-emits.
+        def map_partition(partition: Table) -> list[tuple[int, Any, Any]]:
+            emitted = []
+            for row in partition.rows():
+                for key, value in task._mapper(row):
+                    emitted.append(
+                        (
+                            _stable_hash(_hashable(key)) % self._parts,
+                            key,
+                            value,
+                        )
+                    )
+            return emitted
+
         buckets: list[list[tuple[Any, Any]]] = [
             [] for _ in range(self._parts)
         ]
         records = 0
-        for partition in partitions:
-            for row in partition.rows():
-                for key, value in task._mapper(row):
-                    buckets[hash(_hashable(key)) % self._parts].append(
-                        (key, value)
-                    )
-                    records += 1
+        for i, partition in enumerate(partitions):
+            emitted = self._run_partition(
+                "map",
+                task.name,
+                i,
+                lambda p=partition: map_partition(p),
+                run,
+            )
+            for bucket_index, key, value in emitted:
+                buckets[bucket_index].append((key, value))
+                records += 1
         # Reduce phase per bucket.
         from repro.data import Schema
 
         schema = Schema(task.output_columns)
-        outputs = []
-        for bucket in buckets:
+
+        def reduce_bucket(bucket: list[tuple[Any, Any]]) -> Table:
             grouped: dict[Any, list[Any]] = {}
-            key_order: list[Any] = []
+            key_order: list[tuple[Any, Any]] = []
             for key, value in bucket:
                 hkey = _hashable(key)
                 if hkey not in grouped:
@@ -433,15 +776,22 @@ class DistributedExecutor:
             for hkey, key in key_order:
                 for row in task._reducer(key, grouped[hkey]):
                     out.append_row(row)
-            outputs.append(out)
+            return out
+
+        outputs = [
+            self._run_partition(
+                "shuffle",
+                task.name,
+                i,
+                lambda b=bucket: reduce_bucket(b),
+                run,
+            )
+            for i, bucket in enumerate(buckets)
+        ]
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="shuffle",
-                input_rows=input_rows,
-                output_rows=sum(p.num_rows for p in outputs),
-                shuffled_records=records,
-                shuffled_bytes=records * 24,
+            self._stats(
+                task.name, "shuffle", input_rows, outputs, run,
+                shuffled_records=records, shuffled_bytes=records * 24,
             )
         )
         return outputs
@@ -499,33 +849,42 @@ class DistributedExecutor:
                 buckets[index].append(row)
                 records += 1
         schema = partitions[0].schema
+        run = _StageRun()
         outputs = [
-            task.apply([Table.from_rows(schema, bucket)], context)
-            for bucket in buckets
+            self._run_partition(
+                "shuffle",
+                task.name,
+                i,
+                lambda b=bucket: task.apply(
+                    [Table.from_rows(schema, b)], context
+                ),
+                run,
+            )
+            for i, bucket in enumerate(buckets)
         ]
         if primary_desc:
             outputs = list(reversed(outputs))
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="shuffle",
-                input_rows=input_rows,
-                output_rows=sum(p.num_rows for p in outputs),
-                shuffled_records=records,
-                shuffled_bytes=total_bytes,
+            self._stats(
+                task.name, "shuffle", input_rows, outputs, run,
+                shuffled_records=records, shuffled_bytes=total_bytes,
             )
         )
         return outputs
 
     def _gathered(self, task: Task, partitions, context, stages) -> list[Table]:
         gathered = _gather(partitions)
-        output = task.apply([gathered], context)
+        run = _StageRun()
+        output = self._run_partition(
+            "gather",
+            task.name,
+            0,
+            lambda: task.apply([gathered], context),
+            run,
+        )
         stages.append(
-            StageStats(
-                task=task.name,
-                kind="gather",
-                input_rows=gathered.num_rows,
-                output_rows=output.num_rows,
+            self._stats(
+                task.name, "gather", gathered.num_rows, [output], run,
                 shuffled_records=gathered.num_rows,
                 shuffled_bytes=gathered.estimated_bytes(),
             )

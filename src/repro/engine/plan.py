@@ -9,6 +9,7 @@ it in topological order.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -91,22 +92,25 @@ class LogicalPlan:
         return [n for n in self.nodes.values() if node_id in n.inputs]
 
     def topological_order(self) -> list[PlanNode]:
-        in_degree = {
-            node_id: len(node.inputs)
-            for node_id, node in self.nodes.items()
-        }
-        ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        # Build the adjacency (consumers) map once: O(V + E), instead
+        # of rescanning every node per popped node (O(V·E)) — this runs
+        # on every execution, and large plans were paying for it.
+        consumers: dict[str, list[str]] = {nid: [] for nid in self.nodes}
+        in_degree: dict[str, int] = {}
+        for node_id, node in self.nodes.items():
+            in_degree[node_id] = len(node.inputs)
+            for input_id in node.inputs:
+                consumers.setdefault(input_id, []).append(node_id)
+        heap = [nid for nid, deg in in_degree.items() if deg == 0]
+        heapq.heapify(heap)
         order: list[PlanNode] = []
-        while ready:
-            current = ready.pop(0)
+        while heap:
+            current = heapq.heappop(heap)
             order.append(self.nodes[current])
-            newly = []
-            for nid, node in self.nodes.items():
-                if current in node.inputs:
-                    in_degree[nid] -= 1
-                    if in_degree[nid] == 0:
-                        newly.append(nid)
-            ready = sorted(ready + newly)
+            for consumer in consumers[current]:
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    heapq.heappush(heap, consumer)
         if len(order) != len(self.nodes):
             raise CompilationError("logical plan contains a cycle")
         return order

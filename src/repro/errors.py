@@ -10,7 +10,26 @@ from __future__ import annotations
 
 
 class ShareInsightsError(Exception):
-    """Base class for all platform errors."""
+    """Base class for all platform errors.
+
+    ``retryable`` classifies the failure for the resilience layer
+    (:mod:`repro.resilience`): transient faults (a flaky source, a lost
+    worker) may be retried under a :class:`~repro.resilience.RetryPolicy`;
+    permanent faults (bad credentials, a missing file, a type error) must
+    fail fast — retrying them only wastes the budget.
+    """
+
+    #: whether a retry of the failed operation could plausibly succeed
+    retryable: bool = False
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when the resilience layer may retry after ``exc``.
+
+    Non-platform exceptions (``KeyError``, ``TypeError``...) are bugs,
+    not faults, and are never retried.
+    """
+    return bool(getattr(exc, "retryable", False))
 
 
 class FlowFileError(ShareInsightsError):
@@ -56,8 +75,54 @@ class TaskExecutionError(ShareInsightsError):
     """A task failed while transforming data."""
 
 
+class TransientTaskError(TaskExecutionError):
+    """A task attempt failed for a reason that may not recur.
+
+    Raised by the fault injector for simulated flaky workers and by
+    engines for per-attempt infrastructure failures; the executor's
+    retry loop re-runs the partition.
+    """
+
+    retryable = True
+
+
+class WorkerLostError(TaskExecutionError):
+    """A (simulated) worker died mid-stage, taking its partition with it.
+
+    Retrying on the same worker is pointless; the engine instead
+    performs lineage recovery — recomputing only the lost partition
+    from its upstream inputs on a fresh worker.
+    """
+
+    retryable = True
+
+
 class ConnectorError(ShareInsightsError):
     """A data connector could not fetch or store a payload."""
+
+
+class TransientConnectorError(ConnectorError):
+    """A connector failure that a retry may cure (5xx, flaky link)."""
+
+    retryable = True
+
+
+class ConnectorTimeoutError(TransientConnectorError):
+    """The transport did not answer within the deadline."""
+
+
+class ConnectorAuthError(ConnectorError):
+    """Credentials were rejected — permanent; re-login will not help."""
+
+
+class ConnectorNotFoundError(ConnectorError):
+    """The requested resource does not exist — permanent."""
+
+
+class CircuitOpenError(ConnectorError):
+    """The circuit breaker is open: calls fail fast without hitting
+    the backend until the reset timeout elapses (then one half-open
+    probe is admitted)."""
 
 
 class FormatError(ShareInsightsError):
@@ -69,7 +134,23 @@ class CompilationError(ShareInsightsError):
 
 
 class ExecutionError(ShareInsightsError):
-    """The engine failed while running a compiled plan."""
+    """The engine failed while running a compiled plan.
+
+    When the distributed engine gives up on a partition, ``task`` and
+    ``partition`` identify the failing unit of work so operators (and
+    tests) see *what* died, not a raw traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task: str | None = None,
+        partition: int | None = None,
+    ):
+        self.task = task
+        self.partition = partition
+        super().__init__(message)
 
 
 class WidgetError(ShareInsightsError):

@@ -193,26 +193,41 @@ class Platform:
     # execution
     # ------------------------------------------------------------------
     def run_dashboard(
-        self, name: str, engine: str | None = None, user: str = ""
+        self,
+        name: str,
+        engine: str | None = None,
+        user: str = "",
+        fault_profile: str | None = None,
     ) -> RunReport:
         dashboard = self.get_dashboard(name)
         try:
-            report = dashboard.run_flows(engine=engine)
+            report = dashboard.run_flows(
+                engine=engine, fault_profile=fault_profile
+            )
         except ShareInsightsError as exc:
-            self._log("error", name, {"message": str(exc)}, user)
+            self._log(
+                "error",
+                name,
+                {
+                    "message": str(exc),
+                    "type": type(exc).__name__,
+                    "task": getattr(exc, "task", None),
+                    "partition": getattr(exc, "partition", None),
+                },
+                user,
+            )
             raise
-        self._log(
-            "run",
-            name,
-            {
-                "engine": report.engine,
-                "rows_produced": report.rows_produced,
-                "published": report.published,
-                "operators": self._operator_usage(dashboard),
-                "widgets": self._widget_usage(dashboard),
-            },
-            user,
-        )
+        detail = {
+            "engine": report.engine,
+            "rows_produced": report.rows_produced,
+            "published": report.published,
+            "operators": self._operator_usage(dashboard),
+            "widgets": self._widget_usage(dashboard),
+        }
+        if report.retried_partitions or report.recovered_stages:
+            detail["retried_partitions"] = report.retried_partitions
+            detail["recovered_stages"] = list(report.recovered_stages)
+        self._log("run", name, detail, user)
         return report
 
     # ------------------------------------------------------------------

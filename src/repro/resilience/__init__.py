@@ -1,0 +1,60 @@
+"""Unified resilience layer (retry, circuit breaking, fault injection).
+
+Real deployments of the paper's platform compile flows onto clusters
+where partition failures, stragglers and flaky sources are routine.
+This package gives every layer — engine, connectors, server — one
+vocabulary for absorbing them:
+
+- :class:`RetryPolicy` — bounded attempts, deterministic exponential
+  backoff with seeded jitter, against a pluggable :class:`Clock`;
+- :class:`CircuitBreaker` — fail fast on dead backends, half-open probe
+  after a reset window;
+- :class:`FaultInjector` / :class:`FaultRule` — seeded fault plans
+  targeting stage kind, task, partition and attempt, so recovery paths
+  are *testable*;
+- :class:`CheckpointStore` — materialized-output snapshots that let a
+  rerun skip completed stages.
+
+Error classification (which failures are worth retrying) lives on the
+exception hierarchy itself: see ``repro.errors.is_retryable``.
+"""
+
+from repro.errors import is_retryable
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.clock import Clock, SimulatedClock, WallClock
+from repro.resilience.faults import (
+    FATAL,
+    LOST,
+    SLOW,
+    TRANSIENT,
+    FaultInjector,
+    FaultRecord,
+    FaultRule,
+)
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CheckpointStore",
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultRule",
+    "TRANSIENT",
+    "FATAL",
+    "LOST",
+    "SLOW",
+    "RetryPolicy",
+    "is_retryable",
+]

@@ -1,0 +1,92 @@
+"""Circuit breaker for repeatedly-failing backends.
+
+When a source fails ``failure_threshold`` times in a row, the breaker
+opens: further calls fail fast with :class:`CircuitOpenError` instead
+of burning the retry budget against a dead endpoint.  After
+``reset_timeout`` seconds (on the injected clock) one half-open probe
+is admitted; its success closes the breaker, its failure re-opens it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.errors import CircuitOpenError
+from repro.resilience.clock import Clock, SimulatedClock
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe state."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Clock | None = None,
+        name: str = "",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self._clock = clock or SimulatedClock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting open → half-open on timeout."""
+        if (
+            self._state == OPEN
+            and self._clock.now() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow(self) -> bool:
+        """May the next call proceed?  (half-open admits one probe)"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._state == HALF_OPEN or (
+            self._failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock.now()
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker."""
+        if not self.allow():
+            target = f" for {self.name!r}" if self.name else ""
+            raise CircuitOpenError(
+                f"circuit breaker{target} is open after "
+                f"{self._failures} consecutive failure(s); retry after "
+                f"{self.reset_timeout}s"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

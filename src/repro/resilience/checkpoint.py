@@ -1,0 +1,45 @@
+"""Stage-output checkpointing for resumable runs.
+
+The distributed engine writes every materialized flow output into the
+store as it completes; when a later stage kills the run, a rerun with
+the same store skips the completed stages entirely (they surface in
+``DistributedResult.recovered_stages``).  In-memory here — the store
+boundary is where HDFS/S3 would sit in the paper's real deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.data import Table
+
+
+class CheckpointStore:
+    """Named materialized-output snapshots from a (partial) run."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def put(self, name: str, table: Table) -> None:
+        self._tables[name] = table
+
+    def get(self, name: str) -> Table:
+        return self._tables[name]
+
+    def discard(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def clear(self) -> None:
+        self._tables.clear()
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tables))

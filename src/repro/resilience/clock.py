@@ -1,0 +1,62 @@
+"""Pluggable time source for the resilience layer.
+
+Backoff schedules, circuit-breaker reset windows and straggler
+detection all need a clock — but tests (and the simulated cluster)
+must not actually sleep.  :class:`SimulatedClock` advances a virtual
+``now`` instantly and records every sleep, so a retry schedule is both
+deterministic and inspectable; :class:`WallClock` is the production
+drop-in backed by :mod:`time`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal clock protocol: ``now()`` seconds and ``sleep(s)``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SimulatedClock(Clock):
+    """Virtual time: sleeping advances ``now`` without blocking.
+
+    ``sleeps`` keeps the full schedule of waits, so tests can assert a
+    backoff sequence exactly (same seed ⇒ same schedule).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (external wait)."""
+        self._now += max(0.0, float(seconds))
+
+    @property
+    def total_slept(self) -> float:
+        return sum(self.sleeps)
+
+
+class WallClock(Clock):
+    """Real time, for live deployments."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)

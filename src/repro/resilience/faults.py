@@ -1,0 +1,185 @@
+"""Seeded fault injection for the simulated cluster.
+
+A :class:`FaultInjector` is consulted by the distributed engine before
+every partition attempt; matching :class:`FaultRule`\\ s fire faults:
+
+``transient``
+    the attempt fails with a retryable error (flaky worker);
+``fatal``
+    the attempt fails permanently (bad record, task bug);
+``lost``
+    the worker dies — the engine performs lineage recovery, recomputing
+    only the lost partition from its upstream inputs;
+``slow``
+    the attempt straggles — the engine launches a speculative duplicate
+    and takes the first finisher.
+
+Rules target work by stage kind (map/shuffle/gather/load), task name
+(fnmatch glob), partition index and attempt number, optionally with a
+probability (``rate``, drawn from the injector's seeded PRNG) and a
+total firing budget (``times``).  The same seed and plan always produce
+the same fault sequence, so every recovery test is reproducible.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+TRANSIENT = "transient"
+FATAL = "fatal"
+LOST = "lost"
+SLOW = "slow"
+
+_KINDS = {TRANSIENT, FATAL, LOST, SLOW}
+
+
+@dataclass
+class FaultRule:
+    """One targeting rule.  ``None`` fields match anything."""
+
+    kind: str = TRANSIENT
+    stage_kind: str | None = None  # map | shuffle | gather | load
+    task: str | None = None  # fnmatch glob on the task name
+    partition: int | None = None
+    attempt: int | None = 0  # 0-based attempt number; None = every
+    rate: float = 1.0
+    times: int | None = None  # total firing budget
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {sorted(_KINDS)}"
+            )
+
+    def matches(
+        self, stage_kind: str, task: str, partition: int, attempt: int
+    ) -> bool:
+        if self.stage_kind is not None and stage_kind != self.stage_kind:
+            return False
+        if self.task is not None and not fnmatch.fnmatch(task, self.task):
+            return False
+        if self.partition is not None and partition != self.partition:
+            return False
+        if self.attempt is not None and attempt != self.attempt:
+            return False
+        return True
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for the injector's audit log."""
+
+    kind: str
+    stage_kind: str
+    task: str
+    partition: int
+    attempt: int
+
+
+class FaultInjector:
+    """Decides, deterministically, which attempts fail and how."""
+
+    def __init__(self, rules: list[FaultRule] | None = None, seed: int = 0):
+        self.rules = list(rules or [])
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._fired: dict[int, int] = {}
+        self.log: list[FaultRecord] = []
+
+    def add_rule(self, rule: FaultRule) -> "FaultInjector":
+        self.rules.append(rule)
+        return self
+
+    def check(
+        self, *, stage_kind: str, task: str, partition: int, attempt: int
+    ) -> str | None:
+        """The fault kind to inject for this attempt, or ``None``."""
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(stage_kind, task, partition, attempt):
+                continue
+            if rule.times is not None:
+                if self._fired.get(index, 0) >= rule.times:
+                    continue
+            if rule.rate < 1.0 and self._rng.random() >= rule.rate:
+                continue
+            self._fired[index] = self._fired.get(index, 0) + 1
+            self.log.append(
+                FaultRecord(rule.kind, stage_kind, task, partition, attempt)
+            )
+            return rule.kind
+        return None
+
+    def reset(self) -> None:
+        """Forget firing counts and log; rewind the PRNG to the seed."""
+        self._rng = random.Random(self.seed)
+        self._fired.clear()
+        self.log.clear()
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.log)
+
+    # ------------------------------------------------------------------
+    # named profiles (CLI --fault-profile, demos, CI)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile(
+        cls, profile: str | None, seed: int = 0
+    ) -> "FaultInjector | None":
+        """Build an injector from a named profile.
+
+        Profiles (optionally suffixed ``:<seed>``, e.g. ``chaos:7``):
+
+        - ``none`` — no faults (returns ``None``);
+        - ``transient`` — first attempt of partition 0 of every
+          shuffle stage fails once with a retryable fault;
+        - ``lost`` — one worker loss per shuffle stage (partition 0),
+          exercising lineage recovery;
+        - ``straggler`` — partition 0 of every shuffle stage straggles,
+          exercising speculative execution;
+        - ``flaky`` — transient + lost + straggler combined (the demo
+          profile: every recovery path fires at least once);
+        - ``chaos`` — every attempt everywhere fails with 20%
+          probability, seeded.
+        """
+        if not profile:
+            return None
+        name, _, seed_text = profile.partition(":")
+        name = name.strip().lower()
+        if seed_text.strip():
+            try:
+                seed = int(seed_text)
+            except ValueError:
+                raise ExecutionError(
+                    f"fault profile seed must be an integer, got "
+                    f"{seed_text!r}"
+                ) from None
+        if name == "none":
+            return None
+        if name == "transient":
+            rules = [
+                FaultRule(TRANSIENT, stage_kind="shuffle", partition=0)
+            ]
+        elif name == "lost":
+            rules = [FaultRule(LOST, stage_kind="shuffle", partition=0)]
+        elif name == "straggler":
+            rules = [FaultRule(SLOW, stage_kind="shuffle", partition=0)]
+        elif name == "flaky":
+            rules = [
+                FaultRule(TRANSIENT, stage_kind="shuffle", partition=0),
+                FaultRule(LOST, stage_kind="shuffle", partition=1),
+                FaultRule(SLOW, stage_kind="map", partition=0, times=2),
+            ]
+        elif name == "chaos":
+            rules = [FaultRule(TRANSIENT, attempt=0, rate=0.2)]
+        else:
+            raise ExecutionError(
+                f"unknown fault profile {profile!r}; choose from "
+                f"none, transient, lost, straggler, flaky, chaos"
+            )
+        return cls(rules, seed=seed)

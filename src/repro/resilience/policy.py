@@ -1,0 +1,96 @@
+"""Bounded retry with deterministic exponential backoff.
+
+One :class:`RetryPolicy` is shared by the distributed engine's
+partition retry loop and by the HTTP/FTP/JDBC connectors, replacing
+the ad-hoc loops each had grown.  Jitter is seeded: the same
+``(seed, key, attempt)`` triple always yields the same delay, so a
+failed run replays identically — a property the fault-injection tests
+assert.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.errors import is_retryable
+from repro.resilience.clock import Clock, SimulatedClock
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait in between.
+
+    ``max_attempts`` counts the first try: 3 means one try plus two
+    retries.  Delays grow as ``base_delay * multiplier ** (attempt-1)``
+    capped at ``max_delay``, then widened by up to ``jitter`` fraction
+    drawn from a PRNG seeded with ``(seed, key, attempt)`` — pass a
+    stable ``key`` (task name, partition, URL host) to decorrelate
+    concurrent retriers without losing determinism.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay(self, attempt: int, key: Any = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = self.base_delay * self.multiplier ** max(0, attempt - 1)
+        raw = min(raw, self.max_delay)
+        if not self.jitter:
+            return raw
+        rng = random.Random(f"{self.seed}|{key!r}|{attempt}")
+        return raw * (1.0 + self.jitter * rng.random())
+
+    def schedule(self, key: Any = None) -> list[float]:
+        """The full deterministic backoff schedule for ``key``."""
+        return [
+            self.delay(attempt, key)
+            for attempt in range(1, max(1, self.max_attempts))
+        ]
+
+    def with_attempts(self, max_attempts: int) -> "RetryPolicy":
+        """A copy with a different attempt budget (connector configs
+        override per data object via the ``retries`` key)."""
+        return RetryPolicy(
+            max_attempts=max(1, max_attempts),
+            base_delay=self.base_delay,
+            multiplier=self.multiplier,
+            max_delay=self.max_delay,
+            jitter=self.jitter,
+            seed=self.seed,
+        )
+
+    def call(
+        self,
+        fn: Callable[[int], T],
+        *,
+        clock: Clock | None = None,
+        key: Any = None,
+        classify: Callable[[BaseException], bool] = is_retryable,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> T:
+        """Run ``fn(attempt)`` under this policy.
+
+        ``fn`` receives the 1-based attempt number.  Non-retryable
+        exceptions (per ``classify``) propagate immediately; retryable
+        ones are re-raised once the budget is exhausted.
+        """
+        clock = clock or SimulatedClock()
+        attempts = max(1, self.max_attempts)
+        for attempt in range(1, attempts + 1):
+            try:
+                return fn(attempt)
+            except Exception as exc:
+                if not classify(exc) or attempt >= attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                clock.sleep(self.delay(attempt, key))
+        raise AssertionError("unreachable")  # pragma: no cover

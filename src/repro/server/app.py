@@ -26,7 +26,7 @@ import json
 from typing import Any, Callable, Iterable
 from urllib.parse import parse_qsl
 
-from repro.errors import QueryError, ShareInsightsError
+from repro.errors import QueryError, ShareInsightsError, is_retryable
 from repro.platform import Platform
 from repro.server.query_language import parse_adhoc_query
 
@@ -34,10 +34,19 @@ StartResponse = Callable[[str, list[tuple[str, str]]], Any]
 
 
 class ShareInsightsApp:
-    """The REST surface over one platform instance."""
+    """The REST surface over one platform instance.
+
+    Engine and connector failures surface as *structured* error bodies
+    (type, retryability, failing task/partition); endpoint reads keep a
+    last-known-good copy per dataset and serve it with ``degraded: true``
+    when a recompute fails, so consumers see stale-but-usable data
+    instead of a hard 422.
+    """
 
     def __init__(self, platform: Platform):
         self.platform = platform
+        #: last successfully served endpoint tables, for degraded mode
+        self._last_good: dict[tuple[str, str], Any] = {}
 
     # -- WSGI entry point --------------------------------------------------
     def __call__(
@@ -53,7 +62,9 @@ class ShareInsightsApp:
         except QueryError as exc:
             status, content_type, body = _error(400, str(exc))
         except ShareInsightsError as exc:
-            status, content_type, body = _error(422, str(exc))
+            status, content_type, body = _error(
+                422, str(exc), **_failure_detail(exc)
+            )
         start_response(
             status,
             [
@@ -97,18 +108,26 @@ class ShareInsightsApp:
             return _json({"saved": name})
         if action == "run" and method == "POST":
             report = self.platform.run_dashboard(
-                name, engine=query.get("engine")
+                name,
+                engine=query.get("engine"),
+                fault_profile=query.get("fault_profile"),
             )
-            return _json(
-                {
-                    "dashboard": name,
-                    "engine": report.engine,
-                    "seconds": round(report.seconds, 6),
-                    "rows_produced": report.rows_produced,
-                    "endpoints": report.endpoints,
-                    "published": report.published,
+            payload = {
+                "dashboard": name,
+                "engine": report.engine,
+                "seconds": round(report.seconds, 6),
+                "rows_produced": report.rows_produced,
+                "endpoints": report.endpoints,
+                "published": report.published,
+            }
+            if report.attempts:
+                payload["resilience"] = {
+                    "attempts": report.attempts,
+                    "retried_partitions": report.retried_partitions,
+                    "speculative_wins": report.speculative_wins,
+                    "recovered_stages": report.recovered_stages,
                 }
-            )
+            return _json(payload)
         if action == "fork" and method == "POST" and len(rest) == 2:
             self.platform.fork_dashboard(name, rest[1])
             return _json({"forked": rest[1], "from": name},
@@ -172,7 +191,18 @@ class ShareInsightsApp:
         if not segments:
             return _json({"endpoints": dashboard.endpoint_names()})
         adhoc = parse_adhoc_query(segments)
-        table = dashboard.endpoint(adhoc.dataset)
+        cache_key = (name, adhoc.dataset)
+        degraded_error: str | None = None
+        try:
+            table = dashboard.endpoint(adhoc.dataset)
+            self._last_good[cache_key] = table
+        except ShareInsightsError as exc:
+            # Recompute/fetch failed: fall back to the last-known-good
+            # copy (marked degraded) rather than failing the read.
+            table = self._last_good.get(cache_key)
+            if table is None:
+                raise
+            degraded_error = str(exc)
         table = adhoc.execute(table)
         limit = int(query.get("limit", 1000))
         offset = int(query.get("offset", 0))
@@ -180,16 +210,22 @@ class ShareInsightsApp:
         self.platform._log(
             "query",
             name,
-            {"dataset": adhoc.dataset, "steps": len(adhoc.steps)},
-        )
-        return _json(
             {
                 "dataset": adhoc.dataset,
-                "columns": table.schema.names,
-                "total_rows": table.num_rows,
-                "rows": rows,
-            }
+                "steps": len(adhoc.steps),
+                "degraded": degraded_error is not None,
+            },
         )
+        payload = {
+            "dataset": adhoc.dataset,
+            "columns": table.schema.names,
+            "total_rows": table.num_rows,
+            "rows": rows,
+        }
+        if degraded_error is not None:
+            payload["degraded"] = True
+            payload["error"] = degraded_error
+        return _json(payload)
 
     # -- data explorer (Fig. 29) -----------------------------------------------
     def _explorer(
@@ -374,7 +410,24 @@ def _html(html: str, status: str = "200 OK") -> tuple[str, str, bytes]:
     return status, "text/html; charset=utf-8", html.encode("utf-8")
 
 
-def _error(code: int, message: str) -> tuple[str, str, bytes]:
+def _failure_detail(exc: ShareInsightsError) -> dict[str, Any]:
+    """Structured failure fields for engine/connector errors."""
+    detail: dict[str, Any] = {
+        "type": type(exc).__name__,
+        "retryable": is_retryable(exc),
+    }
+    task = getattr(exc, "task", None)
+    partition = getattr(exc, "partition", None)
+    if task is not None:
+        detail["task"] = task
+    if partition is not None:
+        detail["partition"] = partition
+    return detail
+
+
+def _error(
+    code: int, message: str, **detail: Any
+) -> tuple[str, str, bytes]:
     reasons = {
         400: "Bad Request",
         404: "Not Found",
@@ -382,10 +435,12 @@ def _error(code: int, message: str) -> tuple[str, str, bytes]:
         422: "Unprocessable Entity",
     }
     status = f"{code} {reasons.get(code, 'Error')}"
+    payload: dict[str, Any] = {"error": message}
+    payload.update(detail)
     return (
         status,
         "application/json",
-        json.dumps({"error": message}).encode("utf-8"),
+        json.dumps(payload).encode("utf-8"),
     )
 
 

@@ -1,0 +1,300 @@
+"""Integration: fault tolerance end to end.
+
+The IPL workload (paper §3.7) runs on the distributed engine under a
+seeded fault plan that injects at least one transient failure into
+every shuffle stage — and still produces exactly the local engine's
+results, with the recovery visible in the run telemetry.  The same
+resilience layer surfaces through the platform (`fault_profile`), the
+REST API (structured errors, degraded serving) and the CLI.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import Platform
+from repro.cli import main
+from repro.data import Schema, Table
+from repro.dsl import parse_flow_file
+from repro.engine import DistributedExecutor, LocalExecutor
+from repro.errors import ExecutionError, ShareInsightsError
+from repro.formats import JsonFormat
+from repro.resilience import (
+    TRANSIENT,
+    FaultInjector,
+    FaultRule,
+    RetryPolicy,
+)
+from repro.server import ShareInsightsApp
+from repro.workloads import IPL_PROCESSING_FLOW, ipl
+
+pytestmark = pytest.mark.resilience
+
+TWEET_COUNT = 400
+
+
+def _ipl_platform():
+    platform = Platform()
+    schema = parse_flow_file(IPL_PROCESSING_FLOW).data["ipltweets"].schema
+    tweets = JsonFormat().decode(
+        ipl.tweets_json(count=TWEET_COUNT, seed=7), schema
+    )
+    dashboard = platform.create_dashboard(
+        "ipl_processing",
+        IPL_PROCESSING_FLOW,
+        inline_tables={
+            "ipltweets": tweets,
+            "dim_teams": ipl.dim_teams_table(),
+            "team_players": ipl.team_players_table(),
+            "lat_long": ipl.lat_long_table(),
+        },
+        dictionaries=ipl.dictionaries(),
+    )
+    return platform, dashboard
+
+
+def _sorted_rows(table):
+    return sorted(map(repr, table.to_records()))
+
+
+class TestIplUnderFaults:
+    def test_transient_fault_per_shuffle_stage_matches_local(self):
+        """The headline acceptance: every shuffle stage suffers at
+        least one transient failure, yet the distributed results are
+        identical to the local engine's (up to row order)."""
+        _platform, dashboard = _ipl_platform()
+        plan = dashboard.compiled.plan
+        local = LocalExecutor(dashboard._resolve_source).run(
+            plan, dashboard._task_context()
+        )
+        baseline = DistributedExecutor(
+            dashboard._resolve_source, num_partitions=4
+        ).run(plan, dashboard._task_context())
+        # Fail the first attempt of EVERY shuffle unit.
+        injector = FaultInjector(
+            [FaultRule(TRANSIENT, stage_kind="shuffle", attempt=0)],
+            seed=11,
+        )
+        dist = DistributedExecutor(
+            dashboard._resolve_source,
+            num_partitions=4,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0),
+        ).run(plan, dashboard._task_context())
+
+        shared = set(dist.tables) & set(local.tables)
+        assert shared  # the flows materialized something comparable
+        for name in sorted(shared):
+            # Faults change nothing: the recovered run is bit-identical
+            # to the fault-free distributed run...
+            assert _sorted_rows(dist.table(name)) == _sorted_rows(
+                baseline.tables[name]
+            ), f"output {name!r} diverged under faults"
+            # ...and matches the local engine wherever the engines
+            # already agree (top-N tie-breaking is the one
+            # partitioning-sensitive case, independent of faults).
+            if _sorted_rows(baseline.tables[name]) == _sorted_rows(
+                local.tables[name]
+            ):
+                assert _sorted_rows(dist.table(name)) == _sorted_rows(
+                    local.tables[name]
+                )
+        agreeing = [
+            name
+            for name in shared
+            if _sorted_rows(dist.table(name))
+            == _sorted_rows(local.tables[name])
+        ]
+        # The catalog-published shared outputs all agree with local.
+        for name in ("players_tweets", "player_tweets", "team_tweets",
+                     "team_region_tweets"):
+            assert name in agreeing
+
+        # Every shuffle stage saw >= 1 injected transient failure...
+        assert dist.num_shuffle_stages > 0
+        assert injector.faults_injected >= dist.num_shuffle_stages
+        # ...and the telemetry shows the resilience layer at work.
+        assert dist.retried_partitions >= dist.num_shuffle_stages
+        assert dist.recovered_stages
+        assert dist.attempts > len(dist.stages)
+
+    def test_fault_profile_through_the_platform(self):
+        platform, _dashboard = _ipl_platform()
+        baseline = platform.run_dashboard("ipl_processing", engine="local")
+        report = platform.run_dashboard(
+            "ipl_processing", fault_profile="flaky:3"
+        )
+        assert report.engine == "distributed"
+        assert report.rows_produced == baseline.rows_produced
+        assert report.attempts > 0
+        assert report.recovered_stages
+        # Telemetry lands in the platform event log too.
+        run_events = [e for e in platform.events if e.kind == "run"]
+        assert run_events[-1].detail.get("recovered_stages")
+
+    def test_fault_profile_rejects_local_engine(self):
+        platform, _dashboard = _ipl_platform()
+        with pytest.raises(ExecutionError, match="distributed"):
+            platform.run_dashboard(
+                "ipl_processing",
+                engine="local",
+                fault_profile="transient",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REST API: structured errors and degraded serving
+# ---------------------------------------------------------------------------
+FLOW = (
+    "D:\n    raw: [k, v]\n"
+    "    counts: [k, total]\n"
+    "F:\n    D.counts: D.raw | T.agg\n"
+    "    D.counts:\n        endpoint: true\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: total\n"
+)
+
+RAW = Table.from_rows(
+    Schema.of("k", "v"), [("a", 1), ("b", 2), ("a", 3)]
+)
+
+
+@pytest.fixture
+def client():
+    platform = Platform()
+    platform.create_dashboard("sales", FLOW, inline_tables={"raw": RAW})
+    app = ShareInsightsApp(platform)
+
+    def call(method, path, query=""):
+        holder = {}
+
+        def start_response(status, headers):
+            holder["status"] = status
+
+        chunks = app(
+            {
+                "REQUEST_METHOD": method,
+                "PATH_INFO": path,
+                "QUERY_STRING": query,
+                "CONTENT_LENGTH": "0",
+                "wsgi.input": io.BytesIO(b""),
+            },
+            start_response,
+        )
+        return holder["status"], json.loads(b"".join(chunks) or b"{}")
+
+    call.platform = platform
+    return call
+
+
+class TestServerResilience:
+    def test_run_reports_resilience_telemetry(self, client):
+        status, body = client(
+            "POST", "/dashboards/sales/run", "fault_profile=flaky:5"
+        )
+        assert status.startswith("200")
+        assert body["engine"] == "distributed"
+        resilience = body["resilience"]
+        assert resilience["attempts"] > 0
+        assert isinstance(resilience["recovered_stages"], list)
+
+    def test_failures_map_to_structured_errors(self, client):
+        status, body = client(
+            "POST",
+            "/dashboards/sales/run",
+            "engine=local&fault_profile=transient",
+        )
+        assert status.startswith("422")
+        assert body["type"] == "ExecutionError"
+        assert body["retryable"] is False
+        assert "distributed" in body["error"]
+
+    def test_degraded_serving_uses_last_known_good(self, client):
+        client("POST", "/dashboards/sales/run")
+        status, body = client("GET", "/dashboards/sales/ds/counts")
+        assert status.startswith("200")
+        assert "degraded" not in body
+        good_rows = body["rows"]
+
+        # The backing store goes down: endpoint recomputation fails.
+        dashboard = client.platform.get_dashboard("sales")
+
+        def broken(_name):
+            raise ShareInsightsError("backing store unreachable")
+
+        dashboard.endpoint = broken
+        status, body = client("GET", "/dashboards/sales/ds/counts")
+        assert status.startswith("200")
+        assert body["degraded"] is True
+        assert "unreachable" in body["error"]
+        assert body["rows"] == good_rows
+
+        # Without a cached copy there is nothing to degrade to.
+        status, body = client("GET", "/dashboards/sales/ds/raw")
+        assert status.startswith("422")
+        assert "unreachable" in body["error"]
+        assert body["type"] == "ShareInsightsError"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+CLI_SOURCE = (
+    "D:\n    raw: [k, v]\n"
+    "    counts: [k, total]\n"
+    "D.raw:\n    source: raw.csv\n"
+    "F:\n    D.counts: D.raw | T.agg\n"
+    "    D.counts:\n        endpoint: true\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: total\n"
+)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "dash.flow").write_text(CLI_SOURCE, encoding="utf-8")
+    (tmp_path / "raw.csv").write_bytes(b"k,v\na,1\nb,2\na,3\n")
+    return tmp_path
+
+
+class TestCliFaultProfile:
+    def test_run_with_fault_profile(self, workspace, capsys):
+        code = main(
+            [
+                "run",
+                str(workspace / "dash.flow"),
+                "--data", str(workspace),
+                "--fault-profile", "chaos:7",
+                "--endpoint", "counts",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "distributed engine" in captured.err
+        rows = json.loads(captured.out)
+        assert {r["k"]: r["total"] for r in rows} == {"a": 4, "b": 2}
+
+    def test_unknown_profile_is_a_clean_error(self, workspace, capsys):
+        code = main(
+            [
+                "run",
+                str(workspace / "dash.flow"),
+                "--data", str(workspace),
+                "--fault-profile", "rampage",
+            ]
+        )
+        assert code == 1
+        assert "unknown fault profile" in capsys.readouterr().err

@@ -1,0 +1,251 @@
+"""Connector resilience: shared retry policy, classification, breaker."""
+
+import sqlite3
+
+import pytest
+
+from repro.connectors.ftp import FtpConnector, SimulatedFtpServer
+from repro.connectors.http import HttpConnector, SimulatedHttpTransport
+from repro.connectors.jdbc import JdbcConnector, _classify_sql_error
+from repro.errors import (
+    CircuitOpenError,
+    ConnectorAuthError,
+    ConnectorError,
+    ConnectorNotFoundError,
+    ConnectorTimeoutError,
+    TransientConnectorError,
+    is_retryable,
+)
+from repro.resilience import RetryPolicy
+
+pytestmark = pytest.mark.resilience
+
+
+def _http(transport=None, **kwargs):
+    transport = transport or SimulatedHttpTransport()
+    transport.register_static("http://api.test/data", b'[{"a": 1}]')
+    kwargs.setdefault(
+        "retry_policy", RetryPolicy(max_attempts=3, jitter=0.0)
+    )
+    return HttpConnector(transport, **kwargs)
+
+
+class TestHttpRetry:
+    def test_timeout_is_retried_to_success(self):
+        connector = _http()
+        connector.transport.timeout_next(1)
+        result = connector.fetch({"source": "http://api.test/data"})
+        assert result.payload == b'[{"a": 1}]'
+        assert result.metadata["attempts"] == 2
+        assert len(connector.transport.request_log) == 2
+
+    def test_timeout_is_classified_retryable(self):
+        assert is_retryable(ConnectorTimeoutError("deadline"))
+
+    def test_negative_retries_clamp_to_single_attempt(self):
+        connector = _http()
+        connector.transport.fail_next(1)
+        with pytest.raises(
+            TransientConnectorError, match="after 1 attempt"
+        ):
+            connector.fetch(
+                {"source": "http://api.test/data", "retries": -7}
+            )
+        assert len(connector.transport.request_log) == 1
+
+    def test_404_is_permanent_and_distinguishes_no_route(self):
+        connector = _http()
+        with pytest.raises(ConnectorNotFoundError, match="no route") as info:
+            connector.fetch({"source": "http://api.test/missing"})
+        assert not is_retryable(info.value)
+        assert len(connector.transport.request_log) == 1
+
+    def test_other_4xx_is_permanent_client_error(self):
+        transport = SimulatedHttpTransport()
+        transport.register_static(
+            "http://api.test/secret", b"denied", status=403
+        )
+        connector = _http(transport)
+        with pytest.raises(
+            ConnectorError, match="permanent client error"
+        ) as info:
+            connector.fetch({"source": "http://api.test/secret"})
+        assert not isinstance(info.value, ConnectorNotFoundError)
+        assert not is_retryable(info.value)
+        assert len(transport.request_log) == 1
+
+    def test_5xx_exhausts_budget_then_reports_attempts(self):
+        connector = _http()
+        connector.transport.fail_next(10)
+        with pytest.raises(TransientConnectorError, match="503") as info:
+            connector.fetch(
+                {"source": "http://api.test/data", "retries": 2}
+            )
+        assert "after 3 attempt(s)" in str(info.value)
+        assert len(connector.transport.request_log) == 3
+
+
+class TestHttpCircuitBreaker:
+    def test_open_breaker_fails_fast_then_recovers(self):
+        connector = _http(
+            retry_policy=RetryPolicy(max_attempts=1, jitter=0.0),
+            breaker_threshold=2,
+            breaker_reset=30.0,
+        )
+        transport = connector.transport
+        config = {"source": "http://api.test/data", "retries": 0}
+        transport.fail_next(2)
+        for _ in range(2):
+            with pytest.raises(TransientConnectorError):
+                connector.fetch(config)
+        sent = len(transport.request_log)
+        # Circuit open: the request never reaches the transport.
+        with pytest.raises(CircuitOpenError, match="api.test"):
+            connector.fetch(config)
+        assert len(transport.request_log) == sent
+        # After the reset window a half-open probe is admitted and its
+        # success closes the circuit again.
+        transport.clock.advance(30.0)
+        result = connector.fetch(config)
+        assert result.metadata["status"] == 200
+        assert connector.breaker_for("api.test").state == "closed"
+
+    def test_breaker_disabled_by_default(self):
+        assert _http().breaker_for("api.test") is None
+
+
+class TestHttpSlowResponses:
+    def test_slow_response_pays_latency_and_is_marked(self):
+        transport = SimulatedHttpTransport(
+            slow_rate=1.0, slow_seconds=4.0
+        )
+        transport.register_static("http://api.test/data", b"ok")
+        connector = HttpConnector(transport)
+        result = connector.fetch({"source": "http://api.test/data"})
+        assert result.payload == b"ok"
+        assert result.metadata["headers"]["X-Simulated-Latency"] == "4.0"
+        assert 4.0 in transport.clock.sleeps
+
+
+class TestFtpClassification:
+    def test_bad_login_fails_fast_without_retry(self):
+        server = SimulatedFtpServer({"alice": "s3cret"})
+        server.put("/data/report.csv", b"a,b\n1,2\n")
+        logins = []
+        real = server.authenticate
+        server.authenticate = lambda u, p: (
+            logins.append(u), real(u, p)
+        )[1]
+        connector = FtpConnector(server)
+        with pytest.raises(ConnectorAuthError, match="login failed") as info:
+            connector.fetch(
+                {
+                    "source": "ftp://files/data/report.csv",
+                    "username": "alice",
+                    "password": "wrong",
+                    "retries": 5,
+                }
+            )
+        assert not is_retryable(info.value)
+        assert logins == ["alice"]  # exactly one login attempt
+
+    def test_missing_file_fails_fast_without_retry(self):
+        server = SimulatedFtpServer()
+        reads = []
+        real = server.retr
+        server.retr = lambda *a: (reads.append(a[0]), real(*a))[1]
+        connector = FtpConnector(server)
+        with pytest.raises(
+            ConnectorNotFoundError, match="file not found"
+        ) as info:
+            connector.fetch({"source": "/nope.csv", "retries": 5})
+        assert not is_retryable(info.value)
+        assert len(reads) == 1
+
+    def test_flaky_transfer_is_retried_to_success(self):
+        server = SimulatedFtpServer()
+        server.put("/data/report.csv", b"payload")
+        # seed 1: first draw < 0.5 (drop), second draw >= 0.5 (deliver)
+        server.set_flaky(0.5, seed=1)
+        connector = FtpConnector(
+            server, retry_policy=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        result = connector.fetch({"source": "/data/report.csv"})
+        assert result.payload == b"payload"
+
+    def test_store_retries_transient_drops(self):
+        server = SimulatedFtpServer()
+        drops = {"left": 1}
+        real = server._maybe_drop
+
+        def flaky_once(path):
+            if drops["left"]:
+                drops["left"] -= 1
+                raise TransientConnectorError("dropped (simulated)")
+            real(path)
+
+        server._maybe_drop = flaky_once
+        connector = FtpConnector(server)
+        connector.store({"source": "/out.bin"}, b"\x00\x01")
+        assert server.retr("/out.bin", "anonymous", "") == b"\x00\x01"
+
+
+class _FlakyConnection:
+    """sqlite3 connection wrapper that raises lock errors first."""
+
+    def __init__(self, connection, failures):
+        self._connection = connection
+        self.failures = failures
+        self.execute_calls = 0
+
+    def execute(self, *args):
+        self.execute_calls += 1
+        if self.failures:
+            self.failures -= 1
+            raise sqlite3.OperationalError("database is locked")
+        return self._connection.execute(*args)
+
+
+class TestJdbcClassification:
+    def test_lock_errors_are_transient(self):
+        exc = _classify_sql_error(
+            sqlite3.OperationalError("database is locked"), "query"
+        )
+        assert isinstance(exc, TransientConnectorError)
+        exc = _classify_sql_error(
+            sqlite3.OperationalError("no such table: t"), "query"
+        )
+        assert type(exc) is ConnectorError
+        assert not is_retryable(exc)
+
+    def test_locked_database_is_retried(self):
+        connector = JdbcConnector(
+            retry_policy=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        real = sqlite3.connect(":memory:")
+        real.execute("CREATE TABLE t (a INTEGER)")
+        real.execute("INSERT INTO t VALUES (1), (2)")
+        flaky = _FlakyConnection(real, failures=2)
+        connector.register_database("db", flaky)
+        result = connector.fetch({"source": "db", "table": "t"})
+        assert result.table.num_rows == 2
+        assert flaky.execute_calls == 3
+
+    def test_bad_sql_fails_fast(self):
+        connector = JdbcConnector()
+        real = sqlite3.connect(":memory:")
+        flaky = _FlakyConnection(real, failures=0)
+        connector.register_database("db", flaky)
+        with pytest.raises(ConnectorError, match="JDBC query failed"):
+            connector.fetch({"source": "db", "query": "SELEKT nope"})
+        assert flaky.execute_calls == 1
+
+    def test_exhausted_lock_retries_surface_the_error(self):
+        connector = JdbcConnector(
+            retry_policy=RetryPolicy(max_attempts=2, jitter=0.0)
+        )
+        flaky = _FlakyConnection(sqlite3.connect(":memory:"), failures=99)
+        connector.register_database("db", flaky)
+        with pytest.raises(TransientConnectorError, match="locked"):
+            connector.fetch({"source": "db", "query": "SELECT 1"})
+        assert flaky.execute_calls == 2

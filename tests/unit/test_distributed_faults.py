@@ -1,0 +1,238 @@
+"""Fault tolerance of the simulated distributed executor.
+
+Every recovery path — retry with backoff, lineage recovery after a
+worker loss, speculative execution for stragglers, checkpoint resume —
+is driven by a seeded :class:`FaultInjector`, so each test is exactly
+reproducible.
+"""
+
+import pytest
+
+from repro.compiler.dag import build_dag
+from repro.data import Schema, Table
+from repro.dsl import parse_flow_file
+from repro.engine import DistributedExecutor, LocalExecutor, build_logical_plan
+from repro.errors import ExecutionError
+from repro.resilience import (
+    FATAL,
+    LOST,
+    SLOW,
+    TRANSIENT,
+    CheckpointStore,
+    FaultInjector,
+    FaultRule,
+    RetryPolicy,
+    SimulatedClock,
+)
+from repro.tasks.registry import default_task_registry
+
+pytestmark = pytest.mark.resilience
+
+FLOW = (
+    "D:\n    raw: [k, v]\n"
+    "    mid: [k, v]\n"
+    "D.raw:\n    source: raw.csv\n"
+    "F:\n"
+    "    D.mid: D.raw | T.keep\n"
+    "    D.out: D.mid | T.agg\n"
+    "T:\n"
+    "    keep:\n"
+    "        type: filter_by\n"
+    "        filter_expression: v >= 0\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: s\n"
+)
+
+TABLE = Table.from_rows(
+    Schema.of("k", "v"),
+    [(key, (i * 7) % 23 - 3) for i, key in enumerate("abcd" * 10)],
+)
+
+
+def _plan():
+    ff = parse_flow_file(FLOW)
+    registry = default_task_registry()
+    tasks = registry.build_section(
+        {name: spec.config for name, spec in ff.tasks.items()}
+    )
+    return build_logical_plan(build_dag(ff), tasks)
+
+
+def _rows(table):
+    return sorted(map(repr, table.to_records()))
+
+
+def _local():
+    return LocalExecutor(lambda n: TABLE).run(_plan()).table("out")
+
+
+def _executor(**kwargs):
+    kwargs.setdefault("retry_policy", RetryPolicy(max_attempts=3, jitter=0.0))
+    return DistributedExecutor(lambda n: TABLE, num_partitions=4, **kwargs)
+
+
+class TestTransientFaults:
+    def test_transient_shuffle_fault_is_retried_and_result_unchanged(self):
+        clock = SimulatedClock()
+        injector = FaultInjector(
+            [FaultRule(TRANSIENT, stage_kind="shuffle", attempt=0)]
+        )
+        result = _executor(fault_injector=injector, clock=clock).run(_plan())
+        assert _rows(result.table("out")) == _rows(_local())
+        assert injector.faults_injected >= 1
+        assert result.retried_partitions >= 1
+        assert result.recovered_stages  # the shuffle stage needed help
+        assert clock.sleeps  # backoff actually happened
+
+    def test_same_seed_same_fault_plan_same_telemetry(self):
+        def run():
+            clock = SimulatedClock()
+            injector = FaultInjector(
+                [FaultRule(TRANSIENT, rate=0.4, attempt=0)], seed=13
+            )
+            result = _executor(
+                fault_injector=injector, clock=clock
+            ).run(_plan())
+            telemetry = [
+                (s.task, s.kind, s.attempts, s.retried_partitions)
+                for s in result.stages
+            ]
+            return telemetry, clock.sleeps, _rows(result.table("out"))
+
+        assert run() == run()
+
+    def test_budget_exhaustion_names_task_and_partition(self):
+        injector = FaultInjector(
+            [FaultRule(TRANSIENT, task="agg*", attempt=None)]
+        )
+        executor = _executor(
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=2, jitter=0.0),
+        )
+        with pytest.raises(ExecutionError) as info:
+            executor.run(_plan())
+        error = info.value
+        assert error.task is not None and error.task.startswith("agg")
+        assert isinstance(error.partition, int)
+        assert "partition" in str(error)
+        assert "2 attempt(s)" in str(error)
+
+    def test_transient_load_fault_is_retried(self):
+        injector = FaultInjector(
+            [FaultRule(TRANSIENT, stage_kind="load", attempt=0)]
+        )
+        result = _executor(fault_injector=injector).run(_plan())
+        assert _rows(result.table("out")) == _rows(_local())
+        load = next(s for s in result.stages if s.kind == "load")
+        assert load.attempts == 2
+        assert load.retried_partitions == 1
+
+
+class TestFatalFaults:
+    def test_fatal_fault_fails_without_retry(self):
+        injector = FaultInjector(
+            [FaultRule(FATAL, stage_kind="shuffle")]
+        )
+        with pytest.raises(ExecutionError, match="failed permanently"):
+            _executor(fault_injector=injector).run(_plan())
+        assert injector.faults_injected == 1  # no second attempt
+
+    def test_resolver_crash_is_wrapped_with_identity(self):
+        def resolver(name):
+            raise KeyError(name)
+
+        executor = DistributedExecutor(resolver, num_partitions=2)
+        with pytest.raises(ExecutionError) as info:
+            executor.run(_plan())
+        assert info.value.task == "load(raw)"
+        assert info.value.partition == 0
+
+
+class TestWorkerLoss:
+    def test_lost_worker_triggers_lineage_recovery(self):
+        injector = FaultInjector(
+            [FaultRule(LOST, stage_kind="shuffle", attempt=0, times=1)]
+        )
+        result = _executor(fault_injector=injector).run(_plan())
+        assert _rows(result.table("out")) == _rows(_local())
+        assert result.recovered_partitions == 1
+        assert result.recovered_stages
+
+    def test_recovery_is_free_but_second_loss_is_fatal(self):
+        # attempt=None: the recovery attempt loses its worker too.
+        injector = FaultInjector(
+            [FaultRule(LOST, stage_kind="shuffle", attempt=None, times=2)]
+        )
+        with pytest.raises(
+            ExecutionError, match="worker lost again after lineage recovery"
+        ) as info:
+            _executor(fault_injector=injector).run(_plan())
+        assert info.value.task is not None
+        assert info.value.partition is not None
+
+
+class TestSpeculativeExecution:
+    def test_straggler_is_beaten_by_speculative_duplicate(self):
+        clock = SimulatedClock()
+        injector = FaultInjector(
+            [FaultRule(SLOW, stage_kind="shuffle", attempt=0, times=1)]
+        )
+        result = _executor(
+            fault_injector=injector, clock=clock, straggler_delay=9.0
+        ).run(_plan())
+        assert _rows(result.table("out")) == _rows(_local())
+        assert result.speculative_wins == 1
+        assert result.recovered_stages
+        assert 9.0 not in clock.sleeps  # never waited for the straggler
+
+    def test_disabling_speculation_pays_the_straggler_latency(self):
+        clock = SimulatedClock()
+        injector = FaultInjector(
+            [FaultRule(SLOW, stage_kind="shuffle", attempt=0, times=1)]
+        )
+        result = _executor(
+            fault_injector=injector,
+            clock=clock,
+            speculative=False,
+            straggler_delay=9.0,
+        ).run(_plan())
+        assert _rows(result.table("out")) == _rows(_local())
+        assert result.speculative_wins == 0
+        assert 9.0 in clock.sleeps
+
+
+class TestCheckpointResume:
+    def test_resumed_run_skips_completed_stages(self):
+        store = CheckpointStore()
+        first = _executor(checkpoints=store).run(_plan())
+        assert store.names() == ["mid", "out"]
+        resumed = _executor(checkpoints=store).run(_plan())
+        assert _rows(resumed.table("out")) == _rows(first.table("out"))
+        checkpoint_stages = [
+            s for s in resumed.stages if s.kind == "checkpoint"
+        ]
+        assert len(checkpoint_stages) == 2
+        assert len(resumed.recovered_stages) == 2
+
+    def test_partial_run_resumes_past_the_checkpoint(self):
+        store = CheckpointStore()
+        injector = FaultInjector(
+            [FaultRule(FATAL, task="agg*", attempt=None)]
+        )
+        with pytest.raises(ExecutionError):
+            _executor(
+                checkpoints=store, fault_injector=injector
+            ).run(_plan())
+        # The upstream flow output survived the crash...
+        assert "mid" in store and "out" not in store
+        # ...so the rerun restores it instead of recomputing.
+        resumed = _executor(checkpoints=store).run(_plan())
+        assert _rows(resumed.table("out")) == _rows(_local())
+        assert any(
+            "keep" in label for label in resumed.recovered_stages
+        )

@@ -1,0 +1,345 @@
+"""Unit tests for the resilience layer (repro.resilience)."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConnectorError,
+    ExecutionError,
+    TransientConnectorError,
+    TransientTaskError,
+    is_retryable,
+)
+from repro.resilience import (
+    CLOSED,
+    FATAL,
+    HALF_OPEN,
+    LOST,
+    OPEN,
+    SLOW,
+    TRANSIENT,
+    CheckpointStore,
+    CircuitBreaker,
+    FaultInjector,
+    FaultRule,
+    RetryPolicy,
+    SimulatedClock,
+    WallClock,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+# ---------------------------------------------------------------------------
+# clocks
+# ---------------------------------------------------------------------------
+class TestSimulatedClock:
+    def test_sleep_advances_and_records(self):
+        clock = SimulatedClock(start=10.0)
+        clock.sleep(2.5)
+        clock.sleep(0.5)
+        assert clock.now() == 13.0
+        assert clock.sleeps == [2.5, 0.5]
+        assert clock.total_slept == 3.0
+
+    def test_advance_moves_time_without_recording(self):
+        clock = SimulatedClock()
+        clock.advance(30.0)
+        assert clock.now() == 30.0
+        assert clock.sleeps == []
+
+    def test_negative_sleep_is_clamped(self):
+        clock = SimulatedClock()
+        clock.sleep(-5)
+        assert clock.now() == 0.0
+
+    def test_wall_clock_now_is_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        clock.sleep(0)  # no-op, must not raise
+        assert clock.now() >= first
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_same_seed_same_schedule(self):
+        make = lambda seed: RetryPolicy(max_attempts=6, seed=seed)
+        assert make(42).schedule("task-a") == make(42).schedule("task-a")
+        assert make(42).schedule("task-a") != make(43).schedule("task-a")
+        assert make(42).schedule("task-a") != make(42).schedule("task-b")
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=1.0,
+            multiplier=2.0,
+            max_delay=5.0,
+            jitter=0.0,
+        )
+        assert policy.schedule() == [1.0, 2.0, 4.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0]
+
+    def test_jitter_widens_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=1.0, jitter=0.5, max_delay=100.0
+        )
+        for attempt in (1, 2, 3):
+            raw = 1.0 * 2.0 ** (attempt - 1)
+            delay = policy.delay(attempt, key="k")
+            assert raw <= delay <= raw * 1.5
+
+    def test_call_retries_transient_then_succeeds(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=3, jitter=0.0, base_delay=0.1)
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 3:
+                raise TransientTaskError("flaky")
+            return "ok"
+
+        assert policy.call(flaky, clock=clock, key="p0") == "ok"
+        assert attempts == [1, 2, 3]
+        # Two retries → two backoff sleeps, matching the schedule prefix.
+        assert clock.sleeps == policy.schedule("p0")[:2]
+
+    def test_call_fails_fast_on_non_retryable(self):
+        attempts = []
+
+        def broken(attempt):
+            attempts.append(attempt)
+            raise ConnectorError("permanent")
+
+        with pytest.raises(ConnectorError):
+            RetryPolicy(max_attempts=5).call(broken)
+        assert attempts == [1]
+
+    def test_call_reraises_when_budget_exhausted(self):
+        attempts = []
+
+        def always(attempt):
+            attempts.append(attempt)
+            raise TransientConnectorError("still down")
+
+        with pytest.raises(TransientConnectorError):
+            RetryPolicy(max_attempts=3, jitter=0.0).call(always)
+        assert attempts == [1, 2, 3]
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+
+        def flaky(attempt):
+            if attempt < 3:
+                raise TransientTaskError(f"boom {attempt}")
+            return attempt
+
+        policy.call(flaky, on_retry=lambda n, exc: seen.append(n))
+        assert seen == [1, 2]
+
+    def test_with_attempts_clamps_to_one(self):
+        policy = RetryPolicy(max_attempts=3).with_attempts(0)
+        assert policy.max_attempts == 1
+
+    def test_error_classification(self):
+        assert is_retryable(TransientTaskError("x"))
+        assert is_retryable(TransientConnectorError("x"))
+        assert not is_retryable(ConnectorError("x"))
+        assert not is_retryable(ValueError("x"))
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_fails_fast_with_circuit_open_error(self):
+        breaker = CircuitBreaker(failure_threshold=1, name="api.example.com")
+        with pytest.raises(TransientConnectorError):
+            breaker.call(lambda: (_ for _ in ()).throw(
+                TransientConnectorError("down")
+            ))
+        calls = []
+        with pytest.raises(CircuitOpenError, match="api.example.com"):
+            breaker.call(lambda: calls.append(1))
+        assert calls == []  # the protected call never ran
+
+    def test_half_open_after_reset_timeout_then_closes_on_success(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=30.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(29.0)
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        assert breaker.call(lambda: "probe ok") == "probe ok"
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=5, reset_timeout=10.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # the probe fails
+        assert breaker.state == OPEN
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+# ---------------------------------------------------------------------------
+# fault injector
+# ---------------------------------------------------------------------------
+class TestFaultInjector:
+    def test_rule_targets_stage_task_partition_attempt(self):
+        rule = FaultRule(
+            TRANSIENT,
+            stage_kind="shuffle",
+            task="agg*",
+            partition=1,
+            attempt=0,
+        )
+        assert rule.matches("shuffle", "agg_merge", 1, 0)
+        assert not rule.matches("map", "agg_merge", 1, 0)
+        assert not rule.matches("shuffle", "join", 1, 0)
+        assert not rule.matches("shuffle", "agg_merge", 2, 0)
+        assert not rule.matches("shuffle", "agg_merge", 1, 1)
+
+    def test_none_fields_match_anything(self):
+        rule = FaultRule(FATAL, attempt=None)
+        for attempt in range(4):
+            assert rule.matches("load", "load(raw)", 3, attempt)
+
+    def test_first_matching_rule_wins(self):
+        injector = FaultInjector(
+            [FaultRule(LOST, partition=0), FaultRule(SLOW)]
+        )
+        assert injector.check(
+            stage_kind="map", task="t", partition=0, attempt=0
+        ) == LOST
+        assert injector.check(
+            stage_kind="map", task="t", partition=1, attempt=0
+        ) == SLOW
+
+    def test_times_budget_limits_firing(self):
+        injector = FaultInjector([FaultRule(TRANSIENT, times=2)])
+        fired = [
+            injector.check(
+                stage_kind="map", task="t", partition=i, attempt=0
+            )
+            for i in range(5)
+        ]
+        assert fired == [TRANSIENT, TRANSIENT, None, None, None]
+        assert injector.faults_injected == 2
+
+    def test_rate_is_seeded_and_deterministic(self):
+        def sequence(seed):
+            injector = FaultInjector(
+                [FaultRule(TRANSIENT, rate=0.5)], seed=seed
+            )
+            return [
+                injector.check(
+                    stage_kind="map", task="t", partition=i, attempt=0
+                )
+                for i in range(20)
+            ]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+        assert sequence(7).count(TRANSIENT) > 0
+        assert sequence(7).count(None) > 0
+
+    def test_log_records_every_injection(self):
+        injector = FaultInjector([FaultRule(LOST, stage_kind="shuffle")])
+        injector.check(stage_kind="shuffle", task="agg", partition=2, attempt=0)
+        assert len(injector.log) == 1
+        record = injector.log[0]
+        assert (record.kind, record.task, record.partition) == (
+            LOST, "agg", 2,
+        )
+
+    def test_reset_rewinds_budget_and_prng(self):
+        injector = FaultInjector([FaultRule(TRANSIENT, times=1, rate=0.5)])
+        first = [
+            injector.check(
+                stage_kind="map", task="t", partition=i, attempt=0
+            )
+            for i in range(10)
+        ]
+        injector.reset()
+        assert injector.faults_injected == 0
+        second = [
+            injector.check(
+                stage_kind="map", task="t", partition=i, attempt=0
+            )
+            for i in range(10)
+        ]
+        assert first == second
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("meltdown")
+
+    def test_profiles(self):
+        assert FaultInjector.from_profile(None) is None
+        assert FaultInjector.from_profile("none") is None
+        flaky = FaultInjector.from_profile("flaky")
+        assert {rule.kind for rule in flaky.rules} == {
+            TRANSIENT, LOST, SLOW,
+        }
+        chaos = FaultInjector.from_profile("chaos:99")
+        assert chaos.seed == 99
+        with pytest.raises(ExecutionError, match="unknown fault profile"):
+            FaultInjector.from_profile("rampage")
+        with pytest.raises(ExecutionError, match="seed must be an integer"):
+            FaultInjector.from_profile("chaos:soon")
+
+
+# ---------------------------------------------------------------------------
+# checkpoint store
+# ---------------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_roundtrip_and_introspection(self):
+        from repro.data import Schema, Table
+
+        store = CheckpointStore()
+        table = Table.from_rows(Schema.of("a"), [(1,), (2,)])
+        store.put("out", table)
+        store.put("mid", table)
+        assert "out" in store
+        assert store.get("out") is table
+        assert store.names() == ["mid", "out"]
+        assert list(store) == ["mid", "out"]
+        assert len(store) == 2
+        store.discard("mid")
+        store.discard("mid")  # idempotent
+        assert len(store) == 1
+        store.clear()
+        assert "out" not in store
