@@ -72,6 +72,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "to demo the resilience layer"
         ),
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the run's span tree (compile -> stage -> attempt)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage hot-spot table for the run",
+    )
 
     render = commands.add_parser(
         "render", help="run + render the dashboard"
@@ -133,6 +143,23 @@ def _cmd_run(args) -> int:
             f"{', '.join(report.recovered_stages) or '-'}",
             file=sys.stderr,
         )
+    if getattr(args, "trace", False) or getattr(args, "profile", False):
+        from repro.observability import (
+            render_hotspot_table,
+            render_span_tree,
+        )
+
+        spans = platform.observability.tracer.trace(
+            report.trace_id or ""
+        )
+        if getattr(args, "trace", False):
+            print(f"== trace {report.trace_id} ==", file=sys.stderr)
+            print(render_span_tree(spans), file=sys.stderr)
+        if getattr(args, "profile", False):
+            print(
+                f"== profile {report.trace_id} ==", file=sys.stderr
+            )
+            print(render_hotspot_table(spans), file=sys.stderr)
     if args.endpoint:
         table = platform.get_dashboard(name).endpoint(args.endpoint)
         json.dump(table.to_records(), sys.stdout, default=str, indent=2)

@@ -18,29 +18,65 @@ from repro.connectors.registry import (
 from repro.data import Schema, Table
 from repro.errors import ConnectorError
 from repro.formats.registry import FormatRegistry, default_format_registry
+from repro.observability import Observability
+from repro.observability.instruments import (
+    CONNECTOR_BYTES,
+    CONNECTOR_FETCH_DURATION,
+    CONNECTOR_FETCHES,
+)
 
 
 class DataObjectLoader:
-    """Loads (and stores) data objects through the registries."""
+    """Loads (and stores) data objects through the registries.
+
+    Every fetch runs inside a ``connector.fetch`` span and records
+    per-protocol fetch counts, latency histograms and payload bytes
+    into the observability registry.
+    """
 
     def __init__(
         self,
         connectors: ConnectorRegistry | None = None,
         formats: FormatRegistry | None = None,
+        observability: Observability | None = None,
     ):
         self.connectors = connectors or default_connector_registry()
         self.formats = formats or default_format_registry()
+        self.observability = observability or Observability()
 
     def load(self, schema: Schema, config: Mapping[str, Any]) -> Table:
         """Fetch + decode a data object into a table."""
         protocol = infer_protocol(config)
         connector = self.connectors.get(protocol)
-        result = connector.fetch(config)
+        obs = self.observability
+        with obs.tracer.span(
+            "connector.fetch",
+            protocol=protocol,
+            source=str(config.get("source", "")),
+        ) as span:
+            result = connector.fetch(config)
+            payload_bytes = (
+                len(result.payload) if result.payload is not None else 0
+            )
+            span.set(bytes=payload_bytes)
+        obs.metrics.counter(
+            CONNECTOR_FETCHES, "Data-object fetches by protocol"
+        ).inc(protocol=protocol)
+        obs.metrics.histogram(
+            CONNECTOR_FETCH_DURATION, "Connector fetch wall time"
+        ).observe(span.duration, protocol=protocol)
+        if payload_bytes:
+            obs.metrics.counter(
+                CONNECTOR_BYTES, "Raw payload bytes fetched by protocol"
+            ).inc(payload_bytes, protocol=protocol)
         if result.table is not None:
             return _align(result.table, schema)
         format_name = infer_format(config)
         fmt = self.formats.get(format_name)
-        return fmt.decode(result.payload or b"", schema, options=config)
+        with obs.tracer.span("format.decode", format=format_name):
+            return fmt.decode(
+                result.payload or b"", schema, options=config
+            )
 
     def save(self, table: Table, config: Mapping[str, Any]) -> None:
         """Encode + store a sink table."""

@@ -30,6 +30,8 @@ from repro.engine.datacube import DataCube
 from repro.engine.distributed import DistributedExecutor
 from repro.engine.local import LocalExecutor
 from repro.errors import ExecutionError, WidgetError
+from repro.observability import Observability
+from repro.observability.instruments import CUBE_QUERIES
 from repro.tasks.base import TaskContext, WidgetSelection
 from repro.widgets.base import Widget, WidgetView
 from repro.widgets.charts import Slider
@@ -65,6 +67,8 @@ class RunReport:
     retried_partitions: int = 0
     speculative_wins: int = 0
     recovered_stages: list[str] = field(default_factory=list)
+    #: tracing id of this run; resolvable via ``GET /trace/<run_id>``
+    trace_id: str | None = None
 
 
 class Dashboard:
@@ -80,7 +84,9 @@ class Dashboard:
         data_dir: str | Path | None = None,
         dictionaries: Mapping[str, Mapping[str, str]] | None = None,
         inline_tables: Mapping[str, Table] | None = None,
+        observability: Observability | None = None,
     ):
+        self.observability = observability or Observability()
         self.compiled = compiled
         self.flow_file = compiled.flow_file
         self.name = compiled.flow_file.name
@@ -144,47 +150,59 @@ class Dashboard:
                 t.num_rows for t in self._inline_tables.values()
             )
             engine = self.environment.choose_engine(estimated)
-        if engine == "local":
-            result = LocalExecutor(self._resolve_source).run(
-                plan, context
-            )
-            report = RunReport(
-                engine=engine,
-                seconds=result.stats.seconds,
-                rows_loaded=result.stats.rows_loaded,
-                rows_produced=result.stats.rows_produced,
-            )
-            self._materialized.update(result.tables)
-            self._last_node_stats = list(result.stats.node_stats)
-            self._last_stages = []
-        elif engine == "distributed":
-            from repro.resilience import FaultInjector
+        obs = self.observability
+        with obs.tracer.span(
+            "dashboard.run", dashboard=self.name, engine=engine
+        ) as root:
+            if engine == "local":
+                result = LocalExecutor(
+                    self._resolve_source,
+                    tracer=obs.tracer,
+                    metrics=obs.metrics,
+                ).run(plan, context)
+                report = RunReport(
+                    engine=engine,
+                    seconds=result.stats.seconds,
+                    rows_loaded=result.stats.rows_loaded,
+                    rows_produced=result.stats.rows_produced,
+                )
+                self._materialized.update(result.tables)
+                self._last_node_stats = list(result.stats.node_stats)
+                self._last_stages = []
+            elif engine == "distributed":
+                from repro.resilience import FaultInjector
 
-            injector = FaultInjector.from_profile(fault_profile)
-            result = DistributedExecutor(
-                self._resolve_source, fault_injector=injector
-            ).run(plan, context)
-            report = RunReport(
-                engine=engine,
-                seconds=result.seconds,
-                rows_produced=result.rows_produced,
-                shuffled_records=result.total_shuffled_records,
-                attempts=result.attempts,
-                retried_partitions=result.retried_partitions,
-                speculative_wins=result.speculative_wins,
-                recovered_stages=list(result.recovered_stages),
-            )
-            self._materialized.update(result.tables)
-            self._last_node_stats = []
-            self._last_stages = list(result.stages)
-        else:
-            raise ExecutionError(f"unknown engine {engine!r}")
-        report.flows_skipped = skipped
-        # A full run refreshes everything: nothing stays "fresh".
-        self._fresh_outputs = set(skipped)
-        report.endpoints = self.compiled.endpoint_names
-        report.published = self._publish()
-        self._rebuild_cubes()
+                injector = FaultInjector.from_profile(fault_profile)
+                result = DistributedExecutor(
+                    self._resolve_source,
+                    fault_injector=injector,
+                    tracer=obs.tracer,
+                    metrics=obs.metrics,
+                ).run(plan, context)
+                report = RunReport(
+                    engine=engine,
+                    seconds=result.seconds,
+                    rows_produced=result.rows_produced,
+                    shuffled_records=result.total_shuffled_records,
+                    attempts=result.attempts,
+                    retried_partitions=result.retried_partitions,
+                    speculative_wins=result.speculative_wins,
+                    recovered_stages=list(result.recovered_stages),
+                )
+                self._materialized.update(result.tables)
+                self._last_node_stats = []
+                self._last_stages = list(result.stages)
+            else:
+                raise ExecutionError(f"unknown engine {engine!r}")
+            report.flows_skipped = skipped
+            # A full run refreshes everything: nothing stays "fresh".
+            self._fresh_outputs = set(skipped)
+            report.endpoints = self.compiled.endpoint_names
+            with obs.tracer.span("publish"):
+                report.published = self._publish()
+            with obs.tracer.span("cubes.rebuild"):
+                self._rebuild_cubes()
+            report.trace_id = root.trace_id
         self.last_run = report
         return report
 
@@ -506,7 +524,15 @@ class Dashboard:
             cube = self._cubes.get(name)
         if cube is None:
             return widget.render(None)
-        table = cube.query(plan.client_tasks, self._selections())
+        obs = self.observability
+        with obs.tracer.span(
+            "cube.query", dashboard=self.name, widget=name
+        ) as span:
+            table = cube.query(plan.client_tasks, self._selections())
+            span.set(rows_out=table.num_rows)
+        obs.metrics.counter(
+            CUBE_QUERIES, "Datacube slices evaluated for widget views"
+        ).inc(dashboard=self.name)
         return widget.render(table)
 
     # ------------------------------------------------------------------

@@ -45,6 +45,12 @@ from repro.errors import (
     WorkerLostError,
     is_retryable,
 )
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    record_run,
+    record_stage,
+)
 from repro.resilience import (
     FATAL,
     LOST,
@@ -79,6 +85,8 @@ class StageStats:
     output_rows: int
     shuffled_records: int = 0
     shuffled_bytes: int = 0
+    #: wall time of the whole stage (its tracing span's duration)
+    seconds: float = 0.0
     #: partition attempts, including retries and speculative duplicates
     attempts: int = 0
     #: partitions that needed more than one attempt
@@ -236,6 +244,8 @@ class DistributedExecutor:
         speculative: bool = True,
         straggler_delay: float = 1.0,
         clock: Clock | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self._resolver = resolver
         self._parts = max(1, num_partitions)
@@ -246,6 +256,8 @@ class DistributedExecutor:
         self._speculative = speculative
         self._straggler_delay = straggler_delay
         self._clock = clock or SimulatedClock()
+        self._tracer = tracer or Tracer()
+        self._metrics = metrics or MetricsRegistry()
 
     def run(
         self, plan: LogicalPlan, context: TaskContext | None = None
@@ -257,49 +269,118 @@ class DistributedExecutor:
         stages: list[StageStats] = []
         recovered_stages: list[str] = []
         produced_rows = 0
-        for node in plan.topological_order():
-            name = node.materializes
-            if (
-                node.kind == "task"
-                and name
-                and self._checkpoints is not None
-                and name in self._checkpoints
-            ):
-                # Resume path: this flow output survived a previous
-                # (partial) run; restore it instead of recomputing.
-                table = self._checkpoints.get(name)
-                partitioned[node.id] = _partition(table, self._parts)
-                materialized[name] = table
-                stages.append(
-                    StageStats(
-                        task=node.label(),
-                        kind="checkpoint",
-                        input_rows=0,
-                        output_rows=table.num_rows,
+        with self._tracer.span(
+            "engine.run", engine="distributed", partitions=self._parts
+        ) as root:
+            for node in plan.topological_order():
+                before = len(stages)
+                with self._tracer.span(
+                    "stage", task=node.label()
+                ) as span:
+                    produced_rows += self._run_node(
+                        node,
+                        partitioned,
+                        materialized,
+                        stages,
+                        recovered_stages,
+                        context,
                     )
-                )
-                recovered_stages.append(node.label())
-                continue
-            before = len(stages)
-            outputs = self._execute_node(node, partitioned, context, stages)
-            partitioned[node.id] = outputs
-            for stage in stages[before:]:
-                if stage.needed_recovery:
-                    recovered_stages.append(stage.task)
-            if name:
-                gathered = _gather(outputs)
-                materialized[name] = gathered
-                if node.kind == "task":
-                    produced_rows += gathered.num_rows
-                    if self._checkpoints is not None:
-                        self._checkpoints.put(name, gathered)
+                self._finish_stage_span(span, stages[before:])
+            root.set(rows_produced=produced_rows)
+        seconds = time.perf_counter() - started
+        record_run(self._metrics, "distributed", seconds)
         return DistributedResult(
             tables=materialized,
             stages=stages,
-            seconds=time.perf_counter() - started,
+            seconds=seconds,
             rows_produced=produced_rows,
             recovered_stages=recovered_stages,
         )
+
+    def _run_node(
+        self,
+        node: PlanNode,
+        partitioned: dict[str, list[Table]],
+        materialized: dict[str, Table],
+        stages: list[StageStats],
+        recovered_stages: list[str],
+        context: TaskContext,
+    ) -> int:
+        """Execute one plan node end to end; returns rows produced."""
+        name = node.materializes
+        if (
+            node.kind == "task"
+            and name
+            and self._checkpoints is not None
+            and name in self._checkpoints
+        ):
+            # Resume path: this flow output survived a previous
+            # (partial) run; restore it instead of recomputing.
+            table = self._checkpoints.get(name)
+            partitioned[node.id] = _partition(table, self._parts)
+            materialized[name] = table
+            stages.append(
+                StageStats(
+                    task=node.label(),
+                    kind="checkpoint",
+                    input_rows=0,
+                    output_rows=table.num_rows,
+                )
+            )
+            recovered_stages.append(node.label())
+            return 0
+        before = len(stages)
+        outputs = self._execute_node(node, partitioned, context, stages)
+        partitioned[node.id] = outputs
+        for stage in stages[before:]:
+            if stage.needed_recovery:
+                recovered_stages.append(stage.task)
+        produced = 0
+        if name:
+            gathered = _gather(outputs)
+            materialized[name] = gathered
+            if node.kind == "task":
+                produced = gathered.num_rows
+                if self._checkpoints is not None:
+                    self._checkpoints.put(name, gathered)
+        return produced
+
+    def _finish_stage_span(self, span, new_stages: list[StageStats]) -> None:
+        """Stamp wall time onto the node's stats and record metrics.
+
+        Each plan node yields exactly one :class:`StageStats`; the whole
+        node body (shuffle, partition attempts, gather, checkpoint put)
+        ran inside ``span``, so its duration *is* the stage's wall time
+        — which is what makes the ``run --profile`` table sum to the
+        ``engine.run`` root span.
+        """
+        if not new_stages:
+            return
+        stage = new_stages[-1]
+        stage.seconds = span.duration
+        span.set(
+            kind=stage.kind,
+            rows_in=stage.input_rows,
+            rows_out=stage.output_rows,
+            shuffled_records=stage.shuffled_records,
+            shuffled_bytes=stage.shuffled_bytes,
+            attempts=stage.attempts,
+        )
+        for stats in new_stages:
+            record_stage(
+                self._metrics,
+                "distributed",
+                stats.kind,
+                stats.seconds,
+                stats.input_rows,
+                stats.output_rows,
+                shuffled_records=stats.shuffled_records,
+                shuffled_bytes=stats.shuffled_bytes,
+                attempts=stats.attempts,
+                retried_partitions=stats.retried_partitions,
+                speculative_wins=stats.speculative_wins,
+                recovered_partitions=stats.recovered_partitions,
+            )
 
     # ------------------------------------------------------------------
     # fault-tolerant partition execution
@@ -336,34 +417,43 @@ class DistributedExecutor:
             attempt += 1
             run.attempts += 1
             try:
-                if fault == FATAL:
-                    raise TaskExecutionError(
-                        f"injected fatal fault in task {task_name!r} "
-                        f"partition {index}"
-                    )
-                if fault == LOST:
-                    raise WorkerLostError(
-                        f"worker running task {task_name!r} "
-                        f"partition {index} was lost"
-                    )
-                if fault == TRANSIENT:
-                    raise TransientTaskError(
-                        f"injected transient fault in task {task_name!r} "
-                        f"partition {index} (attempt {attempt})"
-                    )
-                if fault == SLOW:
-                    if self._speculative:
-                        # Straggler: a speculative duplicate is launched
-                        # on a healthy worker; being unslowed, it
-                        # finishes first and its result wins.
-                        run.attempts += 1
-                        run.speculative_wins += 1
-                        result = compute()
+                with self._tracer.span(
+                    "attempt",
+                    task=task_name,
+                    kind=stage_kind,
+                    partition=index,
+                    attempt=attempt,
+                ):
+                    if fault == FATAL:
+                        raise TaskExecutionError(
+                            f"injected fatal fault in task {task_name!r} "
+                            f"partition {index}"
+                        )
+                    if fault == LOST:
+                        raise WorkerLostError(
+                            f"worker running task {task_name!r} "
+                            f"partition {index} was lost"
+                        )
+                    if fault == TRANSIENT:
+                        raise TransientTaskError(
+                            f"injected transient fault in task "
+                            f"{task_name!r} partition {index} "
+                            f"(attempt {attempt})"
+                        )
+                    if fault == SLOW:
+                        if self._speculative:
+                            # Straggler: a speculative duplicate is
+                            # launched on a healthy worker; being
+                            # unslowed, it finishes first and its
+                            # result wins.
+                            run.attempts += 1
+                            run.speculative_wins += 1
+                            result = compute()
+                        else:
+                            self._clock.sleep(self._straggler_delay)
+                            result = compute()
                     else:
-                        self._clock.sleep(self._straggler_delay)
                         result = compute()
-                else:
-                    result = compute()
                 if retried:
                     run.retried_partitions += 1
                 return result

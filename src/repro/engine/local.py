@@ -16,6 +16,12 @@ from typing import Callable
 from repro.data import Table
 from repro.engine.plan import LogicalPlan, PlanNode
 from repro.errors import ExecutionError, ShareInsightsError
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    record_run,
+    record_stage,
+)
 from repro.tasks.base import TaskContext
 
 #: resolves a source data-object name to its table
@@ -64,10 +70,22 @@ class ExecutionResult:
 
 
 class LocalExecutor:
-    """Executes logical plans in-process."""
+    """Executes logical plans in-process.
 
-    def __init__(self, resolver: DataResolver):
+    ``tracer``/``metrics`` plug the run into the observability layer:
+    one ``engine.run`` span with a ``stage`` child per plan node, and
+    per-stage duration/row metrics under ``engine="local"``.
+    """
+
+    def __init__(
+        self,
+        resolver: DataResolver,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self._resolver = resolver
+        self._tracer = tracer or Tracer()
+        self._metrics = metrics or MetricsRegistry()
 
     def run(
         self, plan: LogicalPlan, context: TaskContext | None = None
@@ -78,28 +96,52 @@ class LocalExecutor:
         materialized: dict[str, Table] = {}
         stats = ExecutionStats()
         produced_rows = 0
-        for node in plan.topological_order():
-            node_started = time.perf_counter()
-            table = self._execute_node(node, tables, context)
-            tables[node.id] = table
-            if node.materializes:
-                materialized[node.materializes] = table
-                if node.kind == "task":
-                    produced_rows += table.num_rows
-            elapsed = time.perf_counter() - node_started
-            stats.node_stats.append(
-                NodeStats(
-                    node_id=node.id,
-                    label=node.label(),
-                    rows_out=table.num_rows,
-                    seconds=elapsed,
-                    cells_out=table.num_rows * table.num_columns,
+        with self._tracer.span(
+            "engine.run", engine="local"
+        ) as root:
+            for node in plan.topological_order():
+                node_started = time.perf_counter()
+                rows_in = sum(
+                    tables[input_id].num_rows
+                    for input_id in node.inputs
+                    if input_id in tables
                 )
-            )
-            if node.kind == "load":
-                stats.rows_loaded += table.num_rows
+                with self._tracer.span(
+                    "stage", task=node.label(), kind=node.kind
+                ) as span:
+                    table = self._execute_node(node, tables, context)
+                    span.set(
+                        rows_in=rows_in, rows_out=table.num_rows
+                    )
+                tables[node.id] = table
+                if node.materializes:
+                    materialized[node.materializes] = table
+                    if node.kind == "task":
+                        produced_rows += table.num_rows
+                elapsed = time.perf_counter() - node_started
+                stats.node_stats.append(
+                    NodeStats(
+                        node_id=node.id,
+                        label=node.label(),
+                        rows_out=table.num_rows,
+                        seconds=elapsed,
+                        cells_out=table.num_rows * table.num_columns,
+                    )
+                )
+                record_stage(
+                    self._metrics,
+                    "local",
+                    node.kind,
+                    span.duration,
+                    rows_in,
+                    table.num_rows,
+                )
+                if node.kind == "load":
+                    stats.rows_loaded += table.num_rows
+            root.set(rows_produced=produced_rows)
         stats.seconds = time.perf_counter() - started
         stats.rows_produced = produced_rows
+        record_run(self._metrics, "local", stats.seconds)
         return ExecutionResult(
             tables=materialized, stats=stats, context=context
         )

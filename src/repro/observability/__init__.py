@@ -1,0 +1,77 @@
+"""Observability: tracing, metrics, and stage profiling.
+
+The paper's §5.2.1 monitoring dashboards assume the platform can see
+itself — job progress, endpoint latency, widget query load.  This
+package is that measurement foundation:
+
+- :class:`Tracer` — hierarchical spans with **deterministic** ids over
+  the batch path (compile → plan → stage → partition attempt) and the
+  interactive path (REST request → query eval → datacube slice), on a
+  pluggable :class:`~repro.resilience.clock.Clock`;
+- :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms (p50/p95/p99 summaries) with JSON and Prometheus text
+  exposition, zero dependencies;
+- :class:`Observability` — the hub one :class:`~repro.platform.Platform`
+  owns, wiring the same tracer + registry through engines, connectors,
+  the dashboard runtime, the REST server and the CLI.
+
+Surfaces: ``GET /metrics`` (JSON + Prometheus), ``GET /trace/<run_id>``,
+and ``python -m repro run --trace/--profile``.  Taxonomy and metric
+names are documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.observability.instruments import (
+    check_span_integrity,
+    hotspot_rows,
+    record_request,
+    record_run,
+    record_stage,
+    render_hotspot_table,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import (
+    Span,
+    Tracer,
+    render_span_tree,
+    span_children,
+)
+from repro.resilience.clock import Clock, SimulatedClock, WallClock
+
+
+class Observability:
+    """One tracer + one metrics registry sharing one clock."""
+
+    def __init__(self, clock: Clock | None = None, max_traces: int = 64):
+        self.clock = clock or WallClock()
+        self.tracer = Tracer(clock=self.clock, max_traces=max_traces)
+        self.metrics = MetricsRegistry()
+
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "SimulatedClock",
+    "WallClock",
+    "span_children",
+    "render_span_tree",
+    "render_hotspot_table",
+    "hotspot_rows",
+    "check_span_integrity",
+    "record_stage",
+    "record_run",
+    "record_request",
+]

@@ -1,0 +1,331 @@
+"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the single place run-time numbers land —
+stage timings, shuffle volume, endpoint query counts, resilience
+retries.  Instruments are get-or-create by name (re-registering with
+the same name returns the same instrument; a different type raises), so
+call sites can declare what they record without threading instrument
+objects around.
+
+Histograms use **fixed buckets** (Prometheus-style cumulative ``le``
+bounds) and derive p50/p95/p99 summaries by linear interpolation within
+the owning bucket — no reservoir, no per-observation storage, O(1)
+memory per label set.
+
+Everything is guarded by one registry lock; the WSGI server and the
+engines can share a registry safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.errors import ShareInsightsError
+
+#: default duration buckets (seconds) — spans micro-benchmarks to slow runs
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared name/help/label-series bookkeeping."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._series: dict[LabelKey, Any] = {}
+
+    def series(self) -> list[tuple[dict[str, str], Any]]:
+        """(labels, value) pairs for every label combination seen."""
+        with self._lock:
+            return [
+                (dict(key), value)
+                for key, value in sorted(self._series.items())
+            ]
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value, one series per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        with self._lock:
+            return sum(self._series.values())
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depth, live dashboards)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+
+class _HistogramSeries:
+    """Cumulative bucket counts + count/sum for one label set."""
+
+    __slots__ = ("counts", "count", "sum")
+
+    def __init__(self, num_buckets: int):
+        self.counts = [0] * num_buckets  # per-bucket (non-cumulative)
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with interpolated percentile summaries."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.RLock,
+        buckets: tuple[float, ...] | None = None,
+    ):
+        super().__init__(name, help, lock)
+        bounds = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs buckets")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                # +1 overflow bucket (+Inf)
+                series = _HistogramSeries(len(self.buckets) + 1)
+                self._series[key] = series
+            index = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            series.counts[index] += 1
+            series.count += 1
+            series.sum += value
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        """Estimate the q-quantile (0 < q <= 1) for one label set.
+
+        Linear interpolation inside the bucket that crosses the target
+        rank; observations beyond the last finite bound clamp to it.
+        Returns 0.0 with no observations.
+        """
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return 0.0
+            target = q * series.count
+            cumulative = 0
+            lower = 0.0
+            for i, bound in enumerate(self.buckets):
+                in_bucket = series.counts[i]
+                if cumulative + in_bucket >= target and in_bucket:
+                    fraction = (target - cumulative) / in_bucket
+                    return lower + fraction * (bound - lower)
+                cumulative += in_bucket
+                lower = bound
+            return self.buckets[-1]
+
+    def summary(self, **labels: Any) -> dict[str, float]:
+        """count/sum/p50/p95/p99 for one label set."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            count = series.count if series else 0
+            total = series.sum if series else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "p50": self.percentile(0.50, **labels),
+            "p95": self.percentile(0.95, **labels),
+            "p99": self.percentile(0.99, **labels),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, JSON snapshots, Prometheus exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    # -- declaration (get-or-create) --------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._declare(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._declare(name, help, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ShareInsightsError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind}, not a histogram"
+                    )
+                return existing
+            histogram = Histogram(name, help, self._lock, buckets)
+            self._instruments[name] = histogram
+            return histogram
+
+    def _declare(self, name: str, help: str, cls: type) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ShareInsightsError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind}, not a {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, self._lock)
+            self._instruments[name] = instrument
+            return instrument
+
+    # -- reading -----------------------------------------------------------
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-able snapshot of every instrument and series."""
+        snapshot: dict[str, Any] = {}
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            entry: dict[str, Any] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["series"] = [
+                    {
+                        "labels": labels,
+                        **instrument.summary(**labels),
+                    }
+                    for labels, _ in instrument.series()
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": labels, "value": value}
+                    for labels, value in instrument.series()
+                ]
+            snapshot[name] = entry
+        return snapshot
+
+    def to_prometheus(self) -> str:
+        """The text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                for labels, series in instrument.series():
+                    cumulative = 0
+                    for i, bound in enumerate(instrument.buckets):
+                        cumulative += series.counts[i]
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_fmt_labels(labels, le=_fmt_float(bound))}"
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(labels, le='+Inf')}"
+                        f" {series.count}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_fmt_labels(labels)}"
+                        f" {_fmt_float(series.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_fmt_labels(labels)} {series.count}"
+                    )
+            else:
+                for labels, value in instrument.series():
+                    lines.append(
+                        f"{name}{_fmt_labels(labels)} {_fmt_float(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_float(value: float) -> str:
+    """Render counts as integers and everything else compactly."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _fmt_labels(labels: Mapping[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in merged.items()
+    )
+    return "{" + inner + "}"

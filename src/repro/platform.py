@@ -32,6 +32,12 @@ from repro.data import Table
 from repro.dsl.parser import parse_flow_file
 from repro.errors import ShareInsightsError
 from repro.formats.registry import FormatRegistry, default_format_registry
+from repro.observability import Observability
+from repro.observability.instruments import (
+    COMPILE_DURATION,
+    COMPILES,
+    PLATFORM_EVENTS,
+)
 from repro.tasks.registry import TaskRegistry, default_task_registry
 from repro.widgets.registry import WidgetRegistry, default_widget_registry
 
@@ -57,14 +63,20 @@ class Platform:
         tasks: TaskRegistry | None = None,
         widgets: WidgetRegistry | None = None,
         optimize: bool = True,
+        observability: Observability | None = None,
     ):
         self.connectors = connectors or default_connector_registry()
         self.formats = formats or default_format_registry()
         self.tasks = tasks or default_task_registry()
         self.widgets = widgets or default_widget_registry()
+        self.observability = observability or Observability()
         self.catalog = SharedDataCatalog()
         self.repository = FlowFileRepository()
-        self.loader = DataObjectLoader(self.connectors, self.formats)
+        self.loader = DataObjectLoader(
+            self.connectors,
+            self.formats,
+            observability=self.observability,
+        )
         self.compiler = FlowCompiler(
             task_registry=self.tasks, optimize=optimize
         )
@@ -221,6 +233,7 @@ class Platform:
             "engine": report.engine,
             "rows_produced": report.rows_produced,
             "published": report.published,
+            "trace_id": report.trace_id,
             "operators": self._operator_usage(dashboard),
             "widgets": self._widget_usage(dashboard),
         }
@@ -243,14 +256,29 @@ class Platform:
         environment: EnvironmentProfile | None,
         user: str = "",
     ) -> Dashboard:
+        obs = self.observability
         try:
-            flow_file = parse_flow_file(source, name=name)
-            compiled = self.compiler.compile(
-                flow_file, catalog_schemas=self.catalog.schemas()
-            )
+            with obs.tracer.span("compile", dashboard=name) as span:
+                with obs.tracer.span("parse"):
+                    flow_file = parse_flow_file(source, name=name)
+                with obs.tracer.span("plan"):
+                    compiled = self.compiler.compile(
+                        flow_file,
+                        catalog_schemas=self.catalog.schemas(),
+                    )
+                span.set(
+                    flows=len(flow_file.flows),
+                    tasks=len(compiled.tasks),
+                )
         except ShareInsightsError as exc:
             self._log("error", name, {"message": str(exc)}, user)
             raise
+        obs.metrics.counter(
+            COMPILES, "Flow files compiled to logical plans"
+        ).inc(dashboard=name)
+        obs.metrics.histogram(
+            COMPILE_DURATION, "Flow-file parse + plan wall time"
+        ).observe(span.duration)
         return Dashboard(
             compiled,
             loader=self.loader,
@@ -260,6 +288,7 @@ class Platform:
             data_dir=data_dir,
             dictionaries=dictionaries,
             inline_tables=inline_tables,
+            observability=obs,
         )
 
     @staticmethod
@@ -291,3 +320,8 @@ class Platform:
                 kind=kind, dashboard=dashboard, detail=detail, user=user
             )
         )
+        # The event log and the metrics registry are one telemetry
+        # surface: every platform event is also a counter series.
+        self.observability.metrics.counter(
+            PLATFORM_EVENTS, "Platform events by kind (see Platform.events)"
+        ).inc(kind=kind)

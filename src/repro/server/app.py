@@ -14,7 +14,13 @@ Routes (all relative to the server base path):
 ``GET  /dashboards/<name>/ds/<dataset>/<query...>``    ad-hoc query (Fig. 30)
 ``GET  /dashboards/<name>/explorer``                   data explorer (Fig. 29)
 ``GET  /dashboards/<name>/render``                     dashboard HTML
+``GET  /metrics``                                      Prometheus text / JSON
+``GET  /trace``                                        retained trace ids
+``GET  /trace/<run_id>``                               one trace's spans
 =====================================================  =====================
+
+Every request runs inside an ``http.request`` span and lands in the
+request counters/histograms (see ``docs/observability.md``).
 
 The app is a plain WSGI callable — tests drive it directly, and
 :func:`serve` wraps it in ``wsgiref`` for the examples.
@@ -27,6 +33,11 @@ from typing import Any, Callable, Iterable
 from urllib.parse import parse_qsl
 
 from repro.errors import QueryError, ShareInsightsError, is_retryable
+from repro.observability import record_request
+from repro.observability.instruments import (
+    DEGRADED_SERVES,
+    ENDPOINT_QUERIES,
+)
 from repro.platform import Platform
 from repro.server.query_language import parse_adhoc_query
 
@@ -55,16 +66,24 @@ class ShareInsightsApp:
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/")
         query = dict(parse_qsl(environ.get("QUERY_STRING", "")))
-        try:
-            status, content_type, body = self._route(
-                method, path, query, environ
-            )
-        except QueryError as exc:
-            status, content_type, body = _error(400, str(exc))
-        except ShareInsightsError as exc:
-            status, content_type, body = _error(
-                422, str(exc), **_failure_detail(exc)
-            )
+        obs = self.platform.observability
+        with obs.tracer.span(
+            "http.request", method=method, path=path
+        ) as span:
+            try:
+                status, content_type, body = self._route(
+                    method, path, query, environ
+                )
+            except QueryError as exc:
+                status, content_type, body = _error(400, str(exc))
+            except ShareInsightsError as exc:
+                status, content_type, body = _error(
+                    422, str(exc), **_failure_detail(exc)
+                )
+            span.set(status=status.split(" ", 1)[0])
+        record_request(
+            obs.metrics, _route_label(path), method, status, span.duration
+        )
         start_response(
             status,
             [
@@ -85,6 +104,10 @@ class ShareInsightsApp:
         segments = [s for s in path.split("/") if s]
         if not segments:
             return _json({"service": "ShareInsights", "version": "1.0"})
+        if segments[0] == "metrics" and method == "GET":
+            return self._metrics(query, environ)
+        if segments[0] == "trace" and method == "GET":
+            return self._trace(segments[1:])
         if segments[0] != "dashboards":
             return _error(404, f"unknown path {path!r}")
         if len(segments) == 1:
@@ -183,6 +206,44 @@ class ShareInsightsApp:
             return _html(view.html or f"<pre>{view.text}</pre>")
         return _error(404, f"unknown action {action!r}")
 
+    # -- observability (docs/observability.md) -------------------------------
+    def _metrics(
+        self, query: dict[str, str], environ: dict[str, Any]
+    ) -> tuple[str, str, bytes]:
+        """The metrics registry: Prometheus text by default, JSON on
+        ``?format=json`` or an ``Accept: application/json`` header."""
+        registry = self.platform.observability.metrics
+        accept = environ.get("HTTP_ACCEPT", "")
+        fmt = query.get("format")
+        if fmt == "json" or (fmt is None and "application/json" in accept):
+            return _json({"metrics": registry.as_dict()})
+        if fmt not in (None, "prometheus", "text"):
+            return _error(400, f"unknown metrics format {fmt!r}")
+        return (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.to_prometheus().encode("utf-8"),
+        )
+
+    def _trace(self, segments: list[str]) -> tuple[str, str, bytes]:
+        """List retained traces, or dump one trace's spans as JSON."""
+        tracer = self.platform.observability.tracer
+        if not segments:
+            return _json({"traces": tracer.trace_ids()})
+        run_id = segments[0]
+        spans = tracer.trace(run_id)
+        if not spans:
+            return _error(
+                404,
+                f"no trace {run_id!r}; retained: {tracer.trace_ids()}",
+            )
+        return _json(
+            {
+                "trace_id": run_id,
+                "spans": [span.to_dict() for span in spans],
+            }
+        )
+
     # -- endpoint data (Figs. 27, 28, 30) ------------------------------------
     def _route_ds(
         self, name: str, segments: list[str], query: dict[str, str]
@@ -191,6 +252,10 @@ class ShareInsightsApp:
         if not segments:
             return _json({"endpoints": dashboard.endpoint_names()})
         adhoc = parse_adhoc_query(segments)
+        obs = self.platform.observability
+        obs.metrics.counter(
+            ENDPOINT_QUERIES, "Endpoint dataset reads and ad-hoc queries"
+        ).inc(dashboard=name, dataset=adhoc.dataset)
         cache_key = (name, adhoc.dataset)
         degraded_error: str | None = None
         try:
@@ -203,7 +268,15 @@ class ShareInsightsApp:
             if table is None:
                 raise
             degraded_error = str(exc)
-        table = adhoc.execute(table)
+            obs.metrics.counter(
+                DEGRADED_SERVES,
+                "Endpoint reads served from the last-known-good copy",
+            ).inc(dashboard=name, dataset=adhoc.dataset)
+        with obs.tracer.span(
+            "query.eval", dataset=adhoc.dataset, steps=len(adhoc.steps)
+        ) as eval_span:
+            table = adhoc.execute(table)
+            eval_span.set(rows_out=table.num_rows)
         limit = int(query.get("limit", 1000))
         offset = int(query.get("offset", 0))
         rows = table.to_records()[offset: offset + limit]
@@ -390,6 +463,22 @@ async function save() {{
 # ---------------------------------------------------------------------------
 # response helpers
 # ---------------------------------------------------------------------------
+
+
+def _route_label(path: str) -> str:
+    """A low-cardinality route label for request metrics.
+
+    ``/dashboards/<name>/ds/...`` → ``dashboards/ds``: the dashboard
+    name and query segments never become label values.
+    """
+    segments = [s for s in path.split("/") if s]
+    if not segments:
+        return "root"
+    if segments[0] != "dashboards":
+        return segments[0]
+    if len(segments) < 3:
+        return "dashboards"
+    return f"dashboards/{segments[2]}"
 
 
 def _json(

@@ -1,0 +1,340 @@
+"""Integration: observability end to end.
+
+One distributed IPL run under a fault profile yields a structurally
+sound trace (one root, resolvable parents, nested intervals) whose
+resilience activity is visible as spans *and* as registry counters; the
+REST server exposes the same registry at ``/metrics`` (Prometheus +
+JSON) and traces at ``/trace/<run_id>``; and ``run --profile`` prints a
+per-stage table whose total matches the engine root span within 5%.
+"""
+
+import io
+import json
+import re
+
+import pytest
+
+from repro import Platform
+from repro.cli import main
+from repro.dsl import parse_flow_file
+from repro.formats import CsvFormat, JsonFormat
+from repro.observability import check_span_integrity, span_children
+from repro.server import ShareInsightsApp
+from repro.workloads import IPL_PROCESSING_FLOW, ipl
+
+pytestmark = pytest.mark.resilience
+
+TWEET_COUNT = 400
+
+
+def _ipl_platform():
+    platform = Platform()
+    schema = parse_flow_file(IPL_PROCESSING_FLOW).data["ipltweets"].schema
+    tweets = JsonFormat().decode(
+        ipl.tweets_json(count=TWEET_COUNT, seed=7), schema
+    )
+    dashboard = platform.create_dashboard(
+        "ipl_processing",
+        IPL_PROCESSING_FLOW,
+        inline_tables={
+            "ipltweets": tweets,
+            "dim_teams": ipl.dim_teams_table(),
+            "team_players": ipl.team_players_table(),
+            "lat_long": ipl.lat_long_table(),
+        },
+        dictionaries=ipl.dictionaries(),
+    )
+    return platform, dashboard
+
+
+class TestTraceIntegrityUnderFaults:
+    def test_distributed_fault_run_produces_sound_trace(self):
+        platform, _dashboard = _ipl_platform()
+        report = platform.run_dashboard(
+            "ipl_processing", fault_profile="flaky:3"
+        )
+        assert report.engine == "distributed"
+        assert report.trace_id is not None
+        tracer = platform.observability.tracer
+        spans = tracer.trace(report.trace_id)
+        assert spans
+
+        # The headline acceptance: parent/child integrity holds even
+        # with retries, speculation and lineage recovery in play.
+        assert check_span_integrity(spans) == []
+
+        children = span_children(spans)
+        roots = children.get(None, [])
+        assert [r.name for r in roots] == ["dashboard.run"]
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert "engine.run" in by_name
+        assert by_name["engine.run"][0].attrs["engine"] == "distributed"
+
+        # Every stage hangs off engine.run; every attempt off a stage.
+        engine_ids = {s.span_id for s in by_name["engine.run"]}
+        stages = by_name["stage"]
+        assert stages
+        assert {s.parent_id for s in stages} <= engine_ids
+        stage_ids = {s.span_id for s in stages}
+        attempts = by_name["attempt"]
+        assert {a.parent_id for a in attempts} <= stage_ids
+
+        # The fault profile forced retries, and retries are traced:
+        # some partition ran a second attempt (attempt numbering is
+        # 1-based), and the failed first attempt carries its error.
+        assert report.retried_partitions > 0
+        assert any(a.attrs["attempt"] >= 2 for a in attempts)
+        assert any("error" in a.attrs for a in attempts)
+
+        # Stage spans carry the profile attributes the CLI table uses.
+        for stage in stages:
+            assert {"task", "kind", "rows_in", "rows_out"} <= set(
+                stage.attrs
+            )
+
+    def test_resilience_telemetry_lands_in_the_registry(self):
+        platform, _dashboard = _ipl_platform()
+        report = platform.run_dashboard(
+            "ipl_processing", fault_profile="flaky:3"
+        )
+        metrics = platform.observability.metrics
+
+        retries = metrics.get("repro_partition_retries_total")
+        assert retries is not None
+        assert retries.value(engine="distributed") == float(
+            report.retried_partitions
+        )
+        assert metrics.get("repro_partition_attempts_total").value(
+            engine="distributed"
+        ) == float(report.attempts)
+
+        # One stage-duration observation per traced stage span.
+        spans = platform.observability.tracer.trace(report.trace_id)
+        stage_spans = [s for s in spans if s.name == "stage"]
+        durations = metrics.get("repro_stage_duration_seconds")
+        observed = sum(
+            series.count for _labels, series in durations.series()
+        )
+        assert observed == len(stage_spans)
+
+        # The platform event log and the registry are one surface.
+        run_events = [e for e in platform.events if e.kind == "run"]
+        assert metrics.get("repro_platform_events_total").value(
+            kind="run"
+        ) == float(len(run_events))
+
+
+# ---------------------------------------------------------------------------
+# REST: /metrics and /trace
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def client():
+    platform, _dashboard = _ipl_platform()
+    app = ShareInsightsApp(platform)
+
+    def call(method, path, query="", accept=""):
+        holder = {}
+
+        def start_response(status, headers):
+            holder["status"] = status
+            holder["headers"] = dict(headers)
+
+        chunks = app(
+            {
+                "REQUEST_METHOD": method,
+                "PATH_INFO": path,
+                "QUERY_STRING": query,
+                "HTTP_ACCEPT": accept,
+                "CONTENT_LENGTH": "0",
+                "wsgi.input": io.BytesIO(b""),
+            },
+            start_response,
+        )
+        return holder["status"], holder["headers"], b"".join(chunks)
+
+    call.platform = platform
+    return call
+
+
+class TestMetricsAndTraceRoutes:
+    def test_prometheus_exposition_covers_the_taxonomy(self, client):
+        client.platform.run_dashboard(
+            "ipl_processing", fault_profile="flaky:3"
+        )
+        client("GET", "/dashboards/ipl_processing/ds/players_tweets")
+        status, headers, body = client("GET", "/metrics")
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        text = body.decode("utf-8")
+        # Stage-duration histograms...
+        assert "# TYPE repro_stage_duration_seconds histogram" in text
+        assert re.search(
+            r'repro_stage_duration_seconds_bucket\{engine="distributed",'
+            r'kind="[a-z]+",le="\+Inf"\} \d+',
+            text,
+        )
+        # ...endpoint-query counters...
+        assert (
+            'repro_endpoint_queries_total{dashboard="ipl_processing",'
+            'dataset="players_tweets"} 1' in text
+        )
+        # ...and resilience retry counters, all in one registry.
+        assert re.search(
+            r'repro_partition_retries_total\{engine="distributed"\} [1-9]',
+            text,
+        )
+        assert 'repro_compiles_total{dashboard="ipl_processing"} 1' in text
+
+    def test_metrics_json_format_and_negotiation(self, client):
+        client.platform.run_dashboard("ipl_processing")
+        status, headers, body = client("GET", "/metrics", "format=json")
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "application/json"
+        snapshot = json.loads(body)["metrics"]
+        assert snapshot["repro_runs_total"]["type"] == "counter"
+        summary = snapshot["repro_stage_duration_seconds"]["series"][0]
+        assert {"labels", "count", "sum", "p50", "p95", "p99"} <= set(
+            summary
+        )
+        # Accept negotiation picks JSON too; bad formats are 400s.
+        status, headers, _body = client(
+            "GET", "/metrics", accept="application/json"
+        )
+        assert headers["Content-Type"] == "application/json"
+        status, _headers, _body = client("GET", "/metrics", "format=xml")
+        assert status.startswith("400")
+
+    def test_trace_routes_serve_span_dumps(self, client):
+        report = client.platform.run_dashboard(
+            "ipl_processing", fault_profile="flaky:3"
+        )
+        status, _headers, body = client("GET", "/trace")
+        assert status == "200 OK"
+        listed = json.loads(body)["traces"]
+        assert report.trace_id in listed
+
+        status, _headers, body = client("GET", f"/trace/{report.trace_id}")
+        assert status == "200 OK"
+        payload = json.loads(body)
+        assert payload["trace_id"] == report.trace_id
+        names = {s["name"] for s in payload["spans"]}
+        assert {"dashboard.run", "engine.run", "stage", "attempt"} <= names
+
+        status, _headers, body = client("GET", "/trace/t9999")
+        assert status.startswith("404")
+        assert "t9999" in json.loads(body)["error"]
+
+    def test_requests_are_traced_and_counted(self, client):
+        client("GET", "/dashboards")
+        obs = client.platform.observability
+        assert obs.metrics.get("repro_http_requests_total").value(
+            route="dashboards", method="GET", status="200"
+        ) == 1
+        last = obs.tracer.trace(obs.tracer.last_trace_id)
+        assert last[0].name == "http.request"
+        assert last[0].attrs["status"] == "200"
+
+
+# ---------------------------------------------------------------------------
+# CLI: run --profile on the IPL workload from disk
+# ---------------------------------------------------------------------------
+
+#: the flow file plus source blocks for the dimension tables, which the
+#: built-in flow text leaves inline-only (the parser merges repeated
+#: ``D.<name>:`` detail blocks).
+IPL_FLOW_ON_DISK = IPL_PROCESSING_FLOW + """
+D.dim_teams:
+    source: dim_teams.csv
+D.team_players:
+    source: team_players.csv
+D.lat_long:
+    source: lat_long.csv
+"""
+
+
+@pytest.fixture
+def ipl_workspace(tmp_path):
+    (tmp_path / "ipl.flow").write_text(IPL_FLOW_ON_DISK, encoding="utf-8")
+    (tmp_path / "ipl_tweets.json").write_bytes(
+        ipl.tweets_json(count=2000, seed=7)
+    )
+    (tmp_path / "players.txt").write_bytes(ipl.players_txt())
+    (tmp_path / "teams.csv").write_bytes(ipl.teams_csv())
+    csv = CsvFormat()
+    for name, table in (
+        ("dim_teams", ipl.dim_teams_table()),
+        ("team_players", ipl.team_players_table()),
+        ("lat_long", ipl.lat_long_table()),
+    ):
+        (tmp_path / f"{name}.csv").write_bytes(csv.encode(table))
+    return tmp_path
+
+
+_FOOTER = re.compile(
+    r"stages total (?P<stages>[\d.]+) ms of (?P<root>[\d.]+) ms "
+    r"engine\.run \((?P<coverage>[\d.]+)% coverage\)"
+)
+
+
+class TestCliProfile:
+    def test_profile_table_matches_root_span_within_5_percent(
+        self, ipl_workspace, capsys
+    ):
+        code = main(
+            [
+                "run",
+                str(ipl_workspace / "ipl.flow"),
+                "--data", str(ipl_workspace),
+                "--engine", "distributed",
+                "--profile",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "== profile t" in err
+        lines = err.splitlines()
+        header_index = next(
+            i for i, line in enumerate(lines) if line.startswith("stage ")
+        )
+        header = lines[header_index].split()
+        assert header == [
+            "stage", "kind", "ms", "%", "rows", "in", "rows", "out",
+            "bytes", "shuffled", "attempts",
+        ]
+        # One row per plan stage, heaviest first.
+        body = lines[header_index + 2:]
+        footer = _FOOTER.search(err)
+        assert footer, f"no coverage footer in:\n{err}"
+        assert len(body) > 10  # the IPL plan has many stages
+        percents = [
+            float(line.split()[2]) for line in body[:-1] if line.strip()
+        ]
+        assert percents == sorted(percents, reverse=True)
+
+        # The acceptance bound: stage total within 5% of the root span.
+        stage_ms = float(footer.group("stages"))
+        root_ms = float(footer.group("root"))
+        assert stage_ms == pytest.approx(root_ms, rel=0.05)
+        assert 95.0 <= float(footer.group("coverage")) <= 100.5
+
+    def test_trace_flag_prints_the_span_tree(self, ipl_workspace, capsys):
+        code = main(
+            [
+                "run",
+                str(ipl_workspace / "ipl.flow"),
+                "--data", str(ipl_workspace),
+                "--trace",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "== trace t" in err
+        assert re.search(r"dashboard\.run \[t\d+\.1\]", err)
+        assert re.search(r"\n  engine\.run \[t\d+\.\d+\]", err)
+        assert re.search(r"\n    stage \[t\d+\.\d+\]", err)
