@@ -8,11 +8,14 @@ measured comparison in EXPERIMENTS.md can be refreshed from a run.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+INTERACTIVE_JSON = RESULTS_DIR / "BENCH_interactive.json"
 
 
 def report(name: str, text: str) -> None:
@@ -20,6 +23,25 @@ def report(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}")
+
+
+def report_interactive(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_interactive.json``.
+
+    Each interactive benchmark owns one top-level key, so partial runs
+    (e.g. CI smoke mode) update their section without clobbering the
+    rest of the file.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if INTERACTIVE_JSON.exists():
+        merged = json.loads(INTERACTIVE_JSON.read_text(encoding="utf-8"))
+    merged[section] = payload
+    INTERACTIVE_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{section}: {json.dumps(payload, sort_keys=True)}")
 
 
 @pytest.fixture(scope="session")

@@ -166,9 +166,16 @@ class Table:
         return Table(schema, data)
 
     def with_column(self, name: str, values: Sequence[Any]) -> "Table":
-        """Add (or replace) a column."""
+        """Add (or replace) a column.
+
+        The length check also covers 0-row tables — adding a non-empty
+        column to an empty table must fail here with a clear message,
+        not later in the constructor as a puzzling "ragged columns"
+        error.  A table with no columns yet accepts any length (the new
+        column defines it).
+        """
         values = list(values)
-        if self._length and len(values) != self._length:
+        if self._schema.names and len(values) != self._length:
             raise SchemaError(
                 f"column {name!r} has {len(values)} values, "
                 f"table has {self._length} rows"
@@ -179,7 +186,17 @@ class Table:
         return Table(schema, {n: data[n] for n in schema.names})
 
     def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
-        """Rows for which ``predicate(row_dict)`` is truthy."""
+        """Rows for which ``predicate(row_dict)`` is truthy.
+
+        A :class:`~repro.data.kernels.ColumnarPredicate` takes the
+        vectorized path: the predicate evaluates column-at-a-time and no
+        row dicts are materialized.  Any other callable gets the generic
+        row-at-a-time evaluation.
+        """
+        from repro.data.kernels import ColumnarPredicate
+
+        if isinstance(predicate, ColumnarPredicate):
+            return self.take(predicate.indices(self))
         keep = [i for i, row in enumerate(self.rows()) if predicate(row)]
         return self.take(keep)
 
@@ -215,30 +232,15 @@ class Table:
         ``None`` values sort first ascending / last descending, mirroring the
         behaviour of the SQL engines the platform compiles to.
         """
+        from repro.data.kernels import argsort
+
         self._schema.require(keys, context="sort")
         descending = list(descending or [False] * len(keys))
         if len(descending) != len(keys):
             raise SchemaError("sort keys and directions differ in length")
-        indices = list(range(self._length))
-        # Stable sort applied from the least-significant key backwards.
-        for key, desc in reversed(list(zip(keys, descending))):
-            values = self._data[key]
-
-            def sort_key(i: int, values=values) -> tuple:
-                v = values[i]
-                return (v is not None, v) if not isinstance(v, bool) else (True, int(v))
-
-            try:
-                indices.sort(key=sort_key, reverse=desc)
-            except TypeError:
-                # Mixed types: fall back to string comparison.
-                indices.sort(
-                    key=lambda i, values=values: (
-                        values[i] is not None,
-                        str(values[i]),
-                    ),
-                    reverse=desc,
-                )
+        indices = argsort(
+            self._length, [self._data[k] for k in keys], descending
+        )
         return self.take(indices)
 
     def distinct(self, keys: Sequence[str] | None = None) -> "Table":

@@ -17,6 +17,7 @@ from repro.engine.distributed import (
 )
 from repro.engine.optimizer import OptimizationReport, optimize_plan
 from repro.engine.datacube import DataCube
+from repro.engine.query_cache import CacheStats, QueryResultCache
 
 __all__ = [
     "LogicalPlan",
@@ -30,4 +31,6 @@ __all__ = [
     "OptimizationReport",
     "optimize_plan",
     "DataCube",
+    "CacheStats",
+    "QueryResultCache",
 ]

@@ -6,6 +6,14 @@ that cube in Python: it holds one endpoint table (the data shipped to the
 browser) and evaluates interaction pipelines against it with caching, so
 repeated gestures (slider drags re-sending the same range) are cheap.
 
+Caching is delegated to the shared
+:class:`~repro.engine.query_cache.QueryResultCache`: a true LRU (hits
+refresh recency) keyed by the *configuration fingerprint* of the
+pipeline plus the selection state.  Keying by fingerprint rather than by
+task name means two same-named tasks with different configs can never
+collide, and the source-table pin means a replaced payload can never
+serve stale rows.
+
 :func:`split_widget_pipeline` implements the §6 transfer-minimizing
 rewrite: the selection-independent prefix of a widget pipeline runs once
 server-side, and only its (usually much smaller) output is shipped into
@@ -19,6 +27,8 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.data import Table
+from repro.engine.query_cache import QueryResultCache
+from repro.observability.metrics import MetricsRegistry
 from repro.tasks.base import Task, TaskContext, WidgetSelection
 from repro.tasks.filter import FilterTask
 
@@ -43,11 +53,16 @@ class DataCube:
         table: Table,
         max_cache_entries: int = 128,
         enable_cache: bool = True,
+        cache: QueryResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.name = name
         self._table = table
-        self._cache: dict[str, Table] = {}
-        self._max_cache_entries = max_cache_entries
+        if cache is None:
+            cache = QueryResultCache(
+                max_entries=max_cache_entries, metrics=metrics, name="cube"
+            )
+        self._cache = cache
         self._enable_cache = enable_cache
         self.stats = CubeStats()
 
@@ -67,9 +82,10 @@ class DataCube:
     ) -> Table:
         """Evaluate an interaction pipeline against the cube's table."""
         self.stats.queries += 1
+        scope = ("cube", self.name)
         key = self._cache_key(tasks, selections)
         if self._enable_cache:
-            cached = self._cache.get(key)
+            cached = self._cache.get(scope, key, source=self._table)
             if cached is not None:
                 self.stats.cache_hits += 1
                 return cached
@@ -79,17 +95,18 @@ class DataCube:
             result = task.apply([result], context)
         self.stats.rows_scanned += self._table.num_rows
         if self._enable_cache:
-            if len(self._cache) >= self._max_cache_entries:
-                # Drop the oldest entry (insertion order).
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[key] = result
+            self._cache.put(scope, key, result, source=self._table)
         return result
 
     def invalidate(self) -> None:
-        self._cache.clear()
+        self._cache.invalidate(("cube", self.name))
 
     def replace_table(self, table: Table) -> None:
-        """New endpoint data arrived (a flow re-ran); drop caches."""
+        """New endpoint data arrived (a flow re-ran); drop caches.
+
+        The source pin inside the cache already prevents stale serves on
+        its own; the explicit invalidation reclaims the memory eagerly.
+        """
         self._table = table
         self.invalidate()
 
@@ -98,7 +115,7 @@ class DataCube:
         tasks: Sequence[Task],
         selections: Mapping[str, WidgetSelection] | None,
     ) -> str:
-        task_part = [t.name for t in tasks]
+        task_part = [t.fingerprint() for t in tasks]
         selection_part: dict[str, Any] = {}
         for widget, selection in sorted((selections or {}).items()):
             selection_part[widget] = {

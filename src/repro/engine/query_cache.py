@@ -1,0 +1,155 @@
+"""The shared interactive query-result cache.
+
+One correct LRU used by both halves of the interactive path: the
+:class:`~repro.engine.datacube.DataCube` (widget gestures) and the REST
+server's ad-hoc ``/ds/`` route.  It replaces two ad-hoc caches that were
+each wrong in their own way — the cube keyed results by task *name*
+(same-named tasks with different configs collided) and evicted FIFO
+(hits never refreshed recency, so the hottest entry could be the first
+one dropped), while the server had no result cache at all.
+
+Keying is ``(scope, key)``:
+
+* ``scope`` is a tuple naming the data the result was computed from —
+  ``("cube", cube_name)`` or ``(dashboard, dataset)`` — so invalidation
+  can target one endpoint (flow re-run) without flushing everything;
+* ``key`` is a *config fingerprint*: the canonical JSON of the full
+  pipeline configuration plus selection state, never just names.
+
+Entries also pin the identity of the source table they were computed
+from.  A lookup only hits when the caller's current source table **is**
+the remembered object, so a recomputed endpoint or replaced cube payload
+can never serve stale rows even if an invalidation call was missed —
+correctness by construction, invalidation as an optimization.
+
+Hit/miss/eviction/invalidation counts land in the shared
+:class:`~repro.observability.metrics.MetricsRegistry` under the
+``repro_query_cache_*`` series (label ``cache=<name>``), visible through
+``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.observability.metrics import MetricsRegistry
+
+
+@dataclass
+class CacheStats:
+    """Local counters mirroring the registry series (cheap to read in
+    tests and tight loops)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    __slots__ = ("source", "result")
+
+    def __init__(self, source: Any, result: Any):
+        self.source = source
+        self.result = result
+
+
+class QueryResultCache:
+    """A scope-aware LRU mapping query fingerprints to result tables."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        metrics: MetricsRegistry | None = None,
+        name: str = "interactive",
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._entries: OrderedDict[tuple[tuple, Hashable], _Entry] = (
+            OrderedDict()
+        )
+        self._max_entries = max_entries
+        self._metrics = metrics
+        self._name = name
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def get(
+        self, scope: tuple, key: Hashable, source: Any = None
+    ) -> Any | None:
+        """The cached result, or ``None``.
+
+        A hit refreshes the entry's recency (true LRU, not FIFO).  When
+        ``source`` is given, the entry must have been computed from that
+        same table object; a mismatch drops the stale entry and counts
+        as a miss.
+        """
+        entry = self._entries.get((scope, key))
+        if entry is not None and (
+            source is None or entry.source is source
+        ):
+            self._entries.move_to_end((scope, key))
+            self.stats.hits += 1
+            self._count("hits")
+            return entry.result
+        if entry is not None:
+            # Same fingerprint, different source data: stale.
+            del self._entries[(scope, key)]
+        self.stats.misses += 1
+        self._count("misses")
+        return None
+
+    def put(
+        self, scope: tuple, key: Hashable, result: Any, source: Any = None
+    ) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry on
+        overflow."""
+        full_key = (scope, key)
+        if full_key in self._entries:
+            self._entries.move_to_end(full_key)
+        self._entries[full_key] = _Entry(source, result)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._count("evictions")
+
+    def invalidate(self, scope_prefix: tuple | None = None) -> int:
+        """Drop entries whose scope starts with ``scope_prefix`` (all
+        entries when ``None``).  Returns the number dropped."""
+        if scope_prefix is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            width = len(scope_prefix)
+            doomed = [
+                full_key
+                for full_key in self._entries
+                if full_key[0][:width] == scope_prefix
+            ]
+            for full_key in doomed:
+                del self._entries[full_key]
+            dropped = len(doomed)
+        if dropped:
+            self.stats.invalidations += dropped
+            self._count("invalidations", dropped)
+        return dropped
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        if self._metrics is None:
+            return
+        from repro.observability.instruments import record_cache_event
+
+        record_cache_event(self._metrics, self._name, event, amount)

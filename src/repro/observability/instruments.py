@@ -35,6 +35,31 @@ ENDPOINT_QUERIES = "repro_endpoint_queries_total"
 DEGRADED_SERVES = "repro_degraded_serves_total"
 CUBE_QUERIES = "repro_cube_queries_total"
 PLATFORM_EVENTS = "repro_platform_events_total"
+QUERY_CACHE_HITS = "repro_query_cache_hits_total"
+QUERY_CACHE_MISSES = "repro_query_cache_misses_total"
+QUERY_CACHE_EVICTIONS = "repro_query_cache_evictions_total"
+QUERY_CACHE_INVALIDATIONS = "repro_query_cache_invalidations_total"
+
+_CACHE_EVENT_METRICS = {
+    "hits": (QUERY_CACHE_HITS, "Interactive query-cache hits"),
+    "misses": (QUERY_CACHE_MISSES, "Interactive query-cache misses"),
+    "evictions": (
+        QUERY_CACHE_EVICTIONS,
+        "Interactive query-cache LRU evictions",
+    ),
+    "invalidations": (
+        QUERY_CACHE_INVALIDATIONS,
+        "Interactive query-cache entries dropped by invalidation",
+    ),
+}
+
+
+def record_cache_event(
+    metrics: MetricsRegistry, cache: str, event: str, amount: int = 1
+) -> None:
+    """One query-cache event (hit/miss/eviction/invalidation)."""
+    name, help_text = _CACHE_EVENT_METRICS[event]
+    metrics.counter(name, help_text).inc(amount, cache=cache)
 
 
 def record_stage(

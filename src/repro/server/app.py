@@ -32,6 +32,7 @@ import json
 from typing import Any, Callable, Iterable
 from urllib.parse import parse_qsl
 
+from repro.engine.query_cache import QueryResultCache
 from repro.errors import QueryError, ShareInsightsError, is_retryable
 from repro.observability import record_request
 from repro.observability.instruments import (
@@ -58,6 +59,13 @@ class ShareInsightsApp:
         self.platform = platform
         #: last successfully served endpoint tables, for degraded mode
         self._last_good: dict[tuple[str, str], Any] = {}
+        #: shared ad-hoc result cache, keyed by the planner's canonical
+        #: query fingerprint and scoped per (dashboard, dataset)
+        self.query_cache = QueryResultCache(
+            max_entries=256,
+            metrics=platform.observability.metrics,
+            name="server",
+        )
 
     # -- WSGI entry point --------------------------------------------------
     def __call__(
@@ -124,12 +132,15 @@ class ShareInsightsApp:
         if action == "create" and method == "POST":
             source = _read_body(environ)
             self.platform.create_dashboard(name, source)
+            self.query_cache.invalidate(scope_prefix=(name,))
             return _json({"created": name}, status="201 Created")
         if action == "save" and method == "POST":
             source = _read_body(environ)
             self.platform.save_dashboard(name, source)
+            self.query_cache.invalidate(scope_prefix=(name,))
             return _json({"saved": name})
         if action == "run" and method == "POST":
+            self.query_cache.invalidate(scope_prefix=(name,))
             report = self.platform.run_dashboard(
                 name,
                 engine=query.get("engine"),
@@ -251,7 +262,10 @@ class ShareInsightsApp:
         dashboard = self.platform.get_dashboard(name)
         if not segments:
             return _json({"endpoints": dashboard.endpoint_names()})
-        adhoc = parse_adhoc_query(segments)
+        # The planner canonicalizes the chain before execution, so
+        # equivalent URL spellings run the same plan and share one
+        # cache entry.
+        adhoc = parse_adhoc_query(segments).canonicalized()
         obs = self.platform.observability
         obs.metrics.counter(
             ENDPOINT_QUERIES, "Endpoint dataset reads and ad-hoc queries"
@@ -272,10 +286,24 @@ class ShareInsightsApp:
                 DEGRADED_SERVES,
                 "Endpoint reads served from the last-known-good copy",
             ).inc(dashboard=name, dataset=adhoc.dataset)
+        scope = (name, adhoc.dataset)
+        fingerprint = adhoc.fingerprint()
         with obs.tracer.span(
             "query.eval", dataset=adhoc.dataset, steps=len(adhoc.steps)
         ) as eval_span:
-            table = adhoc.execute(table)
+            # The entry pins the endpoint table object it was computed
+            # from, so a recomputed endpoint can never serve stale rows
+            # even if an invalidation was missed.
+            cached = self.query_cache.get(scope, fingerprint, source=table)
+            if cached is not None:
+                eval_span.set(cached=True)
+                table = cached
+            else:
+                source = table
+                table = adhoc.execute(table)
+                self.query_cache.put(
+                    scope, fingerprint, table, source=source
+                )
             eval_span.set(rows_out=table.num_rows)
         limit = int(query.get("limit", 1000))
         offset = int(query.get("offset", 0))

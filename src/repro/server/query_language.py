@@ -15,14 +15,33 @@ cube verbs (the paper's "group, filter etc."):
 
 Verbs chain left to right: ``/ds/x/filter/year/ge/2013/groupby/team/sum/
 tweets/orderby/tweets/desc/limit/5``.
+
+:meth:`AdhocQuery.canonicalized` is the planner pass over a parsed
+chain.  It rewrites a query into a canonical equivalent — normalized
+operator spelling, group-key filters pushed ahead of the group-by they
+follow, adjacent ``orderby``+``limit`` fused into one top-n step — so
+that URL chains which *mean* the same thing execute the same plan and
+share one entry in the server's result cache
+(:meth:`AdhocQuery.fingerprint` is the cache key).  Every rewrite is
+result-preserving byte for byte: pushing a filter on a group *key*
+before the group-by touches exactly the rows of the surviving groups
+(every row in a group shares the key, and first-seen group order is a
+subsequence of row order), and the fused top-n kernel is documented
+equivalent to ``sorted(...)[:n]``.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.data import Table
+from repro.data.kernels import (
+    ComparePredicate,
+    ContainsPredicate,
+    top_n_indices,
+)
 from repro.errors import QueryError
 from repro.tasks.base import TaskContext
 from repro.tasks.groupby import GroupByTask, aggregate_names
@@ -52,6 +71,81 @@ class AdhocQuery:
         for i, (verb, args) in enumerate(self.steps):
             table = _apply_step(table, verb, args, context, i)
         return table
+
+    def canonicalized(self) -> "AdhocQuery":
+        """The planner pass: an equivalent query in canonical form.
+
+        Three result-preserving rewrites:
+
+        1. filter ops are spelled lowercase (``GE`` → ``ge``);
+        2. a filter on a group *key* column is pushed ahead of the
+           group-by it follows (skipped when the aggregate's output
+           column shadows the key, since the filter then reads the
+           aggregate);
+        3. ``orderby`` immediately followed by ``limit`` fuses into an
+           internal ``topn`` step served by the heap kernel.
+
+        Chains that differ only in these spellings canonicalize to the
+        same step list and therefore the same :meth:`fingerprint`.
+        """
+        steps = [_canonical_step(verb, args) for verb, args in self.steps]
+        moved = True
+        while moved:
+            moved = False
+            for i in range(len(steps) - 1):
+                verb, args = steps[i]
+                next_verb, next_args = steps[i + 1]
+                if (
+                    verb == "groupby"
+                    and next_verb == "filter"
+                    and next_args[0] == args[0]
+                    and _groupby_out_field(args) != args[0]
+                ):
+                    steps[i], steps[i + 1] = steps[i + 1], steps[i]
+                    moved = True
+        fused: list[tuple[str, tuple[str, ...]]] = []
+        i = 0
+        while i < len(steps):
+            verb, args = steps[i]
+            if (
+                verb == "orderby"
+                and i + 1 < len(steps)
+                and steps[i + 1][0] == "limit"
+            ):
+                fused.append(
+                    ("topn", (args[0], args[1], steps[i + 1][1][0]))
+                )
+                i += 2
+                continue
+            fused.append((verb, args))
+            i += 1
+        return AdhocQuery(dataset=self.dataset, steps=fused)
+
+    def fingerprint(self) -> str:
+        """Stable cache key: canonical JSON of the canonicalized chain."""
+        canonical = self.canonicalized()
+        return json.dumps(
+            [canonical.dataset, canonical.steps], sort_keys=True
+        )
+
+
+def _canonical_step(
+    verb: str, args: tuple[str, ...]
+) -> tuple[str, tuple[str, ...]]:
+    if verb == "filter":
+        return ("filter", (args[0], args[1].lower(), args[2]))
+    if verb == "limit":
+        return ("limit", (str(int(args[0])),))
+    return (verb, tuple(args))
+
+
+def _groupby_out_field(args: tuple[str, ...]) -> str:
+    # Mirrors _apply_step's out_field choice exactly (including its
+    # case-sensitive treatment of "count").
+    _group_col, aggregate, apply_col = args
+    if aggregate == "count":
+        return apply_col
+    return f"{aggregate}_{apply_col}"
 
 
 def parse_adhoc_query(path_segments: list[str]) -> AdhocQuery:
@@ -156,14 +250,18 @@ def _apply_step(
         op_symbol = _FILTER_OPS[op.lower()]
         if op_symbol == "contains":
             return table.filter_rows(
-                lambda row: isinstance(row[column], str)
-                and str(typed) in row[column]
+                ContainsPredicate(column, str(typed))
             )
-        from repro.data.expressions import _compare
-
         return table.filter_rows(
-            lambda row: _compare(op_symbol, row[column], typed)
+            ComparePredicate(column, op_symbol, typed)
         )
+    if verb == "topn":
+        column, direction, n = args
+        _require(table, column)
+        kept = top_n_indices(
+            table.column(column), direction == "desc", int(n)
+        )
+        return table.take(kept)
     if verb == "orderby":
         column, direction = args
         _require(table, column)

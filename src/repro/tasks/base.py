@@ -19,6 +19,7 @@ files (for ``extract`` operators), and the dashboard's data directory.
 from __future__ import annotations
 
 import abc
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -165,6 +166,26 @@ class Task(abc.ABC):
     @abc.abstractmethod
     def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
         """Transform input tables into the output table."""
+
+    def fingerprint(self) -> str:
+        """A stable identity string for caching.
+
+        Covers the task *type and full configuration*, not just the
+        name: two tasks that share a name but differ in config (a
+        re-configured dashboard, distinct flows reusing a task key)
+        must never collide on a cache key.  Non-JSON config values fall
+        back to ``str`` — stable for the value types flow files can
+        express.
+        """
+        return json.dumps(
+            {
+                "type": self.type_name,
+                "name": self.name,
+                "config": self.config,
+            },
+            sort_keys=True,
+            default=str,
+        )
 
     # -- helpers -----------------------------------------------------------
     def _single(self, inputs: Sequence[Table]) -> Table:

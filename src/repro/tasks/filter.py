@@ -24,10 +24,17 @@ Two configuration shapes, both from the paper:
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.data import Schema, Table
 from repro.data.expressions import Expression, compile_expression
+from repro.data.kernels import (
+    AndPredicate,
+    ColumnarPredicate,
+    MembershipPredicate,
+    RangePredicate,
+    compile_expression_predicate,
+)
 from repro.errors import ExpressionError, TaskConfigError, TaskExecutionError
 from repro.tasks.base import Task, TaskContext, WidgetSelection
 
@@ -61,8 +68,12 @@ class FilterTask(Task):
                 raise TaskConfigError(
                     f"filter task {self.name!r}: {exc}"
                 ) from exc
+            # Simple comparison shapes compile once to a columnar
+            # predicate; richer expressions keep the row path.
+            self._columnar = compile_expression_predicate(self._expression)
         else:
             self._expression = None
+            self._columnar = None
             if not self.config_list("filter_by"):
                 raise TaskConfigError(
                     f"filter task {self.name!r} needs 'filter_by' columns"
@@ -104,6 +115,8 @@ class FilterTask(Task):
         assert expression is not None
         table.schema.require(expression.references(), context=self.name)
         try:
+            if self._columnar is not None:
+                return table.filter_rows(self._columnar)
             return table.filter_rows(lambda row: bool(expression(row)))
         except ExpressionError as exc:
             raise TaskExecutionError(
@@ -119,23 +132,30 @@ class FilterTask(Task):
         if selection.is_empty():
             return table
         widget_columns = [str(c) for c in self.config_list("filter_val")]
-        predicates = []
+        predicates: list[ColumnarPredicate] = []
         for i, column in enumerate(columns):
             widget_column = (
                 widget_columns[i] if i < len(widget_columns) else None
             )
-            predicate = _selection_predicate(selection, widget_column)
+            predicate = _selection_predicate(
+                selection, widget_column, column
+            )
             if predicate is not None:
-                predicates.append((column, predicate))
+                predicates.append(predicate)
         if not predicates:
             return table
-        return table.filter_rows(
-            lambda row: all(pred(row[col]) for col, pred in predicates)
-        )
+        if len(predicates) == 1:
+            return table.filter_rows(predicates[0])
+        return table.filter_rows(AndPredicate(predicates))
 
 
-def _selection_predicate(selection: WidgetSelection, widget_column: str | None):
-    """Build a cell predicate from a widget selection.
+def _selection_predicate(
+    selection: WidgetSelection,
+    widget_column: str | None,
+    data_column: str,
+) -> ColumnarPredicate | None:
+    """Build a columnar predicate over ``data_column`` from a widget
+    selection.
 
     With a named widget column we look that column up; without one (the
     Slider case in Appendix A.2, where ``filter_val`` is omitted) we use
@@ -144,31 +164,17 @@ def _selection_predicate(selection: WidgetSelection, widget_column: str | None):
     if widget_column is not None:
         if widget_column in selection.ranges:
             lo, hi = selection.ranges[widget_column]
-            return _range_predicate(lo, hi)
+            return RangePredicate(data_column, lo, hi)
         if widget_column in selection.values:
-            allowed = set(selection.values[widget_column])
-            return lambda cell: cell in allowed
+            return MembershipPredicate(
+                data_column, selection.values[widget_column]
+            )
         return None
     if len(selection.ranges) == 1:
         lo, hi = next(iter(selection.ranges.values()))
-        return _range_predicate(lo, hi)
+        return RangePredicate(data_column, lo, hi)
     if len(selection.values) == 1:
-        allowed = set(next(iter(selection.values.values())))
-        return lambda cell: cell in allowed
+        return MembershipPredicate(
+            data_column, next(iter(selection.values.values()))
+        )
     return None
-
-
-def _range_predicate(lo: Any, hi: Any):
-    def within(cell: Any) -> bool:
-        if cell is None:
-            return False
-        try:
-            if lo is not None and cell < lo:
-                return False
-            if hi is not None and cell > hi:
-                return False
-        except TypeError:
-            return str(lo) <= str(cell) <= str(hi)
-        return True
-
-    return within

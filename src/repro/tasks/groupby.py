@@ -25,9 +25,11 @@ via :func:`register_aggregate` with a factory returning an object with
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Sequence
 
 from repro.data import Column, Schema, Table
+from repro.data.kernels import group_indices
 from repro.errors import TaskConfigError
 from repro.tasks.base import Task, TaskContext
 
@@ -183,36 +185,115 @@ def register_aggregate(name: str, factory: Callable[[], Aggregate]) -> None:
     _AGGREGATE_FACTORIES[name.lower()] = factory
 
 
+# -- bulk aggregation --------------------------------------------------------
+# Whole-bucket implementations of the built-in aggregates, used by the
+# group-by hot path: one C-speed pass over the bucket's values instead of
+# a Python method call per row.  Each is value-for-value identical to
+# feeding the incremental object (same ordering, same error behaviour);
+# user-registered aggregates keep the incremental protocol.
+
+
+def _bulk_sum(values: list[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    try:
+        return sum(present)
+    except TypeError:
+        total: Any = 0
+        for v in present:
+            try:
+                total += v
+            except TypeError:
+                total += float(v)
+        return total
+
+
+def _bulk_avg(values: list[Any]) -> float | None:
+    present = [float(v) for v in values if v is not None]
+    return sum(present) / len(present) if present else None
+
+
+def _bulk_min(values: list[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return min(present) if present else None
+
+
+def _bulk_max(values: list[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return max(present) if present else None
+
+
+#: factories as shipped — bulk fast paths only apply while the operator
+#: still maps to the built-in (a user re-registering e.g. "sum" wins)
+_BUILTIN_FACTORIES: dict[str, Callable[[], Aggregate]] = dict(
+    _AGGREGATE_FACTORIES
+)
+
+
+def _is_builtin(operator: str) -> bool:
+    return _AGGREGATE_FACTORIES.get(operator) is _BUILTIN_FACTORIES.get(
+        operator
+    )
+
+
+_BULK_AGGREGATORS: dict[str, Callable[[list[Any]], Any]] = {
+    "sum": _bulk_sum,
+    "count": len,
+    "count_nonnull": lambda vs: sum(1 for v in vs if v is not None),
+    "count_distinct": lambda vs: len({v for v in vs if v is not None}),
+    "avg": _bulk_avg,
+    "mean": _bulk_avg,
+    "min": _bulk_min,
+    "max": _bulk_max,
+    "collect": lambda vs: [v for v in vs if v is not None],
+    "first": lambda vs: next((v for v in vs if v is not None), None),
+}
+
+
 def aggregate_names() -> list[str]:
     return sorted(_AGGREGATE_FACTORIES)
 
 
 def _explode(table: Table, columns: Sequence[str]) -> Table:
-    """One row per element of any list-valued cell in ``columns``."""
-    needs_explode = any(
-        isinstance(v, list)
-        for column in columns
-        for v in table.column(column)
-    )
-    if not needs_explode:
+    """One row per combination of list-valued cells in ``columns``.
+
+    A row whose cells are lists in *several* of the explode columns
+    expands to their cartesian product — every column must come out
+    scalar, or the group keys built from them stay unhashable.  Output
+    is assembled column-at-a-time; no row dicts.
+    """
+    explode_names = [
+        c
+        for c in dict.fromkeys(columns)
+        if any(isinstance(v, list) for v in table.column(c))
+    ]
+    if not explode_names:
         return table
-    records: list[dict[str, Any]] = []
-    explode_set = set(columns)
-    for row in table.rows():
-        list_columns = [
-            c for c in explode_set if isinstance(row.get(c), list)
-        ]
-        if not list_columns:
-            records.append(row)
+    explode_set = set(explode_names)
+    names = table.schema.names
+    source = [table.column(n) for n in names]
+    out: list[list[Any]] = [[] for _ in names]
+    list_positions = [
+        j for j, n in enumerate(names) if n in explode_set
+    ]
+    for i in range(table.num_rows):
+        pools = []
+        for j in list_positions:
+            cell = source[j][i]
+            if isinstance(cell, list):
+                pools.append((j, cell))
+        if not pools:
+            for j, column in enumerate(source):
+                out[j].append(column[i])
             continue
-        # Cartesian explode is overkill for pipelines here; explode each
-        # list column independently only when a single one is a list.
-        column = list_columns[0]
-        for value in row[column]:
-            new_row = dict(row)
-            new_row[column] = value
-            records.append(new_row)
-    return Table.from_rows(table.schema, records)
+        for combo in itertools.product(*(cells for _j, cells in pools)):
+            replacement = {
+                j: value for (j, _cells), value in zip(pools, combo)
+            }
+            for j, column in enumerate(source):
+                out[j].append(replacement.get(j, column[i]))
+    return Table(table.schema, dict(zip(names, out)))
 
 
 class GroupByTask(Task):
@@ -288,37 +369,44 @@ class GroupByTask(Task):
                     or spec["operator"]
                 )
             )
-        groups: dict[tuple, list[Aggregate]] = {}
-        order: list[tuple] = []
         group_cols = [table.column(c) for c in group_columns]
-        apply_cols = [
-            table.column(str(spec["apply_on"])) if "apply_on" in spec else None
-            for spec in specs
-        ]
-        factories = [
-            _AGGREGATE_FACTORIES[str(spec["operator"]).lower()]
-            for spec in specs
-        ]
-        for i in range(table.num_rows):
-            key = tuple(col[i] for col in group_cols)
-            aggs = groups.get(key)
-            if aggs is None:
-                aggs = [factory() for factory in factories]
-                groups[key] = aggs
-                order.append(key)
-            for agg, col in zip(aggs, apply_cols):
-                agg.add(col[i] if col is not None else None)
-        records = []
-        for key in order:
-            record = dict(zip(group_columns, key))
-            for out_field, agg in zip(out_fields, groups[key]):
-                record[out_field] = agg.result()
-            records.append(record)
+        keys, buckets = group_indices(group_cols)
+        data: dict[str, list[Any]] = {}
+        if len(group_columns) == 1:
+            data[group_columns[0]] = list(keys)
+        else:
+            for j, column in enumerate(group_columns):
+                data[column] = [key[j] for key in keys]
+        for spec, out_field in zip(specs, out_fields):
+            operator = str(spec["operator"]).lower()
+            col = (
+                table.column(str(spec["apply_on"]))
+                if "apply_on" in spec
+                else None
+            )
+            bulk = _BULK_AGGREGATORS.get(operator)
+            if bulk is not None and _is_builtin(operator):
+                if col is None:
+                    # Bare count: no value column to gather.
+                    data[out_field] = [len(b) for b in buckets]
+                else:
+                    data[out_field] = [
+                        bulk([col[i] for i in b]) for b in buckets
+                    ]
+            else:
+                factory = _AGGREGATE_FACTORIES[operator]
+                results = []
+                for bucket in buckets:
+                    agg = factory()
+                    for i in bucket:
+                        agg.add(col[i] if col is not None else None)
+                    results.append(agg.result())
+                data[out_field] = results
         schema = self.output_schema([table.schema])
-        result = Table.from_rows(schema, records)
+        result = Table(schema, {n: data[n] for n in schema.names})
         if _truthy(self.config.get("orderby_aggregates")):
             result = result.sorted_by([out_fields[0]], descending=[True])
-        context.bump(f"task.{self.name}.groups", len(order))
+        context.bump(f"task.{self.name}.groups", len(keys))
         return result
 
 

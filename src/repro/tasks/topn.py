@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.data import Schema, Table
+from repro.data.kernels import argsort, group_indices, top_n_indices
 from repro.errors import TaskConfigError
 from repro.tasks.base import Task, TaskContext
 
@@ -86,32 +87,31 @@ class TopNTask(Task):
         order_keys = [c for c, _d in self._order]
         order_desc = [d for _c, d in self._order]
         if not group_columns:
-            result = table.sorted_by(order_keys, order_desc).head(self._limit)
+            if len(order_keys) == 1:
+                # Single key: the heap kernel beats a full sort.
+                kept = top_n_indices(
+                    table.column(order_keys[0]), order_desc[0], self._limit
+                )
+                result = table.take(kept)
+            else:
+                result = table.sorted_by(
+                    order_keys, order_desc
+                ).head(self._limit)
             context.bump(f"task.{self.name}.rows_out", result.num_rows)
             return result
-        # Partition indices per group, preserving first-seen group order.
-        groups: dict[tuple, list[int]] = {}
-        order: list[tuple] = []
-        group_cols = [table.column(c) for c in group_columns]
-        for i in range(table.num_rows):
-            key = tuple(col[i] for col in group_cols)
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = [i]
-                order.append(key)
-            else:
-                bucket.append(i)
+        # Partition indices per group (first-seen order), then rank each
+        # bucket's key values directly — no per-group table subsets.
+        _keys, buckets = group_indices(
+            [table.column(c) for c in group_columns]
+        )
+        order_cols = [table.column(c) for c in order_keys]
         kept: list[int] = []
-        for key in order:
-            subset = table.take(groups[key])
-            ranked = subset.sorted_by(order_keys, order_desc)
-            top = min(self._limit, ranked.num_rows)
-            # Map back to original indices via a rank of the subset rows.
-            sub_indices = groups[key]
-            ranked_positions = _rank_positions(
-                subset, order_keys, order_desc
-            )[:top]
-            kept.extend(sub_indices[p] for p in ranked_positions)
+        for bucket in buckets:
+            gathered = [
+                [column[i] for i in bucket] for column in order_cols
+            ]
+            positions = argsort(len(bucket), gathered, order_desc)
+            kept.extend(bucket[p] for p in positions[: self._limit])
         result = table.take(kept)
         context.bump(f"task.{self.name}.rows_out", result.num_rows)
         return result
@@ -121,22 +121,6 @@ def _rank_positions(
     table: Table, keys: list[str], descending: list[bool]
 ) -> list[int]:
     """Positions of table rows in sorted order (stable)."""
-    positions = list(range(table.num_rows))
-    for key, desc in reversed(list(zip(keys, descending))):
-        values = table.column(key)
-
-        def sort_key(i: int, values=values) -> tuple:
-            v = values[i]
-            return (v is not None, v)
-
-        try:
-            positions.sort(key=sort_key, reverse=desc)
-        except TypeError:
-            positions.sort(
-                key=lambda i, values=values: (
-                    values[i] is not None,
-                    str(values[i]),
-                ),
-                reverse=desc,
-            )
-    return positions
+    return argsort(
+        table.num_rows, [table.column(k) for k in keys], descending
+    )

@@ -1,0 +1,111 @@
+"""Unit tests for the shared interactive query-result cache."""
+
+import pytest
+
+from repro.engine.query_cache import QueryResultCache
+from repro.observability.instruments import (
+    QUERY_CACHE_EVICTIONS,
+    QUERY_CACHE_HITS,
+    QUERY_CACHE_MISSES,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+SCOPE = ("dash", "ds")
+
+
+class TestLruBehaviour:
+    def test_get_put_roundtrip(self):
+        cache = QueryResultCache()
+        assert cache.get(SCOPE, "q1") is None
+        cache.put(SCOPE, "q1", "result")
+        assert cache.get(SCOPE, "q1") == "result"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = QueryResultCache(max_entries=2)
+        cache.put(SCOPE, "a", 1)
+        cache.put(SCOPE, "b", 2)
+        cache.get(SCOPE, "a")  # a becomes most-recent
+        cache.put(SCOPE, "c", 3)  # evicts b, not a
+        assert cache.get(SCOPE, "a") == 1
+        assert cache.get(SCOPE, "b") is None
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing_entry(self):
+        cache = QueryResultCache(max_entries=2)
+        cache.put(SCOPE, "a", 1)
+        cache.put(SCOPE, "b", 2)
+        cache.put(SCOPE, "a", 10)  # refresh, not a new entry
+        cache.put(SCOPE, "c", 3)
+        assert cache.get(SCOPE, "a") == 10
+        assert cache.get(SCOPE, "b") is None
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(max_entries=0)
+
+
+class TestSourcePinning:
+    def test_same_source_hits(self):
+        cache = QueryResultCache()
+        source = object()
+        cache.put(SCOPE, "q", "result", source=source)
+        assert cache.get(SCOPE, "q", source=source) == "result"
+
+    def test_replaced_source_is_a_miss_and_drops_entry(self):
+        cache = QueryResultCache()
+        cache.put(SCOPE, "q", "old", source=object())
+        assert cache.get(SCOPE, "q", source=object()) is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+
+class TestInvalidation:
+    def test_prefix_scoped(self):
+        cache = QueryResultCache()
+        cache.put(("dash1", "a"), "q", 1)
+        cache.put(("dash1", "b"), "q", 2)
+        cache.put(("dash2", "a"), "q", 3)
+        assert cache.invalidate(scope_prefix=("dash1",)) == 2
+        assert len(cache) == 1
+        assert cache.get(("dash2", "a"), "q") == 3
+
+    def test_full_flush(self):
+        cache = QueryResultCache()
+        cache.put(SCOPE, "a", 1)
+        cache.put(SCOPE, "b", 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+
+class TestMetrics:
+    def test_events_land_in_registry(self):
+        metrics = MetricsRegistry()
+        cache = QueryResultCache(max_entries=1, metrics=metrics, name="t")
+        cache.get(SCOPE, "a")  # miss
+        cache.put(SCOPE, "a", 1)
+        cache.get(SCOPE, "a")  # hit
+        cache.put(SCOPE, "b", 2)  # evicts a
+        series = metrics.as_dict()
+        label = {"cache": "t"}
+
+        def value(name):
+            for sample in series[name]["series"]:
+                if sample["labels"] == label:
+                    return sample["value"]
+            raise AssertionError(f"no {name} sample for {label}")
+
+        assert value(QUERY_CACHE_MISSES) == 1
+        assert value(QUERY_CACHE_HITS) == 1
+        assert value(QUERY_CACHE_EVICTIONS) == 1
+
+    def test_hit_rate(self):
+        cache = QueryResultCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put(SCOPE, "a", 1)
+        cache.get(SCOPE, "a")
+        cache.get(SCOPE, "b")
+        assert cache.stats.hit_rate == 0.5
