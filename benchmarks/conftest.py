@@ -17,6 +17,8 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 INTERACTIVE_JSON = RESULTS_DIR / "BENCH_interactive.json"
 
+BATCH_JSON = RESULTS_DIR / "BENCH_batch.json"
+
 
 def report(name: str, text: str) -> None:
     """Print a figure's series and persist it under results/."""
@@ -38,6 +40,25 @@ def report_interactive(section: str, payload: dict) -> None:
         merged = json.loads(INTERACTIVE_JSON.read_text(encoding="utf-8"))
     merged[section] = payload
     INTERACTIVE_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{section}: {json.dumps(payload, sort_keys=True)}")
+
+
+def report_batch(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_batch.json``.
+
+    Same merge discipline as :func:`report_interactive`: each batch
+    benchmark owns one top-level key, so smoke runs update their
+    section without clobbering full-mode results.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if BATCH_JSON.exists():
+        merged = json.loads(BATCH_JSON.read_text(encoding="utf-8"))
+    merged[section] = payload
+    BATCH_JSON.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

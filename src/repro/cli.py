@@ -73,6 +73,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker pool size for the distributed engine; results and "
+            "telemetry are identical at every setting (default: 1)"
+        ),
+    )
+    run.add_argument(
         "--trace",
         action="store_true",
         help="print the run's span tree (compile -> stage -> attempt)",
@@ -126,6 +136,7 @@ def _cmd_run(args) -> int:
         name,
         engine=args.engine,
         fault_profile=getattr(args, "fault_profile", None),
+        parallelism=getattr(args, "parallelism", 1),
     )
     print(
         f"ran {name!r} on the {report.engine} engine in "

@@ -15,7 +15,7 @@ import json
 from typing import Any
 
 from repro.compiler.compiler import CompiledFlowFile
-from repro.engine.plan import PlanNode
+from repro.engine.plan import FusedPipelineTask, PlanNode
 from repro.tasks.base import Task
 from repro.tasks.filter import FilterTask
 from repro.tasks.groupby import GroupByTask
@@ -136,6 +136,11 @@ def _statement(task: Task, inputs: list[str]) -> str:
     if isinstance(task, ParallelTask):
         subs = ", ".join(task.sub_task_names)
         return f"FOREACH {source} GENERATE * /* parallel: {subs} */"
+    if isinstance(task, FusedPipelineTask):
+        chain = " | ".join(
+            f"{sub.type_name}:{sub.name}" for sub in task.sub_tasks
+        )
+        return f"FOREACH {source} GENERATE * /* fused pipeline: {chain} */"
     if isinstance(task, ProjectTask):
         return f"FOREACH {source} GENERATE {', '.join(task.columns)}"
     if isinstance(task, SortTask):
@@ -279,6 +284,12 @@ def _spark_statement(task: Task, inputs: list[str]) -> str:
         return f"{source}.dropDuplicates()"
     if isinstance(task, ParallelTask):
         return f"{source}  # parallel: {', '.join(task.sub_task_names)}"
+    if isinstance(task, FusedPipelineTask):
+        # A fused chain is just the sub-statements applied in order.
+        expression = source
+        for sub in task.sub_tasks:
+            expression = _spark_statement(sub, [expression])
+        return expression
     return f"{source}  # custom task {task.type_name}:{task.name}"
 
 

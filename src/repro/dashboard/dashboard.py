@@ -118,6 +118,7 @@ class Dashboard:
         engine: str | None = None,
         incremental: bool = False,
         fault_profile: str | None = None,
+        parallelism: int = 1,
     ) -> RunReport:
         """Execute the batch half; returns the run report.
 
@@ -132,6 +133,10 @@ class Dashboard:
         :meth:`repro.resilience.FaultInjector.from_profile`) and forces
         the distributed engine, which absorbs the injected faults and
         reports the recovery cost in the run report.
+
+        ``parallelism`` sizes the distributed engine's worker pool.
+        Results, telemetry and traces are identical at every setting;
+        only wall time changes (local engine ignores it).
         """
         context = self._task_context()
         plan = self.compiled.plan
@@ -178,6 +183,7 @@ class Dashboard:
                     fault_injector=injector,
                     tracer=obs.tracer,
                     metrics=obs.metrics,
+                    parallelism=parallelism,
                 ).run(plan, context)
                 report = RunReport(
                     engine=engine,

@@ -55,6 +55,24 @@ class Table:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _wrap(
+        cls, schema: Schema, data: dict[str, list[Any]], length: int
+    ) -> "Table":
+        """Adopt freshly-built column lists without re-copying them.
+
+        Internal fast path for operators that have just materialized new
+        lists (``take``, ``concat_all``, ``from_rows``): the public
+        constructor defensively copies every column, which doubles the
+        cost of exactly the hot paths this module exists to keep cheap.
+        Callers must hand over exclusive ownership of ``data``'s lists.
+        """
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._data = data
+        table._length = length
+        return table
+
+    @classmethod
     def from_rows(
         cls,
         schema: Schema | Sequence[str],
@@ -69,7 +87,9 @@ class Table:
             schema = Schema(schema)
         names = schema.names
         data: dict[str, list[Any]] = {n: [] for n in names}
+        count = 0
         for row in rows:
+            count += 1
             if isinstance(row, Mapping):
                 for name in names:
                     data[name].append(row.get(name))
@@ -80,7 +100,7 @@ class Table:
                     )
                 for name, value in zip(names, row):
                     data[name].append(value)
-        return cls(schema, data)
+        return cls._wrap(schema, data, count if names else 0)
 
     @classmethod
     def empty(cls, schema: Schema | Sequence[str]) -> "Table":
@@ -202,27 +222,62 @@ class Table:
 
     def take(self, indices: Sequence[int]) -> "Table":
         """Rows at ``indices`` (in the given order)."""
+        indices = (
+            indices if isinstance(indices, (list, range)) else list(indices)
+        )
         data = {
             name: [values[i] for i in indices]
             for name, values in self._data.items()
         }
-        return Table(self._schema, data)
+        length = len(indices) if self._schema.names else 0
+        return Table._wrap(self._schema, data, length)
 
     def head(self, n: int) -> "Table":
         return self.take(range(min(n, self._length)))
 
     def concat(self, other: "Table") -> "Table":
         """Vertical union; schemas must have identical column names."""
-        if self._schema.names != other.schema.names:
-            raise SchemaError(
-                f"cannot concat: schemas differ "
-                f"{self._schema.names} vs {other.schema.names}"
-            )
-        data = {
-            name: self._data[name] + list(other.column(name))
-            for name in self._schema.names
-        }
-        return Table(self._schema, data)
+        return Table.concat_all([self, other])
+
+    @classmethod
+    def concat_all(
+        cls,
+        tables: Sequence["Table"],
+        schema: Schema | None = None,
+    ) -> "Table":
+        """Vertical union of many tables in one pass.
+
+        Each output column is built with a single copy of its input
+        values, so gathering ``P`` partitions costs O(rows) — the
+        pairwise ``a.concat(b).concat(c)...`` fold re-copies the growing
+        prefix and degenerates to O(P * rows).  ``schema`` supplies the
+        result schema when ``tables`` may be empty.
+        """
+        tables = list(tables)
+        if not tables:
+            if schema is None:
+                raise SchemaError("concat_all of no tables needs a schema")
+            return cls.empty(schema)
+        first = tables[0]
+        names = first.schema.names
+        for other in tables[1:]:
+            if other.schema.names != names:
+                raise SchemaError(
+                    f"cannot concat: schemas differ "
+                    f"{names} vs {other.schema.names}"
+                )
+        if len(tables) == 1:
+            # Still copy: callers expect a table independent of inputs.
+            return first.take(range(first.num_rows))
+        data: dict[str, list[Any]] = {}
+        for name in names:
+            column: list[Any] = []
+            for table in tables:
+                column.extend(table._data[name])
+            data[name] = column
+        return cls._wrap(
+            first.schema, data, sum(t.num_rows for t in tables)
+        )
 
     def sorted_by(
         self, keys: Sequence[str], descending: Sequence[bool] | None = None

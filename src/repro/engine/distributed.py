@@ -30,6 +30,8 @@ under any injected fault plan that stays within the retry budget.
 
 from __future__ import annotations
 
+import datetime
+import math
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -37,6 +39,7 @@ from typing import Any, Callable, Sequence
 
 from repro.data import Table
 from repro.engine.plan import LogicalPlan, PlanNode
+from repro.engine.scheduler import WorkerPool
 from repro.errors import (
     ExecutionError,
     ShareInsightsError,
@@ -117,6 +120,39 @@ class _StageRun:
 
 
 @dataclass
+class _AttemptEvent:
+    """One partition attempt, as resolved against the fault injector."""
+
+    number: int  # 1-based, matches the span's ``attempt`` attribute
+    error: str | None = None  # exception type name; None = success
+
+
+@dataclass
+class _UnitScript:
+    """The pre-resolved fate of one partition's work.
+
+    The coordinator walks the retry loop against the fault injector
+    *before* any compute runs — in canonical partition order, consuming
+    PRNG draws, rule budgets and backoff sleeps exactly as sequential
+    execution would — so workers are left with pure compute only.
+    ``events`` replays as attempt spans; the trailing state fields seed
+    a live continuation if the compute itself fails.
+    """
+
+    index: int
+    compute: Callable[[], Any]
+    events: list[_AttemptEvent] = field(default_factory=list)
+    # state at the moment compute runs (for resuming the retry loop on
+    # an intrinsic compute failure)
+    attempt: int = 0
+    failures: int = 0
+    recovered: bool = False
+    retried: bool = False
+    #: (wrapped error, cause) when injected faults alone doom the unit
+    terminal: tuple[ExecutionError, BaseException] | None = None
+
+
+@dataclass
 class DistributedResult:
     """Materialized outputs plus per-stage statistics."""
 
@@ -180,22 +216,47 @@ def _partition(table: Table, parts: int) -> list[Table]:
 def _hash_shuffle(
     partitions: Sequence[Table], keys: Sequence[str], parts: int
 ) -> tuple[list[Table], int, int]:
-    """Repartition by key hash; returns (partitions, records, bytes)."""
-    buckets: list[list[dict[str, Any]]] = [[] for _ in range(parts)]
+    """Repartition by key hash; returns (partitions, records, bytes).
+
+    Column-wise single pass: key columns are read directly (no row
+    dicts), rows are routed to buckets as per-partition index lists, and
+    each output partition is assembled by index-``take`` plus one
+    multi-way concat.  Output row order — (input partition, row) — and
+    the records/bytes telemetry are identical to the historical
+    row-at-a-time implementation.
+    """
+    schema = partitions[0].schema
     records = 0
     total_bytes = 0
+    pieces: list[list[Table]] = [[] for _ in range(parts)]
     for partition in partitions:
         total_bytes += partition.estimated_bytes()
-        for row in partition.rows():
-            key = tuple(_hashable(row[k]) for k in keys)
-            buckets[_stable_hash(key) % parts].append(row)
-            records += 1
-    schema = partitions[0].schema
-    return (
-        [Table.from_rows(schema, bucket) for bucket in buckets],
-        records,
-        total_bytes,
-    )
+        rows = partition.num_rows
+        records += rows
+        if not rows:
+            continue
+        index_lists: list[list[int]] = [[] for _ in range(parts)]
+        if len(keys) == 1:
+            column = partition.column(keys[0])
+            for i in range(rows):
+                key = (_hashable(column[i]),)
+                index_lists[_stable_hash(key) % parts].append(i)
+        else:
+            key_columns = [partition.column(k) for k in keys]
+            for i, raw in enumerate(zip(*key_columns)):
+                key = tuple(_hashable(v) for v in raw)
+                index_lists[_stable_hash(key) % parts].append(i)
+        for bucket, indices in enumerate(index_lists):
+            if indices:
+                pieces[bucket].append(partition.take(indices))
+    outputs = []
+    for piece in pieces:
+        if len(piece) == 1:
+            # The take() above already produced a fresh table we own.
+            outputs.append(piece[0])
+        else:
+            outputs.append(Table.concat_all(piece, schema=schema))
+    return outputs, records, total_bytes
 
 
 def _hashable(value: Any) -> Any:
@@ -206,21 +267,67 @@ def _hashable(value: Any) -> Any:
     return value
 
 
+#: crc32 results by type-tagged key — repr() on the hot path is pure
+#: re-derivation for repeated keys (group-by columns are low-cardinality
+#: by nature), so remember them.  Bounded; on overflow new keys simply
+#: pay the repr() again.
+_HASH_MEMO: dict[Any, int] = {}
+_HASH_MEMO_LIMIT = 100_000
+
+
+def _memo_key(value: Any) -> Any:
+    """A memo key that never aliases values with different ``repr``.
+
+    ``1``, ``True`` and ``1.0`` are equal as dict keys but repr (and so
+    hash) differently; tagging non-string scalars with their class keeps
+    them distinct.  Tuples (from list/dict keys via ``_hashable``) are
+    tagged recursively for the same reason.  Only classes where
+    equality provably implies identical ``repr`` are memoized at all —
+    floats need the zero sign carried explicitly (``-0.0 == 0.0`` but
+    their reprs differ), and anything exotic (``Decimal('1.0')`` equals
+    ``Decimal('1.00')`` with a different repr) raises ``TypeError`` so
+    the caller hashes it directly.
+    """
+    cls = value.__class__
+    if cls is str:
+        return value
+    if cls is tuple:
+        return (tuple, tuple(_memo_key(v) for v in value))
+    if cls is float:
+        if value == 0.0:
+            return (float, value, math.copysign(1.0, value))
+        return (float, value)
+    if cls in (int, bool, datetime.date) or value is None:
+        return (cls, value)
+    raise TypeError(f"unmemoizable shuffle key type {cls.__name__}")
+
+
 def _stable_hash(key: Any) -> int:
     """Process-independent shuffle hash.
 
     Built-in ``hash()`` is randomized per process for strings
     (PYTHONHASHSEED), which would make partition-targeted fault plans
-    and their telemetry unreproducible across runs.
+    and their telemetry unreproducible across runs.  Values are exactly
+    ``crc32(repr(key))`` — unchanged across releases, so recorded
+    telemetry and partition-targeted fault plans stay valid — with a
+    memo in front for repeated keys.
     """
-    return zlib.crc32(repr(key).encode("utf-8", "surrogatepass"))
+    try:
+        tag = _memo_key(key)
+        cached = _HASH_MEMO.get(tag)
+    except TypeError:
+        return zlib.crc32(repr(key).encode("utf-8", "surrogatepass"))
+    if cached is None:
+        cached = zlib.crc32(repr(key).encode("utf-8", "surrogatepass"))
+        if len(_HASH_MEMO) < _HASH_MEMO_LIMIT:
+            _HASH_MEMO[tag] = cached
+    return cached
 
 
 def _gather(partitions: Sequence[Table]) -> Table:
-    result = partitions[0]
-    for partition in partitions[1:]:
-        result = result.concat(partition)
-    return result
+    if len(partitions) == 1:
+        return partitions[0]
+    return Table.concat_all(partitions)
 
 
 class DistributedExecutor:
@@ -231,6 +338,9 @@ class DistributedExecutor:
     deterministic faults; ``checkpoints`` enables stage-skip on resumed
     runs; ``speculative=False`` disables straggler duplicates (slowed
     attempts then pay their latency on the simulated clock).
+    ``parallelism`` bounds how many partition attempts run concurrently
+    within a stage; outputs, stage stats and span trees are identical
+    at every setting (see :meth:`_run_units`).
     """
 
     def __init__(
@@ -246,6 +356,7 @@ class DistributedExecutor:
         clock: Clock | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        parallelism: int = 1,
     ):
         self._resolver = resolver
         self._parts = max(1, num_partitions)
@@ -258,6 +369,11 @@ class DistributedExecutor:
         self._clock = clock or SimulatedClock()
         self._tracer = tracer or Tracer()
         self._metrics = metrics or MetricsRegistry()
+        self._pool = WorkerPool(parallelism)
+
+    @property
+    def parallelism(self) -> int:
+        return self._pool.workers
 
     def run(
         self, plan: LogicalPlan, context: TaskContext | None = None
@@ -385,27 +501,216 @@ class DistributedExecutor:
     # ------------------------------------------------------------------
     # fault-tolerant partition execution
     # ------------------------------------------------------------------
-    def _run_partition(
+    def _resolve_unit(
         self,
         stage_kind: str,
         task_name: str,
         index: int,
         compute: Callable[[], Any],
         run: _StageRun,
-    ) -> Any:
-        """Run one partition's work under the retry policy.
+    ) -> _UnitScript:
+        """Walk one unit's retry loop against the injector, sans compute.
 
-        ``compute`` must be pure: it recomputes the partition from its
-        upstream inputs (captured in the closure), which is exactly the
-        lineage-recovery contract — a retry or a recompute re-derives
-        the same partition, never a corrupted half-state.
+        Injected faults fully determine the loop's control flow up to
+        the attempt on which real compute finally runs (or the unit
+        terminally fails), so the whole schedule — injector draws, rule
+        budgets, backoff and straggler sleeps, attempt counters — can be
+        resolved on the coordinator in canonical partition order before
+        any work is dispatched.  That is what keeps parallel execution
+        byte-identical to sequential under every fault profile.
         """
+        script = _UnitScript(index=index, compute=compute)
         budget = max(1, self._retry.max_attempts)
         attempt = 0  # 0-based, matched against fault-rule targeting
         failures = 0  # retryable failures charged against the budget
         recovered = False
         retried = False
         while True:
+            fault = None
+            if self._faults is not None:
+                fault = self._faults.check(
+                    stage_kind=stage_kind,
+                    task=task_name,
+                    partition=index,
+                    attempt=attempt,
+                )
+            attempt += 1
+            run.attempts += 1
+            if fault == FATAL:
+                cause = TaskExecutionError(
+                    f"injected fatal fault in task {task_name!r} "
+                    f"partition {index}"
+                )
+                script.events.append(
+                    _AttemptEvent(attempt, type(cause).__name__)
+                )
+                script.terminal = (
+                    ExecutionError(
+                        f"task {task_name!r} failed permanently on "
+                        f"partition {index}: {cause}",
+                        task=task_name,
+                        partition=index,
+                    ),
+                    cause,
+                )
+                return script
+            if fault == LOST:
+                cause = WorkerLostError(
+                    f"worker running task {task_name!r} "
+                    f"partition {index} was lost"
+                )
+                script.events.append(
+                    _AttemptEvent(attempt, type(cause).__name__)
+                )
+                if recovered:
+                    script.terminal = (
+                        ExecutionError(
+                            f"task {task_name!r} partition {index}: "
+                            f"worker lost again after lineage recovery",
+                            task=task_name,
+                            partition=index,
+                        ),
+                        cause,
+                    )
+                    return script
+                # Lineage recovery: recompute only this partition from
+                # its upstream inputs on a fresh worker.  Does not
+                # consume the retry budget — the old worker is written
+                # off, not retried.
+                recovered = True
+                retried = True
+                run.recovered_partitions += 1
+                continue
+            if fault == TRANSIENT:
+                cause = TransientTaskError(
+                    f"injected transient fault in task "
+                    f"{task_name!r} partition {index} "
+                    f"(attempt {attempt})"
+                )
+                script.events.append(
+                    _AttemptEvent(attempt, type(cause).__name__)
+                )
+                failures += 1
+                if failures >= budget:
+                    script.terminal = (
+                        ExecutionError(
+                            f"task {task_name!r} partition {index} "
+                            f"failed after {failures} attempt(s): "
+                            f"{cause}",
+                            task=task_name,
+                            partition=index,
+                        ),
+                        cause,
+                    )
+                    return script
+                retried = True
+                self._clock.sleep(
+                    self._retry.delay(failures, key=(task_name, index))
+                )
+                continue
+            if fault == SLOW:
+                if self._speculative:
+                    # Straggler: a speculative duplicate is launched on
+                    # a healthy worker; being unslowed, it finishes
+                    # first and its result wins.
+                    run.attempts += 1
+                    run.speculative_wins += 1
+                else:
+                    self._clock.sleep(self._straggler_delay)
+            script.events.append(_AttemptEvent(attempt))
+            script.attempt = attempt
+            script.failures = failures
+            script.recovered = recovered
+            script.retried = retried
+            return script
+
+    def _replay_attempts(
+        self,
+        stage_kind: str,
+        task_name: str,
+        index: int,
+        events: Sequence[_AttemptEvent],
+    ) -> None:
+        """Emit attempt spans for pre-resolved events, in order.
+
+        Span ids are assigned in creation order, so replaying in unit
+        order under the still-open stage span reproduces the exact span
+        tree sequential execution would have produced.
+        """
+        for event in events:
+            span = self._tracer.start_span(
+                "attempt",
+                task=task_name,
+                kind=stage_kind,
+                partition=index,
+                attempt=event.number,
+            )
+            if event.error is not None:
+                span.attrs.setdefault("error", event.error)
+            self._tracer.end_span(span)
+
+    def _live_resume(
+        self,
+        stage_kind: str,
+        task_name: str,
+        index: int,
+        compute: Callable[[], Any],
+        run: _StageRun,
+        exc: BaseException,
+        attempt: int,
+        failures: int,
+        recovered: bool,
+        retried: bool,
+    ) -> Any:
+        """Finish a unit whose *compute* raised, under the retry policy.
+
+        Pre-resolution only predicts injected faults; a real failure
+        inside ``compute`` re-enters the classic retry loop here, live
+        against the injector.  (With rate-based fault rules this can
+        consume PRNG draws in a different order than a pure sequential
+        run — intrinsic failures are outside the determinism contract,
+        which covers injected fault plans.)
+        """
+        budget = max(1, self._retry.max_attempts)
+        while True:
+            if isinstance(exc, WorkerLostError):
+                if recovered:
+                    raise ExecutionError(
+                        f"task {task_name!r} partition {index}: "
+                        f"worker lost again after lineage recovery",
+                        task=task_name,
+                        partition=index,
+                    ) from exc
+                recovered = True
+                retried = True
+                run.recovered_partitions += 1
+            elif isinstance(exc, ShareInsightsError):
+                if not is_retryable(exc):
+                    raise ExecutionError(
+                        f"task {task_name!r} failed permanently on "
+                        f"partition {index}: {exc}",
+                        task=task_name,
+                        partition=index,
+                    ) from exc
+                failures += 1
+                if failures >= budget:
+                    raise ExecutionError(
+                        f"task {task_name!r} partition {index} failed "
+                        f"after {failures} attempt(s): {exc}",
+                        task=task_name,
+                        partition=index,
+                    ) from exc
+                retried = True
+                self._clock.sleep(
+                    self._retry.delay(failures, key=(task_name, index))
+                )
+            else:
+                raise ExecutionError(
+                    f"task {task_name!r} failed on the distributed "
+                    f"engine (partition {index}): {exc}",
+                    task=task_name,
+                    partition=index,
+                ) from exc
             fault = None
             if self._faults is not None:
                 fault = self._faults.check(
@@ -442,10 +747,6 @@ class DistributedExecutor:
                         )
                     if fault == SLOW:
                         if self._speculative:
-                            # Straggler: a speculative duplicate is
-                            # launched on a healthy worker; being
-                            # unslowed, it finishes first and its
-                            # result wins.
                             run.attempts += 1
                             run.speculative_wins += 1
                             result = compute()
@@ -457,49 +758,91 @@ class DistributedExecutor:
                 if retried:
                     run.retried_partitions += 1
                 return result
-            except ShareInsightsError as exc:
-                if isinstance(exc, WorkerLostError):
-                    if recovered:
-                        raise ExecutionError(
-                            f"task {task_name!r} partition {index}: "
-                            f"worker lost again after lineage recovery",
-                            task=task_name,
-                            partition=index,
-                        ) from exc
-                    # Lineage recovery: recompute only this partition
-                    # from its upstream inputs on a fresh worker.  Does
-                    # not consume the retry budget — the old worker is
-                    # written off, not retried.
-                    recovered = True
-                    retried = True
-                    run.recovered_partitions += 1
-                    continue
-                if not is_retryable(exc):
-                    raise ExecutionError(
-                        f"task {task_name!r} failed permanently on "
-                        f"partition {index}: {exc}",
-                        task=task_name,
-                        partition=index,
-                    ) from exc
-                failures += 1
-                if failures >= budget:
-                    raise ExecutionError(
-                        f"task {task_name!r} partition {index} failed "
-                        f"after {failures} attempt(s): {exc}",
-                        task=task_name,
-                        partition=index,
-                    ) from exc
-                retried = True
-                self._clock.sleep(
-                    self._retry.delay(failures, key=(task_name, index))
-                )
-            except Exception as exc:
+            except ShareInsightsError as next_exc:
+                exc = next_exc
+            except Exception as next_exc:
                 raise ExecutionError(
                     f"task {task_name!r} failed on the distributed "
-                    f"engine (partition {index}): {exc}",
+                    f"engine (partition {index}): {next_exc}",
                     task=task_name,
                     partition=index,
-                ) from exc
+                ) from next_exc
+
+    def _run_units(
+        self,
+        stage_kind: str,
+        task_name: str,
+        units: Sequence[tuple[int, Callable[[], Any]]],
+        run: _StageRun,
+    ) -> list[Any]:
+        """Run per-partition units under the retry policy, possibly
+        concurrently, with results merged in unit order.
+
+        Each ``compute`` must be pure: it recomputes the partition from
+        its upstream inputs (captured in the closure), which is exactly
+        the lineage-recovery contract — a retry or a recompute
+        re-derives the same partition, never a corrupted half-state.
+
+        Fault schedules are resolved up front in unit order (see
+        :meth:`_resolve_unit`); workers then execute pure compute via
+        the :class:`~repro.engine.scheduler.WorkerPool`, and attempt
+        spans are replayed in unit order, so traces, telemetry and
+        outputs do not depend on the ``parallelism`` setting.
+        """
+        scripts: list[_UnitScript] = []
+        terminal: _UnitScript | None = None
+        for index, compute in units:
+            script = self._resolve_unit(
+                stage_kind, task_name, index, compute, run
+            )
+            if script.terminal is not None:
+                terminal = script
+                break
+            scripts.append(script)
+        results: list[Any] = []
+        outcomes = self._pool.map_ordered(
+            [script.compute for script in scripts]
+        )
+        for script, outcome in zip(scripts, outcomes):
+            self._replay_attempts(
+                stage_kind, task_name, script.index, script.events[:-1]
+            )
+            final = script.events[-1]
+            if outcome.error is None:
+                self._replay_attempts(
+                    stage_kind, task_name, script.index, [final]
+                )
+                if script.retried:
+                    run.retried_partitions += 1
+                results.append(outcome.value)
+                continue
+            self._replay_attempts(
+                stage_kind,
+                task_name,
+                script.index,
+                [_AttemptEvent(final.number, type(outcome.error).__name__)],
+            )
+            results.append(
+                self._live_resume(
+                    stage_kind,
+                    task_name,
+                    script.index,
+                    script.compute,
+                    run,
+                    outcome.error,
+                    attempt=final.number,
+                    failures=script.failures,
+                    recovered=script.recovered,
+                    retried=script.retried,
+                )
+            )
+        if terminal is not None:
+            self._replay_attempts(
+                stage_kind, task_name, terminal.index, terminal.events
+            )
+            error, cause = terminal.terminal
+            raise error from cause
+        return results
 
     def _apply_each(
         self,
@@ -511,30 +854,14 @@ class DistributedExecutor:
         skip_empty: bool = False,
     ) -> list[Table]:
         """Apply ``task`` to each partition under the retry policy."""
-        outputs = []
-        for i, part in enumerate(partitions):
-            if skip_empty and not part.num_rows:
-                continue
-            outputs.append(
-                self._run_partition(
-                    stage_kind,
-                    task.name,
-                    i,
-                    lambda p=part: task.apply([p], context),
-                    run,
-                )
-            )
-        if not outputs:
-            outputs = [
-                self._run_partition(
-                    stage_kind,
-                    task.name,
-                    0,
-                    lambda: task.apply([partitions[0]], context),
-                    run,
-                )
-            ]
-        return outputs
+        units: list[tuple[int, Callable[[], Any]]] = [
+            (i, lambda p=part: task.apply([p], context))
+            for i, part in enumerate(partitions)
+            if not (skip_empty and not part.num_rows)
+        ]
+        if not units:
+            units = [(0, lambda: task.apply([partitions[0]], context))]
+        return self._run_units(stage_kind, task.name, units, run)
 
     @staticmethod
     def _stats(
@@ -571,13 +898,12 @@ class DistributedExecutor:
             assert node.load_name is not None
             run = _StageRun()
             label = f"load({node.load_name})"
-            table = self._run_partition(
+            table = self._run_units(
                 "load",
                 label,
-                0,
-                lambda: self._resolver(node.load_name),
+                [(0, lambda: self._resolver(node.load_name))],
                 run,
-            )
+            )[0]
             stages.append(
                 self._stats(label, "load", 0, [table], run)
             )
@@ -723,18 +1049,17 @@ class DistributedExecutor:
         )
         context.input_names = names or [task.left_name, task.right_name]  # type: ignore[attr-defined]
         run = _StageRun()
-        outputs = [
-            self._run_partition(
-                "shuffle",
-                task.name,
-                i,
-                lambda lp=lp, rp=rp: task.apply([lp, rp], context),
-                run,
-            )
-            for i, (lp, rp) in enumerate(
-                zip(left_shuffled, right_shuffled)
-            )
-        ]
+        outputs = self._run_units(
+            "shuffle",
+            task.name,
+            [
+                (i, lambda lp=lp, rp=rp: task.apply([lp, rp], context))
+                for i, (lp, rp) in enumerate(
+                    zip(left_shuffled, right_shuffled)
+                )
+            ],
+            run,
+        )
         stages.append(
             self._stats(
                 task.name, "shuffle", l_records + r_records, outputs, run,
@@ -764,15 +1089,12 @@ class DistributedExecutor:
             gathered = _gather(partials)
             records = gathered.num_rows
             size = gathered.estimated_bytes()
-            outputs = [
-                self._run_partition(
-                    "shuffle",
-                    task.name,
-                    0,
-                    lambda: task.apply([gathered], context),
-                    run,
-                )
-            ]
+            outputs = self._run_units(
+                "shuffle",
+                task.name,
+                [(0, lambda: task.apply([gathered], context))],
+                run,
+            )
         stages.append(
             self._stats(
                 task.name, "shuffle", input_rows, outputs, run,
@@ -837,14 +1159,16 @@ class DistributedExecutor:
             [] for _ in range(self._parts)
         ]
         records = 0
-        for i, partition in enumerate(partitions):
-            emitted = self._run_partition(
-                "map",
-                task.name,
-                i,
-                lambda p=partition: map_partition(p),
-                run,
-            )
+        emitted_lists = self._run_units(
+            "map",
+            task.name,
+            [
+                (i, lambda p=partition: map_partition(p))
+                for i, partition in enumerate(partitions)
+            ],
+            run,
+        )
+        for emitted in emitted_lists:
             for bucket_index, key, value in emitted:
                 buckets[bucket_index].append((key, value))
                 records += 1
@@ -868,16 +1192,15 @@ class DistributedExecutor:
                     out.append_row(row)
             return out
 
-        outputs = [
-            self._run_partition(
-                "shuffle",
-                task.name,
-                i,
-                lambda b=bucket: reduce_bucket(b),
-                run,
-            )
-            for i, bucket in enumerate(buckets)
-        ]
+        outputs = self._run_units(
+            "shuffle",
+            task.name,
+            [
+                (i, lambda b=bucket: reduce_bucket(b))
+                for i, bucket in enumerate(buckets)
+            ],
+            run,
+        )
         stages.append(
             self._stats(
                 task.name, "shuffle", input_rows, outputs, run,
@@ -918,15 +1241,16 @@ class DistributedExecutor:
 
         import bisect
 
-        buckets: list[list[dict[str, Any]]] = [
-            [] for _ in range(self._parts)
-        ]
+        pieces: list[list[Table]] = [[] for _ in range(self._parts)]
         records = 0
         total_bytes = 0
         for partition in partitions:
             total_bytes += partition.estimated_bytes()
-            for row in partition.rows():
-                value = row[primary]
+            records += partition.num_rows
+            index_lists: list[list[int]] = [
+                [] for _ in range(self._parts)
+            ]
+            for i, value in enumerate(partition.column(primary)):
                 if value is None:
                     index = 0  # None sorts first ascending
                 else:
@@ -936,22 +1260,26 @@ class DistributedExecutor:
                         return self._gathered(
                             task, partitions, context, stages
                         )
-                buckets[index].append(row)
-                records += 1
+                index_lists[index].append(i)
+            for bucket, indices in enumerate(index_lists):
+                if indices:
+                    pieces[bucket].append(partition.take(indices))
         schema = partitions[0].schema
         run = _StageRun()
-        outputs = [
-            self._run_partition(
-                "shuffle",
-                task.name,
-                i,
-                lambda b=bucket: task.apply(
-                    [Table.from_rows(schema, b)], context
-                ),
-                run,
-            )
-            for i, bucket in enumerate(buckets)
-        ]
+        outputs = self._run_units(
+            "shuffle",
+            task.name,
+            [
+                (
+                    i,
+                    lambda p=piece: task.apply(
+                        [Table.concat_all(p, schema=schema)], context
+                    ),
+                )
+                for i, piece in enumerate(pieces)
+            ],
+            run,
+        )
         if primary_desc:
             outputs = list(reversed(outputs))
         stages.append(
@@ -965,13 +1293,12 @@ class DistributedExecutor:
     def _gathered(self, task: Task, partitions, context, stages) -> list[Table]:
         gathered = _gather(partitions)
         run = _StageRun()
-        output = self._run_partition(
+        output = self._run_units(
             "gather",
             task.name,
-            0,
-            lambda: task.apply([gathered], context),
+            [(0, lambda: task.apply([gathered], context))],
             run,
-        )
+        )[0]
         stages.append(
             self._stats(
                 task.name, "gather", gathered.num_rows, [output], run,

@@ -93,6 +93,14 @@ class LocalExecutor:
         context = context or TaskContext()
         started = time.perf_counter()
         tables: dict[str, Table] = {}  # node id -> table
+        # Reference counts: how many not-yet-executed consumers still
+        # need each node's output.  Once a node's last consumer runs,
+        # its intermediate table is dropped so peak memory tracks the
+        # plan's live frontier instead of the whole run's history
+        # (materialized flow outputs are kept separately).
+        pending_reads: dict[str, int] = {
+            node.id: len(plan.consumers(node.id)) for node in plan.nodes.values()
+        }
         materialized: dict[str, Table] = {}
         stats = ExecutionStats()
         produced_rows = 0
@@ -114,6 +122,13 @@ class LocalExecutor:
                         rows_in=rows_in, rows_out=table.num_rows
                     )
                 tables[node.id] = table
+                for input_id in set(node.inputs):
+                    remaining = pending_reads.get(input_id, 0) - 1
+                    pending_reads[input_id] = remaining
+                    if remaining <= 0:
+                        tables.pop(input_id, None)
+                if pending_reads.get(node.id, 0) <= 0:
+                    tables.pop(node.id, None)
                 if node.materializes:
                     materialized[node.materializes] = table
                     if node.kind == "task":

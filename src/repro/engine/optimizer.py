@@ -12,7 +12,14 @@ direction).  Three rewrites are implemented, all preserving semantics:
    when the downstream pipeline provably needs a subset of its columns
    (computed by walking requirements backwards), shrinking every
    downstream row.
-3. **Endpoint-transfer minimization** — for widget pipelines (handled in
+3. **Map-chain fusion** — maximal runs of adjacent partition-local
+   nodes (map/filter/cleansing/project/parallel) collapse into a single
+   :class:`~repro.engine.plan.FusedPipelineTask` node, so each
+   partition flows through the whole chain in one scheduled pass with
+   no intermediate materialization.  A node ends its chain when it
+   materializes a flow output (those can be checkpointed and consumed
+   by other flows) or has fan-out consumers.
+4. **Endpoint-transfer minimization** — for widget pipelines (handled in
    :mod:`repro.engine.datacube` / the dashboard runtime): selection-
    independent tasks are split out of the interaction flow and evaluated
    once server-side, so only reduced data ships to the client cube.
@@ -27,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.plan import LogicalPlan, PlanNode
+from repro.engine.plan import FusedPipelineTask, LogicalPlan, PlanNode
 from repro.tasks.filter import FilterTask
 from repro.tasks.groupby import GroupByTask
 from repro.tasks.map_ops import MapTask
@@ -41,11 +48,17 @@ class OptimizationReport:
 
     filters_pushed: int = 0
     projections_inserted: int = 0
+    #: partition-local nodes absorbed into fused pipeline nodes
+    maps_fused: int = 0
     notes: list[str] = field(default_factory=list)
 
     @property
     def changed(self) -> bool:
-        return bool(self.filters_pushed or self.projections_inserted)
+        return bool(
+            self.filters_pushed
+            or self.projections_inserted
+            or self.maps_fused
+        )
 
 
 def optimize_plan(plan: LogicalPlan) -> OptimizationReport:
@@ -53,6 +66,7 @@ def optimize_plan(plan: LogicalPlan) -> OptimizationReport:
     report = OptimizationReport()
     _push_filters(plan, report)
     _prune_projections(plan, report)
+    _fuse_map_chains(plan, report)
     return report
 
 
@@ -130,6 +144,64 @@ def _swap(plan: LogicalPlan, upstream: PlanNode, filter_node: PlanNode) -> None:
     upstream.materializes, filter_node.materializes = (
         filter_node.materializes,
         None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# map-chain fusion
+# ---------------------------------------------------------------------------
+
+
+def _fuse_map_chains(plan: LogicalPlan, report: OptimizationReport) -> None:
+    """Collapse maximal runs of adjacent partition-local nodes.
+
+    Runs after pushdown and pruning so chains are fused in their final
+    shape.  A node may absorb its successor only when the successor is
+    its sole consumer — a materialized output (also the checkpointable
+    unit) or a fan-out point ends the chain, since other readers need
+    that exact intermediate.  The chain's tail node is mutated in place
+    (keeping its id, ``materializes`` and downstream edges) and the
+    absorbed nodes are removed from the plan.
+    """
+    consumed: set[str] = set()
+    for node in plan.topological_order():
+        if node.id in consumed or not _fusable(node):
+            continue
+        chain = [node]
+        while True:
+            tail = chain[-1]
+            if tail.materializes is not None:
+                break
+            consumers = plan.consumers(tail.id)
+            if len(consumers) != 1:
+                break
+            successor = consumers[0]
+            if not _fusable(successor) or successor.inputs != [tail.id]:
+                break
+            chain.append(successor)
+        if len(chain) < 2:
+            continue
+        head, tail = chain[0], chain[-1]
+        tail.task = FusedPipelineTask([n.task for n in chain])
+        tail.inputs = list(head.inputs)
+        tail.input_names = list(head.input_names)
+        for dropped in chain[:-1]:
+            del plan.nodes[dropped.id]
+            consumed.add(dropped.id)
+        consumed.add(tail.id)
+        report.maps_fused += len(chain)
+        report.notes.append(
+            f"fused {len(chain)} partition-local nodes into "
+            f"{tail.label()}"
+        )
+
+
+def _fusable(node: PlanNode) -> bool:
+    return (
+        node.kind == "task"
+        and node.task is not None
+        and len(node.inputs) == 1
+        and node.task.partition_local()
     )
 
 

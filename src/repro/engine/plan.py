@@ -11,12 +11,89 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import json
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.compiler.dag import FlowDag
+from repro.data import Schema, Table
 from repro.errors import CompilationError
-from repro.tasks.base import Task
+from repro.tasks.base import Task, TaskContext
+
+
+class FusedPipelineTask(Task):
+    """A run of adjacent partition-local tasks, executed as one stage.
+
+    The optimizer's map-chain fusion collapses ``a | b | c`` (all
+    partition-local, no fan-out, no materialized intermediates) into a
+    single plan node carrying this task.  Each partition then flows
+    through the whole chain in one scheduled unit — one partition pass,
+    one attempt span, one round of retry bookkeeping — instead of
+    paying per-node partitioning, scheduling and gather overhead, and
+    no intermediate data object is ever materialized or shuffled.
+
+    Telemetry stays attributed: every sub-task's ``apply`` still bumps
+    its own ``task.<name>.rows`` counter, and the node's label names
+    the full chain (``fused:a+b+c``) so ``run --profile`` rows remain
+    self-describing.
+    """
+
+    type_name = "fused"
+    arity = (1, 1)
+
+    def __init__(self, sub_tasks: Sequence[Task]):
+        subs = list(sub_tasks)
+        if len(subs) < 2:
+            raise CompilationError(
+                "a fused pipeline needs at least two sub-tasks"
+            )
+        self._subs = subs
+        super().__init__("+".join(t.name for t in subs), {})
+
+    @property
+    def sub_tasks(self) -> list[Task]:
+        return list(self._subs)
+
+    def output_schema(self, input_schemas: Sequence[Schema]) -> Schema:
+        schema = input_schemas[0]
+        for sub in self._subs:
+            schema = sub.output_schema([schema])
+        return schema
+
+    def required_columns(self) -> set[str]:
+        needed: set[str] = set()
+        produced: set[str] = set()
+        for sub in self._subs:
+            needed |= set(sub.required_columns()) - produced
+            output = str(sub.config.get("output", "") or "")
+            if output:
+                produced.add(output)
+        return needed
+
+    def preserves_rows(self) -> bool:
+        return all(sub.preserves_rows() for sub in self._subs)
+
+    def partition_local(self) -> bool:
+        return all(sub.partition_local() for sub in self._subs)
+
+    def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
+        table = self._single(inputs)
+        for sub in self._subs:
+            table = sub.apply([table], context)
+        return table
+
+    def fingerprint(self) -> str:
+        # Sub-task configs (not just names) must distinguish two fused
+        # chains, same as for any single task.
+        return json.dumps(
+            {
+                "type": self.type_name,
+                "subs": [
+                    json.loads(sub.fingerprint()) for sub in self._subs
+                ],
+            },
+            sort_keys=True,
+        )
 
 
 @dataclass

@@ -1,0 +1,111 @@
+"""Deterministic parallel scheduling primitives for the batch engine.
+
+The distributed executor splits every stage into per-partition *units*
+of pure compute.  :class:`WorkerPool` runs those units on a bounded
+thread pool and hands their outcomes back **in submission order**, so
+the engine can merge partition results, telemetry and spans exactly as
+the sequential engine would — parallelism changes wall time, never
+output.
+
+Two design rules keep that guarantee cheap:
+
+- units must be pure (no tracer, no fault injector, no clock): all
+  shared-state decisions are resolved by the coordinator *before*
+  dispatch, in canonical partition order;
+- worker exceptions are captured, not raised, so the coordinator can
+  re-raise them at the same point in the merge order where sequential
+  execution would have failed.
+
+:func:`stage_waves` is the plan-level view of the same idea: it groups
+plan nodes into "waves" of mutually independent stages (all inputs in
+earlier waves).  The engine keeps stage execution sequential — stage
+spans must wrap real work for ``run --profile`` to stay truthful — so
+waves are used for analysis and scheduling diagnostics, while the
+intra-stage pool provides the concurrency.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.plan import LogicalPlan
+
+
+class UnitOutcome:
+    """Result of one unit: a value or the exception it raised."""
+
+    __slots__ = ("value", "error")
+
+    def __init__(
+        self, value: Any = None, error: BaseException | None = None
+    ):
+        self.value = value
+        self.error = error
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def __repr__(self) -> str:
+        if self.failed:
+            return f"UnitOutcome(error={self.error!r})"
+        return f"UnitOutcome(value={self.value!r})"
+
+
+class WorkerPool:
+    """A bounded pool that preserves submission order of outcomes.
+
+    ``workers == 1`` runs units lazily on the caller's thread — one
+    unit per ``next()`` — which is byte-identical to the historical
+    sequential loop (a failure at unit *i* means unit *i+1* never
+    starts).  With more workers, all units are submitted up front and
+    outcomes are still yielded in submission order.
+    """
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+
+    def map_ordered(
+        self, thunks: Sequence[Callable[[], Any]]
+    ) -> Iterator[UnitOutcome]:
+        thunks = list(thunks)
+        if self.workers == 1 or len(thunks) <= 1:
+            for thunk in thunks:
+                yield self._call(thunk)
+            return
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(thunks))
+        ) as pool:
+            futures = [pool.submit(self._call, thunk) for thunk in thunks]
+            for future in futures:
+                yield future.result()
+
+    @staticmethod
+    def _call(thunk: Callable[[], Any]) -> UnitOutcome:
+        try:
+            return UnitOutcome(value=thunk())
+        except BaseException as exc:  # captured; re-raised by the merger
+            return UnitOutcome(error=exc)
+
+
+def stage_waves(plan: LogicalPlan) -> list[list[str]]:
+    """Group plan nodes into waves of mutually independent stages.
+
+    Wave *k* holds every node whose longest input chain has length *k*;
+    all of a node's inputs live in strictly earlier waves, so the nodes
+    of one wave could execute concurrently.  Node order within a wave
+    follows :meth:`LogicalPlan.topological_order`, keeping the result
+    deterministic for a given plan.
+    """
+    level: dict[str, int] = {}
+    waves: list[list[str]] = []
+    for node in plan.topological_order():
+        depth = 1 + max(
+            (level[input_id] for input_id in node.inputs), default=-1
+        )
+        level[node.id] = depth
+        while len(waves) <= depth:
+            waves.append([])
+        waves[depth].append(node.id)
+    return waves

@@ -210,11 +210,14 @@ class Platform:
         engine: str | None = None,
         user: str = "",
         fault_profile: str | None = None,
+        parallelism: int = 1,
     ) -> RunReport:
         dashboard = self.get_dashboard(name)
         try:
             report = dashboard.run_flows(
-                engine=engine, fault_profile=fault_profile
+                engine=engine,
+                fault_profile=fault_profile,
+                parallelism=parallelism,
             )
         except ShareInsightsError as exc:
             self._log(

@@ -10,6 +10,7 @@ drop-in backed by :mod:`time`.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -33,18 +34,25 @@ class SimulatedClock(Clock):
     def __init__(self, start: float = 0.0):
         self._now = float(start)
         self.sleeps: list[float] = []
+        # The parallel batch scheduler may read the clock from worker
+        # threads while the coordinator sleeps on it; keep `now` and the
+        # sleep ledger consistent under contention.
+        self._lock = threading.Lock()
 
     def now(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep(self, seconds: float) -> None:
         seconds = max(0.0, float(seconds))
-        self.sleeps.append(seconds)
-        self._now += seconds
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += seconds
 
     def advance(self, seconds: float) -> None:
         """Move time forward without recording a sleep (external wait)."""
-        self._now += max(0.0, float(seconds))
+        with self._lock:
+            self._now += max(0.0, float(seconds))
 
     @property
     def total_slept(self) -> float:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import fnmatch
 import random
+import threading
 from dataclasses import dataclass
 
 from repro.errors import ExecutionError
@@ -90,6 +91,10 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self._fired: dict[int, int] = {}
         self.log: list[FaultRecord] = []
+        # Checks must stay globally ordered even if callers race: the
+        # seeded PRNG draws and per-rule budgets are consumed in call
+        # order, and that order is what makes a fault plan reproducible.
+        self._lock = threading.Lock()
 
     def add_rule(self, rule: FaultRule) -> "FaultInjector":
         self.rules.append(rule)
@@ -99,26 +104,30 @@ class FaultInjector:
         self, *, stage_kind: str, task: str, partition: int, attempt: int
     ) -> str | None:
         """The fault kind to inject for this attempt, or ``None``."""
-        for index, rule in enumerate(self.rules):
-            if not rule.matches(stage_kind, task, partition, attempt):
-                continue
-            if rule.times is not None:
-                if self._fired.get(index, 0) >= rule.times:
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if not rule.matches(stage_kind, task, partition, attempt):
                     continue
-            if rule.rate < 1.0 and self._rng.random() >= rule.rate:
-                continue
-            self._fired[index] = self._fired.get(index, 0) + 1
-            self.log.append(
-                FaultRecord(rule.kind, stage_kind, task, partition, attempt)
-            )
-            return rule.kind
-        return None
+                if rule.times is not None:
+                    if self._fired.get(index, 0) >= rule.times:
+                        continue
+                if rule.rate < 1.0 and self._rng.random() >= rule.rate:
+                    continue
+                self._fired[index] = self._fired.get(index, 0) + 1
+                self.log.append(
+                    FaultRecord(
+                        rule.kind, stage_kind, task, partition, attempt
+                    )
+                )
+                return rule.kind
+            return None
 
     def reset(self) -> None:
         """Forget firing counts and log; rewind the PRNG to the seed."""
-        self._rng = random.Random(self.seed)
-        self._fired.clear()
-        self.log.clear()
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._fired.clear()
+            self.log.clear()
 
     @property
     def faults_injected(self) -> int:

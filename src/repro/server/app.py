@@ -141,10 +141,22 @@ class ShareInsightsApp:
             return _json({"saved": name})
         if action == "run" and method == "POST":
             self.query_cache.invalidate(scope_prefix=(name,))
+            raw_parallelism = query.get("parallelism", "1")
+            try:
+                parallelism = int(raw_parallelism)
+                if parallelism < 1:
+                    raise ValueError
+            except ValueError:
+                return _error(
+                    400,
+                    f"parallelism must be a positive integer, "
+                    f"got {raw_parallelism!r}",
+                )
             report = self.platform.run_dashboard(
                 name,
                 engine=query.get("engine"),
                 fault_profile=query.get("fault_profile"),
+                parallelism=parallelism,
             )
             payload = {
                 "dashboard": name,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -70,9 +71,26 @@ class TaskContext:
         self.widget_selections = dict(widget_selections or {})
         #: execution counters, populated by tasks (rows in/out etc.)
         self.counters: dict[str, int] = {}
+        # Partition attempts may run on worker threads; counter updates
+        # and cache creation must not lose increments under contention.
+        self._lock = threading.Lock()
+        self._value_caches: dict[str, dict[Any, Any]] = {}
 
     def bump(self, counter: str, amount: int = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + amount
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def value_cache(self, key: str) -> dict[Any, Any]:
+        """A per-run memo dict scoped to ``key`` (usually a task
+        fingerprint).
+
+        Deterministic per-value operators use it to skip recomputing the
+        same transformation — across partitions and across flows that
+        apply the same task to the same feed.  The context dies with the
+        run, so there is nothing to invalidate.
+        """
+        with self._lock:
+            return self._value_caches.setdefault(key, {})
 
     def dictionary(self, name: str) -> dict[str, str]:
         """Resolve a dictionary by name, loading from data_dir if needed.

@@ -105,11 +105,33 @@ def operator_names() -> list[str]:
 # -- built-in operator factories --------------------------------------------
 
 
+#: the feed-timestamp shape of the paper's workloads
+#: ('E MMM dd HH:mm:ss Z yyyy', e.g. ``Sat May 04 22:06:23 +0000 2013``)
+_FAST_DATE_IN = "%a %b %d %H:%M:%S %z %Y"
+_FAST_DATE_RE = re.compile(
+    r"^(?:Mon|Tue|Wed|Thu|Fri|Sat|Sun) "
+    r"(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec) "
+    r"(\d{1,2}) (?:[01]\d|2[0-3]):[0-5]\d:(?:[0-5]\d|6[01]) "
+    r"[+-]\d{4} (\d{4})$",
+    re.IGNORECASE,
+)
+_MONTH_NUMBERS = {
+    abbr: index + 1
+    for index, abbr in enumerate(
+        "jan feb mar apr may jun jul aug sep oct nov dec".split()
+    )
+}
+
+
 def _date_factory(config: Mapping[str, Any]) -> Callable[[Any, Any], Any]:
     input_format = config.get("input_format")
     output_format = config.get("output_format", "yyyy-MM-dd")
     in_pattern = java_to_strptime(str(input_format)) if input_format else None
     out_pattern = java_to_strptime(str(output_format))
+    # strptime dominates batch map time on feed data; the one pattern the
+    # paper's flows use gets a regex kernel (validated against the real
+    # calendar, so dirty rows still normalise exactly like strptime).
+    fast = in_pattern == _FAST_DATE_IN and out_pattern == "%Y-%m-%d"
 
     def convert(value: Any, _row: Mapping[str, Any]) -> Any:
         if value is None:
@@ -117,6 +139,17 @@ def _date_factory(config: Mapping[str, Any]) -> Callable[[Any, Any], Any]:
         if isinstance(value, (_dt.date, _dt.datetime)):
             return value.strftime(out_pattern)
         text = str(value).strip()
+        if fast:
+            match = _FAST_DATE_RE.match(text)
+            if match:
+                month = _MONTH_NUMBERS[match.group(1).lower()]
+                day = int(match.group(2))
+                year = int(match.group(3))
+                try:
+                    _dt.date(year, month, day)
+                except ValueError:
+                    return None
+                return f"{year:04d}-{month:02d}-{day:02d}"
         parsed: _dt.datetime | None = None
         if in_pattern:
             try:
@@ -272,18 +305,42 @@ def _expression_factory(
     return compute
 
 
+_COPY_FACTORY = lambda config: (lambda v, row: v)  # noqa: E731
+_LOWER_FACTORY = lambda config: (  # noqa: E731
+    lambda v, row: v.lower() if isinstance(v, str) else v
+)
+_UPPER_FACTORY = lambda config: (  # noqa: E731
+    lambda v, row: v.upper() if isinstance(v, str) else v
+)
+
 register_operator("date", _date_factory)
 register_operator("extract", _extract_factory)
 register_operator("extract_location", _extract_location_factory)
 register_operator("extract_words", _extract_words_factory)
 register_operator("expression", _expression_factory)
-register_operator("copy", lambda config: (lambda v, row: v))
-register_operator(
-    "lower", lambda config: (lambda v, row: v.lower() if isinstance(v, str) else v)
-)
-register_operator(
-    "upper", lambda config: (lambda v, row: v.upper() if isinstance(v, str) else v)
-)
+register_operator("copy", _COPY_FACTORY)
+register_operator("lower", _LOWER_FACTORY)
+register_operator("upper", _UPPER_FACTORY)
+
+#: built-in operators that are pure functions of the transform value —
+#: eligible for the columnar fast path (no row dicts) and the per-run
+#: value cache.  Keyed by factory identity so a user who re-registers
+#: one of these names with a row-reading operator silently falls back
+#: to the generic row-at-a-time path.
+_VALUE_ONLY_FACTORIES: dict[str, Callable[..., Any]] = {
+    "date": _date_factory,
+    "extract": _extract_factory,
+    "extract_location": _extract_location_factory,
+    "extract_words": _extract_words_factory,
+    "copy": _COPY_FACTORY,
+    "lower": _LOWER_FACTORY,
+    "upper": _UPPER_FACTORY,
+}
+
+#: stop inserting (but keep reading) past this many distinct values
+_VALUE_CACHE_LIMIT = 200_000
+
+_EMPTY_ROW: Mapping[str, Any] = {}
 
 
 def _build_operator(
@@ -352,6 +409,21 @@ class MapTask(Task):
             schema.require([self.transform_column], context=self.name)
         return schema.with_column(Column(self.output_column))
 
+    def _is_value_only(self) -> bool:
+        """True when the operator is a pure function of the transform value.
+
+        Guarded by factory *identity*: re-registering one of the builtin
+        names with a custom operator (which may read other row columns)
+        must drop the task back onto the generic row-at-a-time path.
+        """
+        name = str(self.config["operator"]).lower()
+        builtin = _VALUE_ONLY_FACTORIES.get(name)
+        return (
+            builtin is not None
+            and _OPERATOR_FACTORIES.get(name) is builtin
+            and self.transform_column is not None
+        )
+
     def apply(self, inputs: Sequence[Table], context: TaskContext) -> Table:
         table = self._single(inputs)
         operator = _build_operator(
@@ -360,15 +432,68 @@ class MapTask(Task):
         transform = self.transform_column
         if transform:
             table.schema.require([transform], context=self.name)
-        values = []
-        for row in table.rows():
-            source_value = row.get(transform) if transform else None
+        if transform and self._is_value_only():
+            values = self._apply_columnar(table, transform, operator, context)
+        else:
+            values = []
+            for row in table.rows():
+                source_value = row.get(transform) if transform else None
+                try:
+                    values.append(operator(source_value, row))
+                except Exception as exc:  # wrap user-operator failures
+                    raise TaskExecutionError(
+                        f"map task {self.name!r} failed on value "
+                        f"{source_value!r}: {exc}"
+                    ) from exc
+        context.bump(f"task.{self.name}.rows", table.num_rows)
+        return table.with_column(self.output_column, values)
+
+    def _apply_columnar(
+        self,
+        table: Table,
+        transform: str,
+        operator: Callable[[Any, Mapping[str, Any]], Any],
+        context: TaskContext,
+    ) -> list[Any]:
+        """Value-only fast path: one pass over the transform column.
+
+        No row dicts are built, and results are memoized per distinct
+        input value in a context-scoped cache keyed by the task
+        fingerprint — the same tweet body or timestamp appearing in four
+        flows (or thousands of rows) is transformed once per run.  The
+        memo key carries the value's class so equal-but-distinct keys
+        (``1``/``True``/``1.0``) never alias; unhashable values bypass
+        the cache, and failures are raised (never cached) with the same
+        wrapping as the row path.
+        """
+        cache = context.value_cache(self.fingerprint())
+        values: list[Any] = []
+        append = values.append
+        sentinel = _EMPTY_ROW
+        for source_value in table.column(transform):
             try:
-                values.append(operator(source_value, row))
-            except Exception as exc:  # wrap user-operator failures
+                key = (source_value.__class__, source_value)
+                cached = cache.get(key, sentinel)
+            except TypeError:  # unhashable value: compute directly
+                try:
+                    append(operator(source_value, sentinel))
+                except Exception as exc:
+                    raise TaskExecutionError(
+                        f"map task {self.name!r} failed on value "
+                        f"{source_value!r}: {exc}"
+                    ) from exc
+                continue
+            if cached is not sentinel:
+                append(cached)
+                continue
+            try:
+                result = operator(source_value, sentinel)
+            except Exception as exc:
                 raise TaskExecutionError(
                     f"map task {self.name!r} failed on value "
                     f"{source_value!r}: {exc}"
                 ) from exc
-        context.bump(f"task.{self.name}.rows", table.num_rows)
-        return table.with_column(self.output_column, values)
+            if len(cache) < _VALUE_CACHE_LIMIT:
+                cache[key] = result
+            append(result)
+        return values

@@ -152,10 +152,9 @@ class UnionTask(Task):
             raise TaskConfigError(
                 f"union task {self.name!r} needs at least one input"
             )
-        result = inputs[0]
-        for table in inputs[1:]:
-            result = result.concat(table)
-        return result
+        if len(inputs) == 1:
+            return inputs[0]
+        return Table.concat_all(inputs)
 
 
 class DistinctTask(Task):

@@ -1,0 +1,180 @@
+"""Integration: parallel scheduling is invisible in every output.
+
+The distributed engine's worker pool must change wall time only.
+These tests run the IPL workload at ``parallelism=1`` and ``4`` —
+with and without every named fault-injection profile — and require
+byte-identical results: materialized tables (including row order),
+stage statistics, shuffle telemetry, simulated-clock sleeps, the
+injector's fault log, and the span tree.  A second group pins the
+cross-engine contract: distributed output matches the local engine
+(up to row order) on both bundled workloads at every parallelism.
+"""
+
+import pytest
+
+from repro import Platform
+from repro.dsl import parse_flow_file
+from repro.engine import DistributedExecutor, LocalExecutor
+from repro.formats import JsonFormat
+from repro.observability import Tracer
+from repro.resilience import FaultInjector, RetryPolicy, SimulatedClock
+from repro.workloads import APACHE_FLOW, IPL_PROCESSING_FLOW, apache, ipl
+
+pytestmark = pytest.mark.resilience
+
+PROFILES = [None, "transient", "lost", "straggler", "flaky", "chaos:7"]
+
+
+def _ipl_dashboard():
+    platform = Platform()
+    schema = parse_flow_file(IPL_PROCESSING_FLOW).data["ipltweets"].schema
+    tweets = JsonFormat().decode(ipl.tweets_json(count=200, seed=7), schema)
+    return platform.create_dashboard(
+        "ipl_processing",
+        IPL_PROCESSING_FLOW,
+        inline_tables={
+            "ipltweets": tweets,
+            "dim_teams": ipl.dim_teams_table(),
+            "team_players": ipl.team_players_table(),
+            "lat_long": ipl.lat_long_table(),
+        },
+        dictionaries=ipl.dictionaries(),
+    )
+
+
+def _apache_dashboard():
+    platform = Platform()
+    return platform.create_dashboard(
+        "apache", APACHE_FLOW, inline_tables=apache.all_tables()
+    )
+
+
+def _run(dashboard, profile, parallelism):
+    """One distributed run with fully observable shared state."""
+    clock = SimulatedClock()
+    tracer = Tracer(clock=clock)
+    injector = FaultInjector.from_profile(profile)
+    executor = DistributedExecutor(
+        dashboard._resolve_source,
+        num_partitions=4,
+        fault_injector=injector,
+        retry_policy=RetryPolicy(max_attempts=3, jitter=0.0),
+        clock=clock,
+        tracer=tracer,
+        parallelism=parallelism,
+    )
+    result = executor.run(dashboard.compiled.plan, dashboard._task_context())
+    spans = tracer.trace(tracer.last_trace_id or "")
+    return result, clock, injector, spans
+
+
+def _table_fingerprint(result):
+    # _data exposes column lists verbatim: row ORDER matters here.
+    return {
+        name: (table.schema.names, dict(table._data))
+        for name, table in result.tables.items()
+    }
+
+
+def _stage_fingerprint(result):
+    # Everything except wall time, which legitimately varies.
+    return [
+        (
+            s.task, s.kind, s.input_rows, s.output_rows,
+            s.shuffled_records, s.shuffled_bytes, s.attempts,
+            s.retried_partitions, s.speculative_wins,
+            s.recovered_partitions,
+        )
+        for s in result.stages
+    ]
+
+
+def _span_fingerprint(spans):
+    return [
+        (s.name, s.span_id, s.parent_id, sorted(s.attrs.items()))
+        for s in spans
+    ]
+
+
+def _fault_fingerprint(injector):
+    if injector is None:
+        return []
+    return [repr(record) for record in injector.log]
+
+
+class TestParallelismIsInvisible:
+    @pytest.mark.parametrize(
+        "profile", PROFILES, ids=[p or "none" for p in PROFILES]
+    )
+    def test_ipl_identical_at_parallelism_1_and_4(self, profile):
+        dashboard = _ipl_dashboard()
+        base, base_clock, base_inj, base_spans = _run(dashboard, profile, 1)
+        wide, wide_clock, wide_inj, wide_spans = _run(dashboard, profile, 4)
+
+        assert _table_fingerprint(wide) == _table_fingerprint(base)
+        assert _stage_fingerprint(wide) == _stage_fingerprint(base)
+        assert wide.recovered_stages == base.recovered_stages
+        assert wide.rows_produced == base.rows_produced
+        # Resilience side effects are consumed in the same order: the
+        # simulated clock slept the same sleeps and the injector fired
+        # the same faults.
+        assert wide_clock.sleeps == base_clock.sleeps
+        assert _fault_fingerprint(wide_inj) == _fault_fingerprint(base_inj)
+        # Span trees (ids, parents, attributes) are byte-identical.
+        assert _span_fingerprint(wide_spans) == _span_fingerprint(base_spans)
+
+    @pytest.mark.parametrize("profile", ["transient", "flaky", "chaos:7"])
+    def test_faults_actually_fired(self, profile):
+        # Guard against the suite passing vacuously: the profiles used
+        # above must inject real faults into this workload.
+        dashboard = _ipl_dashboard()
+        _result, _clock, injector, _spans = _run(dashboard, profile, 4)
+        assert injector is not None and injector.faults_injected > 0
+
+
+def _sorted_rows(table):
+    return sorted(map(repr, table.to_records()))
+
+
+class TestDistributedMatchesLocal:
+    """Cross-engine agreement, mirroring the fault-tolerance suite's
+    contract: every output matches local up to row order, except where
+    top-N tie-breaking is partitioning-sensitive — and those outputs
+    must still agree between parallelism settings and keep the local
+    cardinality."""
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_ipl_outputs_match_local(self, parallelism):
+        dashboard = _ipl_dashboard()
+        local = LocalExecutor(dashboard._resolve_source).run(
+            dashboard.compiled.plan, dashboard._task_context()
+        )
+        dist, _clock, _inj, _spans = _run(dashboard, None, parallelism)
+        assert set(dist.tables) == set(local.tables)
+        diverging = []
+        for name, table in local.tables.items():
+            if _sorted_rows(dist.tables[name]) != _sorted_rows(table):
+                diverging.append(name)
+                assert (
+                    dist.tables[name].num_rows == table.num_rows
+                ), name
+        # Only the top-N outputs may diverge (tie-breaking depends on
+        # partition boundaries); the catalog-published shared outputs
+        # must agree exactly.
+        for name in ("players_tweets", "player_tweets", "team_tweets",
+                     "team_region_tweets"):
+            assert name not in diverging
+        assert set(diverging) <= {"tagcloud_tweets", "latlong_tweets"}
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_apache_outputs_match_local(self, parallelism):
+        dashboard = _apache_dashboard()
+        local = LocalExecutor(dashboard._resolve_source).run(
+            dashboard.compiled.plan, dashboard._task_context()
+        )
+        dist, _clock, _inj, _spans = _run(dashboard, None, parallelism)
+        assert set(dist.tables) == set(local.tables)
+        for name, table in local.tables.items():
+            assert _sorted_rows(dist.tables[name]) == _sorted_rows(
+                table
+            ), name

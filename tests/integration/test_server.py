@@ -116,6 +116,29 @@ class TestCrud:
         assert json.loads(body) == {"forked": "proj2", "from": "proj"}
 
 
+class TestRunParallelism:
+    def test_run_accepts_parallelism(self, client):
+        created(client)
+        status, body = client(
+            "POST",
+            "/dashboards/proj/run",
+            query="engine=distributed&parallelism=4",
+        )
+        assert status == "200 OK"
+        assert json.loads(body)["rows_produced"] == 2
+
+    def test_run_rejects_bad_parallelism(self, client):
+        created(client)
+        for bad in ("zero", "0", "-2", "1.5"):
+            status, body = client(
+                "POST",
+                "/dashboards/proj/run",
+                query=f"parallelism={bad}",
+            )
+            assert status.startswith("400"), bad
+            assert "parallelism" in json.loads(body)["error"]
+
+
 class TestEndpointData:
     def test_fig27_endpoint_listing(self, client):
         created(client)

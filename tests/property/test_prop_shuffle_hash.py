@@ -1,0 +1,85 @@
+"""Property-based tests: the memoized shuffle hash is a pure speedup.
+
+``_stable_hash`` gained a memo on the columnar shuffle path.  These
+properties pin its contract: every value still hashes to exactly
+``crc32(repr(key))`` (recorded telemetry and partition-targeted fault
+plans depend on it), and the memo never conflates keys that are equal
+as dict keys but repr differently (``1`` / ``True`` / ``1.0``).
+"""
+
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.distributed import _hashable, _stable_hash
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+keys = st.one_of(scalars, st.tuples(scalars, scalars))
+
+
+def crc(key):
+    return zlib.crc32(repr(key).encode("utf-8", "surrogatepass"))
+
+
+@settings(max_examples=200)
+@given(keys)
+def test_hash_is_exactly_crc32_of_repr(key):
+    assert _stable_hash(key) == crc(key)
+    # Second lookup (memoized) must agree with the first.
+    assert _stable_hash(key) == crc(key)
+
+
+@settings(max_examples=100)
+@given(st.lists(scalars, min_size=1, max_size=4))
+def test_hashable_list_keys_hash_like_their_tuples(values):
+    assert _stable_hash(_hashable(values)) == crc(tuple(values))
+
+
+def test_equal_but_distinct_scalars_do_not_collide_in_the_memo():
+    # 1 == True == 1.0 as dict keys; their reprs (and hashes) differ.
+    # Interleave lookups so a naive memo would serve the wrong entry.
+    for _ in range(2):
+        assert _stable_hash(1) == crc(1)
+        assert _stable_hash(True) == crc(True)
+        assert _stable_hash(1.0) == crc(1.0)
+        assert _stable_hash((1,)) == crc((1,))
+        assert _stable_hash((True,)) == crc((True,))
+
+
+def test_signed_zero_floats_do_not_collide_in_the_memo():
+    # -0.0 == 0.0 as dict keys; repr('-0.0') differs, so the memo must
+    # keep separate entries for the two signs.
+    for _ in range(2):
+        assert _stable_hash(0.0) == crc(0.0)
+        assert _stable_hash(-0.0) == crc(-0.0)
+    assert crc(0.0) != crc(-0.0)
+
+
+def test_exotic_equal_values_with_distinct_reprs_stay_distinct():
+    from decimal import Decimal
+
+    one = Decimal("1.0")
+    also_one = Decimal("1.00")
+    assert one == also_one and repr(one) != repr(also_one)
+    for _ in range(2):
+        assert _stable_hash(one) == crc(one)
+        assert _stable_hash(also_one) == crc(also_one)
+
+
+def test_unhashable_keys_fall_back_to_direct_crc():
+    key = ([1, 2], "x")  # tuple holding a list: not memoizable
+    assert _stable_hash(key) == crc(key)
+
+
+def test_dict_keys_go_through_hashable_normalization():
+    value = {"b": 2, "a": 1}
+    normalized = _hashable(value)
+    assert normalized == (("a", 1), ("b", 2))
+    assert _stable_hash(normalized) == crc(normalized)

@@ -171,6 +171,46 @@ class TestLocalExecutor:
         with pytest.raises(ExecutionError, match="no materialized"):
             result.table("nope")
 
+    def test_intermediate_tables_are_dropped_after_last_consumer(self):
+        # The executor reference-counts node outputs: once a node's
+        # last consumer has run, its table is released so peak memory
+        # tracks the live frontier, not the whole run.  Only the
+        # materialized outputs survive the run.
+        import gc
+        import weakref
+
+        from repro.engine.plan import LogicalPlan
+        from repro.tasks.base import Task
+
+        refs = {}
+
+        class Probe(Task):
+            type_name = "probe"
+            arity = (1, 1)
+
+            def output_schema(self, input_schemas):
+                return input_schemas[0]
+
+            def partition_local(self):
+                return True
+
+            def apply(self, inputs, context):
+                out = inputs[0].take(range(inputs[0].num_rows))
+                refs[self.name] = weakref.ref(out)
+                return out
+
+        plan = LogicalPlan()
+        load = plan.add_load("raw")
+        first = plan.add_task(Probe("first", {}), [load.id])
+        plan.add_task(Probe("last", {}), [first.id], materializes="out")
+
+        result = LocalExecutor(make_resolver(raw=RAW)).run(plan)
+        gc.collect()
+        # first's output fed only `last`, which has run: dropped.
+        assert refs["first"]() is None
+        # last's output is the materialized flow output: retained.
+        assert refs["last"]() is result.table("out")
+
 
 class TestDistributedExecutor:
     @pytest.mark.parametrize("partitions", [1, 2, 3, 7])

@@ -46,10 +46,10 @@ class TestFilterPushdown:
     def test_filter_hops_over_independent_map(self):
         plan, _tasks, report = compile_plan(MAP_THEN_FILTER, optimize=True)
         assert report.filters_pushed == 1
+        # After the hop the chain is filter -> map; map-chain fusion then
+        # collapses it, so the pushed order shows up in the fused label.
         order = [n.label() for n in plan.topological_order()]
-        assert order.index("filter_by:keep") < order.index(
-            "add_column:derive"
-        )
+        assert "fused:keep+derive" in order
 
     def test_pushdown_preserves_results(self):
         raw = Table.from_rows(

@@ -1,0 +1,132 @@
+"""Unit tests for the deterministic parallel scheduling primitives."""
+
+import threading
+
+from repro.compiler.dag import build_dag
+from repro.dsl import parse_flow_file
+from repro.engine import build_logical_plan
+from repro.engine.scheduler import UnitOutcome, WorkerPool, stage_waves
+from repro.tasks.registry import default_task_registry
+
+
+class TestWorkerPool:
+    def test_outcomes_preserve_submission_order(self):
+        pool = WorkerPool(workers=4)
+        barrier = threading.Barrier(2)
+
+        def slow_first():
+            barrier.wait(timeout=5)
+            return "first"
+
+        def other():
+            barrier.wait(timeout=5)
+            return "other"
+
+        thunks = [slow_first, other, lambda: "third"]
+        values = [o.value for o in pool.map_ordered(thunks)]
+        assert values == ["first", "other", "third"]
+
+    def test_errors_are_captured_not_raised(self):
+        pool = WorkerPool(workers=2)
+
+        def boom():
+            raise ValueError("unit failed")
+
+        outcomes = list(pool.map_ordered([lambda: 1, boom, lambda: 3]))
+        assert [o.failed for o in outcomes] == [False, True, False]
+        assert outcomes[0].value == 1
+        assert isinstance(outcomes[1].error, ValueError)
+        assert outcomes[2].value == 3
+
+    def test_sequential_pool_is_lazy(self):
+        # At workers=1 a consumer that stops after unit i must leave
+        # unit i+1 un-executed — byte-identical to the historical
+        # sequential loop's failure behaviour.
+        ran = []
+
+        def unit(i):
+            def thunk():
+                ran.append(i)
+                return i
+
+            return thunk
+
+        pool = WorkerPool(workers=1)
+        iterator = pool.map_ordered([unit(0), unit(1), unit(2)])
+        assert next(iterator).value == 0
+        assert ran == [0]
+        assert next(iterator).value == 1
+        assert ran == [0, 1]
+
+    def test_workers_floor_is_one(self):
+        assert WorkerPool(workers=0).workers == 1
+        assert WorkerPool(workers=-3).workers == 1
+        assert WorkerPool(workers=4).workers == 4
+
+    def test_parallel_pool_runs_concurrently(self):
+        # Two units that each wait for the other can only finish when
+        # they genuinely overlap in time.
+        pool = WorkerPool(workers=2)
+        gate = threading.Barrier(2)
+
+        def meet():
+            gate.wait(timeout=5)
+            return "met"
+
+        values = [o.value for o in pool.map_ordered([meet, meet])]
+        assert values == ["met", "met"]
+
+    def test_outcome_repr(self):
+        assert "value=3" in repr(UnitOutcome(value=3))
+        assert "error=" in repr(UnitOutcome(error=RuntimeError("x")))
+
+
+SOURCE = (
+    "D:\n    raw: [k, v]\n"
+    "D.raw:\n    source: raw.csv\n"
+    "F:\n"
+    "    D.left: D.raw | T.keep\n"
+    "    D.right: D.raw | T.double\n"
+    "    D.out: (D.left, D.right) | T.merge\n"
+    "T:\n"
+    "    keep:\n        type: filter_by\n        filter_expression: v > 1\n"
+    "    double:\n        type: add_column\n        expression: v * 2\n"
+    "        output: v2\n"
+    "    merge:\n        type: union\n"
+)
+
+
+class TestStageWaves:
+    def test_waves_group_independent_stages(self):
+        ff = parse_flow_file(SOURCE)
+        registry = default_task_registry()
+        tasks = registry.build_section(
+            {name: spec.config for name, spec in ff.tasks.items()}
+        )
+        plan = build_logical_plan(build_dag(ff), tasks)
+        waves = stage_waves(plan)
+        labels = [
+            [plan.nodes[node_id].label() for node_id in wave]
+            for wave in waves
+        ]
+        assert labels[0] == ["load(raw)"]
+        # The two branches are mutually independent: same wave.
+        assert sorted(labels[1]) == ["add_column:double", "filter_by:keep"]
+        assert labels[2] == ["union:merge"]
+
+    def test_every_input_is_in_an_earlier_wave(self):
+        ff = parse_flow_file(SOURCE)
+        registry = default_task_registry()
+        tasks = registry.build_section(
+            {name: spec.config for name, spec in ff.tasks.items()}
+        )
+        plan = build_logical_plan(build_dag(ff), tasks)
+        wave_of = {
+            node_id: i
+            for i, wave in enumerate(stage_waves(plan))
+            for node_id in wave
+        }
+        assert set(wave_of) == set(plan.nodes)
+        for node in plan.nodes.values():
+            for input_id in node.inputs:
+                assert wave_of[input_id] < wave_of[node.id]

@@ -129,6 +129,49 @@ class TestRelationalOps:
         with pytest.raises(SchemaError):
             make().concat(Table.empty(Schema.of("x")))
 
+    def test_concat_all_many(self):
+        parts = [make(), make([("z", 9)]), make([])]
+        combined = Table.concat_all(parts)
+        assert combined.num_rows == 4
+        assert combined.column("k") == ["a", "b", "a", "z"]
+
+    def test_concat_all_empty_needs_schema(self):
+        with pytest.raises(SchemaError, match="needs a schema"):
+            Table.concat_all([])
+        empty = Table.concat_all([], schema=Schema.of("k", "v"))
+        assert empty.num_rows == 0
+        assert empty.schema.names == ["k", "v"]
+
+    def test_concat_all_is_single_pass(self):
+        # The multi-way union must not fall back to the pairwise
+        # concat fold — each output column is built with one copy.
+        original = Table.concat
+        calls = []
+        try:
+            Table.concat = lambda self, other: calls.append(1)  # type: ignore
+            combined = Table.concat_all([make(), make(), make()])
+        finally:
+            Table.concat = original  # type: ignore
+        assert not calls
+        assert combined.num_rows == 9
+
+    def test_concat_all_result_independent_of_inputs(self):
+        part = make()
+        combined = Table.concat_all([part, make()])
+        part.append_row({"k": "mutant", "v": 99})
+        assert combined.num_rows == 6
+        assert "mutant" not in combined.column("k")
+
+    def test_concat_all_single_table_copies(self):
+        part = make()
+        copied = Table.concat_all([part])
+        part.append_row({"k": "mutant", "v": 99})
+        assert copied.num_rows == 3
+
+    def test_concat_all_schema_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Table.concat_all([make(), Table.empty(Schema.of("x"))])
+
 
 class TestSorting:
     def test_single_key_ascending(self):
