@@ -19,6 +19,8 @@ INTERACTIVE_JSON = RESULTS_DIR / "BENCH_interactive.json"
 
 BATCH_JSON = RESULTS_DIR / "BENCH_batch.json"
 
+INGEST_JSON = RESULTS_DIR / "BENCH_ingest.json"
+
 
 def report(name: str, text: str) -> None:
     """Print a figure's series and persist it under results/."""
@@ -59,6 +61,25 @@ def report_batch(section: str, payload: dict) -> None:
         merged = json.loads(BATCH_JSON.read_text(encoding="utf-8"))
     merged[section] = payload
     BATCH_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{section}: {json.dumps(payload, sort_keys=True)}")
+
+
+def report_ingest(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_ingest.json``.
+
+    Same merge discipline as :func:`report_interactive`: each ingestion
+    benchmark owns one top-level key, so smoke runs update their
+    section without clobbering full-mode results.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if INGEST_JSON.exists():
+        merged = json.loads(INGEST_JSON.read_text(encoding="utf-8"))
+    merged[section] = payload
+    INGEST_JSON.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

@@ -78,8 +78,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help=(
-            "worker pool size for the distributed engine; results and "
-            "telemetry are identical at every setting (default: 1)"
+            "worker pool size for the distributed engine and for "
+            "parallel source loading; results and telemetry are "
+            "identical at every setting (default: 1)"
         ),
     )
     run.add_argument(
@@ -173,7 +174,7 @@ def _cmd_run(args) -> int:
             print(render_hotspot_table(spans), file=sys.stderr)
     if args.endpoint:
         table = platform.get_dashboard(name).endpoint(args.endpoint)
-        json.dump(table.to_records(), sys.stdout, default=str, indent=2)
+        sys.stdout.write(table.to_json_records(default=str, indent=2))
         print()
     return 0
 

@@ -4,12 +4,17 @@
 (paper §4.3.2: "users can upload dashboard data to a 'data' folder. All data
 files in this folder can be referred in the data object configuration using
 relative paths").  The ``base_dir`` config key carries that directory.
+
+Besides whole-payload :meth:`~FileConnector.fetch`, the connector offers
+:meth:`~FileConnector.fetch_chunks` — an iterator of byte chunks the
+loader hands straight to chunk-capable formats so large files decode
+without being held in memory.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.connectors.base import Connector, FetchResult
 from repro.errors import ConnectorError
@@ -30,6 +35,44 @@ class FileConnector(Connector):
             payload=payload,
             metadata={"path": str(path), "size": len(payload)},
         )
+
+    def fetch_chunks(
+        self, config: Mapping[str, Any]
+    ) -> Iterator[bytes]:
+        """Stream the file as byte chunks (``chunk_bytes`` config key).
+
+        The missing-file check runs eagerly so callers get the same
+        :class:`~repro.errors.ConnectorError` as :meth:`fetch` before
+        any chunk is consumed; read errors surface from the iterator.
+        """
+        path = self._resolve(config)
+        if not path.exists():
+            raise ConnectorError(f"data file not found: {path}")
+        try:
+            chunk_bytes = int(config.get("chunk_bytes", 1 << 16))
+        except (TypeError, ValueError) as exc:
+            raise ConnectorError(
+                f"invalid chunk_bytes: {config.get('chunk_bytes')!r}"
+            ) from exc
+        if chunk_bytes <= 0:
+            raise ConnectorError(
+                f"invalid chunk_bytes: {chunk_bytes!r}"
+            )
+
+        def chunks() -> Iterator[bytes]:
+            try:
+                with path.open("rb") as handle:
+                    while True:
+                        chunk = handle.read(chunk_bytes)
+                        if not chunk:
+                            return
+                        yield chunk
+            except OSError as exc:
+                raise ConnectorError(
+                    f"cannot read {path}: {exc}"
+                ) from exc
+
+        return chunks()
 
     def store(self, config: Mapping[str, Any], payload: bytes) -> None:
         path = self._resolve(config)

@@ -5,17 +5,35 @@ object's configuration (protocol, source, format, payload options) and its
 declared schema, produce a table.  Protocol defaults follow the paper's
 examples — a bare ``source: file.csv`` implies the file protocol, a
 ``source: https://...`` URL implies HTTP.
+
+Two ingestion fast paths live here:
+
+* **Streaming decode** — a data object configured with ``stream: true``
+  whose connector exposes ``fetch_chunks`` and whose format sets
+  ``supports_chunks`` decodes from an iterator of byte chunks, never
+  holding the raw payload in memory.
+* **Parallel loading** — :meth:`DataObjectLoader.load_many` fetches and
+  decodes several independent data objects on a
+  :class:`~repro.engine.scheduler.WorkerPool`.  Workers run pure
+  fetch+decode; the coordinator resolves protocols and formats in spec
+  order up front and replays spans, metrics and the first failure in
+  that same canonical order, so results *and telemetry* are identical
+  at every parallelism (span durations for the replayed
+  ``connector.fetch``/``format.decode`` spans are nominal — the
+  worker-measured wall times feed the duration histograms instead).
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from time import perf_counter
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.connectors.registry import (
     ConnectorRegistry,
     default_connector_registry,
 )
 from repro.data import Schema, Table
+from repro.engine.scheduler import UnitOutcome, WorkerPool
 from repro.errors import ConnectorError
 from repro.formats.registry import FormatRegistry, default_format_registry
 from repro.observability import Observability
@@ -23,6 +41,7 @@ from repro.observability.instruments import (
     CONNECTOR_BYTES,
     CONNECTOR_FETCH_DURATION,
     CONNECTOR_FETCHES,
+    record_ingest,
 )
 
 
@@ -31,7 +50,9 @@ class DataObjectLoader:
 
     Every fetch runs inside a ``connector.fetch`` span and records
     per-protocol fetch counts, latency histograms and payload bytes
-    into the observability registry.
+    into the observability registry; every decode runs inside a
+    ``format.decode`` span and records per-format row counts and
+    decode latency.
     """
 
     def __init__(
@@ -48,6 +69,11 @@ class DataObjectLoader:
         """Fetch + decode a data object into a table."""
         protocol = infer_protocol(config)
         connector = self.connectors.get(protocol)
+        stream = self._stream_plan(connector, config)
+        if stream is not None:
+            return self._load_streaming(
+                schema, config, protocol, connector, *stream
+            )
         obs = self.observability
         with obs.tracer.span(
             "connector.fetch",
@@ -59,24 +85,56 @@ class DataObjectLoader:
                 len(result.payload) if result.payload is not None else 0
             )
             span.set(bytes=payload_bytes)
-        obs.metrics.counter(
-            CONNECTOR_FETCHES, "Data-object fetches by protocol"
-        ).inc(protocol=protocol)
-        obs.metrics.histogram(
-            CONNECTOR_FETCH_DURATION, "Connector fetch wall time"
-        ).observe(span.duration, protocol=protocol)
-        if payload_bytes:
-            obs.metrics.counter(
-                CONNECTOR_BYTES, "Raw payload bytes fetched by protocol"
-            ).inc(payload_bytes, protocol=protocol)
+        self._record_fetch(protocol, span.duration, payload_bytes)
         if result.table is not None:
             return _align(result.table, schema)
         format_name = infer_format(config)
         fmt = self.formats.get(format_name)
-        with obs.tracer.span("format.decode", format=format_name):
-            return fmt.decode(
+        with obs.tracer.span(
+            "format.decode", format=format_name
+        ) as decode_span:
+            table = fmt.decode(
                 result.payload or b"", schema, options=config
             )
+            decode_span.set(rows=table.num_rows)
+        record_ingest(
+            obs.metrics, format_name, table.num_rows, decode_span.duration
+        )
+        return table
+
+    def load_many(
+        self,
+        specs: Sequence[tuple[Schema, Mapping[str, Any]]],
+        parallelism: int = 1,
+    ) -> list[Table]:
+        """Load several data objects, optionally concurrently.
+
+        ``specs`` is a sequence of ``(schema, config)`` pairs; tables
+        come back in spec order.  Protocols, connectors and stream plans
+        resolve in spec order before any worker starts; workers run pure
+        fetch+decode with no tracer or metrics access; the coordinator
+        then replays each spec's spans and metrics — and re-raises the
+        first failure inside the span it escaped from — in canonical
+        spec order.  Tables, span trees and metric counters are
+        therefore identical at every ``parallelism``.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        plans = [
+            self._plan_spec(schema, config) for schema, config in specs
+        ]
+        states = [_fresh_state() for _ in specs]
+        pool = WorkerPool(parallelism)
+        thunks = [
+            (lambda p=plan, s=state: self._load_unit(p, s))
+            for plan, state in zip(plans, states)
+        ]
+        tables: list[Table] = []
+        for index, outcome in enumerate(pool.map_ordered(thunks)):
+            table = self._replay_unit(plans[index], states[index], outcome)
+            tables.append(table)
+        return tables
 
     def save(self, table: Table, config: Mapping[str, Any]) -> None:
         """Encode + store a sink table."""
@@ -89,6 +147,220 @@ class DataObjectLoader:
             return
         fmt = self.formats.get(infer_format(config))
         connector.store(config, fmt.encode(table, options=config))
+
+    # -- streaming fast path ---------------------------------------------
+
+    def _stream_plan(
+        self, connector: Any, config: Mapping[str, Any]
+    ) -> tuple[str, Any] | None:
+        """``(format_name, fmt)`` when this data object stream-decodes.
+
+        Streaming is opt-in (``stream: true``) and requires a chunked
+        connector and a chunk-capable format; anything else — including
+        an unknown format name, whose error belongs on the whole-payload
+        path — falls back to whole-payload loading.
+        """
+        if not _as_bool(config.get("stream", False)):
+            return None
+        if getattr(connector, "fetch_chunks", None) is None:
+            return None
+        format_name = infer_format(config)
+        try:
+            fmt = self.formats.get(format_name)
+        except Exception:
+            return None
+        if not fmt.supports_chunks:
+            return None
+        return format_name, fmt
+
+    def _load_streaming(
+        self,
+        schema: Schema,
+        config: Mapping[str, Any],
+        protocol: str,
+        connector: Any,
+        format_name: str,
+        fmt: Any,
+    ) -> Table:
+        obs = self.observability
+        with obs.tracer.span(
+            "connector.fetch",
+            protocol=protocol,
+            source=str(config.get("source", "")),
+        ) as fetch_span:
+            chunks = connector.fetch_chunks(config)
+        self._record_fetch(protocol, fetch_span.duration, 0)
+        counted = _CountingChunks(chunks)
+        with obs.tracer.span(
+            "format.decode", format=format_name
+        ) as decode_span:
+            table = fmt.decode(counted, schema, options=config)
+            decode_span.set(rows=table.num_rows)
+        # Byte count is only known once the decoder drained the stream;
+        # span attributes are read at trace() time, so setting it after
+        # the span closed is equivalent.
+        fetch_span.set(bytes=counted.total)
+        self._record_bytes(protocol, counted.total)
+        record_ingest(
+            obs.metrics, format_name, table.num_rows, decode_span.duration
+        )
+        return table
+
+    # -- parallel loading ------------------------------------------------
+
+    def _plan_spec(
+        self, schema: Schema, config: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Coordinator-side resolution, in canonical spec order."""
+        protocol = infer_protocol(config)
+        connector = self.connectors.get(protocol)
+        return {
+            "schema": schema,
+            "config": config,
+            "protocol": protocol,
+            "connector": connector,
+            "source": str(config.get("source", "")),
+            "stream": self._stream_plan(connector, config),
+        }
+
+    def _load_unit(
+        self, plan: Mapping[str, Any], state: dict[str, Any]
+    ) -> Table:
+        """Pure fetch+decode for one spec (worker-side; no telemetry)."""
+        schema = plan["schema"]
+        config = plan["config"]
+        connector = plan["connector"]
+        if plan["stream"] is not None:
+            format_name, fmt = plan["stream"]
+            state["format"] = format_name
+            start = perf_counter()
+            chunks = connector.fetch_chunks(config)
+            state["fetch_seconds"] = perf_counter() - start
+            counted = _CountingChunks(chunks)
+            state["phase"] = "decode"
+            start = perf_counter()
+            table = fmt.decode(counted, schema, options=config)
+            state["decode_seconds"] = perf_counter() - start
+            state["bytes"] = counted.total
+            state["rows"] = table.num_rows
+            return table
+        start = perf_counter()
+        result = connector.fetch(config)
+        state["fetch_seconds"] = perf_counter() - start
+        state["bytes"] = (
+            len(result.payload) if result.payload is not None else 0
+        )
+        if result.table is not None:
+            state["phase"] = "align"
+            return _align(result.table, schema)
+        state["phase"] = "resolve"
+        format_name = infer_format(config)
+        state["format"] = format_name
+        fmt = self.formats.get(format_name)
+        state["phase"] = "decode"
+        start = perf_counter()
+        table = fmt.decode(result.payload or b"", schema, options=config)
+        state["decode_seconds"] = perf_counter() - start
+        state["rows"] = table.num_rows
+        return table
+
+    def _replay_unit(
+        self,
+        plan: Mapping[str, Any],
+        state: Mapping[str, Any],
+        outcome: UnitOutcome,
+    ) -> Table:
+        """Emit one spec's telemetry exactly as :meth:`load` would.
+
+        A captured worker failure re-raises inside the span it escaped
+        from (fetch/decode) or between spans (resolve/align), so traces
+        carry the same ``error`` attributes as sequential loading.
+        """
+        obs = self.observability
+        protocol = plan["protocol"]
+        streaming = plan["stream"] is not None
+        failed_phase = state["phase"] if outcome.failed else None
+        with obs.tracer.span(
+            "connector.fetch", protocol=protocol, source=plan["source"]
+        ) as fetch_span:
+            if failed_phase == "fetch":
+                raise outcome.error
+            if not streaming:
+                fetch_span.set(bytes=state["bytes"])
+        self._record_fetch(
+            protocol,
+            state["fetch_seconds"],
+            0 if streaming else state["bytes"],
+        )
+        if failed_phase in ("resolve", "align"):
+            raise outcome.error
+        if state["phase"] == "align":
+            return outcome.value
+        with obs.tracer.span(
+            "format.decode", format=state["format"]
+        ) as decode_span:
+            if failed_phase == "decode":
+                raise outcome.error
+            decode_span.set(rows=state["rows"])
+        if streaming:
+            fetch_span.set(bytes=state["bytes"])
+            self._record_bytes(protocol, state["bytes"])
+        record_ingest(
+            obs.metrics,
+            state["format"],
+            state["rows"],
+            state["decode_seconds"],
+        )
+        return outcome.value
+
+    # -- shared metric shapes --------------------------------------------
+
+    def _record_fetch(
+        self, protocol: str, seconds: float, payload_bytes: int
+    ) -> None:
+        metrics = self.observability.metrics
+        metrics.counter(
+            CONNECTOR_FETCHES, "Data-object fetches by protocol"
+        ).inc(protocol=protocol)
+        metrics.histogram(
+            CONNECTOR_FETCH_DURATION, "Connector fetch wall time"
+        ).observe(seconds, protocol=protocol)
+        if payload_bytes:
+            self._record_bytes(protocol, payload_bytes)
+
+    def _record_bytes(self, protocol: str, payload_bytes: int) -> None:
+        if not payload_bytes:
+            return
+        self.observability.metrics.counter(
+            CONNECTOR_BYTES, "Raw payload bytes fetched by protocol"
+        ).inc(payload_bytes, protocol=protocol)
+
+
+def _fresh_state() -> dict[str, Any]:
+    """Per-spec slots a worker fills for the coordinator's replay."""
+    return {
+        "phase": "fetch",
+        "bytes": 0,
+        "rows": 0,
+        "fetch_seconds": 0.0,
+        "decode_seconds": 0.0,
+        "format": None,
+    }
+
+
+class _CountingChunks:
+    """Chunk-iterator wrapper counting bytes as the decoder pulls them."""
+
+    __slots__ = ("_chunks", "total")
+
+    def __init__(self, chunks: Iterator[bytes]):
+        self._chunks = chunks
+        self.total = 0
+
+    def __iter__(self) -> Iterator[bytes]:
+        for chunk in self._chunks:
+            self.total += len(chunk)
+            yield chunk
 
 
 def infer_protocol(config: Mapping[str, Any]) -> str:
@@ -138,16 +410,27 @@ def _align(table: Table, schema: Schema) -> Table:
     """Project/rename a structured result onto the declared schema.
 
     JDBC results come back with database column names; the declared schema
-    may rename them via ``=>`` mappings or select a subset.
+    may rename them via ``=>`` mappings or select a subset.  Runs column
+    at a time: present source columns are adopted as copies, absent ones
+    become null columns.
     """
     if table.schema.names == schema.names:
         return table
-    records = []
-    for row in table.rows():
-        records.append(
-            {
-                column.name: row.get(column.source_path or column.name)
-                for column in schema
-            }
-        )
-    return Table.from_rows(schema, records)
+    available = set(table.schema.names)
+    length = table.num_rows
+    columns: dict[str, list[Any]] = {}
+    for column in schema:
+        key = column.source_path or column.name
+        if key in available:
+            columns[column.name] = list(table.column(key))
+        else:
+            columns[column.name] = [None] * length
+    return Table.from_columns(
+        schema, columns, length if schema.names else 0
+    )
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.strip().lower() in ("true", "yes", "1")
+    return bool(value)

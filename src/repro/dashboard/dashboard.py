@@ -99,6 +99,8 @@ class Dashboard:
         #: programmatically supplied tables, taking priority over loads
         self._inline_tables = dict(inline_tables or {})
         self._materialized: dict[str, Table] = {}
+        #: per-run snapshot of concurrently prefetched source tables
+        self._prefetched: dict[str, Table] = {}
         self._widgets: dict[str, Widget] = {}
         self._cubes: dict[str, DataCube] = {}
         self.last_run: RunReport | None = None
@@ -134,9 +136,10 @@ class Dashboard:
         the distributed engine, which absorbs the injected faults and
         reports the recovery cost in the run report.
 
-        ``parallelism`` sizes the distributed engine's worker pool.
-        Results, telemetry and traces are identical at every setting;
-        only wall time changes (local engine ignores it).
+        ``parallelism`` sizes the distributed engine's worker pool and
+        the source-prefetch pool (independent data objects load
+        concurrently before the engine starts).  Results, telemetry and
+        traces are identical at every setting; only wall time changes.
         """
         context = self._task_context()
         plan = self.compiled.plan
@@ -159,56 +162,62 @@ class Dashboard:
         with obs.tracer.span(
             "dashboard.run", dashboard=self.name, engine=engine
         ) as root:
-            if engine == "local":
-                result = LocalExecutor(
-                    self._resolve_source,
-                    tracer=obs.tracer,
-                    metrics=obs.metrics,
-                ).run(plan, context)
-                report = RunReport(
-                    engine=engine,
-                    seconds=result.stats.seconds,
-                    rows_loaded=result.stats.rows_loaded,
-                    rows_produced=result.stats.rows_produced,
-                )
-                self._materialized.update(result.tables)
-                self._last_node_stats = list(result.stats.node_stats)
-                self._last_stages = []
-            elif engine == "distributed":
-                from repro.resilience import FaultInjector
+            try:
+                self._prefetch_sources(plan, parallelism)
+                if engine == "local":
+                    result = LocalExecutor(
+                        self._resolve_source,
+                        tracer=obs.tracer,
+                        metrics=obs.metrics,
+                    ).run(plan, context)
+                    report = RunReport(
+                        engine=engine,
+                        seconds=result.stats.seconds,
+                        rows_loaded=result.stats.rows_loaded,
+                        rows_produced=result.stats.rows_produced,
+                    )
+                    self._materialized.update(result.tables)
+                    self._last_node_stats = list(result.stats.node_stats)
+                    self._last_stages = []
+                elif engine == "distributed":
+                    from repro.resilience import FaultInjector
 
-                injector = FaultInjector.from_profile(fault_profile)
-                result = DistributedExecutor(
-                    self._resolve_source,
-                    fault_injector=injector,
-                    tracer=obs.tracer,
-                    metrics=obs.metrics,
-                    parallelism=parallelism,
-                ).run(plan, context)
-                report = RunReport(
-                    engine=engine,
-                    seconds=result.seconds,
-                    rows_produced=result.rows_produced,
-                    shuffled_records=result.total_shuffled_records,
-                    attempts=result.attempts,
-                    retried_partitions=result.retried_partitions,
-                    speculative_wins=result.speculative_wins,
-                    recovered_stages=list(result.recovered_stages),
-                )
-                self._materialized.update(result.tables)
-                self._last_node_stats = []
-                self._last_stages = list(result.stages)
-            else:
-                raise ExecutionError(f"unknown engine {engine!r}")
-            report.flows_skipped = skipped
-            # A full run refreshes everything: nothing stays "fresh".
-            self._fresh_outputs = set(skipped)
-            report.endpoints = self.compiled.endpoint_names
-            with obs.tracer.span("publish"):
-                report.published = self._publish()
-            with obs.tracer.span("cubes.rebuild"):
-                self._rebuild_cubes()
-            report.trace_id = root.trace_id
+                    injector = FaultInjector.from_profile(fault_profile)
+                    result = DistributedExecutor(
+                        self._resolve_source,
+                        fault_injector=injector,
+                        tracer=obs.tracer,
+                        metrics=obs.metrics,
+                        parallelism=parallelism,
+                    ).run(plan, context)
+                    report = RunReport(
+                        engine=engine,
+                        seconds=result.seconds,
+                        rows_produced=result.rows_produced,
+                        shuffled_records=result.total_shuffled_records,
+                        attempts=result.attempts,
+                        retried_partitions=result.retried_partitions,
+                        speculative_wins=result.speculative_wins,
+                        recovered_stages=list(result.recovered_stages),
+                    )
+                    self._materialized.update(result.tables)
+                    self._last_node_stats = []
+                    self._last_stages = list(result.stages)
+                else:
+                    raise ExecutionError(f"unknown engine {engine!r}")
+                report.flows_skipped = skipped
+                # A full run refreshes everything: nothing stays "fresh".
+                self._fresh_outputs = set(skipped)
+                report.endpoints = self.compiled.endpoint_names
+                with obs.tracer.span("publish"):
+                    report.published = self._publish()
+                with obs.tracer.span("cubes.rebuild"):
+                    self._rebuild_cubes()
+                report.trace_id = root.trace_id
+            finally:
+                # The snapshot only serves this run; later lazy resolves
+                # (e.g. widget rebuilds) go back through the loader.
+                self._prefetched = {}
         self.last_run = report
         return report
 
@@ -284,11 +293,54 @@ class Dashboard:
             widget_selections=self._selections(),
         )
 
+    def _prefetch_sources(self, plan, parallelism: int) -> None:
+        """Load the plan's loader-backed sources up front, concurrently.
+
+        Collects the plan's load nodes in canonical (topological) order,
+        keeps the ones :meth:`_resolve_source` would send through the
+        loader, and loads them in one :meth:`DataObjectLoader.load_many`
+        call under a ``sources.load`` span.  The engines then hit the
+        prefetched snapshot instead of fetching mid-run.  Spec order is
+        canonical and ``load_many`` replays telemetry canonically, so
+        the trace and metrics are identical at every ``parallelism``.
+        """
+        names: list[str] = []
+        seen: set[str] = set()
+        for node in plan.topological_order():
+            if node.kind != "load" or node.load_name is None:
+                continue
+            name = node.load_name
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in self._inline_tables or name in self._materialized:
+                continue
+            obj = self.flow_file.data.get(name)
+            if obj is None or not obj.is_source:
+                continue  # catalog-resolved or unresolvable: stay lazy
+            names.append(name)
+        if not names:
+            return
+        specs = []
+        for name in names:
+            obj = self.flow_file.data[name]
+            config = dict(obj.config)
+            if self._data_dir and "base_dir" not in config:
+                config["base_dir"] = str(self._data_dir)
+            specs.append((obj.schema or Schema.of(), config))
+        with self.observability.tracer.span(
+            "sources.load", sources=len(names)
+        ):
+            tables = self.loader.load_many(specs, parallelism)
+        self._prefetched = dict(zip(names, tables))
+
     def _resolve_source(self, name: str) -> Table:
         if name in self._inline_tables:
             return self._inline_tables[name]
         if name in self._materialized:
             return self._materialized[name]
+        if name in self._prefetched:
+            return self._prefetched[name]
         obj = self.flow_file.data.get(name)
         if obj is not None and obj.is_source:
             config = dict(obj.config)

@@ -103,6 +103,42 @@ class Table:
         return cls._wrap(schema, data, count if names else 0)
 
     @classmethod
+    def from_columns(
+        cls,
+        schema: Schema | Sequence[str],
+        columns: Mapping[str, list],
+        length: int | None = None,
+    ) -> "Table":
+        """Adopt freshly-built per-column lists without copying them.
+
+        The public face of :meth:`_wrap` for builders that assemble
+        column lists directly — the columnar format decoders and
+        ``loader._align``.  Lengths are validated (one ``len`` per
+        column) but the lists themselves are adopted, so callers hand
+        over exclusive ownership; entries in ``columns`` beyond the
+        schema's names are ignored.
+        """
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        names = schema.names
+        if length is None:
+            length = len(columns[names[0]]) if names else 0
+        data: dict[str, list[Any]] = {}
+        for name in names:
+            if name not in columns:
+                raise SchemaError(f"missing data for column {name!r}")
+            values = columns[name]
+            if type(values) is not list:
+                values = list(values)
+            if len(values) != length:
+                raise SchemaError(
+                    f"ragged columns: {name!r} has {len(values)} values, "
+                    f"expected {length}"
+                )
+            data[name] = values
+        return cls._wrap(schema, data, length if names else 0)
+
+    @classmethod
     def empty(cls, schema: Schema | Sequence[str]) -> "Table":
         return cls(schema)
 
@@ -336,6 +372,74 @@ class Table:
         """All rows as a list of dicts (used by the REST layer)."""
         return list(self.rows())
 
+    def json_rows(
+        self,
+        default: Callable[[Any], Any] = str,
+        indent: int | None = None,
+    ) -> list[str]:
+        """Each row as a JSON object string, encoded column-at-a-time.
+
+        Byte-identical to ``json.dumps(row_dict, default=default,
+        indent=indent)`` per row, without building the row dicts: every
+        column is encoded in one pass (string cells memoized, so
+        repeated categories/dates escape once) and rows are assembled by
+        string join.  Backs :meth:`to_json_records`, the REST layer and
+        the JSON format encoder.
+        """
+        import json
+
+        names = self._schema.names
+        if not names or self._length == 0:
+            return []
+        pad = " " * indent if indent else ""
+        encoded_columns = [
+            _encode_json_column(self._data[name], default, indent, pad)
+            for name in names
+        ]
+        prefixes = [json.dumps(name) + ": " for name in names]
+        width = len(names)
+        rows: list[str] = []
+        if indent is None:
+            for i in range(self._length):
+                parts = [
+                    prefixes[j] + encoded_columns[j][i]
+                    for j in range(width)
+                ]
+                rows.append("{" + ", ".join(parts) + "}")
+            return rows
+        # Pretty mode mirrors json.dumps(..., indent=N) at depth 1: keys
+        # sit two levels deep, the closing brace one level deep.
+        key_pad = "\n" + pad * 2
+        for i in range(self._length):
+            parts = [
+                prefixes[j] + encoded_columns[j][i] for j in range(width)
+            ]
+            rows.append(
+                "{" + key_pad + ("," + key_pad).join(parts)
+                + "\n" + pad + "}"
+            )
+        return rows
+
+    def to_json_records(
+        self,
+        default: Callable[[Any], Any] = str,
+        indent: int | None = None,
+    ) -> str:
+        """JSON-encode all rows as an array of objects, column-at-a-time.
+
+        Byte-identical to ``json.dumps(self.to_records(),
+        default=default, indent=indent)`` but skips the
+        :meth:`to_records` dict detour entirely — the fast endpoint
+        serialization path.
+        """
+        rows = self.json_rows(default=default, indent=indent)
+        if indent is None:
+            return "[" + ", ".join(rows) + "]"
+        if not rows:
+            return "[]"
+        pad = " " * indent
+        return "[\n" + pad + (",\n" + pad).join(rows) + "\n]"
+
     def estimated_bytes(self) -> int:
         """Rough payload size, used by the transfer-minimizing optimizer."""
         total = 0
@@ -346,6 +450,61 @@ class Table:
                 else:
                     total += 16
         return total
+
+
+def _encode_json_column(
+    values: list,
+    default: Callable[[Any], Any],
+    indent: int | None,
+    pad: str,
+) -> list[str]:
+    """JSON fragments for one column's cells.
+
+    Exact ``int``/``float`` cells encode through ``repr`` — what the C
+    encoder itself emits for them — and string cells are memoized
+    (safe: equal strings encode equally, and a string's fragment never
+    spans lines).  The dispatch is on exact type, never equality, so
+    ``True``/``1``/``1.0`` cannot alias; subclasses (enums, bools) and
+    non-finite floats take the generic ``json.dumps`` path.  In pretty
+    mode a container cell's continuation lines are re-indented to the
+    depth the cell occupies inside ``[ { ... } ]`` (two levels).
+    """
+    import json
+    from math import isfinite
+
+    dumps = json.dumps
+    memo: dict[str, str] = {}
+    out: list[str] = []
+    append = out.append
+    for value in values:
+        kind = type(value)
+        if value is None:
+            append("null")
+        elif value is True:
+            append("true")
+        elif value is False:
+            append("false")
+        elif kind is int:
+            append(repr(value))
+        elif kind is float and isfinite(value):
+            append(repr(value))
+        elif kind is str:
+            fragment = memo.get(value)
+            if fragment is None:
+                fragment = dumps(value)
+                memo[value] = fragment
+            append(fragment)
+        elif isinstance(value, str):
+            append(dumps(value))
+        elif indent is None:
+            append(dumps(value, default=default))
+        else:
+            append(
+                dumps(value, default=default, indent=indent).replace(
+                    "\n", "\n" + pad * 2
+                )
+            )
+    return out
 
 
 def _hashable(value: Any) -> Any:

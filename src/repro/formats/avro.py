@@ -27,7 +27,7 @@ from typing import Any, Mapping
 
 from repro.data import Schema, Table
 from repro.errors import FormatError
-from repro.formats.base import Format
+from repro.formats.base import Format, Payload, payload_bytes
 
 _MAGIC = b"SIA1"
 
@@ -124,6 +124,10 @@ def _write_value(buffer: bytearray, value: Any) -> None:
         _write_string(buffer, str(value))
 
 
+def _discard(value: Any) -> None:
+    """Sink for duplicated header fields (last occurrence wins)."""
+
+
 def _read_value(payload: bytes, offset: int) -> tuple[Any, int]:
     if offset >= len(payload):
         raise FormatError("truncated value")
@@ -155,10 +159,11 @@ class AvroFormat(Format):
 
     def decode(
         self,
-        payload: bytes,
+        payload: Payload,
         schema: Schema,
         options: Mapping[str, Any] | None = None,
     ) -> Table:
+        payload = payload_bytes(payload)
         if payload[: len(_MAGIC)] != _MAGIC:
             raise FormatError("bad magic: not a ShareInsights Avro payload")
         offset = len(_MAGIC)
@@ -175,22 +180,40 @@ class AvroFormat(Format):
         if not isinstance(fields, list) or not fields:
             raise FormatError("header missing 'fields'")
         row_count, offset = read_varint(payload, offset)
-        records = []
+        # Decode row-major tagged values straight into per-field column
+        # lists.  A duplicated header field keeps its last occurrence per
+        # row (the dict-assignment behaviour), so earlier duplicates feed
+        # a discard sink.
+        last_position = {field: i for i, field in enumerate(fields)}
+        field_columns: dict[Any, list[Any]] = {}
+        appenders: list[Any] = []
+        for i, field in enumerate(fields):
+            if last_position[field] == i:
+                values: list[Any] = []
+                field_columns[field] = values
+                appenders.append(values.append)
+            else:
+                appenders.append(_discard)
         for _ in range(row_count):
-            record: dict[str, Any] = {}
-            for field in fields:
+            for append in appenders:
                 value, offset = _read_value(payload, offset)
-                record[field] = value
-            records.append(record)
+                append(value)
         # Map decoded fields onto the declared schema (by source_path/name).
-        rows = [
-            {
-                column.name: record.get(column.source_path or column.name)
-                for column in schema
-            }
-            for record in records
-        ]
-        return Table.from_rows(schema, rows)
+        columns: dict[str, list[Any]] = {}
+        adopted: set[int] = set()
+        for column in schema:
+            key = column.source_path or column.name
+            values = field_columns.get(key)
+            if values is None:
+                columns[column.name] = [None] * row_count
+            elif id(values) in adopted:
+                columns[column.name] = list(values)
+            else:
+                adopted.add(id(values))
+                columns[column.name] = values
+        return Table.from_columns(
+            schema, columns, row_count if schema.names else 0
+        )
 
     def encode(
         self,

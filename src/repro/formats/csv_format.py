@@ -5,6 +5,12 @@ Honours the ``separator`` option from the data-object configuration
 When the payload has a header row, columns are matched by name (the
 declared schema may select a subset, in any order); without a header,
 columns are matched positionally against the schema.
+
+Decoding is columnar: cells land straight in per-column lists (no
+intermediate record dicts) and coercion runs column-at-a-time through a
+shared value memo.  The decoder accepts either whole ``bytes`` or an
+iterator of byte chunks — rows stream out of ``csv.reader`` one at a
+time, so the raw row list is never materialized.
 """
 
 from __future__ import annotations
@@ -15,15 +21,21 @@ from typing import Any, Mapping
 
 from repro.data import Schema, Table
 from repro.errors import FormatError
-from repro.formats.base import Format, coerce_cell
+from repro.formats.base import (
+    Format,
+    Payload,
+    coerce_cells,
+    iter_decoded_lines,
+)
 
 
 class CsvFormat(Format):
     name = "csv"
+    supports_chunks = True
 
     def decode(
         self,
-        payload: bytes,
+        payload: Payload,
         schema: Schema,
         options: Mapping[str, Any] | None = None,
     ) -> Table:
@@ -31,32 +43,48 @@ class CsvFormat(Format):
         separator = str(options.get("separator", ","))
         has_header = _as_bool(options.get("header", True))
         encoding = str(options.get("encoding", "utf-8"))
-        try:
-            text = payload.decode(encoding)
-        except UnicodeDecodeError as exc:
-            raise FormatError(f"CSV payload is not valid {encoding}") from exc
-        reader = csv.reader(io.StringIO(text), delimiter=separator)
-        rows = [row for row in reader if row]
-        if not rows:
-            return Table.empty(schema)
-        if has_header:
-            header = [h.strip() for h in rows[0]]
-            body = rows[1:]
-            positions = _header_positions(header, schema)
-        else:
-            body = rows
-            positions = list(range(len(schema)))
+        lines = iter_decoded_lines(payload, encoding, "CSV")
+        reader = csv.reader(lines, delimiter=separator)
         names = schema.names
-        records = []
-        for line_no, row in enumerate(body, start=2 if has_header else 1):
-            record: dict[str, Any] = {}
-            for name, position in zip(names, positions):
-                if position is None or position >= len(row):
-                    record[name] = None
+        raw_columns: list[list[Any]] = [[] for _ in names]
+        appenders: list[tuple[Any, int | None]] | None = None
+        if not has_header:
+            appenders = [
+                (values.append, position)
+                for values, position in zip(
+                    raw_columns, range(len(schema))
+                )
+            ]
+        count = 0
+        saw_rows = False
+        for row in reader:
+            if not row:
+                continue
+            saw_rows = True
+            if appenders is None:
+                header = [h.strip() for h in row]
+                appenders = [
+                    (values.append, position)
+                    for values, position in zip(
+                        raw_columns, _header_positions(header, schema)
+                    )
+                ]
+                continue
+            count += 1
+            width = len(row)
+            for append, position in appenders:
+                if position is None or position >= width:
+                    append(None)
                 else:
-                    record[name] = coerce_cell(row[position])
-            records.append(record)
-        return Table.from_rows(schema, records)
+                    append(row[position])
+        if not saw_rows:
+            return Table.empty(schema)
+        memo: dict[str, Any] = {}
+        columns = {
+            name: coerce_cells(values, memo)
+            for name, values in zip(names, raw_columns)
+        }
+        return Table.from_columns(schema, columns, count if names else 0)
 
     def encode(
         self,

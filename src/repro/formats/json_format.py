@@ -10,17 +10,28 @@ Handles three payload shapes seen in feed APIs (paper Figs. 6, 18):
 Each document is flattened into a row using the schema's ``=>`` payload
 paths; a column without a path maps to the identically-named top-level
 field.
+
+Decoding is columnar: each schema path compiles once
+(:func:`~repro.formats.jsonpath.compile_path`) and its getter runs over
+the documents in a tight per-column pass — no record dicts, no per-cell
+path parsing.  The ``jsonl`` format additionally accepts an iterator of
+byte chunks and decodes line by line without holding the payload.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.data import Schema, Table
 from repro.errors import FormatError
-from repro.formats.base import Format
-from repro.formats.jsonpath import extract_path
+from repro.formats.base import (
+    Format,
+    Payload,
+    decode_payload_text,
+    iter_decoded_lines,
+)
+from repro.formats.jsonpath import compile_path, extract_path
 
 
 _WRAPPER_FIELDS = ("items", "results", "data", "rows")
@@ -31,27 +42,15 @@ class JsonFormat(Format):
 
     def decode(
         self,
-        payload: bytes,
+        payload: Payload,
         schema: Schema,
         options: Mapping[str, Any] | None = None,
     ) -> Table:
         options = options or {}
         encoding = str(options.get("encoding", "utf-8"))
-        try:
-            text = payload.decode(encoding)
-        except UnicodeDecodeError as exc:
-            raise FormatError(f"JSON payload is not valid {encoding}") from exc
+        text = decode_payload_text(payload, encoding, "JSON")
         documents = list(_documents(text, options.get("root")))
-        records = [
-            {
-                column.name: extract_path(
-                    doc, column.source_path or column.name
-                )
-                for column in schema
-            }
-            for doc in documents
-        ]
-        return Table.from_rows(schema, records)
+        return _columnar_table(documents, schema)
 
     def encode(
         self,
@@ -61,18 +60,38 @@ class JsonFormat(Format):
         options = options or {}
         lines = _as_bool(options.get("lines", False))
         if lines:
-            text = "\n".join(
-                json.dumps(row, default=str) for row in table.rows()
-            )
+            text = "\n".join(table.json_rows(default=str))
         else:
-            text = json.dumps(table.to_records(), default=str, indent=2)
+            text = table.to_json_records(default=str, indent=2)
         return text.encode("utf-8")
 
 
 class JsonLinesFormat(JsonFormat):
-    """Alias registered as ``jsonl``; decoding is shared with ``json``."""
+    """Registered as ``jsonl``; adds true line-streaming decode.
+
+    Byte payloads share the auto-detecting ``json`` decode.  A chunk
+    iterator decodes line by line; payloads that turn out not to be
+    line-delimited (a pretty-printed array, a single wrapper object)
+    fall back to the whole-payload path with identical results.
+    """
 
     name = "jsonl"
+    supports_chunks = True
+
+    def decode(
+        self,
+        payload: Payload,
+        schema: Schema,
+        options: Mapping[str, Any] | None = None,
+    ) -> Table:
+        options = options or {}
+        if isinstance(payload, (bytes, bytearray)):
+            return super().decode(payload, schema, options)
+        encoding = str(options.get("encoding", "utf-8"))
+        lines = iter_decoded_lines(payload, encoding, "JSON")
+        return _decode_streaming_lines(
+            lines, schema, options.get("root")
+        )
 
     def encode(
         self,
@@ -84,6 +103,103 @@ class JsonLinesFormat(JsonFormat):
         return super().encode(table, options)
 
 
+def _columnar_table(documents: Any, schema: Schema) -> Table:
+    """Flatten documents into per-column lists via compiled getters."""
+    names = schema.names
+    if not names:
+        return Table.from_columns(schema, {}, 0)
+    columns: dict[str, list[Any]] = {}
+    if isinstance(documents, list):
+        for column in schema:
+            getter = compile_path(column.source_path or column.name)
+            columns[column.name] = list(map(getter, documents))
+        return Table.from_columns(schema, columns, len(documents))
+    # Streaming documents: one pass, appending per column.
+    getters = []
+    for column in schema:
+        values: list[Any] = []
+        columns[column.name] = values
+        getters.append(
+            (values.append,
+             compile_path(column.source_path or column.name))
+        )
+    count = 0
+    for doc in documents:
+        count += 1
+        for append, getter in getters:
+            append(getter(doc))
+    return Table.from_columns(schema, columns, count)
+
+
+def _decode_streaming_lines(
+    lines: Iterator[str], schema: Schema, root: str | None
+) -> Table:
+    """Line-by-line JSONL decode of a text-line stream.
+
+    Mirrors :func:`_documents` byte for byte: the first non-blank line
+    that is not standalone JSON sends the whole remaining payload
+    through the auto-detect path, and a stream holding exactly one
+    document applies the same array/wrapper/root handling the
+    whole-payload parse would.
+    """
+    names = schema.names
+    columns: dict[str, list[Any]] = {}
+    getters = []
+    for column in schema:
+        values: list[Any] = []
+        columns[column.name] = values
+        getters.append(
+            (values.append,
+             compile_path(column.source_path or column.name))
+        )
+    count = 0
+    first_document: Any = None
+    line_no = 0
+    for raw in lines:
+        stripped = raw.strip()
+        if line_no == 0:
+            if not stripped:
+                continue  # leading blanks are outside _documents' view
+            try:
+                document = json.loads(stripped)
+            except json.JSONDecodeError:
+                # Not line-delimited; re-assemble and auto-detect.
+                text = raw + "".join(lines)
+                return _columnar_table(
+                    list(_documents(text, root)), schema
+                )
+            line_no = 1
+        else:
+            line_no += 1
+            if not stripped:
+                continue
+            try:
+                document = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise FormatError(
+                    f"invalid JSON on line {line_no}: {exc}"
+                ) from exc
+        count += 1
+        if count == 1:
+            first_document = document
+            continue  # held back: a lone document needs wrapper handling
+        if count == 2:
+            for append, getter in getters:
+                append(getter(first_document))
+            first_document = None
+        for append, getter in getters:
+            append(getter(document))
+    if count == 0:
+        return Table.from_columns(schema, columns, 0)
+    if count == 1:
+        return _columnar_table(
+            list(_single_document(first_document, root)), schema
+        )
+    return Table.from_columns(
+        schema, columns, count if names else 0
+    )
+
+
 def _documents(text: str, root: str | None) -> Iterable[Any]:
     stripped = text.strip()
     if not stripped:
@@ -92,6 +208,11 @@ def _documents(text: str, root: str | None) -> Iterable[Any]:
         parsed = json.loads(stripped)
     except json.JSONDecodeError:
         return _jsonl_documents(stripped)
+    return _single_document(parsed, root)
+
+
+def _single_document(parsed: Any, root: str | None) -> Iterable[Any]:
+    """Document list for one successfully parsed top-level value."""
     if isinstance(parsed, list):
         return parsed
     if isinstance(parsed, dict):

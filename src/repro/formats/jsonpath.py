@@ -19,12 +19,19 @@ Supported syntax:
 Missing path segments yield ``None`` rather than raising, because feed data
 is routinely ragged (the paper's hackathon observation 4: real data forced
 teams to build more elaborate cleansing pipelines).
+
+Parsing is the expensive half (a regex scan per path), so results are
+kept in a bounded memo — a schema's handful of paths is parsed once per
+process, not once per cell.  Decoders that resolve the same path against
+many documents should go one step further and use :func:`compile_path`,
+which returns a reusable getter with a plain-key fast path.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Callable
 
 from repro.errors import FormatError
 
@@ -32,12 +39,35 @@ _SEGMENT_RE = re.compile(
     r"(?P<field>[^.\[\]]+)|\[(?P<index>\d+|\*)\]"
 )
 
+#: Bounded parse memo: path string → parsed segment tuple.  Schemas use a
+#: handful of distinct paths, so this is effectively a permanent cache;
+#: the LRU bound only guards against pathological path churn.
+_PARSE_CACHE: "OrderedDict[str, tuple[str | int, ...]]" = OrderedDict()
+_PARSE_CACHE_LIMIT = 1024
+_PARSE_STATS = {"parses": 0, "hits": 0}
+
 
 def parse_path(path: str) -> list[str | int]:
     """Split ``a.b[0].c`` into segments ``["a", "b", 0, "c"]``.
 
-    ``"*"`` segments are kept as the string ``"*"``.
+    ``"*"`` segments are kept as the string ``"*"``.  Parses are memoized
+    (bounded LRU); callers always receive a fresh list they may mutate.
     """
+    cached = _PARSE_CACHE.get(path)
+    if cached is not None:
+        _PARSE_STATS["hits"] += 1
+        _PARSE_CACHE.move_to_end(path)
+        return list(cached)
+    segments = _parse_path(path)
+    _PARSE_STATS["parses"] += 1
+    _PARSE_CACHE[path] = tuple(segments)
+    if len(_PARSE_CACHE) > _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.popitem(last=False)
+    return segments
+
+
+def _parse_path(path: str) -> list[str | int]:
+    """The uncached regex scan behind :func:`parse_path`."""
     if not path or not path.strip():
         raise FormatError("empty payload path")
     segments: list[str | int] = []
@@ -61,12 +91,89 @@ def parse_path(path: str) -> list[str | int]:
     return segments
 
 
+def parse_cache_stats() -> dict[str, int]:
+    """Copy of the parse-memo counters (``parses`` misses, ``hits``)."""
+    return dict(_PARSE_STATS)
+
+
+def clear_parse_cache() -> None:
+    """Drop the parse memo and reset its counters (test isolation)."""
+    _PARSE_CACHE.clear()
+    _PARSE_STATS["parses"] = 0
+    _PARSE_STATS["hits"] = 0
+
+
+def compile_path(path: str) -> Callable[[Any], Any]:
+    """A reusable getter for ``path``, resolved once per schema.
+
+    The columnar decoders call this once per column and apply the getter
+    to every document, instead of re-resolving the path per cell.  The
+    common shapes compile to dedicated closures — a single plain key to
+    a direct ``dict.get``, two-segment paths (``a.b``, ``a[0]``) to an
+    unrolled two-step lookup; everything else closes over the parsed
+    segments and walks them.
+    """
+    segments = tuple(parse_path(path))
+    if "*" not in segments:
+        if len(segments) == 1 and isinstance(segments[0], str):
+            key = segments[0]
+
+            def plain_getter(document: Any, _key: str = key) -> Any:
+                if isinstance(document, dict):
+                    return document.get(_key)
+                if document is None:
+                    return None
+                return getattr(document, _key, None)
+
+            return plain_getter
+        if len(segments) == 2 and isinstance(segments[0], str):
+            first, second = segments
+            if isinstance(second, str):
+
+                def nested_getter(
+                    document: Any, _a: str = first, _b: str = second
+                ) -> Any:
+                    if isinstance(document, dict):
+                        node = document.get(_a)
+                    elif document is None:
+                        return None
+                    else:
+                        node = getattr(document, _a, None)
+                    if isinstance(node, dict):
+                        return node.get(_b)
+                    if node is None:
+                        return None
+                    return getattr(node, _b, None)
+
+                return nested_getter
+
+            def indexed_getter(
+                document: Any, _a: str = first, _i: int = second
+            ) -> Any:
+                if isinstance(document, dict):
+                    node = document.get(_a)
+                elif document is None:
+                    return None
+                else:
+                    node = getattr(document, _a, None)
+                if isinstance(node, list) and _i < len(node):
+                    return node[_i]
+                return None
+
+            return indexed_getter
+
+    def walking_getter(document: Any, _segments=segments) -> Any:
+        return _walk(document, _segments)
+
+    return walking_getter
+
+
 def extract_path(document: Any, path: str) -> Any:
     """Resolve ``path`` against ``document``; missing segments give None."""
     return _walk(document, parse_path(path))
 
 
-def _walk(node: Any, segments: list[str | int]) -> Any:
+def _walk(node: Any, segments: "list[str | int] | tuple[str | int, ...]") -> Any:
     for i, segment in enumerate(segments):
         if node is None:
             return None

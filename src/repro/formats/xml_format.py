@@ -4,17 +4,21 @@ Decodes a payload of the shape ``<root><record>...</record>...</root>``:
 each child of the document root is one row; schema columns resolve against
 the record element via dotted paths (child elements) with a leading ``@``
 addressing attributes (``item.@id``).  Encoding produces the same shape.
+
+Decoding is columnar: each schema path is split once into a resolver
+(with fast paths for a single child tag or single attribute) and applied
+per column, landing cells straight in column lists.
 """
 
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 from xml.sax.saxutils import escape
 
 from repro.data import Schema, Table
 from repro.errors import FormatError
-from repro.formats.base import Format, coerce_cell
+from repro.formats.base import Format, Payload, coerce_cell, payload_bytes
 
 
 class XmlFormat(Format):
@@ -22,32 +26,34 @@ class XmlFormat(Format):
 
     def decode(
         self,
-        payload: bytes,
+        payload: Payload,
         schema: Schema,
         options: Mapping[str, Any] | None = None,
     ) -> Table:
         options = options or {}
         try:
-            root = ET.fromstring(payload.decode(
+            root = ET.fromstring(payload_bytes(payload).decode(
                 str(options.get("encoding", "utf-8"))
             ))
         except (ET.ParseError, UnicodeDecodeError) as exc:
             raise FormatError(f"invalid XML payload: {exc}") from exc
         record_tag = options.get("record")
         if record_tag:
-            elements = root.iter(str(record_tag))
+            elements = list(root.iter(str(record_tag)))
         else:
-            elements = iter(list(root))
-        records = []
-        for element in elements:
-            record = {
-                column.name: _resolve(
-                    element, column.source_path or column.name
-                )
-                for column in schema
-            }
-            records.append(record)
-        return Table.from_rows(schema, records)
+            elements = list(root)
+        names = schema.names
+        columns: dict[str, list[Any]] = {}
+        for column in schema:
+            resolver = _compile_resolver(
+                column.source_path or column.name
+            )
+            columns[column.name] = [
+                resolver(element) for element in elements
+            ]
+        return Table.from_columns(
+            schema, columns, len(elements) if names else 0
+        )
 
     def encode(
         self,
@@ -68,20 +74,60 @@ class XmlFormat(Format):
         return "\n".join(parts).encode("utf-8")
 
 
-def _resolve(element: ET.Element, path: str) -> Any:
-    """Resolve a dotted path (with ``@attr`` leaves) against an element."""
-    node: ET.Element | None = element
+def _compile_resolver(path: str) -> Callable[[ET.Element], Any]:
+    """A reusable per-column resolver for a dotted path.
+
+    Splits the path once instead of once per cell.  A lone child tag or
+    lone ``@attr`` compiles to a direct lookup; longer paths replicate
+    the segment walk (including the data-dependent ``@attr``-must-be-last
+    error, which only fires when the walk actually reaches a misplaced
+    attribute segment on a non-missing node).
+    """
     segments = path.split(".")
-    for i, segment in enumerate(segments):
+    if len(segments) == 1:
+        segment = segments[0]
+        if segment.startswith("@"):
+            attribute = segment[1:]
+
+            def attr_resolver(
+                element: ET.Element, _attr: str = attribute
+            ) -> Any:
+                return coerce_cell(element.get(_attr))
+
+            return attr_resolver
+
+        def child_resolver(
+            element: ET.Element, _tag: str = segment
+        ) -> Any:
+            node = element.find(_tag)
+            if node is None:
+                return None
+            return coerce_cell(node.text)
+
+        return child_resolver
+
+    last = len(segments) - 1
+
+    def walking_resolver(
+        element: ET.Element,
+        _segments: list[str] = segments,
+        _last: int = last,
+        _path: str = path,
+    ) -> Any:
+        node: ET.Element | None = element
+        for i, segment in enumerate(_segments):
+            if node is None:
+                return None
+            if segment.startswith("@"):
+                if i != _last:
+                    raise FormatError(
+                        f"attribute segment {segment!r} "
+                        f"must be last in {_path!r}"
+                    )
+                return coerce_cell(node.get(segment[1:]))
+            node = node.find(segment)
         if node is None:
             return None
-        if segment.startswith("@"):
-            if i != len(segments) - 1:
-                raise FormatError(
-                    f"attribute segment {segment!r} must be last in {path!r}"
-                )
-            return coerce_cell(node.get(segment[1:]))
-        node = node.find(segment)
-    if node is None:
-        return None
-    return coerce_cell(node.text)
+        return coerce_cell(node.text)
+
+    return walking_resolver

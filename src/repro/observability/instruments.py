@@ -29,6 +29,8 @@ COMPILE_DURATION = "repro_compile_duration_seconds"
 CONNECTOR_FETCHES = "repro_connector_fetches_total"
 CONNECTOR_FETCH_DURATION = "repro_connector_fetch_seconds"
 CONNECTOR_BYTES = "repro_connector_bytes_total"
+INGEST_ROWS = "repro_ingest_rows_total"
+INGEST_DECODE_DURATION = "repro_ingest_decode_seconds"
 HTTP_REQUESTS = "repro_http_requests_total"
 HTTP_REQUEST_DURATION = "repro_http_request_duration_seconds"
 ENDPOINT_QUERIES = "repro_endpoint_queries_total"
@@ -112,6 +114,21 @@ def record_stage(
             RECOVERED_PARTITIONS,
             "Partitions recomputed from lineage after worker loss",
         ).inc(recovered_partitions, engine=engine)
+
+
+def record_ingest(
+    metrics: MetricsRegistry,
+    format_name: str,
+    rows: int,
+    seconds: float,
+) -> None:
+    """One data-object decode (rows produced and wall time, by format)."""
+    metrics.counter(
+        INGEST_ROWS, "Rows decoded from data-object payloads"
+    ).inc(rows, format=format_name)
+    metrics.histogram(
+        INGEST_DECODE_DURATION, "Payload decode wall time"
+    ).observe(seconds, format=format_name)
 
 
 def record_run(

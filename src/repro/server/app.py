@@ -319,7 +319,12 @@ class ShareInsightsApp:
             eval_span.set(rows_out=table.num_rows)
         limit = int(query.get("limit", 1000))
         offset = int(query.get("offset", 0))
-        rows = table.to_records()[offset: offset + limit]
+        # Materialize only the requested page: slice the row window
+        # first (list-slice semantics, negative offsets included), then
+        # encode those rows straight from the columns — the full table
+        # is never converted to records.
+        window = range(table.num_rows)[offset: offset + limit]
+        page = table.take(window)
         self.platform._log(
             "query",
             name,
@@ -329,16 +334,21 @@ class ShareInsightsApp:
                 "degraded": degraded_error is not None,
             },
         )
-        payload = {
-            "dataset": adhoc.dataset,
-            "columns": table.schema.names,
-            "total_rows": table.num_rows,
-            "rows": rows,
-        }
+        head = json.dumps(
+            {
+                "dataset": adhoc.dataset,
+                "columns": table.schema.names,
+                "total_rows": table.num_rows,
+            },
+            default=str,
+        )
+        body = head[:-1] + ', "rows": ' + page.to_json_records()
         if degraded_error is not None:
-            payload["degraded"] = True
-            payload["error"] = degraded_error
-        return _json(payload)
+            body += ', "degraded": true, "error": ' + json.dumps(
+                degraded_error
+            )
+        body += "}"
+        return "200 OK", "application/json", body.encode("utf-8")
 
     # -- data explorer (Fig. 29) -----------------------------------------------
     def _explorer(

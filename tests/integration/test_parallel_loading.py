@@ -1,0 +1,203 @@
+"""Integration: parallel source loading is invisible in every output.
+
+A dashboard with several loader-backed data objects prefetches them
+concurrently through ``DataObjectLoader.load_many`` before the engine
+runs.  Mirroring ``test_parallel_determinism``, these tests require the
+parallelism knob to change wall time only: materialized tables (row
+order included), the full span tree, and the metrics registry (counter
+values and histogram observation counts — durations legitimately vary)
+must be byte-identical at ``parallelism=1`` and ``4``, with and without
+every named fault-injection profile.
+"""
+
+import json
+
+import pytest
+
+from repro import Platform
+
+pytestmark = pytest.mark.resilience
+
+PROFILES = [None, "transient", "lost", "straggler", "flaky", "chaos:7"]
+
+FLOW = """D:
+    sales: [region, amount]
+    events: [region => place, clicks => hits]
+    dims: [region, zone]
+    sales_by_region: [region, total]
+    events_by_region: [region, clicks_total]
+    dims_by_zone: [zone, regions]
+D.sales:
+    source: sales.csv
+    stream: true
+D.events:
+    source: events.jsonl
+    format: jsonl
+D.dims:
+    source: dims.csv
+F:
+    D.sales_by_region: D.sales | T.agg_sales
+    D.events_by_region: D.events | T.agg_events
+    D.dims_by_zone: D.dims | T.agg_dims
+    D.sales_by_region:
+        endpoint: true
+T:
+    agg_sales:
+        type: groupby
+        groupby: [region]
+        aggregates:
+            - operator: sum
+              apply_on: amount
+              out_field: total
+    agg_events:
+        type: groupby
+        groupby: [region]
+        aggregates:
+            - operator: sum
+              apply_on: clicks
+              out_field: clicks_total
+    agg_dims:
+        type: groupby
+        groupby: [zone]
+        aggregates:
+            - operator: count
+              out_field: regions
+"""
+
+REGIONS = ["north", "south", "east", "west", "centre"]
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    sales = ["region,amount"]
+    for i in range(200):
+        sales.append(f"{REGIONS[i % 5]},{(i * 7) % 90 + 1}")
+    (tmp_path / "sales.csv").write_text("\n".join(sales) + "\n")
+    events = [
+        json.dumps({"place": REGIONS[(i * 3) % 5], "hits": i % 13})
+        for i in range(150)
+    ]
+    (tmp_path / "events.jsonl").write_text("\n".join(events) + "\n")
+    dims = ["region,zone"]
+    for i, region in enumerate(REGIONS):
+        dims.append(f"{region},zone{i % 2}")
+    (tmp_path / "dims.csv").write_text("\n".join(dims) + "\n")
+    return tmp_path
+
+
+def _run(workspace, profile, parallelism):
+    platform = Platform()
+    platform.create_dashboard("multi", FLOW, data_dir=workspace)
+    dashboard = platform.get_dashboard("multi")
+    report = dashboard.run_flows(
+        engine="distributed",
+        fault_profile=profile,
+        parallelism=parallelism,
+    )
+    spans = platform.observability.tracer.trace(report.trace_id or "")
+    return dashboard, report, spans, platform.observability.metrics
+
+
+def _tables_fingerprint(dashboard):
+    # _data exposes column lists verbatim: row ORDER matters here.
+    return {
+        name: (table.schema.names, dict(table._data))
+        for name, table in dashboard._materialized.items()
+    }
+
+
+def _span_fingerprint(spans):
+    return [
+        (s.name, s.span_id, s.parent_id, sorted(s.attrs.items()))
+        for s in spans
+    ]
+
+
+def _metrics_fingerprint(metrics):
+    """Counter/gauge values plus histogram observation counts."""
+    fingerprint = {}
+    for name, entry in metrics.as_dict().items():
+        if entry["type"] == "histogram":
+            series = [
+                (tuple(sorted(s["labels"].items())), s["count"])
+                for s in entry["series"]
+            ]
+        else:
+            series = [
+                (tuple(sorted(s["labels"].items())), s["value"])
+                for s in entry["series"]
+            ]
+        fingerprint[name] = series
+    return fingerprint
+
+
+class TestParallelLoadingIsInvisible:
+    @pytest.mark.parametrize(
+        "profile", PROFILES, ids=[p or "none" for p in PROFILES]
+    )
+    def test_identical_at_parallelism_1_and_4(self, workspace, profile):
+        base_dash, base_report, base_spans, base_metrics = _run(
+            workspace, profile, 1
+        )
+        wide_dash, wide_report, wide_spans, wide_metrics = _run(
+            workspace, profile, 4
+        )
+        assert _tables_fingerprint(wide_dash) == _tables_fingerprint(
+            base_dash
+        )
+        assert wide_report.rows_produced == base_report.rows_produced
+        assert _span_fingerprint(wide_spans) == _span_fingerprint(
+            base_spans
+        )
+        assert _metrics_fingerprint(wide_metrics) == _metrics_fingerprint(
+            base_metrics
+        )
+
+    def test_sources_prefetch_under_one_span(self, workspace):
+        _dash, _report, spans, _metrics = _run(workspace, None, 4)
+        loads = [s for s in spans if s.name == "sources.load"]
+        assert len(loads) == 1
+        assert loads[0].attrs["sources"] == 3
+        fetches = [
+            s for s in spans
+            if s.name == "connector.fetch"
+            and s.parent_id == loads[0].span_id
+        ]
+        assert len(fetches) == 3
+        # The streamed CSV source reports its byte count like the rest.
+        assert all(s.attrs.get("bytes", 0) > 0 for s in fetches)
+        decodes = [s for s in spans if s.name == "format.decode"]
+        assert {s.attrs["format"] for s in decodes} == {"csv", "jsonl"}
+        assert {s.attrs["rows"] for s in decodes} == {200, 150, 5}
+
+    def test_matches_local_engine(self, workspace):
+        dist_dash, _report, _spans, _metrics = _run(workspace, None, 4)
+        platform = Platform()
+        platform.create_dashboard("multi", FLOW, data_dir=workspace)
+        local = platform.get_dashboard("multi")
+        local.run_flows(engine="local")
+        for name in ("sales_by_region", "events_by_region", "dims_by_zone"):
+            dist_rows = sorted(
+                map(repr, dist_dash.materialized(name).to_records())
+            )
+            local_rows = sorted(
+                map(repr, local.materialized(name).to_records())
+            )
+            assert dist_rows == local_rows, name
+
+    def test_ingest_metrics_recorded(self, workspace):
+        _dash, _report, _spans, metrics = _run(workspace, None, 2)
+        rows = metrics.get("repro_ingest_rows_total")
+        assert rows is not None
+        by_format = {
+            labels["format"]: value for labels, value in rows.series()
+        }
+        assert by_format == {"csv": 205, "jsonl": 150}
+        duration = metrics.get("repro_ingest_decode_seconds")
+        assert duration is not None
+        counts = {
+            labels["format"]: summary["count"]
+            for labels, _ in duration.series()
+            for summary in [duration.summary(**labels)]
+        }
+        assert counts == {"csv": 2, "jsonl": 1}

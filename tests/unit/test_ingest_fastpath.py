@@ -1,0 +1,528 @@
+"""Unit tests for the ingestion fast path.
+
+Pins the building blocks the columnar decode/serialize rewrite stands
+on: the bounded payload-path parse memo and compiled getters, columnar
+table adoption (``Table.from_columns``), byte-identical columnar JSON
+serialization, memoized cell coercion, chunked line iteration, the file
+connector's chunked fetch, columnar schema alignment, parallel
+``load_many`` telemetry equivalence, and the ``/ds/`` pagination fix
+(which previously materialized every row to serve one page).
+"""
+
+import io
+import json
+from datetime import datetime
+
+import pytest
+
+from repro import Platform
+from repro.connectors import FileConnector
+from repro.connectors.loader import DataObjectLoader, _align
+from repro.data import Column, Schema, Table
+from repro.errors import ConnectorError, FormatError, SchemaError
+from repro.formats import JsonFormat, base as formats_base, jsonpath
+from repro.formats.base import coerce_cell, coerce_cells, iter_decoded_lines
+from repro.formats.jsonpath import (
+    clear_parse_cache,
+    compile_path,
+    extract_path,
+    parse_cache_stats,
+    parse_path,
+)
+from repro.observability import Observability
+from repro.server import ShareInsightsApp
+
+
+@pytest.fixture(autouse=True)
+def _fresh_parse_cache():
+    clear_parse_cache()
+    yield
+    clear_parse_cache()
+
+
+# -- payload-path parse memo ---------------------------------------------
+
+class TestParsePathMemo:
+    def test_repeat_parses_hit_the_memo(self):
+        assert parse_cache_stats() == {"parses": 0, "hits": 0}
+        first = parse_path("a.b[0].c")
+        assert parse_cache_stats() == {"parses": 1, "hits": 0}
+        second = parse_path("a.b[0].c")
+        assert parse_cache_stats() == {"parses": 1, "hits": 1}
+        assert second == first == ["a", "b", 0, "c"]
+
+    def test_callers_get_fresh_lists(self):
+        first = parse_path("a.b")
+        first.append("mutated")
+        assert parse_path("a.b") == ["a", "b"]
+
+    def test_extract_path_shares_the_memo(self):
+        doc = {"a": {"b": 7}}
+        for _ in range(5):
+            assert extract_path(doc, "a.b") == 7
+        assert parse_cache_stats()["parses"] == 1
+        assert parse_cache_stats()["hits"] == 4
+
+    def test_lru_bound_evicts_oldest(self, monkeypatch):
+        monkeypatch.setattr(jsonpath, "_PARSE_CACHE_LIMIT", 3)
+        for name in ("p0", "p1", "p2", "p3"):
+            parse_path(name)
+        assert parse_cache_stats()["parses"] == 4
+        parse_path("p3")  # still cached
+        assert parse_cache_stats()["hits"] == 1
+        parse_path("p0")  # evicted by p3 → re-parsed
+        assert parse_cache_stats()["parses"] == 5
+
+    def test_decode_parses_each_path_once(self):
+        """Satellite: decoding N documents costs one parse per path."""
+        schema = Schema(
+            [
+                Column("plain", source_path="alpha"),
+                Column("nested", source_path="gamma.x"),
+                Column("indexed", source_path="delta[0]"),
+            ]
+        )
+        documents = [
+            {"alpha": i, "gamma": {"x": -i}, "delta": [i * 2]}
+            for i in range(50)
+        ]
+        payload = json.dumps(documents).encode()
+        table = JsonFormat().decode(payload, schema)
+        assert table.num_rows == 50
+        assert parse_cache_stats()["parses"] == 3
+        # A second decode re-uses all three parsed paths.
+        JsonFormat().decode(payload, schema)
+        stats = parse_cache_stats()
+        assert stats["parses"] == 3
+        assert stats["hits"] == 3
+
+
+class TestCompilePath:
+    PATHS = ["alpha", "gamma.x", "delta[0]", "delta[*]", "a.b[1].c", "d[*].x"]
+    DOCS = [
+        {"alpha": 1, "gamma": {"x": "v"}, "delta": [True, 2]},
+        {"gamma": None, "delta": []},
+        {"a": {"b": [{"c": 1}, {"c": 2}]}, "d": [{"x": 1}, {}]},
+        {},
+        None,
+    ]
+
+    def test_matches_extract_path(self):
+        for path in self.PATHS:
+            getter = compile_path(path)
+            for doc in self.DOCS:
+                assert getter(doc) == extract_path(doc, path), (path, doc)
+
+    def test_plain_path_reads_attributes(self):
+        class Obj:
+            alpha = 42
+
+        assert compile_path("alpha")(Obj()) == 42
+        assert compile_path("alpha")(None) is None
+        assert compile_path("other")(Obj()) is None
+
+
+# -- columnar table adoption ---------------------------------------------
+
+class TestFromColumns:
+    def test_adopts_lists_without_copying(self):
+        values = [1, 2, 3]
+        table = Table.from_columns(Schema.of("a"), {"a": values})
+        assert table.column("a") is values
+        assert table.num_rows == 3
+
+    def test_non_lists_are_materialized(self):
+        table = Table.from_columns(Schema.of("a"), {"a": (1, 2)}, 2)
+        assert table.column("a") == [1, 2]
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError, match="missing data for column 'b'"):
+            Table.from_columns(Schema.of("a", "b"), {"a": [1]})
+
+    def test_ragged_columns_raise(self):
+        with pytest.raises(SchemaError, match="ragged columns"):
+            Table.from_columns(
+                Schema.of("a", "b"), {"a": [1, 2], "b": [1]}
+            )
+
+    def test_extra_columns_ignored(self):
+        table = Table.from_columns(
+            Schema.of("a"), {"a": [1], "noise": [9]}
+        )
+        assert table.schema.names == ["a"]
+        assert table.to_records() == [{"a": 1}]
+
+
+# -- columnar JSON serialization -----------------------------------------
+
+class TestJsonSerialization:
+    TABLE = Table.from_rows(
+        Schema.of("s", "n", "mixed", "t"),
+        [
+            ("repeat", 1, True, datetime(2026, 1, 2, 3, 4, 5)),
+            ("repeat", 0, 1, None),
+            ('quote" \n', -0.0, 1.0, datetime(2026, 1, 2)),
+            ("ünïcode", 10**18, 0.0, None),
+            ("repeat", 2, {"k": [1, "x"]}, None),
+        ],
+    )
+
+    def test_compact_matches_json_dumps(self):
+        expected = json.dumps(self.TABLE.to_records(), default=str)
+        assert self.TABLE.to_json_records(default=str) == expected
+
+    def test_pretty_matches_json_dumps(self):
+        expected = json.dumps(
+            self.TABLE.to_records(), default=str, indent=2
+        )
+        assert self.TABLE.to_json_records(default=str, indent=2) == expected
+
+    def test_empty_table(self):
+        empty = Table.empty(Schema.of("a"))
+        assert empty.to_json_records() == "[]"
+        assert empty.to_json_records(indent=2) == "[]"
+        assert empty.json_rows() == []
+
+    def test_row_strings_match_per_row_dumps(self):
+        records = self.TABLE.to_records()
+        assert self.TABLE.json_rows(default=str) == [
+            json.dumps(r, default=str) for r in records
+        ]
+
+
+# -- memoized coercion ----------------------------------------------------
+
+class TestCoerceCells:
+    VALUES = ["1", "true", " 2.5 ", "", "  ", "text", None, "1", "true"]
+
+    def test_matches_cell_by_cell(self):
+        expected = [
+            None if v is None else coerce_cell(v) for v in self.VALUES
+        ]
+        assert coerce_cells(list(self.VALUES)) == expected
+
+    def test_repeats_coerce_once(self, monkeypatch):
+        calls = []
+
+        def counting(value):
+            calls.append(value)
+            return coerce_cell(value)
+
+        monkeypatch.setattr(formats_base, "coerce_cell", counting)
+        memo = {}
+        coerce_cells(["7", "7", "x", None, "7"], memo)
+        assert calls == ["7", "x"]
+        # A shared memo carries hits across columns.
+        coerce_cells(["x", "y"], memo)
+        assert calls == ["7", "x", "y"]
+
+
+# -- chunked line iteration ----------------------------------------------
+
+class TestIterDecodedLines:
+    def _lines(self, payload, encoding="utf-8"):
+        return list(iter_decoded_lines(payload, encoding, "test"))
+
+    def test_chunks_match_bytes(self):
+        text = "a,b\n1,2\nno trailing newline"
+        payload = text.encode()
+        chunked = iter([payload[:3], payload[3:4], b"", payload[4:]])
+        assert self._lines(chunked) == self._lines(payload)
+        assert self._lines(payload) == list(io.StringIO(text))
+
+    def test_multibyte_chunk_boundary(self):
+        payload = "é\nü\n".encode("utf-16")
+        # Cut mid-codepoint: every single-byte chunk.
+        chunked = iter([payload[i:i + 1] for i in range(len(payload))])
+        assert self._lines(chunked, "utf-16") == self._lines(
+            payload, "utf-16"
+        )
+
+    def test_bad_encoding_raises_format_error(self):
+        with pytest.raises(FormatError, match="not valid utf-8"):
+            self._lines(b"\xff\xfe\xff")
+        with pytest.raises(FormatError, match="not valid utf-8"):
+            self._lines(iter([b"ok\n", b"\xff\xff"]))
+
+
+# -- chunked file fetch ---------------------------------------------------
+
+class TestFetchChunks:
+    def test_chunks_concatenate_to_the_file(self, tmp_path):
+        data = bytes(range(256)) * 10
+        (tmp_path / "blob.bin").write_bytes(data)
+        config = {
+            "source": "blob.bin",
+            "base_dir": str(tmp_path),
+            "chunk_bytes": 100,
+        }
+        chunks = list(FileConnector().fetch_chunks(config))
+        assert b"".join(chunks) == data
+        assert all(len(c) == 100 for c in chunks[:-1])
+        assert 0 < len(chunks[-1]) <= 100
+
+    def test_missing_file_fails_eagerly(self, tmp_path):
+        config = {"source": "gone.csv", "base_dir": str(tmp_path)}
+        with pytest.raises(ConnectorError, match="data file not found"):
+            FileConnector().fetch_chunks(config)
+
+    @pytest.mark.parametrize("bad", [0, -1, "many"])
+    def test_invalid_chunk_bytes(self, tmp_path, bad):
+        (tmp_path / "x.csv").write_text("a\n")
+        config = {
+            "source": "x.csv",
+            "base_dir": str(tmp_path),
+            "chunk_bytes": bad,
+        }
+        with pytest.raises(ConnectorError, match="invalid chunk_bytes"):
+            FileConnector().fetch_chunks(config)
+
+
+# -- columnar alignment ---------------------------------------------------
+
+class TestAlign:
+    SOURCE = Table.from_rows(
+        Schema.of("id", "db_name"), [(1, "a"), (2, "b")]
+    )
+
+    def test_identical_schema_is_passthrough(self):
+        assert _align(self.SOURCE, self.SOURCE.schema) is self.SOURCE
+
+    def test_rename_subset_and_missing(self):
+        schema = Schema(
+            [Column("name", source_path="db_name"), Column("absent")]
+        )
+        aligned = _align(self.SOURCE, schema)
+        assert aligned.to_records() == [
+            {"name": "a", "absent": None},
+            {"name": "b", "absent": None},
+        ]
+        # Adopted columns are copies, not views of the source table.
+        assert aligned.column("name") is not self.SOURCE.column("db_name")
+
+
+# -- parallel load_many ---------------------------------------------------
+
+def _write_sources(tmp_path):
+    (tmp_path / "a.csv").write_text("x,y\n1,2\n3,4\n")
+    (tmp_path / "b.jsonl").write_text(
+        '{"x": 5, "y": 6}\n{"x": 7, "y": 8}\n{"x": 9, "y": 10}\n'
+    )
+    (tmp_path / "c.csv").write_text("x,y\n11,12\n")
+    schema = Schema.of("x", "y")
+    base = str(tmp_path)
+    return [
+        (schema, {"source": "a.csv", "base_dir": base, "stream": True}),
+        (schema, {"source": "b.jsonl", "base_dir": base, "format": "jsonl"}),
+        (schema, {"source": "c.csv", "base_dir": base}),
+    ]
+
+
+def _telemetry(obs, trace_id):
+    spans = [
+        (s.name, s.span_id, s.parent_id, sorted(s.attrs.items()))
+        for s in obs.tracer.trace(trace_id)
+    ]
+    metrics = {}
+    for name, entry in obs.metrics.as_dict().items():
+        key = "count" if entry["type"] == "histogram" else "value"
+        metrics[name] = [
+            (tuple(sorted(s["labels"].items())), s[key])
+            for s in entry["series"]
+        ]
+    return spans, metrics
+
+
+class TestLoadMany:
+    def test_tables_in_spec_order(self, tmp_path):
+        specs = _write_sources(tmp_path)
+        loader = DataObjectLoader(observability=Observability())
+        tables = loader.load_many(specs, parallelism=3)
+        assert [t.num_rows for t in tables] == [2, 3, 1]
+        assert tables[2].to_records() == [{"x": 11, "y": 12}]
+
+    def test_telemetry_identical_to_sequential(self, tmp_path):
+        specs = _write_sources(tmp_path)
+        seq_obs, par_obs = Observability(), Observability()
+        sequential = DataObjectLoader(observability=seq_obs)
+        with seq_obs.tracer.span("root") as seq_root:
+            seq_tables = [sequential.load(s, c) for s, c in specs]
+        parallel = DataObjectLoader(observability=par_obs)
+        with par_obs.tracer.span("root") as par_root:
+            par_tables = parallel.load_many(specs, parallelism=4)
+        assert [t.to_records() for t in par_tables] == [
+            t.to_records() for t in seq_tables
+        ]
+        assert _telemetry(par_obs, par_root.trace_id) == _telemetry(
+            seq_obs, seq_root.trace_id
+        )
+
+    def test_failure_replays_at_canonical_position(self, tmp_path):
+        specs = _write_sources(tmp_path)
+        specs.insert(
+            1,
+            (
+                Schema.of("x"),
+                {"source": "missing.csv", "base_dir": str(tmp_path)},
+            ),
+        )
+        obs = Observability()
+        loader = DataObjectLoader(observability=obs)
+        with pytest.raises(ConnectorError, match="data file not found"):
+            with obs.tracer.span("root") as root:
+                loader.load_many(specs, parallelism=4)
+        spans = obs.tracer.trace(root.trace_id)
+        fetches = [s for s in spans if s.name == "connector.fetch"]
+        # Spec order: a.csv succeeded, missing.csv failed inside its
+        # span; later specs never replay.
+        assert [s.attrs["source"] for s in fetches] == [
+            "a.csv", "missing.csv"
+        ]
+        assert fetches[1].attrs["error"] == "ConnectorError"
+
+    def test_stream_gate_falls_back(self, tmp_path):
+        (tmp_path / "d.json").write_text('[{"x": 1}]')
+        loader = DataObjectLoader(observability=Observability())
+        connector = loader.connectors.get("file")
+        base = str(tmp_path)
+        # JSON (whole-document) format cannot stream.
+        assert loader._stream_plan(
+            connector, {"source": "d.json", "stream": True}
+        ) is None
+        # Unknown format names fall back so the error surfaces on the
+        # whole-payload path.
+        assert loader._stream_plan(
+            connector, {"source": "d.json", "stream": True, "format": "nope"}
+        ) is None
+        with pytest.raises(FormatError, match="unknown format"):
+            loader.load(
+                Schema.of("x"),
+                {"source": "d.json", "base_dir": base, "format": "nope"},
+            )
+        # The gate is on for a chunk-capable format…
+        plan = loader._stream_plan(
+            connector, {"source": "d.csv", "stream": True, "format": "csv"}
+        )
+        assert plan is not None and plan[0] == "csv"
+        # …and off without the opt-in.
+        assert loader._stream_plan(
+            connector, {"source": "d.csv", "format": "csv"}
+        ) is None
+
+
+# -- /ds/ pagination ------------------------------------------------------
+
+ROWS = 3000
+
+PAGING_FLOW = (
+    "D:\n    raw: [k, v]\n"
+    "    wide: [k, copies]\n"
+    "F:\n    D.wide: D.raw | T.agg\n"
+    "    D.wide:\n        endpoint: true\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: count\n"
+    "              out_field: copies\n"
+)
+
+
+class TestDsPagination:
+    """Regression: ``/ds/`` must materialize only the requested page.
+
+    The route used to run ``table.to_records()[offset:offset + limit]``
+    — every row became a dict to serve a 50-row page.  These tests fail
+    against that implementation (the spy sees a full-table
+    ``to_records`` call) and pin the paged body byte-for-byte to the
+    legacy ``json.dumps`` payload.
+    """
+
+    @pytest.fixture
+    def client(self):
+        platform = Platform()
+        app = ShareInsightsApp(platform)
+
+        def call(method, path, body=b"", query=""):
+            captured = {}
+
+            def start_response(status, headers):
+                captured["status"] = status
+
+            environ = {
+                "REQUEST_METHOD": method,
+                "PATH_INFO": path,
+                "QUERY_STRING": query,
+                "CONTENT_LENGTH": str(len(body)),
+                "wsgi.input": io.BytesIO(body),
+            }
+            payload = b"".join(app(environ, start_response))
+            return captured["status"], payload
+
+        call.platform = platform
+        return call
+
+    @pytest.fixture
+    def served(self, client, monkeypatch):
+        status, _ = client(
+            "POST", "/dashboards/big/create", PAGING_FLOW.encode()
+        )
+        assert status.startswith("201")
+        raw = Table.from_rows(
+            Schema.of("k", "v"),
+            [(f"key{i:05d}", i) for i in range(ROWS)],
+        )
+        client.platform.get_dashboard("big")._inline_tables["raw"] = raw
+        status, _ = client("POST", "/dashboards/big/run")
+        assert status.startswith("200")
+        endpoint = client.platform.get_dashboard("big").endpoint("wide")
+        assert endpoint.num_rows == ROWS
+
+        materialized = []
+        original = Table.to_records
+
+        def spying(table):
+            materialized.append(table.num_rows)
+            return original(table)
+
+        monkeypatch.setattr(Table, "to_records", spying)
+        return client, endpoint, materialized
+
+    def _expected(self, endpoint, offset, limit):
+        records = list(endpoint.rows())
+        return json.dumps(
+            {
+                "dataset": "wide",
+                "columns": endpoint.schema.names,
+                "total_rows": ROWS,
+                "rows": records[offset:offset + limit],
+            },
+            default=str,
+        ).encode("utf-8")
+
+    @pytest.mark.parametrize(
+        "offset, limit",
+        [(0, 50), (1234, 7), (ROWS - 3, 50), (-5, 3), (0, 0)],
+    )
+    def test_page_bytes_match_legacy_payload(self, served, offset, limit):
+        client, endpoint, materialized = served
+        status, body = client(
+            "GET",
+            "/dashboards/big/ds/wide",
+            query=f"offset={offset}&limit={limit}",
+        )
+        assert status.startswith("200")
+        assert body == self._expected(endpoint, offset, limit)
+        # The regression: serving one page must never materialize the
+        # full table as record dicts.
+        assert all(count <= max(limit, 0) for count in materialized)
+
+    def test_default_page_never_materializes_full_table(self, served):
+        client, endpoint, materialized = served
+        status, body = client("GET", "/dashboards/big/ds/wide")
+        assert status.startswith("200")
+        payload = json.loads(body)
+        assert payload["total_rows"] == ROWS
+        assert len(payload["rows"]) == 1000  # default limit
+        assert max(materialized, default=0) <= 1000
