@@ -21,6 +21,8 @@ BATCH_JSON = RESULTS_DIR / "BENCH_batch.json"
 
 INGEST_JSON = RESULTS_DIR / "BENCH_ingest.json"
 
+SERVING_JSON = RESULTS_DIR / "BENCH_serving.json"
+
 
 def report(name: str, text: str) -> None:
     """Print a figure's series and persist it under results/."""
@@ -80,6 +82,26 @@ def report_ingest(section: str, payload: dict) -> None:
         merged = json.loads(INGEST_JSON.read_text(encoding="utf-8"))
     merged[section] = payload
     INGEST_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{section}: {json.dumps(payload, sort_keys=True)}")
+
+
+def report_serving(section: str, payload: dict) -> None:
+    """Merge one load-harness phase into ``BENCH_serving.json``.
+
+    Same merge discipline as :func:`report_interactive`: each section
+    (steady/overload/recovery/verdict) owns one top-level key, so CI
+    smoke runs update their sections without clobbering full-mode
+    results.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if SERVING_JSON.exists():
+        merged = json.loads(SERVING_JSON.read_text(encoding="utf-8"))
+    merged[section] = payload
+    SERVING_JSON.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

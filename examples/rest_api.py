@@ -39,10 +39,12 @@ def main() -> None:
     from repro.data import Schema, Table
 
     platform = Platform()
-    server = serve(platform, port=0)  # pick a free port
+    ready = threading.Event()
+    server = serve(platform, port=0, ready_event=ready)  # free port
     port = server.server_address[1]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
+    ready.wait(5.0)  # listener + worker pool up; no sleeps, no races
     base = f"http://127.0.0.1:{port}"
     print(f"ShareInsights REST API listening on {base}\n")
 

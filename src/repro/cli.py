@@ -112,6 +112,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_common(serve)
     serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="serving-tier worker threads (default: 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help=(
+            "bounded admission queue length; a full queue answers "
+            "503 + Retry-After instead of waiting (default: 16)"
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "end-to-end per-request deadline, queue wait included; "
+            "expiry answers 504 (default: 10)"
+        ),
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help=(
+            "token-bucket rate limit per (route, tenant) in "
+            "requests/second; over-limit answers 429 (default: off)"
+        ),
+    )
 
     return parser
 
@@ -207,19 +244,29 @@ def _cmd_explain(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.server import serve
+    from repro.server import ServingConfig, serve
 
     platform, name = _load(args)
     platform.run_dashboard(name)
-    server = serve(platform, port=args.port)
+    config = ServingConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout=args.request_timeout,
+        rate_limit=args.rate_limit,
+    )
+    server = serve(platform, port=args.port, config=config)
+    host, port = server.server_address
     print(
-        f"serving {name!r} on http://127.0.0.1:{args.port}/dashboards",
+        f"serving {name!r} on http://{host}:{port}/dashboards "
+        f"({config.workers} workers, queue {config.queue_depth}, "
+        f"deadline {config.request_timeout}s)",
         file=sys.stderr,
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        print("draining...", file=sys.stderr)
+        server.shutdown()
     return 0
 
 

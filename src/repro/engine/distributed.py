@@ -64,6 +64,7 @@ from repro.resilience import (
     FaultInjector,
     RetryPolicy,
     SimulatedClock,
+    check_deadline,
 )
 from repro.tasks.base import Task, TaskContext
 from repro.tasks.groupby import GroupByTask
@@ -389,6 +390,10 @@ class DistributedExecutor:
             "engine.run", engine="distributed", partitions=self._parts
         ) as root:
             for node in plan.topological_order():
+                # Stage-boundary deadline poll (see resilience.deadline):
+                # completed stages are already checkpointed, so a rerun
+                # after the 504 resumes instead of starting over.
+                check_deadline(f"stage {node.label()!r}")
                 before = len(stages)
                 with self._tracer.span(
                     "stage", task=node.label()

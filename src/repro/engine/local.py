@@ -16,6 +16,7 @@ from typing import Callable
 from repro.data import Table
 from repro.engine.plan import LogicalPlan, PlanNode
 from repro.errors import ExecutionError, ShareInsightsError
+from repro.resilience.deadline import check_deadline
 from repro.observability import (
     MetricsRegistry,
     Tracer,
@@ -108,6 +109,11 @@ class LocalExecutor:
             "engine.run", engine="local"
         ) as root:
             for node in plan.topological_order():
+                # Stage-boundary deadline poll: an expired request stops
+                # here, before starting more work; nothing partial is
+                # published because materialized tables only leave this
+                # method on success.
+                check_deadline(f"stage {node.label()!r}")
                 node_started = time.perf_counter()
                 rows_in = sum(
                     tables[input_id].num_rows

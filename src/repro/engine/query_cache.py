@@ -30,6 +30,7 @@ Hit/miss/eviction/invalidation counts land in the shared
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
@@ -79,9 +80,16 @@ class QueryResultCache:
         self._metrics = metrics
         self._name = name
         self.stats = CacheStats()
+        # The serving tier's workers share one cache; every mutation of
+        # the OrderedDict (and the stats counters) happens under this
+        # lock.  Lock ordering (docs/serving.md): the cache lock is
+        # below the platform lock and never held while calling out —
+        # metric recording happens after release.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def name(self) -> str:
@@ -97,18 +105,23 @@ class QueryResultCache:
         same table object; a mismatch drops the stale entry and counts
         as a miss.
         """
-        entry = self._entries.get((scope, key))
-        if entry is not None and (
-            source is None or entry.source is source
-        ):
-            self._entries.move_to_end((scope, key))
-            self.stats.hits += 1
+        with self._lock:
+            entry = self._entries.get((scope, key))
+            if entry is not None and (
+                source is None or entry.source is source
+            ):
+                self._entries.move_to_end((scope, key))
+                self.stats.hits += 1
+                hit = True
+            else:
+                if entry is not None:
+                    # Same fingerprint, different source data: stale.
+                    del self._entries[(scope, key)]
+                self.stats.misses += 1
+                hit = False
+        if hit:
             self._count("hits")
             return entry.result
-        if entry is not None:
-            # Same fingerprint, different source data: stale.
-            del self._entries[(scope, key)]
-        self.stats.misses += 1
         self._count("misses")
         return None
 
@@ -118,32 +131,38 @@ class QueryResultCache:
         """Insert (or refresh) an entry, evicting the LRU entry on
         overflow."""
         full_key = (scope, key)
-        if full_key in self._entries:
-            self._entries.move_to_end(full_key)
-        self._entries[full_key] = _Entry(source, result)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        evicted = 0
+        with self._lock:
+            if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+            self._entries[full_key] = _Entry(source, result)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
             self._count("evictions")
 
     def invalidate(self, scope_prefix: tuple | None = None) -> int:
         """Drop entries whose scope starts with ``scope_prefix`` (all
         entries when ``None``).  Returns the number dropped."""
-        if scope_prefix is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-        else:
-            width = len(scope_prefix)
-            doomed = [
-                full_key
-                for full_key in self._entries
-                if full_key[0][:width] == scope_prefix
-            ]
-            for full_key in doomed:
-                del self._entries[full_key]
-            dropped = len(doomed)
+        with self._lock:
+            if scope_prefix is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                width = len(scope_prefix)
+                doomed = [
+                    full_key
+                    for full_key in self._entries
+                    if full_key[0][:width] == scope_prefix
+                ]
+                for full_key in doomed:
+                    del self._entries[full_key]
+                dropped = len(doomed)
+            if dropped:
+                self.stats.invalidations += dropped
         if dropped:
-            self.stats.invalidations += dropped
             self._count("invalidations", dropped)
         return dropped
 

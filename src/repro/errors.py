@@ -97,6 +97,18 @@ class WorkerLostError(TaskExecutionError):
     retryable = True
 
 
+class DeadlineExceededError(ShareInsightsError):
+    """A request's end-to-end deadline expired before the work finished.
+
+    Raised by :class:`~repro.resilience.Deadline` checks at engine stage
+    boundaries and mapped to ``504 Gateway Timeout`` by the REST layer.
+    Retryable: the same request may well fit the budget on a less loaded
+    server (the client should honor ``Retry-After`` first).
+    """
+
+    retryable = True
+
+
 class ConnectorError(ShareInsightsError):
     """A data connector could not fetch or store a payload."""
 

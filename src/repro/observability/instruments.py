@@ -41,6 +41,13 @@ QUERY_CACHE_HITS = "repro_query_cache_hits_total"
 QUERY_CACHE_MISSES = "repro_query_cache_misses_total"
 QUERY_CACHE_EVICTIONS = "repro_query_cache_evictions_total"
 QUERY_CACHE_INVALIDATIONS = "repro_query_cache_invalidations_total"
+SERVING_QUEUE_DEPTH = "repro_serving_queue_depth"
+SERVING_INFLIGHT = "repro_serving_inflight"
+SERVING_SHED_STATE = "repro_serving_shed_state"
+SERVING_ADMITTED = "repro_serving_admitted_total"
+SERVING_REJECTED = "repro_serving_rejected_total"
+SERVING_DEADLINE_EXPIRED = "repro_serving_deadline_expired_total"
+SERVING_SHED_SERVES = "repro_serving_shed_serves_total"
 
 _CACHE_EVENT_METRICS = {
     "hits": (QUERY_CACHE_HITS, "Interactive query-cache hits"),
@@ -139,6 +146,37 @@ def record_run(
     metrics.histogram(
         RUN_DURATION, "Wall time of one complete engine run"
     ).observe(seconds, engine=engine)
+
+
+def record_admission(
+    metrics: MetricsRegistry, route: str, queue_depth: int, inflight: int
+) -> None:
+    """One request admitted into the serving tier's worker queue."""
+    metrics.counter(
+        SERVING_ADMITTED, "Requests admitted by the serving tier"
+    ).inc(route=route)
+    metrics.gauge(
+        SERVING_QUEUE_DEPTH, "Requests waiting in the admission queue"
+    ).set(queue_depth)
+    metrics.gauge(
+        SERVING_INFLIGHT, "Requests currently executing on workers"
+    ).set(inflight)
+
+
+def record_rejection(
+    metrics: MetricsRegistry, route: str, reason: str
+) -> None:
+    """One request rejected before execution.
+
+    ``reason`` is one of ``queue_full``, ``rate_limited``, ``shed``,
+    ``draining`` — the intentional-shed vocabulary the load harness
+    distinguishes from real 5xx failures.
+    """
+    metrics.counter(
+        SERVING_REJECTED,
+        "Requests rejected by admission control, rate limiting, "
+        "overload shedding or drain",
+    ).inc(route=route, reason=reason)
 
 
 def record_request(

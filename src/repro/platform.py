@@ -13,6 +13,7 @@ telemetry the paper's §5.2.1 dashboards are built from.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -82,6 +83,15 @@ class Platform:
         )
         self.dashboards: dict[str, Dashboard] = {}
         self.events: list[PlatformEvent] = []
+        # Concurrency safety (docs/serving.md has the lock-ordering
+        # table).  ``_lock`` guards the dashboard map, the repository
+        # and the event log; compiles run *outside* it so concurrent
+        # creates/saves parallelize, with a re-check on insert.
+        # ``_run_locks`` serialize runs per dashboard: two concurrent
+        # POST .../run calls for one dashboard execute back to back
+        # instead of interleaving ``_materialized`` updates.
+        self._lock = threading.RLock()
+        self._run_locks: dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # dashboard CRUD (the §4.3.1 REST operations' backend)
@@ -97,16 +107,27 @@ class Platform:
         user: str = "",
     ) -> Dashboard:
         """Create a dashboard from flow-file text (compiles immediately)."""
-        if name in self.dashboards:
-            raise ShareInsightsError(f"dashboard {name!r} already exists")
+        with self._lock:
+            if name in self.dashboards:
+                raise ShareInsightsError(
+                    f"dashboard {name!r} already exists"
+                )
         dashboard = self._build(
             name, source, data_dir, inline_tables, dictionaries,
             environment, user,
         )
-        self.dashboards[name] = dashboard
-        self.repository.commit(
-            name, source, message=f"create {name}", author=user
-        )
+        with self._lock:
+            # Re-check: a concurrent create may have won the compile
+            # race; first insert wins, the loser gets the same error a
+            # sequential caller would.
+            if name in self.dashboards:
+                raise ShareInsightsError(
+                    f"dashboard {name!r} already exists"
+                )
+            self.dashboards[name] = dashboard
+            self.repository.commit(
+                name, source, message=f"create {name}", author=user
+            )
         self._log("create", name, {"bytes": len(source)}, user)
         return dashboard
 
@@ -124,14 +145,19 @@ class Platform:
             existing.environment,
             user,
         )
-        # Incremental recomputation: results of flows untouched by this
-        # edit carry over, so the next run_flows(incremental=True) only
-        # re-runs the stale part of the DAG.
-        adopted = dashboard.adopt_materialized(existing)
-        self.dashboards[name] = dashboard
-        self.repository.commit(
-            name, source, message=f"save {name}", author=user
-        )
+        with self._lock:
+            # Adopt from whatever version is live *now* (a concurrent
+            # save may have replaced ``existing`` during our compile);
+            # the swap and the repo commit land atomically.
+            current = self.dashboards.get(name, existing)
+            # Incremental recomputation: results of flows untouched by
+            # this edit carry over, so the next
+            # run_flows(incremental=True) only re-runs the stale DAG.
+            adopted = dashboard.adopt_materialized(current)
+            self.dashboards[name] = dashboard
+            self.repository.commit(
+                name, source, message=f"save {name}", author=user
+            )
         self._log(
             "save",
             name,
@@ -144,8 +170,9 @@ class Platform:
         self, source_name: str, new_name: str, user: str = ""
     ) -> Dashboard:
         """Fork an existing dashboard (§5.2 obs. 3: 'fork to go')."""
-        source_text = self.repository.read(source_name)
-        existing = self.get_dashboard(source_name)
+        with self._lock:
+            source_text = self.repository.read(source_name)
+            existing = self.get_dashboard(source_name)
         dashboard = self._build(
             new_name,
             source_text,
@@ -155,8 +182,13 @@ class Platform:
             existing.environment,
             user,
         )
-        self.dashboards[new_name] = dashboard
-        self.repository.fork(source_name, new_name, author=user)
+        with self._lock:
+            if new_name in self.dashboards:
+                raise ShareInsightsError(
+                    f"dashboard {new_name!r} already exists"
+                )
+            self.dashboards[new_name] = dashboard
+            self.repository.fork(source_name, new_name, author=user)
         self._log(
             "fork",
             new_name,
@@ -179,27 +211,32 @@ class Platform:
         save path, so an invalid merge result never replaces the live
         dashboard.
         """
-        self.repository.merge(
-            name, source_branch, into_branch=into_branch, author=user
-        )
-        merged = self.repository.read(name, branch=into_branch)
+        with self._lock:
+            self.repository.merge(
+                name, source_branch, into_branch=into_branch, author=user
+            )
+            merged = self.repository.read(name, branch=into_branch)
         return self.save_dashboard(name, merged, user=user)
 
     def delete_dashboard(self, name: str, user: str = "") -> None:
-        self.get_dashboard(name)
-        del self.dashboards[name]
+        with self._lock:
+            self.get_dashboard(name)
+            del self.dashboards[name]
         self._log("delete", name, {}, user)
 
     def get_dashboard(self, name: str) -> Dashboard:
-        dashboard = self.dashboards.get(name)
-        if dashboard is None:
-            raise ShareInsightsError(
-                f"no dashboard {name!r}; have {sorted(self.dashboards)}"
-            )
-        return dashboard
+        with self._lock:
+            dashboard = self.dashboards.get(name)
+            if dashboard is None:
+                raise ShareInsightsError(
+                    f"no dashboard {name!r}; "
+                    f"have {sorted(self.dashboards)}"
+                )
+            return dashboard
 
     def dashboard_names(self) -> list[str]:
-        return sorted(self.dashboards)
+        with self._lock:
+            return sorted(self.dashboards)
 
     # ------------------------------------------------------------------
     # execution
@@ -214,11 +251,16 @@ class Platform:
     ) -> RunReport:
         dashboard = self.get_dashboard(name)
         try:
-            report = dashboard.run_flows(
-                engine=engine,
-                fault_profile=fault_profile,
-                parallelism=parallelism,
-            )
+            # One run at a time per dashboard: concurrent POST .../run
+            # calls serialize here instead of interleaving materialized
+            # updates; the run applies to the version captured above
+            # even if a concurrent save swaps the live dashboard.
+            with self._run_lock(name):
+                report = dashboard.run_flows(
+                    engine=engine,
+                    fault_profile=fault_profile,
+                    parallelism=parallelism,
+                )
         except ShareInsightsError as exc:
             self._log(
                 "error",
@@ -249,6 +291,19 @@ class Platform:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _run_lock(self, name: str) -> threading.Lock:
+        """The per-dashboard run lock (created on first use).
+
+        Lock ordering: acquired *after* releasing ``_lock`` and before
+        any query-cache lock; never held while taking ``_lock``.
+        """
+        with self._lock:
+            lock = self._run_locks.get(name)
+            if lock is None:
+                lock = threading.Lock()
+                self._run_locks[name] = lock
+            return lock
+
     def _build(
         self,
         name: str,
@@ -318,11 +373,13 @@ class Platform:
         detail: dict[str, Any],
         user: str = "",
     ) -> None:
-        self.events.append(
-            PlatformEvent(
-                kind=kind, dashboard=dashboard, detail=detail, user=user
+        with self._lock:
+            self.events.append(
+                PlatformEvent(
+                    kind=kind, dashboard=dashboard, detail=detail,
+                    user=user,
+                )
             )
-        )
         # The event log and the metrics registry are one telemetry
         # surface: every platform event is also a counter series.
         self.observability.metrics.counter(

@@ -13,7 +13,11 @@ vocabulary for absorbing them:
   targeting stage kind, task, partition and attempt, so recovery paths
   are *testable*;
 - :class:`CheckpointStore` — materialized-output snapshots that let a
-  rerun skip completed stages.
+  rerun skip completed stages;
+- :class:`Deadline` — per-request wall-clock budgets, threaded from the
+  serving tier into engine stage loops via :func:`deadline_scope` /
+  :func:`check_deadline`, so overloaded servers stop work nobody is
+  waiting for.
 
 Error classification (which failures are worth retrying) lives on the
 exception hierarchy itself: see ``repro.errors.is_retryable``.
@@ -28,6 +32,12 @@ from repro.resilience.breaker import (
 )
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.clock import Clock, SimulatedClock, WallClock
+from repro.resilience.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.resilience.faults import (
     FATAL,
     LOST,
@@ -46,6 +56,10 @@ __all__ = [
     "HALF_OPEN",
     "CheckpointStore",
     "Clock",
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
     "SimulatedClock",
     "WallClock",
     "FaultInjector",

@@ -3,10 +3,32 @@
 A dependency-free WSGI application over a :class:`~repro.platform.Platform`:
 dashboard CRUD/run routes, endpoint-data browsing (Figs. 27–28), the
 headless data explorer (Fig. 29) and the simplified ad-hoc query language
-(Fig. 30).
+(Fig. 30) — fronted in production by the serving tier
+(:mod:`repro.server.serving`): a fixed worker pool with bounded
+admission, per-request deadlines, rate limiting, overload shedding and
+graceful drain (see ``docs/serving.md``).
 """
 
 from repro.server.app import ShareInsightsApp, serve
 from repro.server.query_language import AdhocQuery, parse_adhoc_query
+from repro.server.serving import (
+    OverloadController,
+    RateLimiter,
+    ServingConfig,
+    ServingServer,
+    ServingTier,
+    TokenBucket,
+)
 
-__all__ = ["ShareInsightsApp", "serve", "AdhocQuery", "parse_adhoc_query"]
+__all__ = [
+    "ShareInsightsApp",
+    "serve",
+    "AdhocQuery",
+    "parse_adhoc_query",
+    "ServingConfig",
+    "ServingTier",
+    "ServingServer",
+    "TokenBucket",
+    "RateLimiter",
+    "OverloadController",
+]

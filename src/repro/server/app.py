@@ -17,13 +17,21 @@ Routes (all relative to the server base path):
 ``GET  /metrics``                                      Prometheus text / JSON
 ``GET  /trace``                                        retained trace ids
 ``GET  /trace/<run_id>``                               one trace's spans
+``GET  /health``                                       liveness probe
+``GET  /ready``                                        readiness + tier state
 =====================================================  =====================
 
 Every request runs inside an ``http.request`` span and lands in the
 request counters/histograms (see ``docs/observability.md``).
 
+Every non-2xx response body carries one structured shape —
+``{"error": {"type", "retryable", "detail", ...}}`` — so clients branch
+on ``type``/``retryable`` instead of parsing prose (contract-tested in
+``tests/integration/test_error_contract.py``).
+
 The app is a plain WSGI callable — tests drive it directly, and
-:func:`serve` wraps it in ``wsgiref`` for the examples.
+:func:`serve` wraps it in the threaded serving tier
+(:mod:`repro.server.serving`) for real deployments.
 """
 
 from __future__ import annotations
@@ -33,11 +41,17 @@ from typing import Any, Callable, Iterable
 from urllib.parse import parse_qsl
 
 from repro.engine.query_cache import QueryResultCache
-from repro.errors import QueryError, ShareInsightsError, is_retryable
+from repro.errors import (
+    DeadlineExceededError,
+    QueryError,
+    ShareInsightsError,
+    is_retryable,
+)
 from repro.observability import record_request
 from repro.observability.instruments import (
     DEGRADED_SERVES,
     ENDPOINT_QUERIES,
+    SERVING_SHED_SERVES,
 )
 from repro.platform import Platform
 from repro.server.query_language import parse_adhoc_query
@@ -83,12 +97,33 @@ class ShareInsightsApp:
                     method, path, query, environ
                 )
             except QueryError as exc:
-                status, content_type, body = _error(400, str(exc))
+                status, content_type, body = _error(
+                    400, str(exc), error_type="QueryError"
+                )
+            except DeadlineExceededError as exc:
+                status, content_type, body = _error(
+                    504, str(exc), error_type="DeadlineExceededError",
+                    retryable=True,
+                )
             except ShareInsightsError as exc:
                 status, content_type, body = _error(
                     422, str(exc), **_failure_detail(exc)
                 )
+            except Exception as exc:  # noqa: BLE001 - structured 500
+                # Bugs must not take the worker down or leak a raw
+                # traceback to the wire; they surface as a structured,
+                # non-retryable 500 (and in the request metrics).
+                status, content_type, body = _error(
+                    500, f"unhandled {type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                )
             span.set(status=status.split(" ", 1)[0])
+            deadline = environ.get("repro.deadline")
+            if deadline is not None:
+                span.set(
+                    deadline_budget=round(deadline.budget, 6),
+                    deadline_remaining=round(deadline.remaining(), 6),
+                )
         record_request(
             obs.metrics, _route_label(path), method, status, span.duration
         )
@@ -112,6 +147,10 @@ class ShareInsightsApp:
         segments = [s for s in path.split("/") if s]
         if not segments:
             return _json({"service": "ShareInsights", "version": "1.0"})
+        if segments[0] == "health" and method == "GET":
+            return _json({"status": "ok"})
+        if segments[0] == "ready" and method == "GET":
+            return self._ready(environ)
         if segments[0] == "metrics" and method == "GET":
             return self._metrics(query, environ)
         if segments[0] == "trace" and method == "GET":
@@ -179,7 +218,7 @@ class ShareInsightsApp:
             return _json({"forked": rest[1], "from": name},
                          status="201 Created")
         if action == "ds":
-            return self._route_ds(name, rest[1:], query)
+            return self._route_ds(name, rest[1:], query, environ)
         if action == "explorer" and method == "GET":
             return self._explorer(name, query)
         if action == "widgets" and method == "GET" and len(rest) == 2:
@@ -267,9 +306,56 @@ class ShareInsightsApp:
             }
         )
 
+    # -- health / readiness ----------------------------------------------
+    def _ready(self, environ: dict[str, Any]) -> tuple[str, str, bytes]:
+        """Readiness: drain state, serving-tier snapshot, breaker
+        summary, dashboard count.  ``503`` while draining, else 200."""
+        tier = environ.get("repro.serving")
+        serving = tier.snapshot() if tier is not None else None
+        draining = bool(serving and serving.get("draining"))
+        payload = {
+            "ready": not draining,
+            "draining": draining,
+            "dashboards": len(self.platform.dashboards),
+            "serving": serving,
+            "breakers": self.breaker_summary(),
+        }
+        if draining:
+            body = json.dumps(payload, default=str).encode("utf-8")
+            return "503 Service Unavailable", "application/json", body
+        return _json(payload)
+
+    def breaker_summary(self) -> dict[str, str]:
+        """Per-host circuit-breaker states across registered connectors
+        (empty when no connector has breaking enabled)."""
+        summary: dict[str, str] = {}
+        connectors = getattr(self.platform.connectors, "_connectors", {})
+        for protocol, connector in sorted(connectors.items()):
+            breakers = getattr(connector, "_breakers", None)
+            if not breakers:
+                continue
+            for host, breaker in sorted(breakers.items()):
+                summary[f"{protocol}://{host}"] = breaker.state
+        return summary
+
+    def checkpoint_last_good(self, store) -> list[str]:
+        """Drain hook: snapshot last-known-good endpoint tables into a
+        :class:`~repro.resilience.CheckpointStore` so a restarted server
+        can serve degraded reads immediately."""
+        names = []
+        for (dashboard, dataset), table in sorted(self._last_good.items()):
+            name = f"{dashboard}/{dataset}"
+            store.put(name, table)
+            names.append(name)
+        return names
+
     # -- endpoint data (Figs. 27, 28, 30) ------------------------------------
     def _route_ds(
-        self, name: str, segments: list[str], query: dict[str, str]
+        self,
+        name: str,
+        segments: list[str],
+        query: dict[str, str],
+        environ: dict[str, Any] | None = None,
     ) -> tuple[str, str, bytes]:
         dashboard = self.platform.get_dashboard(name)
         if not segments:
@@ -282,6 +368,9 @@ class ShareInsightsApp:
         obs.metrics.counter(
             ENDPOINT_QUERIES, "Endpoint dataset reads and ad-hoc queries"
         ).inc(dashboard=name, dataset=adhoc.dataset)
+        shed = bool(environ and environ.get("repro.serving.shed"))
+        if shed:
+            return self._route_ds_shed(name, adhoc, query, obs)
         cache_key = (name, adhoc.dataset)
         degraded_error: str | None = None
         try:
@@ -348,6 +437,69 @@ class ShareInsightsApp:
                 degraded_error
             )
         body += "}"
+        return "200 OK", "application/json", body.encode("utf-8")
+
+    def _route_ds_shed(
+        self, name: str, adhoc, query: dict[str, str], obs
+    ) -> tuple[str, str, bytes]:
+        """Overload path: serve ``/ds/`` reads without any recompute.
+
+        Only already-materialized data is touched — the last-known-good
+        copy (or the dashboard's materialized table) plus the query
+        cache.  Responses are marked ``degraded: true`` (+ ``shed``)
+        per the resilience contract; with nothing cached the read is
+        shed with a structured 503 instead of queueing a recompute.
+        """
+        dashboard = self.platform.get_dashboard(name)
+        table = self._last_good.get((name, adhoc.dataset))
+        if table is None:
+            table = dashboard._materialized.get(adhoc.dataset)
+        if table is None:
+            return _error(
+                503,
+                f"server is shedding load and no cached copy of "
+                f"{adhoc.dataset!r} exists; retry shortly",
+                error_type="Overloaded",
+                retryable=True,
+                shed=True,
+            )
+        scope = (name, adhoc.dataset)
+        fingerprint = adhoc.fingerprint()
+        cached = self.query_cache.get(scope, fingerprint, source=table)
+        if cached is not None:
+            table_out = cached
+        else:
+            # Query evaluation over an in-memory table is columnar-
+            # kernel cheap; what shed mode avoids is the endpoint
+            # recompute/fetch, which never happens on this path.
+            table_out = adhoc.execute(table)
+            self.query_cache.put(
+                scope, fingerprint, table_out, source=table
+            )
+        obs.metrics.counter(
+            SERVING_SHED_SERVES,
+            "Endpoint reads served from cache while shedding",
+        ).inc(dashboard=name, dataset=adhoc.dataset)
+        obs.metrics.counter(
+            DEGRADED_SERVES,
+            "Endpoint reads served from the last-known-good copy",
+        ).inc(dashboard=name, dataset=adhoc.dataset)
+        limit = int(query.get("limit", 1000))
+        offset = int(query.get("offset", 0))
+        window = range(table_out.num_rows)[offset: offset + limit]
+        page = table_out.take(window)
+        head = json.dumps(
+            {
+                "dataset": adhoc.dataset,
+                "columns": table_out.schema.names,
+                "total_rows": table_out.num_rows,
+            },
+            default=str,
+        )
+        body = (
+            head[:-1] + ', "rows": ' + page.to_json_records()
+            + ', "degraded": true, "shed": true}'
+        )
         return "200 OK", "application/json", body.encode("utf-8")
 
     # -- data explorer (Fig. 29) -----------------------------------------------
@@ -552,7 +704,7 @@ def _html(html: str, status: str = "200 OK") -> tuple[str, str, bytes]:
 def _failure_detail(exc: ShareInsightsError) -> dict[str, Any]:
     """Structured failure fields for engine/connector errors."""
     detail: dict[str, Any] = {
-        "type": type(exc).__name__,
+        "error_type": type(exc).__name__,
         "retryable": is_retryable(exc),
     }
     task = getattr(exc, "task", None)
@@ -564,22 +716,56 @@ def _failure_detail(exc: ShareInsightsError) -> dict[str, Any]:
     return detail
 
 
+_STATUS_REASONS = {
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_DEFAULT_ERROR_TYPES = {
+    400: "BadRequest",
+    404: "NotFound",
+    405: "MethodNotAllowed",
+    422: "UnprocessableEntity",
+    429: "RateLimited",
+    500: "InternalError",
+    503: "Overloaded",
+    504: "DeadlineExceededError",
+}
+
+
 def _error(
-    code: int, message: str, **detail: Any
+    code: int,
+    message: str,
+    error_type: str | None = None,
+    retryable: bool = False,
+    **detail: Any,
 ) -> tuple[str, str, bytes]:
-    reasons = {
-        400: "Bad Request",
-        404: "Not Found",
-        405: "Method Not Allowed",
-        422: "Unprocessable Entity",
+    """One non-2xx body shape for the whole surface.
+
+    ``{"error": {"type", "retryable", "detail", ...}}`` — extra keys
+    (``task``, ``partition``, ``shed``…) land inside the error object.
+    Contract-tested across every route in
+    ``tests/integration/test_error_contract.py``.
+    """
+    status = f"{code} {_STATUS_REASONS.get(code, 'Error')}"
+    error: dict[str, Any] = {
+        "type": detail.pop("error_type", None)
+        or error_type
+        or _DEFAULT_ERROR_TYPES.get(code, "Error"),
+        "retryable": bool(detail.pop("retryable", retryable)),
+        "detail": message,
     }
-    status = f"{code} {reasons.get(code, 'Error')}"
-    payload: dict[str, Any] = {"error": message}
-    payload.update(detail)
+    error.update(detail)
     return (
         status,
         "application/json",
-        json.dumps(payload).encode("utf-8"),
+        json.dumps({"error": error}).encode("utf-8"),
     )
 
 
@@ -594,10 +780,29 @@ def _read_body(environ: dict[str, Any]) -> str:
     return stream.read(length).decode("utf-8")
 
 
-def serve(platform: Platform, host: str = "127.0.0.1", port: int = 8350):
-    """Serve the app with wsgiref (blocking); used by the REST example."""
-    from wsgiref.simple_server import make_server
+def serve(
+    platform: Platform,
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    config=None,
+    ready_event=None,
+    checkpoints=None,
+):
+    """Serve the app behind the production serving tier.
 
-    app = ShareInsightsApp(platform)
-    server = make_server(host, port, app)
-    return server
+    Returns a :class:`~repro.server.serving.ServingServer`: ``port=0``
+    binds an ephemeral port (read ``server_address``), ``ready_event``
+    is set once the listener and worker pool are up, and
+    ``shutdown()`` drains gracefully (checkpointing last-known-good
+    endpoint tables into ``checkpoints``).
+    """
+    from repro.server.serving import serve as _serve_tier
+
+    return _serve_tier(
+        platform,
+        host=host,
+        port=port,
+        config=config,
+        ready_event=ready_event,
+        checkpoints=checkpoints,
+    )

@@ -1,0 +1,245 @@
+"""Integration: one platform hammered from many threads at once.
+
+The serving tier runs the WSGI app on a fixed worker pool, so every
+shared structure — the platform's dashboard map, the per-dashboard run
+locks, the query-result cache, the last-known-good map, the metrics
+registry — sees genuine concurrency.  This suite drives the app
+directly from N threads with interleaved create/save/run/read traffic
+and asserts the invariants the locking exists for:
+
+* no request raises out of the app (every thread gets a response);
+* every response is an expected status (2xx, or a structured 4xx for
+  races the API defines, e.g. two creates of the same name);
+* readers of a dashboard being concurrently edited see rows from
+  exactly one committed version — never a blend of two;
+* the query cache's local stats and its registry counters agree.
+
+Marked ``hammer``: CI runs it, but ``REPRO_FAST=1`` skips it so the
+tier-1 loop stays fast.
+"""
+
+import io
+import json
+import os
+import threading
+
+import pytest
+
+from repro import Platform
+from repro.observability.instruments import (
+    QUERY_CACHE_EVICTIONS,
+    QUERY_CACHE_HITS,
+    QUERY_CACHE_INVALIDATIONS,
+    QUERY_CACHE_MISSES,
+)
+from repro.server import ShareInsightsApp
+
+pytestmark = [
+    pytest.mark.hammer,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_FAST") == "1",
+        reason="hammer excluded from the fast tier-1 loop",
+    ),
+]
+
+THREADS = 8
+ITERATIONS = 12
+
+FLOW_SUM = (
+    "D:\n    raw: [k, v]\n    out: [k, total]\n"
+    "F:\n    D.out: D.raw | T.agg\n"
+    "    D.out:\n        endpoint: true\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [k]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: v\n"
+    "              out_field: total\n"
+)
+
+FLOW_COUNT = FLOW_SUM.replace(
+    "- operator: sum\n              apply_on: v\n",
+    "- operator: count\n",
+)
+
+ROWS = [("a", 1), ("b", 2), ("a", 3)]
+#: groupby(k).sum(v) of ROWS
+EXPECT_SUM = {("a", 4), ("b", 2)}
+#: groupby(k).count of ROWS
+EXPECT_COUNT = {("a", 2), ("b", 1)}
+
+
+def _call(app, method, path, body=b"", query=""):
+    holder = {}
+
+    def start_response(status, headers):
+        holder["status"] = status
+
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(body)),
+        "wsgi.input": io.BytesIO(body),
+    }
+    chunks = app(environ, start_response)
+    return holder["status"], b"".join(chunks)
+
+
+def _install_rows(platform, name):
+    from repro.data import Schema, Table
+
+    platform.get_dashboard(name)._inline_tables["raw"] = Table.from_rows(
+        Schema.of("k", "v"), ROWS
+    )
+
+
+def _row_set(body):
+    return {
+        (row["k"], row["total"])
+        for row in json.loads(body)["rows"]
+    }
+
+
+def test_hammer_interleaved_crud_runs_and_reads():
+    platform = Platform()
+    app = ShareInsightsApp(platform)
+
+    # A shared dashboard every thread reads while one thread edits it.
+    _call(app, "POST", "/dashboards/shared/create", FLOW_SUM.encode())
+    _install_rows(platform, "shared")
+    _call(app, "POST", "/dashboards/shared/run")
+    # Populate the last-known-good copy: a reader that lands in the
+    # save→run window is served a committed version, degraded, instead
+    # of a 422 for a dataset that is mid-recompute.
+    _call(app, "GET", "/dashboards/shared/ds/out")
+
+    errors = []
+    statuses = []
+    shared_reads = []
+    lock = threading.Lock()
+    start = threading.Barrier(THREADS)
+
+    def worker(index):
+        try:
+            start.wait(timeout=10.0)
+            mine = f"dash{index}"
+            status, _ = _call(
+                app, "POST", f"/dashboards/{mine}/create",
+                FLOW_SUM.encode(),
+            )
+            assert status.startswith("201"), status
+            _install_rows(platform, mine)
+            for step in range(ITERATIONS):
+                local = []
+                if index == 0:
+                    # The writer: flip the shared dashboard between two
+                    # committed variants, re-running after each save.
+                    flow = FLOW_COUNT if step % 2 == 0 else FLOW_SUM
+                    local.append(_call(
+                        app, "POST", "/dashboards/shared/save",
+                        flow.encode(),
+                    )[0])
+                    local.append(_call(
+                        app, "POST", "/dashboards/shared/run"
+                    )[0])
+                local.append(_call(
+                    app, "POST", f"/dashboards/{mine}/run"
+                )[0])
+                status, body = _call(
+                    app, "GET", f"/dashboards/{mine}/ds/out"
+                )
+                local.append(status)
+                assert _row_set(body) == EXPECT_SUM
+                local.append(_call(
+                    app, "GET",
+                    f"/dashboards/{mine}/ds/out/orderby/total/desc",
+                )[0])
+                status, body = _call(
+                    app, "GET", "/dashboards/shared/ds/out"
+                )
+                local.append(status)
+                with lock:
+                    statuses.extend(local)
+                    shared_reads.append(_row_set(body))
+        except Exception as exc:  # noqa: BLE001 - collected, re-raised
+            with lock:
+                errors.append((index, repr(exc)))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"hammer-{i}")
+        for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert not any(t.is_alive() for t in threads), "hammer deadlocked"
+
+    assert errors == []
+    assert statuses, "no traffic recorded"
+    allowed = {"200 OK", "201 Created"}
+    assert set(statuses) <= allowed, sorted(set(statuses) - allowed)
+
+    # Readers saw one committed version or the other, never a blend.
+    for rows in shared_reads:
+        assert rows in (EXPECT_SUM, EXPECT_COUNT), rows
+
+    # The cache's local stats and its registry counters tell one story.
+    metrics = platform.observability.metrics
+    stats = app.query_cache.stats
+    for name, value in [
+        (QUERY_CACHE_HITS, stats.hits),
+        (QUERY_CACHE_MISSES, stats.misses),
+        (QUERY_CACHE_EVICTIONS, stats.evictions),
+        (QUERY_CACHE_INVALIDATIONS, stats.invalidations),
+    ]:
+        counter = metrics.get(name)
+        recorded = counter.value(cache="server") if counter else 0
+        assert recorded == value, (name, recorded, value)
+
+    # Quiesced: a final run + read reflects the last committed variant.
+    _call(app, "POST", "/dashboards/shared/run")
+    _, body = _call(app, "GET", "/dashboards/shared/ds/out")
+    final = FLOW_COUNT if (ITERATIONS - 1) % 2 == 0 else FLOW_SUM
+    expected = EXPECT_COUNT if final is FLOW_COUNT else EXPECT_SUM
+    assert _row_set(body) == expected
+
+
+def test_hammer_duplicate_creates_one_winner():
+    """N simultaneous creates of one name: exactly one 201, the rest
+    get the same structured 422 a sequential caller would."""
+    platform = Platform()
+    app = ShareInsightsApp(platform)
+    results = []
+    lock = threading.Lock()
+    start = threading.Barrier(THREADS)
+
+    def worker():
+        start.wait(timeout=10.0)
+        status, body = _call(
+            app, "POST", "/dashboards/contested/create",
+            FLOW_SUM.encode(),
+        )
+        with lock:
+            results.append((status, body))
+
+    threads = [
+        threading.Thread(target=worker) for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+    created = [r for r in results if r[0].startswith("201")]
+    refused = [r for r in results if r[0].startswith("422")]
+    assert len(created) == 1
+    assert len(refused) == THREADS - 1
+    for _status, body in refused:
+        error = json.loads(body)["error"]
+        assert error["retryable"] is False
+        assert "already exists" in error["detail"]
+    assert platform.dashboard_names() == ["contested"]

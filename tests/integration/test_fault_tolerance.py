@@ -212,9 +212,9 @@ class TestServerResilience:
             "engine=local&fault_profile=transient",
         )
         assert status.startswith("422")
-        assert body["type"] == "ExecutionError"
-        assert body["retryable"] is False
-        assert "distributed" in body["error"]
+        assert body["error"]["type"] == "ExecutionError"
+        assert body["error"]["retryable"] is False
+        assert "distributed" in body["error"]["detail"]
 
     def test_degraded_serving_uses_last_known_good(self, client):
         client("POST", "/dashboards/sales/run")
@@ -239,8 +239,8 @@ class TestServerResilience:
         # Without a cached copy there is nothing to degrade to.
         status, body = client("GET", "/dashboards/sales/ds/raw")
         assert status.startswith("422")
-        assert "unreachable" in body["error"]
-        assert body["type"] == "ShareInsightsError"
+        assert "unreachable" in body["error"]["detail"]
+        assert body["error"]["type"] == "ShareInsightsError"
 
 
 # ---------------------------------------------------------------------------

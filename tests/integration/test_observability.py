@@ -228,7 +228,7 @@ class TestMetricsAndTraceRoutes:
 
         status, _headers, body = client("GET", "/trace/t9999")
         assert status.startswith("404")
-        assert "t9999" in json.loads(body)["error"]
+        assert "t9999" in json.loads(body)["error"]["detail"]
 
     def test_requests_are_traced_and_counted(self, client):
         client("GET", "/dashboards")

@@ -136,7 +136,7 @@ class TestRunParallelism:
                 query=f"parallelism={bad}",
             )
             assert status.startswith("400"), bad
-            assert "parallelism" in json.loads(body)["error"]
+            assert "parallelism" in json.loads(body)["error"]["detail"]
 
 
 class TestEndpointData:

@@ -1,0 +1,226 @@
+"""Integration: the serving tier over real sockets.
+
+``serve(platform, port=0, ready_event=...)`` binds an ephemeral port
+and signals readiness, so these tests never sleep to synchronize and
+never collide on a fixed port.  They walk the production path end to
+end: HTTP client → connection thread → admission queue → worker pool →
+ShareInsightsApp → platform.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Platform
+from repro.data import Schema, Table
+from repro.server import ServingConfig, serve
+
+FLOW = (
+    "D:\n    raw: [project, category, stars]\n"
+    "    counts: [category, projects]\n"
+    "F:\n    D.counts: D.raw | T.agg\n"
+    "    D.counts:\n        endpoint: true\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [category]\n"
+    "        aggregates:\n"
+    "            - operator: count\n"
+    "              out_field: projects\n"
+)
+
+RAW = Table.from_rows(
+    Schema.of("project", "category", "stars"),
+    [
+        ("hadoop", "big data", 900),
+        ("spark", "big data", 1200),
+        ("kafka", "streaming", 800),
+    ],
+)
+
+
+def _request(base, method, path, body=b""):
+    """(status, headers, parsed-or-raw body); HTTP errors included."""
+    request = urllib.request.Request(
+        base + path, data=body if method == "POST" else None,
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            payload = response.read()
+            return response.status, dict(response.headers), payload
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture
+def server():
+    platform = Platform()
+    ready = threading.Event()
+    handle = serve(
+        platform,
+        port=0,
+        ready_event=ready,
+        config=ServingConfig(workers=2, queue_depth=8,
+                             request_timeout=5.0),
+    )
+    thread = threading.Thread(target=handle.serve_forever, daemon=True)
+    thread.start()
+    assert ready.wait(5.0), "server never became ready"
+    host, port = handle.server_address
+    handle.base = f"http://{host}:{port}"
+    handle.platform = platform
+    yield handle
+    handle.shutdown(drain_timeout=2.0)
+
+
+def _create_and_run(server):
+    status, _headers, _body = _request(
+        server.base, "POST", "/dashboards/proj/create", FLOW.encode()
+    )
+    assert status == 201
+    server.platform.get_dashboard("proj")._inline_tables["raw"] = RAW
+    status, _headers, body = _request(
+        server.base, "POST", "/dashboards/proj/run"
+    )
+    assert status == 200
+    return json.loads(body)
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_ready_event(self, server):
+        host, port = server.server_address
+        assert host == "127.0.0.1"
+        assert port > 0
+
+    def test_health_is_always_cheap(self, server):
+        status, _headers, body = _request(server.base, "GET", "/health")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_ready_reports_tier_snapshot_and_breakers(self, server):
+        status, _headers, body = _request(server.base, "GET", "/ready")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ready"] is True
+        assert payload["draining"] is False
+        serving = payload["serving"]
+        assert serving["workers"] == 2
+        assert serving["queue_limit"] == 8
+        assert serving["state"] == "normal"
+        assert isinstance(payload["breakers"], dict)
+
+    def test_full_dashboard_workflow_over_http(self, server):
+        report = _create_and_run(server)
+        assert report["endpoints"] == ["counts"]
+        status, _headers, body = _request(
+            server.base, "GET", "/dashboards/proj/ds/counts"
+        )
+        assert status == 200
+        rows = json.loads(body)["rows"]
+        assert {"category": "big data", "projects": 2} in rows
+
+    def test_graceful_shutdown_drains_and_checkpoints(self, server):
+        _create_and_run(server)
+        # A read populates the last-known-good map ...
+        _request(server.base, "GET", "/dashboards/proj/ds/counts")
+        assert server.shutdown(drain_timeout=2.0) is True
+        # ... and drain checkpointed it for the next incarnation.
+        assert "proj/counts" in server.checkpoints.names()
+        table = server.checkpoints.get("proj/counts")
+        assert table.num_rows == 2
+
+    def test_requests_after_drain_are_refused(self, server):
+        server.tier.drain(timeout=1.0)
+        status, headers, body = _request(
+            server.base, "GET", "/dashboards"
+        )
+        assert status == 503
+        assert "Retry-After" in headers
+        assert json.loads(body)["error"]["type"] == "ServerDraining"
+        # Liveness still answers so orchestrators can tell drained
+        # from dead.
+        assert _request(server.base, "GET", "/health")[0] == 200
+
+
+class TestBackpressure:
+    def test_rate_limit_answers_429_with_retry_after(self):
+        platform = Platform()
+        ready = threading.Event()
+        handle = serve(
+            platform, port=0, ready_event=ready,
+            config=ServingConfig(
+                workers=2, queue_depth=8, request_timeout=5.0,
+                rate_limit=0.001, rate_burst=1,
+            ),
+        )
+        threading.Thread(target=handle.serve_forever, daemon=True).start()
+        assert ready.wait(5.0)
+        host, port = handle.server_address
+        base = f"http://{host}:{port}"
+        try:
+            assert _request(base, "GET", "/dashboards")[0] == 200
+            status, headers, body = _request(base, "GET", "/dashboards")
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            error = json.loads(body)["error"]
+            assert error["type"] == "RateLimited"
+            assert error["retryable"] is True
+            # Separate tenants have separate buckets.
+            status, _h, _b = _request(
+                base, "GET", "/dashboards?tenant=other"
+            )
+            assert status == 200
+        finally:
+            handle.shutdown(drain_timeout=1.0)
+
+    def test_deadline_expiry_is_a_504_over_http(self):
+        platform = Platform()
+        ready = threading.Event()
+        handle = serve(
+            platform, port=0, ready_event=ready,
+            config=ServingConfig(
+                workers=1, queue_depth=4, request_timeout=0.2,
+            ),
+        )
+        threading.Thread(target=handle.serve_forever, daemon=True).start()
+        assert ready.wait(5.0)
+        host, port = handle.server_address
+        base = f"http://{host}:{port}"
+        # Wedge the only worker so a second request expires in queue.
+        release = threading.Event()
+        original = handle.tier.app
+
+        class _SlowOnce:
+            platform = handle.tier.app.platform
+
+            def __call__(self, environ, start_response):
+                if environ.get("PATH_INFO", "").endswith("/slow"):
+                    release.wait(2.0)
+                return original(environ, start_response)
+
+        handle.tier.app = _SlowOnce()
+        try:
+            slow = threading.Thread(
+                target=lambda: _request(base, "GET", "/dashboards/slow")
+            )
+            slow.start()
+            for _ in range(100):
+                if handle.tier.inflight():
+                    break
+                threading.Event().wait(0.01)
+            status, headers, body = _request(base, "GET", "/dashboards")
+            assert status == 504
+            assert "Retry-After" in headers
+            error = json.loads(body)["error"]
+            assert error["type"] == "DeadlineExceededError"
+            assert error["retryable"] is True
+            release.set()
+            slow.join(timeout=3.0)
+        finally:
+            release.set()
+            handle.tier.app = original
+            handle.shutdown(drain_timeout=1.0)

@@ -1,0 +1,456 @@
+"""Unit: the serving tier's building blocks, each in isolation.
+
+Deadlines, token buckets and the overload controller all take the
+resilience layer's :class:`~repro.resilience.SimulatedClock`, so every
+timing assertion here is exact — no sleeps, no flakes.  The tier itself
+is exercised as plain WSGI middleware over stub apps (an echo app, a
+blocking app, a crashing app); real sockets live in
+``tests/integration/test_serving_tier.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.observability.instruments import (
+    HTTP_REQUEST_DURATION,
+    SERVING_REJECTED,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience import (
+    Deadline,
+    SimulatedClock,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.server.serving import (
+    AdmissionQueue,
+    OverloadController,
+    RateLimiter,
+    ServingConfig,
+    ServingTier,
+    TokenBucket,
+    _Job,
+)
+
+
+class TestDeadline:
+    def test_remaining_counts_down_with_the_clock(self):
+        clock = SimulatedClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.sleep(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+        clock.sleep(1.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_after_expiry(self):
+        clock = SimulatedClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("stage 'load'")  # fine while time remains
+        clock.sleep(2.0)
+        with pytest.raises(DeadlineExceededError) as err:
+            deadline.check("stage 'load'")
+        assert "stage 'load'" in str(err.value)
+
+    def test_scope_installs_and_restores_ambient_deadline(self):
+        clock = SimulatedClock()
+        outer = Deadline.after(10.0, clock=clock)
+        inner = Deadline.after(1.0, clock=clock)
+        assert current_deadline() is None
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_check_deadline_is_a_noop_without_scope(self):
+        check_deadline("anything")  # must not raise
+
+    def test_check_deadline_raises_inside_expired_scope(self):
+        clock = SimulatedClock()
+        deadline = Deadline.after(0.5, clock=clock)
+        clock.sleep(1.0)
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceededError):
+                check_deadline("stage 'agg'")
+
+    def test_scope_is_thread_local(self):
+        clock = SimulatedClock()
+        seen = {}
+        with deadline_scope(Deadline.after(5.0, clock=clock)):
+            thread = threading.Thread(
+                target=lambda: seen.update(other=current_deadline())
+            )
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_exact_retry_after(self):
+        clock = SimulatedClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        for _ in range(3):
+            admitted, wait = bucket.try_acquire()
+            assert admitted and wait == 0.0
+        admitted, wait = bucket.try_acquire()
+        assert not admitted
+        # Empty bucket at 2 tokens/s: next token in exactly 0.5s.
+        assert wait == pytest.approx(0.5)
+
+    def test_refill_restores_tokens_over_time(self):
+        clock = SimulatedClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.sleep(1.0)
+        assert bucket.try_acquire()[0]
+
+    def test_refill_never_exceeds_burst(self):
+        clock = SimulatedClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.sleep(100.0)
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestRateLimiter:
+    def test_buckets_are_independent_per_route_and_tenant(self):
+        clock = SimulatedClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.try_acquire("ds", "alice")[0]
+        assert not limiter.try_acquire("ds", "alice")[0]
+        # Other tenants and other routes still have their full burst.
+        assert limiter.try_acquire("ds", "bob")[0]
+        assert limiter.try_acquire("run", "alice")[0]
+
+
+class TestAdmissionQueue:
+    def _job(self):
+        clock = SimulatedClock()
+        return _Job({}, Deadline.after(1.0, clock=clock))
+
+    def test_offer_rejects_exactly_at_the_limit(self):
+        queue = AdmissionQueue(limit=2)
+        assert queue.offer(self._job())
+        assert queue.offer(self._job())
+        assert not queue.offer(self._job())
+        assert queue.depth() == 2
+
+    def test_take_is_fifo_and_frees_capacity(self):
+        queue = AdmissionQueue(limit=1)
+        first = self._job()
+        assert queue.offer(first)
+        assert queue.take(timeout=0.01) is first
+        assert queue.offer(self._job())
+
+    def test_take_times_out_empty(self):
+        queue = AdmissionQueue(limit=1)
+        assert queue.take(timeout=0.01) is None
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(limit=0)
+
+
+class TestServingConfig:
+    def test_defaults_are_valid(self):
+        config = ServingConfig()
+        assert config.workers == 4
+        assert config.queue_depth == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"queue_depth": 0},
+            {"request_timeout": 0.0},
+            {"request_timeout": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+
+class TestOverloadController:
+    def _controller(self, **overrides):
+        clock = SimulatedClock()
+        metrics = MetricsRegistry()
+        config = ServingConfig(
+            controller_window=1.0,
+            shed_queue_high=0.8,
+            shed_queue_low=0.25,
+            **overrides,
+        )
+        return OverloadController(config, metrics, clock=clock), clock
+
+    def test_trips_on_queue_depth_and_recovers_with_hysteresis(self):
+        controller, clock = self._controller()
+        assert controller.evaluate(0, 10) == "normal"
+        clock.sleep(1.0)
+        assert controller.evaluate(8, 10) == "shed"  # >= ceil(10*0.8)
+        clock.sleep(1.0)
+        # Between low and high watermarks: stays shed (hysteresis).
+        assert controller.evaluate(5, 10) == "shed"
+        clock.sleep(1.0)
+        assert controller.evaluate(2, 10) == "normal"  # <= floor(10*.25)
+        assert controller.transitions == 2
+
+    def test_evaluations_are_throttled_to_the_window(self):
+        controller, clock = self._controller()
+        assert controller.evaluate(0, 10) == "normal"
+        # Same instant: a full queue is *not* re-evaluated yet.
+        assert controller.evaluate(10, 10) == "normal"
+        clock.sleep(1.0)
+        assert controller.evaluate(10, 10) == "shed"
+
+    def test_latency_trigger_uses_only_the_window_between_evals(self):
+        clock = SimulatedClock()
+        metrics = MetricsRegistry()
+        config = ServingConfig(controller_window=1.0, shed_p95=0.5)
+        controller = OverloadController(config, metrics, clock=clock)
+        histogram = metrics.histogram(
+            HTTP_REQUEST_DURATION, "request latency"
+        )
+        clock.sleep(1.0)
+        for _ in range(20):
+            histogram.observe(2.0, route="ds")
+        assert controller.evaluate(0, 10) == "shed"
+        assert controller.window_p95 > 0.5
+        # No new observations in the next window: the p95 signal decays
+        # to zero and the controller recovers, even though the lifetime
+        # histogram still averages 2s.
+        clock.sleep(1.0)
+        assert controller.evaluate(0, 10) == "normal"
+        assert controller.window_p95 == 0.0
+
+
+def _echo_app(environ, start_response):
+    start_response("200 OK", [("Content-Type", "application/json")])
+    return [b'{"ok": true}']
+
+
+def _call(tier, method="GET", path="/dashboards/d/ds/counts", environ=None):
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    env = {"REQUEST_METHOD": method, "PATH_INFO": path}
+    if environ:
+        env.update(environ)
+    body = b"".join(tier(env, start_response))
+    return captured["status"], captured["headers"], body
+
+
+class TestServingTier:
+    def test_request_flows_through_the_worker_pool(self):
+        tier = ServingTier(
+            _echo_app, ServingConfig(workers=2, queue_depth=4)
+        ).start()
+        try:
+            status, _headers, body = _call(tier)
+            assert status == "200 OK"
+            assert body == b'{"ok": true}'
+        finally:
+            tier.drain(timeout=0.5)
+
+    def test_full_queue_rejects_with_503_and_retry_after(self):
+        release = threading.Event()
+
+        def blocking_app(environ, start_response):
+            release.wait(5.0)
+            return _echo_app(environ, start_response)
+
+        tier = ServingTier(
+            blocking_app,
+            ServingConfig(workers=1, queue_depth=1, request_timeout=5.0),
+        ).start()
+        try:
+            results = []
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(_call(tier))
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            # Wait until 1 executes + 1 queues, so the rest must bounce.
+            for _ in range(100):
+                if any(r[0].startswith("503") for r in results):
+                    break
+                threading.Event().wait(0.02)
+            release.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            statuses = sorted(r[0] for r in results)
+            rejected = [r for r in results if r[0].startswith("503")]
+            assert rejected, f"expected queue-full 503s, got {statuses}"
+            for _status, headers, body in rejected:
+                assert "Retry-After" in headers
+                assert b"QueueFull" in body
+            assert sum(r[0] == "200 OK" for r in results) >= 2
+        finally:
+            release.set()
+            tier.drain(timeout=1.0)
+
+    def test_deadline_expiry_answers_504(self):
+        def slow_app(environ, start_response):
+            threading.Event().wait(0.5)
+            return _echo_app(environ, start_response)
+
+        tier = ServingTier(
+            slow_app,
+            ServingConfig(workers=1, queue_depth=2, request_timeout=0.05),
+        ).start()
+        try:
+            status, headers, body = _call(tier)
+            assert status.startswith("504")
+            assert "Retry-After" in headers
+            import json
+
+            error = json.loads(body)["error"]
+            assert error["type"] == "DeadlineExceededError"
+            assert error["retryable"] is True
+        finally:
+            tier.drain(timeout=1.0)
+
+    def test_worker_exception_becomes_structured_500(self):
+        def crashing_app(environ, start_response):
+            raise RuntimeError("boom")
+
+        tier = ServingTier(
+            crashing_app, ServingConfig(workers=1, queue_depth=2)
+        ).start()
+        try:
+            status, _headers, body = _call(tier)
+            assert status.startswith("500")
+            import json
+
+            error = json.loads(body)["error"]
+            assert error["type"] == "RuntimeError"
+            assert error["retryable"] is False
+            # The worker survives the crash and serves the next request.
+            assert _call(tier)[0].startswith("500")
+        finally:
+            tier.drain(timeout=0.5)
+
+    def test_rate_limited_request_answers_429(self):
+        clock = SimulatedClock()
+        tier = ServingTier(
+            _echo_app,
+            ServingConfig(workers=1, queue_depth=2,
+                          rate_limit=1.0, rate_burst=1),
+        ).start()
+        # Swap in a simulated clock for the limiter only, so the bucket
+        # never refills mid-test.
+        tier.limiter = RateLimiter(1.0, 1, clock=clock)
+        try:
+            assert _call(tier)[0] == "200 OK"
+            status, headers, body = _call(tier)
+            assert status.startswith("429")
+            assert "Retry-After" in headers
+            assert b"RateLimited" in body
+        finally:
+            tier.drain(timeout=0.5)
+
+    def test_shed_mode_rejects_expensive_actions_but_marks_ds_reads(self):
+        seen = {}
+
+        def recording_app(environ, start_response):
+            seen["shed"] = environ.get("repro.serving.shed")
+            return _echo_app(environ, start_response)
+
+        tier = ServingTier(
+            recording_app, ServingConfig(workers=1, queue_depth=4)
+        ).start()
+        tier.controller._state = "shed"  # force overload
+        tier.controller._last_eval = float("inf")  # pin the state
+        try:
+            status, _headers, body = _call(
+                tier, method="POST", path="/dashboards/d/run"
+            )
+            assert status.startswith("503")
+            assert b'"shed": true' in body
+            status, _headers, _body = _call(
+                tier, path="/dashboards/d/ds/counts"
+            )
+            assert status == "200 OK"
+            assert seen["shed"] is True
+            rejected = tier.metrics.counter(SERVING_REJECTED, "")
+            assert rejected.value(
+                route="dashboards/run", reason="shed"
+            ) == 1
+        finally:
+            tier.drain(timeout=0.5)
+
+    def test_bypass_routes_skip_queue_and_drain(self):
+        tier = ServingTier(
+            _echo_app, ServingConfig(workers=1, queue_depth=1)
+        ).start()
+        tier._draining = True
+        try:
+            # Liveness answers even while draining ...
+            assert _call(tier, path="/health")[0] == "200 OK"
+            assert _call(tier, path="/metrics")[0] == "200 OK"
+            # ... but normal routes are refused with a drain 503.
+            status, _headers, body = _call(tier)
+            assert status.startswith("503")
+            assert b"ServerDraining" in body
+        finally:
+            tier._draining = False
+            tier.drain(timeout=0.5)
+
+    def test_drain_finishes_inflight_then_checkpoints(self):
+        order = []
+        release = threading.Event()
+
+        def slow_app(environ, start_response):
+            release.wait(2.0)
+            order.append("request")
+            return _echo_app(environ, start_response)
+
+        tier = ServingTier(
+            slow_app,
+            ServingConfig(workers=1, queue_depth=2, request_timeout=5.0),
+            on_drain=lambda: order.append("checkpoint"),
+        ).start()
+        thread = threading.Thread(target=lambda: _call(tier))
+        thread.start()
+        for _ in range(100):
+            if tier.inflight():
+                break
+            threading.Event().wait(0.01)
+        release.set()
+        assert tier.drain(timeout=2.0) is True
+        thread.join(timeout=2.0)
+        assert order == ["request", "checkpoint"]
+
+    def test_snapshot_reports_tier_state(self):
+        tier = ServingTier(
+            _echo_app, ServingConfig(workers=3, queue_depth=7)
+        ).start()
+        try:
+            snapshot = tier.snapshot()
+            assert snapshot["workers"] == 3
+            assert snapshot["queue_limit"] == 7
+            assert snapshot["draining"] is False
+            assert snapshot["state"] == "normal"
+        finally:
+            tier.drain(timeout=0.5)
