@@ -47,7 +47,10 @@ from repro.tasks.map_ops import MapTask, java_to_strptime
 from repro.workloads import IPL_PROCESSING_FLOW, ipl
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
-TWEETS = 300 if SMOKE else 3000
+#: BENCH_ROWS overrides the tweet count in either mode — crank it to
+#: hundreds of thousands to push the engine to multi-core scale (the
+#: full million-row matrix lives in bench_multicore.py).
+TWEETS = int(os.environ.get("BENCH_ROWS", "0")) or (300 if SMOKE else 3000)
 REPEATS = 1 if SMOKE else 3
 MIN_SPEEDUP = 1.0 if SMOKE else 2.0
 

@@ -47,7 +47,10 @@ from repro.formats.jsonpath import _walk, clear_parse_cache
 from repro.observability import Observability
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
-ROWS = 5_000 if SMOKE else 100_000
+#: BENCH_ROWS overrides the feed size in either mode — set it to a few
+#: million to stress the decoders at multi-core scale (see
+#: bench_multicore.py, which does exactly that for the full matrix).
+ROWS = int(os.environ.get("BENCH_ROWS", "0")) or (5_000 if SMOKE else 100_000)
 REPEATS = 1 if SMOKE else 3
 MIN_SPEEDUP = 1.0 if SMOKE else 2.5
 

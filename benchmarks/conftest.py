@@ -23,6 +23,8 @@ INGEST_JSON = RESULTS_DIR / "BENCH_ingest.json"
 
 SERVING_JSON = RESULTS_DIR / "BENCH_serving.json"
 
+MULTICORE_JSON = RESULTS_DIR / "BENCH_multicore.json"
+
 
 def report(name: str, text: str) -> None:
     """Print a figure's series and persist it under results/."""
@@ -102,6 +104,27 @@ def report_serving(section: str, payload: dict) -> None:
         merged = json.loads(SERVING_JSON.read_text(encoding="utf-8"))
     merged[section] = payload
     SERVING_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{section}: {json.dumps(payload, sort_keys=True)}")
+
+
+def report_multicore(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_multicore.json``.
+
+    Same merge discipline as :func:`report_interactive`: each
+    multi-core benchmark owns one top-level key, so smoke runs update
+    their section without clobbering full-mode results.  Every section
+    records the host's ``cpus`` so readers can tell a single-core
+    correctness run from a real multi-core measurement.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if MULTICORE_JSON.exists():
+        merged = json.loads(MULTICORE_JSON.read_text(encoding="utf-8"))
+    merged[section] = payload
+    MULTICORE_JSON.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

@@ -84,6 +84,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--executor",
+        choices=["threads", "processes"],
+        default="threads",
+        help=(
+            "worker pool backend: threads (default; fine for I/O) or "
+            "processes (true multi-core for CPU-bound decode/shuffle; "
+            "POSIX fork, falls back to threads elsewhere)"
+        ),
+    )
+    run.add_argument(
         "--trace",
         action="store_true",
         help="print the run's span tree (compile -> stage -> attempt)",
@@ -175,6 +185,7 @@ def _cmd_run(args) -> int:
         engine=args.engine,
         fault_profile=getattr(args, "fault_profile", None),
         parallelism=getattr(args, "parallelism", 1),
+        executor=getattr(args, "executor", "threads"),
     )
     print(
         f"ran {name!r} on the {report.engine} engine in "

@@ -52,5 +52,15 @@ class Connector(abc.ABC):
             f"connector {self.name!r} does not support writes"
         )
 
+    def estimate_bytes(self, config: Mapping[str, Any]) -> int | None:
+        """Cheap payload-size estimate, or None when unknowable.
+
+        Used by :meth:`~repro.connectors.loader.DataObjectLoader.load_many`
+        to skip pool overhead when every source is small; must never
+        fetch — a stat call is the ceiling.  ``None`` (the default)
+        means "unknown, assume large enough to parallelize".
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

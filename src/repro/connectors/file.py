@@ -74,6 +74,13 @@ class FileConnector(Connector):
 
         return chunks()
 
+    def estimate_bytes(self, config: Mapping[str, Any]) -> int | None:
+        """File size by stat — never reads the payload."""
+        try:
+            return self._resolve(config).stat().st_size
+        except (ConnectorError, OSError):
+            return None
+
     def store(self, config: Mapping[str, Any], payload: bytes) -> None:
         path = self._resolve(config)
         try:

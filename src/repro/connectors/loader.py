@@ -14,17 +14,24 @@ Two ingestion fast paths live here:
   holding the raw payload in memory.
 * **Parallel loading** — :meth:`DataObjectLoader.load_many` fetches and
   decodes several independent data objects on a
-  :class:`~repro.engine.scheduler.WorkerPool`.  Workers run pure
+  :class:`~repro.engine.scheduler.WorkerPool` (thread- or
+  process-backed; see ``docs/parallelism.md``).  Workers run pure
   fetch+decode; the coordinator resolves protocols and formats in spec
   order up front and replays spans, metrics and the first failure in
   that same canonical order, so results *and telemetry* are identical
-  at every parallelism (span durations for the replayed
+  at every parallelism and executor (span durations for the replayed
   ``connector.fetch``/``format.decode`` spans are nominal — the
   worker-measured wall times feed the duration histograms instead).
+  Jobs whose sources all estimate under
+  :attr:`DataObjectLoader.small_job_bytes` skip the pool entirely:
+  sequential loading wins below a few MB per source, so the fallback
+  (logged, counted in ``repro_ingest_parallel_fallback_total``) is
+  what makes ``parallelism`` safe to leave on.
 """
 
 from __future__ import annotations
 
+import logging
 from time import perf_counter
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -33,7 +40,7 @@ from repro.connectors.registry import (
     default_connector_registry,
 )
 from repro.data import Schema, Table
-from repro.engine.scheduler import UnitOutcome, WorkerPool
+from repro.engine.scheduler import WorkerPool
 from repro.errors import ConnectorError
 from repro.formats.registry import FormatRegistry, default_format_registry
 from repro.observability import Observability
@@ -41,8 +48,11 @@ from repro.observability.instruments import (
     CONNECTOR_BYTES,
     CONNECTOR_FETCH_DURATION,
     CONNECTOR_FETCHES,
+    INGEST_PARALLEL_FALLBACK,
     record_ingest,
 )
+
+_LOG = logging.getLogger("repro.ingest")
 
 
 class DataObjectLoader:
@@ -55,6 +65,11 @@ class DataObjectLoader:
     decode latency.
     """
 
+    #: per-source size under which :meth:`load_many` skips the pool —
+    #: fetch+decode of a few MB finishes before a pool amortizes its
+    #: startup, so small jobs run sequentially (0 disables the check)
+    DEFAULT_SMALL_JOB_BYTES = 8 << 20
+
     def __init__(
         self,
         connectors: ConnectorRegistry | None = None,
@@ -64,6 +79,7 @@ class DataObjectLoader:
         self.connectors = connectors or default_connector_registry()
         self.formats = formats or default_format_registry()
         self.observability = observability or Observability()
+        self.small_job_bytes = self.DEFAULT_SMALL_JOB_BYTES
 
     def load(self, schema: Schema, config: Mapping[str, Any]) -> Table:
         """Fetch + decode a data object into a table."""
@@ -106,17 +122,30 @@ class DataObjectLoader:
         self,
         specs: Sequence[tuple[Schema, Mapping[str, Any]]],
         parallelism: int = 1,
+        executor: str = "threads",
     ) -> list[Table]:
         """Load several data objects, optionally concurrently.
 
         ``specs`` is a sequence of ``(schema, config)`` pairs; tables
         come back in spec order.  Protocols, connectors and stream plans
         resolve in spec order before any worker starts; workers run pure
-        fetch+decode with no tracer or metrics access; the coordinator
-        then replays each spec's spans and metrics — and re-raises the
-        first failure inside the span it escaped from — in canonical
-        spec order.  Tables, span trees and metric counters are
-        therefore identical at every ``parallelism``.
+        fetch+decode with no tracer or metrics access (each unit returns
+        its ``(state, table, error)`` triple, so nothing depends on
+        shared memory and the ``processes`` executor works unchanged);
+        the coordinator then replays each spec's spans and metrics — and
+        re-raises the first failure inside the span it escaped from — in
+        canonical spec order.  Tables, span trees and metric counters
+        are therefore identical at every ``parallelism`` and
+        ``executor``.
+
+        One deliberate exception: when every source's estimated payload
+        is under :attr:`small_job_bytes`, a ``parallelism > 1`` call
+        falls back to sequential loading (pool startup would cost more
+        than it saves — the recorded 1145 ms-vs-973 ms regression) and
+        increments ``repro_ingest_parallel_fallback_total``.  That
+        counter is the only telemetry allowed to differ between
+        parallelism settings; set ``small_job_bytes = 0`` to disable
+        the fallback (the determinism tests do).
         """
         specs = list(specs)
         if not specs:
@@ -124,17 +153,54 @@ class DataObjectLoader:
         plans = [
             self._plan_spec(schema, config) for schema, config in specs
         ]
-        states = [_fresh_state() for _ in specs]
-        pool = WorkerPool(parallelism)
+        reason = self._sequential_fallback_reason(plans, parallelism)
+        if reason is not None:
+            _LOG.info("parallel loading fell back to sequential: %s", reason)
+            self.observability.metrics.counter(
+                INGEST_PARALLEL_FALLBACK,
+                "Parallel load_many calls that ran sequentially",
+            ).inc(reason="small-job")
+            parallelism = 1
+        pool = WorkerPool(parallelism, executor=executor)
         thunks = [
-            (lambda p=plan, s=state: self._load_unit(p, s))
-            for plan, state in zip(plans, states)
+            (lambda p=plan: self._load_unit(p)) for plan in plans
         ]
         tables: list[Table] = []
-        for index, outcome in enumerate(pool.map_ordered(thunks)):
-            table = self._replay_unit(plans[index], states[index], outcome)
-            tables.append(table)
+        for plan, outcome in zip(plans, pool.map_ordered(thunks)):
+            if outcome.failed:
+                # The unit itself never raises — this is executor-level
+                # breakage (lost worker, transport): surface it as a
+                # fetch-phase failure so it lands inside a span.
+                state, table, error = _fresh_state(), None, outcome.error
+            else:
+                state, table, error = outcome.value
+            tables.append(self._replay_unit(plan, state, table, error))
         return tables
+
+    def _sequential_fallback_reason(
+        self, plans: Sequence[Mapping[str, Any]], parallelism: int
+    ) -> str | None:
+        """Why a parallel load should run sequentially, or None.
+
+        Only trips when *every* source has a known estimate below the
+        threshold — an unknown size (HTTP, JDBC) is assumed large
+        enough that fetch latency overlaps usefully.
+        """
+        if parallelism <= 1 or len(plans) <= 1:
+            return None
+        threshold = self.small_job_bytes
+        if threshold <= 0:
+            return None
+        largest = 0
+        for plan in plans:
+            estimate = plan["connector"].estimate_bytes(plan["config"])
+            if estimate is None or estimate >= threshold:
+                return None
+            largest = max(largest, estimate)
+        return (
+            f"all {len(plans)} sources estimate below the "
+            f"{threshold}-byte small-job threshold (largest ~{largest})"
+        )
 
     def save(self, table: Table, config: Mapping[str, Any]) -> None:
         """Encode + store a sink table."""
@@ -224,9 +290,26 @@ class DataObjectLoader:
         }
 
     def _load_unit(
+        self, plan: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], Table | None, Exception | None]:
+        """Pure fetch+decode for one spec (worker-side; no telemetry).
+
+        Returns ``(state, table, error)`` — everything the coordinator
+        needs to replay telemetry travels in the return value, never
+        through shared memory, so the unit behaves identically on the
+        thread and process executors.  Exceptions are captured (not
+        raised) because the half-filled ``state`` must survive for the
+        replay to raise them inside the right span.
+        """
+        state = _fresh_state()
+        try:
+            return state, self._fetch_decode(plan, state), None
+        except Exception as exc:
+            return state, None, exc
+
+    def _fetch_decode(
         self, plan: Mapping[str, Any], state: dict[str, Any]
     ) -> Table:
-        """Pure fetch+decode for one spec (worker-side; no telemetry)."""
         schema = plan["schema"]
         config = plan["config"]
         connector = plan["connector"]
@@ -268,7 +351,8 @@ class DataObjectLoader:
         self,
         plan: Mapping[str, Any],
         state: Mapping[str, Any],
-        outcome: UnitOutcome,
+        table: Table | None,
+        error: Exception | None,
     ) -> Table:
         """Emit one spec's telemetry exactly as :meth:`load` would.
 
@@ -279,12 +363,12 @@ class DataObjectLoader:
         obs = self.observability
         protocol = plan["protocol"]
         streaming = plan["stream"] is not None
-        failed_phase = state["phase"] if outcome.failed else None
+        failed_phase = state["phase"] if error is not None else None
         with obs.tracer.span(
             "connector.fetch", protocol=protocol, source=plan["source"]
         ) as fetch_span:
             if failed_phase == "fetch":
-                raise outcome.error
+                raise error
             if not streaming:
                 fetch_span.set(bytes=state["bytes"])
         self._record_fetch(
@@ -293,14 +377,14 @@ class DataObjectLoader:
             0 if streaming else state["bytes"],
         )
         if failed_phase in ("resolve", "align"):
-            raise outcome.error
+            raise error
         if state["phase"] == "align":
-            return outcome.value
+            return table
         with obs.tracer.span(
             "format.decode", format=state["format"]
         ) as decode_span:
             if failed_phase == "decode":
-                raise outcome.error
+                raise error
             decode_span.set(rows=state["rows"])
         if streaming:
             fetch_span.set(bytes=state["bytes"])
@@ -311,7 +395,7 @@ class DataObjectLoader:
             state["rows"],
             state["decode_seconds"],
         )
-        return outcome.value
+        return table
 
     # -- shared metric shapes --------------------------------------------
 

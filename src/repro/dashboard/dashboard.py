@@ -121,6 +121,7 @@ class Dashboard:
         incremental: bool = False,
         fault_profile: str | None = None,
         parallelism: int = 1,
+        executor: str = "threads",
     ) -> RunReport:
         """Execute the batch half; returns the run report.
 
@@ -138,8 +139,11 @@ class Dashboard:
 
         ``parallelism`` sizes the distributed engine's worker pool and
         the source-prefetch pool (independent data objects load
-        concurrently before the engine starts).  Results, telemetry and
-        traces are identical at every setting; only wall time changes.
+        concurrently before the engine starts); ``executor`` picks the
+        pool backend — ``"threads"`` (default) or ``"processes"`` for
+        CPU-bound work (see ``docs/parallelism.md``).  Results,
+        telemetry and traces are identical at every setting of both;
+        only wall time changes.
         """
         context = self._task_context()
         plan = self.compiled.plan
@@ -163,7 +167,7 @@ class Dashboard:
             "dashboard.run", dashboard=self.name, engine=engine
         ) as root:
             try:
-                self._prefetch_sources(plan, parallelism)
+                self._prefetch_sources(plan, parallelism, executor)
                 if engine == "local":
                     result = LocalExecutor(
                         self._resolve_source,
@@ -189,6 +193,7 @@ class Dashboard:
                         tracer=obs.tracer,
                         metrics=obs.metrics,
                         parallelism=parallelism,
+                        executor=executor,
                     ).run(plan, context)
                     report = RunReport(
                         engine=engine,
@@ -293,7 +298,9 @@ class Dashboard:
             widget_selections=self._selections(),
         )
 
-    def _prefetch_sources(self, plan, parallelism: int) -> None:
+    def _prefetch_sources(
+        self, plan, parallelism: int, executor: str = "threads"
+    ) -> None:
         """Load the plan's loader-backed sources up front, concurrently.
 
         Collects the plan's load nodes in canonical (topological) order,
@@ -331,7 +338,7 @@ class Dashboard:
         with self.observability.tracer.span(
             "sources.load", sources=len(names)
         ):
-            tables = self.loader.load_many(specs, parallelism)
+            tables = self.loader.load_many(specs, parallelism, executor)
         self._prefetched = dict(zip(names, tables))
 
     def _resolve_source(self, name: str) -> Table:

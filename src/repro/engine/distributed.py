@@ -215,7 +215,10 @@ def _partition(table: Table, parts: int) -> list[Table]:
 
 
 def _hash_shuffle(
-    partitions: Sequence[Table], keys: Sequence[str], parts: int
+    partitions: Sequence[Table],
+    keys: Sequence[str],
+    parts: int,
+    spill_bytes: int = 0,
 ) -> tuple[list[Table], int, int]:
     """Repartition by key hash; returns (partitions, records, bytes).
 
@@ -225,38 +228,49 @@ def _hash_shuffle(
     multi-way concat.  Output row order — (input partition, row) — and
     the records/bytes telemetry are identical to the historical
     row-at-a-time implementation.
+
+    ``spill_bytes > 0`` bounds each bucket's in-memory buffer: pages
+    past the limit overflow to temp files
+    (:class:`~repro.engine.spill.SpillBucket`) and are re-read in
+    append order during assembly, so the outputs are byte-identical to
+    an in-memory run while peak memory stays ~``parts * spill_bytes``
+    plus one output partition.
     """
+    from repro.engine.spill import SpillManager
+
     schema = partitions[0].schema
     records = 0
     total_bytes = 0
-    pieces: list[list[Table]] = [[] for _ in range(parts)]
-    for partition in partitions:
-        total_bytes += partition.estimated_bytes()
-        rows = partition.num_rows
-        records += rows
-        if not rows:
-            continue
-        index_lists: list[list[int]] = [[] for _ in range(parts)]
-        if len(keys) == 1:
-            column = partition.column(keys[0])
-            for i in range(rows):
-                key = (_hashable(column[i]),)
-                index_lists[_stable_hash(key) % parts].append(i)
-        else:
-            key_columns = [partition.column(k) for k in keys]
-            for i, raw in enumerate(zip(*key_columns)):
-                key = tuple(_hashable(v) for v in raw)
-                index_lists[_stable_hash(key) % parts].append(i)
-        for bucket, indices in enumerate(index_lists):
-            if indices:
-                pieces[bucket].append(partition.take(indices))
-    outputs = []
-    for piece in pieces:
-        if len(piece) == 1:
-            # The take() above already produced a fresh table we own.
-            outputs.append(piece[0])
-        else:
-            outputs.append(Table.concat_all(piece, schema=schema))
+    with SpillManager(spill_bytes) as spill:
+        buckets = [spill.bucket() for _ in range(parts)]
+        for partition in partitions:
+            total_bytes += partition.estimated_bytes()
+            rows = partition.num_rows
+            records += rows
+            if not rows:
+                continue
+            index_lists: list[list[int]] = [[] for _ in range(parts)]
+            if len(keys) == 1:
+                column = partition.column(keys[0])
+                for i in range(rows):
+                    key = (_hashable(column[i]),)
+                    index_lists[_stable_hash(key) % parts].append(i)
+            else:
+                key_columns = [partition.column(k) for k in keys]
+                for i, raw in enumerate(zip(*key_columns)):
+                    key = tuple(_hashable(v) for v in raw)
+                    index_lists[_stable_hash(key) % parts].append(i)
+            for bucket, indices in enumerate(index_lists):
+                if indices:
+                    buckets[bucket].append(partition.take(indices))
+        outputs = []
+        for bucket in buckets:
+            piece = list(bucket.pages())
+            if len(piece) == 1:
+                # The take() above already produced a fresh table we own.
+                outputs.append(piece[0])
+            else:
+                outputs.append(Table.concat_all(piece, schema=schema))
     return outputs, records, total_bytes
 
 
@@ -340,8 +354,13 @@ class DistributedExecutor:
     runs; ``speculative=False`` disables straggler duplicates (slowed
     attempts then pay their latency on the simulated clock).
     ``parallelism`` bounds how many partition attempts run concurrently
-    within a stage; outputs, stage stats and span trees are identical
-    at every setting (see :meth:`_run_units`).
+    within a stage; ``executor`` picks the backend that runs them
+    (``"threads"`` or ``"processes"`` — see
+    :class:`~repro.engine.scheduler.WorkerPool` and
+    ``docs/parallelism.md``); outputs, stage stats and span trees are
+    identical at every setting of both (see :meth:`_run_units`).
+    ``spill_bytes > 0`` bounds each shuffle bucket's in-memory buffer,
+    overflowing to temp-file pages (``docs/parallelism.md`` §spill).
     """
 
     def __init__(
@@ -358,6 +377,8 @@ class DistributedExecutor:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         parallelism: int = 1,
+        executor: str = "threads",
+        spill_bytes: int = 0,
     ):
         self._resolver = resolver
         self._parts = max(1, num_partitions)
@@ -370,11 +391,33 @@ class DistributedExecutor:
         self._clock = clock or SimulatedClock()
         self._tracer = tracer or Tracer()
         self._metrics = metrics or MetricsRegistry()
-        self._pool = WorkerPool(parallelism)
+        self._pool = WorkerPool(parallelism, executor=executor)
+        self._spill_bytes = max(0, int(spill_bytes))
 
     @property
     def parallelism(self) -> int:
         return self._pool.workers
+
+    @property
+    def executor(self) -> str:
+        return self._pool.executor
+
+    def _shuffle(
+        self, partitions: Sequence[Table], keys: Sequence[str], parts: int
+    ) -> tuple[list[Table], int, int]:
+        """Hash-shuffle with this executor's spill budget applied.
+
+        Resolves the module-global ``_hash_shuffle`` at call time (the
+        ablation benchmarks monkeypatch it with the legacy row-at-a-time
+        implementation) and passes ``spill_bytes`` only when enabled,
+        so 3-argument replacements keep working.
+        """
+        shuffle = globals()["_hash_shuffle"]
+        if self._spill_bytes:
+            return shuffle(
+                partitions, keys, parts, spill_bytes=self._spill_bytes
+            )
+        return shuffle(partitions, keys, parts)
 
     def run(
         self, plan: LogicalPlan, context: TaskContext | None = None
@@ -1004,7 +1047,7 @@ class DistributedExecutor:
                     ),
                 },
             )
-            shuffled, records, size = _hash_shuffle(
+            shuffled, records, size = self._shuffle(
                 partials, task.group_columns, self._parts
             )
             outputs = self._apply_each(
@@ -1012,7 +1055,7 @@ class DistributedExecutor:
                 skip_empty=True,
             )
         else:
-            shuffled, records, size = _hash_shuffle(
+            shuffled, records, size = self._shuffle(
                 partitions, task.group_columns, self._parts
             )
             outputs = self._apply_each(
@@ -1046,10 +1089,10 @@ class DistributedExecutor:
             names = [names[1], names[0]]
         left_keys = task._left_keys
         right_keys = task._right_keys
-        left_shuffled, l_records, l_bytes = _hash_shuffle(
+        left_shuffled, l_records, l_bytes = self._shuffle(
             left_parts, left_keys, self._parts
         )
-        right_shuffled, r_records, r_bytes = _hash_shuffle(
+        right_shuffled, r_records, r_bytes = self._shuffle(
             right_parts, right_keys, self._parts
         )
         context.input_names = names or [task.left_name, task.right_name]  # type: ignore[attr-defined]
@@ -1080,7 +1123,7 @@ class DistributedExecutor:
         input_rows = sum(p.num_rows for p in partitions)
         run = _StageRun()
         if task.group_columns:
-            shuffled, records, size = _hash_shuffle(
+            shuffled, records, size = self._shuffle(
                 partitions, task.group_columns, self._parts
             )
             outputs = self._apply_each(
@@ -1116,7 +1159,7 @@ class DistributedExecutor:
         run = _StageRun()
         # Map-side dedup first (combiner), then shuffle survivors.
         partials = self._apply_each("map", task, partitions, context, run)
-        shuffled, records, size = _hash_shuffle(partials, keys, self._parts)
+        shuffled, records, size = self._shuffle(partials, keys, self._parts)
         outputs = self._apply_each(
             "shuffle", task, shuffled, context, run, skip_empty=True
         )

@@ -2,19 +2,36 @@
 
 The distributed executor splits every stage into per-partition *units*
 of pure compute.  :class:`WorkerPool` runs those units on a bounded
-thread pool and hands their outcomes back **in submission order**, so
+executor and hands their outcomes back **in submission order**, so
 the engine can merge partition results, telemetry and spans exactly as
 the sequential engine would — parallelism changes wall time, never
 output.
 
-Two design rules keep that guarantee cheap:
+Two executors sit behind the same interface (see
+``docs/parallelism.md`` for the selection matrix):
+
+- ``threads`` — a bounded :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Cheap to start and shares memory, but pure-python compute serializes
+  on the GIL, so it only pays for I/O-bound units.
+- ``processes`` — forked worker processes (POSIX only; falls back to
+  threads where ``os.fork`` is unavailable).  Each worker inherits the
+  submitted thunks by fork — closures never need to pickle — executes
+  its stride of units, and streams the *results* back as pickled
+  frames.  Tables pickle column-wise (per-column lists, never row
+  dicts), and small results are batched into ~1 MiB frames before the
+  write, so transfer cost stays sub-linear in rows.
+
+Two design rules keep the determinism guarantee cheap:
 
 - units must be pure (no tracer, no fault injector, no clock): all
   shared-state decisions are resolved by the coordinator *before*
   dispatch, in canonical partition order;
 - worker exceptions are captured, not raised, so the coordinator can
   re-raise them at the same point in the merge order where sequential
-  execution would have failed.
+  execution would have failed.  A worker process that dies without
+  reporting (kill -9, ``os._exit``) surfaces as a captured
+  :class:`~repro.errors.WorkerLostError`, which re-enters the engine's
+  lineage-recovery path on the coordinator.
 
 :func:`stage_waves` is the plan-level view of the same idea: it groups
 plan nodes into "waves" of mutually independent stages (all inputs in
@@ -26,10 +43,41 @@ intra-stage pool provides the concurrency.
 
 from __future__ import annotations
 
+import os
+import pickle
+import signal
+import struct
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engine.plan import LogicalPlan
+from repro.errors import WorkerLostError
+
+#: the executor vocabulary, in documentation order
+EXECUTORS = ("threads", "processes")
+
+#: flush the child's result buffer once this many pickled bytes
+#: accumulate — small unit results batch into one write, large tables
+#: ship alone (the size-aware batching heuristic)
+_FRAME_FLUSH_BYTES = 1 << 20
+
+_LENGTH = struct.Struct("<Q")
+
+
+def fork_available() -> bool:
+    """True when the process executor can actually fork (POSIX)."""
+    return hasattr(os, "fork")
+
+
+def resolve_executor(executor: str) -> str:
+    """Validate an executor name against :data:`EXECUTORS`."""
+    name = str(executor).lower()
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose one of "
+            f"{', '.join(EXECUTORS)}"
+        )
+    return name
 
 
 class UnitOutcome:
@@ -53,18 +101,33 @@ class UnitOutcome:
         return f"UnitOutcome(value={self.value!r})"
 
 
+class ProcessTransportError(RuntimeError):
+    """A worker's result or exception could not be pickled back.
+
+    Raised on the coordinator in place of the original outcome; the
+    message carries the original type name and repr.
+    """
+
+
 class WorkerPool:
     """A bounded pool that preserves submission order of outcomes.
 
     ``workers == 1`` runs units lazily on the caller's thread — one
     unit per ``next()`` — which is byte-identical to the historical
     sequential loop (a failure at unit *i* means unit *i+1* never
-    starts).  With more workers, all units are submitted up front and
-    outcomes are still yielded in submission order.
+    starts), whatever the ``executor`` setting.  With more workers,
+    all units are submitted up front and outcomes are still yielded in
+    submission order.
+
+    ``executor`` picks the backend: ``"threads"`` (default) or
+    ``"processes"`` (forked workers, POSIX only; silently backed by
+    threads where fork is unavailable so results never depend on the
+    host OS).
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, executor: str = "threads"):
         self.workers = max(1, int(workers))
+        self.executor = resolve_executor(executor)
 
     def map_ordered(
         self, thunks: Sequence[Callable[[], Any]]
@@ -73,6 +136,9 @@ class WorkerPool:
         if self.workers == 1 or len(thunks) <= 1:
             for thunk in thunks:
                 yield self._call(thunk)
+            return
+        if self.executor == "processes" and fork_available():
+            yield from self._map_processes(thunks)
             return
         with ThreadPoolExecutor(
             max_workers=min(self.workers, len(thunks))
@@ -87,6 +153,166 @@ class WorkerPool:
             return UnitOutcome(value=thunk())
         except BaseException as exc:  # captured; re-raised by the merger
             return UnitOutcome(error=exc)
+
+    # -- process backend -------------------------------------------------
+
+    def _map_processes(
+        self, thunks: list[Callable[[], Any]]
+    ) -> Iterator[UnitOutcome]:
+        """Fork workers, stride the units, merge in submission order.
+
+        Worker *k* of *W* executes units ``k, k+W, k+2W, ...`` (striding
+        balances positional skew) and streams pickled outcome frames
+        through a pipe.  The parent drains the pipes worker by worker,
+        then yields outcomes in unit order.  Children are always reaped
+        — on the error path they are killed first, so no orphan worker
+        survives a failed stage.
+        """
+        workers = min(self.workers, len(thunks))
+        children: list[tuple[int, int]] = []  # (pid, read_fd)
+        outcomes: dict[int, UnitOutcome] = {}
+        try:
+            for offset in range(workers):
+                indices = range(offset, len(thunks), workers)
+                read_fd, write_fd = os.pipe()
+                pid = os.fork()
+                if pid == 0:  # worker: pure compute, then hard exit
+                    status = 1
+                    try:
+                        os.close(read_fd)
+                        _child_main(thunks, indices, write_fd)
+                        status = 0
+                    finally:
+                        # _exit skips inherited atexit/flush machinery —
+                        # the worker owns nothing but its pipe.
+                        os._exit(status)
+                os.close(write_fd)
+                children.append((pid, read_fd))
+            for pid, read_fd in children:
+                for index, outcome in _read_outcomes(read_fd):
+                    outcomes[index] = outcome
+        except BaseException:
+            for pid, _fd in children:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+            raise
+        finally:
+            for pid, read_fd in children:
+                try:
+                    os.close(read_fd)
+                except OSError:
+                    pass
+                try:
+                    os.waitpid(pid, 0)
+                except ChildProcessError:
+                    pass
+        for index in range(len(thunks)):
+            outcome = outcomes.get(index)
+            if outcome is None:
+                # The worker died before reporting this unit; the
+                # engine's lineage recovery recomputes it inline.
+                outcome = UnitOutcome(
+                    error=WorkerLostError(
+                        f"process worker exited before reporting "
+                        f"unit {index}"
+                    )
+                )
+            yield outcome
+
+
+def _child_main(
+    thunks: Sequence[Callable[[], Any]],
+    indices: Iterable[int],
+    write_fd: int,
+) -> None:
+    """Run one worker's stride of units and stream outcome frames."""
+    buffer: list[bytes] = []
+    buffered = 0
+    for index in indices:
+        entry = _encode_entry(index, WorkerPool._call(thunks[index]))
+        buffer.append(entry)
+        buffered += len(entry)
+        if buffered >= _FRAME_FLUSH_BYTES:
+            _write_frame(write_fd, buffer)
+            buffer, buffered = [], 0
+    if buffer:
+        _write_frame(write_fd, buffer)
+    os.close(write_fd)
+
+
+def _encode_entry(index: int, outcome: UnitOutcome) -> bytes:
+    """One unit's outcome as a pickled ``(index, kind, payload)``.
+
+    Tables pickle column-wise by construction (their storage *is* a
+    dict of per-column lists).  Anything that refuses to pickle —
+    exotic results, exceptions carrying live handles — degrades to a
+    :class:`ProcessTransportError` carrying the repr, so the frame
+    stream itself never breaks.
+    """
+    kind = "err" if outcome.failed else "ok"
+    payload: Any = outcome.error if outcome.failed else outcome.value
+    try:
+        return pickle.dumps(
+            (index, kind, payload), pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:
+        substitute = ProcessTransportError(
+            f"unit {index} {'raised' if kind == 'err' else 'returned'} "
+            f"an unpicklable {type(payload).__name__}: {payload!r}"
+        )
+        return pickle.dumps(
+            (index, "err", substitute), pickle.HIGHEST_PROTOCOL
+        )
+
+
+def _write_frame(write_fd: int, entries: list[bytes]) -> None:
+    blob = _LENGTH.pack(len(entries)) + b"".join(
+        _LENGTH.pack(len(entry)) + entry for entry in entries
+    )
+    os.write(write_fd, _LENGTH.pack(len(blob)))
+    remaining = memoryview(blob)
+    while remaining:
+        written = os.write(write_fd, remaining)
+        remaining = remaining[written:]
+
+
+def _read_outcomes(read_fd: int) -> Iterator[tuple[int, UnitOutcome]]:
+    """Parse ``(index, outcome)`` entries from one worker's pipe."""
+    while True:
+        header = _read_exact(read_fd, _LENGTH.size)
+        if header is None:
+            return
+        blob = _read_exact(read_fd, _LENGTH.unpack(header)[0])
+        if blob is None:
+            return  # worker died mid-frame; missing units surface above
+        view = memoryview(blob)
+        (count,) = _LENGTH.unpack_from(view, 0)
+        offset = _LENGTH.size
+        for _ in range(count):
+            (size,) = _LENGTH.unpack_from(view, offset)
+            offset += _LENGTH.size
+            index, kind, payload = pickle.loads(
+                view[offset:offset + size]
+            )
+            offset += size
+            if kind == "err":
+                yield index, UnitOutcome(error=payload)
+            else:
+                yield index, UnitOutcome(value=payload)
+
+
+def _read_exact(read_fd: int, size: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = os.read(read_fd, remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
 
 
 def stage_waves(plan: LogicalPlan) -> list[list[str]]:

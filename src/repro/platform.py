@@ -248,6 +248,7 @@ class Platform:
         user: str = "",
         fault_profile: str | None = None,
         parallelism: int = 1,
+        executor: str = "threads",
     ) -> RunReport:
         dashboard = self.get_dashboard(name)
         try:
@@ -260,6 +261,7 @@ class Platform:
                     engine=engine,
                     fault_profile=fault_profile,
                     parallelism=parallelism,
+                    executor=executor,
                 )
         except ShareInsightsError as exc:
             self._log(

@@ -191,11 +191,19 @@ class ShareInsightsApp:
                     f"parallelism must be a positive integer, "
                     f"got {raw_parallelism!r}",
                 )
+            executor = str(query.get("executor", "threads")).lower()
+            if executor not in ("threads", "processes"):
+                return _error(
+                    400,
+                    f"executor must be 'threads' or 'processes', "
+                    f"got {query.get('executor')!r}",
+                )
             report = self.platform.run_dashboard(
                 name,
                 engine=query.get("engine"),
                 fault_profile=query.get("fault_profile"),
                 parallelism=parallelism,
+                executor=executor,
             )
             payload = {
                 "dashboard": name,

@@ -1,0 +1,121 @@
+"""Docs drift guard: CLI flags and docs must agree, both directions.
+
+``docs/flowfile-reference.md`` documents the ``run`` and ``serve``
+flag tables and ``docs/parallelism.md`` documents the parallel
+execution knobs; this suite rebuilds the real argparse parser and
+checks that every flag the CLI accepts is documented and every flag
+the docs mention still exists — so ``--executor``-style knobs can't
+drift from ``--help`` again.
+"""
+
+import re
+from pathlib import Path
+
+from repro import cli
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+#: flags whose contract must be documented per subcommand
+DOCUMENTED_COMMANDS = ("run", "serve")
+
+
+def _subparsers():
+    parser = cli._build_parser()
+    actions = [
+        a for a in parser._actions
+        if isinstance(a, type(parser._subparsers._group_actions[0]))
+    ]
+    return parser, actions[0].choices
+
+
+def _long_flags(subparser):
+    flags = set()
+    for action in subparser._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                flags.add(option)
+    return flags
+
+
+def _doc_flags(text, *, near=None):
+    """All ``--flag`` tokens in ``text`` (optionally one table only)."""
+    if near is not None:
+        start = text.index(near)
+        text = text[start:]
+    return set(re.findall(r"(--[a-z][a-z-]+)", text))
+
+
+class TestFlagsAreDocumented:
+    def test_run_and_serve_flags_appear_in_flowfile_reference(self):
+        text = (DOCS / "flowfile-reference.md").read_text(encoding="utf-8")
+        documented = _doc_flags(text)
+        _parser, commands = _subparsers()
+        for command in DOCUMENTED_COMMANDS:
+            for flag in _long_flags(commands[command]):
+                # --data/--name are common plumbing shown in the bash
+                # examples; everything else needs a table row.
+                assert flag in documented, (
+                    f"`{command}` accepts {flag} but "
+                    f"docs/flowfile-reference.md never mentions it"
+                )
+
+    def test_parallel_knobs_appear_in_parallelism_doc(self):
+        text = (DOCS / "parallelism.md").read_text(encoding="utf-8")
+        for flag in ("--parallelism", "--executor"):
+            assert flag in text, f"docs/parallelism.md must cover {flag}"
+        # The executor vocabulary documented there must match the code.
+        from repro.engine.scheduler import EXECUTORS
+
+        for name in EXECUTORS:
+            assert name in text
+
+    def test_executor_choices_match_cli(self):
+        from repro.engine.scheduler import EXECUTORS
+
+        _parser, commands = _subparsers()
+        executor_actions = [
+            a for a in commands["run"]._actions
+            if "--executor" in a.option_strings
+        ]
+        assert len(executor_actions) == 1
+        assert tuple(executor_actions[0].choices) == EXECUTORS
+
+
+class TestDocumentedFlagsExist:
+    def test_no_stale_flags_in_flowfile_reference(self):
+        """Every --flag the CLI section documents still parses."""
+        text = (DOCS / "flowfile-reference.md").read_text(encoding="utf-8")
+        documented = _doc_flags(text, near="## The CLI")
+        _parser, commands = _subparsers()
+        real = set()
+        for subparser in commands.values():
+            real |= _long_flags(subparser)
+        stale = documented - real
+        assert not stale, (
+            f"docs/flowfile-reference.md documents flags the CLI no "
+            f"longer accepts: {sorted(stale)}"
+        )
+
+    def test_no_stale_flags_in_parallelism_doc(self):
+        text = (DOCS / "parallelism.md").read_text(encoding="utf-8")
+        documented = _doc_flags(text)
+        _parser, commands = _subparsers()
+        real = set()
+        for subparser in commands.values():
+            real |= _long_flags(subparser)
+        stale = documented - real
+        assert not stale, (
+            f"docs/parallelism.md documents flags the CLI no longer "
+            f"accepts: {sorted(stale)}"
+        )
+
+
+class TestDocstringListsCommands:
+    def test_module_docstring_shows_every_subcommand(self):
+        _parser, commands = _subparsers()
+        docstring = cli.__doc__ or ""
+        for command in commands:
+            assert f"python -m repro {command} " in docstring, (
+                f"cli.py's module docstring must show a "
+                f"`python -m repro {command}` example"
+            )

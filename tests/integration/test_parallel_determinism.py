@@ -1,11 +1,13 @@
 """Integration: parallel scheduling is invisible in every output.
 
 The distributed engine's worker pool must change wall time only.
-These tests run the IPL workload at ``parallelism=1`` and ``4`` —
-with and without every named fault-injection profile — and require
-byte-identical results: materialized tables (including row order),
-stage statistics, shuffle telemetry, simulated-clock sleeps, the
-injector's fault log, and the span tree.  A second group pins the
+These tests run the IPL workload across the full
+{threads, processes} x parallelism {1, 4} matrix — with and without
+every named fault-injection profile — and require byte-identical
+results: materialized tables (including row order), stage statistics,
+shuffle telemetry, simulated-clock sleeps, the injector's fault log,
+and the span tree.  Spill-enabled shuffles must be byte-identical to
+in-memory ones under the same matrix.  A second group pins the
 cross-engine contract: distributed output matches the local engine
 (up to row order) on both bundled workloads at every parallelism.
 """
@@ -49,12 +51,13 @@ def _apache_dashboard():
     )
 
 
-def _run(dashboard, profile, parallelism):
+def _run(dashboard, profile, parallelism, executor="threads",
+         spill_bytes=0):
     """One distributed run with fully observable shared state."""
     clock = SimulatedClock()
     tracer = Tracer(clock=clock)
     injector = FaultInjector.from_profile(profile)
-    executor = DistributedExecutor(
+    engine = DistributedExecutor(
         dashboard._resolve_source,
         num_partitions=4,
         fault_injector=injector,
@@ -62,8 +65,10 @@ def _run(dashboard, profile, parallelism):
         clock=clock,
         tracer=tracer,
         parallelism=parallelism,
+        executor=executor,
+        spill_bytes=spill_bytes,
     )
-    result = executor.run(dashboard.compiled.plan, dashboard._task_context())
+    result = engine.run(dashboard.compiled.plan, dashboard._task_context())
     spans = tracer.trace(tracer.last_trace_id or "")
     return result, clock, injector, spans
 
@@ -106,22 +111,48 @@ class TestParallelismIsInvisible:
     @pytest.mark.parametrize(
         "profile", PROFILES, ids=[p or "none" for p in PROFILES]
     )
-    def test_ipl_identical_at_parallelism_1_and_4(self, profile):
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_ipl_identical_across_matrix(self, profile, executor):
         dashboard = _ipl_dashboard()
         base, base_clock, base_inj, base_spans = _run(dashboard, profile, 1)
-        wide, wide_clock, wide_inj, wide_spans = _run(dashboard, profile, 4)
+        for parallelism in (1, 4):
+            wide, wide_clock, wide_inj, wide_spans = _run(
+                dashboard, profile, parallelism, executor=executor
+            )
+            key = f"{executor}/parallelism={parallelism}"
+            assert _table_fingerprint(wide) == _table_fingerprint(base), key
+            assert _stage_fingerprint(wide) == _stage_fingerprint(base), key
+            assert wide.recovered_stages == base.recovered_stages, key
+            assert wide.rows_produced == base.rows_produced, key
+            # Resilience side effects are consumed in the same order:
+            # the simulated clock slept the same sleeps and the
+            # injector fired the same faults.
+            assert wide_clock.sleeps == base_clock.sleeps, key
+            assert _fault_fingerprint(wide_inj) == _fault_fingerprint(
+                base_inj
+            ), key
+            # Span trees (ids, parents, attributes) are byte-identical.
+            assert _span_fingerprint(wide_spans) == _span_fingerprint(
+                base_spans
+            ), key
 
-        assert _table_fingerprint(wide) == _table_fingerprint(base)
-        assert _stage_fingerprint(wide) == _stage_fingerprint(base)
-        assert wide.recovered_stages == base.recovered_stages
-        assert wide.rows_produced == base.rows_produced
-        # Resilience side effects are consumed in the same order: the
-        # simulated clock slept the same sleeps and the injector fired
-        # the same faults.
-        assert wide_clock.sleeps == base_clock.sleeps
-        assert _fault_fingerprint(wide_inj) == _fault_fingerprint(base_inj)
-        # Span trees (ids, parents, attributes) are byte-identical.
-        assert _span_fingerprint(wide_spans) == _span_fingerprint(base_spans)
+    @pytest.mark.parametrize(
+        "profile", [None, "transient", "chaos:7"],
+        ids=["none", "transient", "chaos7"],
+    )
+    def test_ipl_spill_is_byte_identical(self, profile):
+        # A 1-byte budget spills every shuffle page to disk; outputs,
+        # stages and spans must not notice.
+        dashboard = _ipl_dashboard()
+        base, _c, _i, base_spans = _run(dashboard, profile, 4)
+        spilled, _c2, _i2, spilled_spans = _run(
+            dashboard, profile, 4, spill_bytes=1
+        )
+        assert _table_fingerprint(spilled) == _table_fingerprint(base)
+        assert _stage_fingerprint(spilled) == _stage_fingerprint(base)
+        assert _span_fingerprint(spilled_spans) == _span_fingerprint(
+            base_spans
+        )
 
     @pytest.mark.parametrize("profile", ["transient", "flaky", "chaos:7"])
     def test_faults_actually_fired(self, profile):

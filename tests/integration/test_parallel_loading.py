@@ -3,11 +3,16 @@
 A dashboard with several loader-backed data objects prefetches them
 concurrently through ``DataObjectLoader.load_many`` before the engine
 runs.  Mirroring ``test_parallel_determinism``, these tests require the
-parallelism knob to change wall time only: materialized tables (row
-order included), the full span tree, and the metrics registry (counter
-values and histogram observation counts — durations legitimately vary)
-must be byte-identical at ``parallelism=1`` and ``4``, with and without
-every named fault-injection profile.
+parallelism and executor knobs to change wall time only: materialized
+tables (row order included), the full span tree, and the metrics
+registry (counter values and histogram observation counts — durations
+legitimately vary) must be byte-identical across
+{threads, processes} x parallelism {1, 4}, with and without every
+named fault-injection profile.
+
+The small-job sequential fallback is disabled in the matrix runs
+(``small_job_bytes = 0``) because its counter is the one deliberate
+parallelism-dependent metric; it gets its own tests below.
 """
 
 import json
@@ -85,14 +90,21 @@ def workspace(tmp_path):
     return tmp_path
 
 
-def _run(workspace, profile, parallelism):
+def _run(
+    workspace, profile, parallelism, executor="threads", fallback=False
+):
     platform = Platform()
     platform.create_dashboard("multi", FLOW, data_dir=workspace)
     dashboard = platform.get_dashboard("multi")
+    if not fallback:
+        # The small-job fallback's counter is deliberately
+        # parallelism-dependent; the determinism matrix turns it off.
+        platform.loader.small_job_bytes = 0
     report = dashboard.run_flows(
         engine="distributed",
         fault_profile=profile,
         parallelism=parallelism,
+        executor=executor,
     )
     spans = platform.observability.tracer.trace(report.trace_id or "")
     return dashboard, report, spans, platform.observability.metrics
@@ -132,26 +144,31 @@ def _metrics_fingerprint(metrics):
 
 
 class TestParallelLoadingIsInvisible:
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
     @pytest.mark.parametrize(
         "profile", PROFILES, ids=[p or "none" for p in PROFILES]
     )
-    def test_identical_at_parallelism_1_and_4(self, workspace, profile):
+    def test_identical_across_executors_and_parallelism(
+        self, workspace, profile, executor
+    ):
         base_dash, base_report, base_spans, base_metrics = _run(
             workspace, profile, 1
         )
-        wide_dash, wide_report, wide_spans, wide_metrics = _run(
-            workspace, profile, 4
-        )
-        assert _tables_fingerprint(wide_dash) == _tables_fingerprint(
-            base_dash
-        )
-        assert wide_report.rows_produced == base_report.rows_produced
-        assert _span_fingerprint(wide_spans) == _span_fingerprint(
-            base_spans
-        )
-        assert _metrics_fingerprint(wide_metrics) == _metrics_fingerprint(
-            base_metrics
-        )
+        for parallelism in (1, 4):
+            dash, report, spans, metrics = _run(
+                workspace, profile, parallelism, executor=executor
+            )
+            key = f"{executor}/parallelism={parallelism}"
+            assert _tables_fingerprint(dash) == _tables_fingerprint(
+                base_dash
+            ), key
+            assert report.rows_produced == base_report.rows_produced, key
+            assert _span_fingerprint(spans) == _span_fingerprint(
+                base_spans
+            ), key
+            assert _metrics_fingerprint(metrics) == _metrics_fingerprint(
+                base_metrics
+            ), key
 
     def test_sources_prefetch_under_one_span(self, workspace):
         _dash, _report, spans, _metrics = _run(workspace, None, 4)
@@ -201,3 +218,37 @@ class TestParallelLoadingIsInvisible:
             for summary in [duration.summary(**labels)]
         }
         assert counts == {"csv": 2, "jsonl": 1}
+
+
+class TestSmallJobFallback:
+    def test_small_sources_load_sequentially(self, workspace):
+        _dash, _report, _spans, metrics = _run(
+            workspace, None, 4, fallback=True
+        )
+        fallback = metrics.get("repro_ingest_parallel_fallback_total")
+        assert fallback is not None
+        series = {
+            labels["reason"]: value for labels, value in fallback.series()
+        }
+        assert series == {"small-job": 1}
+
+    def test_fallback_changes_no_table_or_span(self, workspace):
+        seq_dash, _r, seq_spans, _m = _run(workspace, None, 1)
+        fb_dash, _r2, fb_spans, _m2 = _run(
+            workspace, None, 4, fallback=True
+        )
+        assert _tables_fingerprint(fb_dash) == _tables_fingerprint(
+            seq_dash
+        )
+        assert _span_fingerprint(fb_spans) == _span_fingerprint(seq_spans)
+
+    def test_parallel_respected_above_threshold(self, workspace):
+        platform = Platform()
+        platform.create_dashboard("multi", FLOW, data_dir=workspace)
+        # Tiny threshold: every source is "large", so no fallback.
+        platform.loader.small_job_bytes = 1
+        platform.get_dashboard("multi").run_flows(
+            engine="distributed", parallelism=4
+        )
+        metrics = platform.observability.metrics
+        assert metrics.get("repro_ingest_parallel_fallback_total") is None

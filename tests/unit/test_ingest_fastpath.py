@@ -348,6 +348,11 @@ class TestLoadMany:
         with seq_obs.tracer.span("root") as seq_root:
             seq_tables = [sequential.load(s, c) for s, c in specs]
         parallel = DataObjectLoader(observability=par_obs)
+        # The small-job fallback's counter is the one deliberate
+        # parallelism-dependent metric; disable it so telemetry can be
+        # compared exactly (its own tests live in
+        # tests/integration/test_parallel_loading.py).
+        parallel.small_job_bytes = 0
         with par_obs.tracer.span("root") as par_root:
             par_tables = parallel.load_many(specs, parallelism=4)
         assert [t.to_records() for t in par_tables] == [

@@ -1,11 +1,22 @@
 """Unit tests for the deterministic parallel scheduling primitives."""
 
+import os
 import threading
+
+import pytest
 
 from repro.compiler.dag import build_dag
 from repro.dsl import parse_flow_file
 from repro.engine import build_logical_plan
-from repro.engine.scheduler import UnitOutcome, WorkerPool, stage_waves
+from repro.engine.scheduler import (
+    EXECUTORS,
+    ProcessTransportError,
+    UnitOutcome,
+    WorkerPool,
+    resolve_executor,
+    stage_waves,
+)
+from repro.errors import WorkerLostError
 from repro.tasks.registry import default_task_registry
 
 
@@ -79,6 +90,105 @@ class TestWorkerPool:
     def test_outcome_repr(self):
         assert "value=3" in repr(UnitOutcome(value=3))
         assert "error=" in repr(UnitOutcome(error=RuntimeError("x")))
+
+    def test_executor_vocabulary(self):
+        assert EXECUTORS == ("threads", "processes")
+        assert resolve_executor("Threads") == "threads"
+        with pytest.raises(ValueError, match="unknown executor"):
+            WorkerPool(2, executor="fibers")
+
+
+class TestProcessPool:
+    """The fork-backed executor behind ``executor='processes'``."""
+
+    def test_results_in_submission_order(self):
+        pool = WorkerPool(workers=4, executor="processes")
+        thunks = [lambda i=i: i * i for i in range(10)]
+        assert [o.value for o in pool.map_ordered(thunks)] == [
+            i * i for i in range(10)
+        ]
+
+    def test_closures_need_no_pickling(self):
+        # The thunk captures an unpicklable object; only its *result*
+        # crosses the process boundary.
+        lock = threading.Lock()
+        pool = WorkerPool(workers=2, executor="processes")
+        outcomes = list(
+            pool.map_ordered(
+                [lambda: bool(lock), lambda: type(lock).__name__]
+            )
+        )
+        assert outcomes[0].value is True
+        assert outcomes[1].value == "lock"
+
+    def test_errors_are_captured_and_pickled_back(self):
+        pool = WorkerPool(workers=2, executor="processes")
+
+        def boom():
+            raise ValueError("unit failed")
+
+        outcomes = list(pool.map_ordered([lambda: 1, boom, lambda: 3]))
+        assert [o.failed for o in outcomes] == [False, True, False]
+        assert isinstance(outcomes[1].error, ValueError)
+        assert "unit failed" in str(outcomes[1].error)
+
+    def test_unpicklable_result_degrades_to_transport_error(self):
+        pool = WorkerPool(workers=2, executor="processes")
+        outcomes = list(
+            pool.map_ordered([lambda: threading.Lock(), lambda: 2])
+        )
+        assert isinstance(outcomes[0].error, ProcessTransportError)
+        assert outcomes[1].value == 2
+
+    def test_dead_worker_surfaces_as_worker_lost(self):
+        # A worker that exits without reporting must not hang the
+        # coordinator; its units come back as WorkerLostError so the
+        # engine's lineage recovery can recompute them inline.
+        pool = WorkerPool(workers=2, executor="processes")
+        thunks = [lambda: os._exit(3)] + [lambda i=i: i for i in (1, 2, 3)]
+        outcomes = list(pool.map_ordered(thunks))
+        # Worker 0 owned the strided units 0 and 2 and died on 0, so
+        # both are lost; worker 1's units 1 and 3 still come back.
+        assert isinstance(outcomes[0].error, WorkerLostError)
+        assert isinstance(outcomes[2].error, WorkerLostError)
+        assert outcomes[1].value == 1
+        assert outcomes[3].value == 3
+
+    def test_no_orphan_workers_after_map(self):
+        pool = WorkerPool(workers=4, executor="processes")
+        list(pool.map_ordered([lambda i=i: i for i in range(8)]))
+        # Every forked child has been reaped: waitpid finds no zombies.
+        with pytest.raises(ChildProcessError):
+            os.waitpid(-1, os.WNOHANG)
+
+    def test_single_worker_stays_lazy_and_forkless(self):
+        ran = []
+
+        def unit(i):
+            def thunk():
+                ran.append(i)  # visible ⇒ ran in this process
+                return i
+
+            return thunk
+
+        pool = WorkerPool(workers=1, executor="processes")
+        iterator = pool.map_ordered([unit(0), unit(1)])
+        assert next(iterator).value == 0
+        assert ran == [0]
+
+    def test_large_columnar_results_round_trip(self):
+        # Bigger than one flush frame, forcing the batching path.
+        pool = WorkerPool(workers=2, executor="processes")
+        size = 200_000
+
+        def big(offset):
+            return {"col": list(range(offset, offset + size))}
+
+        outcomes = list(
+            pool.map_ordered([lambda: big(0), lambda: big(7)])
+        )
+        assert outcomes[0].value["col"][:3] == [0, 1, 2]
+        assert outcomes[1].value["col"][-1] == 7 + size - 1
 
 
 SOURCE = (

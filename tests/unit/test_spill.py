@@ -1,0 +1,162 @@
+"""Unit tests for spill-to-disk shuffle buffers (engine/spill.py).
+
+Covers the overflow-threshold boundary, page merge order, and
+temp-file cleanup on both the success path and a fault-injected
+failure, plus byte-identity of the spilled ``_hash_shuffle``.
+"""
+
+import glob
+import os
+import tempfile
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.engine.distributed import _hash_shuffle
+from repro.engine.spill import SpillBucket, SpillManager
+
+SCHEMA = Schema(["k", "v"])
+
+
+def _page(rows, start=0):
+    return Table.from_columns(
+        SCHEMA,
+        {
+            "k": [i % 5 for i in range(start, start + rows)],
+            "v": list(range(start, start + rows)),
+        },
+    )
+
+
+def _spill_dirs():
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-spill-*")))
+
+
+class TestOverflowThreshold:
+    def test_under_limit_stays_in_memory(self):
+        with SpillManager(limit_bytes=10**9) as spill:
+            bucket = spill.bucket()
+            bucket.append(_page(10))
+            assert not bucket.spilled
+            assert spill.spilled_pages == 0
+            assert spill.directory is None  # lazily created, so never
+
+    def test_reaching_limit_flushes_everything_buffered(self):
+        page = _page(10)
+        # Exactly at the limit counts as overflow (>= semantics).
+        with SpillManager(limit_bytes=page.estimated_bytes()) as spill:
+            bucket = spill.bucket()
+            bucket.append(page)
+            assert bucket.spilled
+            assert spill.spilled_pages == 1
+            assert spill.spilled_bytes == page.estimated_bytes()
+
+    def test_one_byte_below_limit_does_not_flush(self):
+        page = _page(10)
+        with SpillManager(limit_bytes=page.estimated_bytes() + 1) as spill:
+            bucket = spill.bucket()
+            bucket.append(page)
+            assert not bucket.spilled
+
+    def test_zero_limit_disables_spilling(self):
+        with SpillManager(limit_bytes=0) as spill:
+            bucket = spill.bucket()
+            for start in range(0, 50, 10):
+                bucket.append(_page(10, start))
+            assert not bucket.spilled
+            assert spill.directory is None
+
+    def test_buffer_accumulates_across_appends(self):
+        page = _page(10)
+        with SpillManager(limit_bytes=page.estimated_bytes() * 2) as spill:
+            bucket = spill.bucket()
+            bucket.append(_page(10, 0))
+            assert not bucket.spilled
+            bucket.append(_page(10, 10))  # second append crosses the limit
+            assert bucket.spilled
+            assert spill.spilled_pages == 2  # the whole buffer flushed
+
+
+class TestMergeOrder:
+    def test_pages_drain_in_append_order(self):
+        pages = [_page(3, start) for start in (0, 10, 20, 30, 40)]
+        with SpillManager(limit_bytes=1) as spill:  # spill every append
+            bucket = spill.bucket()
+            for page in pages[:3]:
+                bucket.append(page)
+            # Leave the last two buffered to mix disk + memory.
+            spill.limit_bytes = 0
+            for page in pages[3:]:
+                bucket.append(page)
+            drained = list(bucket.pages())
+            assert [p._data for p in drained] == [p._data for p in pages]
+
+    def test_multiple_buckets_do_not_interleave(self):
+        with SpillManager(limit_bytes=1) as spill:
+            a, b = spill.bucket(), spill.bucket()
+            a.append(_page(3, 0))
+            b.append(_page(3, 100))
+            a.append(_page(3, 10))
+            assert [p.column("v")[0] for p in a.pages()] == [0, 10]
+            assert [p.column("v")[0] for p in b.pages()] == [100]
+
+
+class TestTempFileLifecycle:
+    def test_cleanup_on_success(self):
+        before = _spill_dirs()
+        with SpillManager(limit_bytes=1) as spill:
+            bucket = spill.bucket()
+            bucket.append(_page(5))
+            created = spill.directory
+            assert created is not None and os.path.isdir(created)
+        assert not os.path.exists(created)
+        assert _spill_dirs() == before
+
+    def test_cleanup_on_failure(self):
+        before = _spill_dirs()
+        created = None
+        with pytest.raises(RuntimeError, match="injected"):
+            with SpillManager(limit_bytes=1) as spill:
+                bucket = spill.bucket()
+                bucket.append(_page(5))
+                created = spill.directory
+                raise RuntimeError("injected mid-shuffle failure")
+        assert created is not None and not os.path.exists(created)
+        assert _spill_dirs() == before
+
+    def test_cleanup_is_idempotent(self):
+        spill = SpillManager(limit_bytes=1)
+        spill.bucket().append(_page(5))
+        spill.cleanup()
+        spill.cleanup()
+        assert spill.directory is None
+
+
+class TestSpilledShuffleIdentity:
+    def test_spilled_hash_shuffle_is_byte_identical(self):
+        partitions = [_page(100, start) for start in (0, 100, 200)]
+        plain = _hash_shuffle(partitions, ["k"], 4)
+        spilled = _hash_shuffle(partitions, ["k"], 4, spill_bytes=1)
+        assert plain[1:] == spilled[1:]  # records, bytes telemetry
+        for a, b in zip(plain[0], spilled[0]):
+            assert a.schema.names == b.schema.names
+            assert a._data == b._data
+
+    def test_shuffle_leaves_no_temp_files(self):
+        before = _spill_dirs()
+        partitions = [_page(50, start) for start in (0, 50)]
+        _hash_shuffle(partitions, ["k"], 4, spill_bytes=1)
+        assert _spill_dirs() == before
+
+
+class TestSpillBucketInternals:
+    def test_bucket_indices_are_distinct_files(self):
+        with SpillManager(limit_bytes=1) as spill:
+            a, b = spill.bucket(), spill.bucket()
+            a.append(_page(2))
+            b.append(_page(2))
+            files = os.listdir(spill.directory)
+            assert sorted(files) == ["bucket-0.pages", "bucket-1.pages"]
+
+    def test_bucket_type(self):
+        assert isinstance(SpillManager().bucket(), SpillBucket)
