@@ -25,6 +25,8 @@ SERVING_JSON = RESULTS_DIR / "BENCH_serving.json"
 
 MULTICORE_JSON = RESULTS_DIR / "BENCH_multicore.json"
 
+INCREMENTAL_JSON = RESULTS_DIR / "BENCH_incremental.json"
+
 
 def report(name: str, text: str) -> None:
     """Print a figure's series and persist it under results/."""
@@ -125,6 +127,25 @@ def report_multicore(section: str, payload: dict) -> None:
         merged = json.loads(MULTICORE_JSON.read_text(encoding="utf-8"))
     merged[section] = payload
     MULTICORE_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{section}: {json.dumps(payload, sort_keys=True)}")
+
+
+def report_incremental(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_incremental.json``.
+
+    Same merge discipline as :func:`report_interactive`: each refresh
+    benchmark owns one top-level key, so smoke runs update their
+    section without clobbering full-mode results.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if INCREMENTAL_JSON.exists():
+        merged = json.loads(INCREMENTAL_JSON.read_text(encoding="utf-8"))
+    merged[section] = payload
+    INCREMENTAL_JSON.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

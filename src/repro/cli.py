@@ -6,6 +6,7 @@ files — so pipelines can live in scripts and CI:
 
     python -m repro validate dashboard.flow
     python -m repro run dashboard.flow --data ./data --endpoint out
+    python -m repro refresh dashboard.flow --data ./data --cycles 3
     python -m repro render dashboard.flow --data ./data -o dash.html
     python -m repro explain dashboard.flow --data ./data
     python -m repro serve dashboard.flow --data ./data --port 8350
@@ -102,6 +103,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print a per-stage hot-spot table for the run",
+    )
+
+    refresh = commands.add_parser(
+        "refresh",
+        help="run once, then refresh incrementally on an interval",
+    )
+    add_common(refresh)
+    refresh.add_argument(
+        "--cycles",
+        type=int,
+        default=1,
+        metavar="N",
+        help="refresh cycles to run after the priming run (default: 1)",
+    )
+    refresh.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="pause between cycles (default: 0, back to back)",
+    )
+    refresh.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "recompute everything each cycle instead of advancing "
+            "delta cursors incrementally"
+        ),
+    )
+    refresh.add_argument(
+        "--endpoint",
+        default=None,
+        help="print this endpoint's rows as JSON after the last cycle",
     )
 
     render = commands.add_parser(
@@ -227,6 +261,50 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_refresh(args) -> int:
+    import time
+
+    from repro.dashboard.refresh import RefreshScheduler
+
+    platform, name = _load(args)
+    report = platform.run_dashboard(name)
+    print(
+        f"primed {name!r}: {report.rows_produced} rows, "
+        f"endpoints: {', '.join(report.endpoints) or '-'}",
+        file=sys.stderr,
+    )
+    scheduler = RefreshScheduler(
+        platform,
+        interval=args.interval or 1.0,
+        dashboards=[name],
+        incremental=not args.full,
+    )
+    exit_code = 0
+    for cycle in range(max(args.cycles, 0)):
+        if cycle and args.interval > 0:
+            time.sleep(args.interval)
+        result = scheduler.run_cycle()[name]
+        if isinstance(result, Exception):
+            print(f"cycle {cycle}: error: {result}", file=sys.stderr)
+            exit_code = 1
+            continue
+        print(
+            f"cycle {cycle}: {result.mode} in "
+            f"{result.seconds * 1000:.1f} ms; "
+            f"{result.delta_rows} delta row(s); "
+            f"{len(result.flows_incremental)} incremental / "
+            f"{len(result.flows_full)} full / "
+            f"{len(result.flows_skipped)} skipped flow(s); "
+            f"changed: {', '.join(result.endpoints_changed) or '-'}",
+            file=sys.stderr,
+        )
+    if args.endpoint:
+        table = platform.get_dashboard(name).endpoint(args.endpoint)
+        sys.stdout.write(table.to_json_records(default=str, indent=2))
+        print()
+    return exit_code
+
+
 def _cmd_render(args) -> int:
     platform, name = _load(args)
     platform.run_dashboard(name)
@@ -284,6 +362,7 @@ def _cmd_serve(args) -> int:
 _COMMANDS = {
     "validate": _cmd_validate,
     "run": _cmd_run,
+    "refresh": _cmd_refresh,
     "render": _cmd_render,
     "explain": _cmd_explain,
     "serve": _cmd_serve,

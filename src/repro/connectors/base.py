@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.data import Table
+from repro.errors import ConnectorError
 
 
 @dataclass
@@ -36,15 +37,73 @@ class FetchResult:
             )
 
 
+@dataclass
+class DeltaFetch:
+    """What :meth:`Connector.fetch_delta` returned.
+
+    ``mode`` is one of:
+
+    * ``"none"`` — the source is unchanged since ``cursor``; ``payload``
+      is ``None`` and the caller can skip decoding entirely.
+    * ``"append"`` — ``payload`` holds only the bytes written *after*
+      the cursor position (the new rows).
+    * ``"full"`` — the source changed in a way the connector cannot
+      express as an append (truncated, rewritten in place); ``payload``
+      holds the whole current payload and downstream state must reset.
+
+    ``cursor`` is the new opaque cursor to hand back on the next call.
+    """
+
+    mode: str
+    cursor: Any
+    payload: bytes | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("none", "append", "full"):
+            raise ValueError(f"invalid delta mode {self.mode!r}")
+        if (self.payload is None) != (self.mode == "none"):
+            raise ValueError(
+                "DeltaFetch payload must be set exactly when mode != 'none'"
+            )
+
+
 class Connector(abc.ABC):
     """Base class for protocol connectors."""
 
     #: Protocol name used in the flow file (``protocol: http``).
     name: str = ""
 
+    #: Whether :meth:`fetch_delta` is implemented for real.  Connectors
+    #: without a cheap change-detection story leave this False and the
+    #: loader falls back to a full reload per refresh.
+    supports_delta: bool = False
+
     @abc.abstractmethod
     def fetch(self, config: Mapping[str, Any]) -> FetchResult:
         """Fetch the payload described by the data-object ``config``."""
+
+    def fetch_delta(
+        self, config: Mapping[str, Any], cursor: Any = None
+    ) -> DeltaFetch:
+        """Fetch only what changed since ``cursor``.
+
+        The default implementation is the honest fallback: every call is
+        a full fetch with a ``None`` cursor, so callers that probe
+        blindly still get correct (if not incremental) behavior.
+        """
+        result = self.fetch(config)
+        if result.payload is None:
+            raise ConnectorError(
+                f"connector {self.name!r} returns tables, not payloads; "
+                "delta fetch is undefined"
+            )
+        return DeltaFetch(
+            mode="full",
+            cursor=None,
+            payload=result.payload,
+            metadata=dict(result.metadata),
+        )
 
     def store(self, config: Mapping[str, Any], payload: bytes) -> None:
         """Write a sink payload.  Optional; default raises."""

@@ -16,12 +16,13 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-from repro.connectors.base import Connector, FetchResult
+from repro.connectors.base import Connector, DeltaFetch, FetchResult
 from repro.errors import ConnectorError
 
 
 class FileConnector(Connector):
     name = "file"
+    supports_delta = True
 
     def fetch(self, config: Mapping[str, Any]) -> FetchResult:
         path = self._resolve(config)
@@ -73,6 +74,80 @@ class FileConnector(Connector):
                 ) from exc
 
         return chunks()
+
+    def fetch_delta(
+        self, config: Mapping[str, Any], cursor: Any = None
+    ) -> DeltaFetch:
+        """Bytes written since ``cursor``, by offset + mtime tracking.
+
+        The cursor is ``{"offset", "mtime_ns", "size"}`` from the last
+        read.  Decision table:
+
+        * no cursor — first read: full payload, fresh cursor;
+        * size and mtime unchanged — ``"none"``, nothing to decode;
+        * file grew — ``"append"`` with only the tail bytes.  The
+          size-recheck after reading guards the race where a writer
+          appends between stat and read;
+        * file shrank, or same size with a different mtime (rewritten
+          in place) — ``"full"``: append-only bookkeeping can't
+          describe it, downstream state must reset.
+        """
+        path = self._resolve(config)
+        if not path.exists():
+            raise ConnectorError(f"data file not found: {path}")
+        try:
+            stat = path.stat()
+        except OSError as exc:
+            raise ConnectorError(f"cannot stat {path}: {exc}") from exc
+
+        def _read(offset: int) -> bytes:
+            try:
+                with path.open("rb") as handle:
+                    handle.seek(offset)
+                    return handle.read()
+            except OSError as exc:
+                raise ConnectorError(
+                    f"cannot read {path}: {exc}"
+                ) from exc
+
+        def _cursor(data_end: int, mtime_ns: int) -> dict[str, int]:
+            return {
+                "offset": data_end,
+                "mtime_ns": mtime_ns,
+                "size": data_end,
+            }
+
+        if isinstance(cursor, Mapping) and "offset" in cursor:
+            offset = int(cursor["offset"])
+            mtime_ns = int(cursor.get("mtime_ns", -1))
+            if (
+                stat.st_size == offset
+                and stat.st_mtime_ns == mtime_ns
+            ):
+                return DeltaFetch(
+                    mode="none",
+                    cursor=dict(cursor),
+                    metadata={"path": str(path)},
+                )
+            if stat.st_size > offset:
+                tail = _read(offset)
+                return DeltaFetch(
+                    mode="append",
+                    cursor=_cursor(offset + len(tail), stat.st_mtime_ns),
+                    payload=tail,
+                    metadata={
+                        "path": str(path),
+                        "size": len(tail),
+                        "offset": offset,
+                    },
+                )
+        payload = _read(0)
+        return DeltaFetch(
+            mode="full",
+            cursor=_cursor(len(payload), stat.st_mtime_ns),
+            payload=payload,
+            metadata={"path": str(path), "size": len(payload)},
+        )
 
     def estimate_bytes(self, config: Mapping[str, Any]) -> int | None:
         """File size by stat — never reads the payload."""

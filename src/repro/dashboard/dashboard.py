@@ -71,6 +71,27 @@ class RunReport:
     trace_id: str | None = None
 
 
+@dataclass
+class RefreshReport:
+    """Telemetry from one ``refresh_flows`` call."""
+
+    mode: str  # "incremental" or "full"
+    seconds: float = 0.0
+    #: new source rows ingested via delta cursors this cycle
+    delta_rows: int = 0
+    #: flows advanced through incremental view maintenance
+    flows_incremental: list[str] = field(default_factory=list)
+    #: flows recomputed from scratch (unsupported operators, multi-input)
+    flows_full: list[str] = field(default_factory=list)
+    #: flows whose inputs were unchanged (no work at all)
+    flows_skipped: list[str] = field(default_factory=list)
+    #: endpoints whose tables changed (version bumped)
+    endpoints_changed: list[str] = field(default_factory=list)
+    #: current endpoint versions after this refresh
+    versions: dict[str, int] = field(default_factory=dict)
+    trace_id: str | None = None
+
+
 class Dashboard:
     """A live dashboard built from a compiled flow file."""
 
@@ -110,6 +131,19 @@ class Dashboard:
         self.stylesheet: str = ""
         #: outputs adopted from a previous version (incremental runs)
         self._fresh_outputs: set[str] = set()
+        # -- refresh state (see refresh_flows) --------------------------
+        #: per-source delta-loader state (cursors + captured preambles)
+        self._delta_states: dict[str, dict | None] = {}
+        #: maintained full source tables, fed by delta ingestion
+        self._source_tables: dict[str, Table] = {}
+        #: (object identity, row count) watermarks for inline/catalog
+        #: tables, to detect in-place growth vs replacement
+        self._source_watermarks: dict[str, tuple[int, int]] = {}
+        #: per-flow incremental maintenance state
+        self._flow_states: dict[str, Any] = {}
+        #: monotonic version per endpoint table; bumped when it changes
+        self._endpoint_versions: dict[str, int] = {}
+        self.last_refresh: RefreshReport | None = None
         self._build_widgets()
 
     # ------------------------------------------------------------------
@@ -213,6 +247,13 @@ class Dashboard:
                 report.flows_skipped = skipped
                 # A full run refreshes everything: nothing stays "fresh".
                 self._fresh_outputs = set(skipped)
+                # Refresh state is anchored to the data a run loaded;
+                # a full run re-reads sources from scratch, so cursors
+                # and per-flow states reset (the next refresh cycle
+                # re-bootstraps them) and every endpoint version bumps.
+                self._reset_refresh_state()
+                for endpoint in self.compiled.endpoint_names:
+                    self._bump_version(endpoint)
                 report.endpoints = self.compiled.endpoint_names
                 with obs.tracer.span("publish"):
                     report.published = self._publish()
@@ -225,6 +266,298 @@ class Dashboard:
                 self._prefetched = {}
         self.last_run = report
         return report
+
+    # ------------------------------------------------------------------
+    # delta refresh (incremental view maintenance)
+    # ------------------------------------------------------------------
+    def endpoint_version(self, name: str) -> int:
+        """Monotonic version of an endpoint's table (0 before any run).
+
+        Bumped whenever the table's content may have changed — on every
+        full run, and on refresh cycles whose deltas reached it.  The
+        server surfaces this as a response header and uses the bump as
+        the query-cache invalidation boundary.
+        """
+        return self._endpoint_versions.get(name, 0)
+
+    def endpoint_versions(self) -> dict[str, int]:
+        return dict(self._endpoint_versions)
+
+    def _bump_version(self, name: str) -> None:
+        self._endpoint_versions[name] = (
+            self._endpoint_versions.get(name, 0) + 1
+        )
+
+    def _reset_refresh_state(self) -> None:
+        self._delta_states.clear()
+        self._source_tables.clear()
+        self._source_watermarks.clear()
+        self._flow_states.clear()
+
+    def refresh_flows(self, incremental: bool = True) -> RefreshReport:
+        """Re-run the flows at O(changed rows) cost.
+
+        The delta pipeline, per cycle:
+
+        1. every external source reports how it changed — file-backed
+           sources via :meth:`DataObjectLoader.load_delta` cursors,
+           inline/catalog tables via identity + row-count watermarks;
+        2. flows walk in DAG order: a flow whose inputs are unchanged is
+           skipped outright; a single-input flow whose whole task chain
+           is incrementally maintainable (see
+           :mod:`repro.engine.incremental`) advances its
+           :class:`~repro.engine.incremental.FlowDeltaState`; anything
+           else — multi-input, joins, UDFs, widget-sourced filters —
+           falls back to a full recompute through the real engine
+           (pruned to just those flows, so the fallback never spreads
+           wider than it must);
+        3. endpoints whose tables changed get a version bump, changed
+           outputs republish, and widget cubes rebuild.
+
+        The first refresh after a full run is a **bootstrap**: delta
+        cursors don't exist yet, so sources reload fully and per-flow
+        states prime from complete inputs.  Outputs are byte-identical
+        to a full recompute in every mode — incremental maintenance is
+        a fast path, never a semantics change.
+
+        ``incremental=False`` recomputes everything (equivalent to
+        :meth:`run_flows`) but still reports through the refresh
+        surface, bumping versions only where tables were recomputed.
+        """
+        from time import perf_counter
+
+        obs = self.observability
+        start = perf_counter()
+        report = RefreshReport(
+            mode="incremental" if incremental else "full"
+        )
+        with obs.tracer.span(
+            "dashboard.refresh", dashboard=self.name, mode=report.mode
+        ) as root:
+            if not incremental:
+                # A full refresh must re-read every source: drop the
+                # materialized source copies so the loader hits the
+                # connectors again instead of serving the last run's
+                # tables.
+                for source in self.compiled.dag.sources:
+                    self._materialized.pop(source, None)
+                self._prefetched = {}
+                run = self.run_flows()
+                report.flows_full = [
+                    flow.output for flow in self.compiled.dag.ordered_flows()
+                ]
+                report.endpoints_changed = list(run.endpoints)
+            else:
+                self._refresh_incremental(report)
+            report.versions = self.endpoint_versions()
+            report.trace_id = root.trace_id
+        report.seconds = perf_counter() - start
+        self.last_refresh = report
+        return report
+
+    def _refresh_incremental(self, report: RefreshReport) -> None:
+        from repro.engine.incremental import (
+            Delta,
+            FlowDeltaState,
+            flow_supports_delta,
+        )
+
+        context = self._task_context()
+        context.widget_selections = {}  # batch half is selection-free
+        deltas: dict[str, "Delta"] = {}
+        with self.observability.tracer.span("refresh.sources"):
+            for name in sorted(self.compiled.dag.sources):
+                deltas[name] = self._source_delta(name)
+                if deltas[name].kind == "append":
+                    report.delta_rows += deltas[name].rows.num_rows
+        #: outputs needing the engine (incremental not possible)
+        recompute: set[str] = set()
+        for flow in self.compiled.dag.ordered_flows():
+            output = flow.output
+            input_deltas = [deltas.get(i) for i in flow.inputs]
+            if any(i in recompute for i in flow.inputs):
+                # An upstream recompute means this flow's input delta is
+                # unknown until the engine runs; recompute it too.
+                recompute.add(output)
+                continue
+            if (
+                all(d is not None and d.kind == "none" for d in input_deltas)
+                and output in self._materialized
+            ):
+                deltas[output] = Delta("none")
+                report.flows_skipped.append(output)
+                continue
+            tasks = [self.compiled.tasks[t] for t in flow.tasks]
+            if len(flow.inputs) == 1 and flow_supports_delta(tasks):
+                state = self._flow_states.get(output)
+                if state is None:
+                    state = FlowDeltaState(tasks)
+                    self._flow_states[output] = state
+                    delta_in = Delta(
+                        "full", self._refresh_input(flow.inputs[0])
+                    )
+                else:
+                    delta_in = input_deltas[0]
+                    if delta_in is None:
+                        delta_in = Delta(
+                            "full", self._refresh_input(flow.inputs[0])
+                        )
+                table, delta_out = state.advance(delta_in, context)
+                self._materialized[output] = table
+                deltas[output] = delta_out
+                report.flows_incremental.append(output)
+            else:
+                recompute.add(output)
+        if recompute:
+            self._refresh_recompute(sorted(recompute), context)
+            report.flows_full = sorted(recompute)
+        changed = {
+            name
+            for name, delta in deltas.items()
+            if delta.kind != "none"
+        } | recompute
+        for endpoint in self.compiled.endpoint_names:
+            if endpoint in changed:
+                self._bump_version(endpoint)
+                report.endpoints_changed.append(endpoint)
+        if changed:
+            with self.observability.tracer.span("publish"):
+                self._publish()
+            with self.observability.tracer.span("cubes.rebuild"):
+                self._rebuild_cubes()
+
+    def _source_delta(self, name: str):
+        """How one external source changed since the last cycle."""
+        from repro.engine.incremental import Delta
+
+        if name in self._inline_tables:
+            return self._watermark_delta(name, self._inline_tables[name])
+        obj = self.flow_file.data.get(name)
+        if obj is not None and obj.is_source:
+            config = dict(obj.config)
+            if self._data_dir and "base_dir" not in config:
+                config["base_dir"] = str(self._data_dir)
+            schema = obj.schema or Schema.of()
+            load = self.loader.load_delta(
+                schema, config, self._delta_states.get(name)
+            )
+            self._delta_states[name] = load.state
+            if load.mode == "none":
+                return Delta("none")
+            if load.mode == "append":
+                prior = self._source_tables.get(name)
+                self._source_tables[name] = (
+                    load.table
+                    if prior is None
+                    else Table.concat_all([prior, load.table])
+                )
+                if prior is None:
+                    # No base to append to (state handed in from a
+                    # previous process?): treat as a first full load.
+                    return Delta("full", self._source_tables[name])
+                return Delta("append", load.table)
+            self._source_tables[name] = load.table
+            return Delta("full", load.table)
+        if self.catalog is not None and name in self.catalog:
+            return self._watermark_delta(name, self.catalog.resolve(name))
+        # Unresolvable here; flows using it recompute via the engine.
+        return Delta("full", self._resolve_source(name))
+
+    def _watermark_delta(self, name: str, table: Table):
+        """Delta for an in-memory table, by identity + row count.
+
+        The same table object having grown is an append (callers extend
+        inline tables in place); a different object or a shrink is a
+        replacement.
+        """
+        from repro.engine.incremental import Delta
+
+        mark = self._source_watermarks.get(name)
+        self._source_watermarks[name] = (id(table), table.num_rows)
+        if mark is None:
+            return Delta("full", table)
+        prev_id, prev_rows = mark
+        if prev_id == id(table) and table.num_rows == prev_rows:
+            return Delta("none")
+        if prev_id == id(table) and table.num_rows > prev_rows:
+            return Delta(
+                "append",
+                table.take(list(range(prev_rows, table.num_rows))),
+            )
+        return Delta("full", table)
+
+    def _refresh_input(self, name: str) -> Table:
+        """A full current input table (for state bootstraps).
+
+        Delta-tracked source tables win over ``_materialized`` — the
+        materialized copy is from the last full run, while
+        ``_source_tables`` was just advanced by ``_source_delta``.
+        """
+        if name in self._source_tables:
+            return self._source_tables[name]
+        if name in self._materialized:
+            return self._materialized[name]
+        return self._resolve_source(name)
+
+    def _refresh_recompute(
+        self, outputs: list[str], context: TaskContext
+    ) -> None:
+        """Recompute ``outputs`` through the real engine.
+
+        Builds a plan pruned to just those flows — everything else
+        (incrementally maintained outputs, unchanged flows, sources)
+        acts as an external input — and runs it on the local engine.
+        Reusing the engine keeps multi-input lowering (joins, unions)
+        exactly as a full run would execute it, which is what makes the
+        fallback byte-identical by construction.
+        """
+        from repro.compiler.dag import build_dag
+        from repro.dsl.ast_nodes import FlowFile
+        from repro.engine.local import LocalExecutor
+        from repro.engine.plan import build_logical_plan
+
+        wanted = set(outputs)
+        stale = [
+            flow
+            for flow in self.flow_file.flows
+            if flow.output in wanted
+        ]
+        pruned = FlowFile(
+            name=self.flow_file.name,
+            data=self.flow_file.data,
+            tasks=self.flow_file.tasks,
+            flows=stale,
+            widgets={},
+            layout=None,
+        )
+        external = (
+            {
+                flow.output
+                for flow in self.flow_file.flows
+                if flow.output not in wanted
+            }
+            | set(self.compiled.dag.sources)
+        )
+        dag = build_dag(pruned, external=external)
+        plan = build_logical_plan(dag, self.compiled.tasks)
+        # Serve delta-maintained source tables to the engine without a
+        # re-fetch.  The stale materialized copies from the last full
+        # run must not shadow them (_resolve_source prefers
+        # _materialized), so they are dropped first; the engine's
+        # result tables repopulate them.
+        self._prefetched = dict(self._source_tables)
+        for source in self._source_tables:
+            self._materialized.pop(source, None)
+        try:
+            obs = self.observability
+            result = LocalExecutor(
+                self._resolve_source,
+                tracer=obs.tracer,
+                metrics=obs.metrics,
+            ).run(plan, context)
+            self._materialized.update(result.tables)
+        finally:
+            self._prefetched = {}
 
     # ------------------------------------------------------------------
     # incremental recomputation (§4.5.3 fast feedback, §6 optimization)

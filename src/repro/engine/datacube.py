@@ -120,7 +120,11 @@ class DataCube:
         for widget, selection in sorted((selections or {}).items()):
             selection_part[widget] = {
                 "values": {
-                    k: sorted(map(_stable, v))
+                    # Type-tagged sort key: mixed-type selections
+                    # ({2013, "NA"} from a categorical widget) are
+                    # valid gestures, and a plain sorted() would raise
+                    # TypeError comparing int to str.
+                    k: sorted(map(_stable, v), key=_selection_sort_key)
                     for k, v in selection.values.items()
                 },
                 "ranges": {
@@ -135,6 +139,12 @@ def _stable(value: Any) -> Any:
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
     return str(value)
+
+
+def _selection_sort_key(value: Any) -> tuple[bool, str, str]:
+    """(type-tag, repr) ordering: total over mixed-type selections and
+    deterministic across runs, which is all a cache key needs."""
+    return (value is not None, type(value).__name__, repr(value))
 
 
 def is_selection_dependent(task: Task) -> bool:

@@ -1,0 +1,361 @@
+"""Incremental view maintenance for the builtin operator vocabulary.
+
+A dashboard refresh hands each flow a :class:`Delta` describing how its
+input changed — ``"none"``, ``"append"`` (new trailing rows only), or
+``"full"`` (replaced) — and :class:`FlowDeltaState` pushes that delta
+through the flow's task chain using per-task incremental states instead
+of recomputing from scratch, so a re-run costs O(changed rows) plus
+O(groups) for aggregations.
+
+The non-negotiable contract is **byte-identity with full recompute**:
+every state's output must equal what the task chain would produce if
+re-applied to the whole (base + delta) input.  The arguments, per
+operator family:
+
+* *Row-local tasks* (``partition_local()`` — filter/map/project/rename/
+  add_column/cast/constant-fillna) transform rows independently, so
+  applying them to just the delta rows and appending equals applying
+  them to the whole input.
+* *Limit* only needs a count of rows already emitted.
+* *Sort* relies on stability: ``stable_sort(stable_sort(base) ++
+  delta)`` equals ``stable_sort(base ++ delta)`` because tied base rows
+  keep their original relative order inside the sorted base, and base
+  rows precede delta rows in both arrangements.
+* *Top-n* (ungrouped) maintains the full sorted run by the sort
+  argument and emits its head; the heap kernel it replaces is
+  documented equivalent to ``sorted(...)[:n]``.
+* *Group-by* keeps one live :class:`~repro.tasks.groupby.Aggregate`
+  per (group, spec) and feeds delta values in row order.  The builtin
+  aggregates are left folds from the same identity the bulk fast paths
+  use (``sum()`` is a left fold from 0; min/max keep the first minimal
+  element), so merged partials are value-identical to a bulk pass, and
+  first-seen group order over base-then-delta matches a full pass over
+  the concatenated input.
+
+Anything outside this vocabulary — joins, unions (multi-input flows),
+widget-sourced filters (selection state may have changed since the base
+rows were filtered), grouped top-n, UDFs, user-registered aggregates or
+map operators — has no state, and :func:`flow_supports_delta` reports
+the flow as full-recompute-only.  Falling back is always safe; the
+states are a fast path, never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.data import Table
+from repro.tasks.base import Task, TaskContext
+from repro.tasks.cleansing import CastTask, FillNaTask
+from repro.tasks.filter import FilterTask
+from repro.tasks.groupby import (
+    GroupByTask,
+    _AGGREGATE_FACTORIES,
+    _explode,
+    _is_builtin,
+    _truthy,
+)
+from repro.tasks.map_ops import MapTask
+from repro.tasks.misc import (
+    AddColumnTask,
+    LimitTask,
+    ProjectTask,
+    RenameTask,
+    SortTask,
+)
+from repro.tasks.topn import TopNTask
+
+#: Tasks whose ``partition_local()`` contract makes them row-local:
+#: applying them to any subset of rows equals slicing their full output.
+_ROW_LOCAL_TYPES = (
+    FilterTask,
+    MapTask,
+    ProjectTask,
+    RenameTask,
+    AddColumnTask,
+    CastTask,
+    FillNaTask,
+)
+
+
+@dataclass
+class Delta:
+    """How a table changed since the previous refresh.
+
+    ``kind`` is ``"none"`` (unchanged, ``rows`` is None), ``"append"``
+    (``rows`` holds only the new trailing rows), or ``"full"``
+    (``rows`` is the complete replacement).
+    """
+
+    kind: str
+    rows: Table | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("none", "append", "full"):
+            raise ValueError(f"invalid delta kind {self.kind!r}")
+        if (self.rows is None) != (self.kind == "none"):
+            raise ValueError(
+                "Delta rows must be set exactly when kind != 'none'"
+            )
+
+
+class _TaskState:
+    """One task's incremental state: feed a delta, get a delta out."""
+
+    def __init__(self, task: Task):
+        self.task = task
+
+    def step(self, delta: Delta, context: TaskContext) -> Delta:
+        raise NotImplementedError
+
+
+class _RowLocalState(_TaskState):
+    """Stateless pass-through: apply the task to just the delta rows."""
+
+    def step(self, delta: Delta, context: TaskContext) -> Delta:
+        return Delta(
+            delta.kind, self.task.apply([delta.rows], context)
+        )
+
+
+class _LimitState(_TaskState):
+    """Counts rows already emitted; appends pass only the remainder."""
+
+    def __init__(self, task: LimitTask):
+        super().__init__(task)
+        self._emitted = 0
+
+    def step(self, delta: Delta, context: TaskContext) -> Delta:
+        if delta.kind == "full":
+            out = self.task.apply([delta.rows], context)
+            self._emitted = out.num_rows
+            return Delta("full", out)
+        remaining = self.task._limit - self._emitted
+        if remaining <= 0:
+            return Delta("none")
+        out = delta.rows.head(remaining)
+        if out.num_rows == 0:
+            return Delta("none")
+        self._emitted += out.num_rows
+        return Delta("append", out)
+
+
+class _SortState(_TaskState):
+    """Keeps the sorted output; appends merge via a near-linear re-sort.
+
+    Timsort on ``sorted_base ++ delta`` finds one long ascending run, so
+    the merge costs O(n + k log k) rather than a full O(n log n) sort —
+    and stability makes the result byte-identical to sorting the
+    original input (see the module docstring).
+    """
+
+    def __init__(self, task: SortTask):
+        super().__init__(task)
+        self._output: Table | None = None
+
+    def step(self, delta: Delta, context: TaskContext) -> Delta:
+        if delta.kind == "full" or self._output is None:
+            source = delta.rows
+        else:
+            source = Table.concat_all([self._output, delta.rows])
+        self._output = self.task.apply([source], context)
+        return Delta("full", self._output)
+
+
+class _TopNState(_TaskState):
+    """Ungrouped top-n: maintain the full sorted run, emit its head."""
+
+    def __init__(self, task: TopNTask):
+        super().__init__(task)
+        self._run: Table | None = None
+
+    def step(self, delta: Delta, context: TaskContext) -> Delta:
+        task = self.task
+        if delta.kind == "full" or self._run is None:
+            source = delta.rows
+        else:
+            source = Table.concat_all([self._run, delta.rows])
+        self._run = source.sorted_by(
+            [c for c, _d in task._order], [d for _c, d in task._order]
+        )
+        out = self._run.head(task._limit)
+        context.bump(f"task.{task.name}.rows_out", out.num_rows)
+        return Delta("full", out)
+
+
+class _GroupByState(_TaskState):
+    """Live aggregates per (group, spec), in first-seen group order."""
+
+    def __init__(self, task: GroupByTask):
+        super().__init__(task)
+        self._specs = task._aggregate_specs()
+        self._out_fields = [
+            str(s.get("out_field") or s.get("apply_on") or s["operator"])
+            for s in self._specs
+        ]
+        self._reset()
+
+    def _reset(self) -> None:
+        self._keys: list[Any] = []
+        self._index: dict[Any, int] = {}
+        # _aggs[spec_position][group_position] — parallel to _keys.
+        self._aggs: list[list[Any]] = [[] for _ in self._specs]
+        self._input_schema = None
+
+    def step(self, delta: Delta, context: TaskContext) -> Delta:
+        if delta.kind == "full":
+            self._reset()
+        self._ingest(delta.rows)
+        return Delta("full", self._emit(context))
+
+    def _ingest(self, rows: Table) -> None:
+        task = self.task
+        group_columns = task.group_columns
+        rows.schema.require(group_columns, context=task.name)
+        rows = _explode(rows, group_columns)
+        self._input_schema = rows.schema
+        group_cols = [rows.column(c) for c in group_columns]
+        single = len(group_columns) == 1
+        value_cols = [
+            rows.column(str(s["apply_on"])) if "apply_on" in s else None
+            for s in self._specs
+        ]
+        factories = [
+            _AGGREGATE_FACTORIES[str(s["operator"]).lower()]
+            for s in self._specs
+        ]
+        index = self._index
+        for i in range(rows.num_rows):
+            key = (
+                group_cols[0][i]
+                if single
+                else tuple(col[i] for col in group_cols)
+            )
+            at = index.get(key)
+            if at is None:
+                at = len(self._keys)
+                index[key] = at
+                self._keys.append(key)
+                for aggs, factory in zip(self._aggs, factories):
+                    aggs.append(factory())
+            for aggs, col in zip(self._aggs, value_cols):
+                aggs[at].add(col[i] if col is not None else None)
+
+    def _emit(self, context: TaskContext) -> Table:
+        task = self.task
+        group_columns = task.group_columns
+        data: dict[str, list[Any]] = {}
+        if len(group_columns) == 1:
+            data[group_columns[0]] = list(self._keys)
+        else:
+            for j, column in enumerate(group_columns):
+                data[column] = [key[j] for key in self._keys]
+        for out_field, aggs in zip(self._out_fields, self._aggs):
+            data[out_field] = [agg.result() for agg in aggs]
+        schema = task.output_schema([self._input_schema])
+        result = Table(schema, {n: data[n] for n in schema.names})
+        if _truthy(task.config.get("orderby_aggregates")):
+            result = result.sorted_by(
+                [self._out_fields[0]], descending=[True]
+            )
+        context.bump(f"task.{task.name}.groups", len(self._keys))
+        return result
+
+
+def _state_for(task: Task) -> _TaskState | None:
+    """The incremental state for one task, or None when unsupported."""
+    if isinstance(task, GroupByTask):
+        specs = task._aggregate_specs()
+        if all(
+            _is_builtin(str(s["operator"]).lower()) for s in specs
+        ):
+            return _GroupByState(task)
+        return None
+    if isinstance(task, LimitTask):
+        return _LimitState(task)
+    if isinstance(task, SortTask):
+        return _SortState(task)
+    if isinstance(task, TopNTask):
+        if task.group_columns:
+            return None
+        return _TopNState(task)
+    if isinstance(task, FilterTask) and task.widget_source is not None:
+        return None
+    if isinstance(task, _ROW_LOCAL_TYPES) and task.partition_local():
+        return _RowLocalState(task)
+    return None
+
+
+def flow_supports_delta(tasks: Sequence[Task]) -> bool:
+    """Can this (single-input) task chain be maintained incrementally?"""
+    return all(_state_for(task) is not None for task in tasks)
+
+
+class FlowDeltaState:
+    """Incremental execution state for one single-input flow.
+
+    Built once per flow after a full run; each refresh cycle calls
+    :meth:`advance` with the source's delta and gets back the flow's
+    complete current output plus whether it changed.  The first call
+    must carry a ``"full"`` delta (the bootstrap), which primes every
+    stateful task.
+    """
+
+    def __init__(self, tasks: Sequence[Task]):
+        states = [_state_for(task) for task in tasks]
+        if any(state is None for state in states):
+            unsupported = [
+                task.name
+                for task, state in zip(tasks, states)
+                if state is None
+            ]
+            raise ValueError(
+                f"flow is not incrementally maintainable; unsupported "
+                f"tasks: {unsupported}"
+            )
+        self._states = states
+        self._output: Table | None = None
+
+    @property
+    def output(self) -> Table | None:
+        """The flow's full current output (None before the bootstrap)."""
+        return self._output
+
+    def advance(
+        self, delta: Delta, context: TaskContext
+    ) -> tuple[Table, Delta]:
+        """Push one source delta through the chain.
+
+        Returns ``(full_output_table, output_delta)`` — the flow's
+        complete current output plus how it changed, so a downstream
+        flow consuming this output can advance from the same delta.
+        """
+        if self._output is None and delta.kind != "full":
+            raise ValueError(
+                "FlowDeltaState must be bootstrapped with a 'full' delta"
+            )
+        for state in self._states:
+            if delta.kind == "none" or (
+                delta.kind == "append" and delta.rows.num_rows == 0
+            ):
+                delta = Delta("none")
+                break
+            delta = state.step(delta, context)
+        if delta.kind == "none":
+            if self._output is None:
+                raise ValueError(
+                    "a 'full' bootstrap delta produced no output"
+                )
+            return self._output, Delta("none")
+        if delta.kind == "append":
+            if delta.rows.num_rows == 0:
+                return self._output, Delta("none")
+            self._output = (
+                delta.rows
+                if self._output is None
+                else Table.concat_all([self._output, delta.rows])
+            )
+        else:
+            self._output = delta.rows
+        return self._output, delta

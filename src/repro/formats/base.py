@@ -39,6 +39,28 @@ class Format(abc.ABC):
     #: addition to ``bytes`` (the streaming ingestion fast path).
     supports_chunks: bool = False
 
+    #: Whether a byte-level *suffix* of a payload decodes to exactly the
+    #: trailing rows (line-oriented formats: CSV, JSON lines).  Formats
+    #: with framing that spans the whole payload (a JSON array, XML,
+    #: fixed-width with a footer) leave this False and delta ingestion
+    #: falls back to full decodes for them.
+    supports_delta: bool = False
+
+    def delta_preamble(
+        self,
+        payload: bytes,
+        options: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Length of the prefix that must precede any appended suffix.
+
+        For delta-capable formats this is the byte length of the header
+        (CSV with ``header: true``), so the loader can decode
+        ``payload[:preamble] + appended_bytes`` through the *unchanged*
+        decode path and get exactly the appended rows.  Formats without
+        a header return 0.
+        """
+        return 0
+
     @abc.abstractmethod
     def decode(
         self,

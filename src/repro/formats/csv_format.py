@@ -32,6 +32,25 @@ from repro.formats.base import (
 class CsvFormat(Format):
     name = "csv"
     supports_chunks = True
+    supports_delta = True
+
+    def delta_preamble(
+        self,
+        payload: bytes,
+        options: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Byte length of the header line (terminator included).
+
+        With ``header: false`` there is no preamble; appended bytes are
+        complete rows on their own.
+        """
+        options = options or {}
+        if not _as_bool(options.get("header", True)):
+            return 0
+        newline = payload.find(b"\n")
+        if newline < 0:
+            return len(payload)
+        return newline + 1
 
     def decode(
         self,

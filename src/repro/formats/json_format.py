@@ -77,6 +77,9 @@ class JsonLinesFormat(JsonFormat):
 
     name = "jsonl"
     supports_chunks = True
+    # Line-delimited: any byte suffix starting on a line boundary
+    # decodes to exactly the trailing rows, with no header preamble.
+    supports_delta = True
 
     def decode(
         self,

@@ -49,6 +49,12 @@ SERVING_ADMITTED = "repro_serving_admitted_total"
 SERVING_REJECTED = "repro_serving_rejected_total"
 SERVING_DEADLINE_EXPIRED = "repro_serving_deadline_expired_total"
 SERVING_SHED_SERVES = "repro_serving_shed_serves_total"
+REFRESH_CYCLES = "repro_refresh_cycles_total"
+REFRESH_RUNS = "repro_refresh_runs_total"
+REFRESH_DURATION = "repro_refresh_duration_seconds"
+REFRESH_DELTA_ROWS = "repro_refresh_delta_rows_total"
+REFRESH_FALLBACKS = "repro_refresh_fallbacks_total"
+REFRESH_ERRORS = "repro_refresh_errors_total"
 
 _CACHE_EVENT_METRICS = {
     "hits": (QUERY_CACHE_HITS, "Interactive query-cache hits"),
@@ -147,6 +153,32 @@ def record_run(
     metrics.histogram(
         RUN_DURATION, "Wall time of one complete engine run"
     ).observe(seconds, engine=engine)
+
+
+def record_refresh(
+    metrics: MetricsRegistry,
+    dashboard: str,
+    mode: str,
+    seconds: float,
+    delta_rows: int,
+    fallbacks: int,
+) -> None:
+    """One dashboard refresh (incremental or full recompute)."""
+    metrics.counter(
+        REFRESH_RUNS, "Dashboard refreshes by mode"
+    ).inc(dashboard=dashboard, mode=mode)
+    metrics.histogram(
+        REFRESH_DURATION, "Wall time of one dashboard refresh"
+    ).observe(seconds, dashboard=dashboard, mode=mode)
+    if delta_rows:
+        metrics.counter(
+            REFRESH_DELTA_ROWS, "Source rows ingested by delta refreshes"
+        ).inc(delta_rows, dashboard=dashboard)
+    if fallbacks:
+        metrics.counter(
+            REFRESH_FALLBACKS,
+            "Flows that fell back to full recompute during a refresh",
+        ).inc(fallbacks, dashboard=dashboard)
 
 
 def record_admission(

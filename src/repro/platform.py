@@ -27,7 +27,7 @@ from repro.connectors.registry import (
     ConnectorRegistry,
     default_connector_registry,
 )
-from repro.dashboard.dashboard import Dashboard, RunReport
+from repro.dashboard.dashboard import Dashboard, RefreshReport, RunReport
 from repro.dashboard.environment import EnvironmentProfile
 from repro.data import Table
 from repro.dsl.parser import parse_flow_file
@@ -92,6 +92,8 @@ class Platform:
         # instead of interleaving ``_materialized`` updates.
         self._lock = threading.RLock()
         self._run_locks: dict[str, threading.Lock] = {}
+        #: callbacks fired after every refresh: fn(dashboard_name, report)
+        self._refresh_listeners: list[Any] = []
 
     # ------------------------------------------------------------------
     # dashboard CRUD (the §4.3.1 REST operations' backend)
@@ -289,6 +291,63 @@ class Platform:
             detail["recovered_stages"] = list(report.recovered_stages)
         self._log("run", name, detail, user)
         return report
+
+    def refresh_dashboard(
+        self,
+        name: str,
+        incremental: bool = True,
+        user: str = "",
+    ) -> RefreshReport:
+        """Refresh a dashboard's flows at O(changed rows) cost.
+
+        Serializes with full runs under the same per-dashboard lock,
+        records ``repro_refresh_*`` metrics, and notifies registered
+        refresh listeners (the server uses one to invalidate its query
+        cache at each endpoint version boundary).
+        """
+        from repro.observability.instruments import record_refresh
+
+        dashboard = self.get_dashboard(name)
+        try:
+            with self._run_lock(name):
+                report = dashboard.refresh_flows(incremental=incremental)
+        except ShareInsightsError as exc:
+            self._log(
+                "error",
+                name,
+                {"message": str(exc), "type": type(exc).__name__},
+                user,
+            )
+            raise
+        record_refresh(
+            self.observability.metrics,
+            name,
+            report.mode,
+            report.seconds,
+            report.delta_rows,
+            len(report.flows_full),
+        )
+        self._log(
+            "refresh",
+            name,
+            {
+                "mode": report.mode,
+                "delta_rows": report.delta_rows,
+                "flows_incremental": list(report.flows_incremental),
+                "flows_full": list(report.flows_full),
+                "flows_skipped": list(report.flows_skipped),
+                "endpoints_changed": list(report.endpoints_changed),
+                "trace_id": report.trace_id,
+            },
+            user,
+        )
+        for listener in list(self._refresh_listeners):
+            listener(name, report)
+        return report
+
+    def add_refresh_listener(self, listener: Any) -> None:
+        """Register ``fn(dashboard_name, report)`` to run post-refresh."""
+        self._refresh_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # internals

@@ -24,6 +24,11 @@ Routes (all relative to the server base path):
 Every request runs inside an ``http.request`` span and lands in the
 request counters/histograms (see ``docs/observability.md``).
 
+``/ds/`` reads carry an ``X-Endpoint-Version`` header (bumped when a
+run or refresh changes the endpoint's table) and accept
+``?refresh=incremental|full`` to pull new source rows before the read
+— see ``docs/incremental.md`` for the consistency contract.
+
 Every non-2xx response body carries one structured shape —
 ``{"error": {"type", "retryable", "detail", ...}}`` — so clients branch
 on ``type``/``retryable`` instead of parsing prose (contract-tested in
@@ -80,6 +85,17 @@ class ShareInsightsApp:
             metrics=platform.observability.metrics,
             name="server",
         )
+        # Version boundaries are the consistency contract: when a
+        # background refresh changes an endpoint, its cached query
+        # results and last-known-good copy must die with the old
+        # version so /ds/ never serves stale rows against a new one.
+        platform.add_refresh_listener(self._on_refresh)
+
+    def _on_refresh(self, name: str, report) -> None:
+        """Invalidate per-endpoint caches after a dashboard refresh."""
+        for endpoint in report.endpoints_changed:
+            self.query_cache.invalidate(scope_prefix=(name, endpoint))
+            self._last_good.pop((name, endpoint), None)
 
     # -- WSGI entry point --------------------------------------------------
     def __call__(
@@ -89,13 +105,19 @@ class ShareInsightsApp:
         path = environ.get("PATH_INFO", "/")
         query = dict(parse_qsl(environ.get("QUERY_STRING", "")))
         obs = self.platform.observability
+        extra_headers: list[tuple[str, str]] = []
         with obs.tracer.span(
             "http.request", method=method, path=path
         ) as span:
             try:
-                status, content_type, body = self._route(
-                    method, path, query, environ
-                )
+                response = self._route(method, path, query, environ)
+                # Routes return (status, content_type, body) or, with
+                # response headers, (status, content_type, body, headers).
+                if len(response) == 4:
+                    status, content_type, body, headers = response
+                    extra_headers = list(headers)
+                else:
+                    status, content_type, body = response
             except QueryError as exc:
                 status, content_type, body = _error(
                     400, str(exc), error_type="QueryError"
@@ -132,6 +154,7 @@ class ShareInsightsApp:
             [
                 ("Content-Type", content_type),
                 ("Content-Length", str(len(body))),
+                *extra_headers,
             ],
         )
         return [body]
@@ -364,10 +387,28 @@ class ShareInsightsApp:
         segments: list[str],
         query: dict[str, str],
         environ: dict[str, Any] | None = None,
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes] | tuple[
+        str, str, bytes, list[tuple[str, str]]
+    ]:
         dashboard = self.platform.get_dashboard(name)
         if not segments:
             return _json({"endpoints": dashboard.endpoint_names()})
+        # ``?refresh=`` pulls new source rows before the read:
+        # incremental by default, ``full`` forces a complete re-run.
+        if "refresh" in query:
+            mode = query["refresh"].strip().lower()
+            if mode in ("", "1", "true", "incremental"):
+                incremental = True
+            elif mode == "full":
+                incremental = False
+            else:
+                raise QueryError(
+                    f"refresh must be 'incremental' or 'full', "
+                    f"got {query['refresh']!r}"
+                )
+            self.platform.refresh_dashboard(
+                name, incremental=incremental
+            )
         # The planner canonicalizes the chain before execution, so
         # equivalent URL spellings run the same plan and share one
         # cache entry.
@@ -445,11 +486,19 @@ class ShareInsightsApp:
                 degraded_error
             )
         body += "}"
-        return "200 OK", "application/json", body.encode("utf-8")
+        # The version header lets clients detect refresh boundaries:
+        # it bumps exactly when a run/refresh changes this endpoint.
+        headers = [(
+            "X-Endpoint-Version",
+            str(dashboard.endpoint_version(adhoc.dataset)),
+        )]
+        return "200 OK", "application/json", body.encode("utf-8"), headers
 
     def _route_ds_shed(
         self, name: str, adhoc, query: dict[str, str], obs
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes] | tuple[
+        str, str, bytes, list[tuple[str, str]]
+    ]:
         """Overload path: serve ``/ds/`` reads without any recompute.
 
         Only already-materialized data is touched — the last-known-good
@@ -508,7 +557,11 @@ class ShareInsightsApp:
             head[:-1] + ', "rows": ' + page.to_json_records()
             + ', "degraded": true, "shed": true}'
         )
-        return "200 OK", "application/json", body.encode("utf-8")
+        headers = [(
+            "X-Endpoint-Version",
+            str(dashboard.endpoint_version(adhoc.dataset)),
+        )]
+        return "200 OK", "application/json", body.encode("utf-8"), headers
 
     # -- data explorer (Fig. 29) -----------------------------------------------
     def _explorer(

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.data import Table
+from repro.data.schema import ColumnType
 from repro.data.kernels import (
     ComparePredicate,
     ContainsPredicate,
@@ -201,11 +202,19 @@ def parse_adhoc_query(path_segments: list[str]) -> AdhocQuery:
             if i + 1 >= len(rest):
                 raise QueryError("limit needs /limit/<n>")
             try:
-                int(rest[i + 1])
+                n = int(rest[i + 1])
             except ValueError:
                 raise QueryError(
                     f"limit must be an integer, got {rest[i + 1]!r}"
                 ) from None
+            if n < 0:
+                # Rejecting here keeps the raw and planner-fused paths
+                # uniform: a negative limit used to 422 on the raw chain
+                # (LimitTask config error) but 200-with-0-rows via the
+                # fused top-n kernel's n <= 0 guard.
+                raise QueryError(
+                    f"limit must be non-negative, got {n}"
+                )
             query.steps.append(("limit", (rest[i + 1],)))
             i += 2
         elif verb == "select":
@@ -246,7 +255,7 @@ def _apply_step(
     if verb == "filter":
         column, op, value = args
         _require(table, column)
-        typed = _coerce(value)
+        typed = _coerce_for_column(table, column, value)
         op_symbol = _FILTER_OPS[op.lower()]
         if op_symbol == "contains":
             return table.filter_rows(
@@ -287,6 +296,70 @@ def _require(table: Table, column: str) -> None:
         raise QueryError(
             f"unknown column {column!r}; dataset has {table.schema.names}"
         )
+
+
+def _coerce_for_column(table: Table, column: str, value: str) -> Any:
+    """Schema-aware filter-value coercion (the ``/ds/`` coercion rules).
+
+    URL segments are always strings; comparing against a typed column
+    needs a typed value.  But coercing *unconditionally* corrupts
+    string-column filters — ``/filter/zip/eq/02134`` must compare the
+    string ``"02134"``, not the integer ``2134``.  The filtered
+    column's effective type decides:
+
+    * string column — the raw segment is kept as a string;
+    * bool column — ``true``/``false`` parse to booleans;
+    * numeric column, or a column whose type cannot be pinned down
+      (mixed values, all-null, dates) — the legacy best-effort
+      coercion (int, then float, then bool, else string).
+
+    The effective type is the declared schema type when one exists;
+    ``ANY`` columns (the DSL is untyped by default) fall back to a scan
+    of the column's values.  Pushing a group-key filter ahead of its
+    group-by (the planner rewrite) never changes the verdict: the key
+    column's distinct values carry exactly the value types of the full
+    column.
+    """
+    kind = _column_kind(table, column)
+    if kind == "string":
+        return value
+    if kind == "bool":
+        if value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        return value
+    return _coerce(value)
+
+
+def _column_kind(table: Table, column: str) -> str:
+    """``string`` | ``bool`` | ``numeric`` | ``other`` for one column."""
+    declared = table.schema[column].type
+    if declared is ColumnType.STRING:
+        return "string"
+    if declared is ColumnType.BOOL:
+        return "bool"
+    if declared in (ColumnType.INT, ColumnType.FLOAT):
+        return "numeric"
+    if declared is not ColumnType.ANY:
+        return "other"
+    saw_str = saw_bool = saw_num = saw_other = False
+    for cell in table.column(column):
+        if cell is None:
+            continue
+        if isinstance(cell, bool):
+            saw_bool = True
+        elif isinstance(cell, (int, float)):
+            saw_num = True
+        elif isinstance(cell, str):
+            saw_str = True
+        else:
+            saw_other = True
+    if saw_str and not (saw_bool or saw_num or saw_other):
+        return "string"
+    if saw_bool and not (saw_str or saw_num or saw_other):
+        return "bool"
+    if saw_num and not (saw_str or saw_bool or saw_other):
+        return "numeric"
+    return "other"
 
 
 def _coerce(value: str) -> Any:

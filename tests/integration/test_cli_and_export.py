@@ -62,6 +62,36 @@ class TestCli:
         rows = json.loads(capsys.readouterr().out)
         assert {r["k"]: r["total"] for r in rows} == {"a": 4, "b": 2}
 
+    def test_refresh_cycles_and_prints_endpoint(self, workspace, capsys):
+        code = main(
+            [
+                "refresh",
+                str(workspace / "dash.flow"),
+                "--data", str(workspace),
+                "--cycles", "2",
+                "--endpoint", "out",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "primed 'dash'" in captured.err
+        assert "cycle 0: incremental" in captured.err
+        assert "cycle 1: incremental" in captured.err
+        rows = json.loads(captured.out)
+        assert {r["k"]: r["total"] for r in rows} == {"a": 4, "b": 2}
+
+    def test_refresh_full_mode(self, workspace, capsys):
+        code = main(
+            [
+                "refresh",
+                str(workspace / "dash.flow"),
+                "--data", str(workspace),
+                "--full",
+            ]
+        )
+        assert code == 0
+        assert "cycle 0: full" in capsys.readouterr().err
+
     def test_run_distributed_engine(self, workspace, capsys):
         code = main(
             [

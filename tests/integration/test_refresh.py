@@ -1,0 +1,380 @@
+"""Integration: background refresh keeps endpoints warm and exact.
+
+The whole refresh stack in one place — file-cursor delta ingestion,
+incremental view maintenance, endpoint versioning, the scheduler, the
+server's ``?refresh=`` / version-header surface, and the determinism
+matrix: after any sequence of appends and refreshes, the incremental
+dashboard's endpoints are byte-identical to a fresh platform doing one
+full run over the current files, at every executor/parallelism/fault
+setting.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import Platform
+from repro.dashboard.refresh import RefreshScheduler
+from repro.server import ShareInsightsApp
+
+FLOW = (
+    "D:\n"
+    "    games: [team, runs]\n"
+    "    top: [team, total]\n"
+    "D.games:\n"
+    "    source: games.csv\n"
+    "F:\n"
+    "    D.top: D.games | T.agg\n"
+    "    D.top:\n        endpoint: true\n"
+    "T:\n"
+    "    agg:\n"
+    "        type: groupby\n"
+    "        groupby: [team]\n"
+    "        aggregates:\n"
+    "            - operator: sum\n"
+    "              apply_on: runs\n"
+    "              out_field: total\n"
+)
+
+# A flow with a join: multi-input, so refreshes recompute through the
+# real engine instead of delta states.
+JOIN_FLOW = (
+    "D:\n"
+    "    games: [team, runs]\n"
+    "    cities: [team, city]\n"
+    "    out: [team, runs, city]\n"
+    "D.games:\n"
+    "    source: games.csv\n"
+    "D.cities:\n"
+    "    source: cities.csv\n"
+    "F:\n"
+    "    D.out: (D.games, D.cities) | T.j\n"
+    "    D.out:\n        endpoint: true\n"
+    "T:\n"
+    "    j:\n"
+    "        type: join\n"
+    "        left: games by team\n"
+    "        right: cities by team\n"
+    "        join_condition: inner\n"
+)
+
+
+def write_games(tmp_path, rows):
+    lines = "team,runs\n" + "".join(f"{t},{r}\n" for t, r in rows)
+    (tmp_path / "games.csv").write_text(lines, encoding="utf-8")
+
+
+def append_games(tmp_path, rows):
+    with (tmp_path / "games.csv").open("a", encoding="utf-8") as handle:
+        handle.write("".join(f"{t},{r}\n" for t, r in rows))
+
+
+def fresh_full_run(tmp_path, flow=FLOW, **run_kwargs):
+    """A brand-new platform doing one full run over the current files."""
+    platform = Platform()
+    platform.create_dashboard("ref", flow, data_dir=str(tmp_path))
+    platform.run_dashboard("ref", **run_kwargs)
+    return platform.get_dashboard("ref")
+
+
+def make_platform(tmp_path, flow=FLOW):
+    platform = Platform()
+    platform.create_dashboard("ipl", flow, data_dir=str(tmp_path))
+    platform.run_dashboard("ipl")
+    return platform
+
+
+class TestIncrementalRefresh:
+    def test_append_then_refresh_matches_fresh_full_run(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120), ("MI", 98)])
+        platform = make_platform(tmp_path)
+        append_games(tmp_path, [("CSK", 30), ("RCB", 55)])
+
+        report = platform.refresh_dashboard("ipl")
+        assert report.mode == "incremental"
+        assert "top" in report.endpoints_changed
+
+        mine = platform.get_dashboard("ipl").endpoint("top")
+        theirs = fresh_full_run(tmp_path).endpoint("top")
+        assert mine.to_json_records() == theirs.to_json_records()
+
+    def test_second_append_rides_the_cursor(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120), ("MI", 98)])
+        platform = make_platform(tmp_path)
+        platform.refresh_dashboard("ipl")  # bootstrap cycle
+
+        append_games(tmp_path, [("MI", 12)])
+        report = platform.refresh_dashboard("ipl")
+        assert report.delta_rows == 1
+        assert report.flows_incremental == ["top"]
+        mine = platform.get_dashboard("ipl").endpoint("top")
+        theirs = fresh_full_run(tmp_path).endpoint("top")
+        assert mine.to_json_records() == theirs.to_json_records()
+
+    def test_unchanged_refresh_skips_and_keeps_versions(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        platform.refresh_dashboard("ipl")  # bootstrap
+        dashboard = platform.get_dashboard("ipl")
+        version = dashboard.endpoint_version("top")
+
+        report = platform.refresh_dashboard("ipl")
+        assert report.endpoints_changed == []
+        assert report.flows_skipped == ["top"]
+        assert dashboard.endpoint_version("top") == version
+
+    def test_rewritten_file_resets_state_exactly(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120), ("MI", 98)])
+        platform = make_platform(tmp_path)
+        platform.refresh_dashboard("ipl")
+        # Rewrite with fewer rows: append bookkeeping cannot describe
+        # this; the cursor must detect it and reset.
+        write_games(tmp_path, [("KKR", 7)])
+        platform.refresh_dashboard("ipl")
+        mine = platform.get_dashboard("ipl").endpoint("top")
+        theirs = fresh_full_run(tmp_path).endpoint("top")
+        assert mine.to_json_records() == theirs.to_json_records()
+
+    def test_full_refresh_rereads_sources(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        append_games(tmp_path, [("MI", 50)])
+        report = platform.refresh_dashboard("ipl", incremental=False)
+        assert report.mode == "full"
+        mine = platform.get_dashboard("ipl").endpoint("top")
+        theirs = fresh_full_run(tmp_path).endpoint("top")
+        assert mine.to_json_records() == theirs.to_json_records()
+
+    def test_multi_input_flow_recomputes_exactly(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120), ("MI", 98)])
+        (tmp_path / "cities.csv").write_text(
+            "team,city\nCSK,Chennai\nMI,Mumbai\nRCB,Bengaluru\n",
+            encoding="utf-8",
+        )
+        platform = make_platform(tmp_path, flow=JOIN_FLOW)
+        append_games(tmp_path, [("RCB", 41)])
+        report = platform.refresh_dashboard("ipl")
+        assert report.flows_full == ["out"]  # engine fallback, not delta
+        mine = platform.get_dashboard("ipl").endpoint("out")
+        theirs = fresh_full_run(tmp_path, flow=JOIN_FLOW).endpoint("out")
+        assert mine.to_json_records() == theirs.to_json_records()
+
+    def test_refresh_emits_metrics_and_event(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        platform.refresh_dashboard("ipl")
+        metrics = platform.observability.metrics.as_dict()
+        assert any(
+            key.startswith("repro_refresh_runs_total") for key in metrics
+        )
+        assert any(
+            event.kind == "refresh" for event in platform.events
+        )
+
+
+class TestEndpointVersions:
+    def test_run_then_refresh_version_lifecycle(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        dashboard = platform.get_dashboard("ipl")
+        assert dashboard.endpoint_version("top") == 1  # after the run
+
+        platform.refresh_dashboard("ipl")  # bootstrap counts as change
+        assert dashboard.endpoint_version("top") == 2
+
+        platform.refresh_dashboard("ipl")  # no change, no bump
+        assert dashboard.endpoint_version("top") == 2
+
+        append_games(tmp_path, [("MI", 9)])
+        platform.refresh_dashboard("ipl")
+        assert dashboard.endpoint_version("top") == 3
+
+    def test_unknown_endpoint_version_is_zero(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        assert platform.get_dashboard("ipl").endpoint_version("nope") == 0
+
+
+class TestRefreshScheduler:
+    def test_run_cycle_returns_reports(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        scheduler = RefreshScheduler(platform, interval=30.0)
+        results = scheduler.run_cycle()
+        assert set(results) == {"ipl"}
+        assert results["ipl"].mode == "incremental"
+        assert scheduler.cycles == 1
+
+    def test_failing_dashboard_does_not_stop_the_cycle(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        (tmp_path / "games.csv").unlink()  # refresh will fail
+        scheduler = RefreshScheduler(platform, interval=30.0)
+        results = scheduler.run_cycle()
+        assert isinstance(results["ipl"], Exception)
+        metrics = platform.observability.metrics.as_dict()
+        assert any(
+            key.startswith("repro_refresh_errors_total")
+            for key in metrics
+        )
+
+    def test_background_thread_lifecycle(self, tmp_path):
+        write_games(tmp_path, [("CSK", 120)])
+        platform = make_platform(tmp_path)
+        with RefreshScheduler(platform, interval=60.0) as scheduler:
+            assert scheduler.running
+        assert not scheduler.running
+
+    def test_rejects_nonpositive_interval(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            RefreshScheduler(Platform(), interval=0)
+
+
+@pytest.fixture
+def client(tmp_path):
+    write_games(tmp_path, [("CSK", 120), ("MI", 98)])
+    platform = make_platform(tmp_path)
+    app = ShareInsightsApp(platform)
+
+    def call(method, path, query=""):
+        holder = {}
+
+        def start_response(status, headers):
+            holder["status"] = status
+            holder["headers"] = dict(headers)
+
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "wsgi.input": io.BytesIO(b""),
+        }
+        chunks = app(environ, start_response)
+        return holder["status"], holder["headers"], b"".join(chunks)
+
+    call.platform = platform
+    call.app = app
+    call.tmp_path = tmp_path
+    return call
+
+
+class TestServerRefreshSurface:
+    def test_version_header_on_every_ds_read(self, client):
+        status, headers, _body = client("GET", "/dashboards/ipl/ds/top")
+        assert status == "200 OK"
+        assert headers["X-Endpoint-Version"] == "1"
+
+    def test_refresh_param_pulls_new_rows(self, client):
+        append_games(client.tmp_path, [("CSK", 30), ("RCB", 55)])
+        # Plain read: still the old rows (refresh is opt-in).
+        _s, headers, body = client("GET", "/dashboards/ipl/ds/top")
+        stale = json.loads(body)["rows"]
+        assert {"team": "RCB", "total": 55} not in stale
+
+        _s, headers, body = client(
+            "GET", "/dashboards/ipl/ds/top", query="refresh=incremental"
+        )
+        rows = json.loads(body)["rows"]
+        assert {"team": "CSK", "total": 150} in rows
+        assert {"team": "RCB", "total": 55} in rows
+        assert headers["X-Endpoint-Version"] == "2"
+
+    def test_refresh_invalidates_query_cache_at_version_boundary(
+        self, client
+    ):
+        # Prime a cached ad-hoc result against version 1.
+        _s, _h, body = client(
+            "GET", "/dashboards/ipl/ds/top/filter/team/eq/CSK"
+        )
+        assert json.loads(body)["rows"] == [
+            {"team": "CSK", "total": 120}
+        ]
+        append_games(client.tmp_path, [("CSK", 70)])
+        _s, headers, body = client(
+            "GET",
+            "/dashboards/ipl/ds/top/filter/team/eq/CSK",
+            query="refresh=1",
+        )
+        # No stale serve: the refresh listener invalidated the scope.
+        assert json.loads(body)["rows"] == [
+            {"team": "CSK", "total": 190}
+        ]
+        assert headers["X-Endpoint-Version"] == "2"
+
+    def test_refresh_full_forces_source_reread(self, client):
+        write_games(client.tmp_path, [("KKR", 7)])
+        _s, headers, body = client(
+            "GET", "/dashboards/ipl/ds/top", query="refresh=full"
+        )
+        assert json.loads(body)["rows"] == [{"team": "KKR", "total": 7}]
+
+    def test_bogus_refresh_value_is_structured_400(self, client):
+        status, _headers, body = client(
+            "GET", "/dashboards/ipl/ds/top", query="refresh=sideways"
+        )
+        assert status.startswith("400")
+        error = json.loads(body)["error"]
+        assert error["type"] == "QueryError"
+        assert error["retryable"] is False
+        assert "refresh" in error["detail"]
+
+    def test_scheduler_cycle_invalidates_server_cache(self, client):
+        """The listener fires for scheduler cycles too, not just
+        explicit ``?refresh=`` requests."""
+        _s, _h, body = client(
+            "GET", "/dashboards/ipl/ds/top/filter/team/eq/CSK"
+        )
+        append_games(client.tmp_path, [("CSK", 80)])
+        RefreshScheduler(client.platform, interval=30.0).run_cycle()
+        _s, _h, body = client(
+            "GET", "/dashboards/ipl/ds/top/filter/team/eq/CSK"
+        )
+        assert json.loads(body)["rows"] == [
+            {"team": "CSK", "total": 200}
+        ]
+
+
+class TestDeterminismMatrix:
+    """Incremental output == full recompute, across execution settings.
+
+    The refreshed dashboard's endpoint must match a fresh platform's
+    full run over the final file state for every engine configuration —
+    executors {threads, processes} x parallelism {1, 4}, plus a seeded
+    fault profile on the distributed engine.
+    """
+
+    ROWS = [("CSK", 120), ("MI", 98), ("RCB", 41), ("CSK", 15)]
+    APPENDS = ([("MI", 12), ("KKR", 88)], [("CSK", 7)])
+
+    def _refreshed_endpoint(self, tmp_path):
+        write_games(tmp_path, self.ROWS)
+        platform = make_platform(tmp_path)
+        for batch in self.APPENDS:
+            append_games(tmp_path, batch)
+            platform.refresh_dashboard("ipl")
+        return platform.get_dashboard("ipl").endpoint("top")
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_matches_full_run_at_every_setting(
+        self, tmp_path, executor, parallelism
+    ):
+        table = self._refreshed_endpoint(tmp_path)
+        reference = fresh_full_run(
+            tmp_path, parallelism=parallelism, executor=executor
+        ).endpoint("top")
+        assert table.to_json_records() == reference.to_json_records()
+
+    def test_matches_full_run_under_faults(self, tmp_path):
+        # Fault profiles force the distributed engine, whose group-by
+        # row order is shuffle-partition order rather than first-seen
+        # order — same contract as test_parallel_determinism: compare
+        # row *sets*, exactly.
+        table = self._refreshed_endpoint(tmp_path)
+        reference = fresh_full_run(
+            tmp_path, fault_profile="transient:7", parallelism=2
+        ).endpoint("top")
+        assert sorted(map(repr, table.to_records())) == sorted(
+            map(repr, reference.to_records())
+        )

@@ -1,0 +1,201 @@
+"""Property: the ad-hoc planner's canonicalization is result-preserving.
+
+For any generated verb chain, ``parse_adhoc_query(...).canonicalized()``
+must execute to byte-identical JSON as the raw parsed chain — the
+planner rewrites (operator-spelling normalization, group-key filter
+pushdown, orderby+limit top-n fusion) are cache-sharing optimizations,
+never semantics changes.  The suite also pins the limit edge cases
+(zero, beyond-table, negative-rejected-at-parse) and the schema-aware
+coercion of numeric-looking string filter values (PR 8's ``/ds/``
+bugfixes).
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.data import Schema, Table
+from repro.data.schema import Column, ColumnType
+from repro.errors import QueryError
+from repro.server.query_language import parse_adhoc_query
+
+# A small, typed world the chains draw columns from.  ``zip`` is a
+# string column holding numeric-looking values — the coercion trap.
+TEAMS = ["CSK", "MI", "RCB", "KKR"]
+ZIPS = ["02134", "02134", "90210", "10001", "007"]
+
+
+def make_table(rows):
+    schema = Schema(
+        [
+            Column("team", ColumnType.STRING),
+            Column("zip", ColumnType.STRING),
+            Column("year", ColumnType.INT),
+            Column("score", ColumnType.INT),
+        ]
+    )
+    return Table.from_rows(
+        schema,
+        [
+            {
+                "team": TEAMS[t % len(TEAMS)],
+                "zip": ZIPS[z % len(ZIPS)],
+                "year": 2010 + y,
+                "score": s,
+            }
+            for t, z, y, s in rows
+        ],
+    )
+
+
+row = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=-50, max_value=50),
+)
+rows = st.lists(row, max_size=25)
+
+filter_step = st.one_of(
+    st.tuples(
+        st.just("filter"),
+        st.just("team"),
+        st.sampled_from(["eq", "ne", "EQ", "NE"]),
+        st.sampled_from(TEAMS),
+    ),
+    st.tuples(
+        st.just("filter"),
+        st.just("zip"),
+        st.sampled_from(["eq", "ne", "contains"]),
+        st.sampled_from(ZIPS + ["021"]),
+    ),
+    st.tuples(
+        st.just("filter"),
+        st.just("year"),
+        st.sampled_from(["lt", "le", "gt", "ge", "GE"]),
+        st.integers(min_value=2009, max_value=2016).map(str),
+    ),
+)
+groupby_step = st.tuples(
+    st.just("groupby"),
+    st.sampled_from(["team", "zip", "year"]),
+    st.sampled_from(["sum", "count", "min", "max"]),
+    st.just("score"),
+)
+orderby_step = st.tuples(
+    st.just("orderby"),
+    st.sampled_from(["team", "year", "score"]),
+    st.sampled_from(["asc", "desc"]),
+)
+limit_step = st.tuples(
+    st.just("limit"), st.integers(min_value=0, max_value=30).map(str)
+)
+
+
+@st.composite
+def segment_chain(draw):
+    """Path segments for a structurally valid chain over the schema.
+
+    Early filter/orderby steps reference base columns, so they are
+    drawn before any groupby; after a groupby only its own output
+    columns exist, so the chain finishes with orderby/limit over them.
+    """
+    segments = ["d"]
+    for step in draw(st.lists(filter_step, max_size=2)):
+        segments.extend(step)
+    grouped = draw(st.booleans())
+    if grouped:
+        group = draw(groupby_step)
+        segments.extend(group)
+        _verb, key, aggregate, apply_col = group
+        out = apply_col if aggregate == "count" else f"{aggregate}_{apply_col}"
+        if draw(st.booleans()):
+            # The pushdown trigger: a filter on the group key, after
+            # the group-by.
+            op = draw(st.sampled_from(["eq", "ne"]))
+            value = draw(
+                st.sampled_from(
+                    TEAMS if key == "team" else ZIPS if key == "zip"
+                    else ["2012", "2014"]
+                )
+            )
+            segments.extend(["filter", key, op, value])
+        if draw(st.booleans()):
+            segments.extend(
+                ["orderby", draw(st.sampled_from([key, out])),
+                 draw(st.sampled_from(["asc", "desc"]))]
+            )
+    elif draw(st.booleans()):
+        segments.extend(draw(orderby_step))
+    if draw(st.booleans()):
+        segments.extend(draw(limit_step))
+    return segments
+
+
+@given(rows, segment_chain())
+@settings(max_examples=200, deadline=None)
+def test_canonicalized_chain_is_byte_identical(data, segments):
+    table = make_table(data)
+    raw = parse_adhoc_query(segments)
+    canonical = raw.canonicalized()
+    raw_out = raw.execute(table)
+    canonical_out = canonical.execute(table)
+    assert raw_out.to_json_records() == canonical_out.to_json_records()
+    assert raw_out.schema.names == canonical_out.schema.names
+
+
+@given(rows, segment_chain())
+@settings(max_examples=100, deadline=None)
+def test_fingerprint_is_canonicalization_invariant(data, segments):
+    raw = parse_adhoc_query(segments)
+    assert raw.fingerprint() == raw.canonicalized().fingerprint()
+    # Fingerprints are stable JSON — decodable, dataset first.
+    decoded = json.loads(raw.fingerprint())
+    assert decoded[0] == "d"
+
+
+@given(rows, st.integers(min_value=0, max_value=60))
+@settings(max_examples=80, deadline=None)
+def test_limit_edges_match_list_slice(data, n):
+    """limit/<n> == rows[:n] for any n >= 0, raw and fused paths."""
+    table = make_table(data)
+    plain = parse_adhoc_query(["d", "limit", str(n)])
+    fused = parse_adhoc_query(
+        ["d", "orderby", "score", "desc", "limit", str(n)]
+    ).canonicalized()
+    assert plain.execute(table).num_rows == min(n, table.num_rows)
+    assert fused.steps[-1][0] == "topn" if n or True else None
+    assert fused.execute(table).num_rows == min(n, table.num_rows)
+
+
+@given(st.integers(min_value=-30, max_value=-1))
+def test_negative_limit_rejected_at_parse_time(n):
+    with pytest.raises(QueryError, match="non-negative"):
+        parse_adhoc_query(["d", "limit", str(n)])
+    with pytest.raises(QueryError, match="non-negative"):
+        parse_adhoc_query(
+            ["d", "orderby", "score", "desc", "limit", str(n)]
+        )
+
+
+@given(rows, st.sampled_from(ZIPS))
+@settings(max_examples=60, deadline=None)
+def test_numeric_looking_string_filters_compare_as_strings(data, zip_code):
+    """/filter/zip/eq/02134 matches the string, leading zero intact."""
+    table = make_table(data)
+    out = parse_adhoc_query(
+        ["d", "filter", "zip", "eq", zip_code]
+    ).execute(table)
+    expected = [v for v in table.column("zip") if v == zip_code]
+    assert out.column("zip") == expected
+    # And the planner's pushdown path agrees on string keys.
+    chained = parse_adhoc_query(
+        ["d", "groupby", "zip", "sum", "score",
+         "filter", "zip", "eq", zip_code]
+    )
+    assert (
+        chained.execute(table).to_json_records()
+        == chained.canonicalized().execute(table).to_json_records()
+    )

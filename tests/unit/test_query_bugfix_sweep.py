@@ -1,0 +1,155 @@
+"""Regression tests for the PR 8 ad-hoc query-layer bugfix sweep.
+
+Three bugs, each with a test that failed before its fix:
+
+1. ``_coerce`` coerced filter values unconditionally, so filtering a
+   *string* column by a numeric-looking value silently matched nothing
+   (``/filter/zip/eq/02134`` compared the integer 2134).
+2. ``parse_adhoc_query`` accepted ``/limit/-5``; the raw chain then
+   died with a ``TaskConfigError`` (422) while the planner-fused
+   ``orderby``+``limit`` path answered 200 with 0 rows.
+3. ``DataCube._cache_key`` sorted widget selection values with a bare
+   ``sorted()``, so a mixed-type selection ({2013, "NA"}) raised
+   ``TypeError`` on a valid gesture.
+"""
+
+import pytest
+
+from repro.data import Schema, Table
+from repro.engine.datacube import DataCube
+from repro.errors import QueryError
+from repro.server.query_language import parse_adhoc_query
+from repro.tasks.base import WidgetSelection
+from repro.tasks.filter import FilterTask
+
+
+def _zips() -> Table:
+    return Table.from_rows(
+        Schema.of("zip", "city", "pop"),
+        [
+            {"zip": "02134", "city": "Boston", "pop": 12_000},
+            {"zip": "10001", "city": "New York", "pop": 21_000},
+            {"zip": "2134", "city": "Elsewhere", "pop": 5},
+        ],
+    )
+
+
+class TestStringColumnCoercion:
+    def test_leading_zero_filter_matches_string_column(self):
+        """The headline bug: ``/filter/zip/eq/02134`` must compare the
+        string "02134", not the integer 2134 (which matches nothing)."""
+        query = parse_adhoc_query(["z", "filter", "zip", "eq", "02134"])
+        out = query.execute(_zips())
+        assert out.column("city") == ["Boston"]
+
+    def test_numeric_looking_string_without_leading_zero(self):
+        query = parse_adhoc_query(["z", "filter", "zip", "eq", "2134"])
+        out = query.execute(_zips())
+        assert out.column("city") == ["Elsewhere"]
+
+    def test_numeric_column_keeps_numeric_coercion(self):
+        query = parse_adhoc_query(["z", "filter", "pop", "gt", "10000"])
+        out = query.execute(_zips())
+        assert out.column("city") == ["Boston", "New York"]
+
+    def test_bool_column_parses_true_false(self):
+        table = Table.from_rows(
+            Schema.of("name", "active"),
+            [
+                {"name": "a", "active": True},
+                {"name": "b", "active": False},
+            ],
+        )
+        query = parse_adhoc_query(
+            ["t", "filter", "active", "eq", "true"]
+        )
+        assert query.execute(table).column("name") == ["a"]
+
+    def test_canonicalized_pushdown_agrees_on_string_keys(self):
+        """The group-key pushdown rewrite must coerce identically on
+        both sides (raw groups first, canonical filters first)."""
+        query = parse_adhoc_query(
+            [
+                "z",
+                "groupby", "zip", "count", "n",
+                "filter", "zip", "eq", "02134",
+            ]
+        )
+        raw = query.execute(_zips())
+        planned = query.canonicalized().execute(_zips())
+        assert raw.to_records() == planned.to_records()
+        assert raw.column("zip") == ["02134"]
+
+    def test_mixed_type_column_keeps_legacy_coercion(self):
+        table = Table.from_rows(
+            Schema.of("k", "v"),
+            [{"k": 2013, "v": 1}, {"k": "NA", "v": 2}],
+        )
+        query = parse_adhoc_query(["m", "filter", "k", "eq", "2013"])
+        assert query.execute(table).column("v") == [1]
+
+
+class TestNegativeLimitRejection:
+    def test_raw_chain_rejected_at_parse(self):
+        with pytest.raises(QueryError, match="non-negative"):
+            parse_adhoc_query(["d", "limit", "-5"])
+
+    def test_fused_chain_rejected_at_parse(self):
+        """Pre-fix this parsed fine and the orderby+limit fusion served
+        200 with 0 rows via the top-n kernel's n <= 0 guard."""
+        with pytest.raises(QueryError, match="non-negative"):
+            parse_adhoc_query(
+                ["d", "orderby", "pop", "desc", "limit", "-5"]
+            )
+
+    def test_zero_limit_still_valid_on_both_paths(self):
+        table = _zips()
+        raw = parse_adhoc_query(["z", "limit", "0"])
+        fused = parse_adhoc_query(
+            ["z", "orderby", "pop", "desc", "limit", "0"]
+        ).canonicalized()
+        assert raw.execute(table).num_rows == 0
+        assert fused.execute(table).num_rows == 0
+
+
+class TestMixedTypeSelectionCacheKey:
+    def _selection(self) -> WidgetSelection:
+        selection = WidgetSelection()
+        selection.values["year"] = {2013, "NA"}
+        return selection
+
+    def test_cache_key_handles_mixed_type_selection(self):
+        key = DataCube._cache_key([], {"w": self._selection()})
+        assert "NA" in key and "2013" in key
+
+    def test_cache_key_is_deterministic(self):
+        a = DataCube._cache_key([], {"w": self._selection()})
+        b = DataCube._cache_key([], {"w": self._selection()})
+        assert a == b
+
+    def test_query_with_mixed_type_gesture(self):
+        """End to end: a widget-filter query under a mixed-type
+        selection used to blow up building the cache key."""
+        table = Table.from_rows(
+            Schema.of("year", "value"),
+            [
+                {"year": 2013, "value": 1},
+                {"year": "NA", "value": 2},
+                {"year": 2014, "value": 3},
+            ],
+        )
+        cube = DataCube("t", table)
+        task = FilterTask(
+            "pick",
+            {
+                "filter_by": ["year"],
+                "filter_source": "W.year_picker",
+                "filter_val": ["year"],
+            },
+        )
+        out = cube.query([task], {"year_picker": self._selection()})
+        assert sorted(map(str, out.column("value"))) == ["1", "2"]
+        # And the second, identical gesture hits the cache.
+        again = cube.query([task], {"year_picker": self._selection()})
+        assert again.to_records() == out.to_records()
+        assert cube.stats.cache_hits == 1
