@@ -21,6 +21,15 @@ single-core correctness run:
 * **spill_shuffle** — the same shuffle spilled to disk
   (``spill_bytes=1``, worst case: every page flushes) vs in memory.
   Byte-identical output is asserted; the overhead is recorded.
+* **warm_pool** — per-stage dispatch cost on a warm
+  :class:`ProcessPool` vs cold fork-per-stage, over many tiny stages
+  where dispatch overhead *is* the workload.  Full mode on a
+  ≥4-core host asserts warm dispatch is at least
+  ``MIN_WARM_SPEEDUP`` cheaper per stage; elsewhere the ratio is
+  recorded unasserted.
+* **pool_transport** — the same warm batches returning fat columnar
+  results over the shared-memory arena vs pickled pipe frames.
+  Identical outcomes asserted; the timing ratio is recorded.
 
 ``BENCH_SMOKE=1`` shrinks the row counts for CI; ``BENCH_ROWS=N``
 overrides them in either mode.
@@ -31,12 +40,18 @@ from __future__ import annotations
 import os
 import time
 
+import pytest
 from conftest import report_multicore
 
 from repro.connectors.loader import DataObjectLoader
 from repro.data import Schema
 from repro.engine.distributed import _hash_shuffle
-from repro.engine.scheduler import WorkerPool, fork_available
+from repro.engine.scheduler import (
+    ProcessPool,
+    WorkerPool,
+    fork_available,
+    shared_memory_available,
+)
 from repro.formats import CsvFormat
 from repro.observability import Observability
 
@@ -51,6 +66,9 @@ PARTS = 4
 #: full-mode floor for processes-vs-threads on CPU-bound work, only
 #: asserted when the host has at least WORKERS cores to run them on.
 MIN_PROCESS_SPEEDUP = 2.0
+#: full-mode floor for warm-dispatch vs cold fork per-stage overhead,
+#: asserted under the same core-count gate.
+MIN_WARM_SPEEDUP = 5.0
 CPUS = len(os.sched_getaffinity(0))
 
 SCHEMA = Schema.of("region", "day", "amount")
@@ -202,6 +220,113 @@ def test_small_job_fallback_keeps_parallel_competitive(tmp_path):
     # through the same sequential path, so only stat-call overhead and
     # timer noise separate them.
     assert par_s <= seq_s * 1.25
+
+
+class _TinyUnit:
+    """A unit whose cost is ~zero, so dispatch overhead dominates."""
+
+    def __init__(self, i):
+        self.i = i
+
+    def __call__(self):
+        return self.i
+
+
+class _ColumnsUnit:
+    """A unit returning a fat columnar result (transport-bound)."""
+
+    def __init__(self, offset, size):
+        self.offset = offset
+        self.size = size
+
+    def __call__(self):
+        return {"col": list(range(self.offset, self.offset + self.size))}
+
+
+def test_warm_pool_cuts_per_stage_dispatch_overhead():
+    if not fork_available():
+        pytest.skip("requires os.fork")
+    stages = 10 if SMOKE else 40
+    units = [_TinyUnit(i) for i in range(WORKERS)]
+    expect = [u() for u in units]
+
+    def cold():
+        workers = WorkerPool(WORKERS, executor="processes")
+        for _ in range(stages):
+            values = [o.value for o in workers.map_ordered(units)]
+            assert values == expect
+
+    def warm(pool):
+        for _ in range(stages):
+            values = [o.value for o in pool.run_batch(units)]
+            assert values == expect
+
+    cold_s = _best_of(REPEATS, cold)
+    with ProcessPool(workers=WORKERS) as pool:
+        pool.prefork()  # the pre-forked serving scenario
+        warm_s = _best_of(REPEATS, lambda: warm(pool))
+        assert pool.stats.dispatch_fallbacks == 0
+    speedup = cold_s / warm_s
+    payload = {
+        "cpus": CPUS,
+        "stages": stages,
+        "workers": WORKERS,
+        "cold_per_stage_ms": round(cold_s / stages * 1000, 3),
+        "warm_per_stage_ms": round(warm_s / stages * 1000, 3),
+        "warm_vs_cold": round(speedup, 2),
+        "speedup_asserted": not SMOKE and CPUS >= WORKERS,
+        "smoke": SMOKE,
+    }
+    report_multicore("warm_pool", payload)
+    if payload["speedup_asserted"]:
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm dispatch {warm_s / stages * 1000:.2f}ms/stage vs "
+            f"cold fork {cold_s / stages * 1000:.2f}ms/stage "
+            f"(required {MIN_WARM_SPEEDUP}x)"
+        )
+
+
+def test_arena_transport_vs_pipe_frames():
+    if not fork_available():
+        pytest.skip("requires os.fork")
+    if not shared_memory_available():
+        pytest.skip("requires mmap")
+    size = 20_000 if SMOKE else 200_000
+    batches = 3 if SMOKE else 10
+    units = [_ColumnsUnit(i * size, size) for i in range(WORKERS)]
+
+    def run(pool):
+        for _ in range(batches):
+            outcomes = pool.run_batch(units)
+            assert [o.value["col"][0] for o in outcomes] == [
+                i * size for i in range(WORKERS)
+            ]
+
+    with ProcessPool(workers=WORKERS, transport="shared-memory") as shm:
+        shm.prefork()
+        first = shm.run_batch(units)
+        shm_s = _best_of(REPEATS, lambda: run(shm))
+        arena_bytes = shm.stats.arena_bytes
+    with ProcessPool(workers=WORKERS, transport="frame") as frames:
+        frames.prefork()
+        second = frames.run_batch(units)
+        frame_s = _best_of(REPEATS, lambda: run(frames))
+    # Transport must be invisible in the results.
+    assert [o.value for o in first] == [o.value for o in second]
+    report_multicore(
+        "pool_transport",
+        {
+            "cpus": CPUS,
+            "workers": WORKERS,
+            "result_ints_per_unit": size,
+            "batches": batches,
+            "arena_bytes": arena_bytes,
+            "shared_memory_ms": round(shm_s * 1000, 2),
+            "frame_ms": round(frame_s * 1000, 2),
+            "frame_vs_arena": round(frame_s / shm_s, 2),
+            "smoke": SMOKE,
+        },
+    )
 
 
 def test_spilled_shuffle_is_identical_and_bounded(tmp_path):

@@ -23,6 +23,7 @@ import sys
 from pathlib import Path
 
 from repro.dsl.diagnostics import diagnose
+from repro.engine.scheduler import EXECUTORS, POOL_MODES
 from repro.errors import ShareInsightsError
 from repro.platform import Platform
 
@@ -86,12 +87,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--executor",
-        choices=["threads", "processes"],
+        choices=list(EXECUTORS),
         default="threads",
         help=(
             "worker pool backend: threads (default; fine for I/O) or "
             "processes (true multi-core for CPU-bound decode/shuffle; "
             "POSIX fork, falls back to threads elsewhere)"
+        ),
+    )
+    run.add_argument(
+        "--pool",
+        choices=list(POOL_MODES),
+        default="auto",
+        help=(
+            "process-pool lifetime with --executor processes: auto "
+            "(default; reuse the platform's warm pool when one exists), "
+            "keep (warm a persistent pool and reuse it), per-run (one "
+            "pool for this run), per-stage (cold fork every stage)"
+        ),
+    )
+    run.add_argument(
+        "--small-job-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "stay sequential when the estimated source payload is "
+            "below this many bytes; 0 always parallelizes (default: "
+            "8 MiB, or the REPRO_SMALL_JOB_BYTES env var)"
         ),
     )
     run.add_argument(
@@ -193,6 +216,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "requests/second; over-limit answers 429 (default: off)"
         ),
     )
+    serve.add_argument(
+        "--executor",
+        choices=list(EXECUTORS),
+        default="threads",
+        help=(
+            "worker pool backend for recompute requests "
+            "(default: threads)"
+        ),
+    )
+    serve.add_argument(
+        "--pool-warm",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "pre-fork N warm pool workers before accepting requests, "
+            "so the first ?executor=processes recompute pays zero "
+            "fork cost; requires --executor processes (default: 0)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist last-known-good endpoint tables under this "
+            "directory on drain, and restore them at startup so a "
+            "restarted server can serve degraded reads immediately"
+        ),
+    )
 
     return parser
 
@@ -220,6 +273,8 @@ def _cmd_run(args) -> int:
         fault_profile=getattr(args, "fault_profile", None),
         parallelism=getattr(args, "parallelism", 1),
         executor=getattr(args, "executor", "threads"),
+        pool=getattr(args, "pool", "auto"),
+        small_job_bytes=getattr(args, "small_job_bytes", None),
     )
     print(
         f"ran {name!r} on the {report.engine} engine in "
@@ -343,7 +398,19 @@ def _cmd_serve(args) -> int:
         request_timeout=args.request_timeout,
         rate_limit=args.rate_limit,
     )
-    server = serve(platform, port=args.port, config=config)
+    checkpoints = None
+    if args.checkpoint_dir:
+        from repro.resilience import DiskCheckpointStore
+
+        checkpoints = DiskCheckpointStore(args.checkpoint_dir)
+    pool_warm = args.pool_warm if args.executor == "processes" else 0
+    server = serve(
+        platform,
+        port=args.port,
+        config=config,
+        checkpoints=checkpoints,
+        pool_warm=pool_warm,
+    )
     host, port = server.server_address
     print(
         f"serving {name!r} on http://{host}:{port}/dashboards "
@@ -351,6 +418,11 @@ def _cmd_serve(args) -> int:
         f"deadline {config.request_timeout}s)",
         file=sys.stderr,
     )
+    if pool_warm:
+        print(
+            f"warm pool: {pool_warm} pre-forked process worker(s)",
+            file=sys.stderr,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -32,6 +32,7 @@ Two ingestion fast paths live here:
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Iterator, Mapping, Sequence
@@ -41,7 +42,7 @@ from repro.connectors.registry import (
     default_connector_registry,
 )
 from repro.data import Schema, Table
-from repro.engine.scheduler import WorkerPool
+from repro.engine.scheduler import ProcessPool, WorkerPool
 from repro.errors import ConnectorError
 from repro.formats.registry import FormatRegistry, default_format_registry
 from repro.observability import Observability
@@ -101,7 +102,9 @@ class DataObjectLoader:
         self.connectors = connectors or default_connector_registry()
         self.formats = formats or default_format_registry()
         self.observability = observability or Observability()
-        self.small_job_bytes = self.DEFAULT_SMALL_JOB_BYTES
+        # the instance default is overridable per call (load_many),
+        # per process (REPRO_SMALL_JOB_BYTES), or by assignment
+        self.small_job_bytes = default_small_job_bytes()
 
     def load(self, schema: Schema, config: Mapping[str, Any]) -> Table:
         """Fetch + decode a data object into a table."""
@@ -221,6 +224,8 @@ class DataObjectLoader:
         specs: Sequence[tuple[Schema, Mapping[str, Any]]],
         parallelism: int = 1,
         executor: str = "threads",
+        pool: ProcessPool | None = None,
+        small_job_bytes: int | None = None,
     ) -> list[Table]:
         """Load several data objects, optionally concurrently.
 
@@ -244,6 +249,14 @@ class DataObjectLoader:
         counter is the only telemetry allowed to differ between
         parallelism settings; set ``small_job_bytes = 0`` to disable
         the fallback (the determinism tests do).
+
+        ``small_job_bytes`` (``None`` = this loader's configured
+        default) overrides the threshold for one call — the CLI
+        ``--small-job-bytes`` flag and the REST ``?small_job_bytes=``
+        parameter land here.  ``pool`` lends a warm
+        :class:`~repro.engine.scheduler.ProcessPool` for the
+        ``processes`` executor; without one the cold fork path runs as
+        before.
         """
         specs = list(specs)
         if not specs:
@@ -251,7 +264,14 @@ class DataObjectLoader:
         plans = [
             self._plan_spec(schema, config) for schema, config in specs
         ]
-        reason = self._sequential_fallback_reason(plans, parallelism)
+        threshold = (
+            self.small_job_bytes
+            if small_job_bytes is None
+            else max(0, int(small_job_bytes))
+        )
+        reason = self._sequential_fallback_reason(
+            plans, parallelism, threshold
+        )
         if reason is not None:
             _LOG.info("parallel loading fell back to sequential: %s", reason)
             self.observability.metrics.counter(
@@ -259,12 +279,10 @@ class DataObjectLoader:
                 "Parallel load_many calls that ran sequentially",
             ).inc(reason="small-job")
             parallelism = 1
-        pool = WorkerPool(parallelism, executor=executor)
-        thunks = [
-            (lambda p=plan: self._load_unit(p)) for plan in plans
-        ]
+        workers = WorkerPool(parallelism, executor=executor, pool=pool)
+        thunks = [_LoadUnit(plan, self.formats) for plan in plans]
         tables: list[Table] = []
-        for plan, outcome in zip(plans, pool.map_ordered(thunks)):
+        for plan, outcome in zip(plans, workers.map_ordered(thunks)):
             if outcome.failed:
                 # The unit itself never raises — this is executor-level
                 # breakage (lost worker, transport): surface it as a
@@ -276,7 +294,10 @@ class DataObjectLoader:
         return tables
 
     def _sequential_fallback_reason(
-        self, plans: Sequence[Mapping[str, Any]], parallelism: int
+        self,
+        plans: Sequence[Mapping[str, Any]],
+        parallelism: int,
+        threshold: int | None = None,
     ) -> str | None:
         """Why a parallel load should run sequentially, or None.
 
@@ -286,7 +307,8 @@ class DataObjectLoader:
         """
         if parallelism <= 1 or len(plans) <= 1:
             return None
-        threshold = self.small_job_bytes
+        if threshold is None:
+            threshold = self.small_job_bytes
         if threshold <= 0:
             return None
         largest = 0
@@ -390,60 +412,13 @@ class DataObjectLoader:
     def _load_unit(
         self, plan: Mapping[str, Any]
     ) -> tuple[dict[str, Any], Table | None, Exception | None]:
-        """Pure fetch+decode for one spec (worker-side; no telemetry).
-
-        Returns ``(state, table, error)`` — everything the coordinator
-        needs to replay telemetry travels in the return value, never
-        through shared memory, so the unit behaves identically on the
-        thread and process executors.  Exceptions are captured (not
-        raised) because the half-filled ``state`` must survive for the
-        replay to raise them inside the right span.
-        """
-        state = _fresh_state()
-        try:
-            return state, self._fetch_decode(plan, state), None
-        except Exception as exc:
-            return state, None, exc
+        """Pure fetch+decode for one spec (worker-side; no telemetry)."""
+        return _LoadUnit(plan, self.formats)()
 
     def _fetch_decode(
         self, plan: Mapping[str, Any], state: dict[str, Any]
     ) -> Table:
-        schema = plan["schema"]
-        config = plan["config"]
-        connector = plan["connector"]
-        if plan["stream"] is not None:
-            format_name, fmt = plan["stream"]
-            state["format"] = format_name
-            start = perf_counter()
-            chunks = connector.fetch_chunks(config)
-            state["fetch_seconds"] = perf_counter() - start
-            counted = _CountingChunks(chunks)
-            state["phase"] = "decode"
-            start = perf_counter()
-            table = fmt.decode(counted, schema, options=config)
-            state["decode_seconds"] = perf_counter() - start
-            state["bytes"] = counted.total
-            state["rows"] = table.num_rows
-            return table
-        start = perf_counter()
-        result = connector.fetch(config)
-        state["fetch_seconds"] = perf_counter() - start
-        state["bytes"] = (
-            len(result.payload) if result.payload is not None else 0
-        )
-        if result.table is not None:
-            state["phase"] = "align"
-            return _align(result.table, schema)
-        state["phase"] = "resolve"
-        format_name = infer_format(config)
-        state["format"] = format_name
-        fmt = self.formats.get(format_name)
-        state["phase"] = "decode"
-        start = perf_counter()
-        table = fmt.decode(result.payload or b"", schema, options=config)
-        state["decode_seconds"] = perf_counter() - start
-        state["rows"] = table.num_rows
-        return table
+        return _fetch_decode(plan, state, self.formats)
 
     def _replay_unit(
         self,
@@ -516,6 +491,95 @@ class DataObjectLoader:
         self.observability.metrics.counter(
             CONNECTOR_BYTES, "Raw payload bytes fetched by protocol"
         ).inc(payload_bytes, protocol=protocol)
+
+
+def default_small_job_bytes() -> int:
+    """The small-job threshold for new loaders.
+
+    ``REPRO_SMALL_JOB_BYTES`` overrides the built-in 8 MiB default per
+    process (0 disables the sequential fallback); an unparsable value
+    is ignored rather than failing loader construction.
+    """
+    raw = os.environ.get("REPRO_SMALL_JOB_BYTES")
+    if raw is not None:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DataObjectLoader.DEFAULT_SMALL_JOB_BYTES
+
+
+class _LoadUnit:
+    """One spec's pure fetch+decode, as a picklable callable.
+
+    Module-level (rather than a bound-method closure) so the warm
+    process pool can pickle it into an already-forked worker; carries
+    only the resolved plan and the format registry.  Returns
+    ``(state, table, error)`` — everything the coordinator needs to
+    replay telemetry travels in the return value, never through shared
+    state, so the unit behaves identically on every executor.
+    Exceptions are captured (not raised) because the half-filled
+    ``state`` must survive for the replay to raise them inside the
+    right span.
+    """
+
+    __slots__ = ("plan", "formats")
+
+    def __init__(self, plan: Mapping[str, Any], formats: FormatRegistry):
+        self.plan = plan
+        self.formats = formats
+
+    def __call__(
+        self,
+    ) -> tuple[dict[str, Any], Table | None, Exception | None]:
+        state = _fresh_state()
+        try:
+            return state, _fetch_decode(self.plan, state, self.formats), None
+        except Exception as exc:
+            return state, None, exc
+
+
+def _fetch_decode(
+    plan: Mapping[str, Any],
+    state: dict[str, Any],
+    formats: FormatRegistry,
+) -> Table:
+    schema = plan["schema"]
+    config = plan["config"]
+    connector = plan["connector"]
+    if plan["stream"] is not None:
+        format_name, fmt = plan["stream"]
+        state["format"] = format_name
+        start = perf_counter()
+        chunks = connector.fetch_chunks(config)
+        state["fetch_seconds"] = perf_counter() - start
+        counted = _CountingChunks(chunks)
+        state["phase"] = "decode"
+        start = perf_counter()
+        table = fmt.decode(counted, schema, options=config)
+        state["decode_seconds"] = perf_counter() - start
+        state["bytes"] = counted.total
+        state["rows"] = table.num_rows
+        return table
+    start = perf_counter()
+    result = connector.fetch(config)
+    state["fetch_seconds"] = perf_counter() - start
+    state["bytes"] = (
+        len(result.payload) if result.payload is not None else 0
+    )
+    if result.table is not None:
+        state["phase"] = "align"
+        return _align(result.table, schema)
+    state["phase"] = "resolve"
+    format_name = infer_format(config)
+    state["format"] = format_name
+    fmt = formats.get(format_name)
+    state["phase"] = "decode"
+    start = perf_counter()
+    table = fmt.decode(result.payload or b"", schema, options=config)
+    state["decode_seconds"] = perf_counter() - start
+    state["rows"] = table.num_rows
+    return table
 
 
 def _fresh_state() -> dict[str, Any]:

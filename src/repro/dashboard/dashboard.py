@@ -156,6 +156,8 @@ class Dashboard:
         fault_profile: str | None = None,
         parallelism: int = 1,
         executor: str = "threads",
+        pool: Any = None,
+        small_job_bytes: int | None = None,
     ) -> RunReport:
         """Execute the batch half; returns the run report.
 
@@ -178,6 +180,14 @@ class Dashboard:
         CPU-bound work (see ``docs/parallelism.md``).  Results,
         telemetry and traces are identical at every setting of both;
         only wall time changes.
+
+        ``pool`` lends a warm
+        :class:`~repro.engine.scheduler.ProcessPool` to both the
+        source prefetch and the distributed engine (``processes``
+        executor only; ignored otherwise) — outputs stay identical,
+        stages just skip the per-stage fork cost.  ``small_job_bytes``
+        overrides the prefetch small-job threshold for this run
+        (``None`` = the loader's configured default).
         """
         context = self._task_context()
         plan = self.compiled.plan
@@ -201,7 +211,13 @@ class Dashboard:
             "dashboard.run", dashboard=self.name, engine=engine
         ) as root:
             try:
-                self._prefetch_sources(plan, parallelism, executor)
+                self._prefetch_sources(
+                    plan,
+                    parallelism,
+                    executor,
+                    pool=pool,
+                    small_job_bytes=small_job_bytes,
+                )
                 if engine == "local":
                     result = LocalExecutor(
                         self._resolve_source,
@@ -228,6 +244,7 @@ class Dashboard:
                         metrics=obs.metrics,
                         parallelism=parallelism,
                         executor=executor,
+                        pool=pool,
                     ).run(plan, context)
                     report = RunReport(
                         engine=engine,
@@ -632,7 +649,12 @@ class Dashboard:
         )
 
     def _prefetch_sources(
-        self, plan, parallelism: int, executor: str = "threads"
+        self,
+        plan,
+        parallelism: int,
+        executor: str = "threads",
+        pool: Any = None,
+        small_job_bytes: int | None = None,
     ) -> None:
         """Load the plan's loader-backed sources up front, concurrently.
 
@@ -671,7 +693,13 @@ class Dashboard:
         with self.observability.tracer.span(
             "sources.load", sources=len(names)
         ):
-            tables = self.loader.load_many(specs, parallelism, executor)
+            tables = self.loader.load_many(
+                specs,
+                parallelism,
+                executor,
+                pool=pool,
+                small_job_bytes=small_job_bytes,
+            )
         self._prefetched = dict(zip(names, tables))
 
     def _resolve_source(self, name: str) -> Table:

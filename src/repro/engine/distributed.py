@@ -39,7 +39,7 @@ from typing import Any, Callable, Sequence
 
 from repro.data import Table
 from repro.engine.plan import LogicalPlan, PlanNode
-from repro.engine.scheduler import WorkerPool
+from repro.engine.scheduler import ProcessPool, WorkerPool
 from repro.errors import (
     ExecutionError,
     ShareInsightsError,
@@ -339,6 +339,51 @@ def _stable_hash(key: Any) -> int:
     return cached
 
 
+class _TaskUnit:
+    """One partition's pure compute, as a picklable callable.
+
+    Behaviourally identical to ``lambda: task.apply(inputs, context)``
+    — the cold fork path inherits either just fine — but a module-level
+    class lets the warm pool pickle the unit into an already-forked
+    worker.  A task or input that refuses to pickle simply sends the
+    whole batch down the cold-fork fallback.
+    """
+
+    __slots__ = ("task", "inputs", "context")
+
+    def __init__(
+        self, task: Task, inputs: Sequence[Table], context: TaskContext
+    ):
+        self.task = task
+        self.inputs = inputs
+        self.context = context
+
+    def __call__(self) -> Any:
+        return self.task.apply(list(self.inputs), self.context)
+
+
+class _ConcatUnit:
+    """Sort-stage unit: concat range-bucket pieces, then apply."""
+
+    __slots__ = ("task", "pieces", "schema", "context")
+
+    def __init__(
+        self,
+        task: Task,
+        pieces: Sequence[Table],
+        schema: Any,
+        context: TaskContext,
+    ):
+        self.task = task
+        self.pieces = pieces
+        self.schema = schema
+        self.context = context
+
+    def __call__(self) -> Any:
+        merged = Table.concat_all(list(self.pieces), schema=self.schema)
+        return self.task.apply([merged], self.context)
+
+
 def _gather(partitions: Sequence[Table]) -> Table:
     if len(partitions) == 1:
         return partitions[0]
@@ -379,6 +424,7 @@ class DistributedExecutor:
         parallelism: int = 1,
         executor: str = "threads",
         spill_bytes: int = 0,
+        pool: ProcessPool | None = None,
     ):
         self._resolver = resolver
         self._parts = max(1, num_partitions)
@@ -391,7 +437,7 @@ class DistributedExecutor:
         self._clock = clock or SimulatedClock()
         self._tracer = tracer or Tracer()
         self._metrics = metrics or MetricsRegistry()
-        self._pool = WorkerPool(parallelism, executor=executor)
+        self._pool = WorkerPool(parallelism, executor=executor, pool=pool)
         self._spill_bytes = max(0, int(spill_bytes))
 
     @property
@@ -903,12 +949,12 @@ class DistributedExecutor:
     ) -> list[Table]:
         """Apply ``task`` to each partition under the retry policy."""
         units: list[tuple[int, Callable[[], Any]]] = [
-            (i, lambda p=part: task.apply([p], context))
+            (i, _TaskUnit(task, (part,), context))
             for i, part in enumerate(partitions)
             if not (skip_empty and not part.num_rows)
         ]
         if not units:
-            units = [(0, lambda: task.apply([partitions[0]], context))]
+            units = [(0, _TaskUnit(task, (partitions[0],), context))]
         return self._run_units(stage_kind, task.name, units, run)
 
     @staticmethod
@@ -1101,7 +1147,7 @@ class DistributedExecutor:
             "shuffle",
             task.name,
             [
-                (i, lambda lp=lp, rp=rp: task.apply([lp, rp], context))
+                (i, _TaskUnit(task, (lp, rp), context))
                 for i, (lp, rp) in enumerate(
                     zip(left_shuffled, right_shuffled)
                 )
@@ -1318,12 +1364,7 @@ class DistributedExecutor:
             "shuffle",
             task.name,
             [
-                (
-                    i,
-                    lambda p=piece: task.apply(
-                        [Table.concat_all(p, schema=schema)], context
-                    ),
-                )
+                (i, _ConcatUnit(task, piece, schema, context))
                 for i, piece in enumerate(pieces)
             ],
             run,

@@ -49,6 +49,12 @@ SERVING_ADMITTED = "repro_serving_admitted_total"
 SERVING_REJECTED = "repro_serving_rejected_total"
 SERVING_DEADLINE_EXPIRED = "repro_serving_deadline_expired_total"
 SERVING_SHED_SERVES = "repro_serving_shed_serves_total"
+POOL_FORKS = "repro_pool_forks_total"
+POOL_RECYCLED = "repro_pool_recycled_total"
+POOL_RESPAWNS = "repro_pool_respawns_total"
+POOL_WARM_HITS = "repro_pool_warm_hits_total"
+POOL_DISPATCH_FALLBACKS = "repro_pool_dispatch_fallbacks_total"
+POOL_ARENA_BYTES = "repro_pool_arena_bytes"
 REFRESH_CYCLES = "repro_refresh_cycles_total"
 REFRESH_RUNS = "repro_refresh_runs_total"
 REFRESH_DURATION = "repro_refresh_duration_seconds"
@@ -179,6 +185,46 @@ def record_refresh(
             REFRESH_FALLBACKS,
             "Flows that fell back to full recompute during a refresh",
         ).inc(fallbacks, dashboard=dashboard)
+
+
+_POOL_EVENT_METRICS = {
+    "forks": (POOL_FORKS, "Warm-pool workers forked"),
+    "recycled": (
+        POOL_RECYCLED,
+        "Warm-pool workers retired by the max-tasks/max-rss recycle "
+        "policy",
+    ),
+    "respawns": (
+        POOL_RESPAWNS,
+        "Warm-pool workers respawned after a worker loss",
+    ),
+    "warm_hits": (
+        POOL_WARM_HITS,
+        "Stage batches dispatched to already-forked warm workers",
+    ),
+    "dispatch_fallbacks": (
+        POOL_DISPATCH_FALLBACKS,
+        "Batches that fell back to cold fork because their dispatch "
+        "frame refused to pickle",
+    ),
+}
+
+
+def record_pool_event(
+    metrics: MetricsRegistry, event: str, amount: int = 1
+) -> None:
+    """One warm-pool lifecycle event (fork/recycle/respawn/...)."""
+    name, help_text = _POOL_EVENT_METRICS[event]
+    metrics.counter(name, help_text).inc(amount)
+
+
+def record_pool_arena(metrics: MetricsRegistry, size: int) -> None:
+    """High-water total bytes of shared-memory arena pages per batch."""
+    metrics.gauge(
+        POOL_ARENA_BYTES,
+        "High-water bytes written to shared-memory arena files by one "
+        "batch",
+    ).set(size)
 
 
 def record_admission(

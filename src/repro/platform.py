@@ -31,6 +31,7 @@ from repro.dashboard.dashboard import Dashboard, RefreshReport, RunReport
 from repro.dashboard.environment import EnvironmentProfile
 from repro.data import Table
 from repro.dsl.parser import parse_flow_file
+from repro.engine.scheduler import ProcessPool, resolve_pool_mode
 from repro.errors import ShareInsightsError
 from repro.formats.registry import FormatRegistry, default_format_registry
 from repro.observability import Observability
@@ -94,6 +95,60 @@ class Platform:
         self._run_locks: dict[str, threading.Lock] = {}
         #: callbacks fired after every refresh: fn(dashboard_name, report)
         self._refresh_listeners: list[Any] = []
+        # The platform owns the warm process pool's lifecycle: the
+        # serving tier preforks it at startup and reaps it on drain;
+        # runs borrow it via ``run_dashboard(pool="auto"|"keep")``.
+        self._pool: ProcessPool | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # warm process pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> ProcessPool | None:
+        """The platform's warm process pool, if one is open."""
+        with self._pool_lock:
+            if self._pool is not None and self._pool.closed:
+                self._pool = None
+            return self._pool
+
+    def warm_pool(
+        self,
+        workers: int = 4,
+        max_tasks_per_worker: int = 0,
+        max_rss_bytes: int = 0,
+        transport: str = "shared-memory",
+    ) -> ProcessPool:
+        """Open (or grow) the persistent process pool and prefork it.
+
+        An existing open pool with at least ``workers`` workers is
+        reused; a smaller one is drained and replaced.  Pool telemetry
+        lands in this platform's metrics registry (``repro_pool_*``).
+        """
+        with self._pool_lock:
+            pool = self._pool
+            if pool is not None and not pool.closed:
+                if pool.workers >= workers:
+                    pool.prefork()
+                    return pool
+                pool.close()
+            pool = ProcessPool(
+                workers,
+                max_tasks_per_worker=max_tasks_per_worker,
+                max_rss_bytes=max_rss_bytes,
+                transport=transport,
+                metrics=self.observability.metrics,
+            )
+            pool.prefork()
+            self._pool = pool
+            return pool
+
+    def close_pool(self) -> None:
+        """Retire the warm pool's workers and release its arenas."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
 
     # ------------------------------------------------------------------
     # dashboard CRUD (the §4.3.1 REST operations' backend)
@@ -251,8 +306,25 @@ class Platform:
         fault_profile: str | None = None,
         parallelism: int = 1,
         executor: str = "threads",
+        pool: str = "auto",
+        small_job_bytes: int | None = None,
     ) -> RunReport:
+        mode = resolve_pool_mode(pool)
         dashboard = self.get_dashboard(name)
+        run_pool: ProcessPool | None = None
+        private_pool: ProcessPool | None = None
+        if executor == "processes":
+            if mode == "auto":
+                run_pool = self.pool
+            elif mode == "keep":
+                run_pool = self.warm_pool(workers=max(1, parallelism))
+            elif mode == "per-run":
+                private_pool = ProcessPool(
+                    max(1, parallelism),
+                    metrics=self.observability.metrics,
+                )
+                run_pool = private_pool
+            # "per-stage": leave run_pool None — cold fork per stage
         try:
             # One run at a time per dashboard: concurrent POST .../run
             # calls serialize here instead of interleaving materialized
@@ -264,6 +336,8 @@ class Platform:
                     fault_profile=fault_profile,
                     parallelism=parallelism,
                     executor=executor,
+                    pool=run_pool,
+                    small_job_bytes=small_job_bytes,
                 )
         except ShareInsightsError as exc:
             self._log(
@@ -278,6 +352,9 @@ class Platform:
                 user,
             )
             raise
+        finally:
+            if private_pool is not None:
+                private_pool.close()
         detail = {
             "engine": report.engine,
             "rows_produced": report.rows_produced,

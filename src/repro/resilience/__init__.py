@@ -30,7 +30,7 @@ from repro.resilience.breaker import (
     OPEN,
     CircuitBreaker,
 )
-from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.checkpoint import CheckpointStore, DiskCheckpointStore
 from repro.resilience.clock import Clock, SimulatedClock, WallClock
 from repro.resilience.deadline import (
     Deadline,
@@ -55,6 +55,7 @@ __all__ = [
     "OPEN",
     "HALF_OPEN",
     "CheckpointStore",
+    "DiskCheckpointStore",
     "Clock",
     "Deadline",
     "check_deadline",

@@ -3,13 +3,22 @@
 The distributed engine writes every materialized flow output into the
 store as it completes; when a later stage kills the run, a rerun with
 the same store skips the completed stages entirely (they surface in
-``DistributedResult.recovered_stages``).  In-memory here — the store
-boundary is where HDFS/S3 would sit in the paper's real deployment.
+``DistributedResult.recovered_stages``).  The default store is
+in-memory — the store boundary is where HDFS/S3 would sit in the
+paper's real deployment; :class:`DiskCheckpointStore` is the
+single-node version of that boundary, used by ``serve
+--checkpoint-dir`` to persist last-known-good endpoint tables across
+server restarts.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import tempfile
+from pathlib import Path
 from typing import Iterator
+from urllib.parse import quote, unquote
 
 from repro.data import Table
 
@@ -43,3 +52,101 @@ class CheckpointStore:
 
     def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._tables))
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """A checkpoint store persisted under one directory.
+
+    Same interface as :class:`CheckpointStore`, write-through: every
+    ``put`` pickles the table to ``<quoted-name>.ckpt`` (names may
+    contain ``/`` — the serving tier keys last-known-good tables as
+    ``dashboard/endpoint`` — so they are percent-quoted into flat
+    filenames) via a temp file + ``os.replace``, so a crash mid-write
+    never corrupts an existing checkpoint.  Reads are cached in memory
+    after the first load; a file that fails to unpickle is treated as
+    absent rather than poisoning startup.
+    """
+
+    _SUFFIX = ".ckpt"
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        super().__init__()
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path(self, name: str) -> Path:
+        return self._root / (quote(name, safe="") + self._SUFFIX)
+
+    def _disk_names(self) -> set[str]:
+        return {
+            unquote(path.name[: -len(self._SUFFIX)])
+            for path in self._root.glob(f"*{self._SUFFIX}")
+        }
+
+    def put(self, name: str, table: Table) -> None:
+        super().put(name, table)
+        blob = pickle.dumps(table, pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(
+            dir=self._root, prefix=".ckpt-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, self._path(name))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, name: str) -> Table:
+        if name not in self._tables:
+            with open(self._path(name), "rb") as handle:
+                table = pickle.load(handle)
+            self._tables[name] = table
+        return self._tables[name]
+
+    def discard(self, name: str) -> None:
+        super().discard(name)
+        try:
+            os.unlink(self._path(name))
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        super().clear()
+        for path in self._root.glob(f"*{self._SUFFIX}"):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def names(self) -> list[str]:
+        return sorted(set(self._tables) | self._readable_disk_names())
+
+    def _readable_disk_names(self) -> set[str]:
+        readable: set[str] = set()
+        for name in self._disk_names():
+            if name in self._tables:
+                readable.add(name)
+                continue
+            try:
+                self.get(name)
+            except Exception:
+                continue
+            readable.add(name)
+        return readable
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables or self._path(name).exists()
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())

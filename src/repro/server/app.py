@@ -46,6 +46,7 @@ from typing import Any, Callable, Iterable
 from urllib.parse import parse_qsl
 
 from repro.engine.query_cache import QueryResultCache
+from repro.engine.scheduler import POOL_MODES
 from repro.errors import (
     DeadlineExceededError,
     QueryError,
@@ -221,12 +222,34 @@ class ShareInsightsApp:
                     f"executor must be 'threads' or 'processes', "
                     f"got {query.get('executor')!r}",
                 )
+            pool = str(query.get("pool", "auto")).lower()
+            if pool not in POOL_MODES:
+                return _error(
+                    400,
+                    f"pool must be one of {', '.join(POOL_MODES)}, "
+                    f"got {query.get('pool')!r}",
+                )
+            raw_small = query.get("small_job_bytes")
+            small_job_bytes = None
+            if raw_small is not None:
+                try:
+                    small_job_bytes = int(raw_small)
+                    if small_job_bytes < 0:
+                        raise ValueError
+                except ValueError:
+                    return _error(
+                        400,
+                        f"small_job_bytes must be a non-negative "
+                        f"integer, got {raw_small!r}",
+                    )
             report = self.platform.run_dashboard(
                 name,
                 engine=query.get("engine"),
                 fault_profile=query.get("fault_profile"),
                 parallelism=parallelism,
                 executor=executor,
+                pool=pool,
+                small_job_bytes=small_job_bytes,
             )
             payload = {
                 "dashboard": name,
@@ -379,6 +402,30 @@ class ShareInsightsApp:
             store.put(name, table)
             names.append(name)
         return names
+
+    def restore_last_good(self, store) -> list[str]:
+        """Startup hook: adopt checkpointed last-known-good tables.
+
+        The inverse of :meth:`checkpoint_last_good` — a server started
+        against a :class:`~repro.resilience.DiskCheckpointStore` that a
+        previous process drained into resumes degraded serving instead
+        of starting empty.  Keys already populated by live runs win
+        over checkpoints; malformed names are skipped.
+        """
+        restored = []
+        for name in store.names():
+            dashboard, sep, dataset = name.partition("/")
+            if not sep or not dashboard or not dataset:
+                continue
+            key = (dashboard, dataset)
+            if key in self._last_good:
+                continue
+            try:
+                self._last_good[key] = store.get(name)
+            except Exception:
+                continue
+            restored.append(name)
+        return restored
 
     # -- endpoint data (Figs. 27, 28, 30) ------------------------------------
     def _route_ds(
@@ -848,6 +895,7 @@ def serve(
     config=None,
     ready_event=None,
     checkpoints=None,
+    pool_warm: int = 0,
 ):
     """Serve the app behind the production serving tier.
 
@@ -855,7 +903,11 @@ def serve(
     binds an ephemeral port (read ``server_address``), ``ready_event``
     is set once the listener and worker pool are up, and
     ``shutdown()`` drains gracefully (checkpointing last-known-good
-    endpoint tables into ``checkpoints``).
+    endpoint tables into ``checkpoints``).  A ``checkpoints`` store
+    that already holds tables (a ``DiskCheckpointStore`` a previous
+    incarnation drained into) is restored at startup; ``pool_warm``
+    pre-forks that many warm process-pool workers before the first
+    request.
     """
     from repro.server.serving import serve as _serve_tier
 
@@ -866,4 +918,5 @@ def serve(
         config=config,
         ready_event=ready_event,
         checkpoints=checkpoints,
+        pool_warm=pool_warm,
     )

@@ -816,20 +816,35 @@ def serve(
     config: ServingConfig | None = None,
     ready_event: threading.Event | None = None,
     checkpoints: CheckpointStore | None = None,
+    pool_warm: int = 0,
 ) -> ServingServer:
     """Build app + tier + threaded server over one platform.
 
     On drain, every dashboard's last-known-good endpoint tables are
     checkpointed into ``checkpoints`` (one is created if not given) so
-    a restarted server can serve degraded reads immediately.
+    a restarted server can serve degraded reads immediately; a store
+    that already holds checkpoints (a :class:`DiskCheckpointStore`
+    from a previous process) is restored into the app at startup.
+
+    ``pool_warm > 0`` preforks the platform's warm process pool with
+    that many workers **before** the first request — forking from the
+    single-threaded startup path is safe, and recompute requests that
+    ask for ``?executor=processes`` then pay zero fork cost.  The
+    drain hook reaps the pool along with the worker threads, so no
+    worker processes or arena files outlive the server.
     """
     from repro.server.app import ShareInsightsApp
 
     app = ShareInsightsApp(platform)
     store = checkpoints if checkpoints is not None else CheckpointStore()
+    if len(store):
+        app.restore_last_good(store)
+    if pool_warm > 0:
+        platform.warm_pool(workers=pool_warm)
 
     def on_drain() -> None:
         app.checkpoint_last_good(store)
+        platform.close_pool()
 
     tier = ServingTier(
         app,

@@ -76,6 +76,19 @@ class TaskContext:
         self._lock = threading.Lock()
         self._value_caches: dict[str, dict[Any, Any]] = {}
 
+    def __getstate__(self) -> dict[str, Any]:
+        # Contexts cross into warm-pool workers by pickle; the lock is
+        # process-local and recreated on the other side.  Worker-side
+        # counter/cache mutations stay in the worker — the same
+        # semantics fork-inherited contexts already have.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def bump(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             self.counters[counter] = self.counters.get(counter, 0) + amount

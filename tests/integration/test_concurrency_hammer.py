@@ -45,6 +45,20 @@ pytestmark = [
 THREADS = 8
 ITERATIONS = 12
 
+#: REPRO_HAMMER_EXECUTOR=processes re-runs the whole hammer with every
+#: POST .../run dispatching to the platform's shared warm process pool
+#: (CI's serving job does this) — same invariants, plus genuine
+#: cross-process concurrency on the pool's dispatch lock.
+RUN_QUERY = ""
+if os.environ.get("REPRO_HAMMER_EXECUTOR") == "processes":
+    RUN_QUERY = "engine=distributed&executor=processes&parallelism=2"
+
+
+def _warm(platform):
+    """Prefork the shared pool when the hammer runs on processes."""
+    if RUN_QUERY:
+        platform.warm_pool(workers=2)
+
 FLOW_SUM = (
     "D:\n    raw: [k, v]\n    out: [k, total]\n"
     "F:\n    D.out: D.raw | T.agg\n"
@@ -106,11 +120,12 @@ def _row_set(body):
 def test_hammer_interleaved_crud_runs_and_reads():
     platform = Platform()
     app = ShareInsightsApp(platform)
+    _warm(platform)
 
     # A shared dashboard every thread reads while one thread edits it.
     _call(app, "POST", "/dashboards/shared/create", FLOW_SUM.encode())
     _install_rows(platform, "shared")
-    _call(app, "POST", "/dashboards/shared/run")
+    _call(app, "POST", "/dashboards/shared/run", query=RUN_QUERY)
     # Populate the last-known-good copy: a reader that lands in the
     # save→run window is served a committed version, degraded, instead
     # of a 422 for a dataset that is mid-recompute.
@@ -143,10 +158,12 @@ def test_hammer_interleaved_crud_runs_and_reads():
                         flow.encode(),
                     )[0])
                     local.append(_call(
-                        app, "POST", "/dashboards/shared/run"
+                        app, "POST", "/dashboards/shared/run",
+                        query=RUN_QUERY,
                     )[0])
                 local.append(_call(
-                    app, "POST", f"/dashboards/{mine}/run"
+                    app, "POST", f"/dashboards/{mine}/run",
+                    query=RUN_QUERY,
                 )[0])
                 status, body = _call(
                     app, "GET", f"/dashboards/{mine}/ds/out"
@@ -201,8 +218,9 @@ def test_hammer_interleaved_crud_runs_and_reads():
         assert recorded == value, (name, recorded, value)
 
     # Quiesced: a final run + read reflects the last committed variant.
-    _call(app, "POST", "/dashboards/shared/run")
+    _call(app, "POST", "/dashboards/shared/run", query=RUN_QUERY)
     _, body = _call(app, "GET", "/dashboards/shared/ds/out")
+    platform.close_pool()
     final = FLOW_COUNT if (ITERATIONS - 1) % 2 == 0 else FLOW_SUM
     expected = EXPECT_COUNT if final is FLOW_COUNT else EXPECT_SUM
     assert _row_set(body) == expected

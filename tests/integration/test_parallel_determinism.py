@@ -52,7 +52,7 @@ def _apache_dashboard():
 
 
 def _run(dashboard, profile, parallelism, executor="threads",
-         spill_bytes=0):
+         spill_bytes=0, pool=None):
     """One distributed run with fully observable shared state."""
     clock = SimulatedClock()
     tracer = Tracer(clock=clock)
@@ -67,6 +67,7 @@ def _run(dashboard, profile, parallelism, executor="threads",
         parallelism=parallelism,
         executor=executor,
         spill_bytes=spill_bytes,
+        pool=pool,
     )
     result = engine.run(dashboard.compiled.plan, dashboard._task_context())
     spans = tracer.trace(tracer.last_trace_id or "")
@@ -154,6 +155,53 @@ class TestParallelismIsInvisible:
             base_spans
         )
 
+    @pytest.mark.parametrize(
+        "profile", [None, "transient", "chaos:7"],
+        ids=["none", "transient", "chaos7"],
+    )
+    @pytest.mark.parametrize("transport", ["shared-memory", "frame"])
+    def test_ipl_warm_pool_is_byte_identical(self, profile, transport):
+        # The warm pool must be indistinguishable from threads and
+        # from cold per-stage forks — on both result transports, and
+        # on a *reused* (second-run) pool, where recycled state could
+        # otherwise leak between runs.
+        from repro.engine.scheduler import ProcessPool, fork_available
+
+        if not fork_available():
+            pytest.skip("requires os.fork")
+        dashboard = _ipl_dashboard()
+        base, base_clock, base_inj, base_spans = _run(
+            dashboard, profile, 4
+        )
+        cold, _c, _i, cold_spans = _run(
+            dashboard, profile, 4, executor="processes"
+        )
+        with ProcessPool(workers=4, transport=transport) as pool:
+            runs = [
+                _run(dashboard, profile, 4, executor="processes",
+                     pool=pool)
+                for _ in range(2)  # second run hits warm workers
+            ]
+            assert pool.stats.warm_hits > 0, "pool never dispatched"
+        for key, (wide, wide_clock, wide_inj, wide_spans) in zip(
+            ("warm-first", "warm-reused"), runs
+        ):
+            key = f"{transport}/{key}"
+            assert _table_fingerprint(wide) == _table_fingerprint(base), key
+            assert _stage_fingerprint(wide) == _stage_fingerprint(base), key
+            assert wide.recovered_stages == base.recovered_stages, key
+            assert wide_clock.sleeps == base_clock.sleeps, key
+            assert _fault_fingerprint(wide_inj) == _fault_fingerprint(
+                base_inj
+            ), key
+            assert _span_fingerprint(wide_spans) == _span_fingerprint(
+                base_spans
+            ), key
+        assert _table_fingerprint(cold) == _table_fingerprint(base)
+        assert _span_fingerprint(cold_spans) == _span_fingerprint(
+            base_spans
+        )
+
     @pytest.mark.parametrize("profile", ["transient", "flaky", "chaos:7"])
     def test_faults_actually_fired(self, profile):
         # Guard against the suite passing vacuously: the profiles used
@@ -161,6 +209,61 @@ class TestParallelismIsInvisible:
         dashboard = _ipl_dashboard()
         _result, _clock, injector, _spans = _run(dashboard, profile, 4)
         assert injector is not None and injector.faults_injected > 0
+
+
+class TestWorkerDeathHygiene:
+    """A worker killed mid-run must cost neither results nor disk."""
+
+    def test_death_during_spilled_run_leaves_no_orphans(self):
+        import glob
+        import os
+        import signal
+        import tempfile
+        import time
+
+        from repro.engine.scheduler import ProcessPool, fork_available
+
+        if not fork_available():
+            pytest.skip("requires os.fork")
+
+        def _tmp(prefix):
+            return set(
+                glob.glob(
+                    os.path.join(tempfile.gettempdir(), prefix + "*")
+                )
+            )
+
+        spill_before = _tmp("repro-spill-")
+        pool_before = _tmp("repro-pool-")
+        dashboard = _ipl_dashboard()
+        base, _c, _i, _spans = _run(dashboard, None, 4, spill_bytes=1)
+        with ProcessPool(workers=4) as pool:
+            pool.prefork()
+            victim = next(
+                w.pid for w in pool._slots if w is not None
+            )
+            os.kill(victim, signal.SIGKILL)
+            time.sleep(0.1)
+            wide, _c2, _i2, _spans2 = _run(
+                dashboard, None, 4, executor="processes", pool=pool,
+                spill_bytes=1,
+            )
+            # The kill really hit mid-run: the pool replaced a worker.
+            assert pool.stats.respawns >= 1
+        # Lineage recovery absorbed the loss: outputs match the clean
+        # spilled baseline byte for byte, at the cost of extra attempts
+        # (the recomputed units) visible in the stage stats.
+        assert _table_fingerprint(wide) == _table_fingerprint(base)
+        assert wide.rows_produced == base.rows_produced
+        assert sum(s.attempts for s in wide.stages) >= sum(
+            s.attempts for s in base.stages
+        )
+        # No stranded shuffle spill or arena directories, and every
+        # forked child (including the killed one) has been reaped.
+        assert _tmp("repro-spill-") == spill_before
+        assert _tmp("repro-pool-") == pool_before
+        with pytest.raises(ChildProcessError):
+            os.waitpid(-1, os.WNOHANG)
 
 
 def _sorted_rows(table):

@@ -146,6 +146,109 @@ class TestLifecycle:
         assert _request(server.base, "GET", "/health")[0] == 200
 
 
+def _spawn(platform, checkpoints=None, pool_warm=0):
+    ready = threading.Event()
+    handle = serve(
+        platform,
+        port=0,
+        ready_event=ready,
+        config=ServingConfig(workers=2, queue_depth=8,
+                             request_timeout=5.0),
+        checkpoints=checkpoints,
+        pool_warm=pool_warm,
+    )
+    threading.Thread(target=handle.serve_forever, daemon=True).start()
+    assert ready.wait(5.0), "server never became ready"
+    host, port = handle.server_address
+    handle.base = f"http://{host}:{port}"
+    handle.platform = platform
+    return handle
+
+
+class TestCheckpointRestart:
+    def test_restarted_server_resumes_degraded_serving(self, tmp_path):
+        from repro.resilience import DiskCheckpointStore
+
+        # First incarnation: run, serve a read, drain to disk.
+        first = _spawn(
+            Platform(),
+            checkpoints=DiskCheckpointStore(tmp_path / "ckpt"),
+        )
+        try:
+            _create_and_run(first)
+            status, _h, _b = _request(
+                first.base, "GET", "/dashboards/proj/ds/counts"
+            )
+            assert status == 200
+        finally:
+            assert first.shutdown(drain_timeout=2.0) is True
+        assert "proj/counts" in first.checkpoints.names()
+
+        # Second incarnation: fresh platform + fresh process-equivalent
+        # store over the same directory.  The dashboard definition is
+        # back (flow text) but its source data is not, so a recompute
+        # fails — the restored checkpoint serves the read, degraded.
+        second = _spawn(
+            Platform(),
+            checkpoints=DiskCheckpointStore(tmp_path / "ckpt"),
+        )
+        try:
+            status, _h, _b = _request(
+                second.base, "POST", "/dashboards/proj/create",
+                FLOW.encode(),
+            )
+            assert status == 201
+            status, _h, body = _request(
+                second.base, "GET", "/dashboards/proj/ds/counts"
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["degraded"] is True
+            rows = payload["rows"]
+            assert {"category": "big data", "projects": 2} in rows
+        finally:
+            second.shutdown(drain_timeout=2.0)
+
+    def test_restart_without_checkpoints_still_errors(self, tmp_path):
+        from repro.resilience import DiskCheckpointStore
+
+        handle = _spawn(
+            Platform(),
+            checkpoints=DiskCheckpointStore(tmp_path / "empty"),
+        )
+        try:
+            status, _h, body = _request(
+                handle.base, "GET", "/dashboards/proj/ds/counts"
+            )
+            # No checkpoint to fall back on: the read fails instead of
+            # silently serving nothing.
+            assert status >= 400
+            assert "error" in json.loads(body)
+        finally:
+            handle.shutdown(drain_timeout=2.0)
+
+
+class TestPreforkedServing:
+    def test_pool_warm_preforks_and_drain_reaps(self):
+        from repro.engine.scheduler import fork_available
+
+        if not fork_available():
+            pytest.skip("requires os.fork")
+        platform = Platform()
+        handle = _spawn(platform, pool_warm=2)
+        try:
+            # Workers were forked before the first request.
+            assert platform.pool is not None
+            assert platform.pool.alive() == 2
+            pool = platform.pool
+            _create_and_run(handle)
+        finally:
+            assert handle.shutdown(drain_timeout=2.0) is True
+        # Drain reaped the pool along with the worker threads.
+        assert pool.closed
+        assert pool.alive() == 0
+
+
 class TestBackpressure:
     def test_rate_limit_answers_429_with_retry_after(self):
         platform = Platform()

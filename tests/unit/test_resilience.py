@@ -343,3 +343,62 @@ class TestCheckpointStore:
         assert len(store) == 1
         store.clear()
         assert "out" not in store
+
+
+class TestDiskCheckpointStore:
+    def _table(self, *values):
+        from repro.data import Schema, Table
+
+        return Table.from_rows(Schema.of("a"), [(v,) for v in values])
+
+    def test_survives_process_restart(self, tmp_path):
+        from repro.resilience import DiskCheckpointStore
+
+        store = DiskCheckpointStore(tmp_path / "ckpt")
+        store.put("proj/counts", self._table(1, 2, 3))
+        store.put("proj/totals", self._table(9))
+        # A brand-new store over the same directory — the "restarted
+        # server" — sees and reads everything the old one wrote.
+        reborn = DiskCheckpointStore(tmp_path / "ckpt")
+        assert reborn.names() == ["proj/counts", "proj/totals"]
+        assert "proj/counts" in reborn
+        assert list(reborn.get("proj/counts").rows()) == [
+            {"a": 1},
+            {"a": 2},
+            {"a": 3},
+        ]
+        assert len(reborn) == 2
+
+    def test_slash_names_become_flat_files(self, tmp_path):
+        from repro.resilience import DiskCheckpointStore
+
+        store = DiskCheckpointStore(tmp_path)
+        store.put("dash/end/point", self._table(1))
+        files = [p.name for p in tmp_path.glob("*.ckpt")]
+        assert files == ["dash%2Fend%2Fpoint.ckpt"]
+        assert DiskCheckpointStore(tmp_path).names() == [
+            "dash/end/point"
+        ]
+
+    def test_discard_and_clear_unlink(self, tmp_path):
+        from repro.resilience import DiskCheckpointStore
+
+        store = DiskCheckpointStore(tmp_path)
+        store.put("a", self._table(1))
+        store.put("b", self._table(2))
+        store.discard("a")
+        store.discard("a")  # idempotent
+        assert DiskCheckpointStore(tmp_path).names() == ["b"]
+        store.clear()
+        assert DiskCheckpointStore(tmp_path).names() == []
+        assert list(tmp_path.glob("*.ckpt")) == []
+
+    def test_corrupt_file_is_treated_as_absent(self, tmp_path):
+        from repro.resilience import DiskCheckpointStore
+
+        store = DiskCheckpointStore(tmp_path)
+        store.put("good", self._table(1))
+        (tmp_path / "bad.ckpt").write_bytes(b"not a pickle")
+        reborn = DiskCheckpointStore(tmp_path)
+        assert reborn.names() == ["good"]
+        assert len(reborn) == 1
