@@ -27,6 +27,8 @@ MULTICORE_JSON = RESULTS_DIR / "BENCH_multicore.json"
 
 INCREMENTAL_JSON = RESULTS_DIR / "BENCH_incremental.json"
 
+ENCODING_JSON = RESULTS_DIR / "BENCH_encoding.json"
+
 
 def report(name: str, text: str) -> None:
     """Print a figure's series and persist it under results/."""
@@ -146,6 +148,25 @@ def report_incremental(section: str, payload: dict) -> None:
         merged = json.loads(INCREMENTAL_JSON.read_text(encoding="utf-8"))
     merged[section] = payload
     INCREMENTAL_JSON.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{section}: {json.dumps(payload, sort_keys=True)}")
+
+
+def report_encoding(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_encoding.json``.
+
+    Same merge discipline as :func:`report_interactive`: each encoding
+    benchmark owns one top-level key, so smoke runs update their
+    section without clobbering full-mode results.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict = {}
+    if ENCODING_JSON.exists():
+        merged = json.loads(ENCODING_JSON.read_text(encoding="utf-8"))
+    merged[section] = payload
+    ENCODING_JSON.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

@@ -51,6 +51,7 @@ from repro.observability.instruments import (
     CONNECTOR_FETCH_DURATION,
     CONNECTOR_FETCHES,
     INGEST_PARALLEL_FALLBACK,
+    record_encode_fallbacks,
     record_ingest,
 )
 
@@ -141,6 +142,9 @@ class DataObjectLoader:
         record_ingest(
             obs.metrics, format_name, table.num_rows, decode_span.duration
         )
+        record_encode_fallbacks(
+            obs.metrics, format_name, table.encode_fallbacks
+        )
         return table
 
     def load_delta(
@@ -213,6 +217,9 @@ class DataObjectLoader:
             decode_span.set(rows=table.num_rows)
         record_ingest(
             obs.metrics, format_name, table.num_rows, decode_span.duration
+        )
+        record_encode_fallbacks(
+            obs.metrics, format_name, table.encode_fallbacks
         )
         state["cursor"] = delta.cursor
         raw = delta.payload or b""
@@ -389,6 +396,9 @@ class DataObjectLoader:
         self._record_bytes(protocol, counted.total)
         record_ingest(
             obs.metrics, format_name, table.num_rows, decode_span.duration
+        )
+        record_encode_fallbacks(
+            obs.metrics, format_name, table.encode_fallbacks
         )
         return table
 

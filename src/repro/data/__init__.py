@@ -3,18 +3,30 @@
 Every data object flowing through the platform — sources, sinks,
 intermediate results, endpoint data — is a :class:`~repro.data.table.Table`
 described by a :class:`~repro.data.schema.Schema`.  Filter/map expressions
-used by tasks live in :mod:`repro.data.expressions`.
+used by tasks live in :mod:`repro.data.expressions`; the typed column
+encodings and the binary page codec behind spill/transport live in
+:mod:`repro.data.encodings` and :mod:`repro.data.pages`.
 """
 
 from repro.data.schema import Column, ColumnType, Schema
 from repro.data.table import Table
 from repro.data.expressions import Expression, compile_expression
+from repro.data.encodings import (
+    DictColumn,
+    FloatColumn,
+    IntColumn,
+    encode_column,
+)
 
 __all__ = [
     "Column",
     "ColumnType",
+    "DictColumn",
+    "FloatColumn",
+    "IntColumn",
     "Schema",
     "Table",
     "Expression",
     "compile_expression",
+    "encode_column",
 ]

@@ -1,0 +1,349 @@
+"""Compact typed encodings for :class:`~repro.data.table.Table` columns.
+
+A table's primary storage stays a dict of plain Python lists — every
+existing consumer (row iteration, JSON serialization, the determinism
+fingerprints that read ``Table._data`` directly) keeps seeing boxed
+cells.  What this module adds is a *parallel* typed representation that
+rides alongside the lists:
+
+* :class:`IntColumn` / :class:`FloatColumn` — an ``array('q')`` /
+  ``array('d')`` buffer plus an optional byte-per-row null mask;
+* :class:`DictColumn` — dictionary-encoded strings: a list of small
+  integer codes into a unique-value table (``-1`` encodes ``None``).
+
+Encodings are built at the ingest boundary (``Table.from_columns``,
+which every format decoder and ``loader._align`` feed) by
+:func:`encode_column`, and propagated structurally through the hot
+operators (``take`` gathers code/typed buffers, ``concat_all`` extends
+them, projections share them).  Kernels (``argsort``,
+``group_indices``, the columnar predicates) and the binary page codec
+(:mod:`repro.data.pages`) dispatch on these classes to work on codes
+and raw buffers instead of boxed cells.
+
+Encoding is *best effort and lossless or not at all*: a column encodes
+only when every cell is exactly ``int`` (never ``bool`` — a subclass
+that ``array('q')`` would silently flatten), exactly ``float`` (never
+``NaN`` — a round-trip would break list equality), or exactly ``str``,
+each optionally mixed with ``None``.  Anything else — mixed types,
+nested lists/dicts, out-of-64-bit ints, high-cardinality strings —
+falls back to the plain list (:func:`encode_column` returns ``None``),
+which is what ``repro_table_encode_fallbacks_total`` counts.
+
+The layer can be disabled wholesale (``REPRO_TABLE_ENCODE=0`` or
+:func:`set_enabled`) — the ablation switch the encoding benchmark
+uses.  Semantics never depend on it: every fast path is
+row-for-row identical to the plain path
+(``tests/property/test_prop_encodings.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Any, Sequence
+
+__all__ = [
+    "DictColumn",
+    "FloatColumn",
+    "IntColumn",
+    "decode_column",
+    "enabled",
+    "encode_column",
+    "set_enabled",
+]
+
+_NONE = type(None)
+
+#: refuse dictionary encoding when the uniques stop paying for the code
+#: array: past this many distinct values *and* more than one distinct
+#: value per two rows, codes + uniques cost about what the plain list
+#: does and the per-unique kernel tricks stop amortizing.
+_DICT_MAX_CARDINALITY = 4096
+
+_ENABLED = os.environ.get("REPRO_TABLE_ENCODE", "1") != "0"
+
+
+def enabled() -> bool:
+    """Whether ``Table.from_columns`` builds encodings at all."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Toggle encoding globally; returns the previous setting.
+
+    Exists for the ablation benchmark and tests — production code
+    leaves encodings on.  Tables already built keep whatever
+    representation they have.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+class IntColumn:
+    """64-bit integers (``array('q')``) with an optional null mask.
+
+    ``values[i]`` is 0 where ``nulls[i]`` is set; ``nulls`` is ``None``
+    for columns without a single ``None`` cell.  ``boxed`` references
+    the plain list this encoding shadows — kernels that have no typed
+    fast path fall back to it without re-materializing.
+    """
+
+    __slots__ = ("values", "nulls", "boxed")
+
+    typecode = "q"
+
+    def __init__(
+        self,
+        values: array,
+        nulls: bytearray | None,
+        boxed: list | None = None,
+    ):
+        self.values = values
+        self.nulls = nulls
+        self.boxed = boxed if boxed is not None else self.tolist()
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @classmethod
+    def try_encode(cls, values: list) -> "IntColumn | None":
+        try:
+            if any(v is None for v in values):
+                nulls = bytearray(len(values))
+                for i, v in enumerate(values):
+                    if v is None:
+                        nulls[i] = 1
+                arr = array(
+                    cls.typecode, (0 if v is None else v for v in values)
+                )
+            else:
+                nulls = None
+                arr = array(cls.typecode, values)
+        except OverflowError:
+            return None  # beyond 64-bit — keep the boxed list
+        return cls(arr, nulls, values)
+
+    def gather(
+        self, indices: Sequence[int], source_boxed: list
+    ) -> "IntColumn":
+        # Gather the boxed cells, then rebuild the buffer from them:
+        # ``array(tc, list)`` converts at C speed, while gathering
+        # ``self.values`` element-wise would box every scalar into a
+        # fresh object first.
+        boxed = [source_boxed[i] for i in indices]
+        nulls = self.nulls
+        if nulls is None:
+            return type(self)(array(self.typecode, boxed), None, boxed)
+        taken_nulls = bytearray(map(nulls.__getitem__, indices))
+        arr = array(
+            self.typecode, (0 if v is None else v for v in boxed)
+        )
+        return type(self)(arr, taken_nulls, boxed)
+
+    def tolist(self) -> list:
+        if self.nulls is None:
+            return self.values.tolist()
+        return [
+            None if m else v for v, m in zip(self.values, self.nulls)
+        ]
+
+    def estimated_bytes(self) -> int:
+        # Exactly the legacy per-cell walk: 16 per non-string cell,
+        # None included.  ``shuffled_bytes`` telemetry depends on it.
+        return 16 * len(self.values)
+
+    @staticmethod
+    def concat(columns: "Sequence[IntColumn]", boxed: list):
+        first = columns[0]
+        merged = array(first.typecode)
+        for col in columns:
+            merged.extend(col.values)
+        if any(col.nulls is not None for col in columns):
+            nulls = bytearray()
+            for col in columns:
+                nulls.extend(col.nulls or bytes(len(col.values)))
+        else:
+            nulls = None
+        return type(first)(merged, nulls, boxed)
+
+
+class FloatColumn(IntColumn):
+    """64-bit floats (``array('d')``); otherwise exactly IntColumn."""
+
+    __slots__ = ()
+
+    typecode = "d"
+
+    @classmethod
+    def try_encode(cls, values: list) -> "FloatColumn | None":
+        # NaN never round-trips through list equality (a decoded NaN is
+        # a fresh object, and NaN != NaN defeats the identity shortcut)
+        # — leave such columns boxed.
+        if any(v != v for v in values if v is not None):
+            return None
+        try:
+            return super().try_encode(values)
+        except TypeError:  # pragma: no cover - guarded by callers
+            return None
+
+
+class DictColumn:
+    """Dictionary-encoded strings: codes into a unique-value table.
+
+    ``codes[i]`` indexes ``values`` (first-seen order); ``-1`` encodes
+    ``None``.  ``index`` maps value -> code for operand lookups.
+    Codes live in a plain list — for low cardinality every element is
+    a pointer to a cached small int, so gathers/zips run at list speed
+    with no boxing (an ``array`` would re-box per access); the page
+    codec width-minimizes them only at serialization time.  ``gather``
+    shares the ``values`` list by reference, so the pages of one
+    shuffle partition keep a single dictionary and ``concat`` can
+    splice their code lists without remapping.
+    """
+
+    __slots__ = ("codes", "values", "index", "boxed", "_ranks")
+
+    def __init__(
+        self,
+        codes: list[int],
+        values: list[str],
+        index: dict[str, int],
+        boxed: list | None = None,
+    ):
+        self.codes = codes
+        self.values = values
+        self.index = index
+        self._ranks: list[int] | None = None
+        self.boxed = boxed if boxed is not None else self.tolist()
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @classmethod
+    def try_encode(cls, values: list) -> "DictColumn | None":
+        index: dict[str, int] = {}
+        codes: list[int] = []
+        append = codes.append
+        uniques: list[str] = []
+        setdefault = index.setdefault
+        for v in values:
+            if v is None:
+                append(-1)
+                continue
+            code = setdefault(v, len(uniques))
+            if code == len(uniques):
+                uniques.append(v)
+                if (
+                    code >= _DICT_MAX_CARDINALITY
+                    and 2 * code > len(values)
+                ):
+                    return None  # mostly-unique strings: not worth it
+            append(code)
+        return cls(codes, uniques, index, values)
+
+    def gather(
+        self, indices: Sequence[int], source_boxed: list
+    ) -> "DictColumn":
+        # One random-access gather (the codes), then the boxed strings
+        # come from a sequential pass over the tiny dictionary — the
+        # table-level string gather is skipped entirely.
+        codes = self.codes
+        taken = [codes[i] for i in indices]
+        lookup = self.values + [None]  # -1 indexes the sentinel
+        boxed = [lookup[c] for c in taken]
+        # values/index shared: every gather of this column speaks the
+        # same dictionary, which is what makes concat splicing safe.
+        return DictColumn(taken, self.values, self.index, boxed)
+
+    def tolist(self) -> list:
+        lookup = self.values + [None]  # -1 indexes the sentinel
+        return [lookup[c] for c in self.codes]
+
+    def estimated_bytes(self) -> int:
+        # len(v) + 8 per string cell, 16 per None — the legacy walk.
+        lens = [len(v) + 8 for v in self.values]
+        lens.append(16)
+        return sum(map(lens.__getitem__, self.codes))
+
+    def sort_ranks(self) -> list[int]:
+        """``ranks[code]`` = position of that value in sorted order.
+
+        Sorting the dictionary once turns every subsequent row
+        comparison into an int compare; computed lazily and cached on
+        the column (shared dictionaries still recompute per column
+        object — the list is small).
+        """
+        ranks = self._ranks
+        if ranks is None:
+            values = self.values
+            order = sorted(range(len(values)), key=values.__getitem__)
+            ranks = [0] * len(values)
+            for position, code in enumerate(order):
+                ranks[code] = position
+            self._ranks = ranks
+        return ranks
+
+    @staticmethod
+    def concat(
+        columns: "Sequence[DictColumn]", boxed: list
+    ) -> "DictColumn":
+        first = columns[0]
+        values = first.values
+        if all(col.values is values for col in columns[1:]):
+            # Shared dictionary (the take() lineage): splice raw codes.
+            merged: list[int] = []
+            for col in columns:
+                merged.extend(col.codes)
+            return DictColumn(merged, values, first.index, boxed)
+        # Different dictionaries: remap through a merged one.  Merged
+        # order is first-seen across inputs, matching what encoding the
+        # concatenated plain list from scratch would produce.
+        index: dict[str, int] = {}
+        uniques: list[str] = []
+        merged = []
+        setdefault = index.setdefault
+        for col in columns:
+            translate: list[int] = []
+            for v in col.values:
+                code = setdefault(v, len(uniques))
+                if code == len(uniques):
+                    uniques.append(v)
+                translate.append(code)
+            translate.append(-1)  # old -1 indexes this sentinel
+            merged.extend(map(translate.__getitem__, col.codes))
+        return DictColumn(merged, uniques, index, boxed)
+
+
+def encode_column(values: list) -> IntColumn | FloatColumn | DictColumn | None:
+    """The typed encoding for one plain column, or ``None``.
+
+    Dispatch is on the *exact* set of cell types — subclasses (bools,
+    enums, str subtypes) and mixed columns stay boxed so no consumer
+    can observe a type change after a round-trip.
+    """
+    if not values:
+        return None
+    kinds = set(map(type, values))
+    if kinds == {int}:
+        return IntColumn.try_encode(values)
+    if kinds == {float}:
+        return FloatColumn.try_encode(values)
+    if kinds == {str}:
+        return DictColumn.try_encode(values)
+    if _NONE in kinds and len(kinds) == 2:
+        if int in kinds:
+            return IntColumn.try_encode(values)
+        if float in kinds:
+            return FloatColumn.try_encode(values)
+        if str in kinds:
+            return DictColumn.try_encode(values)
+    return None
+
+
+def decode_column(column: Any) -> list:
+    """The boxed cells of ``column`` (encoded or already a list)."""
+    if isinstance(column, (IntColumn, DictColumn)):
+        return column.tolist()
+    return list(column)

@@ -27,7 +27,17 @@ Contents:
   ``Table.sorted_by`` (with the snapshot-per-pass fix for the
   mixed-type fallback);
 * :func:`top_n_indices` — heap-based fused ``orderby``+``limit``;
-* :func:`group_indices` — single-pass hash group-by partitioning.
+* :func:`group_indices` — single-pass hash group-by partitioning;
+* :func:`distinct_indices` — first row per distinct key (backs
+  ``Table.distinct``).
+
+Kernels additionally dispatch on the typed encodings of
+:mod:`repro.data.encodings` when a key column (or the predicate's
+table) carries one: sorts rank the dictionary once and compare int
+codes thereafter, group-by buckets by code through a dense list,
+predicates evaluate once per *unique* value and map the verdict over
+the code array.  Every encoded path is row-for-row identical to its
+boxed twin (``tests/property/test_prop_encodings.py``).
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ import heapq
 import operator
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.data.encodings import DictColumn, FloatColumn, IntColumn
 from repro.data.expressions import (
     Binary,
     ColumnRef,
@@ -57,6 +68,28 @@ _ORDERING_OPS: dict[str, Callable[[Any, Any], bool]] = {
 # ---------------------------------------------------------------------------
 # columnar predicates
 # ---------------------------------------------------------------------------
+
+
+def _dict_column(table: Any, name: str) -> DictColumn | None:
+    """``name``'s dictionary encoding on ``table``, if it has one.
+
+    Predicates accept any object with a ``column`` method, so the
+    encoding lookup is equally duck-typed.
+    """
+    get = getattr(table, "encoded_column", None)
+    if get is None:
+        return None
+    column = get(name)
+    return column if type(column) is DictColumn else None
+
+
+def _map_codes(column: DictColumn, hits: list[bool]) -> list[int]:
+    """Row indices whose code's per-unique verdict is true.
+
+    ``hits`` has one entry per unique value plus the verdict for
+    ``None`` appended last — which is exactly what code ``-1`` indexes.
+    """
+    return [i for i, c in enumerate(column.codes) if hits[c]]
 
 
 class ColumnarPredicate:
@@ -86,6 +119,9 @@ class ComparePredicate(ColumnarPredicate):
         self.operand = operand
 
     def indices(self, table: Any) -> list[int]:
+        encoded = _dict_column(table, self.column)
+        if encoded is not None:
+            return self._dict_indices(encoded)
         values = table.column(self.column)
         operand = self.operand
         if self.op == "==":
@@ -113,6 +149,36 @@ class ComparePredicate(ColumnarPredicate):
             if _compare(self.op, v, operand)
         ]
 
+    def _dict_indices(self, column: DictColumn) -> list[int]:
+        """Evaluate once per unique value, then map over the codes.
+
+        Mirrors the boxed loops verdict-for-verdict: ``==``/``!=``
+        apply Python equality (``None`` cells included), ordering ops
+        skip ``None`` and retry the whole column through ``_compare``
+        if any unique refuses to compare — the same all-or-nothing
+        fallback the boxed path takes.
+        """
+        uniques = column.values
+        operand = self.operand
+        op = self.op
+        if op == "==":
+            hits = [v == operand for v in uniques]
+            hits.append(None == operand)  # noqa: E711 - mirrors boxed `v == operand`
+        elif op == "!=":
+            hits = [v != operand for v in uniques]
+            hits.append(None != operand)  # noqa: E711
+        else:
+            if operand is None:
+                return []
+            cmp = _ORDERING_OPS[op]
+            try:
+                hits = [cmp(v, operand) for v in uniques]
+                hits.append(False)  # None never orders
+            except TypeError:
+                hits = [_compare(op, v, operand) for v in uniques]
+                hits.append(_compare(op, None, operand))
+        return _map_codes(column, hits)
+
     def __call__(self, row: Mapping[str, Any]) -> bool:
         return _compare(self.op, row[self.column], self.operand)
 
@@ -130,6 +196,15 @@ class MembershipPredicate(ColumnarPredicate):
             self._lookup = self.allowed
 
     def indices(self, table: Any) -> list[int]:
+        encoded = _dict_column(table, self.column)
+        if encoded is not None:
+            hits = []
+            for v in encoded.values + [None]:
+                try:
+                    hits.append(v in self._lookup)
+                except TypeError:
+                    hits.append(v in self.allowed)
+            return _map_codes(encoded, hits)
         lookup = self._lookup
         out: list[int] = []
         append = out.append
@@ -173,6 +248,11 @@ class RangePredicate(ColumnarPredicate):
 
     def indices(self, table: Any) -> list[int]:
         match = self._match
+        encoded = _dict_column(table, self.column)
+        if encoded is not None:
+            hits = [match(v) for v in encoded.values]
+            hits.append(False)  # None never matches a range
+            return _map_codes(encoded, hits)
         return [
             i for i, v in enumerate(table.column(self.column)) if match(v)
         ]
@@ -190,6 +270,11 @@ class ContainsPredicate(ColumnarPredicate):
 
     def indices(self, table: Any) -> list[int]:
         needle = self.needle
+        encoded = _dict_column(table, self.column)
+        if encoded is not None:
+            hits = [needle in v for v in encoded.values]
+            hits.append(False)  # None is not a string
+            return _map_codes(encoded, hits)
         return [
             i
             for i, v in enumerate(table.column(self.column))
@@ -315,22 +400,94 @@ def _string_key(values: Sequence[Any]) -> Callable[[int], tuple]:
     return key
 
 
+def _encoded_sort_key(column: Any) -> Callable[[int], Any] | None:
+    """An int-valued sort key for an encoded column, or ``None``.
+
+    Encoded columns are homogeneous, so the key never raises and the
+    ``(v is not None, v)`` tuples of the boxed path collapse to plain
+    scalars: typed arrays compare their values directly (all non-null
+    when the mask is absent), dictionary columns compare dictionary
+    *ranks* — the dictionary is sorted once, then every row comparison
+    is an int compare.  ``None`` keeps sorting first ascending: masked
+    rows key as ``(False, ...)`` tuples, null codes as rank ``-1``.
+    """
+    kind = type(column)
+    if kind is DictColumn:
+        ranks = column.sort_ranks() + [-1]  # code -1 -> rank below all
+        codes = column.codes
+        keyed = [ranks[c] for c in codes]
+        return keyed.__getitem__
+    if kind is IntColumn or kind is FloatColumn:
+        arr = column.values
+        nulls = column.nulls
+        if nulls is None:
+            return arr.__getitem__
+
+        def key(i: int) -> tuple:
+            return (not nulls[i], arr[i])
+
+        return key
+    return None
+
+
+def _dict_counting_pass(
+    indices: list[int], column: "DictColumn", descending: bool
+) -> list[int]:
+    """One stable sort pass over a dictionary column, by counting.
+
+    Cardinality is tiny next to row count, so instead of comparing at
+    all the pass scatters indices into one bucket per dictionary rank
+    (nulls in bucket 0) and reads the buckets back in rank order —
+    O(rows + cardinality), stable by construction.  Exactly equivalent
+    to ``indices.sort(key=rank_of_row, reverse=descending)``: equal
+    keys keep their incoming order either way, and ``descending``
+    reverses bucket order, putting nulls last like the boxed
+    ``(v is not None, v)`` key does.
+    """
+    ranks = column.sort_ranks()
+    codes = column.codes
+    cardinality = len(ranks)
+    buckets: list[list[int]] = [[] for _ in range(cardinality + 1)]
+    # bucket 0 holds nulls (code -1), bucket r+1 the value ranked r
+    position = [r + 1 for r in ranks]
+    position.append(0)
+    for i in indices:
+        buckets[position[codes[i]]].append(i)
+    out: list[int] = []
+    if descending:
+        for b in range(cardinality, 0, -1):
+            out.extend(buckets[b])
+        out.extend(buckets[0])
+        return out
+    for bucket in buckets:
+        out.extend(bucket)
+    return out
+
+
 def argsort(
     num_rows: int,
     key_columns: Sequence[Sequence[Any]],
     descending: Sequence[bool],
 ) -> list[int]:
-    """Stable multi-key argsort over column lists.
+    """Stable multi-key argsort over column lists or encoded columns.
 
     ``None`` sorts first ascending / last descending; mixed-type columns
     fall back to string comparison.  Each pass snapshots its input order
     before attempting the typed sort: ``list.sort`` may leave the list
     partially reordered when a comparison raises mid-flight, and sorting
     that wreckage would silently destroy the stability established by
-    earlier (less significant) key passes.
+    earlier (less significant) key passes.  (Encoded passes can't raise
+    and skip the snapshot.)
     """
     indices = list(range(num_rows))
     for values, desc in reversed(list(zip(key_columns, descending))):
+        if type(values) is DictColumn:
+            indices = _dict_counting_pass(indices, values, desc)
+            continue
+        encoded_key = _encoded_sort_key(values)
+        if encoded_key is not None:
+            indices.sort(key=encoded_key, reverse=desc)
+            continue
         snapshot = list(indices)
         try:
             indices.sort(key=_typed_key(values), reverse=desc)
@@ -356,6 +513,11 @@ def top_n_indices(
         return []
     if n >= count:
         return argsort(count, [values], [descending])
+    key = _encoded_sort_key(values)
+    if key is not None:
+        if descending:
+            return heapq.nlargest(n, range(count), key=key)
+        return heapq.nsmallest(n, range(count), key=key)
     key = _typed_key(values)
     try:
         # heapq.nsmallest/nlargest are documented as equivalent to
@@ -372,6 +534,27 @@ def top_n_indices(
 # ---------------------------------------------------------------------------
 
 
+def _group_proxy(column: Any) -> tuple[Sequence[Any], Sequence[Any]]:
+    """``(proxy, display)`` sequences for one grouping column.
+
+    ``proxy[i]`` is the value rows are bucketed by — dictionary codes
+    for a dict-encoded column (code equality *is* value equality, so
+    bucket membership and first-seen order are unchanged) and the boxed
+    cells otherwise.  ``display[i]`` recovers the boxed value for the
+    emitted group key; for dict columns it is only touched once per
+    distinct group.
+    """
+    kind = type(column)
+    if kind is DictColumn:
+        lookup = column.values + [None]
+        codes = column.codes
+        return codes, lambda i: lookup[codes[i]]
+    if kind is IntColumn or kind is FloatColumn:
+        boxed = column.boxed
+        return boxed, boxed.__getitem__
+    return column, column.__getitem__
+
+
 def group_indices(
     key_columns: Sequence[Sequence[Any]],
 ) -> tuple[list[Any], list[list[int]]]:
@@ -381,13 +564,30 @@ def group_indices(
     key (a bare value for one key column, a tuple otherwise) and
     ``buckets[g]`` the indices of its rows.  Single-column grouping
     avoids per-row tuple construction — the dominant cost of the
-    row-at-a-time loop.
+    row-at-a-time loop.  A dict-encoded single column buckets by code
+    through a dense list: no hashing at all on the hot loop.
     """
     keys: list[Any] = []
     buckets: list[list[int]] = []
-    seen: dict[Any, list[int]] = {}
     if len(key_columns) == 1:
-        for i, key in enumerate(key_columns[0]):
+        column = key_columns[0]
+        if type(column) is DictColumn:
+            uniques = column.values
+            lookup = uniques + [None]
+            by_code: list[list[int] | None] = [None] * (len(uniques) + 1)
+            for i, c in enumerate(column.codes):
+                bucket = by_code[c]
+                if bucket is None:
+                    bucket = []
+                    by_code[c] = bucket
+                    keys.append(lookup[c])
+                    buckets.append(bucket)
+                bucket.append(i)
+            return keys, buckets
+        if type(column) in (IntColumn, FloatColumn):
+            column = column.boxed
+        seen: dict[Any, list[int]] = {}
+        for i, key in enumerate(column):
             bucket = seen.get(key)
             if bucket is None:
                 bucket = []
@@ -396,12 +596,48 @@ def group_indices(
                 buckets.append(bucket)
             bucket.append(i)
         return keys, buckets
-    for i, key in enumerate(zip(*key_columns)):
-        bucket = seen.get(key)
+    proxies: list[Sequence[Any]] = []
+    displays: list[Callable[[int], Any]] = []
+    for column in key_columns:
+        proxy, display = _group_proxy(column)
+        proxies.append(proxy)
+        displays.append(display)
+    grouped: dict[Any, list[int]] = {}
+    for i, key in enumerate(zip(*proxies)):
+        bucket = grouped.get(key)
         if bucket is None:
             bucket = []
-            seen[key] = bucket
-            keys.append(key)
+            grouped[key] = bucket
+            keys.append(tuple(display(i) for display in displays))
             buckets.append(bucket)
         bucket.append(i)
     return keys, buckets
+
+
+def distinct_indices(
+    key_columns: Sequence[Sequence[Any]],
+) -> list[int]:
+    """First row index of each distinct key combination.
+
+    The kernel behind ``Table.distinct`` — same proxy dispatch as
+    :func:`group_indices` (dict columns dedupe by code) without
+    building buckets.  Unhashable cells raise ``TypeError``; the
+    caller falls back to its ``_hashable`` row walk.
+    """
+    out: list[int] = []
+    seen: set = set()
+    add = seen.add
+    if len(key_columns) == 1:
+        column = key_columns[0]
+        proxy, _display = _group_proxy(column)
+        for i, key in enumerate(proxy):
+            if key not in seen:
+                add(key)
+                out.append(i)
+        return out
+    proxies = [_group_proxy(column)[0] for column in key_columns]
+    for i, key in enumerate(zip(*proxies)):
+        if key not in seen:
+            add(key)
+            out.append(i)
+    return out

@@ -8,12 +8,24 @@ for map-style tasks and renderers.
 Tables are treated as immutable by the engine: every operator returns a new
 table.  The few mutating helpers (``append_row``) exist for builders such as
 format decoders and are not used on tables already handed to the engine.
+
+Alongside the boxed lists a table may carry *typed encodings*
+(:mod:`repro.data.encodings`): per-column ``array``-backed or
+dictionary-encoded shadows built at the ingest boundary
+(:meth:`Table.from_columns`) and propagated structurally through
+``take``/``concat_all``/projections.  They never replace ``_data`` —
+every consumer of the boxed lists is untouched — but the kernels, the
+shuffle and the binary page codec (:mod:`repro.data.pages`) dispatch on
+them for compact, code-wise fast paths.  Pickling a table ships the
+codec page (``__reduce__``), which is what makes spilled shuffle
+buckets and process-executor result frames compact.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+import repro.data.encodings as _encodings
 from repro.data.schema import Column, ColumnType, Schema
 from repro.errors import SchemaError
 
@@ -50,6 +62,13 @@ class Table:
             raise SchemaError(f"data for undeclared columns: {sorted(extra)}")
         self._data = data
         self._length = length or 0
+        #: typed encodings by column name (see repro.data.encodings);
+        #: a shadow representation — never the primary storage.
+        self._enc: dict[str, Any] = {}
+        #: cached estimated_bytes() (engine tables are immutable)
+        self._est_bytes: int | None = None
+        #: columns that refused a typed encoding when one was attempted
+        self.encode_fallbacks = 0
 
     # ------------------------------------------------------------------
     # constructors
@@ -70,6 +89,9 @@ class Table:
         table._schema = schema
         table._data = data
         table._length = length
+        table._enc = {}
+        table._est_bytes = None
+        table.encode_fallbacks = 0
         return table
 
     @classmethod
@@ -136,7 +158,26 @@ class Table:
                     f"expected {length}"
                 )
             data[name] = values
-        return cls._wrap(schema, data, length if names else 0)
+        table = cls._wrap(schema, data, length if names else 0)
+        # The ingest boundary: every format decoder and loader._align
+        # lands here, so encoding once covers all source tables.
+        if length and _encodings.enabled():
+            table._encode_columns()
+        return table
+
+    def _encode_columns(self) -> None:
+        """Attempt a typed encoding for every (non-empty) plain column."""
+        enc = self._enc
+        fallbacks = 0
+        for name, values in self._data.items():
+            if name in enc or not values:
+                continue
+            column = _encodings.encode_column(values)
+            if column is None:
+                fallbacks += 1
+            else:
+                enc[name] = column
+        self.encode_fallbacks = fallbacks
 
     @classmethod
     def empty(cls, schema: Schema | Sequence[str]) -> "Table":
@@ -183,6 +224,17 @@ class Table:
             )
         return self._data[name]
 
+    def encoded_column(self, name: str) -> Any | None:
+        """The typed encoding shadowing ``name``, or ``None``."""
+        return self._enc.get(name)
+
+    def _kernel_columns(self, names: Sequence[str]) -> list[Any]:
+        """Per-key kernel inputs: the typed encoding when present,
+        else the plain list — what argsort/group_indices dispatch on."""
+        enc = self._enc
+        data = self._data
+        return [enc.get(name) or data[name] for name in names]
+
     def row(self, index: int) -> dict[str, Any]:
         """Row ``index`` as a dict."""
         if not 0 <= index < self._length:
@@ -204,14 +256,35 @@ class Table:
     # ------------------------------------------------------------------
     # relational helpers used by tasks and the engine
     # ------------------------------------------------------------------
+    def _share_encodings(
+        self, result: "Table", mapping: dict[str, str] | None = None
+    ) -> "Table":
+        """Carry encodings onto a projection/rename of this table.
+
+        Encoding objects are immutable by the same contract as column
+        lists, so sharing them across tables is safe even though the
+        public constructor copied the underlying lists.
+        """
+        if self._enc:
+            names = set(result._schema.names)
+            for name, column in self._enc.items():
+                out = mapping.get(name, name) if mapping else name
+                if out in names:
+                    result._enc[out] = column
+        return result
+
     def select(self, names: Sequence[str]) -> "Table":
         """Projection: keep ``names`` in the given order."""
         schema = self._schema.select(names)
-        return Table(schema, {n: self._data[n] for n in names})
+        return self._share_encodings(
+            Table(schema, {n: self._data[n] for n in names})
+        )
 
     def drop(self, names: Sequence[str]) -> "Table":
         schema = self._schema.drop(names)
-        return Table(schema, {n: self._data[n] for n in schema.names})
+        return self._share_encodings(
+            Table(schema, {n: self._data[n] for n in schema.names})
+        )
 
     def rename(self, mapping: dict[str, str]) -> "Table":
         schema = self._schema.rename(mapping)
@@ -219,7 +292,7 @@ class Table:
             mapping.get(name, name): values
             for name, values in self._data.items()
         }
-        return Table(schema, data)
+        return self._share_encodings(Table(schema, data), mapping)
 
     def with_column(self, name: str, values: Sequence[Any]) -> "Table":
         """Add (or replace) a column.
@@ -239,7 +312,12 @@ class Table:
         schema = self._schema.with_column(Column(name))
         data = dict(self._data)
         data[name] = values
-        return Table(schema, {n: data[n] for n in schema.names})
+        result = Table(schema, {n: data[n] for n in schema.names})
+        if self._enc:
+            result._enc = {
+                k: v for k, v in self._enc.items() if k != name
+            }
+        return result
 
     def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
         """Rows for which ``predicate(row_dict)`` is truthy.
@@ -257,16 +335,40 @@ class Table:
         return self.take(keep)
 
     def take(self, indices: Sequence[int]) -> "Table":
-        """Rows at ``indices`` (in the given order)."""
+        """Rows at ``indices`` (in the given order).
+
+        Encodings come along: gathering an ``array`` of codes/scalars
+        keeps the result page-codec- and kernel-ready (dictionary
+        columns share their unique-value table with the source, so a
+        later ``concat_all`` of sibling takes splices raw buffers).
+        """
         indices = (
             indices if isinstance(indices, (list, range)) else list(indices)
         )
-        data = {
-            name: [values[i] for i in indices]
-            for name, values in self._data.items()
-        }
         length = len(indices) if self._schema.names else 0
-        return Table._wrap(self._schema, data, length)
+        enc_src = self._enc if length else None
+        if not enc_src:
+            data = {
+                name: [values[i] for i in indices]
+                for name, values in self._data.items()
+            }
+            return Table._wrap(self._schema, data, length)
+        # Encoded columns drive their own gather (a dictionary column
+        # gathers codes once and derives the strings from its tiny
+        # unique table, instead of a second random-access pass).
+        data = {}
+        enc = {}
+        for name, values in self._data.items():
+            column = enc_src.get(name)
+            if column is None:
+                data[name] = [values[i] for i in indices]
+            else:
+                taken = column.gather(indices, values)
+                enc[name] = taken
+                data[name] = taken.boxed
+        table = Table._wrap(self._schema, data, length)
+        table._enc = enc
+        return table
 
     def head(self, n: int) -> "Table":
         return self.take(range(min(n, self._length)))
@@ -311,9 +413,20 @@ class Table:
             for table in tables:
                 column.extend(table._data[name])
             data[name] = column
-        return cls._wrap(
+        result = cls._wrap(
             first.schema, data, sum(t.num_rows for t in tables)
         )
+        # Encodings concat buffer-wise when every input column carries
+        # the same encoding class (the shuffle assembly path: pages are
+        # takes of encoded sources, dictionaries shared by reference).
+        for name in names:
+            encoded = [t._enc.get(name) for t in tables]
+            kind = type(encoded[0])
+            if encoded[0] is not None and all(
+                type(e) is kind for e in encoded
+            ):
+                result._enc[name] = kind.concat(encoded, data[name])
+        return result
 
     def sorted_by(
         self, keys: Sequence[str], descending: Sequence[bool] | None = None
@@ -330,14 +443,27 @@ class Table:
         if len(descending) != len(keys):
             raise SchemaError("sort keys and directions differ in length")
         indices = argsort(
-            self._length, [self._data[k] for k in keys], descending
+            self._length, self._kernel_columns(keys), descending
         )
         return self.take(indices)
 
     def distinct(self, keys: Sequence[str] | None = None) -> "Table":
-        """First occurrence of each distinct key combination."""
+        """First occurrence of each distinct key combination.
+
+        Runs on the ``distinct_indices`` kernel (dictionary columns
+        dedupe by code); unhashable cells (lists/dicts) drop to the
+        historical per-row ``_hashable`` tuple walk.
+        """
+        from repro.data.kernels import distinct_indices
+
         keys = list(keys) if keys else self._schema.names
         self._schema.require(keys, context="distinct")
+        try:
+            return self.take(
+                distinct_indices(self._kernel_columns(keys))
+            )
+        except TypeError:
+            pass
         seen: set = set()
         indices = []
         key_cols = [self._data[k] for k in keys]
@@ -353,6 +479,10 @@ class Table:
         for name in self._schema.names:
             self._data[name].append(row.get(name))
         self._length += 1
+        # Mutation invalidates the immutable-table shadows.
+        if self._enc:
+            self._enc = {}
+        self._est_bytes = None
 
     def infer_types(self) -> "Table":
         """Return a table whose schema carries inferred column types."""
@@ -366,7 +496,7 @@ class Table:
             columns.append(
                 Column(col.name, type=inferred, source_path=col.source_path)
             )
-        return Table(Schema(columns), self._data)
+        return self._share_encodings(Table(Schema(columns), self._data))
 
     def to_records(self) -> list[dict[str, Any]]:
         """All rows as a list of dicts (used by the REST layer)."""
@@ -441,15 +571,43 @@ class Table:
         return "[\n" + pad + (",\n" + pad).join(rows) + "\n]"
 
     def estimated_bytes(self) -> int:
-        """Rough payload size, used by the transfer-minimizing optimizer."""
+        """Rough payload size, used by the transfer-minimizing optimizer.
+
+        Cached (the engine never mutates a table it accounts for —
+        ``append_row`` invalidates) and computed from the typed
+        encodings when present.  Both shortcuts reproduce the historical
+        per-cell walk exactly — strings ``len+8``, everything else 16 —
+        because ``shuffled_bytes`` telemetry is fingerprinted by the
+        determinism suites.
+        """
+        total = self._est_bytes
+        if total is not None:
+            return total
         total = 0
-        for values in self._data.values():
+        enc = self._enc
+        for name, values in self._data.items():
+            column = enc.get(name)
+            if column is not None:
+                total += column.estimated_bytes()
+                continue
             for v in values:
                 if isinstance(v, str):
                     total += len(v) + 8
                 else:
                     total += 16
+        self._est_bytes = total
         return total
+
+    def __reduce__(self):
+        """Pickle as one binary codec page (:mod:`repro.data.pages`).
+
+        Every pickled table — spill pages, process-executor result
+        frames, checkpoints, deep copies — ships width-minimized typed
+        buffers instead of per-cell opcodes.
+        """
+        from repro.data import pages
+
+        return (pages.decode_table, (pages.encode_table(self),))
 
 
 def _encode_json_column(

@@ -37,7 +37,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.data import Table
+from repro.data import DictColumn, Table
 from repro.engine.plan import LogicalPlan, PlanNode
 from repro.engine.scheduler import ProcessPool, WorkerPool
 from repro.errors import (
@@ -219,6 +219,7 @@ def _hash_shuffle(
     keys: Sequence[str],
     parts: int,
     spill_bytes: int = 0,
+    metrics=None,
 ) -> tuple[list[Table], int, int]:
     """Repartition by key hash; returns (partitions, records, bytes).
 
@@ -235,13 +236,16 @@ def _hash_shuffle(
     append order during assembly, so the outputs are byte-identical to
     an in-memory run while peak memory stays ~``parts * spill_bytes``
     plus one output partition.
+
+    ``metrics`` (optional) is handed to the spill manager so flushed
+    pages record ``repro_page_codec_bytes_total`` by codec.
     """
     from repro.engine.spill import SpillManager
 
     schema = partitions[0].schema
     records = 0
     total_bytes = 0
-    with SpillManager(spill_bytes) as spill:
+    with SpillManager(spill_bytes, metrics=metrics) as spill:
         buckets = [spill.bucket() for _ in range(parts)]
         for partition in partitions:
             total_bytes += partition.estimated_bytes()
@@ -250,7 +254,24 @@ def _hash_shuffle(
             if not rows:
                 continue
             index_lists: list[list[int]] = [[] for _ in range(parts)]
-            if len(keys) == 1:
+            encoded = (
+                partition.encoded_column(keys[0])
+                if len(keys) == 1
+                else None
+            )
+            if type(encoded) is DictColumn:
+                # Dictionary-encoded key: hash each distinct string
+                # once, then route rows by code — identical
+                # destinations to hashing every row (same
+                # ``_stable_hash((value,))``), at cardinality cost.
+                dests = [
+                    _stable_hash((value,)) % parts
+                    for value in encoded.values
+                ]
+                dests.append(_stable_hash((None,)) % parts)
+                for i, code in enumerate(encoded.codes):
+                    index_lists[dests[code]].append(i)
+            elif len(keys) == 1:
                 column = partition.column(keys[0])
                 for i in range(rows):
                     key = (_hashable(column[i]),)
@@ -455,11 +476,20 @@ class DistributedExecutor:
 
         Resolves the module-global ``_hash_shuffle`` at call time (the
         ablation benchmarks monkeypatch it with the legacy row-at-a-time
-        implementation) and passes ``spill_bytes`` only when enabled,
-        so 3-argument replacements keep working.
+        implementation) and passes ``spill_bytes``/``metrics`` only to
+        the shipped implementation, so 3-argument replacements keep
+        working.
         """
         shuffle = globals()["_hash_shuffle"]
         if self._spill_bytes:
+            if shuffle is _hash_shuffle:
+                return shuffle(
+                    partitions,
+                    keys,
+                    parts,
+                    spill_bytes=self._spill_bytes,
+                    metrics=self._metrics,
+                )
             return shuffle(
                 partitions, keys, parts, spill_bytes=self._spill_bytes
             )

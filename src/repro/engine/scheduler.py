@@ -16,10 +16,12 @@ Two executors sit behind the same interface (see
 - ``processes`` — forked worker processes (POSIX only; falls back to
   threads where ``os.fork`` is unavailable).  Each worker inherits the
   submitted thunks by fork — closures never need to pickle — executes
-  its stride of units, and streams the *results* back as pickled
-  frames.  Tables pickle column-wise (per-column lists, never row
-  dicts), and small results are batched into ~1 MiB frames before the
-  write, so transfer cost stays sub-linear in rows.
+  its stride of units, and streams the *results* back as frames.
+  Table results travel as binary page-codec blobs
+  (:mod:`repro.data.pages`): typed/dictionary columns ship raw array
+  buffers with bit-packed null masks instead of boxed objects.  Small
+  results are batched into ~1 MiB frames before the write, so
+  transfer cost stays sub-linear in rows.
 
 The process executor has two lifetimes.  The default is cold:
 ``os.fork`` per stage, workers exit after their stride.  A
@@ -70,8 +72,11 @@ try:
 except ImportError:  # pragma: no cover - mmap ships with CPython
     mmap = None  # type: ignore[assignment]
 
+from repro.data import pages as page_codec
+from repro.data.table import Table
 from repro.engine.plan import LogicalPlan
 from repro.errors import WorkerLostError
+from repro.observability.instruments import record_page_codec
 
 #: the executor vocabulary, in documentation order
 EXECUTORS = ("threads", "processes")
@@ -499,6 +504,15 @@ class ProcessPool:
                     unit_index, kind, payload = pickle.loads(view)
                 else:
                     unit_index, kind, payload = pickle.loads(message[2])
+                if kind == "tbl":
+                    if self.metrics is not None:
+                        record_page_codec(
+                            self.metrics,
+                            page_codec.codec_name(payload),
+                            len(payload),
+                        )
+                    kind = "ok"
+                    payload = page_codec.decode_table(payload)
             except Exception as exc:
                 outcomes[index] = UnitOutcome(
                     error=ProcessTransportError(
@@ -824,14 +838,25 @@ def _child_main(
 def _encode_entry(index: int, outcome: UnitOutcome) -> bytes:
     """One unit's outcome as a pickled ``(index, kind, payload)``.
 
-    Tables pickle column-wise by construction (their storage *is* a
-    dict of per-column lists).  Anything that refuses to pickle —
-    exotic results, exceptions carrying live handles — degrades to a
+    Table results ship as ``"tbl"`` entries whose payload is a binary
+    page-codec blob (:mod:`repro.data.pages`): typed/dictionary
+    columns travel as raw array buffers instead of boxed objects, and
+    the coordinator can meter codec bytes without re-serialising.
+    Anything that refuses to serialise — exotic results, exceptions
+    carrying live handles — degrades to a
     :class:`ProcessTransportError` carrying the repr, so the frame
     stream itself never breaks.
     """
     kind = "err" if outcome.failed else "ok"
     payload: Any = outcome.error if outcome.failed else outcome.value
+    if kind == "ok" and type(payload) is Table:
+        try:
+            blob = page_codec.encode_table(payload)
+            return pickle.dumps(
+                (index, "tbl", blob), pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            pass  # generic path below, then the repr substitute
     try:
         return pickle.dumps(
             (index, kind, payload), pickle.HIGHEST_PROTOCOL
@@ -878,6 +903,10 @@ def _read_outcomes(read_fd: int) -> Iterator[tuple[int, UnitOutcome]]:
             offset += size
             if kind == "err":
                 yield index, UnitOutcome(error=payload)
+            elif kind == "tbl":
+                yield index, UnitOutcome(
+                    value=page_codec.decode_table(payload)
+                )
             else:
                 yield index, UnitOutcome(value=payload)
 

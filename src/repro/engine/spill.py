@@ -11,10 +11,12 @@ in-memory run would, and outputs stay byte-identical whether or not a
 single byte ever hit disk (asserted by
 ``tests/unit/test_spill.py`` and the determinism matrix).
 
-Pages are pickled column-wise (a :class:`~repro.data.Table` stores a
-dict of per-column lists, so its pickle *is* the columnar page format
-the process executor also ships over pipes).  Each page is written as
-an 8-byte little-endian length followed by the pickle.
+Pages are serialised with the binary page codec
+(:mod:`repro.data.pages`): typed/dictionary-encoded columns ship as
+raw array buffers with bit-packed null masks, plain object columns
+fall back to pickle inside the same framing — the same format the
+process executor ships over shared memory and pipes.  Each page is
+written as an 8-byte little-endian length followed by the codec blob.
 
 Temp-file lifecycle: :class:`SpillManager` owns one
 ``tempfile.mkdtemp(prefix="repro-spill-")`` directory, created lazily
@@ -28,13 +30,14 @@ under the system temp dir.
 from __future__ import annotations
 
 import os
-import pickle
 import shutil
 import struct
 import tempfile
 from typing import Iterator
 
 from repro.data import Table
+from repro.data import pages as page_codec
+from repro.observability.instruments import record_page_codec
 
 _LENGTH = struct.Struct("<Q")
 
@@ -49,11 +52,15 @@ class SpillManager:
     behavior.
     """
 
-    def __init__(self, limit_bytes: int = 0, dir: str | None = None):
+    def __init__(
+        self, limit_bytes: int = 0, dir: str | None = None, metrics=None
+    ):
         self.limit_bytes = max(0, int(limit_bytes))
         self._parent_dir = dir
         self._dir: str | None = None
         self._buckets = 0
+        #: opt-in MetricsRegistry for page-codec byte accounting
+        self.metrics = metrics
         #: pages flushed to disk across all buckets
         self.spilled_pages = 0
         #: estimated in-memory bytes of those pages
@@ -111,11 +118,16 @@ class SpillBucket:
     def _flush(self) -> None:
         if self._path is None:
             self._path = self._manager._spill_path(self._index)
+        metrics = self._manager.metrics
         with open(self._path, "ab") as handle:
             for page in self._pages:
-                blob = pickle.dumps(page, pickle.HIGHEST_PROTOCOL)
+                blob = page_codec.encode_table(page)
                 handle.write(_LENGTH.pack(len(blob)))
                 handle.write(blob)
+                if metrics is not None:
+                    record_page_codec(
+                        metrics, page_codec.codec_name(blob), len(blob)
+                    )
         self._disk_pages += len(self._pages)
         self._manager.spilled_pages += len(self._pages)
         self._manager.spilled_bytes += self._buffered_bytes
@@ -138,5 +150,5 @@ class SpillBucket:
             with open(self._path, "rb") as handle:
                 for _ in range(self._disk_pages):
                     (size,) = _LENGTH.unpack(handle.read(_LENGTH.size))
-                    yield pickle.loads(handle.read(size))
+                    yield page_codec.decode_table(handle.read(size))
         yield from self._pages

@@ -61,6 +61,8 @@ REFRESH_DURATION = "repro_refresh_duration_seconds"
 REFRESH_DELTA_ROWS = "repro_refresh_delta_rows_total"
 REFRESH_FALLBACKS = "repro_refresh_fallbacks_total"
 REFRESH_ERRORS = "repro_refresh_errors_total"
+TABLE_ENCODE_FALLBACKS = "repro_table_encode_fallbacks_total"
+PAGE_CODEC_BYTES = "repro_page_codec_bytes_total"
 
 _CACHE_EVENT_METRICS = {
     "hits": (QUERY_CACHE_HITS, "Interactive query-cache hits"),
@@ -225,6 +227,37 @@ def record_pool_arena(metrics: MetricsRegistry, size: int) -> None:
         "High-water bytes written to shared-memory arena files by one "
         "batch",
     ).set(size)
+
+
+def record_encode_fallbacks(
+    metrics: MetricsRegistry, format_name: str, amount: int
+) -> None:
+    """Columns that stayed plain Python lists during ingest encoding.
+
+    Counted per decoded table: a fallback means the column held mixed,
+    nested, boolean or out-of-range values, so the typed/dictionary
+    encodings declined it and kernels take the boxed slow path.
+    """
+    if amount:
+        metrics.counter(
+            TABLE_ENCODE_FALLBACKS,
+            "Ingested columns left unencoded (mixed/nested/bool cells)",
+        ).inc(amount, format=format_name)
+
+
+def record_page_codec(
+    metrics: MetricsRegistry, codec: str, size: int
+) -> None:
+    """One table page serialised by the binary page codec.
+
+    ``codec`` labels the wire form actually used — ``typed``,
+    ``typed-zlib`` or ``pickle`` — so dashboards can watch how much
+    spill/transport traffic rides the compact path.
+    """
+    metrics.counter(
+        PAGE_CODEC_BYTES,
+        "Bytes written by the binary page codec (spill + transport)",
+    ).inc(size, codec=codec)
 
 
 def record_admission(

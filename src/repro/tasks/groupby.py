@@ -369,8 +369,11 @@ class GroupByTask(Task):
                     or spec["operator"]
                 )
             )
-        group_cols = [table.column(c) for c in group_columns]
-        keys, buckets = group_indices(group_cols)
+        # Encoded key columns group by dictionary code (no hashing);
+        # plain columns keep the historical boxed loop.
+        keys, buckets = group_indices(
+            table._kernel_columns(group_columns)
+        )
         data: dict[str, list[Any]] = {}
         if len(group_columns) == 1:
             data[group_columns[0]] = list(keys)

@@ -177,28 +177,47 @@ class JoinTask(Task):
         right.schema.require(
             self._right_keys, context=f"{self.name} (right)"
         )
-        # Hash join: build on the right side.
-        build: dict[tuple, list[int]] = {}
+        # Hash join: build on the right side.  Single-key joins hash
+        # bare values, composite keys are built column-wise via zip —
+        # no per-row generator-into-tuple.  Matched right rows are a
+        # bytearray bitmap, so the right/full-outer sweep is one pass
+        # over bytes instead of per-row set membership.
+        single = len(self._right_keys) == 1
+        build: dict[Any, list[int]] = {}
         right_key_cols = [right.column(k) for k in self._right_keys]
-        for i in range(right.num_rows):
-            key = tuple(col[i] for col in right_key_cols)
-            build.setdefault(key, []).append(i)
-        matched_right: set[int] = set()
+        if single:
+            for i, key in enumerate(right_key_cols[0]):
+                build.setdefault(key, []).append(i)
+        else:
+            for i, key in enumerate(zip(*right_key_cols)):
+                build.setdefault(key, []).append(i)
+        matched = bytearray(right.num_rows)
+        keep_unmatched_left = self._condition in ("left", "full")
         pairs: list[tuple[int | None, int | None]] = []
+        append = pairs.append
         left_key_cols = [left.column(k) for k in self._left_keys]
-        for i in range(left.num_rows):
-            key = tuple(col[i] for col in left_key_cols)
-            matches = build.get(key)
-            if matches and all(k is not None for k in key):
-                for j in matches:
-                    pairs.append((i, j))
-                    matched_right.add(j)
-            elif self._condition in ("left", "full"):
-                pairs.append((i, None))
+        if single:
+            for i, key in enumerate(left_key_cols[0]):
+                matches = build.get(key)
+                if matches and key is not None:
+                    for j in matches:
+                        append((i, j))
+                        matched[j] = 1
+                elif keep_unmatched_left:
+                    append((i, None))
+        else:
+            for i, key in enumerate(zip(*left_key_cols)):
+                matches = build.get(key)
+                if matches and all(k is not None for k in key):
+                    for j in matches:
+                        append((i, j))
+                        matched[j] = 1
+                elif keep_unmatched_left:
+                    append((i, None))
         if self._condition in ("right", "full"):
-            for j in range(right.num_rows):
-                if j not in matched_right:
-                    pairs.append((None, j))
+            pairs.extend(
+                (None, j) for j, hit in enumerate(matched) if not hit
+            )
         context.bump(f"task.{self.name}.pairs", len(pairs))
         return self._materialize(left, right, pairs)
 

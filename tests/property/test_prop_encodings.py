@@ -1,0 +1,261 @@
+"""Property tests: encoded tables are indistinguishable from plain ones.
+
+The typed encodings (:mod:`repro.data.encodings`) shadow a table's
+plain lists and give every hot kernel a fast path.  The contract is
+*semantic invisibility*: for any operation on any table, running with
+encodings attached produces exactly the output of running on the same
+data with encoding disabled.  These properties build both versions of
+the same table and compare every kernel/operator the fast paths touch
+— predicates, sorting, top-n, grouping, distinct, take/concat,
+``estimated_bytes`` and the shuffle hash — plus page-codec and pickle
+round-trips (null masks, empty tables, fallback columns included).
+"""
+
+from contextlib import contextmanager
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Schema, Table
+from repro.data import encodings
+from repro.data.kernels import (
+    ComparePredicate,
+    ContainsPredicate,
+    MembershipPredicate,
+    RangePredicate,
+)
+from repro.data.pages import decode_table, encode_table
+from repro.engine.distributed import _hash_shuffle
+from repro.tasks.base import TaskContext
+from repro.tasks.registry import default_task_registry
+
+
+@contextmanager
+def encodings_off():
+    previous = encodings.set_enabled(False)
+    try:
+        yield
+    finally:
+        encodings.set_enabled(previous)
+
+
+int_cell = st.one_of(st.none(), st.integers(-1000, 1000))
+float_cell = st.one_of(
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+str_cell = st.one_of(st.none(), st.text(alphabet="abz", max_size=3))
+mixed_cell = st.one_of(
+    st.none(),
+    st.integers(-100, 100),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet="abz", max_size=3),
+    st.booleans(),
+    st.lists(st.integers(0, 3), max_size=2),
+)
+
+COLUMNS = ("i", "f", "s", "m")
+
+
+@st.composite
+def table_data(draw, min_rows=0):
+    """Same-length columns of every encoding family plus a fallback."""
+    n = draw(st.integers(min_value=min_rows, max_value=25))
+
+    def col(elem):
+        return draw(st.lists(elem, min_size=n, max_size=n))
+
+    return {
+        "i": col(int_cell),
+        "f": col(float_cell),
+        "s": col(str_cell),
+        "m": col(mixed_cell),
+    }
+
+
+def build_pair(data):
+    """(encoded, plain) tables over identical cell values."""
+    schema = Schema.of(*data)
+    encoded = Table.from_columns(
+        schema, {k: list(v) for k, v in data.items()}
+    )
+    with encodings_off():
+        plain = Table.from_columns(
+            schema, {k: list(v) for k, v in data.items()}
+        )
+    assert all(plain.encoded_column(c) is None for c in COLUMNS)
+    return encoded, plain
+
+
+operand = st.one_of(
+    st.none(),
+    st.integers(-1000, 1000),
+    st.text(alphabet="abz", max_size=3),
+    st.booleans(),
+)
+
+
+@given(
+    table_data(),
+    st.sampled_from(COLUMNS),
+    st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+    operand,
+)
+def test_compare_predicate_encoded_equals_plain(data, column, op, rhs):
+    encoded, plain = build_pair(data)
+    predicate = ComparePredicate(column, op, rhs)
+    assert encoded.filter_rows(predicate) == plain.filter_rows(predicate)
+
+
+@given(table_data(), st.sampled_from(COLUMNS), st.lists(operand, max_size=4))
+def test_membership_predicate_encoded_equals_plain(data, column, allowed):
+    encoded, plain = build_pair(data)
+    predicate = MembershipPredicate(column, allowed)
+    assert encoded.filter_rows(predicate) == plain.filter_rows(predicate)
+
+
+@given(table_data(), st.sampled_from(COLUMNS), operand, operand)
+def test_range_predicate_encoded_equals_plain(data, column, lo, hi):
+    encoded, plain = build_pair(data)
+    predicate = RangePredicate(column, lo, hi)
+    assert encoded.filter_rows(predicate) == plain.filter_rows(predicate)
+
+
+@given(
+    table_data(),
+    st.sampled_from(COLUMNS),
+    st.text(alphabet="abz", max_size=2),
+)
+def test_contains_predicate_encoded_equals_plain(data, column, needle):
+    encoded, plain = build_pair(data)
+    predicate = ContainsPredicate(column, needle)
+    assert encoded.filter_rows(predicate) == plain.filter_rows(predicate)
+
+
+@given(
+    table_data(),
+    st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=3, unique=True),
+    st.lists(st.booleans(), min_size=3, max_size=3),
+)
+def test_sorted_by_encoded_equals_plain(data, keys, descending):
+    encoded, plain = build_pair(data)
+    desc = descending[: len(keys)]
+    assert encoded.sorted_by(keys, desc) == plain.sorted_by(keys, desc)
+
+
+@given(
+    table_data(),
+    st.sampled_from(("i", "f", "s")),
+    st.booleans(),
+    st.integers(1, 30),
+)
+def test_topn_task_encoded_equals_plain(data, column, descending, n):
+    encoded, plain = build_pair(data)
+    registry = default_task_registry()
+    task = registry.create(
+        "top",
+        {
+            "type": "topn",
+            "orderby_column": [
+                f"{column} {'DESC' if descending else 'ASC'}"
+            ],
+            "limit": n,
+        },
+    )
+    assert task.apply([encoded], TaskContext()) == task.apply(
+        [plain], TaskContext()
+    )
+
+
+@given(
+    table_data(),
+    st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=2, unique=True),
+)
+def test_groupby_task_encoded_equals_plain(data, keys):
+    encoded, plain = build_pair(data)
+    registry = default_task_registry()
+    task = registry.create(
+        "grp",
+        {
+            "type": "groupby",
+            "groupby": keys,
+            "aggregates": [
+                {"operator": "sum", "apply_on": "i", "out_field": "t"},
+                {"operator": "count", "out_field": "c"},
+            ],
+        },
+    )
+    assert task.apply([encoded], TaskContext()) == task.apply(
+        [plain], TaskContext()
+    )
+
+
+@given(
+    table_data(),
+    st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=3, unique=True),
+)
+def test_distinct_encoded_equals_plain(data, keys):
+    encoded, plain = build_pair(data)
+    assert encoded.distinct(keys) == plain.distinct(keys)
+
+
+@given(table_data(min_rows=1), st.data())
+def test_take_concat_encoded_equals_plain(data, picker):
+    encoded, plain = build_pair(data)
+    n = len(data["i"])
+    indices = picker.draw(
+        st.lists(st.integers(0, n - 1), max_size=2 * n)
+    )
+    split = picker.draw(st.integers(0, len(indices)))
+    e_parts = [encoded.take(indices[:split]), encoded.take(indices[split:])]
+    p_parts = [plain.take(indices[:split]), plain.take(indices[split:])]
+    e_merged = Table.concat_all(e_parts, schema=encoded.schema)
+    p_merged = Table.concat_all(p_parts, schema=plain.schema)
+    assert e_merged == p_merged
+    assert dict(e_merged._data) == dict(p_merged._data)
+    assert e_merged.estimated_bytes() == p_merged.estimated_bytes()
+
+
+@given(table_data())
+def test_estimated_bytes_encoded_equals_plain(data):
+    encoded, plain = build_pair(data)
+    assert encoded.estimated_bytes() == plain.estimated_bytes()
+
+
+@given(
+    table_data(),
+    st.lists(st.sampled_from(("i", "s")), min_size=1, max_size=2, unique=True),
+    st.integers(1, 5),
+)
+def test_hash_shuffle_encoded_equals_plain(data, keys, parts):
+    """Shuffle routing — rows per partition and their order — must not
+    depend on whether key columns are dictionary-encoded."""
+    encoded, plain = build_pair(data)
+    e_out, e_records, e_bytes = _hash_shuffle([encoded], keys, parts)
+    p_out, p_records, p_bytes = _hash_shuffle([plain], keys, parts)
+    assert [dict(t._data) for t in e_out] == [dict(t._data) for t in p_out]
+    assert (e_records, e_bytes) == (p_records, p_bytes)
+
+
+@settings(max_examples=60)
+@given(table_data())
+def test_page_codec_round_trip(data):
+    encoded, plain = build_pair(data)
+    for table in (encoded, plain):
+        out = decode_table(encode_table(table))
+        assert out == table
+        assert dict(out._data) == dict(table._data)
+        assert out.estimated_bytes() == table.estimated_bytes()
+    assert decode_table(encode_table(encoded)) == decode_table(
+        encode_table(plain)
+    )
+
+
+@settings(max_examples=60)
+@given(table_data())
+def test_pickle_round_trip(data):
+    encoded, plain = build_pair(data)
+    assert pickle.loads(pickle.dumps(encoded)) == encoded
+    assert pickle.loads(pickle.dumps(plain)) == plain

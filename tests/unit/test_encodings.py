@@ -1,0 +1,238 @@
+"""Unit tests for the typed column encodings (``repro.data.encodings``).
+
+The encoding layer is best-effort and lossless-or-not-at-all: these
+tests pin the dispatch rules (what encodes, what stays boxed), the
+structural propagation through ``take``/``concat``, and the invariants
+the kernels and telemetry rely on (legacy ``estimated_bytes`` formula,
+``-1`` null codes, shared dictionaries).
+"""
+
+import math
+import pickle
+
+from repro.data import Schema, Table
+from repro.data.encodings import (
+    DictColumn,
+    FloatColumn,
+    IntColumn,
+    decode_column,
+    enabled,
+    encode_column,
+    set_enabled,
+)
+
+
+def legacy_bytes(columns):
+    total = 0
+    for values in columns.values():
+        for value in values:
+            total += len(value) + 8 if isinstance(value, str) else 16
+    return total
+
+
+# -- dispatch rules -------------------------------------------------------
+
+
+def test_int_column_encodes():
+    col = encode_column([1, 2, -3])
+    assert type(col) is IntColumn
+    assert col.nulls is None
+    assert col.tolist() == [1, 2, -3]
+
+
+def test_int_column_with_nulls():
+    col = encode_column([1, None, 3])
+    assert type(col) is IntColumn
+    assert bytes(col.nulls) == b"\x00\x01\x00"
+    assert col.tolist() == [1, None, 3]
+
+
+def test_float_column_encodes():
+    col = encode_column([1.5, None, -0.25])
+    assert type(col) is FloatColumn
+    assert col.tolist() == [1.5, None, -0.25]
+
+
+def test_str_column_dictionary_encodes():
+    col = encode_column(["b", "a", "b", None, "a"])
+    assert type(col) is DictColumn
+    assert col.values == ["b", "a"]  # first-seen order
+    assert list(col.codes) == [0, 1, 0, -1, 1]
+    assert col.tolist() == ["b", "a", "b", None, "a"]
+
+
+def test_bool_never_encodes():
+    # bool is an int subclass that array('q') would flatten to 0/1.
+    assert encode_column([True, False]) is None
+    assert encode_column([1, True, 0]) is None
+
+
+def test_mixed_and_nested_stay_boxed():
+    assert encode_column([1, "a"]) is None
+    assert encode_column([[1], [2]]) is None
+    assert encode_column([{"k": 1}]) is None
+    assert encode_column([]) is None
+
+
+def test_nan_stays_boxed():
+    assert encode_column([1.0, float("nan")]) is None
+
+
+def test_out_of_range_int_stays_boxed():
+    assert encode_column([2**63]) is None
+    assert encode_column([1, -(2**64)]) is None
+
+
+def test_none_only_column_stays_boxed():
+    # {NoneType} alone matches no family.
+    assert encode_column([None, None]) is None
+
+
+def test_high_cardinality_strings_bail():
+    values = [f"unique-{i}" for i in range(10000)]
+    assert encode_column(values) is None
+    # Low distinct-to-row ratio keeps encoding even past the threshold.
+    repeated = [f"v{i % 100}" for i in range(10000)]
+    assert type(encode_column(repeated)) is DictColumn
+
+
+def test_decode_column_round_trips():
+    for values in ([1, None, 3], [1.5, 2.5], ["a", None, "a"]):
+        assert decode_column(encode_column(values)) == values
+    assert decode_column([1, "x"]) == [1, "x"]
+
+
+# -- toggle ---------------------------------------------------------------
+
+
+def test_set_enabled_toggles_from_columns():
+    schema = Schema.of("v")
+    previous = set_enabled(False)
+    try:
+        assert not enabled()
+        off = Table.from_columns(schema, {"v": [1, 2, 3]})
+        assert off.encoded_column("v") is None
+    finally:
+        set_enabled(previous)
+    on = Table.from_columns(schema, {"v": [1, 2, 3]})
+    assert type(on.encoded_column("v")) is IntColumn
+    # Semantics identical either way.
+    assert off == on
+
+
+def test_fallback_counter_on_table():
+    table = Table.from_columns(
+        Schema.of("good", "bad"),
+        {"good": [1, 2], "bad": [1, "x"]},
+    )
+    assert table.encode_fallbacks == 1
+    assert table.encoded_column("bad") is None
+
+
+# -- structural propagation ----------------------------------------------
+
+
+def make_table():
+    return Table.from_columns(
+        Schema.of("k", "n", "x"),
+        {
+            "k": ["a", "b", "a", None, "c", "b"],
+            "n": [5, None, 3, 2, 1, 0],
+            "x": [0.5, 1.5, None, 2.5, 3.5, 4.5],
+        },
+    )
+
+
+def test_take_propagates_encodings():
+    table = make_table()
+    out = table.take([4, 2, 0])
+    assert dict(out._data) == {
+        "k": ["c", "a", "a"],
+        "n": [1, 3, 5],
+        "x": [3.5, None, 0.5],
+    }
+    taken = out.encoded_column("k")
+    assert type(taken) is DictColumn
+    # take shares the dictionary so sibling pages splice on concat
+    assert taken.values is table.encoded_column("k").values
+
+
+def test_concat_splices_shared_dictionaries():
+    table = make_table()
+    a, b = table.take([0, 1, 2]), table.take([3, 4, 5])
+    merged = Table.concat_all([a, b])
+    assert merged == table
+    col = merged.encoded_column("k")
+    assert type(col) is DictColumn
+    assert col.tolist() == table.column("k")
+
+
+def test_concat_remaps_foreign_dictionaries():
+    left = Table.from_columns(Schema.of("k"), {"k": ["x", "y", None]})
+    right = Table.from_columns(Schema.of("k"), {"k": ["z", "y"]})
+    merged = Table.concat_all([left, right])
+    assert merged.column("k") == ["x", "y", None, "z", "y"]
+    col = merged.encoded_column("k")
+    assert type(col) is DictColumn
+    # Merged dictionary is first-seen across inputs — what encoding
+    # the concatenated plain list from scratch would build.
+    assert col.values == ["x", "y", "z"]
+    assert col.tolist() == merged.column("k")
+
+
+def test_projection_shares_encodings():
+    table = make_table()
+    selected = table.select(["k", "n"])
+    assert selected.encoded_column("k") is table.encoded_column("k")
+    renamed = table.rename({"k": "key"})
+    assert renamed.encoded_column("key") is table.encoded_column("k")
+
+
+def test_with_column_drops_only_replaced_encoding():
+    table = make_table()
+    out = table.with_column("n", ["a", "b", "c", "d", "e", "f"])
+    assert out.encoded_column("k") is table.encoded_column("k")
+    assert out.encoded_column("n") is None
+
+
+def test_append_row_invalidates():
+    table = make_table()
+    table.estimated_bytes()
+    table.append_row({"k": "z", "n": 9, "x": 0.0})
+    assert table.encoded_column("k") is None
+    assert table.estimated_bytes() == legacy_bytes(dict(table._data))
+
+
+# -- invariants the engine relies on -------------------------------------
+
+
+def test_estimated_bytes_matches_legacy_walk():
+    table = make_table()
+    assert table.estimated_bytes() == legacy_bytes(dict(table._data))
+    # and is cached
+    assert table._est_bytes is not None
+
+
+def test_sort_ranks_orders_dictionary():
+    col = encode_column(["pear", "apple", "mango", "apple"])
+    ranks = col.sort_ranks()
+    assert [col.values[c] for c in sorted(
+        range(len(col.values)), key=ranks.__getitem__
+    )] == ["apple", "mango", "pear"]
+    assert col.sort_ranks() is ranks  # cached
+
+
+def test_negative_zero_round_trips():
+    col = encode_column([0.0, -0.0])
+    out = col.tolist()
+    assert math.copysign(1.0, out[0]) == 1.0
+    assert math.copysign(1.0, out[1]) == -1.0
+
+
+def test_pickled_table_reattaches_encodings():
+    table = make_table()
+    clone = pickle.loads(pickle.dumps(table))
+    assert clone == table
+    assert type(clone.encoded_column("k")) is DictColumn
+    assert type(clone.encoded_column("n")) is IntColumn
+    assert type(clone.encoded_column("x")) is FloatColumn
